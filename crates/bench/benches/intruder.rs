@@ -1,0 +1,90 @@
+//! Dolev–Yao knowledge-closure throughput: gleaning over growing
+//! networks, and successor enumeration cost (the model checker's inner
+//! loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equitls_tls::concrete::{
+    successors, Body, ChoiceList, Choice, Knowledge, Msg, Pms, Prin, Rand, Scope, Secret, Sid,
+    State, SymKey,
+};
+use std::hint::black_box;
+
+fn network_with(n: usize) -> State {
+    let mut state = State::new();
+    let list = ChoiceList::of(&[Choice(0)]);
+    for i in 0..n {
+        let a = Prin(2 + (i % 2) as u8);
+        let b = Prin(4);
+        let pms = Pms {
+            client: a,
+            server: b,
+            secret: Secret((i % 4) as u8),
+        };
+        state = state.send(Msg::honest(
+            a,
+            b,
+            Body::Ch {
+                rand: Rand((i % 8) as u8),
+                list,
+            },
+        ));
+        state = state.send(Msg::honest(a, b, Body::Kx { key_of: b, pms }));
+        state = state.send(Msg::honest(
+            b,
+            a,
+            Body::Sf {
+                key: SymKey {
+                    prin: b,
+                    pms,
+                    r1: Rand(0),
+                    r2: Rand(1),
+                },
+                hash: equitls_tls::concrete::FinHash {
+                    kind: equitls_tls::concrete::FinKind::Server,
+                    a,
+                    b,
+                    sid: Sid(0),
+                    list: Some(list),
+                    choice: Choice(0),
+                    r1: Rand(0),
+                    r2: Rand(1),
+                    pms,
+                },
+            },
+        ));
+    }
+    state
+}
+
+fn bench_gleaning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge-closure");
+    for &n in &[4usize, 16, 64] {
+        let state = network_with(n);
+        let peers = vec![Prin(2), Prin(3), Prin(4)];
+        let secrets = vec![Secret(1)];
+        group.bench_with_input(BenchmarkId::from_parameter(n * 3), &n, |b, _| {
+            b.iter(|| black_box(Knowledge::glean(&state, &secrets, &peers)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_successor_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("successor-enumeration");
+    group.sample_size(20);
+    let scope = Scope::mitchell();
+    for &n in &[0usize, 2, 4] {
+        let mut state = network_with(n);
+        // keep under the scope's message bound
+        let mut big_scope = scope.clone();
+        big_scope.max_messages = 64;
+        let _ = &mut state;
+        group.bench_with_input(BenchmarkId::from_parameter(n * 3), &n, |b, _| {
+            b.iter(|| black_box(successors(&state, &big_scope).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gleaning, bench_successor_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Experiment E12: rewriting-engine performance.
+//!
+//! * Boolean-ring tautology decision throughput, by formula size;
+//! * the ablation DESIGN.md calls out: ring normal form vs. naive
+//!   truth-table enumeration, by atom count;
+//! * protocol-term normalization: reducing gleaning collections over
+//!   growing concrete networks (the inner loop of every proof passage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equitls_bench::{bool_world, random_formula, truth_table_tautology};
+use equitls_rewrite::prelude::*;
+use equitls_spec::prelude::*;
+use std::hint::black_box;
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolring-normalize");
+    group.sample_size(20);
+    for &size in &[16usize, 64, 256] {
+        let (mut store, alg, atoms) = bool_world(8);
+        let formulas: Vec<_> = (0..16)
+            .map(|seed| random_formula(&mut store, &alg, &atoms, size, seed))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+                for &f in &formulas {
+                    black_box(norm.proves(&mut store, f).expect("normalizes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_vs_truth_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tautology-ablation");
+    group.sample_size(10);
+    for &atoms_n in &[8usize, 12, 16] {
+        let (mut store, alg, atoms) = bool_world(atoms_n);
+        let formulas: Vec<_> = (0..8)
+            .map(|seed| random_formula(&mut store, &alg, &atoms, 48, seed))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("boolean-ring", atoms_n),
+            &atoms_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+                    for &f in &formulas {
+                        black_box(norm.proves(&mut store, f).expect("normalizes"));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("truth-table", atoms_n),
+            &atoms_n,
+            |b, _| {
+                b.iter(|| {
+                    for &f in &formulas {
+                        black_box(truth_table_tautology(&store, &alg, &atoms, f));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gleaning_reduction(c: &mut Criterion) {
+    // Normalize `PMS \in cpms(<n-message network>)` — the workhorse
+    // reduction of the secrecy proofs.
+    let mut group = c.benchmark_group("gleaning-normalize");
+    group.sample_size(20);
+    for &n in &[4usize, 16, 64] {
+        let mut model = equitls_tls::TlsModel::standard().expect("model builds");
+        let spec = &mut model.spec;
+        let prin = spec.sort_id("Prin").unwrap();
+        let secret = spec.sort_id("Secret").unwrap();
+        let rand = spec.sort_id("Rand").unwrap();
+        let loc = spec.sort_id("ListOfChoices").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let s = spec.store_mut().fresh_constant("s", secret);
+        let l = spec.store_mut().fresh_constant("l", loc);
+        let intruder = spec.const_term("intruder").unwrap();
+        let pm = spec.app("pms", &[a, b, s]).unwrap();
+        // Build a network of n ch messages plus one kx to the intruder.
+        let mut nw = spec.const_term("void").unwrap();
+        for i in 0..n {
+            let r = spec
+                .store_mut()
+                .fresh_constant(&format!("r{i}"), rand);
+            let m = spec.app("ch", &[a, a, b, r, l]).unwrap();
+            nw = spec.app("_,_", &[m, nw]).unwrap();
+        }
+        let ki = spec.app("k", &[intruder]).unwrap();
+        let ep = spec.app("epms", &[ki, pm]).unwrap();
+        let kx = spec.app("kx", &[a, a, intruder, ep]).unwrap();
+        nw = spec.app("_,_", &[kx, nw]).unwrap();
+        let cp = spec.app("cpms", &[nw]).unwrap();
+        let member = spec.app("_\\in_", &[pm, cp]).unwrap();
+        let alg = spec.alg().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut norm = model.spec.normalizer();
+                let out = norm
+                    .normalize(model.spec.store_mut(), member)
+                    .expect("reduces");
+                assert_eq!(alg.as_constant(model.spec.store(), out), Some(true));
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_throughput,
+    bench_ring_vs_truth_table,
+    bench_gleaning_reduction
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Shared helpers for the EquiTLS benchmark harness.
+//!
+//! The benches regenerate the experiments of EXPERIMENTS.md:
+//!
+//! * `rewriting` — E12: Boolean-ring normalization throughput and the
+//!   ablation against a naive truth-table decision procedure;
+//! * `proof_scores` — E1–E5/E8/E9: per-property proof-score verification
+//!   time on the standard and variant protocols, plus the witness-map
+//!   ablation;
+//! * `model_check` — E10: bounded exhaustive search, full vs. weakened
+//!   intruder;
+//! * `intruder` — Dolev–Yao knowledge-closure throughput on growing
+//!   networks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use equitls_kernel::prelude::*;
+use equitls_rewrite::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random Boolean formula over `atoms`, with roughly `size` connectives.
+///
+/// Deterministic per `seed`, so Criterion compares like with like.
+pub fn random_formula(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    atoms: &[TermId],
+    size: usize,
+    seed: u64,
+) -> TermId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut build = atoms.to_vec();
+    for _ in 0..size {
+        let a = build[rng.gen_range(0..build.len())];
+        let b = build[rng.gen_range(0..build.len())];
+        let t = match rng.gen_range(0..5) {
+            0 => alg.and(store, a, b),
+            1 => alg.or(store, a, b),
+            2 => alg.xor(store, a, b),
+            3 => alg.implies(store, a, b),
+            _ => alg.not(store, a),
+        }
+        .expect("well-sorted");
+        build.push(t);
+    }
+    *build.last().expect("non-empty")
+}
+
+/// Decide tautology by brute-force truth table — the naive baseline for
+/// the Boolean-ring ablation.
+pub fn truth_table_tautology(
+    store: &TermStore,
+    alg: &BoolAlg,
+    atoms: &[TermId],
+    formula: TermId,
+) -> bool {
+    assert!(atoms.len() <= 20, "truth table would explode");
+    for bits in 0..(1u32 << atoms.len()) {
+        let assignment = |t: TermId| -> Option<bool> {
+            atoms
+                .iter()
+                .position(|&a| a == t)
+                .map(|i| bits & (1 << i) != 0)
+        };
+        if !eval_formula(store, alg, formula, &assignment) {
+            return false;
+        }
+    }
+    true
+}
+
+fn eval_formula(
+    store: &TermStore,
+    alg: &BoolAlg,
+    t: TermId,
+    assignment: &dyn Fn(TermId) -> Option<bool>,
+) -> bool {
+    if let Some(v) = assignment(t) {
+        return v;
+    }
+    let op = store.op_of(t).expect("formula node");
+    let args = store.args(t);
+    if op == alg.true_op() {
+        true
+    } else if op == alg.false_op() {
+        false
+    } else if op == alg.not_op() {
+        !eval_formula(store, alg, args[0], assignment)
+    } else if op == alg.and_op() {
+        eval_formula(store, alg, args[0], assignment) && eval_formula(store, alg, args[1], assignment)
+    } else if op == alg.or_op() {
+        eval_formula(store, alg, args[0], assignment) || eval_formula(store, alg, args[1], assignment)
+    } else if op == alg.xor_op() {
+        eval_formula(store, alg, args[0], assignment) ^ eval_formula(store, alg, args[1], assignment)
+    } else if op == alg.implies_op() {
+        !eval_formula(store, alg, args[0], assignment) || eval_formula(store, alg, args[1], assignment)
+    } else if op == alg.iff_op() {
+        eval_formula(store, alg, args[0], assignment) == eval_formula(store, alg, args[1], assignment)
+    } else {
+        panic!("unexpected operator in formula");
+    }
+}
+
+/// A fresh `(store, alg, atoms)` world for Boolean benchmarks.
+pub fn bool_world(atom_count: usize) -> (TermStore, BoolAlg, Vec<TermId>) {
+    let mut sig = Signature::new();
+    let alg = BoolAlg::install(&mut sig).expect("fresh signature");
+    let mut store = TermStore::new(sig);
+    let atoms = (0..atom_count)
+        .map(|_| store.fresh_constant("p", alg.sort()))
+        .collect();
+    (store, alg, atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_and_truth_table_agree_on_random_formulas() {
+        let (mut store, alg, atoms) = bool_world(4);
+        for seed in 0..50 {
+            let f = random_formula(&mut store, &alg, &atoms, 12, seed);
+            let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+            let by_ring = norm.proves(&mut store, f).unwrap();
+            let by_table = truth_table_tautology(&store, &alg, &atoms, f);
+            assert_eq!(by_ring, by_table, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_formulas_are_deterministic_per_seed() {
+        let (mut store, alg, atoms) = bool_world(3);
+        let f1 = random_formula(&mut store, &alg, &atoms, 10, 42);
+        let f2 = random_formula(&mut store, &alg, &atoms, 10, 42);
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors raised by the OTS layer and the prover.
+
+use equitls_kernel::KernelError;
+use equitls_rewrite::RewriteError;
+use equitls_spec::SpecError;
+use std::fmt;
+
+/// An error raised while building an OTS or running a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The named invariant is not registered.
+    UnknownInvariant(String),
+    /// The named action is not registered.
+    UnknownAction(String),
+    /// An OTS construction problem (wrong operator shape, missing state
+    /// sort, …).
+    MalformedOts(String),
+    /// Specification-layer error.
+    Spec(SpecError),
+    /// Rewriting error.
+    Rewrite(RewriteError),
+    /// Kernel error.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownInvariant(n) => write!(f, "unknown invariant `{n}`"),
+            CoreError::UnknownAction(n) => write!(f, "unknown action `{n}`"),
+            CoreError::MalformedOts(m) => write!(f, "malformed OTS: {m}"),
+            CoreError::Spec(e) => write!(f, "{e}"),
+            CoreError::Rewrite(e) => write!(f, "{e}"),
+            CoreError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Spec(e) => Some(e),
+            CoreError::Rewrite(e) => Some(e),
+            CoreError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for CoreError {
+    fn from(e: SpecError) -> Self {
+        CoreError::Spec(e)
+    }
+}
+
+impl From<RewriteError> for CoreError {
+    fn from(e: RewriteError) -> Self {
+        CoreError::Rewrite(e)
+    }
+}
+
+impl From<KernelError> for CoreError {
+    fn from(e: KernelError) -> Self {
+        CoreError::Kernel(e)
+    }
+}

@@ -1,0 +1,217 @@
+//! Invariant declarations (§2.4's `INV` module).
+//!
+//! An invariant `inv_i` is a Bool-valued predicate over a state and zero or
+//! more data parameters. Following the paper, we keep it as a *template
+//! term* with a distinguished state variable and parameter variables;
+//! instantiation is substitution:
+//!
+//! ```text
+//! op inv1 : Protocol Pms -> Bool
+//! eq inv1(P, PMS) = (PMS \in cpms(nw(P)) implies …) .
+//! ```
+//!
+//! corresponds to an [`Invariant`] whose `body` is the right-hand side with
+//! `P` and `PMS` as variables.
+
+use crate::error::CoreError;
+use equitls_kernel::prelude::*;
+use equitls_spec::spec::Spec;
+
+/// A named invariant template.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// Name, e.g. `"inv1"`.
+    pub name: String,
+    /// The state variable occurring in `body`.
+    pub state_var: VarId,
+    /// Parameter variables (besides the state), with their names.
+    pub params: Vec<VarId>,
+    /// The Bool-sorted template term.
+    pub body: TermId,
+}
+
+impl Invariant {
+    /// Declare an invariant.
+    ///
+    /// `state_var` and `params` must be variables of the spec's store;
+    /// `body` must be Bool-sorted and use no other variables.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MalformedOts`] when the body has the wrong sort or
+    /// stray variables.
+    pub fn new(
+        spec: &Spec,
+        name: &str,
+        state_var: VarId,
+        params: Vec<VarId>,
+        body: TermId,
+    ) -> Result<Self, CoreError> {
+        if spec.store().sort_of(body) != spec.alg().sort() {
+            return Err(CoreError::MalformedOts(format!(
+                "invariant `{name}` body is not Bool-sorted"
+            )));
+        }
+        for v in spec.store().vars_of(body) {
+            if v != state_var && !params.contains(&v) {
+                return Err(CoreError::MalformedOts(format!(
+                    "invariant `{name}` body uses undeclared variable `{}`",
+                    spec.store().var_decl(v).name
+                )));
+            }
+        }
+        Ok(Invariant {
+            name: name.to_string(),
+            state_var,
+            params,
+            body,
+        })
+    }
+
+    /// Sorts of the parameter variables.
+    pub fn param_sorts(&self, spec: &Spec) -> Vec<SortId> {
+        self.params
+            .iter()
+            .map(|&v| spec.store().var_decl(v).sort)
+            .collect()
+    }
+
+    /// Instantiate the template at a state term and parameter terms.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MalformedOts`] when the number of parameters differs.
+    /// Sort errors surface as kernel errors.
+    pub fn instantiate(
+        &self,
+        spec: &mut Spec,
+        state: TermId,
+        params: &[TermId],
+    ) -> Result<TermId, CoreError> {
+        if params.len() != self.params.len() {
+            return Err(CoreError::MalformedOts(format!(
+                "invariant `{}` expects {} parameters, got {}",
+                self.name,
+                self.params.len(),
+                params.len()
+            )));
+        }
+        let mut subst = Subst::new();
+        subst.bind(self.state_var, state);
+        for (&v, &t) in self.params.iter().zip(params.iter()) {
+            subst.bind(v, t);
+        }
+        Ok(subst.apply(spec.store_mut(), self.body))
+    }
+}
+
+/// A registry of invariants, looked up by name when strengthening
+/// induction hypotheses.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantSet {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        InvariantSet::default()
+    }
+
+    /// Add an invariant.
+    pub fn push(&mut self, inv: Invariant) {
+        self.invariants.push(inv);
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&Invariant> {
+        self.invariants.iter().find(|i| i.name == name)
+    }
+
+    /// All invariants in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Invariant> {
+        self.invariants.iter()
+    }
+
+    /// Number of invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with_pred() -> (Spec, VarId, VarId, TermId) {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("M");
+        spec.visible_sort("D").unwrap();
+        spec.hidden_sort("Sys").unwrap();
+        spec.constructor("d0", &[], "D").unwrap();
+        spec.defined_op("ok?", &["Sys", "D"], "Bool").unwrap();
+        let sys = spec.sort_id("Sys").unwrap();
+        let d = spec.sort_id("D").unwrap();
+        let p = spec.store_mut().declare_var("P", sys).unwrap();
+        let x = spec.store_mut().declare_var("X", d).unwrap();
+        let pv = spec.store_mut().var(p);
+        let xv = spec.store_mut().var(x);
+        let body = spec.app("ok?", &[pv, xv]).unwrap();
+        (spec, p, x, body)
+    }
+
+    #[test]
+    fn instantiation_substitutes_all_variables() {
+        let (mut spec, p, x, body) = spec_with_pred();
+        let inv = Invariant::new(&spec, "inv", p, vec![x], body).unwrap();
+        let sys = spec.sort_id("Sys").unwrap();
+        let state = spec.store_mut().fresh_constant("s", sys);
+        let d0 = spec.const_term("d0").unwrap();
+        let inst = inv.instantiate(&mut spec, state, &[d0]).unwrap();
+        assert!(spec.store().is_ground(inst));
+        assert_eq!(spec.store().args(inst), &[state, d0]);
+    }
+
+    #[test]
+    fn wrong_parameter_count_is_rejected() {
+        let (mut spec, p, x, body) = spec_with_pred();
+        let inv = Invariant::new(&spec, "inv", p, vec![x], body).unwrap();
+        let sys = spec.sort_id("Sys").unwrap();
+        let state = spec.store_mut().fresh_constant("s", sys);
+        assert!(inv.instantiate(&mut spec, state, &[]).is_err());
+    }
+
+    #[test]
+    fn non_bool_body_is_rejected() {
+        let (mut spec, p, x, _) = spec_with_pred();
+        let d0_body = spec.const_term("d0").unwrap();
+        let e = Invariant::new(&spec, "bad", p, vec![x], d0_body);
+        assert!(matches!(e, Err(CoreError::MalformedOts(_))));
+    }
+
+    #[test]
+    fn stray_variables_are_rejected() {
+        let (mut spec, p, _x, body) = spec_with_pred();
+        // Omit X from the params: body uses an undeclared variable.
+        let e = Invariant::new(&spec, "bad", p, vec![], body);
+        assert!(matches!(e, Err(CoreError::MalformedOts(_))));
+        let _ = &mut spec;
+    }
+
+    #[test]
+    fn registry_lookup_by_name() {
+        let (spec, p, x, body) = spec_with_pred();
+        let inv = Invariant::new(&spec, "inv1", p, vec![x], body).unwrap();
+        let mut set = InvariantSet::new();
+        assert!(set.is_empty());
+        set.push(inv);
+        assert_eq!(set.len(), 1);
+        assert!(set.get("inv1").is_some());
+        assert!(set.get("inv2").is_none());
+    }
+}

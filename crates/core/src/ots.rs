@@ -1,0 +1,209 @@
+//! Observational transition systems (§2.2 of the paper).
+//!
+//! An OTS `S = ⟨O, I, T⟩` consists of observers, initial states, and
+//! conditional transitions. In the CafeOBJ encoding (§2.3):
+//!
+//! * the state space `Υ` is a hidden sort (`Protocol`),
+//! * each observer `o` is an observation operator (`bop nw : Protocol ->
+//!   Network`),
+//! * each transition `τ` is an action operator (`bop chello : Protocol
+//!   Prin Prin Rand ListOfChoices -> Protocol`) whose behaviour is given
+//!   by equations over the observers, guarded by its effective condition.
+//!
+//! [`Ots`] records that structure over an `equitls_spec::spec::Spec`; the
+//! equations themselves live in the spec's rule base.
+
+use crate::error::CoreError;
+use equitls_kernel::prelude::*;
+use equitls_spec::spec::Spec;
+
+/// An observer: an observation operator whose first argument is the state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observer {
+    /// Operator id in the signature.
+    pub op: OpId,
+    /// Operator name, e.g. `"nw"`.
+    pub name: String,
+    /// Parameter sorts after the state argument (e.g. `ss` takes
+    /// `Prin Prin Sid`).
+    pub params: Vec<SortId>,
+}
+
+/// A transition: an action operator whose first argument is the state and
+/// whose result is the state sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// Operator id in the signature.
+    pub op: OpId,
+    /// Operator name, e.g. `"chello"` or `"fakeSfin2"`.
+    pub name: String,
+    /// Parameter sorts after the state argument.
+    pub params: Vec<SortId>,
+}
+
+/// An OTS over a specification.
+#[derive(Debug, Clone)]
+pub struct Ots {
+    /// The hidden state sort (`Protocol`).
+    pub state_sort: SortId,
+    /// The initial-state constant (`init`).
+    pub init: TermId,
+    /// Declared observers.
+    pub observers: Vec<Observer>,
+    /// Declared transitions, in declaration order.
+    pub actions: Vec<Action>,
+}
+
+impl Ots {
+    /// Collect the OTS structure from a specification.
+    ///
+    /// Every operator with [`equitls_kernel::op::OpKind::Observer`] whose
+    /// first argument is `state_sort` becomes an observer; every
+    /// [`equitls_kernel::op::OpKind::Action`] operator of shape
+    /// `state_sort × params… → state_sort` becomes a transition. `init`
+    /// must be a declared constant of the state sort.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MalformedOts`] when `init` is missing or an operator
+    /// has an unexpected shape.
+    pub fn from_spec(spec: &mut Spec, state_sort_name: &str, init_name: &str) -> Result<Self, CoreError> {
+        let state_sort = spec.sort_id(state_sort_name)?;
+        let sig = spec.store().signature();
+        let mut observers = Vec::new();
+        let mut actions = Vec::new();
+        for (op, decl) in sig.ops() {
+            match decl.attrs.kind {
+                equitls_kernel::op::OpKind::Observer => {
+                    if decl.args.first() != Some(&state_sort) {
+                        return Err(CoreError::MalformedOts(format!(
+                            "observer `{}` does not take the state as first argument",
+                            decl.name
+                        )));
+                    }
+                    observers.push(Observer {
+                        op,
+                        name: decl.name.clone(),
+                        params: decl.args[1..].to_vec(),
+                    });
+                }
+                equitls_kernel::op::OpKind::Action => {
+                    if decl.args.first() != Some(&state_sort) || decl.result != state_sort {
+                        return Err(CoreError::MalformedOts(format!(
+                            "action `{}` is not of shape {} × … → {}",
+                            decl.name, state_sort_name, state_sort_name
+                        )));
+                    }
+                    actions.push(Action {
+                        op,
+                        name: decl.name.clone(),
+                        params: decl.args[1..].to_vec(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        let init_op = sig
+            .ops_by_name(init_name)
+            .iter()
+            .copied()
+            .find(|&id| {
+                let d = sig.op(id);
+                d.is_constant() && d.result == state_sort
+            })
+            .ok_or_else(|| {
+                CoreError::MalformedOts(format!(
+                    "initial state constant `{init_name}` of sort {state_sort_name} not declared"
+                ))
+            })?;
+        let init = spec.store_mut().constant(init_op);
+        Ok(Ots {
+            state_sort,
+            init,
+            observers,
+            actions,
+        })
+    }
+
+    /// Find an action by name.
+    pub fn action(&self, name: &str) -> Option<&Action> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Find an observer by name.
+    pub fn observer(&self, name: &str) -> Option<&Observer> {
+        self.observers.iter().find(|o| o.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-counter machine: observers `cnt`, actions `inc`/`reset`.
+    fn counter_spec() -> Spec {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("COUNTER");
+        spec.visible_sort("Nat").unwrap();
+        spec.hidden_sort("Sys").unwrap();
+        spec.constructor("z", &[], "Nat").unwrap();
+        spec.constructor("s", &["Nat"], "Nat").unwrap();
+        spec.op("init", &[], "Sys", OpAttrs::defined()).unwrap();
+        spec.observer("cnt", &["Sys"], "Nat").unwrap();
+        spec.action("inc", &["Sys"], "Sys").unwrap();
+        spec.action("reset", &["Sys"], "Sys").unwrap();
+        // cnt(init) = z ; cnt(inc(S)) = s(cnt(S)) ; cnt(reset(S)) = z
+        let init = spec.parse_term("init").unwrap();
+        let cnt_init = spec.app("cnt", &[init]).unwrap();
+        let z = spec.parse_term("z").unwrap();
+        spec.eq("cnt-init", cnt_init, z).unwrap();
+        let sv = spec.var("S", "Sys").unwrap();
+        let inc_s = spec.app("inc", &[sv]).unwrap();
+        let cnt_inc = spec.app("cnt", &[inc_s]).unwrap();
+        let cnt_s = spec.app("cnt", &[sv]).unwrap();
+        let s_cnt_s = spec.app("s", &[cnt_s]).unwrap();
+        spec.eq("cnt-inc", cnt_inc, s_cnt_s).unwrap();
+        let reset_s = spec.app("reset", &[sv]).unwrap();
+        let cnt_reset = spec.app("cnt", &[reset_s]).unwrap();
+        spec.eq("cnt-reset", cnt_reset, z).unwrap();
+        spec
+    }
+
+    #[test]
+    fn from_spec_collects_observers_and_actions() {
+        let mut spec = counter_spec();
+        let ots = Ots::from_spec(&mut spec, "Sys", "init").unwrap();
+        assert_eq!(ots.observers.len(), 1);
+        assert_eq!(ots.actions.len(), 2);
+        assert!(ots.action("inc").is_some());
+        assert!(ots.action("missing").is_none());
+        assert!(ots.observer("cnt").is_some());
+    }
+
+    #[test]
+    fn missing_init_is_an_error() {
+        let mut spec = counter_spec();
+        let e = Ots::from_spec(&mut spec, "Sys", "nope").unwrap_err();
+        assert!(matches!(e, CoreError::MalformedOts(_)));
+    }
+
+    #[test]
+    fn misshapen_action_is_rejected() {
+        let mut spec = counter_spec();
+        // An "action" returning Nat is malformed.
+        spec.op("bad", &["Sys"], "Nat", OpAttrs::action()).unwrap();
+        let e = Ots::from_spec(&mut spec, "Sys", "init").unwrap_err();
+        assert!(matches!(e, CoreError::MalformedOts(_)));
+    }
+
+    #[test]
+    fn observer_equations_drive_reduction() {
+        let mut spec = counter_spec();
+        let t = spec.parse_term("cnt(inc(inc(init)))").unwrap();
+        let two = spec.parse_term("s(s(z))").unwrap();
+        assert_eq!(spec.red(t).unwrap(), two);
+        let r = spec.parse_term("cnt(reset(inc(init)))").unwrap();
+        let z = spec.parse_term("z").unwrap();
+        assert_eq!(spec.red(r).unwrap(), z);
+    }
+}

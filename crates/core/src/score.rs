@@ -1,0 +1,204 @@
+//! Rendering proof scores as CafeOBJ-style text.
+//!
+//! §5.2 of the paper displays a proof passage:
+//!
+//! ```text
+//! open ISTEP
+//! -- arbitrary objects
+//!   ops a10 b10 : -> Prin .  …
+//! -- assumptions
+//!   eq b1 = intruder . …
+//! -- successor state
+//!   eq p' = fakeSfin2(p,b10,a10,i10,l10,c10,r10,r20,pms10) .
+//! -- check if the predicate is true.
+//!   red inv1(p,pms(a,b,s)) implies istep2(a,b,b1,r1,r2,l,c,i,s) .
+//! close
+//! ```
+//!
+//! [`render_passage`] reproduces that shape from the prover's decision
+//! trail so that EquiTLS output is directly comparable with the paper.
+
+use crate::report::{Decision, ProofReport, StepReport};
+
+/// Render one proof passage for the inductive case of `invariant` against
+/// `action`.
+///
+/// `decisions` is the path of case-split assumptions; `arbitrary` lists
+/// `(name, sort)` pairs for the declared constants; `goal` is the rendered
+/// reduction target.
+pub fn render_passage(
+    invariant: &str,
+    action: &str,
+    arbitrary: &[(String, String)],
+    decisions: &[Decision],
+    goal: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str("open ISTEP\n");
+    if !arbitrary.is_empty() {
+        out.push_str("-- arbitrary objects\n");
+        for (name, sort) in arbitrary {
+            out.push_str(&format!("  op {name} : -> {sort} .\n"));
+        }
+    }
+    if !decisions.is_empty() {
+        out.push_str("-- assumptions\n");
+        for d in decisions {
+            match d {
+                Decision::CondTrue { cond } => {
+                    out.push_str(&format!("  eq ({cond}) = true .\n"));
+                }
+                Decision::CondFalse { cond } => {
+                    out.push_str(&format!("  eq ({cond}) = false .\n"));
+                }
+                Decision::Atom { atom, value } => {
+                    out.push_str(&format!("  eq ({atom}) = {value} .\n"));
+                }
+            }
+        }
+    }
+    out.push_str("-- successor state\n");
+    out.push_str(&format!("  eq p' = {action}(p, …) .\n"));
+    out.push_str("-- check if the predicate is true.\n");
+    out.push_str(&format!("  red {goal} implies istep-{invariant}(…) .\n"));
+    out.push_str("close\n");
+    out
+}
+
+/// Render a per-invariant proof report as a fixed-width summary table —
+/// the machine-checked analogue of the paper's "18 invariants in about one
+/// week".
+pub fn render_report_table(reports: &[ProofReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>7} {:>10} {:>10}  {}\n",
+        "invariant", "passag.", "splits", "rewrites", "time", "verdict"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for r in reports {
+        out.push_str(&r.summary_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render every recorded proof passage of a report (requires
+/// `ProverConfig::record_scores`); the output is a sequence of
+/// `open … close` blocks, one per discharged case, in the §5.2 style.
+pub fn render_recorded_scores(report: &ProofReport) -> String {
+    let mut out = String::new();
+    let mut render_step = |step: &StepReport| {
+        for trail in &step.scores {
+            out.push_str(&render_passage(
+                &report.invariant,
+                &step.action,
+                &[],
+                trail,
+                &format!("SIH({})", report.invariant),
+            ));
+            out.push('\n');
+        }
+    };
+    render_step(&report.base);
+    for step in &report.steps {
+        render_step(step);
+    }
+    out
+}
+
+/// Render the per-obligation breakdown of one report.
+pub fn render_step_table(report: &ProofReport) -> String {
+    let mut out = format!("== {} ==\n", report.invariant);
+    let mut push_step = |s: &StepReport| {
+        out.push_str(&format!(
+            "  {:<14} passages={:<5} splits={:<4} depth={:<3} {}\n",
+            s.action,
+            s.passages,
+            s.splits,
+            s.max_depth,
+            if s.outcome.is_proved() { "ok" } else { "OPEN" }
+        ));
+    };
+    push_step(&report.base);
+    for s in &report.steps {
+        push_step(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CaseOutcome, OpenCase};
+    use std::time::Duration;
+
+    #[test]
+    fn passage_rendering_matches_the_papers_shape() {
+        let text = render_passage(
+            "inv2",
+            "fakeSfin2",
+            &[("b10".into(), "Prin".into()), ("r10".into(), "Rand".into())],
+            &[
+                Decision::CondTrue {
+                    cond: "pms(a,b,s) \\in cpms(nw(p))".into(),
+                },
+                Decision::Atom {
+                    atom: "b = intruder".into(),
+                    value: false,
+                },
+            ],
+            "inv1(p,pms(a,b,s))",
+        );
+        assert!(text.starts_with("open ISTEP"));
+        assert!(text.contains("op b10 : -> Prin ."));
+        assert!(text.contains("eq (b = intruder) = false ."));
+        assert!(text.contains("eq p' = fakeSfin2(p, …) ."));
+        assert!(text.trim_end().ends_with("close"));
+    }
+
+    fn tiny_report(proved: bool) -> ProofReport {
+        let step = StepReport {
+            action: "chello".into(),
+            outcome: if proved {
+                CaseOutcome::Proved
+            } else {
+                CaseOutcome::Open(vec![OpenCase {
+                    decisions: vec![],
+                    residual: "stuck".into(),
+                }])
+            },
+            passages: 2,
+            splits: 1,
+            rewrites: 7,
+            max_depth: 1,
+            duration: Duration::from_millis(1),
+            scores: Vec::new(),
+        };
+        ProofReport::new(
+            "inv1",
+            StepReport {
+                action: "init".into(),
+                outcome: CaseOutcome::Proved,
+                passages: 1,
+                splits: 0,
+                rewrites: 2,
+                max_depth: 0,
+                duration: Duration::from_millis(1),
+                scores: Vec::new(),
+            },
+            vec![step],
+            Duration::from_millis(2),
+        )
+    }
+
+    #[test]
+    fn tables_render_rows_per_invariant_and_obligation() {
+        let table = render_report_table(&[tiny_report(true)]);
+        assert!(table.contains("inv1"));
+        assert!(table.contains("PROVED"));
+        let steps = render_step_table(&tiny_report(false));
+        assert!(steps.contains("chello"));
+        assert!(steps.contains("OPEN"));
+    }
+}

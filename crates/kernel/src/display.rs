@@ -1,0 +1,137 @@
+//! CafeOBJ-flavoured term printing.
+//!
+//! Operators whose names use CafeOBJ mixfix underscores (`_and_`, `_\in_`,
+//! `if_then_else_fi`) are printed in mixfix form when the number of
+//! underscores equals the arity; everything else prints as
+//! `name(arg1,…,argN)`. Printing exists for diagnostics, proof-score
+//! rendering, and examples — terms are never re-parsed from this output.
+
+use crate::term::{Term, TermId, TermStore};
+use std::fmt;
+
+/// A [`fmt::Display`] wrapper produced by [`TermStore::display`].
+#[derive(Debug)]
+pub struct DisplayTerm<'a> {
+    pub(crate) store: &'a TermStore,
+    pub(crate) term: TermId,
+}
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(self.store, self.term, f, false)
+    }
+}
+
+fn is_mixfix(name: &str, arity: usize) -> bool {
+    arity > 0 && name.matches('_').count() == arity
+}
+
+fn write_term(
+    store: &TermStore,
+    t: TermId,
+    f: &mut fmt::Formatter<'_>,
+    parenthesize: bool,
+) -> fmt::Result {
+    match store.node(t) {
+        Term::Var(v) => {
+            let decl = store.var_decl(*v);
+            write!(f, "{}:{}", decl.name, store.signature().sort(decl.sort).name)
+        }
+        Term::App { op, args } => {
+            let decl = store.signature().op(*op);
+            if args.is_empty() {
+                return write!(f, "{}", decl.name);
+            }
+            if is_mixfix(&decl.name, args.len()) {
+                if parenthesize {
+                    write!(f, "(")?;
+                }
+                let segments: Vec<&str> = decl.name.split('_').collect();
+                let mut arg_iter = args.iter();
+                let mut first = true;
+                for (i, seg) in segments.iter().enumerate() {
+                    if !seg.is_empty() {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", seg)?;
+                        first = false;
+                    }
+                    if i < segments.len() - 1 {
+                        let arg = *arg_iter.next().expect("arity checked");
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write_term(store, arg, f, true)?;
+                        first = false;
+                    }
+                }
+                if parenthesize {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            } else {
+                write!(f, "{}(", decl.name)?;
+                for (i, &arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_term(store, arg, f, false)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::OpAttrs;
+    use crate::signature::Signature;
+    use crate::term::TermStore;
+
+    #[test]
+    fn prefix_and_mixfix_printing() {
+        let mut sig = Signature::new();
+        let b = sig.add_visible_sort("Bool").unwrap();
+        let tt = sig.add_constant("true", b, OpAttrs::constructor()).unwrap();
+        let ff = sig.add_constant("false", b, OpAttrs::constructor()).unwrap();
+        let and = sig.add_op("_and_", &[b, b], b, OpAttrs::defined()).unwrap();
+        let not = sig.add_op("not_", &[b], b, OpAttrs::defined()).unwrap();
+        let ite = sig
+            .add_op("if_then_else_fi", &[b, b, b], b, OpAttrs::defined())
+            .unwrap();
+        let mut store = TermStore::new(sig);
+        let t = store.constant(tt);
+        let fv = store.constant(ff);
+        let a = store.app(and, &[t, fv]).unwrap();
+        assert_eq!(store.display(a).to_string(), "true and false");
+        let n = store.app(not, &[a]).unwrap();
+        assert_eq!(store.display(n).to_string(), "not (true and false)");
+        let c = store.app(ite, &[t, fv, t]).unwrap();
+        assert_eq!(store.display(c).to_string(), "if true then false else true fi");
+    }
+
+    #[test]
+    fn variables_print_with_sort() {
+        let mut sig = Signature::new();
+        let s = sig.add_visible_sort("Principal").unwrap();
+        let mut store = TermStore::new(sig);
+        let v = store.declare_var("A", s).unwrap();
+        let vt = store.var(v);
+        assert_eq!(store.display(vt).to_string(), "A:Principal");
+    }
+
+    #[test]
+    fn nested_applications_print_with_commas() {
+        let mut sig = Signature::new();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s, s], s, OpAttrs::constructor()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let inner = store.app(f, &[cv, cv]).unwrap();
+        let outer = store.app(f, &[inner, cv]).unwrap();
+        assert_eq!(store.display(outer).to_string(), "f(f(c,c),c)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by all kernel operations.
+
+use std::fmt;
+
+/// An error raised while building signatures or terms.
+///
+/// Every fallible kernel API returns `Result<_, KernelError>`. The variants
+/// carry enough context (names, sorts, arities) to diagnose a malformed
+/// specification without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A sort with this name was already declared.
+    DuplicateSort(String),
+    /// An operator with this name and arity was already declared.
+    DuplicateOp(String),
+    /// The named sort is not declared in the signature.
+    UnknownSort(String),
+    /// The named operator is not declared in the signature.
+    UnknownOp(String),
+    /// An operator was applied to the wrong number of arguments.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// An argument term has the wrong sort.
+    SortMismatch {
+        /// Operator name.
+        op: String,
+        /// Zero-based argument position.
+        position: usize,
+        /// Name of the expected sort.
+        expected: String,
+        /// Name of the sort actually supplied.
+        got: String,
+    },
+    /// A variable was used with a sort different from its declaration.
+    VariableSortClash {
+        /// Variable name.
+        var: String,
+        /// Previously declared sort name.
+        declared: String,
+        /// Conflicting sort name.
+        requested: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DuplicateSort(name) => write!(f, "duplicate sort `{name}`"),
+            KernelError::DuplicateOp(name) => write!(f, "duplicate operator `{name}`"),
+            KernelError::UnknownSort(name) => write!(f, "unknown sort `{name}`"),
+            KernelError::UnknownOp(name) => write!(f, "unknown operator `{name}`"),
+            KernelError::ArityMismatch { op, expected, got } => {
+                write!(f, "operator `{op}` expects {expected} arguments, got {got}")
+            }
+            KernelError::SortMismatch {
+                op,
+                position,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operator `{op}` argument {position} expects sort `{expected}`, got `{got}`"
+            ),
+            KernelError::VariableSortClash {
+                var,
+                declared,
+                requested,
+            } => write!(
+                f,
+                "variable `{var}` declared with sort `{declared}` but used with sort `{requested}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

@@ -1,0 +1,205 @@
+//! Operator declarations.
+//!
+//! Operators are the function symbols of the algebra. The paper uses three
+//! flavours:
+//!
+//! * ordinary operators declared with `op` — data constructors
+//!   (`pms`, `k`, `cert`, the ten message constructors …) and defined
+//!   functions (`cpms`, projections, `_\in_`),
+//! * observation operators declared with `bop` — `nw`, `ss`, `ur`, `ui`,
+//!   `us`,
+//! * action operators declared with `bop` — the 12 trustable transitions and
+//!   the 15 intruder transitions.
+//!
+//! [`OpAttrs`] records which flavour an operator is, because the rewriting
+//! engine and the prover treat them differently: constructors support the
+//! free-constructor equality decision procedure, observers/actions delimit
+//! the OTS structure.
+
+use crate::sort::SortId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operator inside a [`crate::signature::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The dense index of this operator.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an `OpId` from a dense index (serialization support).
+    pub fn from_index(index: usize) -> Self {
+        OpId(index as u32)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// The role an operator plays in a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A free data constructor (e.g. `pms`, `intruder`, `ch`).
+    ///
+    /// Constructors of the same sort are assumed free: distinct constructors
+    /// build distinct values and constructor applications are injective.
+    /// This is exactly the paper's "perfect cryptosystem" assumption of
+    /// §4.2 — different hashes/ciphertext kinds get different constructors.
+    Constructor,
+    /// A defined function, given meaning by equations (e.g. `cpms`,
+    /// projections such as `client`/`server`/`secret`).
+    Defined,
+    /// A CafeOBJ observation operator (`bop` returning a visible sort).
+    Observer,
+    /// A CafeOBJ action operator (`bop` returning the hidden sort).
+    Action,
+    /// A constant denoting an *arbitrary* value of its sort — the
+    /// "arbitrary objects" declared inside a proof passage (`op b10 : ->
+    /// Prin .` in the paper's §5.2).
+    ///
+    /// Unlike [`OpKind::Constructor`] constants, two distinct arbitrary
+    /// constants are **not** assumed different: the free-constructor
+    /// equality procedure leaves `b10 = intruder` symbolic so that a case
+    /// analysis can assume it either way.
+    Arbitrary,
+}
+
+/// Attributes attached to an operator declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpAttrs {
+    /// The operator's role.
+    pub kind: OpKind,
+}
+
+impl OpAttrs {
+    /// Attributes for a free data constructor.
+    pub fn constructor() -> Self {
+        OpAttrs {
+            kind: OpKind::Constructor,
+        }
+    }
+
+    /// Attributes for a defined (equation-given) function.
+    pub fn defined() -> Self {
+        OpAttrs {
+            kind: OpKind::Defined,
+        }
+    }
+
+    /// Attributes for an observation operator.
+    pub fn observer() -> Self {
+        OpAttrs {
+            kind: OpKind::Observer,
+        }
+    }
+
+    /// Attributes for an action operator.
+    pub fn action() -> Self {
+        OpAttrs { kind: OpKind::Action }
+    }
+
+    /// Attributes for an arbitrary (proof-passage) constant.
+    pub fn arbitrary() -> Self {
+        OpAttrs {
+            kind: OpKind::Arbitrary,
+        }
+    }
+
+    /// `true` when the operator is a free constructor.
+    pub fn is_constructor(self) -> bool {
+        self.kind == OpKind::Constructor
+    }
+
+    /// `true` when the operator is an arbitrary proof-passage constant.
+    pub fn is_arbitrary(self) -> bool {
+        self.kind == OpKind::Arbitrary
+    }
+}
+
+/// A declared operator: name, argument sorts, result sort, attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpDecl {
+    /// Operator name. Names may be overloaded only by arity, not by sorts.
+    pub name: String,
+    /// Argument sorts, in order. Empty for constants.
+    pub args: Vec<SortId>,
+    /// Result sort.
+    pub result: SortId,
+    /// Role attributes.
+    pub attrs: OpAttrs,
+}
+
+impl OpDecl {
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// `true` for nullary operators.
+    pub fn is_constant(&self) -> bool {
+        self.args.is_empty()
+    }
+}
+
+impl fmt::Display for OpDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keyword = match self.attrs.kind {
+            OpKind::Observer | OpKind::Action => "bop",
+            _ => "op",
+        };
+        write!(f, "{} {} :", keyword, self.name)?;
+        for arg in &self.args {
+            write!(f, " {}", arg)?;
+        }
+        write!(f, " -> {}", self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_zero_arity() {
+        let decl = OpDecl {
+            name: "intruder".into(),
+            args: vec![],
+            result: SortId(0),
+            attrs: OpAttrs::constructor(),
+        };
+        assert_eq!(decl.arity(), 0);
+        assert!(decl.is_constant());
+        assert!(decl.attrs.is_constructor());
+    }
+
+    #[test]
+    fn display_uses_bop_for_observers_and_actions() {
+        let obs = OpDecl {
+            name: "nw".into(),
+            args: vec![SortId(1)],
+            result: SortId(2),
+            attrs: OpAttrs::observer(),
+        };
+        assert!(obs.to_string().starts_with("bop nw :"));
+        let act = OpDecl {
+            name: "chello".into(),
+            args: vec![SortId(1)],
+            result: SortId(1),
+            attrs: OpAttrs::action(),
+        };
+        assert!(act.to_string().starts_with("bop chello :"));
+        let ctor = OpDecl {
+            name: "pms".into(),
+            args: vec![SortId(0), SortId(0), SortId(3)],
+            result: SortId(4),
+            attrs: OpAttrs::constructor(),
+        };
+        assert!(ctor.to_string().starts_with("op pms :"));
+    }
+}

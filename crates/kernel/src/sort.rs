@@ -1,0 +1,104 @@
+//! Sorts: the types of the algebraic world.
+//!
+//! CafeOBJ distinguishes **visible sorts**, which denote abstract data types
+//! (principals, random numbers, messages, …), from **hidden sorts**, which
+//! denote the state spaces of abstract machines (the paper's `Protocol`
+//! sort). The distinction matters to the OTS layer: observation and action
+//! operators (`bop`) take a hidden-sorted argument, everything else is
+//! visible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sort inside a [`crate::signature::Signature`].
+///
+/// `SortId`s are small dense indices; they are only meaningful relative to
+/// the signature that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SortId(pub(crate) u32);
+
+impl SortId {
+    /// The dense index of this sort.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a `SortId` from a dense index.
+    ///
+    /// Intended for serialization round-trips; the index must have been
+    /// produced by [`SortId::index`] on the same signature.
+    pub fn from_index(index: usize) -> Self {
+        SortId(index as u32)
+    }
+}
+
+impl fmt::Display for SortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sort#{}", self.0)
+    }
+}
+
+/// Whether a sort denotes data (visible) or machine state (hidden).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortKind {
+    /// An abstract data type, e.g. `Principal`, `Rand`, `Msg`.
+    Visible,
+    /// A state space of an abstract machine, e.g. `Protocol`.
+    Hidden,
+}
+
+impl SortKind {
+    /// `true` for [`SortKind::Hidden`].
+    pub fn is_hidden(self) -> bool {
+        matches!(self, SortKind::Hidden)
+    }
+}
+
+/// A declared sort: its name and kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortDecl {
+    /// Sort name, unique within a signature.
+    pub name: String,
+    /// Visible or hidden.
+    pub kind: SortKind,
+}
+
+impl fmt::Display for SortDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            SortKind::Visible => write!(f, "[ {} ]", self.name),
+            SortKind::Hidden => write!(f, "*[ {} ]*", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_id_round_trips_through_index() {
+        let id = SortId(7);
+        assert_eq!(SortId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn hidden_kind_is_hidden() {
+        assert!(SortKind::Hidden.is_hidden());
+        assert!(!SortKind::Visible.is_hidden());
+    }
+
+    #[test]
+    fn sort_decl_display_marks_hidden_sorts() {
+        let visible = SortDecl {
+            name: "Principal".into(),
+            kind: SortKind::Visible,
+        };
+        let hidden = SortDecl {
+            name: "Protocol".into(),
+            kind: SortKind::Hidden,
+        };
+        assert_eq!(visible.to_string(), "[ Principal ]");
+        assert_eq!(hidden.to_string(), "*[ Protocol ]*");
+    }
+}

@@ -1,0 +1,524 @@
+//! Hash-consed terms.
+//!
+//! All terms live in a [`TermStore`], an arena that interns structurally
+//! identical terms to the same [`TermId`]. Hash-consing gives the rest of
+//! the system three things:
+//!
+//! 1. **O(1) structural equality** — `TermId` equality *is* term equality,
+//!    which the Boolean-ring normalizer and the free-constructor equality
+//!    procedure rely on heavily;
+//! 2. **compact proofs** — inductive proof goals share large sub-terms
+//!    (whole networks, whole messages) instead of copying them;
+//! 3. **cheap memoization keys** — the rewriting engine caches normal forms
+//!    per `TermId`.
+//!
+//! Terms are either operator applications (constants are applications with
+//! zero arguments) or variables. Variables only occur in rule patterns and
+//! invariant templates; the subjects reduced during proofs are
+//! "ground-plus-fresh-constants": the arbitrary objects of a proof passage
+//! (`op b10 : -> Prin .` in the paper's §5.2) are fresh *constants*, not
+//! variables.
+
+use crate::error::KernelError;
+use crate::op::{OpId, OpKind};
+use crate::signature::Signature;
+use crate::sort::SortId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned term inside a [`TermStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// The dense index of this term.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a declared variable inside a [`TermStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A declared variable: name and sort.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name, unique within a store.
+    pub name: String,
+    /// The variable's sort.
+    pub sort: SortId,
+}
+
+/// The shape of a term: an application or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// `op(args…)`; constants have empty `args`.
+    App {
+        /// Head operator.
+        op: OpId,
+        /// Argument terms, already interned.
+        args: Vec<TermId>,
+    },
+    /// A variable occurrence (rule patterns only).
+    Var(VarId),
+}
+
+/// Arena of interned terms plus the signature they are built over.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct TermStore {
+    sig: Signature,
+    nodes: Vec<Term>,
+    sorts: Vec<SortId>,
+    intern: HashMap<Term, TermId>,
+    vars: Vec<VarDecl>,
+    var_names: HashMap<String, VarId>,
+    fresh_counter: u64,
+}
+
+impl TermStore {
+    /// Create a store over `sig`.
+    pub fn new(sig: Signature) -> Self {
+        TermStore {
+            sig,
+            nodes: Vec::new(),
+            sorts: Vec::new(),
+            intern: HashMap::new(),
+            vars: Vec::new(),
+            var_names: HashMap::new(),
+            fresh_counter: 0,
+        }
+    }
+
+    /// The underlying signature.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Mutable access to the signature.
+    ///
+    /// Proof passages extend the signature with fresh constants ("arbitrary
+    /// objects" in the paper's proof scores), which is why the store owns a
+    /// mutable signature.
+    pub fn signature_mut(&mut self) -> &mut Signature {
+        &mut self.sig
+    }
+
+    fn intern_node(&mut self, node: Term, sort: SortId) -> TermId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.sorts.push(sort);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// Intern the application `op(args…)`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ArityMismatch`] or [`KernelError::SortMismatch`] when
+    /// the application is ill-sorted.
+    pub fn app(&mut self, op: OpId, args: &[TermId]) -> Result<TermId, KernelError> {
+        let decl = self.sig.op(op);
+        if decl.arity() != args.len() {
+            return Err(KernelError::ArityMismatch {
+                op: decl.name.clone(),
+                expected: decl.arity(),
+                got: args.len(),
+            });
+        }
+        let result = decl.result;
+        let expected: Vec<SortId> = decl.args.clone();
+        let name = decl.name.clone();
+        for (i, (&arg, &want)) in args.iter().zip(expected.iter()).enumerate() {
+            let got = self.sort_of(arg);
+            if got != want {
+                return Err(KernelError::SortMismatch {
+                    op: name,
+                    position: i,
+                    expected: self.sig.sort(want).name.clone(),
+                    got: self.sig.sort(got).name.clone(),
+                });
+            }
+        }
+        Ok(self.intern_node(
+            Term::App {
+                op,
+                args: args.to_vec(),
+            },
+            result,
+        ))
+    }
+
+    /// Intern the constant `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not nullary; use [`TermStore::app`] for the
+    /// fallible general case.
+    pub fn constant(&mut self, op: OpId) -> TermId {
+        assert!(
+            self.sig.op(op).is_constant(),
+            "TermStore::constant called with non-nullary operator `{}`",
+            self.sig.op(op).name
+        );
+        self.app(op, &[]).expect("nullary application cannot fail")
+    }
+
+    /// Declare a variable, or return the existing one with the same name.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::VariableSortClash`] if the name exists with a
+    /// different sort.
+    pub fn declare_var(&mut self, name: &str, sort: SortId) -> Result<VarId, KernelError> {
+        if let Some(&v) = self.var_names.get(name) {
+            let declared = self.vars[v.index()].sort;
+            if declared != sort {
+                return Err(KernelError::VariableSortClash {
+                    var: name.to_string(),
+                    declared: self.sig.sort(declared).name.clone(),
+                    requested: self.sig.sort(sort).name.clone(),
+                });
+            }
+            return Ok(v);
+        }
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.to_string(),
+            sort,
+        });
+        self.var_names.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    /// Intern a variable occurrence.
+    pub fn var(&mut self, var: VarId) -> TermId {
+        let sort = self.vars[var.index()].sort;
+        self.intern_node(Term::Var(var), sort)
+    }
+
+    /// Declare a brand-new constant with a unique generated name and intern
+    /// it — the "arbitrary object" of a proof passage.
+    ///
+    /// The constant gets [`crate::op::OpKind::Arbitrary`], so the equality
+    /// decision procedure will not assume it distinct from anything.
+    pub fn fresh_constant(&mut self, prefix: &str, sort: SortId) -> TermId {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("{}#{}", prefix, self.fresh_counter);
+            match self
+                .sig
+                .add_constant(&name, sort, crate::op::OpAttrs::arbitrary())
+            {
+                Ok(op) => return self.constant(op),
+                Err(KernelError::DuplicateOp(_)) => continue,
+                Err(e) => unreachable!("fresh constant declaration failed: {e}"),
+            }
+        }
+    }
+
+    /// Declare a *named* arbitrary constant (`op b10 : -> Prin .`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::DuplicateOp`] if the name is already declared with no
+    /// arguments.
+    pub fn arbitrary_constant(&mut self, name: &str, sort: SortId) -> Result<TermId, KernelError> {
+        let op = self
+            .sig
+            .add_constant(name, sort, crate::op::OpAttrs::arbitrary())?;
+        Ok(self.constant(op))
+    }
+
+    /// The shape of `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was issued by a different store.
+    pub fn node(&self, t: TermId) -> &Term {
+        &self.nodes[t.index()]
+    }
+
+    /// The sort of `t`.
+    pub fn sort_of(&self, t: TermId) -> SortId {
+        self.sorts[t.index()]
+    }
+
+    /// The head operator of `t`, or `None` for variables.
+    pub fn op_of(&self, t: TermId) -> Option<OpId> {
+        match self.node(t) {
+            Term::App { op, .. } => Some(*op),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The arguments of `t` (empty for constants and variables).
+    pub fn args(&self, t: TermId) -> &[TermId] {
+        match self.node(t) {
+            Term::App { args, .. } => args,
+            Term::Var(_) => &[],
+        }
+    }
+
+    /// The declaration of variable `v`.
+    pub fn var_decl(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// Look up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.var_names.get(name).copied()
+    }
+
+    /// Number of interned terms.
+    pub fn term_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when `t` contains no variables.
+    pub fn is_ground(&self, t: TermId) -> bool {
+        match self.node(t) {
+            Term::Var(_) => false,
+            Term::App { args, .. } => {
+                let args = args.clone();
+                args.iter().all(|&a| self.is_ground(a))
+            }
+        }
+    }
+
+    /// `true` when the head of `t` is a *strict* free constructor.
+    ///
+    /// Arbitrary proof-passage constants are excluded: they denote unknown
+    /// values, so nothing may be concluded from their head symbol.
+    pub fn is_constructor_headed(&self, t: TermId) -> bool {
+        match self.op_of(t) {
+            Some(op) => self.sig.op(op).attrs.kind == OpKind::Constructor,
+            None => false,
+        }
+    }
+
+    /// `true` when `t` is an arbitrary (proof-passage) constant.
+    pub fn is_arbitrary_constant(&self, t: TermId) -> bool {
+        match self.op_of(t) {
+            Some(op) => {
+                let decl = self.sig.op(op);
+                decl.is_constant() && decl.attrs.is_arbitrary()
+            }
+            None => false,
+        }
+    }
+
+    /// Number of nodes in `t` (counting shared subterms once per occurrence).
+    pub fn size(&self, t: TermId) -> usize {
+        match self.node(t) {
+            Term::Var(_) => 1,
+            Term::App { args, .. } => {
+                let args = args.clone();
+                1 + args.iter().map(|&a| self.size(a)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of `t` (a constant or variable has depth 1).
+    pub fn depth(&self, t: TermId) -> usize {
+        match self.node(t) {
+            Term::Var(_) => 1,
+            Term::App { args, .. } => {
+                let args = args.clone();
+                1 + args.iter().map(|&a| self.depth(a)).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// All distinct subterms of `t`, including `t` itself, in first-visit
+    /// (pre-order) order.
+    pub fn subterms(&self, t: TermId) -> Vec<TermId> {
+        let mut seen = Vec::new();
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            if seen.contains(&cur) {
+                continue;
+            }
+            seen.push(cur);
+            for &a in self.args(cur) {
+                stack.push(a);
+            }
+        }
+        seen
+    }
+
+    /// All distinct variables occurring in `t`.
+    pub fn vars_of(&self, t: TermId) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for s in self.subterms(t) {
+            if let Term::Var(v) = self.node(s) {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// A displayable wrapper for `t`; see [`crate::display`].
+    pub fn display(&self, t: TermId) -> crate::display::DisplayTerm<'_> {
+        crate::display::DisplayTerm { store: self, term: t }
+    }
+}
+
+impl fmt::Display for TermStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TermStore({} terms, {} vars, {} ops)",
+            self.nodes.len(),
+            self.vars.len(),
+            self.sig.op_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpAttrs;
+
+    fn pms_world() -> (TermStore, OpId, OpId, OpId, OpId) {
+        let mut sig = Signature::new();
+        let prin = sig.add_visible_sort("Principal").unwrap();
+        let secret = sig.add_visible_sort("Secret").unwrap();
+        let pms_sort = sig.add_visible_sort("Pms").unwrap();
+        let intruder = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
+        let ca = sig.add_constant("ca", prin, OpAttrs::constructor()).unwrap();
+        let s0 = sig.add_constant("s0", secret, OpAttrs::constructor()).unwrap();
+        let pms = sig
+            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .unwrap();
+        (TermStore::new(sig), intruder, ca, s0, pms)
+    }
+
+    #[test]
+    fn hash_consing_interns_equal_terms_once() {
+        let (mut store, intruder, ca, s0, pms) = pms_world();
+        let a = store.constant(intruder);
+        let b = store.constant(ca);
+        let s = store.constant(s0);
+        let t1 = store.app(pms, &[a, b, s]).unwrap();
+        let t2 = store.app(pms, &[a, b, s]).unwrap();
+        assert_eq!(t1, t2);
+        let t3 = store.app(pms, &[b, a, s]).unwrap();
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn arity_and_sort_errors_are_reported() {
+        let (mut store, intruder, _ca, s0, pms) = pms_world();
+        let a = store.constant(intruder);
+        let s = store.constant(s0);
+        assert!(matches!(
+            store.app(pms, &[a, s]),
+            Err(KernelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            store.app(pms, &[a, s, s]),
+            Err(KernelError::SortMismatch { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn size_depth_and_subterms() {
+        let (mut store, intruder, ca, s0, pms) = pms_world();
+        let a = store.constant(intruder);
+        let b = store.constant(ca);
+        let s = store.constant(s0);
+        let t = store.app(pms, &[a, b, s]).unwrap();
+        assert_eq!(store.size(t), 4);
+        assert_eq!(store.depth(t), 2);
+        let subs = store.subterms(t);
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&a) && subs.contains(&b) && subs.contains(&s) && subs.contains(&t));
+    }
+
+    #[test]
+    fn variables_are_per_name_and_sort_checked() {
+        let (mut store, ..) = pms_world();
+        let prin = store.signature().sort_by_name("Principal").unwrap();
+        let secret = store.signature().sort_by_name("Secret").unwrap();
+        let v1 = store.declare_var("A", prin).unwrap();
+        let v2 = store.declare_var("A", prin).unwrap();
+        assert_eq!(v1, v2);
+        assert!(matches!(
+            store.declare_var("A", secret),
+            Err(KernelError::VariableSortClash { .. })
+        ));
+        let occurrence = store.var(v1);
+        assert!(!store.is_ground(occurrence));
+        assert_eq!(store.vars_of(occurrence), vec![v1]);
+    }
+
+    #[test]
+    fn fresh_constants_are_distinct_and_well_sorted() {
+        let (mut store, ..) = pms_world();
+        let prin = store.signature().sort_by_name("Principal").unwrap();
+        let c1 = store.fresh_constant("a", prin);
+        let c2 = store.fresh_constant("a", prin);
+        assert_ne!(c1, c2);
+        assert_eq!(store.sort_of(c1), prin);
+        assert!(store.is_ground(c1));
+        // Arbitrary constants are deliberately NOT constructor-headed: the
+        // equality procedure must leave `a#1 = intruder` symbolic.
+        assert!(!store.is_constructor_headed(c1));
+        assert!(store.is_arbitrary_constant(c1));
+    }
+
+    #[test]
+    fn named_arbitrary_constants_reject_duplicates() {
+        let (mut store, ..) = pms_world();
+        let prin = store.signature().sort_by_name("Principal").unwrap();
+        let b10 = store.arbitrary_constant("b10", prin).unwrap();
+        assert!(store.is_arbitrary_constant(b10));
+        assert!(store.arbitrary_constant("b10", prin).is_err());
+    }
+
+    #[test]
+    fn overloading_by_arg_sorts_is_allowed() {
+        let (mut store, ..) = pms_world();
+        let prin = store.signature().sort_by_name("Principal").unwrap();
+        let secret = store.signature().sort_by_name("Secret").unwrap();
+        let sig = store.signature_mut();
+        let f1 = sig.add_op("pick", &[prin], prin, OpAttrs::defined()).unwrap();
+        let f2 = sig.add_op("pick", &[secret], prin, OpAttrs::defined()).unwrap();
+        assert_ne!(f1, f2);
+        assert!(sig.add_op("pick", &[prin], secret, OpAttrs::defined()).is_err());
+        assert_eq!(sig.resolve_op("pick", &[secret]), Some(f2));
+        assert_eq!(sig.ops_by_name("pick").len(), 2);
+    }
+
+    #[test]
+    fn constructor_headedness_follows_attrs() {
+        let (mut store, intruder, ..) = pms_world();
+        let prin = store.signature().sort_by_name("Principal").unwrap();
+        let f = store
+            .signature_mut()
+            .add_op("f", &[prin], prin, OpAttrs::defined())
+            .unwrap();
+        let a = store.constant(intruder);
+        let fa = store.app(f, &[a]).unwrap();
+        assert!(store.is_constructor_headed(a));
+        assert!(!store.is_constructor_headed(fa));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the term kernel: hash-consing, matching, and
+//! substitution laws over randomly generated terms.
+
+use equitls_kernel::prelude::*;
+use proptest::prelude::*;
+
+/// A tiny serializable term AST for generation.
+#[derive(Debug, Clone)]
+enum T {
+    C0,
+    C1,
+    F(Box<T>),
+    G(Box<T>, Box<T>),
+}
+
+fn term_strategy() -> impl Strategy<Value = T> {
+    let leaf = prop_oneof![Just(T::C0), Just(T::C1)];
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| T::F(Box::new(t))),
+            (inner.clone(), inner).prop_map(|(a, b)| T::G(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+struct World {
+    store: TermStore,
+    c0: OpId,
+    c1: OpId,
+    f: OpId,
+    g: OpId,
+    sort: SortId,
+}
+
+fn world() -> World {
+    let mut sig = Signature::new();
+    let sort = sig.add_visible_sort("S").unwrap();
+    let c0 = sig.add_constant("c0", sort, OpAttrs::constructor()).unwrap();
+    let c1 = sig.add_constant("c1", sort, OpAttrs::constructor()).unwrap();
+    let f = sig.add_op("f", &[sort], sort, OpAttrs::constructor()).unwrap();
+    let g = sig
+        .add_op("g", &[sort, sort], sort, OpAttrs::constructor())
+        .unwrap();
+    World {
+        store: TermStore::new(sig),
+        c0,
+        c1,
+        f,
+        g,
+        sort,
+    }
+}
+
+fn build(w: &mut World, t: &T) -> TermId {
+    match t {
+        T::C0 => w.store.constant(w.c0),
+        T::C1 => w.store.constant(w.c1),
+        T::F(a) => {
+            let at = build(w, a);
+            w.store.app(w.f, &[at]).unwrap()
+        }
+        T::G(a, b) => {
+            let at = build(w, a);
+            let bt = build(w, b);
+            w.store.app(w.g, &[at, bt]).unwrap()
+        }
+    }
+}
+
+proptest! {
+    /// Building the same tree twice interns to the same id; structurally
+    /// different trees get different ids.
+    #[test]
+    fn hash_consing_is_injective(a in term_strategy(), b in term_strategy()) {
+        let mut w = world();
+        let ta1 = build(&mut w, &a);
+        let ta2 = build(&mut w, &a);
+        prop_assert_eq!(ta1, ta2, "same tree interns once");
+        let tb = build(&mut w, &b);
+        let structurally_equal = format!("{a:?}") == format!("{b:?}");
+        prop_assert_eq!(ta1 == tb, structurally_equal);
+    }
+
+    /// size/depth behave like the tree metrics.
+    #[test]
+    fn size_and_depth_are_tree_metrics(a in term_strategy()) {
+        fn size(t: &T) -> usize {
+            match t {
+                T::C0 | T::C1 => 1,
+                T::F(x) => 1 + size(x),
+                T::G(x, y) => 1 + size(x) + size(y),
+            }
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::C0 | T::C1 => 1,
+                T::F(x) => 1 + depth(x),
+                T::G(x, y) => 1 + depth(x).max(depth(y)),
+            }
+        }
+        let mut w = world();
+        let ta = build(&mut w, &a);
+        prop_assert_eq!(w.store.size(ta), size(&a));
+        prop_assert_eq!(w.store.depth(ta), depth(&a));
+        // subterm count never exceeds size (sharing only shrinks it)
+        prop_assert!(w.store.subterms(ta).len() <= size(&a));
+    }
+
+    /// A pattern with a fresh variable always matches, and applying the
+    /// returned substitution to the pattern reproduces the subject.
+    #[test]
+    fn match_then_substitute_roundtrips(subject in term_strategy(), shape in term_strategy()) {
+        let mut w = world();
+        let subject_t = build(&mut w, &subject);
+        // Pattern: g(X, <shape>) matched against g(subject, <shape>).
+        let x = w.store.declare_var("X", w.sort).unwrap();
+        let xt = w.store.var(x);
+        let shape_t = build(&mut w, &shape);
+        let pattern = w.store.app(w.g, &[xt, shape_t]).unwrap();
+        let full = w.store.app(w.g, &[subject_t, shape_t]).unwrap();
+        match match_term(&w.store, pattern, full) {
+            MatchOutcome::Matched(sub) => {
+                prop_assert_eq!(sub.get(x), Some(subject_t));
+                let rebuilt = sub.apply(&mut w.store, pattern);
+                prop_assert_eq!(rebuilt, full);
+            }
+            MatchOutcome::Failed => prop_assert!(false, "pattern must match"),
+        }
+    }
+
+    /// Ground terms never match a strictly larger pattern.
+    #[test]
+    fn no_spurious_ground_matches(a in term_strategy()) {
+        let mut w = world();
+        let ta = build(&mut w, &a);
+        let wrapped = w.store.app(w.f, &[ta]).unwrap();
+        // f(a) as a pattern cannot match a itself unless a = f(a) (impossible).
+        prop_assert_eq!(match_term(&w.store, wrapped, ta), MatchOutcome::Failed);
+        prop_assert!(w.store.is_ground(ta));
+    }
+}

@@ -1,0 +1,252 @@
+//! Breadth-first explicit-state exploration with counterexample traces.
+//!
+//! A deliberately Murφ-shaped checker (the paper's §6 relates to Mitchell,
+//! Shmatikov and Stern's finite-state analysis of SSL 3.0): enumerate
+//! states breadth-first under a finite scope, check safety monitors in
+//! every state, and reconstruct a labeled trace on violation.
+
+use crate::model::Model;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum states to expand (cutoff reported, not an error).
+    pub max_states: usize,
+    /// Maximum BFS depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 200_000,
+            max_depth: 8,
+        }
+    }
+}
+
+/// A safety-property violation with its witness trace.
+#[derive(Debug, Clone)]
+pub struct Violation<S> {
+    /// The violated monitor's name.
+    pub property: String,
+    /// Labeled steps from the initial state to the violating state.
+    pub trace: Vec<(String, S)>,
+    /// BFS depth of the violating state.
+    pub depth: usize,
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration<S> {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deepest level fully or partially expanded.
+    pub depth_reached: usize,
+    /// Whether the search exhausted the state space within limits.
+    pub complete: bool,
+    /// Violations found (first per property).
+    pub violations: Vec<Violation<S>>,
+    /// States visited per BFS level.
+    pub states_per_depth: Vec<usize>,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+impl<S> Exploration<S> {
+    /// `true` when no monitor was violated.
+    pub fn all_hold(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violation for `property`, if found.
+    pub fn violation(&self, property: &str) -> Option<&Violation<S>> {
+        self.violations.iter().find(|v| v.property == property)
+    }
+}
+
+/// Explore `model` breadth-first, checking `monitors` in every state.
+///
+/// Each monitor is `(name, predicate)`; a violation is recorded the first
+/// time a predicate returns `false`, and the search continues (to find
+/// violations of the other monitors).
+pub fn explore<M: Model>(
+    model: &M,
+    monitors: &[(&str, &dyn Fn(&M::State) -> bool)],
+    limits: &Limits,
+) -> Exploration<M::State> {
+    let start = Instant::now();
+    let initial = model.initial();
+    // parents[i] = (parent index, label); state_of[i] = state.
+    let mut states: Vec<M::State> = vec![initial.clone()];
+    let mut parents: Vec<(usize, String)> = vec![(usize::MAX, String::new())];
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    index.insert(initial, 0);
+    let mut frontier: Vec<usize> = vec![0];
+    let mut violations: Vec<Violation<M::State>> = Vec::new();
+    let mut violated: Vec<String> = Vec::new();
+    let mut states_per_depth = vec![1usize];
+    let mut complete = true;
+    let mut depth = 0;
+
+    let check = |idx: usize,
+                     depth: usize,
+                     states: &[M::State],
+                     parents: &[(usize, String)],
+                     violations: &mut Vec<Violation<M::State>>,
+                     violated: &mut Vec<String>| {
+        for (name, monitor) in monitors {
+            if violated.iter().any(|v| v == name) {
+                continue;
+            }
+            if !monitor(&states[idx]) {
+                violated.push((*name).to_string());
+                // Reconstruct the trace.
+                let mut trace = Vec::new();
+                let mut cur = idx;
+                while cur != 0 {
+                    let (parent, label) = &parents[cur];
+                    trace.push((label.clone(), states[cur].clone()));
+                    cur = *parent;
+                }
+                trace.reverse();
+                violations.push(Violation {
+                    property: name.to_string(),
+                    trace,
+                    depth,
+                });
+            }
+        }
+    };
+
+    check(0, 0, &states, &parents, &mut violations, &mut violated);
+
+    while !frontier.is_empty() && depth < limits.max_depth {
+        depth += 1;
+        let mut next_frontier = Vec::new();
+        for &idx in &frontier {
+            if states.len() >= limits.max_states {
+                complete = false;
+                break;
+            }
+            let current = states[idx].clone();
+            for (label, succ) in model.successors(&current) {
+                if index.contains_key(&succ) {
+                    continue;
+                }
+                let new_idx = states.len();
+                states.push(succ.clone());
+                parents.push((idx, label));
+                index.insert(succ, new_idx);
+                check(
+                    new_idx,
+                    depth,
+                    &states,
+                    &parents,
+                    &mut violations,
+                    &mut violated,
+                );
+                next_frontier.push(new_idx);
+                if states.len() >= limits.max_states {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        states_per_depth.push(next_frontier.len());
+        frontier = next_frontier;
+    }
+    if !frontier.is_empty() {
+        complete = false;
+    }
+    Exploration {
+        states: states.len(),
+        depth_reached: depth,
+        complete,
+        violations,
+        states_per_depth,
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    /// A toy counter model: increments up to 5, with a "reset" self-loop.
+    struct Counter;
+
+    impl Model for Counter {
+        type State = u8;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn successors(&self, s: &u8) -> Vec<(String, u8)> {
+            if *s >= 5 {
+                vec![]
+            } else {
+                vec![(format!("inc->{}", s + 1), s + 1), ("reset".into(), 0)]
+            }
+        }
+    }
+
+    #[test]
+    fn exhausts_a_small_space() {
+        let result = explore(&Counter, &[], &Limits::default());
+        assert_eq!(result.states, 6);
+        assert!(result.complete);
+        assert!(result.all_hold());
+    }
+
+    #[test]
+    fn finds_a_violation_with_a_minimal_trace() {
+        let below_three = |s: &u8| *s < 3;
+        let result = explore(
+            &Counter,
+            &[("below-three", &below_three)],
+            &Limits::default(),
+        );
+        let v = result.violation("below-three").expect("violated");
+        assert_eq!(v.depth, 3);
+        assert_eq!(v.trace.len(), 3);
+        assert_eq!(*v.trace.last().map(|(_, s)| s).unwrap(), 3);
+        assert!(!result.all_hold());
+    }
+
+    #[test]
+    fn respects_state_limits() {
+        let limits = Limits {
+            max_states: 3,
+            max_depth: 10,
+        };
+        let result = explore(&Counter, &[], &limits);
+        assert!(result.states <= 4);
+        assert!(!result.complete);
+    }
+
+    #[test]
+    fn respects_depth_limits() {
+        let limits = Limits {
+            max_states: 1000,
+            max_depth: 2,
+        };
+        let result = explore(&Counter, &[], &limits);
+        assert_eq!(result.depth_reached, 2);
+        assert!(!result.complete);
+        assert_eq!(result.states_per_depth.len(), 3);
+    }
+
+    #[test]
+    fn reports_one_violation_per_property() {
+        let never = |_: &u8| false;
+        let result = explore(&Counter, &[("never", &never)], &Limits::default());
+        assert_eq!(result.violations.len(), 1);
+        assert_eq!(result.violations[0].depth, 0);
+        assert!(result.violations[0].trace.is_empty());
+    }
+}

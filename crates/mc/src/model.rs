@@ -1,0 +1,141 @@
+//! The model trait and the TLS instantiation.
+
+use equitls_tls::concrete::{successors, Scope, State};
+use std::hash::Hash;
+
+/// An explicit-state transition system.
+pub trait Model {
+    /// The state type (hashable for the visited set).
+    type State: Clone + Eq + Hash;
+
+    /// The (single) initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Labeled successors of a state.
+    fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)>;
+}
+
+/// The concrete TLS handshake protocol under a finite scope.
+#[derive(Debug, Clone)]
+pub struct TlsMachine {
+    /// The exploration scope.
+    pub scope: Scope,
+    /// When `true`, the intruder may only fake clear-text messages (no
+    /// replay, no construction) — the intruder-power ablation of
+    /// DESIGN.md.
+    pub weak_intruder: bool,
+    /// When `true`, successor states are canonicalized under scalarset
+    /// symmetry (Murφ's symmetry reduction): permutations of random
+    /// numbers, session ids, and secrets collapse to one representative.
+    pub symmetry: bool,
+}
+
+impl TlsMachine {
+    /// A machine over the given scope with the full Dolev–Yao intruder.
+    pub fn new(scope: Scope) -> Self {
+        TlsMachine {
+            scope,
+            weak_intruder: false,
+            symmetry: false,
+        }
+    }
+
+    /// Disable the intruder's ciphertext replay/construction moves.
+    pub fn with_weak_intruder(mut self) -> Self {
+        self.weak_intruder = true;
+        self
+    }
+
+    /// Enable scalarset symmetry reduction.
+    pub fn with_symmetry(mut self) -> Self {
+        self.symmetry = true;
+        self
+    }
+}
+
+impl Model for TlsMachine {
+    type State = State;
+
+    fn initial(&self) -> State {
+        State::new()
+    }
+
+    fn successors(&self, state: &State) -> Vec<(String, State)> {
+        successors(state, &self.scope)
+            .into_iter()
+            .filter(|step| {
+                !self.weak_intruder
+                    || !(step.label.starts_with("fakeKx")
+                        || step.label.starts_with("fakeFin")
+                        || step.label.starts_with("fakeCfin")
+                        || step.label.starts_with("fakeSfin"))
+            })
+            .map(|step| {
+                let state = if self.symmetry {
+                    step.state.canonicalize()
+                } else {
+                    step.state
+                };
+                (step.label, state)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tls_machine_starts_empty_and_moves() {
+        let machine = TlsMachine::new(Scope::counterexample());
+        let init = machine.initial();
+        assert_eq!(init.message_count(), 0);
+        let succs = machine.successors(&init);
+        assert!(!succs.is_empty());
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_the_state_space_and_keeps_verdicts() {
+        use crate::check::check_scope;
+        use crate::explorer::{explore, Limits};
+        let mut scope = Scope::counterexample();
+        scope.max_messages = 2;
+        let limits = Limits {
+            max_states: 100_000,
+            max_depth: 3,
+        };
+        let plain = explore(&TlsMachine::new(scope.clone()), &[], &limits);
+        let reduced = explore(
+            &TlsMachine::new(scope.clone()).with_symmetry(),
+            &[],
+            &limits,
+        );
+        assert!(plain.complete && reduced.complete);
+        assert!(
+            reduced.states < plain.states,
+            "symmetry must shrink: {} vs {}",
+            reduced.states,
+            plain.states
+        );
+        // Verdicts are unchanged (monitors are symmetric).
+        let checked = check_scope(&scope, &limits);
+        assert!(checked.violation("prop1-pms-secrecy").is_none());
+        assert!(checked.violation("prop2p-cf-authentic").is_some());
+    }
+
+    #[test]
+    fn weak_intruder_removes_ciphertext_fakes() {
+        let scope = Scope::counterexample();
+        let full = TlsMachine::new(scope.clone());
+        let weak = TlsMachine::new(scope).with_weak_intruder();
+        let init = full.initial();
+        let full_count = full.successors(&init).len();
+        let weak_count = weak.successors(&init).len();
+        assert!(weak_count < full_count);
+        assert!(weak
+            .successors(&init)
+            .iter()
+            .all(|(l, _)| !l.starts_with("fakeCfin")));
+    }
+}

@@ -1,0 +1,305 @@
+//! Boolean rings: complete propositional normalization.
+//!
+//! The paper relies (§2.1) on the fact that the equations of CafeOBJ's
+//! `BOOL` module, read as left-to-right rewrite rules, are *complete* for
+//! propositional logic: every tautology rewrites to `true` and every
+//! contradiction to `false`. That completeness result is Hsiang and
+//! Dershowitz's — propositional formulas have a canonical form as
+//! polynomials over the two-element field GF(2), with `xor` as addition and
+//! `and` as multiplication.
+//!
+//! [`Poly`] implements that canonical form directly: a polynomial is a set
+//! of monomials (xor is idempotent-cancelling, so a set suffices) and a
+//! monomial is a set of atoms (and is idempotent). The empty polynomial is
+//! `false`; the polynomial containing only the empty monomial is `true`.
+//!
+//! Connective translations (all classical):
+//!
+//! ```text
+//! not a        = 1 + a
+//! a or b       = a + b + ab
+//! a implies b  = 1 + a + ab
+//! a iff b      = 1 + a + b
+//! if c then x else y fi = cx + cy + y
+//! ```
+//!
+//! Atoms are arbitrary Bool-sorted [`TermId`]s (undecided equalities,
+//! membership tests like `PMS \in cpms(nw(p))`, effective conditions …).
+//! Hash-consing makes atom identity a single integer comparison.
+
+use crate::bool_alg::BoolAlg;
+use equitls_kernel::prelude::*;
+use std::collections::BTreeSet;
+
+/// A monomial: a conjunction of distinct atoms. The empty monomial is the
+/// constant `1` (true).
+pub type Monomial = BTreeSet<TermId>;
+
+/// A polynomial over GF(2): an exclusive-or of distinct monomials.
+///
+/// `Poly` is the canonical form of a propositional formula; two formulas
+/// are equivalent iff their polynomials are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    monos: BTreeSet<Monomial>,
+}
+
+impl Poly {
+    /// The zero polynomial, i.e. `false`.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// The unit polynomial, i.e. `true`.
+    pub fn one() -> Self {
+        let mut monos = BTreeSet::new();
+        monos.insert(Monomial::new());
+        Poly { monos }
+    }
+
+    /// The polynomial consisting of the single atom `t`.
+    pub fn atom(t: TermId) -> Self {
+        let mut mono = Monomial::new();
+        mono.insert(t);
+        let mut monos = BTreeSet::new();
+        monos.insert(mono);
+        Poly { monos }
+    }
+
+    /// A truth constant as a polynomial.
+    pub fn constant(value: bool) -> Self {
+        if value {
+            Poly::one()
+        } else {
+            Poly::zero()
+        }
+    }
+
+    /// `true` when this is the unit polynomial (the formula is a tautology
+    /// relative to its atoms).
+    pub fn is_true(&self) -> bool {
+        self.monos.len() == 1 && self.monos.iter().next().is_some_and(|m| m.is_empty())
+    }
+
+    /// `true` when this is the zero polynomial (the formula is
+    /// unsatisfiable relative to its atoms).
+    pub fn is_false(&self) -> bool {
+        self.monos.is_empty()
+    }
+
+    /// `Some(b)` when the polynomial is the constant `b`.
+    pub fn as_constant(&self) -> Option<bool> {
+        if self.is_true() {
+            Some(true)
+        } else if self.is_false() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Addition in GF(2): exclusive or. Equal monomials cancel.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let monos = self
+            .monos
+            .symmetric_difference(&other.monos)
+            .cloned()
+            .collect();
+        Poly { monos }
+    }
+
+    /// Multiplication in GF(2): conjunction, distributed over xor.
+    ///
+    /// Atom sets union (idempotence); duplicate product monomials cancel.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for a in &self.monos {
+            for b in &other.monos {
+                let product: Monomial = a.union(b).cloned().collect();
+                // xor-in the single-monomial polynomial.
+                if !acc.monos.remove(&product) {
+                    acc.monos.insert(product);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Negation: `1 + p`.
+    pub fn negate(&self) -> Poly {
+        self.add(&Poly::one())
+    }
+
+    /// All distinct atoms occurring in the polynomial, in `TermId` order.
+    pub fn atoms(&self) -> Vec<TermId> {
+        let mut set = BTreeSet::new();
+        for m in &self.monos {
+            set.extend(m.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of monomials.
+    pub fn monomial_count(&self) -> usize {
+        self.monos.len()
+    }
+
+    /// Iterate over monomials in canonical order.
+    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
+        self.monos.iter()
+    }
+
+    /// Evaluate under a total assignment of atoms.
+    ///
+    /// Used by the property-based tests to check the normal form against a
+    /// brute-force truth table.
+    pub fn eval(&self, assignment: &dyn Fn(TermId) -> bool) -> bool {
+        self.monos
+            .iter()
+            .filter(|m| m.iter().all(|&a| assignment(a)))
+            .count()
+            % 2
+            == 1
+    }
+
+    /// Rebuild a term from the polynomial: an xor-chain of and-chains in
+    /// canonical (`TermId`) order.
+    ///
+    /// The canonical rebuild is *stable*: converting the produced term back
+    /// to a polynomial yields `self`, and a single-atom polynomial returns
+    /// the atom unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (cannot occur for well-sorted atoms).
+    pub fn to_term(&self, store: &mut TermStore, alg: &BoolAlg) -> Result<TermId, KernelError> {
+        if let Some(b) = self.as_constant() {
+            return Ok(alg.constant(store, b));
+        }
+        let mut mono_terms = Vec::with_capacity(self.monos.len());
+        for mono in &self.monos {
+            if mono.is_empty() {
+                mono_terms.push(alg.tt(store));
+            } else {
+                let atoms: Vec<TermId> = mono.iter().copied().collect();
+                mono_terms.push(alg.conj(store, &atoms)?);
+            }
+        }
+        // Balanced xor tree: keeps later traversals at logarithmic depth
+        // even for polynomials with thousands of monomials.
+        balanced(store, alg, &mono_terms, &|store, alg, a, b| alg.xor(store, a, b))
+    }
+}
+
+fn balanced(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    terms: &[TermId],
+    combine: &dyn Fn(&mut TermStore, &BoolAlg, TermId, TermId) -> Result<TermId, KernelError>,
+) -> Result<TermId, KernelError> {
+    match terms.len() {
+        0 => unreachable!("constant polynomials are handled by the caller"),
+        1 => Ok(terms[0]),
+        n => {
+            let (left, right) = terms.split_at(n / 2);
+            let l = balanced(store, alg, left, combine)?;
+            let r = balanced(store, alg, right, combine)?;
+            combine(store, alg, l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms3() -> (TermStore, BoolAlg, TermId, TermId, TermId) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let mut store = TermStore::new(sig);
+        let p = store.fresh_constant("p", alg.sort());
+        let q = store.fresh_constant("q", alg.sort());
+        let r = store.fresh_constant("r", alg.sort());
+        (store, alg, p, q, r)
+    }
+
+    #[test]
+    fn constants_behave_as_ring_identities() {
+        let (_, _, p, ..) = atoms3();
+        let a = Poly::atom(p);
+        assert_eq!(a.add(&Poly::zero()), a);
+        assert_eq!(a.mul(&Poly::one()), a);
+        assert!(a.mul(&Poly::zero()).is_false());
+        assert!(a.add(&a).is_false()); // x xor x = 0
+        assert_eq!(a.mul(&a), a); // x and x = x
+    }
+
+    #[test]
+    fn excluded_middle_is_one() {
+        let (_, _, p, ..) = atoms3();
+        let a = Poly::atom(p);
+        // p or not p  =  p + (1+p) + p(1+p)  =  1
+        let not_a = a.negate();
+        let or = a.add(&not_a).add(&a.mul(&not_a));
+        assert!(or.is_true());
+    }
+
+    #[test]
+    fn contradiction_is_zero() {
+        let (_, _, p, ..) = atoms3();
+        let a = Poly::atom(p);
+        assert!(a.mul(&a.negate()).is_false());
+    }
+
+    #[test]
+    fn distributivity_holds() {
+        let (_, _, p, q, r) = atoms3();
+        let (a, b, c) = (Poly::atom(p), Poly::atom(q), Poly::atom(r));
+        let left = a.mul(&b.add(&c));
+        let right = a.mul(&b).add(&a.mul(&c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn to_term_round_trips_single_atom() {
+        let (mut store, alg, p, ..) = atoms3();
+        let a = Poly::atom(p);
+        assert_eq!(a.to_term(&mut store, &alg).unwrap(), p);
+        assert_eq!(Poly::one().to_term(&mut store, &alg).unwrap(), alg.tt(&mut store));
+        assert_eq!(
+            Poly::zero().to_term(&mut store, &alg).unwrap(),
+            alg.ff(&mut store)
+        );
+    }
+
+    #[test]
+    fn eval_matches_construction() {
+        let (_, _, p, q, _) = atoms3();
+        // p implies q  =  1 + p + pq
+        let (a, b) = (Poly::atom(p), Poly::atom(q));
+        let imp = Poly::one().add(&a).add(&a.mul(&b));
+        // truth table of implication
+        for (pv, qv, want) in [
+            (false, false, true),
+            (false, true, true),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let got = imp.eval(&|t| if t == p { pv } else { qv });
+            assert_eq!(got, want, "p={pv} q={qv}");
+        }
+    }
+
+    #[test]
+    fn atoms_are_reported_sorted_and_deduped() {
+        let (_, _, p, q, r) = atoms3();
+        let poly = Poly::atom(r)
+            .mul(&Poly::atom(p))
+            .add(&Poly::atom(q).mul(&Poly::atom(p)));
+        let atoms = poly.atoms();
+        assert_eq!(atoms.len(), 3);
+        let mut sorted = atoms.clone();
+        sorted.sort();
+        assert_eq!(atoms, sorted);
+    }
+}

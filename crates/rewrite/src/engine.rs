@@ -1,0 +1,854 @@
+//! The normalizer: CafeOBJ's `red` command, reconstructed.
+//!
+//! [`Normalizer::normalize`] rewrites a term to normal form using, in
+//! order of priority:
+//!
+//! 1. **assumption rules** — the equations declared inside the current
+//!    proof passage (`eq b1 = intruder .`, `eq (b = intruder) = false .`);
+//! 2. **specification rules** — the equations of the protocol modules;
+//! 3. **built-in layers** — the free-constructor equality procedure
+//!    ([`crate::equality`]) and the Boolean-ring normal form
+//!    ([`crate::boolring`]).
+//!
+//! Rewriting is innermost (arguments first), with memoization keyed on
+//! hash-consed [`TermId`]s and a fuel bound that turns accidental
+//! divergence into a reported error instead of a hang.
+//!
+//! ## Blocked conditions
+//!
+//! When a conditional rule matches but its condition normalizes to neither
+//! `true` nor `false`, the rule cannot fire. The normalizer records the
+//! normalized condition as **blocked**. The inductive prover in
+//! `equitls-core` reads these to choose its next case split — mirroring how
+//! the paper's authors chose the five sub-cases of `fakeSfin2` in §5.2 by
+//! looking at which effective conditions were undecided.
+
+use crate::assumption::orient_equation;
+use crate::bool_alg::BoolAlg;
+use crate::boolring::Poly;
+use crate::equality::{decide_equality, EqVerdict};
+use crate::error::RewriteError;
+use crate::rule::RuleSet;
+use equitls_kernel::matching::{match_term, MatchOutcome};
+use equitls_kernel::prelude::*;
+use equitls_kernel::term::Term;
+use std::collections::HashMap;
+
+/// Counters describing one normalizer's work so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Rule applications (assumption + specification rules).
+    pub rewrites: u64,
+    /// Memoization hits.
+    pub cache_hits: u64,
+    /// Boolean-ring normal form computations.
+    pub bool_normalizations: u64,
+    /// Free-constructor equality decisions.
+    pub eq_decisions: u64,
+    /// Conditional-rule attempts whose condition stayed undecided.
+    pub blocked_conditions: u64,
+}
+
+impl RewriteStats {
+    /// Sum of two stats records.
+    pub fn merged(self, other: RewriteStats) -> RewriteStats {
+        RewriteStats {
+            rewrites: self.rewrites + other.rewrites,
+            cache_hits: self.cache_hits + other.cache_hits,
+            bool_normalizations: self.bool_normalizations + other.bool_normalizations,
+            eq_decisions: self.eq_decisions + other.eq_decisions,
+            blocked_conditions: self.blocked_conditions + other.blocked_conditions,
+        }
+    }
+}
+
+/// Default fuel budget per top-level [`Normalizer::normalize`] call.
+pub const DEFAULT_FUEL: u64 = 5_000_000;
+
+/// A rewriting session: rules + assumptions + caches.
+///
+/// Cloning a normalizer clones its assumptions and caches, which is how the
+/// prover explores case splits: one clone per branch, each extended with
+/// that branch's assumption.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    alg: BoolAlg,
+    rules: RuleSet,
+    assumptions: RuleSet,
+    cache: HashMap<TermId, TermId>,
+    blocked: Vec<TermId>,
+    stats: RewriteStats,
+    fuel: u64,
+    fuel_limit: u64,
+    depth: u32,
+    max_depth: u32,
+    infeasible: bool,
+}
+
+/// Default recursion depth bound (guards the stack before fuel runs out).
+///
+/// Chosen to stay within a 2 MiB thread stack even in debug builds; the
+/// TLS proofs never exceed depth ~100 (balanced Boolean rebuilds keep
+/// polynomial terms logarithmic). Raise with
+/// [`Normalizer::set_max_depth`] when normalizing unusually deep data on
+/// a big-stack thread.
+pub const DEFAULT_MAX_DEPTH: u32 = 300;
+
+impl Normalizer {
+    /// Create a normalizer over the given Boolean vocabulary and
+    /// specification rules.
+    pub fn new(alg: BoolAlg, rules: RuleSet) -> Self {
+        Normalizer {
+            alg,
+            rules,
+            assumptions: RuleSet::new(),
+            cache: HashMap::new(),
+            blocked: Vec::new(),
+            stats: RewriteStats::default(),
+            fuel: DEFAULT_FUEL,
+            fuel_limit: DEFAULT_FUEL,
+            depth: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
+            infeasible: false,
+        }
+    }
+
+    /// Override the per-call fuel budget.
+    pub fn set_fuel_limit(&mut self, fuel: u64) {
+        self.fuel_limit = fuel;
+    }
+
+    /// Override the recursion-depth bound (see [`DEFAULT_MAX_DEPTH`]).
+    pub fn set_max_depth(&mut self, depth: u32) {
+        self.max_depth = depth;
+    }
+
+    /// The Boolean vocabulary in use.
+    pub fn bool_alg(&self) -> &BoolAlg {
+        &self.alg
+    }
+
+    /// The specification rules in use.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RewriteStats {
+        self.stats
+    }
+
+    /// Add an assumption equation `lhs = rhs`, used as a highest-priority
+    /// rewrite rule. Clears the memo cache.
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::InvalidRule`] for malformed assumptions.
+    pub fn assume(
+        &mut self,
+        store: &TermStore,
+        label: impl Into<String>,
+        lhs: TermId,
+        rhs: TermId,
+    ) -> Result<(), RewriteError> {
+        self.assumptions
+            .add(store, label, lhs, rhs, None, None)?;
+        self.cache.clear();
+        Ok(())
+    }
+
+    /// The assumptions currently in force (proof-passage equations).
+    pub fn assumptions(&self) -> &RuleSet {
+        &self.assumptions
+    }
+
+    /// `true` when the assumptions were detected to be jointly
+    /// contradictory by [`Normalizer::refresh_assumptions`] — the current
+    /// proof case is unreachable and discharges vacuously.
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Re-normalize every assumption under all the others — a bounded
+    /// completion pass.
+    ///
+    /// The paper's proof passages list their assumption equations in a
+    /// carefully chosen order so that each rewrites the later ones (§5.2's
+    /// nine equations). The prover instead installs assumptions as case
+    /// splits discover them, so an orientation learned late (`e10 →
+    /// esfin(…)`) can strand an earlier assumption
+    /// (`e10 \in cesfin(nw(s)) = true`) whose left-hand side no longer
+    /// occurs in any normalized subject. This pass rewrites each
+    /// assumption to canonical form and re-orients it; contradictory
+    /// assumption sets set the [`Normalizer::is_infeasible`] flag.
+    ///
+    /// # Errors
+    ///
+    /// Rewriting errors (fuel).
+    pub fn refresh_assumptions(&mut self, store: &mut TermStore) -> Result<(), RewriteError> {
+        for _round in 0..4 {
+            let pairs: Vec<(String, TermId, TermId)> = self
+                .assumptions
+                .iter()
+                .map(|r| (r.label.clone(), r.lhs, r.rhs))
+                .collect();
+            if pairs.is_empty() {
+                return Ok(());
+            }
+            let mut changed = false;
+            let mut next: Vec<(String, TermId, TermId)> = Vec::with_capacity(pairs.len());
+            for i in 0..pairs.len() {
+                // Normalize pair i under all other (current-round) pairs.
+                let mut others = RuleSet::new();
+                for (j, (label, l, r)) in pairs.iter().enumerate() {
+                    if j != i && l != r {
+                        others.add(store, label.clone(), *l, *r, None, None)?;
+                    }
+                }
+                std::mem::swap(&mut self.assumptions, &mut others);
+                self.cache.clear();
+                self.fuel = self.fuel_limit;
+                let ln = self.norm(store, pairs[i].1);
+                let rn = self.norm(store, pairs[i].2);
+                std::mem::swap(&mut self.assumptions, &mut others);
+                let (ln, rn) = (ln?, rn?);
+                if ln != pairs[i].1 || rn != pairs[i].2 {
+                    changed = true;
+                }
+                if ln == rn {
+                    continue; // trivial
+                }
+                // Bool-valued assumptions keep their `term -> constant`
+                // shape; everything else is re-oriented.
+                let keep_direct = self.alg.as_constant(store, rn).is_some()
+                    || store.sort_of(rn) == self.alg.sort();
+                if keep_direct {
+                    if let (Some(a), Some(b)) = (
+                        self.alg.as_constant(store, ln),
+                        self.alg.as_constant(store, rn),
+                    ) {
+                        if a != b {
+                            self.infeasible = true;
+                        }
+                        continue;
+                    }
+                    // Never install a truth constant as a left-hand side.
+                    if self.alg.as_constant(store, ln).is_some() {
+                        next.push((pairs[i].0.clone(), rn, ln));
+                    } else {
+                        next.push((pairs[i].0.clone(), ln, rn));
+                    }
+                } else {
+                    let mut alg = self.alg.clone();
+                    let verdict = decide_equality(store, &mut alg, ln, rn)?;
+                    if verdict == EqVerdict::False {
+                        self.alg = alg;
+                        self.infeasible = true;
+                        continue;
+                    }
+                    let oriented = orient_equation(store, &mut alg, ln, rn)?;
+                    self.alg = alg;
+                    for (k, (l2, r2)) in oriented.into_iter().enumerate() {
+                        if l2 != r2 {
+                            next.push((format!("{}#{k}", pairs[i].0), l2, r2));
+                        }
+                    }
+                }
+            }
+            // Rebuild the assumption set.
+            let mut rebuilt = RuleSet::new();
+            for (label, l, r) in &next {
+                // Skip exact duplicates.
+                if rebuilt.iter().any(|r0| r0.lhs == *l && r0.rhs == *r) {
+                    continue;
+                }
+                rebuilt.add(store, label.clone(), *l, *r, None, None)?;
+            }
+            self.assumptions = rebuilt;
+            self.cache.clear();
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the conditions that blocked conditional rules since the last
+    /// call. Each entry is a normalized, undecided Bool term.
+    pub fn take_blocked(&mut self) -> Vec<TermId> {
+        std::mem::take(&mut self.blocked)
+    }
+
+    /// Normalize `t` to its canonical form.
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::FuelExhausted`] on runaway rewriting; kernel errors
+    /// on (impossible for validated rules) ill-sorted construction.
+    pub fn normalize(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
+        self.fuel = self.fuel_limit;
+        self.norm(store, t)
+    }
+
+    /// Normalize `t` and report whether it is `true` — the paper's
+    /// `red <formula> .` returning `true`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Normalizer::normalize`].
+    pub fn proves(&mut self, store: &mut TermStore, t: TermId) -> Result<bool, RewriteError> {
+        let n = self.normalize(store, t)?;
+        Ok(self.alg.as_constant(store, n) == Some(true))
+    }
+
+    /// Normalize `t` and return its Boolean-ring polynomial.
+    ///
+    /// The polynomial view exposes the atoms the prover can split on.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Normalizer::normalize`].
+    pub fn normalize_to_poly(
+        &mut self,
+        store: &mut TermStore,
+        t: TermId,
+    ) -> Result<Poly, RewriteError> {
+        let n = self.normalize(store, t)?;
+        if let Some(b) = self.alg.as_constant(store, n) {
+            return Ok(Poly::constant(b));
+        }
+        if store.sort_of(n) != self.alg.sort() {
+            return Err(RewriteError::InvalidRule {
+                label: "normalize_to_poly".into(),
+                reason: "term is not Bool-sorted".into(),
+            });
+        }
+        self.to_poly(store, n)
+    }
+
+    fn consume_fuel(&mut self, store: &TermStore, t: TermId) -> Result<(), RewriteError> {
+        if self.fuel == 0 {
+            return Err(RewriteError::FuelExhausted {
+                term: store.display(t).to_string(),
+            });
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn norm(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
+        if let Some(&r) = self.cache.get(&t) {
+            self.stats.cache_hits += 1;
+            return Ok(r);
+        }
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(RewriteError::FuelExhausted {
+                term: store.display(t).to_string(),
+            });
+        }
+        let result = self.norm_uncached(store, t);
+        self.depth -= 1;
+        let result = result?;
+        self.cache.insert(t, result);
+        self.cache.insert(result, result);
+        Ok(result)
+    }
+
+    fn norm_uncached(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
+        let (op, args) = match store.node(t) {
+            Term::Var(_) => return Ok(t),
+            Term::App { op, args } => (*op, args.clone()),
+        };
+        // Innermost: arguments first.
+        let mut nargs = Vec::with_capacity(args.len());
+        let mut changed = false;
+        for &a in &args {
+            let na = self.norm(store, a)?;
+            changed |= na != a;
+            nargs.push(na);
+        }
+        let cur = if changed { store.app(op, &nargs)? } else { t };
+        // Rules at the root.
+        if let Some(next) = self.apply_rules_at_root(store, cur)? {
+            self.consume_fuel(store, cur)?;
+            self.stats.rewrites += 1;
+            return self.norm(store, next);
+        }
+        // Built-in Boolean layer.
+        let op_now = store.op_of(cur).expect("application");
+        if self.is_connective(op_now) || self.alg.is_eq_op(op_now) {
+            self.stats.bool_normalizations += 1;
+            let poly = self.to_poly(store, cur)?;
+            let rebuilt = poly.to_term(store, &self.alg)?;
+            // Assumptions may target the canonical form itself (the prover
+            // assumes whole effective conditions false): give the rules one
+            // chance at the rebuilt root.
+            if rebuilt != cur {
+                if let Some(next) = self.apply_rules_at_root(store, rebuilt)? {
+                    self.consume_fuel(store, rebuilt)?;
+                    self.stats.rewrites += 1;
+                    return self.norm(store, next);
+                }
+            }
+            // The rebuilt canonical form is normal by construction (atoms
+            // are normal, connectives are canonical); record it so the
+            // equivalence class converges without re-walking.
+            self.cache.insert(rebuilt, rebuilt);
+            return Ok(rebuilt);
+        }
+        Ok(cur)
+    }
+
+    /// Try assumption rules then specification rules at the root of `t`
+    /// (whose arguments are already normal). Returns the instantiated
+    /// right-hand side of the first applicable rule.
+    fn apply_rules_at_root(
+        &mut self,
+        store: &mut TermStore,
+        t: TermId,
+    ) -> Result<Option<TermId>, RewriteError> {
+        let op = match store.op_of(t) {
+            Some(op) => op,
+            None => return Ok(None),
+        };
+        let candidates: Vec<(TermId, TermId, Option<TermId>)> = self
+            .assumptions
+            .candidates(op)
+            .chain(self.rules.candidates(op))
+            .map(|r| (r.lhs, r.rhs, r.cond))
+            .collect();
+        for (lhs, rhs, cond) in candidates {
+            let subst = match match_term(store, lhs, t) {
+                MatchOutcome::Matched(s) => s,
+                MatchOutcome::Failed => continue,
+            };
+            match cond {
+                None => return Ok(Some(subst.apply(store, rhs))),
+                Some(c) => {
+                    let inst = subst.apply(store, c);
+                    let nc = self.norm(store, inst)?;
+                    match self.alg.as_constant(store, nc) {
+                        Some(true) => return Ok(Some(subst.apply(store, rhs))),
+                        Some(false) => continue,
+                        None => {
+                            self.stats.blocked_conditions += 1;
+                            if !self.blocked.contains(&nc) {
+                                self.blocked.push(nc);
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn is_connective(&self, op: OpId) -> bool {
+        op == self.alg.not_op()
+            || op == self.alg.and_op()
+            || op == self.alg.or_op()
+            || op == self.alg.xor_op()
+            || op == self.alg.implies_op()
+            || op == self.alg.iff_op()
+            || op == self.alg.ite_op()
+            || op == self.alg.true_op()
+            || op == self.alg.false_op()
+    }
+
+    /// Convert an argument-normalized Bool term to its polynomial.
+    fn to_poly(&mut self, store: &mut TermStore, t: TermId) -> Result<Poly, RewriteError> {
+        self.consume_fuel(store, t)?;
+        let op = match store.op_of(t) {
+            Some(op) => op,
+            None => return Ok(Poly::atom(t)), // Bool variable
+        };
+        let args: Vec<TermId> = store.args(t).to_vec();
+        if op == self.alg.true_op() {
+            return Ok(Poly::one());
+        }
+        if op == self.alg.false_op() {
+            return Ok(Poly::zero());
+        }
+        if op == self.alg.not_op() {
+            return Ok(self.to_poly(store, args[0])?.negate());
+        }
+        if op == self.alg.and_op() {
+            let a = self.to_poly(store, args[0])?;
+            let b = self.to_poly(store, args[1])?;
+            return Ok(a.mul(&b));
+        }
+        if op == self.alg.or_op() {
+            let a = self.to_poly(store, args[0])?;
+            let b = self.to_poly(store, args[1])?;
+            return Ok(a.add(&b).add(&a.mul(&b)));
+        }
+        if op == self.alg.xor_op() {
+            let a = self.to_poly(store, args[0])?;
+            let b = self.to_poly(store, args[1])?;
+            return Ok(a.add(&b));
+        }
+        if op == self.alg.implies_op() {
+            let a = self.to_poly(store, args[0])?;
+            let b = self.to_poly(store, args[1])?;
+            return Ok(Poly::one().add(&a).add(&a.mul(&b)));
+        }
+        if op == self.alg.iff_op() {
+            let a = self.to_poly(store, args[0])?;
+            let b = self.to_poly(store, args[1])?;
+            return Ok(Poly::one().add(&a).add(&b));
+        }
+        if op == self.alg.ite_op() {
+            let c = self.to_poly(store, args[0])?;
+            let x = self.to_poly(store, args[1])?;
+            let y = self.to_poly(store, args[2])?;
+            return Ok(c.mul(&x).add(&c.mul(&y)).add(&y));
+        }
+        if self.alg.is_eq_op(op) {
+            let (l, r) = (args[0], args[1]);
+            if store.sort_of(l) == self.alg.sort() {
+                // Equality on Bool is iff.
+                let a = self.to_poly(store, l)?;
+                let b = self.to_poly(store, r)?;
+                return Ok(Poly::one().add(&a).add(&b));
+            }
+            self.stats.eq_decisions += 1;
+            let mut alg = self.alg.clone();
+            let verdict = decide_equality(store, &mut alg, l, r)?;
+            self.alg = alg;
+            return match verdict {
+                EqVerdict::True => Ok(Poly::one()),
+                EqVerdict::False => Ok(Poly::zero()),
+                EqVerdict::Atoms(atoms) => {
+                    let mut acc = Poly::one();
+                    for atom in atoms {
+                        acc = acc.mul(&self.atom_poly(store, atom)?);
+                    }
+                    Ok(acc)
+                }
+            };
+        }
+        // Any other Bool-sorted term is an opaque atom.
+        Ok(Poly::atom(t))
+    }
+
+    /// Polynomial of a (possibly freshly decomposed) equality atom: give
+    /// assumption/specification rules one chance at the root, otherwise
+    /// keep it atomic.
+    fn atom_poly(&mut self, store: &mut TermStore, atom: TermId) -> Result<Poly, RewriteError> {
+        if let Some(next) = self.apply_rules_at_root(store, atom)? {
+            self.consume_fuel(store, atom)?;
+            self.stats.rewrites += 1;
+            let n = self.norm(store, next)?;
+            if let Some(b) = self.alg.as_constant(store, n) {
+                return Ok(Poly::constant(b));
+            }
+            return self.to_poly(store, n);
+        }
+        Ok(Poly::atom(atom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        store: TermStore,
+        alg: BoolAlg,
+    }
+
+    fn bool_world() -> World {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        World {
+            store: TermStore::new(sig),
+            alg,
+        }
+    }
+
+    #[test]
+    fn tautologies_reduce_to_true() {
+        let mut w = bool_world();
+        let p = w.store.fresh_constant("p", w.alg.sort());
+        let q = w.store.fresh_constant("q", w.alg.sort());
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+
+        // p or not p
+        let np = w.alg.not(&mut w.store, p).unwrap();
+        let lem = w.alg.or(&mut w.store, p, np).unwrap();
+        assert!(norm.proves(&mut w.store, lem).unwrap());
+
+        // de Morgan: not(p and q) iff (not p or not q)
+        let pq = w.alg.and(&mut w.store, p, q).unwrap();
+        let npq = w.alg.not(&mut w.store, pq).unwrap();
+        let nq = w.alg.not(&mut w.store, q).unwrap();
+        let or = w.alg.or(&mut w.store, np, nq).unwrap();
+        let demorgan = w.alg.iff(&mut w.store, npq, or).unwrap();
+        assert!(norm.proves(&mut w.store, demorgan).unwrap());
+
+        // contradiction: p and not p
+        let contra = w.alg.and(&mut w.store, p, np).unwrap();
+        let n = norm.normalize(&mut w.store, contra).unwrap();
+        assert_eq!(w.alg.as_constant(&w.store, n), Some(false));
+    }
+
+    #[test]
+    fn non_tautologies_stay_open() {
+        let mut w = bool_world();
+        let p = w.store.fresh_constant("p", w.alg.sort());
+        let q = w.store.fresh_constant("q", w.alg.sort());
+        let imp = w.alg.implies(&mut w.store, p, q).unwrap();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        assert!(!norm.proves(&mut w.store, imp).unwrap());
+        let poly = norm.normalize_to_poly(&mut w.store, imp).unwrap();
+        assert_eq!(poly.atoms(), vec![p, q]);
+    }
+
+    #[test]
+    fn unconditional_rules_rewrite_innermost() {
+        // f(c) -> d ; g(d) -> c ; then g(f(c)) normalizes to c.
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let g = sig.add_op("g", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let fc = store.app(f, &[cv]).unwrap();
+        let gd = store.app(g, &[dv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "f", fc, dv, None, None).unwrap();
+        rules.add(&store, "g", gd, cv, None, None).unwrap();
+        let mut norm = Normalizer::new(alg, rules);
+        let gfc = store.app(g, &[fc]).unwrap();
+        assert_eq!(norm.normalize(&mut store, gfc).unwrap(), cv);
+        assert!(norm.stats().rewrites >= 2);
+    }
+
+    #[test]
+    fn conditional_rule_fires_only_when_condition_decides_true() {
+        // h(X) -> c if X = c ; h(d) stays put, h(c) fires.
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let h = sig.add_op("h", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let hx = store.app(h, &[xt]).unwrap();
+        let cond = alg.eq(&mut store, xt, cv).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "h-c", hx, cv, Some(cond), Some(alg.sort()))
+            .unwrap();
+        let mut norm = Normalizer::new(alg, rules);
+        let hc = store.app(h, &[cv]).unwrap();
+        let hd = store.app(h, &[dv]).unwrap();
+        assert_eq!(norm.normalize(&mut store, hc).unwrap(), cv);
+        assert_eq!(norm.normalize(&mut store, hd).unwrap(), hd);
+    }
+
+    #[test]
+    fn blocked_conditions_are_reported() {
+        // h(X) -> c if X = c applied to an arbitrary constant blocks.
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let h = sig.add_op("h", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let cv = store.constant(c);
+        let hx = store.app(h, &[xt]).unwrap();
+        let cond = alg.eq(&mut store, xt, cv).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "h-c", hx, cv, Some(cond), Some(alg.sort()))
+            .unwrap();
+        let mut norm = Normalizer::new(alg.clone(), rules);
+        let a = store.fresh_constant("a", s);
+        let ha = store.app(h, &[a]).unwrap();
+        assert_eq!(norm.normalize(&mut store, ha).unwrap(), ha);
+        let blocked = norm.take_blocked();
+        assert_eq!(blocked.len(), 1);
+        // The blocked condition is the undecided atom `a = c`
+        // (in canonical argument order, so normalize the expectation).
+        let raw = alg.eq(&mut store, a, cv).unwrap();
+        let expected = norm.normalize(&mut store, raw).unwrap();
+        assert_eq!(blocked[0], expected);
+        assert!(norm.take_blocked().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn assumptions_unblock_conditional_rules() {
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let h = sig.add_op("h", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let cv = store.constant(c);
+        let hx = store.app(h, &[xt]).unwrap();
+        let cond = alg.eq(&mut store, xt, cv).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "h-c", hx, cv, Some(cond), Some(alg.sort()))
+            .unwrap();
+        let mut norm = Normalizer::new(alg.clone(), rules);
+        let a = store.fresh_constant("a", s);
+        let ha = store.app(h, &[a]).unwrap();
+        assert_eq!(norm.normalize(&mut store, ha).unwrap(), ha);
+        // Assume a = c by orienting a -> c (the paper's `eq b1 = intruder .`).
+        norm.assume(&store, "a=c", a, cv).unwrap();
+        assert_eq!(norm.normalize(&mut store, ha).unwrap(), cv);
+    }
+
+    #[test]
+    fn equality_assumption_on_atom_rewrites_to_false() {
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let mut store = TermStore::new(sig);
+        let a = store.fresh_constant("a", s);
+        let cv = store.constant(c);
+        let atom = alg.eq(&mut store, a, cv).unwrap();
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        // undecided initially
+        assert_eq!(norm.normalize(&mut store, atom).unwrap(), atom);
+        // assume (a = c) = false — the paper's `eq (b = intruder) = false .`
+        let ff = alg.ff(&mut store);
+        norm.assume(&store, "a≠c", atom, ff).unwrap();
+        let n = norm.normalize(&mut store, atom).unwrap();
+        assert_eq!(alg.as_constant(&store, n), Some(false));
+        // and `not (a = c)` now proves
+        let na = alg.not(&mut store, atom).unwrap();
+        assert!(norm.proves(&mut store, na).unwrap());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_an_error_not_a_hang() {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::defined()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let fc = store.app(f, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        // c -> f(c): diverges.
+        rules.add(&store, "loop", cv, fc, None, None).unwrap();
+        let mut norm = Normalizer::new(alg, rules);
+        norm.set_fuel_limit(64);
+        let err = norm.normalize(&mut store, cv).unwrap_err();
+        assert!(matches!(err, RewriteError::FuelExhausted { .. }));
+    }
+
+    #[test]
+    fn injective_equality_feeds_the_ring() {
+        // pms(a, b, s) = pms(a, intruder, s)  reduces to  b = intruder.
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let prin = sig.add_visible_sort("Principal").unwrap();
+        let secret = sig.add_visible_sort("Secret").unwrap();
+        let pms_sort = sig.add_visible_sort("Pms").unwrap();
+        let intruder = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
+        let pms = sig
+            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .unwrap();
+        let mut store = TermStore::new(sig);
+        let a = store.fresh_constant("a", prin);
+        let b = store.fresh_constant("b", prin);
+        let s = store.fresh_constant("s", secret);
+        let iv = store.constant(intruder);
+        let t1 = store.app(pms, &[a, b, s]).unwrap();
+        let t2 = store.app(pms, &[a, iv, s]).unwrap();
+        let eq = alg.eq(&mut store, t1, t2).unwrap();
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        let n = norm.normalize(&mut store, eq).unwrap();
+        let expected = alg.eq(&mut store, b, iv).unwrap();
+        assert_eq!(n, expected);
+        // And assuming it false kills the equality.
+        let ff = alg.ff(&mut store);
+        norm.assume(&store, "b≠intruder", expected, ff).unwrap();
+        let n2 = norm.normalize(&mut store, eq).unwrap();
+        assert_eq!(alg.as_constant(&store, n2), Some(false));
+    }
+
+    #[test]
+    fn refresh_revives_stale_assumptions() {
+        // Scenario from the paper's fakeSfin1 case: assume `p(e) = true`
+        // for arbitrary e, then learn the orientation `e -> c`. Without a
+        // refresh, `p(c)` stays undecided; with it, the assumption is
+        // rewritten to `p(c) = true`.
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let p = sig.add_op("p", &[s], alg.sort(), OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let e = store.fresh_constant("e", s);
+        let cv = store.constant(c);
+        let pe = store.app(p, &[e]).unwrap();
+        let pc = store.app(p, &[cv]).unwrap();
+        let tt = alg.tt(&mut store);
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        norm.assume(&store, "p(e)", pe, tt).unwrap();
+        norm.assume(&store, "e=c", e, cv).unwrap();
+        // Stale: p(c) does not match the p(e) assumption syntactically…
+        assert_eq!(norm.normalize(&mut store, pc).unwrap(), pc);
+        // …until the refresh rewrites the assumption itself.
+        norm.refresh_assumptions(&mut store).unwrap();
+        assert!(norm.proves(&mut store, pc).unwrap());
+        assert!(!norm.is_infeasible());
+    }
+
+    #[test]
+    fn refresh_detects_contradictions() {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let mut store = TermStore::new(sig);
+        let e = store.fresh_constant("e", s);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        norm.assume(&store, "e=c", e, cv).unwrap();
+        // A later split claims e = d: jointly contradictory with e = c.
+        let f = store.fresh_constant("f", s);
+        norm.assume(&store, "f=e", f, e).unwrap();
+        norm.assume(&store, "f=d", f, dv).unwrap();
+        norm.refresh_assumptions(&mut store).unwrap();
+        assert!(norm.is_infeasible());
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut w = bool_world();
+        let p = w.store.fresh_constant("p", w.alg.sort());
+        let np = w.alg.not(&mut w.store, p).unwrap();
+        let lem = w.alg.or(&mut w.store, p, np).unwrap();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        norm.proves(&mut w.store, lem).unwrap();
+        let s1 = norm.stats();
+        assert!(s1.bool_normalizations > 0);
+        let merged = s1.merged(s1);
+        assert_eq!(merged.bool_normalizations, 2 * s1.bool_normalizations);
+    }
+}

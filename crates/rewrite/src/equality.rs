@@ -1,0 +1,255 @@
+//! Deciding equalities over free constructors.
+//!
+//! The paper's perfect-cryptosystem assumption (§4.2) is operationalized by
+//! treating the data constructors as **free**: distinct constructors build
+//! distinct values (`pms(…) ≠ epms(…)`, `intruder ≠ ca`) and every
+//! constructor is injective (`pms(a,b,s) = pms(a',b',s')` iff the arguments
+//! are pairwise equal). This module implements that decision procedure:
+//!
+//! * reflexivity — identical terms (a `TermId` comparison) are equal;
+//! * constructor clash — different constructor heads are unequal;
+//! * injectivity — same constructor head decomposes into argument
+//!   equalities;
+//! * occurs check — a term is never equal to a *strict* constructor
+//!   subterm of itself;
+//! * everything else (arbitrary constants, stuck projections) stays
+//!   **symbolic** and becomes a Boolean atom for the case-splitting prover.
+
+use crate::bool_alg::BoolAlg;
+use equitls_kernel::prelude::*;
+
+/// The outcome of an equality decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EqVerdict {
+    /// The sides are provably equal.
+    True,
+    /// The sides are provably unequal.
+    False,
+    /// Undecided: equal iff all the contained symbolic atom equalities
+    /// hold. Each atom is an interned `_=_` application in canonical
+    /// argument order. The empty conjunction never occurs (that would be
+    /// [`EqVerdict::True`]).
+    Atoms(Vec<TermId>),
+}
+
+impl EqVerdict {
+    /// Conjoin another verdict into this one.
+    fn and(self, other: EqVerdict) -> EqVerdict {
+        match (self, other) {
+            (EqVerdict::False, _) | (_, EqVerdict::False) => EqVerdict::False,
+            (EqVerdict::True, v) | (v, EqVerdict::True) => v,
+            (EqVerdict::Atoms(mut a), EqVerdict::Atoms(b)) => {
+                for t in b {
+                    if !a.contains(&t) {
+                        a.push(t);
+                    }
+                }
+                EqVerdict::Atoms(a)
+            }
+        }
+    }
+
+    /// Render the verdict as a Bool term (`true`, `false`, or a
+    /// conjunction of atoms).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (cannot occur for well-sorted atoms).
+    pub fn to_term(&self, store: &mut TermStore, alg: &BoolAlg) -> Result<TermId, KernelError> {
+        match self {
+            EqVerdict::True => Ok(alg.tt(store)),
+            EqVerdict::False => Ok(alg.ff(store)),
+            EqVerdict::Atoms(atoms) => alg.conj(store, atoms),
+        }
+    }
+}
+
+/// `true` when `needle` occurs strictly inside `hay` along a path of free
+/// constructors.
+///
+/// If it does, `hay = needle` is false in the free term algebra (a term is
+/// strictly larger than any of its constructor subterms).
+fn constructor_contains(store: &TermStore, hay: TermId, needle: TermId) -> bool {
+    if !store.is_constructor_headed(hay) {
+        return false;
+    }
+    let args: Vec<TermId> = store.args(hay).to_vec();
+    args.iter()
+        .any(|&a| a == needle || constructor_contains(store, a, needle))
+}
+
+/// Decide `lhs = rhs`.
+///
+/// Both sides should already be in normal form with respect to the
+/// specification's equations (the [`crate::engine::Normalizer`] guarantees
+/// this before calling in).
+///
+/// # Errors
+///
+/// Propagates kernel errors from atom construction.
+pub fn decide_equality(
+    store: &mut TermStore,
+    alg: &mut BoolAlg,
+    lhs: TermId,
+    rhs: TermId,
+) -> Result<EqVerdict, KernelError> {
+    if lhs == rhs {
+        return Ok(EqVerdict::True);
+    }
+    let lhs_ctor = store.is_constructor_headed(lhs);
+    let rhs_ctor = store.is_constructor_headed(rhs);
+    if lhs_ctor && rhs_ctor {
+        let lop = store.op_of(lhs).expect("constructor-headed");
+        let rop = store.op_of(rhs).expect("constructor-headed");
+        if lop != rop {
+            return Ok(EqVerdict::False);
+        }
+        // Injectivity: decompose into argument equalities.
+        let largs: Vec<TermId> = store.args(lhs).to_vec();
+        let rargs: Vec<TermId> = store.args(rhs).to_vec();
+        debug_assert_eq!(largs.len(), rargs.len());
+        let mut verdict = EqVerdict::True;
+        for (&l, &r) in largs.iter().zip(rargs.iter()) {
+            verdict = verdict.and(decide_equality(store, alg, l, r)?);
+            if verdict == EqVerdict::False {
+                return Ok(EqVerdict::False);
+            }
+        }
+        return Ok(verdict);
+    }
+    // Occurs check: nothing equals a strict constructor subterm of itself.
+    if constructor_contains(store, lhs, rhs) || constructor_contains(store, rhs, lhs) {
+        return Ok(EqVerdict::False);
+    }
+    // Symbolic atom, canonical argument order for symmetry.
+    let (a, b) = if lhs <= rhs { (lhs, rhs) } else { (rhs, lhs) };
+    let atom = alg.eq(store, a, b)?;
+    Ok(EqVerdict::Atoms(vec![atom]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        store: TermStore,
+        alg: BoolAlg,
+        intruder: TermId,
+        ca: TermId,
+        pms: OpId,
+        s0: TermId,
+    }
+
+    fn world() -> World {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let prin = sig.add_visible_sort("Principal").unwrap();
+        let secret = sig.add_visible_sort("Secret").unwrap();
+        let pms_sort = sig.add_visible_sort("Pms").unwrap();
+        let intruder_op = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
+        let ca_op = sig.add_constant("ca", prin, OpAttrs::constructor()).unwrap();
+        let s0_op = sig.add_constant("s0", secret, OpAttrs::constructor()).unwrap();
+        let pms = sig
+            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .unwrap();
+        let mut store = TermStore::new(sig);
+        let intruder = store.constant(intruder_op);
+        let ca = store.constant(ca_op);
+        let s0 = store.constant(s0_op);
+        World {
+            store,
+            alg,
+            intruder,
+            ca,
+            pms,
+            s0,
+        }
+    }
+
+    #[test]
+    fn reflexivity() {
+        let mut w = world();
+        let v = decide_equality(&mut w.store, &mut w.alg, w.intruder, w.intruder).unwrap();
+        assert_eq!(v, EqVerdict::True);
+    }
+
+    #[test]
+    fn constructor_clash_is_false() {
+        let mut w = world();
+        let v = decide_equality(&mut w.store, &mut w.alg, w.intruder, w.ca).unwrap();
+        assert_eq!(v, EqVerdict::False);
+    }
+
+    #[test]
+    fn injectivity_decomposes_into_argument_atoms() {
+        let mut w = world();
+        let prin = w.store.signature().sort_by_name("Principal").unwrap();
+        let a = w.store.fresh_constant("a", prin);
+        let b = w.store.fresh_constant("b", prin);
+        let t1 = w.store.app(w.pms, &[a, w.intruder, w.s0]).unwrap();
+        let t2 = w.store.app(w.pms, &[b, w.intruder, w.s0]).unwrap();
+        match decide_equality(&mut w.store, &mut w.alg, t1, t2).unwrap() {
+            EqVerdict::Atoms(atoms) => {
+                assert_eq!(atoms.len(), 1);
+                assert_eq!(w.store.display(atoms[0]).to_string(), "a#1 = b#2");
+            }
+            v => panic!("expected atoms, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn injectivity_detects_clashing_argument() {
+        let mut w = world();
+        let t1 = w.store.app(w.pms, &[w.intruder, w.intruder, w.s0]).unwrap();
+        let t2 = w.store.app(w.pms, &[w.ca, w.intruder, w.s0]).unwrap();
+        let v = decide_equality(&mut w.store, &mut w.alg, t1, t2).unwrap();
+        assert_eq!(v, EqVerdict::False);
+    }
+
+    #[test]
+    fn arbitrary_constants_stay_symbolic_and_canonical() {
+        let mut w = world();
+        let prin = w.store.signature().sort_by_name("Principal").unwrap();
+        let a = w.store.fresh_constant("a", prin);
+        let v1 = decide_equality(&mut w.store, &mut w.alg, a, w.intruder).unwrap();
+        let v2 = decide_equality(&mut w.store, &mut w.alg, w.intruder, a).unwrap();
+        assert_eq!(v1, v2, "equality atoms must be symmetric");
+        assert!(matches!(v1, EqVerdict::Atoms(ref ts) if ts.len() == 1));
+    }
+
+    #[test]
+    fn occurs_check_rejects_strict_subterms() {
+        let mut w = world();
+        let pms_sort = w.store.signature().sort_by_name("Pms").unwrap();
+        let prin = w.store.signature().sort_by_name("Principal").unwrap();
+        // wrap : Pms -> Pms constructor to build a term containing x
+        let wrap = w
+            .store
+            .signature_mut()
+            .add_op("wrap", &[pms_sort], pms_sort, OpAttrs::constructor())
+            .unwrap();
+        let _ = prin;
+        let x = w.store.fresh_constant("x", pms_sort);
+        let wx = w.store.app(wrap, &[x]).unwrap();
+        let v = decide_equality(&mut w.store, &mut w.alg, x, wx).unwrap();
+        assert_eq!(v, EqVerdict::False);
+    }
+
+    #[test]
+    fn verdict_to_term_renders_conjunction() {
+        let mut w = world();
+        let prin = w.store.signature().sort_by_name("Principal").unwrap();
+        let secret = w.store.signature().sort_by_name("Secret").unwrap();
+        let a = w.store.fresh_constant("a", prin);
+        let b = w.store.fresh_constant("b", prin);
+        let s1 = w.store.fresh_constant("s", secret);
+        let t1 = w.store.app(w.pms, &[a, a, s1]).unwrap();
+        let t2 = w.store.app(w.pms, &[b, b, w.s0]).unwrap();
+        match decide_equality(&mut w.store, &mut w.alg, t1, t2).unwrap() {
+            EqVerdict::Atoms(atoms) => {
+                assert_eq!(atoms.len(), 2, "a=b deduplicates, s=s0 remains");
+            }
+            v => panic!("expected atoms, got {v:?}"),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors raised by the rewriting engine.
+
+use equitls_kernel::KernelError;
+use std::fmt;
+
+/// An error raised while building rules or normalizing terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A rule was malformed (variable left-hand side, unbound right-hand
+    /// side variables, sort mismatch between sides, …).
+    InvalidRule {
+        /// The rule's label.
+        label: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Normalization exceeded its fuel budget — almost certainly a
+    /// non-terminating equation set or a pathological assumption.
+    FuelExhausted {
+        /// Rendering of the term being normalized when fuel ran out.
+        term: String,
+    },
+    /// A kernel-level error (ill-sorted term construction).
+    Kernel(KernelError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::InvalidRule { label, reason } => {
+                write!(f, "invalid rule `{label}`: {reason}")
+            }
+            RewriteError::FuelExhausted { term } => {
+                write!(f, "rewriting fuel exhausted while normalizing `{term}`")
+            }
+            RewriteError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RewriteError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for RewriteError {
+    fn from(e: KernelError) -> Self {
+        RewriteError::Kernel(e)
+    }
+}

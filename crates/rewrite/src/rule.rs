@@ -1,0 +1,269 @@
+//! Rewrite rules: equations read left-to-right.
+//!
+//! CafeOBJ's `red` command uses the equations of a module as left-to-right
+//! rewrite rules; conditional equations (`ceq l = r if c`) fire only when
+//! the instantiated condition itself rewrites to `true`. [`Rule`] captures
+//! one oriented equation; [`RuleSet`] indexes rules by the head symbol of
+//! their left-hand side for fast candidate lookup.
+
+use crate::error::RewriteError;
+use equitls_kernel::prelude::*;
+use equitls_kernel::term::Term;
+use std::collections::HashMap;
+
+/// An oriented, possibly conditional, equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Human-readable label for tracing and error messages.
+    pub label: String,
+    /// Left-hand side pattern (must be an operator application).
+    pub lhs: TermId,
+    /// Right-hand side template.
+    pub rhs: TermId,
+    /// Optional Bool-sorted condition; `None` for unconditional equations.
+    pub cond: Option<TermId>,
+    /// Head operator of the left-hand side (index key).
+    pub head: OpId,
+}
+
+/// A collection of rules indexed by left-hand-side head symbol.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    by_head: HashMap<OpId, Vec<usize>>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Add a rule after validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::InvalidRule`] when:
+    /// * the left-hand side is a bare variable (such a rule would rewrite
+    ///   everything of its sort),
+    /// * the sides have different sorts,
+    /// * the right-hand side or the condition contains a variable not bound
+    ///   by the left-hand side,
+    /// * the condition is not Bool-sorted (checked by the caller-supplied
+    ///   `bool_sort`, pass `None` to skip).
+    pub fn add(
+        &mut self,
+        store: &TermStore,
+        label: impl Into<String>,
+        lhs: TermId,
+        rhs: TermId,
+        cond: Option<TermId>,
+        bool_sort: Option<SortId>,
+    ) -> Result<(), RewriteError> {
+        let label = label.into();
+        let head = match store.node(lhs) {
+            Term::App { op, .. } => *op,
+            Term::Var(_) => {
+                return Err(RewriteError::InvalidRule {
+                    label,
+                    reason: "left-hand side is a bare variable".into(),
+                })
+            }
+        };
+        if store.sort_of(lhs) != store.sort_of(rhs) {
+            return Err(RewriteError::InvalidRule {
+                label,
+                reason: "left- and right-hand sides have different sorts".into(),
+            });
+        }
+        let lhs_vars = store.vars_of(lhs);
+        for v in store.vars_of(rhs) {
+            if !lhs_vars.contains(&v) {
+                return Err(RewriteError::InvalidRule {
+                    label,
+                    reason: format!(
+                        "right-hand side variable `{}` is not bound by the left-hand side",
+                        store.var_decl(v).name
+                    ),
+                });
+            }
+        }
+        if let Some(c) = cond {
+            if let Some(bs) = bool_sort {
+                if store.sort_of(c) != bs {
+                    return Err(RewriteError::InvalidRule {
+                        label,
+                        reason: "condition is not Bool-sorted".into(),
+                    });
+                }
+            }
+            for v in store.vars_of(c) {
+                if !lhs_vars.contains(&v) {
+                    return Err(RewriteError::InvalidRule {
+                        label,
+                        reason: format!(
+                            "condition variable `{}` is not bound by the left-hand side",
+                            store.var_decl(v).name
+                        ),
+                    });
+                }
+            }
+        }
+        let index = self.rules.len();
+        self.rules.push(Rule {
+            label,
+            lhs,
+            rhs,
+            cond,
+            head,
+        });
+        self.by_head.entry(head).or_default().push(index);
+        Ok(())
+    }
+
+    /// The rules whose left-hand side head is `op`, in declaration order.
+    pub fn candidates(&self, op: OpId) -> impl Iterator<Item = &Rule> {
+        self.by_head
+            .get(&op)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.rules[i])
+    }
+
+    /// All rules in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Merge another rule set into this one (both sets must have been built
+    /// against the same term store; declaration order preserved per set,
+    /// `other` appended).
+    pub fn extend_from(&mut self, other: &RuleSet) {
+        for rule in &other.rules {
+            let index = self.rules.len();
+            self.by_head.entry(rule.head).or_default().push(index);
+            self.rules.push(rule.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bool_alg::BoolAlg;
+
+    struct World {
+        store: TermStore,
+        alg: BoolAlg,
+        s: SortId,
+        c: OpId,
+        f: OpId,
+    }
+
+    fn world() -> World {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        World {
+            store: TermStore::new(sig),
+            alg,
+            s,
+            c,
+            f,
+        }
+    }
+
+    #[test]
+    fn valid_rule_is_indexed_by_head() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&w.store, "f-id", lhs, xt, None, Some(w.alg.sort()))
+            .unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules.candidates(w.f).count(), 1);
+        assert_eq!(rules.candidates(w.c).count(), 0);
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn variable_lhs_is_rejected() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let mut rules = RuleSet::new();
+        let err = rules
+            .add(&w.store, "bad", xt, cv, None, None)
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+
+    #[test]
+    fn unbound_rhs_variable_is_rejected() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let y = w.store.declare_var("Y", w.s).unwrap();
+        let xt = w.store.var(x);
+        let yt = w.store.var(y);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let mut rules = RuleSet::new();
+        let err = rules.add(&w.store, "bad", lhs, yt, None, None).unwrap_err();
+        assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+
+    #[test]
+    fn sort_mismatch_between_sides_is_rejected() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let tt = w.alg.tt(&mut w.store);
+        let mut rules = RuleSet::new();
+        let err = rules.add(&w.store, "bad", lhs, tt, None, None).unwrap_err();
+        assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+
+    #[test]
+    fn non_bool_condition_is_rejected() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let mut rules = RuleSet::new();
+        let err = rules
+            .add(&w.store, "bad", lhs, xt, Some(xt), Some(w.alg.sort()))
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+
+    #[test]
+    fn condition_variables_must_be_bound() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let yb = w.store.declare_var("B", w.alg.sort()).unwrap();
+        let ybt = w.store.var(yb);
+        let mut rules = RuleSet::new();
+        let err = rules
+            .add(&w.store, "bad", lhs, xt, Some(ybt), Some(w.alg.sort()))
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+}

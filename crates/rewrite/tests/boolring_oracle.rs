@@ -1,0 +1,198 @@
+//! Property-based completeness check for the Boolean-ring normalizer.
+//!
+//! The paper (§2.1) leans on the completeness of `BOOL`'s equations for
+//! propositional logic: a formula rewrites to `true` iff it is a tautology.
+//! Here we generate random propositional formulas over a handful of atoms,
+//! evaluate them by brute-force truth table, and check the engine agrees —
+//! experiment E12 in DESIGN.md.
+
+use equitls_kernel::prelude::*;
+use equitls_rewrite::prelude::*;
+use proptest::prelude::*;
+
+/// A serializable formula AST for generation.
+#[derive(Debug, Clone)]
+enum Formula {
+    Atom(usize),
+    True,
+    False,
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Xor(Box<Formula>, Box<Formula>),
+    Implies(Box<Formula>, Box<Formula>),
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+const ATOM_COUNT: usize = 4;
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..ATOM_COUNT).prop_map(Formula::Atom),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(f: &Formula, env: &[bool]) -> bool {
+    match f {
+        Formula::Atom(i) => env[*i],
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Not(a) => !eval(a, env),
+        Formula::And(a, b) => eval(a, env) && eval(b, env),
+        Formula::Or(a, b) => eval(a, env) || eval(b, env),
+        Formula::Xor(a, b) => eval(a, env) ^ eval(b, env),
+        Formula::Implies(a, b) => !eval(a, env) || eval(b, env),
+        Formula::Iff(a, b) => eval(a, env) == eval(b, env),
+    }
+}
+
+fn build(
+    f: &Formula,
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    atoms: &[TermId],
+) -> TermId {
+    match f {
+        Formula::Atom(i) => atoms[*i],
+        Formula::True => alg.tt(store),
+        Formula::False => alg.ff(store),
+        Formula::Not(a) => {
+            let at = build(a, store, alg, atoms);
+            alg.not(store, at).unwrap()
+        }
+        Formula::And(a, b) => {
+            let (x, y) = (build(a, store, alg, atoms), build(b, store, alg, atoms));
+            alg.and(store, x, y).unwrap()
+        }
+        Formula::Or(a, b) => {
+            let (x, y) = (build(a, store, alg, atoms), build(b, store, alg, atoms));
+            alg.or(store, x, y).unwrap()
+        }
+        Formula::Xor(a, b) => {
+            let (x, y) = (build(a, store, alg, atoms), build(b, store, alg, atoms));
+            alg.xor(store, x, y).unwrap()
+        }
+        Formula::Implies(a, b) => {
+            let (x, y) = (build(a, store, alg, atoms), build(b, store, alg, atoms));
+            alg.implies(store, x, y).unwrap()
+        }
+        Formula::Iff(a, b) => {
+            let (x, y) = (build(a, store, alg, atoms), build(b, store, alg, atoms));
+            alg.iff(store, x, y).unwrap()
+        }
+    }
+}
+
+fn world() -> (TermStore, BoolAlg, Vec<TermId>) {
+    let mut sig = Signature::new();
+    let alg = BoolAlg::install(&mut sig).unwrap();
+    let mut store = TermStore::new(sig);
+    let atoms: Vec<TermId> = (0..ATOM_COUNT)
+        .map(|_| store.fresh_constant("p", alg.sort()))
+        .collect();
+    (store, alg, atoms)
+}
+
+fn truth_table(f: &Formula) -> (bool, bool) {
+    // (is_tautology, is_contradiction)
+    let mut taut = true;
+    let mut contra = true;
+    for bits in 0..(1u32 << ATOM_COUNT) {
+        let env: Vec<bool> = (0..ATOM_COUNT).map(|i| bits & (1 << i) != 0).collect();
+        if eval(f, &env) {
+            contra = false;
+        } else {
+            taut = false;
+        }
+    }
+    (taut, contra)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Normalization decides tautology/contradiction exactly as the truth
+    /// table does.
+    #[test]
+    fn normalizer_is_a_tautology_oracle(f in formula_strategy()) {
+        let (mut store, alg, atoms) = world();
+        let term = build(&f, &mut store, &alg, &atoms);
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        let n = norm.normalize(&mut store, term).unwrap();
+        let (taut, contra) = truth_table(&f);
+        match alg.as_constant(&store, n) {
+            Some(true) => prop_assert!(taut, "reduced to true but not a tautology"),
+            Some(false) => prop_assert!(contra, "reduced to false but satisfiable"),
+            None => {
+                prop_assert!(!taut, "tautology failed to reduce to true");
+                prop_assert!(!contra, "contradiction failed to reduce to false");
+            }
+        }
+    }
+
+    /// The polynomial normal form is semantically faithful: it evaluates
+    /// exactly like the original formula under every assignment.
+    #[test]
+    fn polynomial_evaluates_like_the_formula(f in formula_strategy()) {
+        let (mut store, alg, atoms) = world();
+        let term = build(&f, &mut store, &alg, &atoms);
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        let poly = norm.normalize_to_poly(&mut store, term).unwrap();
+        for bits in 0..(1u32 << ATOM_COUNT) {
+            let env: Vec<bool> = (0..ATOM_COUNT).map(|i| bits & (1 << i) != 0).collect();
+            let want = eval(&f, &env);
+            let got = poly.eval(&|t| {
+                atoms.iter().position(|&a| a == t).map(|i| env[i]).unwrap_or(false)
+            });
+            prop_assert_eq!(got, want, "assignment {:?}", env);
+        }
+    }
+
+    /// Normalization is idempotent: normal forms are fixed points.
+    #[test]
+    fn normalization_is_idempotent(f in formula_strategy()) {
+        let (mut store, alg, atoms) = world();
+        let term = build(&f, &mut store, &alg, &atoms);
+        let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+        let n1 = norm.normalize(&mut store, term).unwrap();
+        let mut norm2 = Normalizer::new(alg.clone(), RuleSet::new());
+        let n2 = norm2.normalize(&mut store, n1).unwrap();
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Double negation and de-Morgan rewrites agree with the engine.
+    #[test]
+    fn equivalent_formulas_share_a_normal_form(f in formula_strategy()) {
+        let (mut store, alg, atoms) = world();
+        let term = build(&f, &mut store, &alg, &atoms);
+        // not (not f) must normalize identically to f.
+        let n0 = {
+            let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+            norm.normalize(&mut store, term).unwrap()
+        };
+        let nn = {
+            let n1 = alg.not(&mut store, term).unwrap();
+            let n2 = alg.not(&mut store, n1).unwrap();
+            let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+            norm.normalize(&mut store, n2).unwrap()
+        };
+        prop_assert_eq!(n0, nn);
+    }
+}

@@ -1,0 +1,82 @@
+//! Abstract syntax for the surface DSL.
+
+/// A parsed term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermAst {
+    /// Bare identifier: variable or constant.
+    Ident(String),
+    /// Prefix application `f(a, b)`.
+    App(String, Vec<TermAst>),
+    /// `not t`.
+    Not(Box<TermAst>),
+    /// Binary operation.
+    Bin(BinOp, Box<TermAst>, Box<TermAst>),
+}
+
+/// Binary term-level operators, loosest-binding first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `implies` (right-associative, loosest).
+    Implies,
+    /// `iff`.
+    Iff,
+    /// `xor`.
+    Xor,
+    /// `or`.
+    Or,
+    /// `and`.
+    And,
+    /// `=` (sort-resolved equality).
+    Eq,
+    /// `\in` (membership).
+    In,
+    /// `( a , b )` — bag/collection cons, always parenthesized.
+    BagCons,
+}
+
+/// A parsed operator declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpAst {
+    /// Declared with `bop` (observation/action operator).
+    pub behavioural: bool,
+    /// Operator name.
+    pub name: String,
+    /// Argument sort names.
+    pub args: Vec<String>,
+    /// Result sort name.
+    pub result: String,
+    /// `{constr}` attribute.
+    pub constructor: bool,
+}
+
+/// A parsed equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqAst {
+    /// Optional label (`eq [label] : l = r .`).
+    pub label: Option<String>,
+    /// Left-hand side.
+    pub lhs: TermAst,
+    /// Right-hand side.
+    pub rhs: TermAst,
+    /// `if` condition for `ceq`.
+    pub cond: Option<TermAst>,
+}
+
+/// A parsed module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleAst {
+    /// Module name.
+    pub name: String,
+    /// `pr(NAME)` imports.
+    pub imports: Vec<String>,
+    /// Visible sorts (`[ A B ]`).
+    pub visible_sorts: Vec<String>,
+    /// Hidden sorts (`*[ H ]*`).
+    pub hidden_sorts: Vec<String>,
+    /// Operator declarations.
+    pub ops: Vec<OpAst>,
+    /// Variable declarations, `(names, sort)` per `var`/`vars` line.
+    pub vars: Vec<(Vec<String>, String)>,
+    /// Equations in declaration order.
+    pub eqs: Vec<EqAst>,
+}

@@ -1,0 +1,78 @@
+//! Errors raised while building or parsing specifications.
+
+use equitls_kernel::KernelError;
+use equitls_rewrite::RewriteError;
+use std::fmt;
+
+/// An error raised by the specification layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A named sort is not declared.
+    UnknownSort(String),
+    /// A named operator is not declared (with the sorts tried, if any).
+    UnknownOp {
+        /// Operator name.
+        name: String,
+        /// Rendered argument sorts tried during resolution, if known.
+        args: Option<String>,
+    },
+    /// An identifier could not be resolved to a variable or constant.
+    UnresolvedIdent(String),
+    /// The DSL text failed to lex/parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A kernel error (sorts, arities).
+    Kernel(KernelError),
+    /// A rewriting error (rule validation, fuel).
+    Rewrite(RewriteError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownSort(name) => write!(f, "unknown sort `{name}`"),
+            SpecError::UnknownOp { name, args } => match args {
+                Some(a) => write!(f, "unknown operator `{name}` for argument sorts ({a})"),
+                None => write!(f, "unknown operator `{name}`"),
+            },
+            SpecError::UnresolvedIdent(name) => {
+                write!(f, "identifier `{name}` is neither a variable nor a constant")
+            }
+            SpecError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            SpecError::Kernel(e) => write!(f, "{e}"),
+            SpecError::Rewrite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Kernel(e) => Some(e),
+            SpecError::Rewrite(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for SpecError {
+    fn from(e: KernelError) -> Self {
+        SpecError::Kernel(e)
+    }
+}
+
+impl From<RewriteError> for SpecError {
+    fn from(e: RewriteError) -> Self {
+        SpecError::Rewrite(e)
+    }
+}

@@ -1,0 +1,300 @@
+//! Lexer for the CafeOBJ-flavoured surface DSL.
+//!
+//! Comments run from `--` to end of line. Identifiers may contain letters,
+//! digits, `-`, `?`, `'`, `#` and `!` (so `mod!`, `ch?`, `c-cert` lex as
+//! single tokens). `\in` is its own token.
+
+use crate::error::SpecError;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// The kinds of token the DSL understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`mod!`, `op`, `eq`, names, …).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `*[`
+    StarLBracket,
+    /// `]*`
+    RBracketStar,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `.`
+    Period,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `\in`
+    In,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::StarLBracket => write!(f, "`*[`"),
+            TokenKind::RBracketStar => write!(f, "`]*`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Period => write!(f, "`.`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::In => write!(f, "`\\in`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '-' | '?' | '\'' | '#' | '!' | '_' | '"')
+}
+
+/// Tokenize `input`.
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] on unexpected characters.
+pub fn lex(input: &str) -> Result<Vec<Token>, SpecError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut column = 1;
+    let push = |tokens: &mut Vec<Token>, kind: TokenKind, line: usize, column: usize| {
+        tokens.push(Token { kind, line, column });
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        let (l, col) = (line, column);
+        let advance = |i: &mut usize, line: &mut usize, column: &mut usize, n: usize| {
+            for k in 0..n {
+                if chars[*i + k] == '\n' {
+                    *line += 1;
+                    *column = 1;
+                } else {
+                    *column += 1;
+                }
+            }
+            *i += n;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut column, 1),
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                // comment to end of line
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut column, 1);
+                }
+            }
+            '-' if i + 1 < chars.len() && chars[i + 1] == '>' => {
+                push(&mut tokens, TokenKind::Arrow, l, col);
+                advance(&mut i, &mut line, &mut column, 2);
+            }
+            '(' => {
+                push(&mut tokens, TokenKind::LParen, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            ')' => {
+                push(&mut tokens, TokenKind::RParen, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '{' => {
+                push(&mut tokens, TokenKind::LBrace, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '}' => {
+                push(&mut tokens, TokenKind::RBrace, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '*' if i + 1 < chars.len() && chars[i + 1] == '[' => {
+                push(&mut tokens, TokenKind::StarLBracket, l, col);
+                advance(&mut i, &mut line, &mut column, 2);
+            }
+            '[' => {
+                push(&mut tokens, TokenKind::LBracket, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            ']' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                push(&mut tokens, TokenKind::RBracketStar, l, col);
+                advance(&mut i, &mut line, &mut column, 2);
+            }
+            ']' => {
+                push(&mut tokens, TokenKind::RBracket, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            ':' => {
+                push(&mut tokens, TokenKind::Colon, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '.' => {
+                push(&mut tokens, TokenKind::Period, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            ',' => {
+                push(&mut tokens, TokenKind::Comma, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '=' => {
+                push(&mut tokens, TokenKind::Equals, l, col);
+                advance(&mut i, &mut line, &mut column, 1);
+            }
+            '\\' => {
+                // expect `\in`
+                if i + 2 < chars.len() && chars[i + 1] == 'i' && chars[i + 2] == 'n' {
+                    push(&mut tokens, TokenKind::In, l, col);
+                    advance(&mut i, &mut line, &mut column, 3);
+                } else {
+                    return Err(SpecError::Parse {
+                        line: l,
+                        column: col,
+                        message: "expected `\\in` after backslash".to_string(),
+                    });
+                }
+            }
+            c if is_ident_char(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    advance(&mut i, &mut line, &mut column, 1);
+                }
+                let word: String = chars[start..i].iter().collect();
+                push(&mut tokens, TokenKind::Ident(word), l, col);
+            }
+            other => {
+                return Err(SpecError::Parse {
+                    line: l,
+                    column: col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declarations() {
+        let ks = kinds("op pms : Prin Prin Secret -> Pms .");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("op".into()),
+                TokenKind::Ident("pms".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Prin".into()),
+                TokenKind::Ident("Prin".into()),
+                TokenKind::Ident("Secret".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("Pms".into()),
+                TokenKind::Period,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_membership_and_bags() {
+        let ks = kinds(r"PMS \in cpms(M , NW)");
+        assert!(ks.contains(&TokenKind::In));
+        assert!(ks.contains(&TokenKind::Comma));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a -- this is a comment\nb");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hidden_sort_brackets() {
+        let ks = kinds("*[ Protocol ]*");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::StarLBracket,
+                TokenKind::Ident("Protocol".into()),
+                TokenKind::RBracketStar,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn funky_identifier_characters() {
+        let ks = kinds("mod! ch? c-cert r10");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("mod!".into()),
+                TokenKind::Ident("ch?".into()),
+                TokenKind::Ident("c-cert".into()),
+                TokenKind::Ident("r10".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(lex("a @ b"), Err(SpecError::Parse { .. })));
+        assert!(matches!(lex(r"\on"), Err(SpecError::Parse { .. })));
+    }
+}

@@ -1,0 +1,718 @@
+//! Parser and elaborator for the CafeOBJ-flavoured DSL.
+//!
+//! The grammar (terminals quoted, every declaration ends with `.` — a small
+//! regularization of CafeOBJ syntax, noted in DESIGN.md):
+//!
+//! ```text
+//! module   := 'mod!' IDENT '{' item* '}'
+//! item     := 'pr' '(' IDENT ')'
+//!           | '[' IDENT+ ']'                          -- visible sorts
+//!           | '*[' IDENT+ ']*'                        -- hidden sorts
+//!           | ('op'|'bop') NAME ':' IDENT* '->' IDENT attrs? '.'
+//!           | ('var'|'vars') IDENT+ ':' IDENT '.'
+//!           | 'eq' term '=' term '.'
+//!           | 'ceq' term '=' term 'if' term '.'
+//! attrs    := '{' 'constr' '}'
+//! term     := implies
+//! implies  := iff ('implies' implies)?                -- right assoc
+//! iff      := xor ('iff' xor)*
+//! xor      := or ('xor' or)*
+//! or       := and ('or' and)*
+//! and      := cmp ('and' cmp)*
+//! cmp      := unary (('=' | '\in') unary)?
+//! unary    := 'not' unary | primary
+//! primary  := '(' term (',' term)? ')'                -- comma = bag cons
+//!           | IDENT ('(' term (',' term)* ')')?
+//! ```
+//!
+//! Equation left-hand sides are parsed at `cmp` precedence without the `=`
+//! production, so the top-level `=` always separates the equation's sides.
+
+use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
+use crate::error::SpecError;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::spec::Spec;
+use equitls_kernel::prelude::*;
+use std::collections::HashMap;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SpecError> {
+        let t = self.peek();
+        Err(SpecError::Parse {
+            line: t.line,
+            column: t.column,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SpecError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SpecError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Assemble a (possibly mixfix) operator name up to the `:` of its
+    /// declaration: `_,_`, `_\in_`, `_=_`, `ch?`, `c-cert`, ….
+    fn op_name(&mut self) -> Result<String, SpecError> {
+        let mut name = String::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Colon => break,
+                TokenKind::Ident(s) => {
+                    name.push_str(&s);
+                    self.next();
+                }
+                TokenKind::Comma => {
+                    name.push(',');
+                    self.next();
+                }
+                TokenKind::In => {
+                    name.push_str("\\in");
+                    self.next();
+                }
+                TokenKind::Equals => {
+                    name.push('=');
+                    self.next();
+                }
+                other => {
+                    return self.error(format!("unexpected {other} in operator name"));
+                }
+            }
+        }
+        if name.is_empty() {
+            return self.error("empty operator name");
+        }
+        Ok(name)
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- terms -----------------------------------------------------------
+
+    fn term(&mut self) -> Result<TermAst, SpecError> {
+        self.implies_level()
+    }
+
+    fn implies_level(&mut self) -> Result<TermAst, SpecError> {
+        let lhs = self.iff_level()?;
+        if self.eat_keyword("implies") {
+            let rhs = self.implies_level()?;
+            return Ok(TermAst::Bin(BinOp::Implies, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn iff_level(&mut self) -> Result<TermAst, SpecError> {
+        let mut lhs = self.xor_level()?;
+        while self.eat_keyword("iff") {
+            let rhs = self.xor_level()?;
+            lhs = TermAst::Bin(BinOp::Iff, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn xor_level(&mut self) -> Result<TermAst, SpecError> {
+        let mut lhs = self.or_level()?;
+        while self.eat_keyword("xor") {
+            let rhs = self.or_level()?;
+            lhs = TermAst::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or_level(&mut self) -> Result<TermAst, SpecError> {
+        let mut lhs = self.and_level()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_level()?;
+            lhs = TermAst::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_level(&mut self) -> Result<TermAst, SpecError> {
+        let mut lhs = self.cmp_level(true)?;
+        while self.eat_keyword("and") {
+            let rhs = self.cmp_level(true)?;
+            lhs = TermAst::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_level(&mut self, allow_eq: bool) -> Result<TermAst, SpecError> {
+        let lhs = self.unary()?;
+        match self.peek().kind {
+            TokenKind::Equals if allow_eq => {
+                self.next();
+                let rhs = self.unary()?;
+                Ok(TermAst::Bin(BinOp::Eq, Box::new(lhs), Box::new(rhs)))
+            }
+            TokenKind::In => {
+                self.next();
+                let rhs = self.unary()?;
+                Ok(TermAst::Bin(BinOp::In, Box::new(lhs), Box::new(rhs)))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<TermAst, SpecError> {
+        if self.eat_keyword("not") {
+            let inner = self.unary()?;
+            return Ok(TermAst::Not(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<TermAst, SpecError> {
+        match self.peek().kind.clone() {
+            TokenKind::LParen => {
+                self.next();
+                let first = self.term()?;
+                if self.peek().kind == TokenKind::Comma {
+                    self.next();
+                    let second = self.term()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(TermAst::Bin(
+                        BinOp::BagCons,
+                        Box::new(first),
+                        Box::new(second),
+                    ));
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(first)
+            }
+            TokenKind::Ident(name) => {
+                self.next();
+                if self.peek().kind == TokenKind::LParen {
+                    self.next();
+                    let mut args = vec![self.term()?];
+                    while self.peek().kind == TokenKind::Comma {
+                        self.next();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(TermAst::App(name, args))
+                } else {
+                    Ok(TermAst::Ident(name))
+                }
+            }
+            other => self.error(format!("expected a term, found {other}")),
+        }
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn module(&mut self) -> Result<ModuleAst, SpecError> {
+        if !self.eat_keyword("mod!") {
+            return self.error("expected `mod!`");
+        }
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut m = ModuleAst {
+            name,
+            ..ModuleAst::default()
+        };
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.next();
+                    break;
+                }
+                TokenKind::LBracket => {
+                    self.next();
+                    while let TokenKind::Ident(s) = self.peek().kind.clone() {
+                        m.visible_sorts.push(s);
+                        self.next();
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                }
+                TokenKind::StarLBracket => {
+                    self.next();
+                    while let TokenKind::Ident(s) = self.peek().kind.clone() {
+                        m.hidden_sorts.push(s);
+                        self.next();
+                    }
+                    self.expect(&TokenKind::RBracketStar)?;
+                }
+                TokenKind::Ident(kw) if kw == "pr" => {
+                    self.next();
+                    self.expect(&TokenKind::LParen)?;
+                    m.imports.push(self.expect_ident()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                TokenKind::Ident(kw) if kw == "op" || kw == "bop" => {
+                    self.next();
+                    let behavioural = kw == "bop";
+                    let name = self.op_name()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let mut args = Vec::new();
+                    while let TokenKind::Ident(s) = self.peek().kind.clone() {
+                        args.push(s);
+                        self.next();
+                    }
+                    self.expect(&TokenKind::Arrow)?;
+                    let result = self.expect_ident()?;
+                    let mut constructor = false;
+                    if self.peek().kind == TokenKind::LBrace {
+                        self.next();
+                        if self.eat_keyword("constr") {
+                            constructor = true;
+                        } else {
+                            return self.error("expected `constr` attribute");
+                        }
+                        self.expect(&TokenKind::RBrace)?;
+                    }
+                    self.expect(&TokenKind::Period)?;
+                    m.ops.push(OpAst {
+                        behavioural,
+                        name,
+                        args,
+                        result,
+                        constructor,
+                    });
+                }
+                TokenKind::Ident(kw) if kw == "var" || kw == "vars" => {
+                    self.next();
+                    let mut names = vec![self.expect_ident()?];
+                    while let TokenKind::Ident(s) = self.peek().kind.clone() {
+                        names.push(s);
+                        self.next();
+                    }
+                    // Last "name" before `:` is consumed above; the sort
+                    // follows the colon.
+                    self.expect(&TokenKind::Colon)?;
+                    let sort = self.expect_ident()?;
+                    self.expect(&TokenKind::Period)?;
+                    m.vars.push((names, sort));
+                }
+                TokenKind::Ident(kw) if kw == "eq" || kw == "ceq" => {
+                    self.next();
+                    let conditional = kw == "ceq";
+                    let mut label = None;
+                    if self.peek().kind == TokenKind::LBracket {
+                        self.next();
+                        label = Some(self.expect_ident()?);
+                        self.expect(&TokenKind::RBracket)?;
+                        self.expect(&TokenKind::Colon)?;
+                    }
+                    let lhs = self.cmp_level(false)?;
+                    self.expect(&TokenKind::Equals)?;
+                    let rhs = self.term()?;
+                    let cond = if conditional {
+                        if !self.eat_keyword("if") {
+                            return self.error("expected `if` in ceq");
+                        }
+                        Some(self.term()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&TokenKind::Period)?;
+                    m.eqs.push(EqAst {
+                        label,
+                        lhs,
+                        rhs,
+                        cond,
+                    });
+                }
+                other => return self.error(format!("unexpected {other} in module body")),
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Parse the text of one `mod! … { … }` module.
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] with position information.
+pub fn parse_module(input: &str) -> Result<ModuleAst, SpecError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let m = p.module()?;
+    if p.peek().kind != TokenKind::Eof {
+        return p.error("trailing input after module");
+    }
+    Ok(m)
+}
+
+/// Parse a standalone term.
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] with position information.
+pub fn parse_term_ast(input: &str) -> Result<TermAst, SpecError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.term()?;
+    if p.peek().kind != TokenKind::Eof {
+        return p.error("trailing input after term");
+    }
+    Ok(t)
+}
+
+// ---- elaboration ----------------------------------------------------------
+
+/// Scope used while elaborating term ASTs: module variables by name.
+#[derive(Debug, Default)]
+pub struct ElabScope {
+    vars: HashMap<String, TermId>,
+}
+
+impl ElabScope {
+    /// Empty scope (constants only).
+    pub fn new() -> Self {
+        ElabScope::default()
+    }
+
+    /// Bind a variable name to its occurrence term.
+    pub fn bind(&mut self, name: &str, occurrence: TermId) {
+        self.vars.insert(name.to_string(), occurrence);
+    }
+}
+
+/// Elaborate a term AST against a specification.
+///
+/// # Errors
+///
+/// Resolution failures ([`SpecError::UnresolvedIdent`],
+/// [`SpecError::UnknownOp`]) and kernel sort errors.
+pub fn elaborate_term(
+    spec: &mut Spec,
+    scope: &ElabScope,
+    ast: &TermAst,
+) -> Result<TermId, SpecError> {
+    match ast {
+        TermAst::Ident(name) => {
+            if let Some(&t) = scope.vars.get(name) {
+                return Ok(t);
+            }
+            spec.const_term(name)
+        }
+        TermAst::App(name, args) => {
+            let mut arg_terms = Vec::with_capacity(args.len());
+            for a in args {
+                arg_terms.push(elaborate_term(spec, scope, a)?);
+            }
+            match spec.app(name, &arg_terms) {
+                Ok(t) => Ok(t),
+                Err(first_err) => {
+                    // `cpms(M , NW)` parses as a two-argument call, but the
+                    // comma may be the bag constructor `_,_`: retry with the
+                    // arguments folded right-associatively.
+                    if arg_terms.len() >= 2 {
+                        let mut folded = *arg_terms.last().expect("non-empty");
+                        for &a in arg_terms[..arg_terms.len() - 1].iter().rev() {
+                            match spec.app("_,_", &[a, folded]) {
+                                Ok(t) => folded = t,
+                                Err(_) => return Err(first_err),
+                            }
+                        }
+                        if let Ok(t) = spec.app(name, &[folded]) {
+                            return Ok(t);
+                        }
+                    }
+                    Err(first_err)
+                }
+            }
+        }
+        TermAst::Not(inner) => {
+            let t = elaborate_term(spec, scope, inner)?;
+            let alg = spec.alg().clone();
+            Ok(alg.not(spec.store_mut(), t)?)
+        }
+        TermAst::Bin(op, lhs, rhs) => {
+            let l = elaborate_term(spec, scope, lhs)?;
+            let r = elaborate_term(spec, scope, rhs)?;
+            let alg = spec.alg().clone();
+            match op {
+                BinOp::And => Ok(alg.and(spec.store_mut(), l, r)?),
+                BinOp::Or => Ok(alg.or(spec.store_mut(), l, r)?),
+                BinOp::Xor => Ok(alg.xor(spec.store_mut(), l, r)?),
+                BinOp::Implies => Ok(alg.implies(spec.store_mut(), l, r)?),
+                BinOp::Iff => Ok(alg.iff(spec.store_mut(), l, r)?),
+                BinOp::Eq => spec.eq_term(l, r),
+                BinOp::In => spec.app("_\\in_", &[l, r]),
+                BinOp::BagCons => spec.app("_,_", &[l, r]),
+            }
+        }
+    }
+}
+
+/// Elaborate a whole module AST into the specification.
+///
+/// Declarations are installed in order: imports, sorts, operators,
+/// variables, then equations. Equation labels default to
+/// `<module>-eq<index>`.
+///
+/// # Errors
+///
+/// Any resolution or validation failure, with the module partially
+/// installed (callers usually abort on error).
+pub fn elaborate_module(spec: &mut Spec, ast: &ModuleAst) -> Result<(), SpecError> {
+    spec.begin_module(&ast.name);
+    for import in &ast.imports {
+        spec.import(import);
+    }
+    for s in &ast.visible_sorts {
+        spec.visible_sort(s)?;
+    }
+    for s in &ast.hidden_sorts {
+        spec.hidden_sort(s)?;
+    }
+    for op in &ast.ops {
+        let args: Vec<&str> = op.args.iter().map(String::as_str).collect();
+        let attrs = if op.constructor {
+            OpAttrs::constructor()
+        } else if op.behavioural {
+            let hidden = spec
+                .sort_id(&op.result)
+                .map(|s| spec.store().signature().sort(s).kind.is_hidden())
+                .unwrap_or(false);
+            if hidden {
+                OpAttrs::action()
+            } else {
+                OpAttrs::observer()
+            }
+        } else {
+            OpAttrs::defined()
+        };
+        spec.op(&op.name, &args, &op.result, attrs)?;
+    }
+    let mut scope = ElabScope::new();
+    for (names, sort) in &ast.vars {
+        for name in names {
+            let occurrence = spec.var(name, sort)?;
+            scope.bind(name, occurrence);
+        }
+    }
+    for (i, eq) in ast.eqs.iter().enumerate() {
+        let label = eq
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("{}-eq{}", ast.name, i + 1));
+        let lhs = elaborate_term(spec, &scope, &eq.lhs)?;
+        let rhs = elaborate_term(spec, &scope, &eq.rhs)?;
+        match &eq.cond {
+            None => spec.eq(&label, lhs, rhs)?,
+            Some(c) => {
+                let cond = elaborate_term(spec, &scope, c)?;
+                spec.ceq(&label, lhs, rhs, cond)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_module() {
+        let src = r#"
+            mod! BAG {
+              pr(BOOL)
+              [ Elt Bag ]
+              op void : -> Bag {constr} .
+              op _,_ : Elt Bag -> Bag {constr} .
+              op _\in_ : Elt Bag -> Bool .
+              vars E E2 : Elt .
+              var B : Bag .
+              eq E \in void = false .
+              eq E \in (E2 , B) = (E = E2) or (E \in B) .
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.name, "BAG");
+        assert_eq!(m.imports, vec!["BOOL"]);
+        assert_eq!(m.visible_sorts, vec!["Elt", "Bag"]);
+        assert_eq!(m.ops.len(), 3);
+        assert!(m.ops[0].constructor);
+        assert_eq!(m.eqs.len(), 2);
+    }
+
+    #[test]
+    fn elaborated_bag_membership_rewrites() {
+        let src = r#"
+            mod! BAG {
+              [ Elt Bag ]
+              op a : -> Elt {constr} .
+              op b : -> Elt {constr} .
+              op c : -> Elt {constr} .
+              op void : -> Bag {constr} .
+              op _,_ : Elt Bag -> Bag {constr} .
+              op _\in_ : Elt Bag -> Bool .
+              vars E E2 : Elt .
+              var B : Bag .
+              eq E \in void = false .
+              eq E \in (E2 , B) = (E = E2) or (E \in B) .
+            }
+        "#;
+        let mut spec = Spec::new().unwrap();
+        let ast = parse_module(src).unwrap();
+        elaborate_module(&mut spec, &ast).unwrap();
+        // a \in (b , (a , void))  ->  true
+        let t = {
+            let scope = ElabScope::new();
+            let ast = parse_term_ast(r"a \in (b , (a , void))").unwrap();
+            elaborate_term(&mut spec, &scope, &ast).unwrap()
+        };
+        let alg = spec.alg().clone();
+        let n = spec.red(t).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+        // c \in (b , (a , void))  ->  false
+        let t2 = {
+            let scope = ElabScope::new();
+            let ast = parse_term_ast(r"c \in (b , (a , void))").unwrap();
+            elaborate_term(&mut spec, &scope, &ast).unwrap()
+        };
+        let n2 = spec.red(t2).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n2), Some(false));
+    }
+
+    #[test]
+    fn parses_hidden_sorts_and_bops() {
+        let src = r#"
+            mod! MACHINE {
+              [ Data ]
+              *[ Sys ]*
+              op d0 : -> Data {constr} .
+              bop val : Sys -> Data .
+              bop step : Sys -> Sys .
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.hidden_sorts, vec!["Sys"]);
+        let mut spec = Spec::new().unwrap();
+        elaborate_module(&mut spec, &m).unwrap();
+        let val = spec.store().signature().op_by_name("val").unwrap();
+        let step = spec.store().signature().op_by_name("step").unwrap();
+        assert_eq!(
+            spec.store().signature().op(val).attrs.kind,
+            equitls_kernel::op::OpKind::Observer
+        );
+        assert_eq!(
+            spec.store().signature().op(step).attrs.kind,
+            equitls_kernel::op::OpKind::Action
+        );
+    }
+
+    #[test]
+    fn conditional_equations_parse_and_fire() {
+        let src = r#"
+            mod! COND {
+              [ S ]
+              op c : -> S {constr} .
+              op d : -> S {constr} .
+              op pick : S S -> S .
+              vars X Y : S .
+              ceq pick(X, Y) = X if X = Y .
+            }
+        "#;
+        let mut spec = Spec::new().unwrap();
+        let ast = parse_module(src).unwrap();
+        elaborate_module(&mut spec, &ast).unwrap();
+        let scope = ElabScope::new();
+        let same = parse_term_ast("pick(c, c)").unwrap();
+        let same = elaborate_term(&mut spec, &scope, &same).unwrap();
+        let diff = parse_term_ast("pick(c, d)").unwrap();
+        let diff = elaborate_term(&mut spec, &scope, &diff).unwrap();
+        let c = spec.const_term("c").unwrap();
+        assert_eq!(spec.red(same).unwrap(), c);
+        assert_eq!(spec.red(diff).unwrap(), diff);
+    }
+
+    #[test]
+    fn labeled_equations_keep_their_labels() {
+        let src = r#"
+            mod! L {
+              [ S ]
+              op c : -> S {constr} .
+              op f : S -> S .
+              var X : S .
+              eq [f-is-id] : f(X) = X .
+            }
+        "#;
+        let mut spec = Spec::new().unwrap();
+        let ast = parse_module(src).unwrap();
+        elaborate_module(&mut spec, &ast).unwrap();
+        assert_eq!(
+            spec.modules().last().unwrap().equations,
+            vec!["f-is-id".to_string()]
+        );
+    }
+
+    #[test]
+    fn operator_precedence_binds_as_documented() {
+        // `a and b or c` parses as `(a and b) or c`;
+        // `p implies q implies r` is right-associative.
+        let t = parse_term_ast("a and b or c").unwrap();
+        match t {
+            TermAst::Bin(BinOp::Or, lhs, _) => {
+                assert!(matches!(*lhs, TermAst::Bin(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let t = parse_term_ast("p implies q implies r").unwrap();
+        match t {
+            TermAst::Bin(BinOp::Implies, _, rhs) => {
+                assert!(matches!(*rhs, TermAst::Bin(BinOp::Implies, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_module("mod! X { op f : -> }").unwrap_err();
+        match err {
+            SpecError::Parse { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert!(column > 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Rendering specifications back to the surface DSL.
+//!
+//! The inverse of [`crate::parser`]: a [`ModuleAst`] (or a term AST)
+//! pretty-prints to text that re-parses to the same AST — checked by a
+//! round-trip property test. [`render_spec_module`] additionally renders a
+//! *live* module of a [`crate::spec::Spec`] (one that was installed via
+//! the builder or the parser) so the whole TLS specification can be
+//! exported as a CafeOBJ-style file.
+
+use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
+use crate::spec::Spec;
+use equitls_kernel::op::OpKind;
+use equitls_kernel::sort::SortKind;
+use std::fmt::Write as _;
+
+/// Precedence levels, loosest first (mirrors the parser's grammar).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Implies => 1,
+        BinOp::Iff => 2,
+        BinOp::Xor => 3,
+        BinOp::Or => 4,
+        BinOp::And => 5,
+        BinOp::Eq | BinOp::In => 6,
+        BinOp::BagCons => 8,
+    }
+}
+
+/// Render a term AST, parenthesizing exactly where the parser needs it.
+pub fn render_term(ast: &TermAst) -> String {
+    render_at(ast, 0)
+}
+
+fn render_at(ast: &TermAst, min_prec: u8) -> String {
+    match ast {
+        TermAst::Ident(name) => name.clone(),
+        TermAst::App(name, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| render_at(a, 0)).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        TermAst::Not(inner) => format!("not {}", render_at(inner, 7)),
+        TermAst::Bin(BinOp::BagCons, lhs, rhs) => {
+            format!("({} , {})", render_at(lhs, 0), render_at(rhs, 0))
+        }
+        TermAst::Bin(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            let symbol = match op {
+                BinOp::Implies => "implies",
+                BinOp::Iff => "iff",
+                BinOp::Xor => "xor",
+                BinOp::Or => "or",
+                BinOp::And => "and",
+                BinOp::Eq => "=",
+                BinOp::In => "\\in",
+                BinOp::BagCons => unreachable!("handled above"),
+            };
+            // `implies` is right-associative; the chain operators are
+            // left-associative; comparisons do not chain.
+            let (lmin, rmin) = match op {
+                BinOp::Implies => (prec + 1, prec),
+                BinOp::Eq | BinOp::In => (prec + 1, prec + 1),
+                _ => (prec, prec + 1),
+            };
+            let text = format!(
+                "{} {symbol} {}",
+                render_at(lhs, lmin),
+                render_at(rhs, rmin)
+            );
+            if prec < min_prec {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+    }
+}
+
+/// Render a module AST as DSL text (re-parses to the same AST).
+pub fn render_module(m: &ModuleAst) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mod! {} {{", m.name);
+    for import in &m.imports {
+        let _ = writeln!(out, "  pr({import})");
+    }
+    if !m.visible_sorts.is_empty() {
+        let _ = writeln!(out, "  [ {} ]", m.visible_sorts.join(" "));
+    }
+    if !m.hidden_sorts.is_empty() {
+        let _ = writeln!(out, "  *[ {} ]*", m.hidden_sorts.join(" "));
+    }
+    for op in &m.ops {
+        let _ = writeln!(out, "  {}", render_op(op));
+    }
+    for (names, sort) in &m.vars {
+        let keyword = if names.len() > 1 { "vars" } else { "var" };
+        let _ = writeln!(out, "  {keyword} {} : {sort} .", names.join(" "));
+    }
+    for eq in &m.eqs {
+        let _ = writeln!(out, "  {}", render_eq(eq));
+    }
+    out.push('}');
+    out
+}
+
+fn render_op(op: &OpAst) -> String {
+    let keyword = if op.behavioural { "bop" } else { "op" };
+    let attrs = if op.constructor { " {constr}" } else { "" };
+    format!(
+        "{keyword} {} : {} -> {}{attrs} .",
+        op.name,
+        op.args.join(" "),
+        op.result
+    )
+}
+
+fn render_eq(eq: &EqAst) -> String {
+    let label = eq
+        .label
+        .as_ref()
+        .map(|l| format!("[{l}] : "))
+        .unwrap_or_default();
+    match &eq.cond {
+        None => format!("eq {label}{} = {} .", render_term(&eq.lhs), render_term(&eq.rhs)),
+        Some(c) => format!(
+            "ceq {label}{} = {} if {} .",
+            render_term(&eq.lhs),
+            render_term(&eq.rhs),
+            render_term(c)
+        ),
+    }
+}
+
+/// Render a live module of `spec` (declarations only — the equations of a
+/// built spec are rule terms, rendered through the kernel printer).
+pub fn render_spec_module(spec: &Spec, module_name: &str) -> Option<String> {
+    let info = spec.modules().iter().find(|m| m.name == module_name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "mod! {} {{", info.name);
+    for import in &info.imports {
+        let _ = writeln!(out, "  pr({import})");
+    }
+    let sig = spec.store().signature();
+    let visible: Vec<&str> = info
+        .sorts
+        .iter()
+        .filter(|s| {
+            sig.sort_by_name(s)
+                .is_some_and(|id| sig.sort(id).kind == SortKind::Visible)
+        })
+        .map(String::as_str)
+        .collect();
+    let hidden: Vec<&str> = info
+        .sorts
+        .iter()
+        .filter(|s| {
+            sig.sort_by_name(s)
+                .is_some_and(|id| sig.sort(id).kind == SortKind::Hidden)
+        })
+        .map(String::as_str)
+        .collect();
+    if !visible.is_empty() {
+        let _ = writeln!(out, "  [ {} ]", visible.join(" "));
+    }
+    if !hidden.is_empty() {
+        let _ = writeln!(out, "  *[ {} ]*", hidden.join(" "));
+    }
+    for &op_id in &info.ops {
+        let decl = sig.op(op_id);
+        let keyword = match decl.attrs.kind {
+            OpKind::Observer | OpKind::Action => "bop",
+            _ => "op",
+        };
+        let attrs = if decl.attrs.kind == OpKind::Constructor {
+            " {constr}"
+        } else {
+            ""
+        };
+        let args: Vec<&str> = decl
+            .args
+            .iter()
+            .map(|&s| sig.sort(s).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {keyword} {} : {} -> {}{attrs} .",
+            decl.name,
+            args.join(" "),
+            sig.sort(decl.result).name
+        );
+    }
+    let _ = writeln!(out, "  -- {} equation(s) installed", info.equations.len());
+    out.push('}');
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_module, parse_term_ast};
+
+    #[test]
+    fn simple_terms_round_trip() {
+        for src in [
+            "a",
+            "f(a, b)",
+            "not a",
+            "a and b or c",
+            "a implies b implies c",
+            "(a , nw(p))",
+            r"x \in cpms(nw(p))",
+            "client(pm) = intruder or server(pm) = intruder",
+        ] {
+            let ast = parse_term_ast(src).unwrap();
+            let rendered = render_term(&ast);
+            let reparsed = parse_term_ast(&rendered)
+                .unwrap_or_else(|e| panic!("`{rendered}` does not reparse: {e}"));
+            assert_eq!(ast, reparsed, "src `{src}` → `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn precedence_is_preserved_not_flattened() {
+        // (a or b) and c must keep its parentheses.
+        let src = "(a or b) and c";
+        let ast = parse_term_ast(src).unwrap();
+        let rendered = render_term(&ast);
+        let reparsed = parse_term_ast(&rendered).unwrap();
+        assert_eq!(ast, reparsed);
+        assert!(rendered.contains('('), "needs parens: {rendered}");
+    }
+
+    #[test]
+    fn modules_round_trip() {
+        let src = r#"
+            mod! BAG {
+              pr(BOOL)
+              [ Elt Bag ]
+              op void : -> Bag {constr} .
+              op _,_ : Elt Bag -> Bag {constr} .
+              op _\in_ : Elt Bag -> Bool .
+              vars E E2 : Elt .
+              var B : Bag .
+              eq E \in void = false .
+              eq E \in (E2 , B) = (E = E2) or (E \in B) .
+              ceq [guarded] : E \in void = true if E = E2 .
+            }
+        "#;
+        let ast = parse_module(src).unwrap();
+        let rendered = render_module(&ast);
+        let reparsed = parse_module(&rendered)
+            .unwrap_or_else(|e| panic!("rendered module does not reparse: {e}\n{rendered}"));
+        assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn live_tls_module_renders() {
+        let mut spec = Spec::new().unwrap();
+        spec.load_module(
+            r#"
+            mod! M {
+              [ S ]
+              *[ H ]*
+              op c : -> S {constr} .
+              bop obs : H -> S .
+              bop act : H -> H .
+              var X : S .
+              eq [self] : c = c .
+            }
+            "#,
+        )
+        .unwrap();
+        let text = render_spec_module(&spec, "M").unwrap();
+        assert!(text.contains("[ S ]"));
+        assert!(text.contains("*[ H ]*"));
+        assert!(text.contains("op c : "));
+        assert!(text.contains("bop obs : H -> S ."));
+        assert!(text.contains("1 equation(s)"));
+        assert!(render_spec_module(&spec, "NOPE").is_none());
+    }
+}

@@ -1,0 +1,464 @@
+//! The [`Spec`] container: a term store, the `BOOL` built-in, equations,
+//! and module bookkeeping.
+//!
+//! A `Spec` plays the role of a loaded CafeOBJ session: modules declare
+//! sorts, operators, variables and equations; the accumulated equations
+//! form the rewrite system handed to [`Normalizer`]s; proof passages
+//! (`open … close`, see [`crate::passage`]) run on top.
+
+use crate::error::SpecError;
+use equitls_kernel::prelude::*;
+use equitls_rewrite::prelude::*;
+
+/// Metadata about one declared module (for listing and rendering).
+#[derive(Debug, Clone, Default)]
+pub struct ModuleInfo {
+    /// Module name, e.g. `"NETWORK"`.
+    pub name: String,
+    /// Imported module names (`pr(...)`).
+    pub imports: Vec<String>,
+    /// Names of sorts declared here.
+    pub sorts: Vec<String>,
+    /// Operators declared here.
+    pub ops: Vec<OpId>,
+    /// Labels of equations declared here.
+    pub equations: Vec<String>,
+}
+
+/// A specification under construction: signature + store + rules + modules.
+///
+/// # Example
+///
+/// ```
+/// use equitls_spec::prelude::*;
+///
+/// let mut spec = Spec::new()?;
+/// spec.begin_module("PAIR");
+/// spec.visible_sort("Elt")?;
+/// spec.constructor("a", &[], "Elt")?;
+/// spec.constructor("b", &[], "Elt")?;
+/// spec.defined_op("swap", &["Elt"], "Elt")?;
+/// let a = spec.parse_term("a")?;
+/// let b = spec.parse_term("b")?;
+/// let swap_a = spec.parse_term("swap(a)")?;
+/// let swap_b = spec.parse_term("swap(b)")?;
+/// spec.eq("swap-a", swap_a, b)?;
+/// spec.eq("swap-b", swap_b, a)?;
+/// let mut norm = spec.normalizer();
+/// let (store, goal) = (spec.store_mut(), swap_a);
+/// assert_eq!(norm.normalize(store, goal)?, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spec {
+    store: TermStore,
+    alg: BoolAlg,
+    rules: RuleSet,
+    modules: Vec<ModuleInfo>,
+}
+
+impl Spec {
+    /// A fresh specification with `BOOL` installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (cannot occur on a fresh signature).
+    pub fn new() -> Result<Self, SpecError> {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig)?;
+        let store = TermStore::new(sig);
+        let bool_module = ModuleInfo {
+            name: "BOOL".to_string(),
+            imports: Vec::new(),
+            sorts: vec!["Bool".to_string()],
+            ops: Vec::new(),
+            equations: Vec::new(),
+        };
+        Ok(Spec {
+            store,
+            alg,
+            rules: RuleSet::new(),
+            modules: vec![bool_module],
+        })
+    }
+
+    /// The term store.
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Mutable access to the term store.
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// The Boolean vocabulary.
+    pub fn alg(&self) -> &BoolAlg {
+        &self.alg
+    }
+
+    /// Mutable access to the Boolean vocabulary (per-sort `_=_` creation).
+    pub fn alg_mut(&mut self) -> &mut BoolAlg {
+        &mut self.alg
+    }
+
+    /// The accumulated rewrite rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The declared modules, `BOOL` first.
+    pub fn modules(&self) -> &[ModuleInfo] {
+        &self.modules
+    }
+
+    /// Start a new module; subsequent declarations are recorded under it.
+    pub fn begin_module(&mut self, name: &str) -> &mut ModuleInfo {
+        self.modules.push(ModuleInfo {
+            name: name.to_string(),
+            ..ModuleInfo::default()
+        });
+        self.modules.last_mut().expect("just pushed")
+    }
+
+    fn current_module(&mut self) -> &mut ModuleInfo {
+        if self.modules.len() == 1 {
+            // Implicit scratch module when the user never began one.
+            self.begin_module("SCRATCH");
+        }
+        self.modules.last_mut().expect("non-empty")
+    }
+
+    /// Record an import on the current module (metadata only — all
+    /// declarations share one global signature, as the paper's flat
+    /// specification does).
+    pub fn import(&mut self, name: &str) {
+        let name = name.to_string();
+        let m = self.current_module();
+        if !m.imports.contains(&name) {
+            m.imports.push(name);
+        }
+    }
+
+    /// Declare a visible sort in the current module.
+    ///
+    /// The equality operator `_=_ : S S -> Bool` is declared eagerly so
+    /// that every normalizer cloned from this specification recognizes
+    /// equalities at the new sort.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Kernel`] on duplicates.
+    pub fn visible_sort(&mut self, name: &str) -> Result<SortId, SpecError> {
+        let id = self.store.signature_mut().add_visible_sort(name)?;
+        self.alg.ensure_eq(self.store.signature_mut(), id)?;
+        self.current_module().sorts.push(name.to_string());
+        Ok(id)
+    }
+
+    /// Declare a hidden sort in the current module.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Kernel`] on duplicates.
+    pub fn hidden_sort(&mut self, name: &str) -> Result<SortId, SpecError> {
+        let id = self.store.signature_mut().add_hidden_sort(name)?;
+        self.current_module().sorts.push(name.to_string());
+        Ok(id)
+    }
+
+    /// Look up a sort by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownSort`] when absent.
+    pub fn sort_id(&self, name: &str) -> Result<SortId, SpecError> {
+        self.store
+            .signature()
+            .sort_by_name(name)
+            .ok_or_else(|| SpecError::UnknownSort(name.to_string()))
+    }
+
+    fn sort_ids(&self, names: &[&str]) -> Result<Vec<SortId>, SpecError> {
+        names.iter().map(|n| self.sort_id(n)).collect()
+    }
+
+    /// Declare an operator with explicit attributes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sorts or duplicate declarations.
+    pub fn op(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        result: &str,
+        attrs: OpAttrs,
+    ) -> Result<OpId, SpecError> {
+        let arg_ids = self.sort_ids(args)?;
+        let result_id = self.sort_id(result)?;
+        let id = self
+            .store
+            .signature_mut()
+            .add_op(name, &arg_ids, result_id, attrs)?;
+        self.current_module().ops.push(id);
+        Ok(id)
+    }
+
+    /// Declare a free constructor.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sorts or duplicate declarations.
+    pub fn constructor(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+        self.op(name, args, result, OpAttrs::constructor())
+    }
+
+    /// Declare a defined (equation-given) operator.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sorts or duplicate declarations.
+    pub fn defined_op(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+        self.op(name, args, result, OpAttrs::defined())
+    }
+
+    /// Declare an observation operator (`bop` returning a visible sort).
+    ///
+    /// # Errors
+    ///
+    /// Unknown sorts or duplicate declarations.
+    pub fn observer(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+        self.op(name, args, result, OpAttrs::observer())
+    }
+
+    /// Declare an action operator (`bop` returning the hidden sort).
+    ///
+    /// # Errors
+    ///
+    /// Unknown sorts or duplicate declarations.
+    pub fn action(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+        self.op(name, args, result, OpAttrs::action())
+    }
+
+    /// Declare a variable usable in subsequent equations.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sort or sort clash with an existing variable of that name.
+    pub fn var(&mut self, name: &str, sort: &str) -> Result<TermId, SpecError> {
+        let sort_id = self.sort_id(sort)?;
+        let v = self.store.declare_var(name, sort_id)?;
+        Ok(self.store.var(v))
+    }
+
+    /// Intern a constant term by operator name.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownOp`] when no nullary operator has this name.
+    pub fn const_term(&mut self, name: &str) -> Result<TermId, SpecError> {
+        let op = self
+            .store
+            .signature()
+            .ops_by_name(name)
+            .iter()
+            .copied()
+            .find(|&id| self.store.signature().op(id).is_constant())
+            .ok_or_else(|| SpecError::UnknownOp {
+                name: name.to_string(),
+                args: Some(String::new()),
+            })?;
+        Ok(self.store.constant(op))
+    }
+
+    /// Build an application, resolving overloads by the argument sorts.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownOp`] when resolution fails.
+    pub fn app(&mut self, name: &str, args: &[TermId]) -> Result<TermId, SpecError> {
+        let arg_sorts: Vec<SortId> = args.iter().map(|&a| self.store.sort_of(a)).collect();
+        let op = match self.store.signature().resolve_op(name, &arg_sorts) {
+            Some(op) => op,
+            None => {
+                // Fall back to a unique same-arity candidate for better
+                // error messages on near misses.
+                let cands: Vec<OpId> = self
+                    .store
+                    .signature()
+                    .ops_by_name(name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.store.signature().op(id).arity() == args.len())
+                    .collect();
+                if cands.len() == 1 {
+                    cands[0]
+                } else {
+                    let rendered = arg_sorts
+                        .iter()
+                        .map(|&s| self.store.signature().sort(s).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    return Err(SpecError::UnknownOp {
+                        name: name.to_string(),
+                        args: Some(rendered),
+                    });
+                }
+            }
+        };
+        Ok(self.store.app(op, args)?)
+    }
+
+    /// Build the equality term `a = b`.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors when the sides' sorts differ.
+    pub fn eq_term(&mut self, a: TermId, b: TermId) -> Result<TermId, SpecError> {
+        Ok(self.alg.eq(&mut self.store, a, b)?)
+    }
+
+    /// Add an unconditional equation `lhs = rhs` as a rewrite rule.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Rewrite`] for malformed rules.
+    pub fn eq(&mut self, label: &str, lhs: TermId, rhs: TermId) -> Result<(), SpecError> {
+        let bool_sort = self.alg.sort();
+        self.rules
+            .add(&self.store, label, lhs, rhs, None, Some(bool_sort))?;
+        self.current_module().equations.push(label.to_string());
+        Ok(())
+    }
+
+    /// Add a conditional equation `lhs = rhs if cond`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Rewrite`] for malformed rules.
+    pub fn ceq(
+        &mut self,
+        label: &str,
+        lhs: TermId,
+        rhs: TermId,
+        cond: TermId,
+    ) -> Result<(), SpecError> {
+        let bool_sort = self.alg.sort();
+        self.rules
+            .add(&self.store, label, lhs, rhs, Some(cond), Some(bool_sort))?;
+        self.current_module().equations.push(label.to_string());
+        Ok(())
+    }
+
+    /// A fresh normalizer over this specification's rules.
+    pub fn normalizer(&self) -> Normalizer {
+        Normalizer::new(self.alg.clone(), self.rules.clone())
+    }
+
+    /// Reduce a term to normal form with a throwaway normalizer — the
+    /// CafeOBJ `red` command at the top level.
+    ///
+    /// # Errors
+    ///
+    /// Rewriting errors (fuel).
+    pub fn red(&mut self, t: TermId) -> Result<TermId, SpecError> {
+        let mut norm = Normalizer::new(self.alg.clone(), self.rules.clone());
+        let result = norm.normalize(&mut self.store, t)?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_spec_has_bool_installed() {
+        let spec = Spec::new().unwrap();
+        assert_eq!(spec.modules()[0].name, "BOOL");
+        assert!(spec.store().signature().sort_by_name("Bool").is_some());
+    }
+
+    #[test]
+    fn builder_declares_and_rewrites() {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("M");
+        spec.visible_sort("S").unwrap();
+        spec.constructor("c", &[], "S").unwrap();
+        spec.constructor("d", &[], "S").unwrap();
+        spec.defined_op("f", &["S"], "S").unwrap();
+        let c = spec.const_term("c").unwrap();
+        let d = spec.const_term("d").unwrap();
+        let fc = spec.app("f", &[c]).unwrap();
+        spec.eq("f-c", fc, d).unwrap();
+        assert_eq!(spec.red(fc).unwrap(), d);
+        assert_eq!(spec.modules().last().unwrap().equations, vec!["f-c"]);
+    }
+
+    #[test]
+    fn conditional_equations_respect_conditions() {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("M");
+        spec.visible_sort("S").unwrap();
+        spec.constructor("c", &[], "S").unwrap();
+        spec.constructor("d", &[], "S").unwrap();
+        spec.defined_op("g", &["S", "S"], "S").unwrap();
+        let x = spec.var("X", "S").unwrap();
+        let y = spec.var("Y", "S").unwrap();
+        let gxy = spec.app("g", &[x, y]).unwrap();
+        let cond = spec.eq_term(x, y).unwrap();
+        let c = spec.const_term("c").unwrap();
+        spec.ceq("g-diag", gxy, c, cond).unwrap();
+        let d = spec.const_term("d").unwrap();
+        let gcc = spec.app("g", &[c, c]).unwrap();
+        let gcd = spec.app("g", &[c, d]).unwrap();
+        assert_eq!(spec.red(gcc).unwrap(), c);
+        assert_eq!(spec.red(gcd).unwrap(), gcd);
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let mut spec = Spec::new().unwrap();
+        assert!(matches!(
+            spec.sort_id("Nope"),
+            Err(SpecError::UnknownSort(_))
+        ));
+        assert!(matches!(
+            spec.const_term("nope"),
+            Err(SpecError::UnknownOp { .. })
+        ));
+        spec.begin_module("M");
+        spec.visible_sort("S").unwrap();
+        let e = spec.op("f", &["S", "Nope"], "S", OpAttrs::defined());
+        assert!(matches!(e, Err(SpecError::UnknownSort(_))));
+    }
+
+    #[test]
+    fn overload_resolution_uses_argument_sorts() {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("M");
+        spec.visible_sort("A").unwrap();
+        spec.visible_sort("B").unwrap();
+        spec.constructor("a0", &[], "A").unwrap();
+        spec.constructor("b0", &[], "B").unwrap();
+        spec.constructor("wrapA", &["A"], "A").unwrap();
+        spec.defined_op("size", &["A"], "A").unwrap();
+        spec.defined_op("size", &["B"], "B").unwrap();
+        let a0 = spec.const_term("a0").unwrap();
+        let b0 = spec.const_term("b0").unwrap();
+        let sa = spec.app("size", &[a0]).unwrap();
+        let sb = spec.app("size", &[b0]).unwrap();
+        assert_eq!(spec.store().sort_of(sa), spec.sort_id("A").unwrap());
+        assert_eq!(spec.store().sort_of(sb), spec.sort_id("B").unwrap());
+    }
+
+    #[test]
+    fn import_records_metadata() {
+        let mut spec = Spec::new().unwrap();
+        spec.begin_module("N");
+        spec.import("BOOL");
+        spec.import("BOOL");
+        assert_eq!(spec.modules().last().unwrap().imports, vec!["BOOL"]);
+    }
+}

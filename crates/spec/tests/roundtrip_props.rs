@@ -1,0 +1,136 @@
+//! Property-based parser/renderer round-trip: any module AST the renderer
+//! can print must re-parse to the identical AST.
+
+use equitls_spec::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
+use equitls_spec::parser::{parse_module, parse_term_ast};
+use equitls_spec::render::{render_module, render_term};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn sort_strategy() -> impl Strategy<Value = String> {
+    "[A-Z][a-z]{0,4}"
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Implies),
+        Just(BinOp::Iff),
+        Just(BinOp::Eq),
+        Just(BinOp::In),
+        Just(BinOp::BagCons),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = TermAst> {
+    let leaf = ident_strategy().prop_map(TermAst::Ident);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (ident_strategy(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| TermAst::App(f, args)),
+            inner.clone().prop_map(|t| TermAst::Not(Box::new(t))),
+            (inner.clone(), inner.clone(), binop_strategy())
+                .prop_map(|(a, b, op)| TermAst::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = OpAst> {
+    (
+        ident_strategy(),
+        proptest::collection::vec(sort_strategy(), 0..3),
+        sort_strategy(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, args, result, behavioural, constructor)| OpAst {
+            behavioural,
+            name,
+            args,
+            result,
+            // {constr} marks plain constructors; bops are never
+            // constructors in the rendered grammar.
+            constructor: constructor && !behavioural,
+        })
+}
+
+fn eq_strategy() -> impl Strategy<Value = EqAst> {
+    (
+        proptest::option::of("[a-z][a-z0-9-]{0,6}"),
+        term_strategy(),
+        term_strategy(),
+        proptest::option::of(term_strategy()),
+    )
+        .prop_map(|(label, lhs, rhs, cond)| {
+            // Equation left-hand sides parse at comparison level without a
+            // top-level `=`/`\in`/bare-binop: wrap anything else.
+            let lhs = match lhs {
+                TermAst::Bin(op, a, b) => {
+                    TermAst::App("w".into(), vec![TermAst::Bin(op, a, b)])
+                }
+                TermAst::Not(t) => TermAst::App("w".into(), vec![TermAst::Not(t)]),
+                other => other,
+            };
+            EqAst {
+                label,
+                lhs,
+                rhs,
+                cond,
+            }
+        })
+}
+
+fn module_strategy() -> impl Strategy<Value = ModuleAst> {
+    (
+        "[A-Z]{2,6}",
+        proptest::collection::vec("[A-Z]{2,5}", 0..2),
+        proptest::collection::btree_set(sort_strategy(), 0..3),
+        proptest::collection::btree_set(sort_strategy(), 0..2),
+        proptest::collection::vec(op_strategy(), 0..4),
+        proptest::collection::vec(
+            (
+                proptest::collection::btree_set(ident_strategy(), 1..3),
+                sort_strategy(),
+            ),
+            0..2,
+        ),
+        proptest::collection::vec(eq_strategy(), 0..3),
+    )
+        .prop_map(|(name, imports, visible, hidden, ops, vars, eqs)| ModuleAst {
+            name,
+            imports,
+            visible_sorts: visible.into_iter().collect(),
+            hidden_sorts: hidden.into_iter().collect(),
+            ops,
+            vars: vars
+                .into_iter()
+                .map(|(names, sort)| (names.into_iter().collect(), sort))
+                .collect(),
+            eqs,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn terms_round_trip(ast in term_strategy()) {
+        let rendered = render_term(&ast);
+        let reparsed = parse_term_ast(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` does not reparse: {e}"));
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn modules_round_trip(ast in module_strategy()) {
+        let rendered = render_module(&ast);
+        let reparsed = parse_module(&rendered)
+            .unwrap_or_else(|e| panic!("module does not reparse: {e}\n{rendered}"));
+        prop_assert_eq!(ast, reparsed);
+    }
+}

@@ -1,0 +1,52 @@
+//! Development driver: prove one property (or all) and print the report.
+//!
+//! ```text
+//! cargo run -p equitls-tls --bin tls-prove -- inv1
+//! cargo run -p equitls-tls --bin tls-prove -- --all
+//! cargo run -p equitls-tls --bin tls-prove -- --variant inv2
+//! ```
+
+use equitls_core::prelude::render_report_table;
+use equitls_tls::{verify, TlsModel};
+
+fn main() {
+    // Deep proof searches recurse heavily; run on a large stack.
+    let child = std::thread::Builder::new()
+        .stack_size(512 * 1024 * 1024)
+        .spawn(run)
+        .expect("spawn prover thread");
+    child.join().expect("prover thread panicked");
+}
+
+fn run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let variant = args.iter().any(|a| a == "--variant");
+    let mut model = if variant {
+        TlsModel::variant().expect("variant model builds")
+    } else {
+        TlsModel::standard().expect("standard model builds")
+    };
+    let names: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let mut reports = Vec::new();
+    if names.is_empty() {
+        reports = verify::verify_all(&mut model).expect("engine ok");
+    } else {
+        for name in &names {
+            match verify::verify_property(&mut model, name) {
+                Ok(r) => reports.push(r),
+                Err(e) => eprintln!("error proving {name}: {e}"),
+            }
+        }
+    }
+    for r in &reports {
+        println!("{r}");
+        for (action, case) in r.open_cases().into_iter().take(4) {
+            println!("  OPEN [{action}]");
+            for d in &case.decisions {
+                println!("    {d}");
+            }
+            println!("    residual: {}", case.residual);
+        }
+    }
+    println!("{}", render_report_table(&reports));
+}

@@ -1,0 +1,212 @@
+//! Concrete messages: the ten kinds of Figure 2 with creator / seeming
+//! sender / receiver metadata.
+
+use crate::concrete::data::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A message payload, one variant per message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Body {
+    /// ClientHello: random + cipher-suite list.
+    Ch {
+        /// Client random.
+        rand: Rand,
+        /// Offered cipher suites.
+        list: ChoiceList,
+    },
+    /// ServerHello: random + session id + chosen suite.
+    Sh {
+        /// Server random.
+        rand: Rand,
+        /// Session id.
+        sid: Sid,
+        /// Chosen suite.
+        choice: Choice,
+    },
+    /// Certificate.
+    Ct {
+        /// The certificate.
+        cert: Cert,
+    },
+    /// ClientKeyExchange: `epms(k(key_of), pms)`.
+    Kx {
+        /// Owner of the encrypting public key.
+        key_of: Prin,
+        /// The encrypted pre-master secret.
+        pms: Pms,
+    },
+    /// Client Finished: `ecfin(key, hash)`.
+    Cf {
+        /// Encrypting symmetric key.
+        key: SymKey,
+        /// The ClientFinish hash.
+        hash: FinHash,
+    },
+    /// Server Finished: `esfin(key, hash)`.
+    Sf {
+        /// Encrypting symmetric key.
+        key: SymKey,
+        /// The ServerFinish hash.
+        hash: FinHash,
+    },
+    /// ClientHello2 (resumption).
+    Ch2 {
+        /// Client random.
+        rand: Rand,
+        /// Session to resume.
+        sid: Sid,
+    },
+    /// ServerHello2.
+    Sh2 {
+        /// Server random.
+        rand: Rand,
+        /// Session id.
+        sid: Sid,
+        /// The (unchanged) suite.
+        choice: Choice,
+    },
+    /// ClientFinished2.
+    Cf2 {
+        /// Encrypting symmetric key.
+        key: SymKey,
+        /// The ClientFinish2 hash.
+        hash: FinHash,
+    },
+    /// ServerFinished2.
+    Sf2 {
+        /// Encrypting symmetric key.
+        key: SymKey,
+        /// The ServerFinish2 hash.
+        hash: FinHash,
+    },
+}
+
+/// A message: creator (unforgeable), seeming sender, receiver, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Msg {
+    /// Actual creator — meta-information the intruder cannot forge.
+    pub crt: Prin,
+    /// Seeming sender.
+    pub src: Prin,
+    /// Receiver.
+    pub dst: Prin,
+    /// Payload.
+    pub body: Body,
+}
+
+impl Msg {
+    /// A message honestly sent by `p` to `dst` (creator = seeming sender).
+    pub fn honest(p: Prin, dst: Prin, body: Body) -> Self {
+        Msg {
+            crt: p,
+            src: p,
+            dst,
+            body,
+        }
+    }
+
+    /// A message faked by the intruder, seemingly from `src`.
+    pub fn faked(src: Prin, dst: Prin, body: Body) -> Self {
+        Msg {
+            crt: Prin::INTRUDER,
+            src,
+            dst,
+            body,
+        }
+    }
+
+    /// Short kind tag for displays and traces.
+    pub fn kind(&self) -> &'static str {
+        match self.body {
+            Body::Ch { .. } => "ch",
+            Body::Sh { .. } => "sh",
+            Body::Ct { .. } => "ct",
+            Body::Kx { .. } => "kx",
+            Body::Cf { .. } => "cf",
+            Body::Sf { .. } => "sf",
+            Body::Ch2 { .. } => "ch2",
+            Body::Sh2 { .. } => "sh2",
+            Body::Cf2 { .. } => "cf2",
+            Body::Sf2 { .. } => "sf2",
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({},{},{}", self.kind(), self.crt, self.src, self.dst)?;
+        match &self.body {
+            Body::Ch { rand, list } => write!(f, ",{rand},{list})"),
+            Body::Sh { rand, sid, choice } => write!(f, ",{rand},{sid},{choice})"),
+            Body::Ct { cert } => write!(
+                f,
+                ",cert({},k({}),sig({},{},k({}))))",
+                cert.prin, cert.key_of, cert.sig.signer, cert.sig.subject, cert.sig.key_of
+            ),
+            Body::Kx { key_of, pms } => write!(f, ",epms(k({key_of}),{pms}))"),
+            Body::Cf { key, hash } | Body::Sf { key, hash } => write!(
+                f,
+                ",enc(key({},{},{},{}),hash({},{},{},{},{},{})))",
+                key.prin, key.pms, key.r1, key.r2, hash.a, hash.b, hash.sid, hash.choice,
+                hash.r1, hash.pms
+            ),
+            Body::Ch2 { rand, sid } => write!(f, ",{rand},{sid})"),
+            Body::Sh2 { rand, sid, choice } => write!(f, ",{rand},{sid},{choice})"),
+            Body::Cf2 { key, hash } | Body::Sf2 { key, hash } => write!(
+                f,
+                ",enc(key({},{},{},{}),hash2({},{},{},{},{},{})))",
+                key.prin, key.pms, key.r1, key.r2, hash.a, hash.b, hash.sid, hash.choice,
+                hash.r1, hash.pms
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_messages_have_matching_creator_and_sender() {
+        let m = Msg::honest(
+            Prin(2),
+            Prin(3),
+            Body::Ch {
+                rand: Rand(0),
+                list: ChoiceList::of(&[Choice(0)]),
+            },
+        );
+        assert_eq!(m.crt, m.src);
+        assert_eq!(m.kind(), "ch");
+    }
+
+    #[test]
+    fn faked_messages_carry_the_intruder_as_creator() {
+        let m = Msg::faked(
+            Prin(2),
+            Prin(3),
+            Body::Ch2 {
+                rand: Rand(0),
+                sid: Sid(0),
+            },
+        );
+        assert_eq!(m.crt, Prin::INTRUDER);
+        assert_eq!(m.src, Prin(2));
+        assert_eq!(m.kind(), "ch2");
+    }
+
+    #[test]
+    fn displays_are_readable() {
+        let m = Msg::honest(
+            Prin(3),
+            Prin(2),
+            Body::Sh {
+                rand: Rand(1),
+                sid: Sid(0),
+                choice: Choice(0),
+            },
+        );
+        assert_eq!(m.to_string(), "sh(p3,p3,p2,r1,sid0,c0)");
+    }
+}

@@ -1,0 +1,395 @@
+//! Concrete protocol state: the observable values of §4.4 as Rust data.
+
+use crate::concrete::data::*;
+use crate::concrete::msg::Msg;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A protocol state: the network plus each principal's bookkeeping.
+///
+/// Messages are never removed (§4.3: the intruder can replay anything), so
+/// the network is a grow-only set; set semantics suffices because replays
+/// are represented by the message's continued presence.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct State {
+    /// The network bag.
+    pub network: BTreeSet<Msg>,
+    /// Established sessions: `(owner, peer, sid) → session`.
+    pub sessions: BTreeMap<(Prin, Prin, Sid), Session>,
+    /// Used random numbers (`ur`).
+    pub used_rands: BTreeSet<Rand>,
+    /// Used session ids (`ui`).
+    pub used_sids: BTreeSet<Sid>,
+    /// Used secrets (`us`).
+    pub used_secrets: BTreeSet<Secret>,
+}
+
+impl State {
+    /// The initial state: nothing sent, nothing used, no sessions.
+    pub fn new() -> Self {
+        State::default()
+    }
+
+    /// Send a message (grow-only).
+    pub fn send(&self, msg: Msg) -> State {
+        let mut next = self.clone();
+        next.network.insert(msg);
+        next
+    }
+
+    /// The session `owner` has recorded with `peer` under `sid`.
+    pub fn session(&self, owner: Prin, peer: Prin, sid: Sid) -> Option<Session> {
+        self.sessions.get(&(owner, peer, sid)).copied()
+    }
+
+    /// Messages of the network in insertion-independent (ordered) form.
+    pub fn messages(&self) -> impl Iterator<Item = &Msg> {
+        self.network.iter()
+    }
+
+    /// Number of messages in the network.
+    pub fn message_count(&self) -> usize {
+        self.network.len()
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "network ({} messages):", self.network.len())?;
+        for m in &self.network {
+            writeln!(f, "  {m}")?;
+        }
+        if !self.sessions.is_empty() {
+            writeln!(f, "sessions:")?;
+            for ((owner, peer, sid), s) in &self.sessions {
+                writeln!(
+                    f,
+                    "  {owner} with {peer} [{sid}]: choice={} r1={} r2={} pms={}",
+                    s.choice, s.r1, s.r2, s.pms
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::msg::Body;
+
+    #[test]
+    fn initial_state_is_empty() {
+        let s = State::new();
+        assert_eq!(s.message_count(), 0);
+        assert!(s.sessions.is_empty());
+    }
+
+    #[test]
+    fn send_is_grow_only_and_idempotent() {
+        let s = State::new();
+        let m = Msg::honest(
+            Prin(2),
+            Prin(3),
+            Body::Ch {
+                rand: Rand(0),
+                list: ChoiceList::of(&[Choice(0)]),
+            },
+        );
+        let s1 = s.send(m);
+        let s2 = s1.send(m);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.message_count(), 1);
+        assert_eq!(s.message_count(), 0, "send is persistent");
+    }
+
+    #[test]
+    fn sessions_are_per_owner_peer_sid() {
+        let mut s = State::new();
+        let sess = Session {
+            choice: Choice(0),
+            r1: Rand(0),
+            r2: Rand(1),
+            pms: Pms {
+                client: Prin(2),
+                server: Prin(3),
+                secret: Secret(0),
+            },
+        };
+        s.sessions.insert((Prin(2), Prin(3), Sid(0)), sess);
+        assert_eq!(s.session(Prin(2), Prin(3), Sid(0)), Some(sess));
+        assert_eq!(s.session(Prin(3), Prin(2), Sid(0)), None);
+    }
+
+    #[test]
+    fn display_lists_messages() {
+        let s = State::new().send(Msg::honest(
+            Prin(2),
+            Prin(3),
+            Body::Ch2 {
+                rand: Rand(0),
+                sid: Sid(1),
+            },
+        ));
+        let text = s.to_string();
+        assert!(text.contains("ch2(p2,p2,p3,r0,sid1)"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry reduction (Murφ-style scalarsets)
+// ---------------------------------------------------------------------------
+
+use crate::concrete::msg::Body;
+use std::collections::BTreeMap as SymMap;
+
+impl State {
+    /// A symmetry-reduced representative of this state.
+    ///
+    /// Random numbers, session ids, and secrets are *scalarsets* (Murφ's
+    /// term): the protocol never computes on their values, only compares
+    /// them, so states differing by a value permutation are behaviorally
+    /// identical. This relabels each scalarset in first-occurrence order
+    /// (secrets per ownership parity: trustable principals draw even
+    /// secrets, the intruder odd ones — see
+    /// [`crate::concrete::step::Scope`]), which is itself a permutation,
+    /// so two states are merged only if genuinely symmetric.
+    pub fn canonicalize(&self) -> State {
+        let mut rands: SymMap<Rand, Rand> = SymMap::new();
+        let mut sids: SymMap<Sid, Sid> = SymMap::new();
+        let mut secrets: SymMap<Secret, Secret> = SymMap::new();
+        let mut next_rand = 0u8;
+        let mut next_sid = 0u8;
+        let mut next_even = 0u8;
+        let mut next_odd = 0u8;
+        let rand = |r: Rand, rands: &mut SymMap<Rand, Rand>, next: &mut u8| -> Rand {
+            *rands.entry(r).or_insert_with(|| {
+                let v = Rand(*next);
+                *next += 1;
+                v
+            })
+        };
+        let sid = |i: Sid, sids: &mut SymMap<Sid, Sid>, next: &mut u8| -> Sid {
+            *sids.entry(i).or_insert_with(|| {
+                let v = Sid(*next);
+                *next += 1;
+                v
+            })
+        };
+        let secret = |s: Secret,
+                      secrets: &mut SymMap<Secret, Secret>,
+                      next_even: &mut u8,
+                      next_odd: &mut u8|
+         -> Secret {
+            *secrets.entry(s).or_insert_with(|| {
+                if s.0 % 2 == 0 {
+                    let v = Secret(2 * *next_even);
+                    *next_even += 1;
+                    v
+                } else {
+                    let v = Secret(2 * *next_odd + 1);
+                    *next_odd += 1;
+                    v
+                }
+            })
+        };
+        let map_pms = |p: Pms,
+                       secrets: &mut SymMap<Secret, Secret>,
+                       ne: &mut u8,
+                       no: &mut u8| Pms {
+            client: p.client,
+            server: p.server,
+            secret: secret(p.secret, secrets, ne, no),
+        };
+        let mut out = State::new();
+        for m in &self.network {
+            let body = match m.body {
+                Body::Ch { rand: r, list } => Body::Ch {
+                    rand: rand(r, &mut rands, &mut next_rand),
+                    list,
+                },
+                Body::Sh {
+                    rand: r,
+                    sid: i,
+                    choice,
+                } => Body::Sh {
+                    rand: rand(r, &mut rands, &mut next_rand),
+                    sid: sid(i, &mut sids, &mut next_sid),
+                    choice,
+                },
+                Body::Ct { cert } => Body::Ct { cert },
+                Body::Kx { key_of, pms } => Body::Kx {
+                    key_of,
+                    pms: map_pms(pms, &mut secrets, &mut next_even, &mut next_odd),
+                },
+                Body::Cf { key, hash } | Body::Sf { key, hash } => {
+                    let key = SymKey {
+                        prin: key.prin,
+                        pms: map_pms(key.pms, &mut secrets, &mut next_even, &mut next_odd),
+                        r1: rand(key.r1, &mut rands, &mut next_rand),
+                        r2: rand(key.r2, &mut rands, &mut next_rand),
+                    };
+                    let hash = FinHash {
+                        sid: sid(hash.sid, &mut sids, &mut next_sid),
+                        r1: rand(hash.r1, &mut rands, &mut next_rand),
+                        r2: rand(hash.r2, &mut rands, &mut next_rand),
+                        pms: map_pms(hash.pms, &mut secrets, &mut next_even, &mut next_odd),
+                        ..hash
+                    };
+                    if matches!(m.body, Body::Cf { .. }) {
+                        Body::Cf { key, hash }
+                    } else {
+                        Body::Sf { key, hash }
+                    }
+                }
+                Body::Ch2 { rand: r, sid: i } => Body::Ch2 {
+                    rand: rand(r, &mut rands, &mut next_rand),
+                    sid: sid(i, &mut sids, &mut next_sid),
+                },
+                Body::Sh2 {
+                    rand: r,
+                    sid: i,
+                    choice,
+                } => Body::Sh2 {
+                    rand: rand(r, &mut rands, &mut next_rand),
+                    sid: sid(i, &mut sids, &mut next_sid),
+                    choice,
+                },
+                Body::Cf2 { key, hash } | Body::Sf2 { key, hash } => {
+                    let key = SymKey {
+                        prin: key.prin,
+                        pms: map_pms(key.pms, &mut secrets, &mut next_even, &mut next_odd),
+                        r1: rand(key.r1, &mut rands, &mut next_rand),
+                        r2: rand(key.r2, &mut rands, &mut next_rand),
+                    };
+                    let hash = FinHash {
+                        sid: sid(hash.sid, &mut sids, &mut next_sid),
+                        r1: rand(hash.r1, &mut rands, &mut next_rand),
+                        r2: rand(hash.r2, &mut rands, &mut next_rand),
+                        pms: map_pms(hash.pms, &mut secrets, &mut next_even, &mut next_odd),
+                        ..hash
+                    };
+                    if matches!(m.body, Body::Cf2 { .. }) {
+                        Body::Cf2 { key, hash }
+                    } else {
+                        Body::Sf2 { key, hash }
+                    }
+                }
+            };
+            out.network.insert(Msg {
+                crt: m.crt,
+                src: m.src,
+                dst: m.dst,
+                body,
+            });
+        }
+        for (&(owner, peer, i), s) in &self.sessions {
+            out.sessions.insert(
+                (owner, peer, sid(i, &mut sids, &mut next_sid)),
+                Session {
+                    choice: s.choice,
+                    r1: rand(s.r1, &mut rands, &mut next_rand),
+                    r2: rand(s.r2, &mut rands, &mut next_rand),
+                    pms: map_pms(s.pms, &mut secrets, &mut next_even, &mut next_odd),
+                },
+            );
+        }
+        for &r in &self.used_rands {
+            out.used_rands
+                .insert(rand(r, &mut rands, &mut next_rand));
+        }
+        for &i in &self.used_sids {
+            out.used_sids.insert(sid(i, &mut sids, &mut next_sid));
+        }
+        for &s in &self.used_secrets {
+            out.used_secrets
+                .insert(secret(s, &mut secrets, &mut next_even, &mut next_odd));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod symmetry_tests {
+    use super::*;
+    use crate::concrete::msg::{Body, Msg};
+
+    fn ch(r: Rand) -> Msg {
+        Msg::honest(
+            Prin(2),
+            Prin(3),
+            Body::Ch {
+                rand: r,
+                list: ChoiceList::of(&[Choice(0)]),
+            },
+        )
+    }
+
+    #[test]
+    fn rand_permutations_canonicalize_together() {
+        let mut s1 = State::new().send(ch(Rand(0)));
+        s1.used_rands.insert(Rand(0));
+        let mut s2 = State::new().send(ch(Rand(3)));
+        s2.used_rands.insert(Rand(3));
+        assert_ne!(s1, s2);
+        assert_eq!(s1.canonicalize(), s2.canonicalize());
+    }
+
+    #[test]
+    fn canonicalization_preserves_structure() {
+        let mut s = State::new().send(ch(Rand(2)));
+        s.used_rands.insert(Rand(2));
+        let c = s.canonicalize();
+        assert_eq!(c.message_count(), 1);
+        assert_eq!(c.used_rands.len(), 1);
+        // Distinct values stay distinct.
+        let mut s2 = s.send(ch(Rand(5)));
+        s2.used_rands.insert(Rand(5));
+        let c2 = s2.canonicalize();
+        assert_eq!(c2.used_rands.len(), 2);
+    }
+
+    #[test]
+    fn secret_parity_classes_never_mix() {
+        // An intruder secret (odd) must not relabel onto an honest (even)
+        // one: ownership is semantic, not symmetric.
+        let pms_honest = Pms {
+            client: Prin(2),
+            server: Prin(3),
+            secret: Secret(2),
+        };
+        let pms_intruder = Pms {
+            client: Prin::INTRUDER,
+            server: Prin(3),
+            secret: Secret(3),
+        };
+        let s = State::new()
+            .send(Msg::honest(
+                Prin(2),
+                Prin(3),
+                Body::Kx {
+                    key_of: Prin(3),
+                    pms: pms_honest,
+                },
+            ))
+            .send(Msg::faked(
+                Prin(2),
+                Prin(3),
+                Body::Kx {
+                    key_of: Prin(3),
+                    pms: pms_intruder,
+                },
+            ));
+        let c = s.canonicalize();
+        let secrets: Vec<u8> = c
+            .messages()
+            .filter_map(|m| match m.body {
+                Body::Kx { pms, .. } => Some(pms.secret.0),
+                _ => None,
+            })
+            .collect();
+        assert!(secrets.contains(&0), "even class relabels to 0");
+        assert!(secrets.contains(&1), "odd class relabels to 1");
+    }
+}

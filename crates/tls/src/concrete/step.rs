@@ -1,0 +1,1091 @@
+//! Concrete transition enumeration: the 12 trustable transitions and the
+//! intruder's faking moves, bounded by a finite [`Scope`].
+//!
+//! This is the executable twin of the symbolic transitions; the model
+//! checker (`equitls-mc`) explores exactly these successors. The scope
+//! mirrors Mitchell et al.'s Murφ configuration from the paper's related
+//! work (§6): a couple of clients, one server, bounded fresh values.
+
+use crate::concrete::data::*;
+use crate::concrete::knowledge::Knowledge;
+use crate::concrete::msg::{Body, Msg};
+use crate::concrete::state::State;
+use serde::{Deserialize, Serialize};
+
+/// Finite domains for exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scope {
+    /// Trustable clients.
+    pub clients: Vec<Prin>,
+    /// Trustable servers.
+    pub servers: Vec<Prin>,
+    /// Random-number pool size.
+    pub rands: u8,
+    /// Session-id pool size.
+    pub sids: u8,
+    /// Per-principal secret pool size (secrets are globally partitioned:
+    /// trustable principals use even secrets, the intruder odd ones).
+    pub secrets: u8,
+    /// Cipher-suite pool size.
+    pub choices: u8,
+    /// Network size bound (exploration cutoff).
+    pub max_messages: usize,
+    /// Whether the ClientFinished2-first variant is explored.
+    pub swapped_finish2: bool,
+}
+
+impl Scope {
+    /// The Mitchell-et-al.-style default: two clients, one server, small
+    /// pools.
+    pub fn mitchell() -> Self {
+        Scope {
+            clients: vec![Prin(2), Prin(3)],
+            servers: vec![Prin(4)],
+            rands: 2,
+            sids: 1,
+            secrets: 2,
+            choices: 1,
+            max_messages: 12,
+            swapped_finish2: false,
+        }
+    }
+
+    /// A minimal scope for the §5.3 counterexamples: one client, one
+    /// server, plus the intruder acting as a second client.
+    pub fn counterexample() -> Self {
+        Scope {
+            clients: vec![Prin(2)],
+            servers: vec![Prin(3)],
+            rands: 2,
+            sids: 1,
+            secrets: 1,
+            choices: 1,
+            max_messages: 10,
+            swapped_finish2: false,
+        }
+    }
+
+    /// All trustable principals.
+    pub fn trustables(&self) -> Vec<Prin> {
+        let mut all = self.clients.clone();
+        for &s in &self.servers {
+            if !all.contains(&s) {
+                all.push(s);
+            }
+        }
+        all
+    }
+
+    /// All principals including the intruder.
+    pub fn principals(&self) -> Vec<Prin> {
+        let mut all = vec![Prin::INTRUDER];
+        all.extend(self.trustables());
+        all
+    }
+
+    fn rand_pool(&self) -> Vec<Rand> {
+        (0..self.rands).map(Rand).collect()
+    }
+
+    fn sid_pool(&self) -> Vec<Sid> {
+        (0..self.sids).map(Sid).collect()
+    }
+
+    fn choice_pool(&self) -> Vec<Choice> {
+        (0..self.choices).map(Choice).collect()
+    }
+
+    /// Secrets trustable clients may draw (even-numbered).
+    pub fn honest_secrets(&self) -> Vec<Secret> {
+        (0..self.secrets).map(|i| Secret(2 * i)).collect()
+    }
+
+    /// Secrets the intruder owns (odd-numbered).
+    pub fn intruder_secrets(&self) -> Vec<Secret> {
+        (0..self.secrets).map(|i| Secret(2 * i + 1)).collect()
+    }
+
+    /// The single full cipher-suite list used by clients in scope.
+    pub fn full_list(&self) -> ChoiceList {
+        ChoiceList::of(&self.choice_pool())
+    }
+}
+
+/// A labeled transition for traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Transition name (matching the symbolic action names).
+    pub label: String,
+    /// The resulting state.
+    pub state: State,
+}
+
+fn push(steps: &mut Vec<Step>, label: impl Into<String>, state: State) {
+    steps.push(Step {
+        label: label.into(),
+        state,
+    });
+}
+
+/// Enumerate every enabled transition from `state`.
+pub fn successors(state: &State, scope: &Scope) -> Vec<Step> {
+    let mut steps = Vec::new();
+    if state.message_count() >= scope.max_messages {
+        return steps;
+    }
+    honest_steps(state, scope, &mut steps);
+    intruder_steps(state, scope, &mut steps);
+    steps
+}
+
+#[allow(clippy::too_many_lines)]
+fn honest_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
+    let list = scope.full_list();
+    // chello: client A opens a handshake with any server.
+    for &a in &scope.clients {
+        for &b in scope.principals().iter().filter(|&&b| b != a) {
+            for r in scope.rand_pool() {
+                if state.used_rands.contains(&r) {
+                    continue;
+                }
+                let mut next = state.send(Msg::honest(a, b, Body::Ch { rand: r, list }));
+                next.used_rands.insert(r);
+                push(steps, format!("chello({a},{b},{r})"), next);
+            }
+        }
+    }
+    // shello: server B answers a ClientHello.
+    for &b in &scope.servers {
+        for m1 in state.messages() {
+            let (rand1, list1) = match m1.body {
+                Body::Ch { rand, list } if m1.dst == b => (rand, list),
+                _ => continue,
+            };
+            let _ = rand1;
+            for r in scope.rand_pool() {
+                if state.used_rands.contains(&r) {
+                    continue;
+                }
+                for i in scope.sid_pool() {
+                    if state.used_sids.contains(&i) {
+                        continue;
+                    }
+                    for c in scope.choice_pool() {
+                        if !list1.contains(c) {
+                            continue;
+                        }
+                        let mut next = state.send(Msg::honest(
+                            b,
+                            m1.src,
+                            Body::Sh {
+                                rand: r,
+                                sid: i,
+                                choice: c,
+                            },
+                        ));
+                        next.used_rands.insert(r);
+                        next.used_sids.insert(i);
+                        push(steps, format!("shello({b},{},{r},{i},{c})", m1.src), next);
+                    }
+                }
+            }
+        }
+    }
+    // cert: server B sends its certificate after its ServerHello.
+    for &b in &scope.servers {
+        for m1 in state.messages() {
+            if !matches!(m1.body, Body::Ch { .. }) || m1.dst != b {
+                continue;
+            }
+            for m2 in state.messages() {
+                let ok = matches!(m2.body, Body::Sh { choice, .. }
+                    if m2.crt == b && m2.src == b && m2.dst == m1.src
+                        && matches!(m1.body, Body::Ch { list, .. } if list.contains(choice)));
+                if !ok {
+                    continue;
+                }
+                let ct = Msg::honest(b, m2.dst, Body::Ct { cert: Cert::genuine(b) });
+                if state.network.contains(&ct) {
+                    continue; // idempotent
+                }
+                push(steps, format!("cert({b},{})", m2.dst), state.send(ct));
+            }
+        }
+    }
+    // Client-side view shared by kexch / cfin / compl.
+    let client_views = client_views(state, scope);
+    // kexch: client sends the encrypted pre-master secret.
+    for v in &client_views {
+        for s in scope.honest_secrets() {
+            if state.used_secrets.contains(&s) {
+                continue;
+            }
+            let pms = Pms {
+                client: v.a,
+                server: v.b,
+                secret: s,
+            };
+            let mut next = state.send(Msg::honest(
+                v.a,
+                v.b,
+                Body::Kx {
+                    key_of: v.b,
+                    pms,
+                },
+            ));
+            next.used_secrets.insert(s);
+            push(steps, format!("kexch({},{},{s})", v.a, v.b), next);
+        }
+    }
+    // cfin: client sends its Finished after its kx.
+    for v in &client_views {
+        for m4 in state.messages() {
+            let pms = match m4.body {
+                Body::Kx { key_of, pms }
+                    if m4.crt == v.a
+                        && m4.src == v.a
+                        && m4.dst == v.b
+                        && key_of == v.b
+                        && pms.client == v.a
+                        && pms.server == v.b =>
+                {
+                    pms
+                }
+                _ => continue,
+            };
+            let key = SymKey {
+                prin: v.a,
+                pms,
+                r1: v.r1,
+                r2: v.r2,
+            };
+            let hash = FinHash {
+                kind: FinKind::Client,
+                a: v.a,
+                b: v.b,
+                sid: v.sid,
+                list: Some(v.list),
+                choice: v.choice,
+                r1: v.r1,
+                r2: v.r2,
+                pms,
+            };
+            let cf = Msg::honest(v.a, v.b, Body::Cf { key, hash });
+            if state.network.contains(&cf) {
+                continue;
+            }
+            push(steps, format!("cfin({},{})", v.a, v.b), state.send(cf));
+        }
+    }
+    // sfin: server validates the client Finished and replies.
+    for &b in &scope.servers {
+        for sv in server_views(state, scope, b) {
+            let key = SymKey {
+                prin: b,
+                pms: sv.pms,
+                r1: sv.r1,
+                r2: sv.r2,
+            };
+            let hash = FinHash {
+                kind: FinKind::Server,
+                a: sv.a,
+                b,
+                sid: sv.sid,
+                list: Some(sv.list),
+                choice: sv.choice,
+                r1: sv.r1,
+                r2: sv.r2,
+                pms: sv.pms,
+            };
+            let sf = Msg::honest(b, sv.a, Body::Sf { key, hash });
+            if state.network.contains(&sf) {
+                continue;
+            }
+            push(steps, format!("sfin({b},{})", sv.a), state.send(sf));
+        }
+    }
+    // compl: client validates the ServerFinished and records the session.
+    for v in &client_views {
+        for m4 in state.messages() {
+            let pms = match m4.body {
+                Body::Kx { key_of, pms }
+                    if m4.crt == v.a && m4.dst == v.b && key_of == v.b && pms.client == v.a =>
+                {
+                    pms
+                }
+                _ => continue,
+            };
+            for m6 in state.messages() {
+                let ok = matches!(m6.body, Body::Sf { key, hash }
+                    if m6.dst == v.a && m6.src == v.b
+                        && key == SymKey { prin: v.b, pms, r1: v.r1, r2: v.r2 }
+                        && hash == FinHash {
+                            kind: FinKind::Server,
+                            a: v.a, b: v.b, sid: v.sid, list: Some(v.list),
+                            choice: v.choice, r1: v.r1, r2: v.r2, pms,
+                        });
+                if !ok {
+                    continue;
+                }
+                let session = Session {
+                    choice: v.choice,
+                    r1: v.r1,
+                    r2: v.r2,
+                    pms,
+                };
+                if state.session(v.a, v.b, v.sid) == Some(session) {
+                    continue;
+                }
+                let mut next = state.clone();
+                next.sessions.insert((v.a, v.b, v.sid), session);
+                push(steps, format!("compl({},{})", v.a, v.b), next);
+            }
+        }
+    }
+    abbreviated_steps(state, scope, steps);
+}
+
+/// The abbreviated handshake (both orders, per scope flag).
+fn abbreviated_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
+    // chello2: a client resumes a recorded session.
+    for (&(owner, peer, sid), _session) in &state.sessions {
+        if !scope.clients.contains(&owner) {
+            continue;
+        }
+        for r in scope.rand_pool() {
+            if state.used_rands.contains(&r) {
+                continue;
+            }
+            let mut next = state.send(Msg::honest(owner, peer, Body::Ch2 { rand: r, sid }));
+            next.used_rands.insert(r);
+            push(steps, format!("chello2({owner},{peer},{r})"), next);
+        }
+    }
+    // shello2: the server agrees to resume.
+    for &b in &scope.servers {
+        for m1 in state.messages() {
+            let (r1, sid) = match m1.body {
+                Body::Ch2 { rand, sid } if m1.dst == b => (rand, sid),
+                _ => continue,
+            };
+            let _ = r1;
+            let Some(session) = state.session(b, m1.src, sid) else {
+                continue;
+            };
+            for r in scope.rand_pool() {
+                if state.used_rands.contains(&r) {
+                    continue;
+                }
+                let mut next = state.send(Msg::honest(
+                    b,
+                    m1.src,
+                    Body::Sh2 {
+                        rand: r,
+                        sid,
+                        choice: session.choice,
+                    },
+                ));
+                next.used_rands.insert(r);
+                push(steps, format!("shello2({b},{},{r})", m1.src), next);
+            }
+        }
+    }
+    // The Finished2 exchange (standard: sf2 then cf2; variant: swapped).
+    for &b in &scope.servers {
+        for view in resume_views(state, b) {
+            let key = SymKey {
+                prin: b,
+                pms: view.pms,
+                r1: view.r1,
+                r2: view.r2,
+            };
+            let hash = FinHash {
+                kind: FinKind::Server2,
+                a: view.a,
+                b,
+                sid: view.sid,
+                list: None,
+                choice: view.choice,
+                r1: view.r1,
+                r2: view.r2,
+                pms: view.pms,
+            };
+            let sf2 = Msg::honest(b, view.a, Body::Sf2 { key, hash });
+            let cf2_expected = Body::Cf2 {
+                key: SymKey {
+                    prin: view.a,
+                    pms: view.pms,
+                    r1: view.r1,
+                    r2: view.r2,
+                },
+                hash: FinHash {
+                    kind: FinKind::Client2,
+                    ..hash
+                },
+            };
+            let has_cf2 = state
+                .messages()
+                .any(|m| m.dst == b && m.src == view.a && m.body == cf2_expected);
+            if scope.swapped_finish2 {
+                // Variant: the server replies only after ClientFinished2.
+                if has_cf2 && !state.network.contains(&sf2) {
+                    push(steps, format!("sfin2({b},{})", view.a), state.send(sf2));
+                }
+            } else if !state.network.contains(&sf2) {
+                push(steps, format!("sfin2({b},{})", view.a), state.send(sf2));
+            }
+            // compl2: the server renews its session on a valid cf2.
+            if has_cf2 {
+                let renewed = Session {
+                    choice: view.choice,
+                    r1: view.r1,
+                    r2: view.r2,
+                    pms: view.pms,
+                };
+                if state.session(b, view.a, view.sid) != Some(renewed) {
+                    let mut next = state.clone();
+                    next.sessions.insert((b, view.a, view.sid), renewed);
+                    push(steps, format!("compl2({b},{})", view.a), next);
+                }
+            }
+        }
+    }
+    // cfin2: the client's side of the Finished2 exchange.
+    for &a in &scope.clients {
+        for view in client_resume_views(state, a) {
+            let sf2_expected = Body::Sf2 {
+                key: SymKey {
+                    prin: view.b,
+                    pms: view.pms,
+                    r1: view.r1,
+                    r2: view.r2,
+                },
+                hash: FinHash {
+                    kind: FinKind::Server2,
+                    a,
+                    b: view.b,
+                    sid: view.sid,
+                    list: None,
+                    choice: view.choice,
+                    r1: view.r1,
+                    r2: view.r2,
+                    pms: view.pms,
+                },
+            };
+            let has_sf2 = state
+                .messages()
+                .any(|m| m.dst == a && m.src == view.b && m.body == sf2_expected);
+            let ready = if scope.swapped_finish2 {
+                true // variant: client sends cf2 right after sh2
+            } else {
+                has_sf2 // standard: client waits for sf2
+            };
+            if !ready {
+                continue;
+            }
+            let cf2 = Msg::honest(
+                a,
+                view.b,
+                Body::Cf2 {
+                    key: SymKey {
+                        prin: a,
+                        pms: view.pms,
+                        r1: view.r1,
+                        r2: view.r2,
+                    },
+                    hash: FinHash {
+                        kind: FinKind::Client2,
+                        a,
+                        b: view.b,
+                        sid: view.sid,
+                        list: None,
+                        choice: view.choice,
+                        r1: view.r1,
+                        r2: view.r2,
+                        pms: view.pms,
+                    },
+                },
+            );
+            if !state.network.contains(&cf2) {
+                push(steps, format!("cfin2({a},{})", view.b), state.send(cf2));
+            }
+        }
+    }
+}
+
+/// A client's conformant full-handshake view (ch/sh/ct received).
+struct ClientView {
+    a: Prin,
+    b: Prin,
+    r1: Rand,
+    r2: Rand,
+    sid: Sid,
+    choice: Choice,
+    list: ChoiceList,
+}
+
+fn client_views(state: &State, scope: &Scope) -> Vec<ClientView> {
+    let mut views = Vec::new();
+    for &a in &scope.clients {
+        for m1 in state.messages() {
+            let (r1, list) = match m1.body {
+                Body::Ch { rand, list } if m1.crt == a && m1.src == a => (rand, list),
+                _ => continue,
+            };
+            let b = m1.dst;
+            for m2 in state.messages() {
+                let (r2, sid, choice) = match m2.body {
+                    Body::Sh { rand, sid, choice }
+                        if m2.dst == a && m2.src == b && list.contains(choice) =>
+                    {
+                        (rand, sid, choice)
+                    }
+                    _ => continue,
+                };
+                let has_cert = state.messages().any(|m3| {
+                    matches!(m3.body, Body::Ct { cert }
+                        if m3.dst == a && m3.src == b && cert.is_valid_for(b))
+                });
+                if !has_cert {
+                    continue;
+                }
+                views.push(ClientView {
+                    a,
+                    b,
+                    r1,
+                    r2,
+                    sid,
+                    choice,
+                    list,
+                });
+            }
+        }
+    }
+    views
+}
+
+/// A server's conformant view before sending ServerFinished.
+struct ServerView {
+    a: Prin,
+    r1: Rand,
+    r2: Rand,
+    sid: Sid,
+    choice: Choice,
+    list: ChoiceList,
+    pms: Pms,
+}
+
+fn server_views(state: &State, scope: &Scope, b: Prin) -> Vec<ServerView> {
+    let _ = scope;
+    let mut views = Vec::new();
+    for m1 in state.messages() {
+        let (r1, list) = match m1.body {
+            Body::Ch { rand, list } if m1.dst == b => (rand, list),
+            _ => continue,
+        };
+        let a = m1.src;
+        for m2 in state.messages() {
+            let (r2, sid, choice) = match m2.body {
+                Body::Sh { rand, sid, choice }
+                    if m2.crt == b && m2.src == b && m2.dst == a && list.contains(choice) =>
+                {
+                    (rand, sid, choice)
+                }
+                _ => continue,
+            };
+            // The server must have sent its certificate in this session
+            // (the sfin effective-condition conjunct of the symbolic
+            // model).
+            let has_own_cert = state.messages().any(|m3| {
+                matches!(m3.body, Body::Ct { cert }
+                    if m3.crt == b && m3.src == b && m3.dst == a && cert == Cert::genuine(b))
+            });
+            if !has_own_cert {
+                continue;
+            }
+            for m4 in state.messages() {
+                let pms = match m4.body {
+                    Body::Kx { key_of, pms } if m4.dst == b && m4.src == a && key_of == b => pms,
+                    _ => continue,
+                };
+                let expected_key = SymKey {
+                    prin: a,
+                    pms,
+                    r1,
+                    r2,
+                };
+                let expected_hash = FinHash {
+                    kind: FinKind::Client,
+                    a,
+                    b,
+                    sid,
+                    list: Some(list),
+                    choice,
+                    r1,
+                    r2,
+                    pms,
+                };
+                let has_cf = state.messages().any(|m5| {
+                    matches!(m5.body, Body::Cf { key, hash }
+                        if m5.dst == b && m5.src == a
+                            && key == expected_key && hash == expected_hash)
+                });
+                if !has_cf {
+                    continue;
+                }
+                views.push(ServerView {
+                    a,
+                    r1,
+                    r2,
+                    sid,
+                    choice,
+                    list,
+                    pms,
+                });
+            }
+        }
+    }
+    views
+}
+
+/// A server's view of a resumption in progress (ch2 received + own sh2).
+struct ResumeView {
+    a: Prin,
+    sid: Sid,
+    r1: Rand,
+    r2: Rand,
+    choice: Choice,
+    pms: Pms,
+}
+
+fn resume_views(state: &State, b: Prin) -> Vec<ResumeView> {
+    let mut views = Vec::new();
+    for m1 in state.messages() {
+        let (r1, sid) = match m1.body {
+            Body::Ch2 { rand, sid } if m1.dst == b => (rand, sid),
+            _ => continue,
+        };
+        let a = m1.src;
+        let Some(session) = state.session(b, a, sid) else {
+            continue;
+        };
+        for m2 in state.messages() {
+            let r2 = match m2.body {
+                Body::Sh2 {
+                    rand,
+                    sid: s2,
+                    choice,
+                } if m2.crt == b && m2.src == b && m2.dst == a && s2 == sid
+                    && choice == session.choice =>
+                {
+                    rand
+                }
+                _ => continue,
+            };
+            views.push(ResumeView {
+                a,
+                sid,
+                r1,
+                r2,
+                choice: session.choice,
+                pms: session.pms,
+            });
+        }
+    }
+    views
+}
+
+/// A client's view of a resumption (own ch2 + sh2 received).
+struct ClientResumeView {
+    b: Prin,
+    sid: Sid,
+    r1: Rand,
+    r2: Rand,
+    choice: Choice,
+    pms: Pms,
+}
+
+fn client_resume_views(state: &State, a: Prin) -> Vec<ClientResumeView> {
+    let mut views = Vec::new();
+    for m1 in state.messages() {
+        let (r1, sid) = match m1.body {
+            Body::Ch2 { rand, sid } if m1.crt == a && m1.src == a => (rand, sid),
+            _ => continue,
+        };
+        let b = m1.dst;
+        let Some(session) = state.session(a, b, sid) else {
+            continue;
+        };
+        for m2 in state.messages() {
+            let r2 = match m2.body {
+                Body::Sh2 {
+                    rand,
+                    sid: s2,
+                    choice,
+                } if m2.dst == a && m2.src == b && s2 == sid && choice == session.choice => rand,
+                _ => continue,
+            };
+            views.push(ClientResumeView {
+                b,
+                sid,
+                r1,
+                r2,
+                choice: session.choice,
+                pms: session.pms,
+            });
+        }
+    }
+    views
+}
+
+/// The intruder's moves: replay gleaned ciphertexts under any addressing,
+/// construct fresh payloads from known pre-master secrets, and fake
+/// clear-text messages (bounded to scope values).
+fn intruder_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
+    let knowledge = Knowledge::glean(state, &scope.intruder_secrets(), &scope.trustables());
+    let principals = scope.trustables();
+    let list = scope.full_list();
+    // Clear-text fakes.
+    for &src in &principals {
+        for &dst in &principals {
+            if src == dst {
+                continue;
+            }
+            for r in scope.rand_pool() {
+                let m = Msg::faked(src, dst, Body::Ch { rand: r, list });
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeCh({src},{dst})"), state.send(m));
+                }
+                for i in scope.sid_pool() {
+                    let m2 = Msg::faked(src, dst, Body::Ch2 { rand: r, sid: i });
+                    if !state.network.contains(&m2) {
+                        push(steps, format!("fakeCh2({src},{dst})"), state.send(m2));
+                    }
+                    for c in scope.choice_pool() {
+                        let sh = Msg::faked(
+                            src,
+                            dst,
+                            Body::Sh {
+                                rand: r,
+                                sid: i,
+                                choice: c,
+                            },
+                        );
+                        if !state.network.contains(&sh) {
+                            push(steps, format!("fakeSh({src},{dst})"), state.send(sh));
+                        }
+                        let sh2 = Msg::faked(
+                            src,
+                            dst,
+                            Body::Sh2 {
+                                rand: r,
+                                sid: i,
+                                choice: c,
+                            },
+                        );
+                        if !state.network.contains(&sh2) {
+                            push(steps, format!("fakeSh2({src},{dst})"), state.send(sh2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Certificate fakes from gleaned signatures.
+    for &src in &principals {
+        for &dst in &principals {
+            if src == dst {
+                continue;
+            }
+            for &sig in &knowledge.sigs {
+                let cert = Cert {
+                    prin: sig.subject,
+                    key_of: sig.key_of,
+                    sig,
+                };
+                let m = Msg::faked(src, dst, Body::Ct { cert });
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeCt({src},{dst})"), state.send(m));
+                }
+            }
+        }
+    }
+    // Key-exchange fakes: replay or construct.
+    for &src in &principals {
+        for &dst in &principals {
+            if src == dst {
+                continue;
+            }
+            for &(key_of, pms) in &knowledge.epms {
+                let m = Msg::faked(src, dst, Body::Kx { key_of, pms });
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeKx1({src},{dst})"), state.send(m));
+                }
+            }
+            for &pms in &knowledge.pms {
+                let m = Msg::faked(
+                    src,
+                    dst,
+                    Body::Kx {
+                        key_of: dst,
+                        pms,
+                    },
+                );
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeKx2({src},{dst})"), state.send(m));
+                }
+            }
+        }
+    }
+    // Finished fakes: replay gleaned ciphertexts, or construct from known
+    // pre-master secrets.
+    for &src in &principals {
+        for &dst in &principals {
+            if src == dst {
+                continue;
+            }
+            for &(key, hash) in knowledge.ecfin.iter().chain(&knowledge.esfin) {
+                let body = if hash.kind == FinKind::Client {
+                    Body::Cf { key, hash }
+                } else {
+                    Body::Sf { key, hash }
+                };
+                let m = Msg::faked(src, dst, body);
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeFin1({src},{dst})"), state.send(m));
+                }
+            }
+            for &(key, hash) in knowledge.ecfin2.iter().chain(&knowledge.esfin2) {
+                let body = if hash.kind == FinKind::Client2 {
+                    Body::Cf2 { key, hash }
+                } else {
+                    Body::Sf2 { key, hash }
+                };
+                let m = Msg::faked(src, dst, body);
+                if !state.network.contains(&m) {
+                    push(steps, format!("fakeFin21({src},{dst})"), state.send(m));
+                }
+            }
+            // Construct: the useful shapes name src/dst in the hash (the
+            // paper's fakeCfin2/fakeSfin2 patterns).
+            for &pms in &knowledge.pms {
+                for r1 in scope.rand_pool() {
+                    for r2 in scope.rand_pool() {
+                        for i in scope.sid_pool() {
+                            for c in scope.choice_pool() {
+                                let cf = Msg::faked(
+                                    src,
+                                    dst,
+                                    Body::Cf {
+                                        key: SymKey {
+                                            prin: src,
+                                            pms,
+                                            r1,
+                                            r2,
+                                        },
+                                        hash: FinHash {
+                                            kind: FinKind::Client,
+                                            a: src,
+                                            b: dst,
+                                            sid: i,
+                                            list: Some(list),
+                                            choice: c,
+                                            r1,
+                                            r2,
+                                            pms,
+                                        },
+                                    },
+                                );
+                                if !state.network.contains(&cf) {
+                                    push(
+                                        steps,
+                                        format!("fakeCfin2({src},{dst})"),
+                                        state.send(cf),
+                                    );
+                                }
+                                let cf2 = Msg::faked(
+                                    src,
+                                    dst,
+                                    Body::Cf2 {
+                                        key: SymKey {
+                                            prin: src,
+                                            pms,
+                                            r1,
+                                            r2,
+                                        },
+                                        hash: FinHash {
+                                            kind: FinKind::Client2,
+                                            a: src,
+                                            b: dst,
+                                            sid: i,
+                                            list: None,
+                                            choice: c,
+                                            r1,
+                                            r2,
+                                            pms,
+                                        },
+                                    },
+                                );
+                                if !state.network.contains(&cf2) {
+                                    push(
+                                        steps,
+                                        format!("fakeCfin22({src},{dst})"),
+                                        state.send(cf2),
+                                    );
+                                }
+                                let sf = Msg::faked(
+                                    dst,
+                                    src,
+                                    Body::Sf {
+                                        key: SymKey {
+                                            prin: dst,
+                                            pms,
+                                            r1,
+                                            r2,
+                                        },
+                                        hash: FinHash {
+                                            kind: FinKind::Server,
+                                            a: src,
+                                            b: dst,
+                                            sid: i,
+                                            list: Some(list),
+                                            choice: c,
+                                            r1,
+                                            r2,
+                                            pms,
+                                        },
+                                    },
+                                );
+                                if !state.network.contains(&sf) {
+                                    push(
+                                        steps,
+                                        format!("fakeSfin2({dst},{src})"),
+                                        state.send(sf),
+                                    );
+                                }
+                                let sf2 = Msg::faked(
+                                    dst,
+                                    src,
+                                    Body::Sf2 {
+                                        key: SymKey {
+                                            prin: dst,
+                                            pms,
+                                            r1,
+                                            r2,
+                                        },
+                                        hash: FinHash {
+                                            kind: FinKind::Server2,
+                                            a: src,
+                                            b: dst,
+                                            sid: i,
+                                            list: None,
+                                            choice: c,
+                                            r1,
+                                            r2,
+                                            pms,
+                                        },
+                                    },
+                                );
+                                if !state.network.contains(&sf2) {
+                                    push(
+                                        steps,
+                                        format!("fakeSfin22({dst},{src})"),
+                                        state.send(sf2),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_offers_hellos_and_fakes() {
+        let scope = Scope::counterexample();
+        let steps = successors(&State::new(), &scope);
+        assert!(steps.iter().any(|s| s.label.starts_with("chello(")));
+        assert!(steps.iter().any(|s| s.label.starts_with("fakeCh(")));
+        // No server moves yet: nothing to answer.
+        assert!(!steps.iter().any(|s| s.label.starts_with("shello(")));
+    }
+
+    #[test]
+    fn a_full_honest_handshake_is_replayable() {
+        let scope = Scope::counterexample();
+        let (a, b) = (Prin(2), Prin(3));
+        let mut state = State::new();
+        for expected in [
+            "chello(", "shello(", "cert(", "kexch(", "cfin(", "sfin(", "compl(",
+        ] {
+            let steps = successors(&state, &scope);
+            let step = steps
+                .iter()
+                .find(|s| {
+                    s.label.starts_with(expected)
+                        && s.label.contains(&a.to_string())
+                        && s.label.contains(&b.to_string())
+                })
+                .unwrap_or_else(|| panic!("no {expected} step from\n{state}"));
+            state = step.state.clone();
+        }
+        assert!(state.session(a, b, Sid(0)).is_some(), "session established");
+    }
+
+    #[test]
+    fn message_bound_cuts_exploration() {
+        let mut scope = Scope::counterexample();
+        scope.max_messages = 0;
+        assert!(successors(&State::new(), &scope).is_empty());
+    }
+
+    #[test]
+    fn intruder_constructs_finished_only_with_known_pms() {
+        let scope = Scope::counterexample();
+        let steps = successors(&State::new(), &scope);
+        // With its own secrets, the intruder can always construct some
+        // Finished fakes at the initial state.
+        assert!(steps.iter().any(|s| s.label.starts_with("fakeCfin2(")));
+    }
+
+    #[test]
+    fn resumption_follows_an_established_session() {
+        let scope = Scope::counterexample();
+        let (a, b) = (Prin(2), Prin(3));
+        let mut state = State::new();
+        state.sessions.insert(
+            (a, b, Sid(0)),
+            Session {
+                choice: Choice(0),
+                r1: Rand(0),
+                r2: Rand(1),
+                pms: Pms {
+                    client: a,
+                    server: b,
+                    secret: Secret(0),
+                },
+            },
+        );
+        state.sessions.insert(
+            (b, a, Sid(0)),
+            Session {
+                choice: Choice(0),
+                r1: Rand(0),
+                r2: Rand(1),
+                pms: Pms {
+                    client: a,
+                    server: b,
+                    secret: Secret(0),
+                },
+            },
+        );
+        let steps = successors(&state, &scope);
+        assert!(steps.iter().any(|s| s.label.starts_with("chello2(")));
+    }
+}

@@ -1,0 +1,176 @@
+//! Protocol mutants for failure injection.
+//!
+//! A verifier is only trustworthy if it *rejects* broken protocols. Each
+//! mutant here is a small, meaningful flaw injected into the symbolic
+//! model; `expected_failures` names the properties that must stop proving
+//! (and the integration tests assert both directions: the listed
+//! properties fail with the failure localized to the mutant transition,
+//! and a control property still proves).
+//!
+//! The mutants also double as reproductions of known modeling ideas from
+//! the paper's related work — `Oops` is Paulson's session-key-compromise
+//! rule, cited in §6.
+
+use crate::symbolic::TlsModel;
+use equitls_core::prelude::Ots;
+use equitls_core::CoreError;
+
+/// A named protocol mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// Paulson's `Oops`: any observed encrypted pre-master secret may be
+    /// compromised (republished under the intruder's key). Breaks `inv1`.
+    Oops,
+    /// A trustable-but-buggy server writes a different server identity
+    /// into its Finished hash. Breaks `lem-esfin-origin` (and with it the
+    /// authenticity chain).
+    ConfusedServer,
+    /// A careless client encrypts its pre-master secret under the
+    /// intruder's public key while naming an honest server. Breaks `inv1`.
+    CarelessClient,
+}
+
+impl Mutant {
+    /// All mutants.
+    pub fn all() -> [Mutant; 3] {
+        [Mutant::Oops, Mutant::ConfusedServer, Mutant::CarelessClient]
+    }
+
+    /// The name of the injected transition.
+    pub fn transition_name(self) -> &'static str {
+        match self {
+            Mutant::Oops => "oops",
+            Mutant::ConfusedServer => "confusedSfin",
+            Mutant::CarelessClient => "carelessKx",
+        }
+    }
+
+    /// Properties expected to *stop* proving under this mutant.
+    pub fn expected_failures(self) -> &'static [&'static str] {
+        match self {
+            // Note: `lem-cepms-cpms` survives oops — the republished kx
+            // feeds cpms and cepms together — only secrecy itself breaks.
+            Mutant::Oops => &["inv1"],
+            Mutant::ConfusedServer => &["lem-esfin-origin"],
+            Mutant::CarelessClient => &["inv1"],
+        }
+    }
+
+    /// A property expected to *keep* proving (control).
+    pub fn control_property(self) -> &'static str {
+        match self {
+            Mutant::Oops => "lem-src-honest",
+            Mutant::ConfusedServer => "inv1",
+            Mutant::CarelessClient => "lem-src-honest",
+        }
+    }
+
+    fn module_source(self) -> &'static str {
+        match self {
+            Mutant::Oops => {
+                r#"
+                mod! OOPS {
+                  pr(PROTOCOL)
+                  bop oops : Protocol EncPms -> Protocol .
+                  var P : Protocol . var E : EncPms .
+                  vars A2 B2 : Prin . var I2 : Sid .
+                  op c-oops : Protocol EncPms -> Bool .
+                  eq c-oops(P, E) = E \in cepms(nw(P)) .
+                  ceq nw(oops(P, E))
+                    = (kx(intruder, intruder, intruder, epms(k(intruder), pl(E))) , nw(P))
+                    if c-oops(P, E) .
+                  eq ur(oops(P, E)) = ur(P) .
+                  eq ui(oops(P, E)) = ui(P) .
+                  eq us(oops(P, E)) = us(P) .
+                  eq ss(oops(P, E), A2, B2, I2) = ss(P, A2, B2, I2) .
+                  ceq oops(P, E) = P if not c-oops(P, E) .
+                }
+                "#
+            }
+            Mutant::ConfusedServer => {
+                r#"
+                mod! CONFUSED {
+                  pr(PROTOCOL)
+                  bop confusedSfin : Protocol Prin Prin Prin Sid ListOfChoices
+                                     Choice Rand Rand Secret -> Protocol .
+                  var P : Protocol . vars B X A : Prin .
+                  var I : Sid . var L : ListOfChoices . var C : Choice .
+                  vars R1 R2 : Rand . var S : Secret .
+                  vars A2 B2 : Prin . var I2 : Sid .
+                  eq nw(confusedSfin(P, B, X, A, I, L, C, R1, R2, S))
+                    = (sf(B, B, A,
+                          esfin(key(X, pms(A, X, S), R1, R2),
+                                sfin(A, X, I, L, C, R1, R2, pms(A, X, S)))) , nw(P)) .
+                  eq ur(confusedSfin(P, B, X, A, I, L, C, R1, R2, S)) = ur(P) .
+                  eq ui(confusedSfin(P, B, X, A, I, L, C, R1, R2, S)) = ui(P) .
+                  eq us(confusedSfin(P, B, X, A, I, L, C, R1, R2, S)) = us(P) .
+                  eq ss(confusedSfin(P, B, X, A, I, L, C, R1, R2, S), A2, B2, I2)
+                    = ss(P, A2, B2, I2) .
+                }
+                "#
+            }
+            Mutant::CarelessClient => {
+                r#"
+                mod! CARELESS {
+                  pr(PROTOCOL)
+                  bop carelessKx : Protocol Prin Prin Secret -> Protocol .
+                  var P : Protocol . vars A B : Prin . var S : Secret .
+                  vars A2 B2 : Prin . var I2 : Sid .
+                  op c-careless : Protocol Prin Prin Secret -> Bool .
+                  eq c-careless(P, A, B, S) = not (S \in us(P)) .
+                  ceq nw(carelessKx(P, A, B, S))
+                    = (kx(A, A, B, epms(k(intruder), pms(A, B, S))) , nw(P))
+                    if c-careless(P, A, B, S) .
+                  ceq us(carelessKx(P, A, B, S)) = (S , us(P))
+                    if c-careless(P, A, B, S) .
+                  eq ur(carelessKx(P, A, B, S)) = ur(P) .
+                  eq ui(carelessKx(P, A, B, S)) = ui(P) .
+                  eq ss(carelessKx(P, A, B, S), A2, B2, I2) = ss(P, A2, B2, I2) .
+                  ceq carelessKx(P, A, B, S) = P if not c-careless(P, A, B, S) .
+                }
+                "#
+            }
+        }
+    }
+
+    /// Inject this mutant into a model, returning the extended OTS (the
+    /// model's `ots` field is left untouched; provers should use the
+    /// returned one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification errors from the injected module.
+    pub fn inject(self, model: &mut TlsModel) -> Result<Ots, CoreError> {
+        model.spec.load_module(self.module_source())?;
+        Ok(Ots::from_spec(&mut model.spec, "Protocol", "init")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mutant_injects_one_extra_transition() {
+        for mutant in Mutant::all() {
+            let mut model = TlsModel::standard().unwrap();
+            let ots = mutant.inject(&mut model).unwrap();
+            assert_eq!(ots.actions.len(), 28, "{mutant:?}");
+            assert!(
+                ots.action(mutant.transition_name()).is_some(),
+                "{mutant:?} transition present"
+            );
+        }
+    }
+
+    #[test]
+    fn expectations_reference_known_properties() {
+        for mutant in Mutant::all() {
+            let model = TlsModel::standard().unwrap();
+            for name in mutant.expected_failures() {
+                assert!(model.invariants.get(name).is_some(), "{name}");
+            }
+            assert!(model.invariants.get(mutant.control_property()).is_some());
+        }
+    }
+}

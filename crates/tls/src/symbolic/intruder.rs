@@ -1,0 +1,223 @@
+//! The most general intruder's 15 faking transitions (§4.5).
+//!
+//! The intruder (Dolev–Yao) eavesdrops everything — that part is the
+//! gleaning collections of [`crate::symbolic::network`] — and fakes
+//! messages from what it gleaned. Clear-text quantities (randoms, session
+//! IDs, cipher suites, lists, public keys) are guessable, so the five
+//! clear-payload fakes (`fakeCh`, `fakeSh`, `fakeCt`, `fakeCh2`,
+//! `fakeSh2`) need at most a gleaned CA signature. The five encrypted
+//! payloads each get **two** fakes: replay a gleaned ciphertext, or build
+//! a fresh one from a known pre-master secret (symmetric keys are hashes
+//! of public data and the PMS, so knowing the PMS is knowing the key —
+//! §4.3's argument for why the intruder need not glean keys).
+//!
+//! Every fake sets the creator field to `intruder`; that field is
+//! meta-information the intruder cannot forge (§4.2).
+
+use equitls_spec::prelude::*;
+
+/// Names of the intruder transitions, in declaration order.
+pub const FAKE_ACTIONS: [&str; 15] = [
+    "fakeCh", "fakeSh", "fakeCt", "fakeKx1", "fakeKx2", "fakeCfin1", "fakeCfin2", "fakeSfin1",
+    "fakeSfin2", "fakeCh2", "fakeSh2", "fakeCfin21", "fakeCfin22", "fakeSfin21", "fakeSfin22",
+];
+
+/// Declare the intruder transitions.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn install(spec: &mut Spec) -> Result<(), SpecError> {
+    spec.load_module(
+        r#"
+        mod! INTRUDER {
+          pr(PROTOCOL)
+          bop fakeCh : Protocol Prin Prin Rand ListOfChoices -> Protocol .
+          bop fakeSh : Protocol Prin Prin Rand Sid Choice -> Protocol .
+          bop fakeCt : Protocol Prin Prin Prin PubKey Sig -> Protocol .
+          bop fakeKx1 : Protocol Prin Prin EncPms -> Protocol .
+          bop fakeKx2 : Protocol Prin Prin Prin Pms -> Protocol .
+          bop fakeCfin1 : Protocol Prin Prin EncCFin -> Protocol .
+          bop fakeCfin2 : Protocol Prin Prin Sid ListOfChoices Choice Rand Rand Pms -> Protocol .
+          bop fakeSfin1 : Protocol Prin Prin EncSFin -> Protocol .
+          bop fakeSfin2 : Protocol Prin Prin Sid ListOfChoices Choice Rand Rand Pms -> Protocol .
+          bop fakeCh2 : Protocol Prin Prin Rand Sid -> Protocol .
+          bop fakeSh2 : Protocol Prin Prin Rand Sid Choice -> Protocol .
+          bop fakeCfin21 : Protocol Prin Prin EncCFin2 -> Protocol .
+          bop fakeCfin22 : Protocol Prin Prin Sid Choice Rand Rand Pms -> Protocol .
+          bop fakeSfin21 : Protocol Prin Prin EncSFin2 -> Protocol .
+          bop fakeSfin22 : Protocol Prin Prin Sid Choice Rand Rand Pms -> Protocol .
+
+          vars A B X A2 B2 : Prin . vars R R1 R2 : Rand . vars I I2 : Sid .
+          var L : ListOfChoices . var C : Choice . var PM : Pms .
+          var PK : PubKey . var G : Sig .
+          var EP : EncPms . var EC : EncCFin . var ES : EncSFin .
+          var EC2 : EncCFin2 . var ES2 : EncSFin2 .
+          var P : Protocol .
+
+          -- clear-text fakes: everything guessable, no condition
+          eq nw(fakeCh(P, A, B, R, L)) = (ch(intruder, A, B, R, L) , nw(P)) .
+          eq ur(fakeCh(P, A, B, R, L)) = ur(P) .
+          eq ui(fakeCh(P, A, B, R, L)) = ui(P) .
+          eq us(fakeCh(P, A, B, R, L)) = us(P) .
+          eq ss(fakeCh(P, A, B, R, L), A2, B2, I2) = ss(P, A2, B2, I2) .
+
+          eq nw(fakeSh(P, B, A, R, I, C)) = (sh(intruder, B, A, R, I, C) , nw(P)) .
+          eq ur(fakeSh(P, B, A, R, I, C)) = ur(P) .
+          eq ui(fakeSh(P, B, A, R, I, C)) = ui(P) .
+          eq us(fakeSh(P, B, A, R, I, C)) = us(P) .
+          eq ss(fakeSh(P, B, A, R, I, C), A2, B2, I2) = ss(P, A2, B2, I2) .
+
+          -- certificate fake: any principal/key, but the signature must be
+          -- gleaned (or the intruder's own, via csig's base case)
+          op c-fakeCt : Protocol Prin Prin Prin PubKey Sig -> Bool .
+          eq c-fakeCt(P, B, A, X, PK, G) = G \in csig(nw(P)) .
+          ceq nw(fakeCt(P, B, A, X, PK, G))
+            = (ct(intruder, B, A, cert(X, PK, G)) , nw(P))
+            if c-fakeCt(P, B, A, X, PK, G) .
+          eq ur(fakeCt(P, B, A, X, PK, G)) = ur(P) .
+          eq ui(fakeCt(P, B, A, X, PK, G)) = ui(P) .
+          eq us(fakeCt(P, B, A, X, PK, G)) = us(P) .
+          eq ss(fakeCt(P, B, A, X, PK, G), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeCt(P, B, A, X, PK, G) = P if not c-fakeCt(P, B, A, X, PK, G) .
+
+          -- key exchange: replay a gleaned ciphertext…
+          op c-fakeKx1 : Protocol Prin Prin EncPms -> Bool .
+          eq c-fakeKx1(P, A, B, EP) = EP \in cepms(nw(P)) .
+          ceq nw(fakeKx1(P, A, B, EP)) = (kx(intruder, A, B, EP) , nw(P))
+            if c-fakeKx1(P, A, B, EP) .
+          eq ur(fakeKx1(P, A, B, EP)) = ur(P) .
+          eq ui(fakeKx1(P, A, B, EP)) = ui(P) .
+          eq us(fakeKx1(P, A, B, EP)) = us(P) .
+          eq ss(fakeKx1(P, A, B, EP), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeKx1(P, A, B, EP) = P if not c-fakeKx1(P, A, B, EP) .
+
+          -- …or encrypt a known pre-master secret under any public key
+          op c-fakeKx2 : Protocol Prin Prin Prin Pms -> Bool .
+          eq c-fakeKx2(P, A, B, X, PM) = PM \in cpms(nw(P)) .
+          ceq nw(fakeKx2(P, A, B, X, PM))
+            = (kx(intruder, A, B, epms(k(X), PM)) , nw(P))
+            if c-fakeKx2(P, A, B, X, PM) .
+          eq ur(fakeKx2(P, A, B, X, PM)) = ur(P) .
+          eq ui(fakeKx2(P, A, B, X, PM)) = ui(P) .
+          eq us(fakeKx2(P, A, B, X, PM)) = us(P) .
+          eq ss(fakeKx2(P, A, B, X, PM), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeKx2(P, A, B, X, PM) = P if not c-fakeKx2(P, A, B, X, PM) .
+
+          -- client Finished: replay…
+          op c-fakeCfin1 : Protocol Prin Prin EncCFin -> Bool .
+          eq c-fakeCfin1(P, A, B, EC) = EC \in cecfin(nw(P)) .
+          ceq nw(fakeCfin1(P, A, B, EC)) = (cf(intruder, A, B, EC) , nw(P))
+            if c-fakeCfin1(P, A, B, EC) .
+          eq ur(fakeCfin1(P, A, B, EC)) = ur(P) .
+          eq ui(fakeCfin1(P, A, B, EC)) = ui(P) .
+          eq us(fakeCfin1(P, A, B, EC)) = us(P) .
+          eq ss(fakeCfin1(P, A, B, EC), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeCfin1(P, A, B, EC) = P if not c-fakeCfin1(P, A, B, EC) .
+
+          -- …or construct from a known pre-master secret
+          op c-fakeCfin2 : Protocol Prin Prin Sid ListOfChoices Choice Rand Rand Pms -> Bool .
+          eq c-fakeCfin2(P, A, B, I, L, C, R1, R2, PM) = PM \in cpms(nw(P)) .
+          ceq nw(fakeCfin2(P, A, B, I, L, C, R1, R2, PM))
+            = (cf(intruder, A, B,
+                  ecfin(key(A, PM, R1, R2),
+                        cfin(A, B, I, L, C, R1, R2, PM))) , nw(P))
+            if c-fakeCfin2(P, A, B, I, L, C, R1, R2, PM) .
+          eq ur(fakeCfin2(P, A, B, I, L, C, R1, R2, PM)) = ur(P) .
+          eq ui(fakeCfin2(P, A, B, I, L, C, R1, R2, PM)) = ui(P) .
+          eq us(fakeCfin2(P, A, B, I, L, C, R1, R2, PM)) = us(P) .
+          eq ss(fakeCfin2(P, A, B, I, L, C, R1, R2, PM), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeCfin2(P, A, B, I, L, C, R1, R2, PM) = P
+            if not c-fakeCfin2(P, A, B, I, L, C, R1, R2, PM) .
+
+          -- server Finished: replay… (the paper's fakeSfin1)
+          op c-fakeSfin1 : Protocol Prin Prin EncSFin -> Bool .
+          eq c-fakeSfin1(P, B, A, ES) = ES \in cesfin(nw(P)) .
+          ceq nw(fakeSfin1(P, B, A, ES)) = (sf(intruder, B, A, ES) , nw(P))
+            if c-fakeSfin1(P, B, A, ES) .
+          eq ur(fakeSfin1(P, B, A, ES)) = ur(P) .
+          eq ui(fakeSfin1(P, B, A, ES)) = ui(P) .
+          eq us(fakeSfin1(P, B, A, ES)) = us(P) .
+          eq ss(fakeSfin1(P, B, A, ES), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeSfin1(P, B, A, ES) = P if not c-fakeSfin1(P, B, A, ES) .
+
+          -- …or construct (the paper's fakeSfin2, §4.5)
+          op c-fakeSfin2 : Protocol Prin Prin Sid ListOfChoices Choice Rand Rand Pms -> Bool .
+          eq c-fakeSfin2(P, B, A, I, L, C, R1, R2, PM) = PM \in cpms(nw(P)) .
+          ceq nw(fakeSfin2(P, B, A, I, L, C, R1, R2, PM))
+            = (sf(intruder, B, A,
+                  esfin(key(B, PM, R1, R2),
+                        sfin(A, B, I, L, C, R1, R2, PM))) , nw(P))
+            if c-fakeSfin2(P, B, A, I, L, C, R1, R2, PM) .
+          eq ur(fakeSfin2(P, B, A, I, L, C, R1, R2, PM)) = ur(P) .
+          eq ui(fakeSfin2(P, B, A, I, L, C, R1, R2, PM)) = ui(P) .
+          eq us(fakeSfin2(P, B, A, I, L, C, R1, R2, PM)) = us(P) .
+          eq ss(fakeSfin2(P, B, A, I, L, C, R1, R2, PM), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeSfin2(P, B, A, I, L, C, R1, R2, PM) = P
+            if not c-fakeSfin2(P, B, A, I, L, C, R1, R2, PM) .
+
+          -- abbreviated-handshake clear-text fakes
+          eq nw(fakeCh2(P, A, B, R, I)) = (ch2(intruder, A, B, R, I) , nw(P)) .
+          eq ur(fakeCh2(P, A, B, R, I)) = ur(P) .
+          eq ui(fakeCh2(P, A, B, R, I)) = ui(P) .
+          eq us(fakeCh2(P, A, B, R, I)) = us(P) .
+          eq ss(fakeCh2(P, A, B, R, I), A2, B2, I2) = ss(P, A2, B2, I2) .
+
+          eq nw(fakeSh2(P, B, A, R, I, C)) = (sh2(intruder, B, A, R, I, C) , nw(P)) .
+          eq ur(fakeSh2(P, B, A, R, I, C)) = ur(P) .
+          eq ui(fakeSh2(P, B, A, R, I, C)) = ui(P) .
+          eq us(fakeSh2(P, B, A, R, I, C)) = us(P) .
+          eq ss(fakeSh2(P, B, A, R, I, C), A2, B2, I2) = ss(P, A2, B2, I2) .
+
+          -- abbreviated-handshake Finished fakes (replay / construct)
+          op c-fakeCfin21 : Protocol Prin Prin EncCFin2 -> Bool .
+          eq c-fakeCfin21(P, A, B, EC2) = EC2 \in cecfin2(nw(P)) .
+          ceq nw(fakeCfin21(P, A, B, EC2)) = (cf2(intruder, A, B, EC2) , nw(P))
+            if c-fakeCfin21(P, A, B, EC2) .
+          eq ur(fakeCfin21(P, A, B, EC2)) = ur(P) .
+          eq ui(fakeCfin21(P, A, B, EC2)) = ui(P) .
+          eq us(fakeCfin21(P, A, B, EC2)) = us(P) .
+          eq ss(fakeCfin21(P, A, B, EC2), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeCfin21(P, A, B, EC2) = P if not c-fakeCfin21(P, A, B, EC2) .
+
+          op c-fakeCfin22 : Protocol Prin Prin Sid Choice Rand Rand Pms -> Bool .
+          eq c-fakeCfin22(P, A, B, I, C, R1, R2, PM) = PM \in cpms(nw(P)) .
+          ceq nw(fakeCfin22(P, A, B, I, C, R1, R2, PM))
+            = (cf2(intruder, A, B,
+                   ecfin2(key(A, PM, R1, R2),
+                          cfin2(A, B, I, C, R1, R2, PM))) , nw(P))
+            if c-fakeCfin22(P, A, B, I, C, R1, R2, PM) .
+          eq ur(fakeCfin22(P, A, B, I, C, R1, R2, PM)) = ur(P) .
+          eq ui(fakeCfin22(P, A, B, I, C, R1, R2, PM)) = ui(P) .
+          eq us(fakeCfin22(P, A, B, I, C, R1, R2, PM)) = us(P) .
+          eq ss(fakeCfin22(P, A, B, I, C, R1, R2, PM), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeCfin22(P, A, B, I, C, R1, R2, PM) = P
+            if not c-fakeCfin22(P, A, B, I, C, R1, R2, PM) .
+
+          op c-fakeSfin21 : Protocol Prin Prin EncSFin2 -> Bool .
+          eq c-fakeSfin21(P, B, A, ES2) = ES2 \in cesfin2(nw(P)) .
+          ceq nw(fakeSfin21(P, B, A, ES2)) = (sf2(intruder, B, A, ES2) , nw(P))
+            if c-fakeSfin21(P, B, A, ES2) .
+          eq ur(fakeSfin21(P, B, A, ES2)) = ur(P) .
+          eq ui(fakeSfin21(P, B, A, ES2)) = ui(P) .
+          eq us(fakeSfin21(P, B, A, ES2)) = us(P) .
+          eq ss(fakeSfin21(P, B, A, ES2), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeSfin21(P, B, A, ES2) = P if not c-fakeSfin21(P, B, A, ES2) .
+
+          op c-fakeSfin22 : Protocol Prin Prin Sid Choice Rand Rand Pms -> Bool .
+          eq c-fakeSfin22(P, B, A, I, C, R1, R2, PM) = PM \in cpms(nw(P)) .
+          ceq nw(fakeSfin22(P, B, A, I, C, R1, R2, PM))
+            = (sf2(intruder, B, A,
+                   esfin2(key(B, PM, R1, R2),
+                          sfin2(A, B, I, C, R1, R2, PM))) , nw(P))
+            if c-fakeSfin22(P, B, A, I, C, R1, R2, PM) .
+          eq ur(fakeSfin22(P, B, A, I, C, R1, R2, PM)) = ur(P) .
+          eq ui(fakeSfin22(P, B, A, I, C, R1, R2, PM)) = ui(P) .
+          eq us(fakeSfin22(P, B, A, I, C, R1, R2, PM)) = us(P) .
+          eq ss(fakeSfin22(P, B, A, I, C, R1, R2, PM), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq fakeSfin22(P, B, A, I, C, R1, R2, PM) = P
+            if not c-fakeSfin22(P, B, A, I, C, R1, R2, PM) .
+        }
+        "#,
+    )
+}

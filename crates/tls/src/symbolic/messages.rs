@@ -1,0 +1,249 @@
+//! The ten message kinds of §4.2 and their predicates/projections.
+//!
+//! Every message constructor takes three leading principals: the
+//! **creator** (meta-information the intruder cannot forge), the
+//! **seeming sender**, and the **receiver**, followed by the payload. The
+//! kind predicates (`ch?`, `sf?`, …) and the projections (`crt`, `src`,
+//! `dst`, `rand`, …) are generated programmatically — 10 predicates × 10
+//! constructors plus per-kind payload projections.
+
+use equitls_spec::prelude::*;
+
+/// `(name, payload sorts)` for the ten message constructors, in Figure 2
+/// order.
+pub const MESSAGE_KINDS: [(&str, &[&str]); 10] = [
+    ("ch", &["Rand", "ListOfChoices"]),
+    ("sh", &["Rand", "Sid", "Choice"]),
+    ("ct", &["Cert"]),
+    ("kx", &["EncPms"]),
+    ("cf", &["EncCFin"]),
+    ("sf", &["EncSFin"]),
+    ("ch2", &["Rand", "Sid"]),
+    ("sh2", &["Rand", "Sid", "Choice"]),
+    ("cf2", &["EncCFin2"]),
+    ("sf2", &["EncSFin2"]),
+];
+
+/// Payload projections: `(projection name, message kind, payload position,
+/// result sort)`. Positions are relative to the payload (after the three
+/// principals).
+const PROJECTIONS: [(&str, &str, usize, &str); 16] = [
+    ("rand", "ch", 0, "Rand"),
+    ("list", "ch", 1, "ListOfChoices"),
+    ("rand", "sh", 0, "Rand"),
+    ("sid", "sh", 1, "Sid"),
+    ("choice", "sh", 2, "Choice"),
+    ("cert", "ct", 0, "Cert"),
+    ("epms", "kx", 0, "EncPms"),
+    ("ecfin", "cf", 0, "EncCFin"),
+    ("esfin", "sf", 0, "EncSFin"),
+    ("rand", "ch2", 0, "Rand"),
+    ("sid", "ch2", 1, "Sid"),
+    ("rand", "sh2", 0, "Rand"),
+    ("sid", "sh2", 1, "Sid"),
+    ("choice", "sh2", 2, "Choice"),
+    ("ecfin2", "cf2", 0, "EncCFin2"),
+    ("esfin2", "sf2", 0, "EncSFin2"),
+];
+
+/// Declare the `Msg` sort, the ten constructors, the kind predicates, and
+/// the projections, with their defining equations.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn install(spec: &mut Spec) -> Result<(), SpecError> {
+    spec.begin_module("MESSAGE");
+    spec.import("DATA");
+    spec.visible_sort("Msg")?;
+
+    // Constructors: crt × src × dst × payload…
+    for (name, payload) in MESSAGE_KINDS {
+        let mut args = vec!["Prin", "Prin", "Prin"];
+        args.extend_from_slice(payload);
+        spec.constructor(name, &args, "Msg")?;
+    }
+
+    // Kind predicates.
+    for (name, _) in MESSAGE_KINDS {
+        spec.defined_op(&format!("{name}?"), &["Msg"], "Bool")?;
+    }
+
+    // Principal projections.
+    for proj in ["crt", "src", "dst"] {
+        spec.defined_op(proj, &["Msg"], "Prin")?;
+    }
+    // Payload projections (declared once per (name, result) pair).
+    let mut declared: Vec<(&str, &str)> = Vec::new();
+    for (proj, _, _, result) in PROJECTIONS {
+        if !declared.contains(&(proj, result)) {
+            // `cert`/`epms`/… overload the DATA constructors by arg sort.
+            spec.op(
+                proj,
+                &["Msg"],
+                result,
+                equitls_kernel::op::OpAttrs::defined(),
+            )?;
+            declared.push((proj, result));
+        }
+    }
+
+    // A canonical pattern term per constructor: ctor(X1:Prin, …, Xi:Sorti).
+    let alg = spec.alg().clone();
+    let mut patterns: Vec<(&str, equitls_kernel::term::TermId, Vec<equitls_kernel::term::TermId>)> =
+        Vec::new();
+    for (name, payload) in MESSAGE_KINDS {
+        let mut sorts = vec!["Prin", "Prin", "Prin"];
+        sorts.extend_from_slice(payload);
+        let mut vars = Vec::with_capacity(sorts.len());
+        for (i, sort) in sorts.iter().enumerate() {
+            // Variable names are namespaced per constructor to keep sorts
+            // consistent (e.g. chV0, chV1, …).
+            let var_name = format!("{}V{}", name, i);
+            vars.push(spec.var(&var_name, sort)?);
+        }
+        let pattern = spec.app(name, &vars)?;
+        patterns.push((name, pattern, vars));
+    }
+
+    // Kind predicate equations: name?(pattern) = true/false.
+    for (pred, _) in MESSAGE_KINDS {
+        for (ctor, pattern, _) in &patterns {
+            let lhs = spec.app(&format!("{pred}?"), &[*pattern])?;
+            let rhs = alg.constant(spec.store_mut(), pred == *ctor);
+            spec.eq(&format!("{pred}?-{ctor}"), lhs, rhs)?;
+        }
+    }
+
+    // Principal projection equations on every constructor.
+    for (i, proj) in ["crt", "src", "dst"].iter().enumerate() {
+        for (ctor, pattern, vars) in &patterns {
+            let lhs = spec.app(proj, &[*pattern])?;
+            spec.eq(&format!("{proj}-{ctor}"), lhs, vars[i])?;
+        }
+    }
+
+    // Payload projection equations on the applicable constructor only.
+    for (proj, ctor, pos, _) in PROJECTIONS {
+        let (_, pattern, vars) = patterns
+            .iter()
+            .find(|(name, _, _)| *name == ctor)
+            .expect("constructor exists");
+        let lhs = spec.app(proj, &[*pattern])?;
+        spec.eq(&format!("{proj}-{ctor}"), lhs, vars[3 + pos])?;
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::data;
+
+    fn spec_with_messages() -> Spec {
+        let mut spec = Spec::new().unwrap();
+        data::install(&mut spec).unwrap();
+        install(&mut spec).unwrap();
+        spec
+    }
+
+    #[test]
+    fn kind_predicates_classify_all_ten_kinds() {
+        let mut spec = spec_with_messages();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let rand = spec.sort_id("Rand").unwrap();
+        let sid = spec.sort_id("Sid").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let r = spec.store_mut().fresh_constant("r", rand);
+        let i = spec.store_mut().fresh_constant("i", sid);
+        let m = spec.app("ch2", &[a, a, b, r, i]).unwrap();
+        let yes = spec.app("ch2?", &[m]).unwrap();
+        let no = spec.app("kx?", &[m]).unwrap();
+        let yes = spec.red(yes).unwrap();
+        let no = spec.red(no).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), yes), Some(true));
+        assert_eq!(alg.as_constant(spec.store(), no), Some(false));
+    }
+
+    #[test]
+    fn principal_projections_extract_crt_src_dst() {
+        let mut spec = spec_with_messages();
+        let prin = spec.sort_id("Prin").unwrap();
+        let rand = spec.sort_id("Rand").unwrap();
+        let loc = spec.sort_id("ListOfChoices").unwrap();
+        let intruder = spec.const_term("intruder").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let r = spec.store_mut().fresh_constant("r", rand);
+        let l = spec.store_mut().fresh_constant("l", loc);
+        // A faked ClientHello: created by the intruder, seemingly from a.
+        let m = spec.app("ch", &[intruder, a, b, r, l]).unwrap();
+        let crt = spec.app("crt", &[m]).unwrap();
+        let src = spec.app("src", &[m]).unwrap();
+        let dst = spec.app("dst", &[m]).unwrap();
+        assert_eq!(spec.red(crt).unwrap(), intruder);
+        assert_eq!(spec.red(src).unwrap(), a);
+        assert_eq!(spec.red(dst).unwrap(), b);
+    }
+
+    #[test]
+    fn payload_projections_extract_fields() {
+        let mut spec = spec_with_messages();
+        let prin = spec.sort_id("Prin").unwrap();
+        let rand = spec.sort_id("Rand").unwrap();
+        let sid = spec.sort_id("Sid").unwrap();
+        let choice = spec.sort_id("Choice").unwrap();
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let r = spec.store_mut().fresh_constant("r", rand);
+        let i = spec.store_mut().fresh_constant("i", sid);
+        let c = spec.store_mut().fresh_constant("c", choice);
+        let m = spec.app("sh", &[b, b, a, r, i, c]).unwrap();
+        let rr = spec.app("rand", &[m]).unwrap();
+        let ii = spec.app("sid", &[m]).unwrap();
+        let cc = spec.app("choice", &[m]).unwrap();
+        assert_eq!(spec.red(rr).unwrap(), r);
+        assert_eq!(spec.red(ii).unwrap(), i);
+        assert_eq!(spec.red(cc).unwrap(), c);
+    }
+
+    #[test]
+    fn projections_do_not_fire_on_wrong_kinds() {
+        let mut spec = spec_with_messages();
+        let prin = spec.sort_id("Prin").unwrap();
+        let cert_sort = spec.sort_id("Cert").unwrap();
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let ce = spec.store_mut().fresh_constant("ce", cert_sort);
+        let m = spec.app("ct", &[b, b, a, ce]).unwrap();
+        // `rand` of a Certificate message is undefined: stays stuck.
+        let r = spec.app("rand", &[m]).unwrap();
+        assert_eq!(spec.red(r).unwrap(), r);
+    }
+
+    #[test]
+    fn message_equality_is_free() {
+        let mut spec = spec_with_messages();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let rand = spec.sort_id("Rand").unwrap();
+        let loc = spec.sort_id("ListOfChoices").unwrap();
+        let intruder = spec.const_term("intruder").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let r = spec.store_mut().fresh_constant("r", rand);
+        let l = spec.store_mut().fresh_constant("l", loc);
+        let faked = spec.app("ch", &[intruder, a, b, r, l]).unwrap();
+        let genuine = spec.app("ch", &[a, a, b, r, l]).unwrap();
+        let eq = spec.eq_term(faked, genuine).unwrap();
+        let n = spec.red(eq).unwrap();
+        // Decided iff `a = intruder` — exactly the creator distinction.
+        let expected = spec.eq_term(a, intruder).unwrap();
+        let expected = spec.red(expected).unwrap();
+        assert_eq!(n, expected);
+        let _ = alg;
+    }
+}

@@ -1,0 +1,280 @@
+//! The network, the used-value sets, and the intruder's gleaning
+//! collections (§4.3).
+//!
+//! The network is a bag of messages built from `void` and `_,_`; messages
+//! are never removed (the intruder can replay anything). The intruder
+//! gleans seven kinds of quantities; each collection `cX` is defined
+//! equationally over the bag structure so that consing a concrete message
+//! onto a symbolic network unfolds by exactly one step — the mechanism the
+//! inductive proofs ride on.
+//!
+//! **Paper erratum noted in DESIGN.md**: §4.3 says pre-master secrets are
+//! gleaned from *Certificate* messages; the equations make clear they come
+//! from **ClientKeyExchange** (`kx`) messages, which is what we implement.
+
+use equitls_spec::prelude::*;
+
+/// Declare network, used-value sets, and gleaning collections.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn install(spec: &mut Spec) -> Result<(), SpecError> {
+    spec.load_module(
+        r#"
+        mod! NETWORK {
+          pr(MESSAGE)
+          [ Network URand USid USecret
+            ColPms ColSig ColEncPms ColEncCFin ColEncSFin ColEncCFin2 ColEncSFin2 ]
+
+          -- the network bag
+          op void : -> Network {constr} .
+          op _,_ : Msg Network -> Network {constr} .
+          op _\in_ : Msg Network -> Bool .
+
+          -- used random numbers / session ids / secrets (observers' data)
+          op noRand : -> URand {constr} .
+          op _,_ : Rand URand -> URand {constr} .
+          op _\in_ : Rand URand -> Bool .
+          op noSid : -> USid {constr} .
+          op _,_ : Sid USid -> USid {constr} .
+          op _\in_ : Sid USid -> Bool .
+          op noSecret : -> USecret {constr} .
+          op _,_ : Secret USecret -> USecret {constr} .
+          op _\in_ : Secret USecret -> Bool .
+
+          -- gleaning collections (the seven kinds of §4.3)
+          op cpms : Network -> ColPms .
+          op csig : Network -> ColSig .
+          op cepms : Network -> ColEncPms .
+          op cecfin : Network -> ColEncCFin .
+          op cesfin : Network -> ColEncSFin .
+          op cecfin2 : Network -> ColEncCFin2 .
+          op cesfin2 : Network -> ColEncSFin2 .
+          op _\in_ : Pms ColPms -> Bool .
+          op _\in_ : Sig ColSig -> Bool .
+          op _\in_ : EncPms ColEncPms -> Bool .
+          op _\in_ : EncCFin ColEncCFin -> Bool .
+          op _\in_ : EncSFin ColEncSFin -> Bool .
+          op _\in_ : EncCFin2 ColEncCFin2 -> Bool .
+          op _\in_ : EncSFin2 ColEncSFin2 -> Bool .
+
+          vars M M2 : Msg . var NW : Network .
+          vars R R2 : Rand . var UR : URand .
+          vars I I2 : Sid . var UI : USid .
+          vars S S2 : Secret . var US : USecret .
+          var PM : Pms . var G : Sig . var EP : EncPms .
+          var EC : EncCFin . var ES : EncSFin .
+          var EC2 : EncCFin2 . var ES2 : EncSFin2 .
+
+          -- bag membership
+          eq M \in void = false .
+          eq M \in (M2 , NW) = (M = M2) or (M \in NW) .
+          eq R \in noRand = false .
+          eq R \in (R2 , UR) = (R = R2) or (R \in UR) .
+          eq I \in noSid = false .
+          eq I \in (I2 , UI) = (I = I2) or (I \in UI) .
+          eq S \in noSecret = false .
+          eq S \in (S2 , US) = (S = S2) or (S \in US) .
+
+          -- pre-master secrets: the intruder's own at the start; gleaned
+          -- from ClientKeyExchange messages encrypted with k(intruder)
+          eq PM \in cpms(void) = (client(PM) = intruder) .
+          ceq PM \in cpms(M , NW) = true
+            if kx?(M) and (epms(M) = epms(k(intruder), PM)) .
+          ceq PM \in cpms(M , NW) = PM \in cpms(NW)
+            if not (kx?(M) and (epms(M) = epms(k(intruder), PM))) .
+
+          -- CA signatures: the intruder can sign with its own key; others
+          -- are gleaned from Certificate messages
+          eq G \in csig(void) = (signer(G) = intruder) .
+          ceq G \in csig(M , NW) = true
+            if ct?(M) and (G = csig(cert(M))) .
+          ceq G \in csig(M , NW) = G \in csig(NW)
+            if not (ct?(M) and (G = csig(cert(M)))) .
+
+          -- encrypted pre-master secrets, from kx messages
+          eq EP \in cepms(void) = false .
+          ceq EP \in cepms(M , NW) = true
+            if kx?(M) and (EP = epms(M)) .
+          ceq EP \in cepms(M , NW) = EP \in cepms(NW)
+            if not (kx?(M) and (EP = epms(M))) .
+
+          -- encrypted Finished payloads, from cf / sf / cf2 / sf2
+          eq EC \in cecfin(void) = false .
+          ceq EC \in cecfin(M , NW) = true
+            if cf?(M) and (EC = ecfin(M)) .
+          ceq EC \in cecfin(M , NW) = EC \in cecfin(NW)
+            if not (cf?(M) and (EC = ecfin(M))) .
+
+          eq ES \in cesfin(void) = false .
+          ceq ES \in cesfin(M , NW) = true
+            if sf?(M) and (ES = esfin(M)) .
+          ceq ES \in cesfin(M , NW) = ES \in cesfin(NW)
+            if not (sf?(M) and (ES = esfin(M))) .
+
+          eq EC2 \in cecfin2(void) = false .
+          ceq EC2 \in cecfin2(M , NW) = true
+            if cf2?(M) and (EC2 = ecfin2(M)) .
+          ceq EC2 \in cecfin2(M , NW) = EC2 \in cecfin2(NW)
+            if not (cf2?(M) and (EC2 = ecfin2(M))) .
+
+          eq ES2 \in cesfin2(void) = false .
+          ceq ES2 \in cesfin2(M , NW) = true
+            if sf2?(M) and (ES2 = esfin2(M)) .
+          ceq ES2 \in cesfin2(M , NW) = ES2 \in cesfin2(NW)
+            if not (sf2?(M) and (ES2 = esfin2(M))) .
+        }
+        "#,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{data, messages};
+
+    fn network_spec() -> Spec {
+        let mut spec = Spec::new().unwrap();
+        data::install(&mut spec).unwrap();
+        messages::install(&mut spec).unwrap();
+        install(&mut spec).unwrap();
+        spec
+    }
+
+    #[test]
+    fn intruders_own_pms_is_always_gleanable() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let secret = spec.sort_id("Secret").unwrap();
+        let intruder = spec.const_term("intruder").unwrap();
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let s = spec.store_mut().fresh_constant("s", secret);
+        let own = spec.app("pms", &[intruder, b, s]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let cp = spec.app("cpms", &[void]).unwrap();
+        let member = spec.app("_\\in_", &[own, cp]).unwrap();
+        let n = spec.red(member).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+        // A trustable client's pms is not initially gleanable.
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let honest = spec.app("pms", &[a, b, s]).unwrap();
+        let member2 = spec.app("_\\in_", &[honest, cp]).unwrap();
+        let n2 = spec.red(member2).unwrap();
+        // reduces to (a = intruder), not a constant
+        assert_eq!(alg.as_constant(spec.store(), n2), None);
+    }
+
+    #[test]
+    fn kx_to_intruder_leaks_the_pms() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let secret = spec.sort_id("Secret").unwrap();
+        let intruder = spec.const_term("intruder").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let s = spec.store_mut().fresh_constant("s", secret);
+        let pm = spec.app("pms", &[a, intruder, s]).unwrap();
+        let k_i = spec.app("k", &[intruder]).unwrap();
+        let ep = spec.app("epms", &[k_i, pm]).unwrap();
+        let m = spec.app("kx", &[a, a, intruder, ep]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let nw = spec.app("_,_", &[m, void]).unwrap();
+        let cp = spec.app("cpms", &[nw]).unwrap();
+        let member = spec.app("_\\in_", &[pm, cp]).unwrap();
+        let n = spec.red(member).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+    }
+
+    #[test]
+    fn kx_to_honest_server_does_not_leak() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let secret = spec.sort_id("Secret").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let s = spec.store_mut().fresh_constant("s", secret);
+        let pm = spec.app("pms", &[a, b, s]).unwrap();
+        let k_b = spec.app("k", &[b]).unwrap();
+        let ep = spec.app("epms", &[k_b, pm]).unwrap();
+        let m = spec.app("kx", &[a, a, b, ep]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let nw = spec.app("_,_", &[m, void]).unwrap();
+        let cp = spec.app("cpms", &[nw]).unwrap();
+        let member = spec.app("_\\in_", &[pm, cp]).unwrap();
+        let n = spec.red(member).unwrap();
+        // Not decidably gleanable: residual is `(b = intruder) …` or
+        // `(a = intruder)` — never `true`.
+        assert_ne!(alg.as_constant(spec.store(), n), Some(true));
+    }
+
+    #[test]
+    fn bag_membership_unfolds_message_by_message() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let cert_sort = spec.sort_id("Cert").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let ce = spec.store_mut().fresh_constant("ce", cert_sort);
+        let m1 = spec.app("ct", &[b, b, a, ce]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let nw = spec.app("_,_", &[m1, void]).unwrap();
+        let member = spec.app("_\\in_", &[m1, nw]).unwrap();
+        let n = spec.red(member).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+        // A different message is not in the bag.
+        let m2 = spec.app("ct", &[a, b, a, ce]).unwrap();
+        let member2 = spec.app("_\\in_", &[m2, nw]).unwrap();
+        let n2 = spec.red(member2).unwrap();
+        // (a = b) remains — undecided for arbitrary constants.
+        assert_eq!(alg.as_constant(spec.store(), n2), None);
+    }
+
+    #[test]
+    fn ciphertexts_are_gleaned_from_matching_messages_only() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let enc = spec.sort_id("EncSFin").unwrap();
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let es = spec.store_mut().fresh_constant("es", enc);
+        let m = spec.app("sf", &[b, b, a, es]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let nw = spec.app("_,_", &[m, void]).unwrap();
+        let col = spec.app("cesfin", &[nw]).unwrap();
+        let member = spec.app("_\\in_", &[es, col]).unwrap();
+        let n = spec.red(member).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+        // cecfin does not see sf messages.
+        let enc_c = spec.sort_id("EncCFin").unwrap();
+        let ec = spec.store_mut().fresh_constant("ec", enc_c);
+        let colc = spec.app("cecfin", &[nw]).unwrap();
+        let member2 = spec.app("_\\in_", &[ec, colc]).unwrap();
+        let n2 = spec.red(member2).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n2), Some(false));
+    }
+
+    #[test]
+    fn signature_gleaning_from_certificates() {
+        let mut spec = network_spec();
+        let alg = spec.alg().clone();
+        let prin = spec.sort_id("Prin").unwrap();
+        let b = spec.store_mut().fresh_constant("b", prin);
+        let a = spec.store_mut().fresh_constant("a", prin);
+        let ca = spec.const_term("ca").unwrap();
+        let kb = spec.app("k", &[b]).unwrap();
+        let g = spec.app("sig", &[ca, b, kb]).unwrap();
+        let cert = spec.app("cert", &[b, kb, g]).unwrap();
+        let m = spec.app("ct", &[b, b, a, cert]).unwrap();
+        let void = spec.const_term("void").unwrap();
+        let nw = spec.app("_,_", &[m, void]).unwrap();
+        let col = spec.app("csig", &[nw]).unwrap();
+        let member = spec.app("_\\in_", &[g, col]).unwrap();
+        let n = spec.red(member).unwrap();
+        assert_eq!(alg.as_constant(spec.store(), n), Some(true));
+    }
+}

@@ -1,0 +1,283 @@
+//! The verified properties: the paper's five invariants (§5.1) plus the
+//! thirteen auxiliary lemmas ("We need 13 more properties to prove the
+//! five properties"), eighteen in all — matching the paper's §1/§7 count.
+//!
+//! The auxiliary set is our reconstruction (the paper does not list its
+//! thirteen); each lemma is stated with projections instead of existential
+//! quantifiers so it fits the equational fragment:
+//!
+//! * `lem-cepms-cpms` — anything gleanable as a ciphertext under
+//!   `k(intruder)` has an already-gleanable payload;
+//! * `lem-esfin-origin` / `lem-esfin2-origin` / `lem-ecfin-origin` /
+//!   `lem-ecfin2-origin` — well-formed Finished ciphertexts between
+//!   honest principals originate from the genuine sender;
+//! * `lem-src-honest` — only the intruder sends with a forged sender
+//!   field;
+//! * `lem-sf-session` / `lem-sf2-session` — a genuine ServerFinished(2)
+//!   implies the matching ServerHello(2) (and Certificate) were sent;
+//! * `lem-kx-shape` / `lem-cf-shape` / `lem-sf-shape` — trustable
+//!   principals' messages have the protocol's payload shape;
+//! * `lem-secret-us` / `lem-rand-ur` — used-value tracking.
+
+use equitls_core::prelude::{Invariant, InvariantSet};
+use equitls_core::CoreError;
+use equitls_spec::parser::{elaborate_term, parse_term_ast, ElabScope};
+use equitls_spec::prelude::*;
+
+/// `(variable name, sort)` pairs usable in property bodies.
+const PROPERTY_VARS: [(&str, &str); 16] = [
+    ("P", "Protocol"),
+    ("A", "Prin"),
+    ("B", "Prin"),
+    ("B1", "Prin"),
+    ("R1", "Rand"),
+    ("R2", "Rand"),
+    ("L", "ListOfChoices"),
+    ("C", "Choice"),
+    ("I", "Sid"),
+    ("S", "Secret"),
+    ("PM", "Pms"),
+    ("M", "Msg"),
+    ("ES", "EncSFin"),
+    ("ES2", "EncSFin2"),
+    ("EC", "EncCFin"),
+    ("EC2", "EncCFin2"),
+];
+
+/// `(name, params, body)` for all eighteen properties.
+///
+/// Bodies are written in the surface DSL; `P` is always the state
+/// variable.
+pub const PROPERTIES: [(&str, &[&str], &str); 18] = [
+    // ---- the five properties of §5.1 -----------------------------------
+    (
+        "inv1",
+        &["PM"],
+        r"PM \in cpms(nw(P)) implies (client(PM) = intruder or server(PM) = intruder)",
+    ),
+    (
+        "inv2",
+        &["A", "B", "B1", "R1", "R2", "L", "C", "I", "S"],
+        r"not (A = intruder)
+          and sf(B1, B, A, esfin(key(B, pms(A, B, S), R1, R2),
+                                 sfin(A, B, I, L, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          implies
+          sf(B, B, A, esfin(key(B, pms(A, B, S), R1, R2),
+                            sfin(A, B, I, L, C, R1, R2, pms(A, B, S)))) \in nw(P)",
+    ),
+    (
+        "inv3",
+        &["A", "B", "B1", "R1", "R2", "C", "I", "S"],
+        r"not (A = intruder)
+          and sf2(B1, B, A, esfin2(key(B, pms(A, B, S), R1, R2),
+                                   sfin2(A, B, I, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          implies
+          sf2(B, B, A, esfin2(key(B, pms(A, B, S), R1, R2),
+                              sfin2(A, B, I, C, R1, R2, pms(A, B, S)))) \in nw(P)",
+    ),
+    (
+        "inv4",
+        &["A", "B", "B1", "R1", "R2", "L", "C", "I", "S"],
+        r"not (A = intruder)
+          and sh(B1, B, A, R2, I, C) \in nw(P)
+          and ct(B1, B, A, cert(B, k(B), sig(ca, B, k(B)))) \in nw(P)
+          and sf(B1, B, A, esfin(key(B, pms(A, B, S), R1, R2),
+                                 sfin(A, B, I, L, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          implies
+          (sh(B, B, A, R2, I, C) \in nw(P)
+           and ct(B, B, A, cert(B, k(B), sig(ca, B, k(B)))) \in nw(P))",
+    ),
+    (
+        "inv5",
+        &["A", "B", "B1", "R1", "R2", "C", "I", "S"],
+        r"not (A = intruder)
+          and sh2(B1, B, A, R2, I, C) \in nw(P)
+          and sf2(B1, B, A, esfin2(key(B, pms(A, B, S), R1, R2),
+                                   sfin2(A, B, I, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          implies
+          sh2(B, B, A, R2, I, C) \in nw(P)",
+    ),
+    // ---- auxiliary lemmas ----------------------------------------------
+    (
+        "lem-cepms-cpms",
+        &["PM"],
+        r"epms(k(intruder), PM) \in cepms(nw(P)) implies PM \in cpms(nw(P))",
+    ),
+    (
+        "lem-esfin-origin",
+        &["ES"],
+        r"ES \in cesfin(nw(P))
+          and ES = esfin(key(fb(bd(ES)), fp(bd(ES)), fr1(bd(ES)), fr2(bd(ES))), bd(ES))
+          and client(fp(bd(ES))) = fa(bd(ES))
+          and server(fp(bd(ES))) = fb(bd(ES))
+          and not (fa(bd(ES)) = intruder)
+          and not (fb(bd(ES)) = intruder)
+          implies
+          sf(fb(bd(ES)), fb(bd(ES)), fa(bd(ES)), ES) \in nw(P)",
+    ),
+    (
+        "lem-esfin2-origin",
+        &["ES2"],
+        r"ES2 \in cesfin2(nw(P))
+          and ES2 = esfin2(key(fb(bd(ES2)), fp(bd(ES2)), fr1(bd(ES2)), fr2(bd(ES2))), bd(ES2))
+          and client(fp(bd(ES2))) = fa(bd(ES2))
+          and server(fp(bd(ES2))) = fb(bd(ES2))
+          and not (fa(bd(ES2)) = intruder)
+          and not (fb(bd(ES2)) = intruder)
+          implies
+          sf2(fb(bd(ES2)), fb(bd(ES2)), fa(bd(ES2)), ES2) \in nw(P)",
+    ),
+    (
+        "lem-ecfin-origin",
+        &["EC"],
+        r"EC \in cecfin(nw(P))
+          and EC = ecfin(key(fa(bd(EC)), fp(bd(EC)), fr1(bd(EC)), fr2(bd(EC))), bd(EC))
+          and client(fp(bd(EC))) = fa(bd(EC))
+          and server(fp(bd(EC))) = fb(bd(EC))
+          and not (fa(bd(EC)) = intruder)
+          and not (fb(bd(EC)) = intruder)
+          implies
+          cf(fa(bd(EC)), fa(bd(EC)), fb(bd(EC)), EC) \in nw(P)",
+    ),
+    (
+        "lem-ecfin2-origin",
+        &["EC2"],
+        r"EC2 \in cecfin2(nw(P))
+          and EC2 = ecfin2(key(fa(bd(EC2)), fp(bd(EC2)), fr1(bd(EC2)), fr2(bd(EC2))), bd(EC2))
+          and client(fp(bd(EC2))) = fa(bd(EC2))
+          and server(fp(bd(EC2))) = fb(bd(EC2))
+          and not (fa(bd(EC2)) = intruder)
+          and not (fb(bd(EC2)) = intruder)
+          implies
+          cf2(fa(bd(EC2)), fa(bd(EC2)), fb(bd(EC2)), EC2) \in nw(P)",
+    ),
+    (
+        "lem-src-honest",
+        &["M"],
+        r"M \in nw(P) implies (crt(M) = intruder or crt(M) = src(M))",
+    ),
+    (
+        "lem-sf-session",
+        &["A", "B", "R1", "R2", "L", "C", "I", "S"],
+        r"sf(B, B, A, esfin(key(B, pms(A, B, S), R1, R2),
+                            sfin(A, B, I, L, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          and not (B = intruder)
+          implies
+          (sh(B, B, A, R2, I, C) \in nw(P)
+           and ct(B, B, A, cert(B, k(B), sig(ca, B, k(B)))) \in nw(P))",
+    ),
+    (
+        "lem-sf2-session",
+        &["A", "B", "R1", "R2", "C", "I", "S"],
+        r"sf2(B, B, A, esfin2(key(B, pms(A, B, S), R1, R2),
+                              sfin2(A, B, I, C, R1, R2, pms(A, B, S)))) \in nw(P)
+          and not (B = intruder)
+          implies
+          sh2(B, B, A, R2, I, C) \in nw(P)",
+    ),
+    (
+        "lem-kx-shape",
+        &["M"],
+        r"M \in nw(P) and kx?(M) and not (crt(M) = intruder)
+          implies
+          (pk(epms(M)) = k(dst(M))
+           and client(pl(epms(M))) = crt(M)
+           and server(pl(epms(M))) = dst(M)
+           and src(M) = crt(M))",
+    ),
+    (
+        "lem-cf-shape",
+        &["M"],
+        r"M \in nw(P) and cf?(M) and not (crt(M) = intruder)
+          implies
+          (ecfin(M) = ecfin(key(fa(bd(ecfin(M))), fp(bd(ecfin(M))),
+                                fr1(bd(ecfin(M))), fr2(bd(ecfin(M)))),
+                            bd(ecfin(M)))
+           and fa(bd(ecfin(M))) = crt(M)
+           and fb(bd(ecfin(M))) = dst(M)
+           and client(fp(bd(ecfin(M)))) = crt(M)
+           and server(fp(bd(ecfin(M)))) = dst(M))",
+    ),
+    (
+        "lem-sf-shape",
+        &["M"],
+        r"M \in nw(P) and sf?(M) and not (crt(M) = intruder)
+          implies
+          (esfin(M) = esfin(key(fb(bd(esfin(M))), fp(bd(esfin(M))),
+                                fr1(bd(esfin(M))), fr2(bd(esfin(M)))),
+                            bd(esfin(M)))
+           and fb(bd(esfin(M))) = crt(M)
+           and fa(bd(esfin(M))) = dst(M))",
+    ),
+    (
+        "lem-secret-us",
+        &["M"],
+        r"M \in nw(P) and kx?(M) and not (crt(M) = intruder)
+          implies
+          secret(pl(epms(M))) \in us(P)",
+    ),
+    (
+        "lem-rand-ur",
+        &["M"],
+        r"M \in nw(P) and not (crt(M) = intruder)
+          and (ch?(M) or sh?(M) or ch2?(M) or sh2?(M))
+          implies
+          rand(M) \in ur(P)",
+    ),
+];
+
+/// Build the eighteen properties against a fully installed specification.
+///
+/// # Errors
+///
+/// Parse or resolution failures in a property body.
+pub fn install(spec: &mut Spec) -> Result<InvariantSet, CoreError> {
+    let mut scope = ElabScope::new();
+    let mut vars = std::collections::HashMap::new();
+    for (name, sort) in PROPERTY_VARS {
+        let sort_id = spec.sort_id(sort)?;
+        let var = spec.store_mut().declare_var(name, sort_id)?;
+        let occurrence = spec.store_mut().var(var);
+        scope.bind(name, occurrence);
+        vars.insert(name, var);
+    }
+    let state_var = vars["P"];
+    let mut set = InvariantSet::new();
+    for (name, params, body_src) in PROPERTIES {
+        let ast = parse_term_ast(body_src).map_err(CoreError::Spec)?;
+        let body = elaborate_term(spec, &scope, &ast).map_err(CoreError::Spec)?;
+        let param_vars = params.iter().map(|p| vars[p]).collect();
+        set.push(Invariant::new(spec, name, state_var, param_vars, body)?);
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::TlsModel;
+
+    #[test]
+    fn all_eighteen_properties_elaborate() {
+        let model = TlsModel::standard().unwrap();
+        assert_eq!(model.invariants.len(), 18);
+        for (name, params, _) in PROPERTIES {
+            let inv = model.invariants.get(name).unwrap_or_else(|| {
+                panic!("property {name} missing");
+            });
+            assert_eq!(inv.params.len(), params.len(), "{name} params");
+        }
+    }
+
+    #[test]
+    fn property_count_matches_the_paper() {
+        // §1/§7: 18 invariants verified in the case study.
+        assert_eq!(PROPERTIES.len(), 18);
+        let main: Vec<&str> = PROPERTIES
+            .iter()
+            .map(|(n, _, _)| *n)
+            .filter(|n| n.starts_with("inv"))
+            .collect();
+        assert_eq!(main, vec!["inv1", "inv2", "inv3", "inv4", "inv5"]);
+    }
+}

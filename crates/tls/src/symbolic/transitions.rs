@@ -1,0 +1,461 @@
+//! Observers and the 12 trustable-principal transitions (§4.4).
+//!
+//! Observable values: the network `nw`, session states `ss`, and the used
+//! random numbers / session IDs / secrets (`ur`, `ui`, `us`). The twelve
+//! transitions are the ten message sends of Figure 2 plus the two
+//! receive-completions (`compl` for the client's receipt of ServerFinished
+//! and `compl2` for the server's receipt of ClientFinished2).
+//!
+//! Modeling abstractions (documented in DESIGN.md):
+//!
+//! * Clients validate the server Certificate by requiring it to be exactly
+//!   `cert(b, k(b), sig(ca, b, k(b)))` for the seeming server `b` — in the
+//!   model the trusted CA signs only genuine key bindings, so any
+//!   CA-signed certificate has this shape.
+//! * The server's `sfin` effective condition includes its own Certificate
+//!   message: in TLS the Finished hash covers the handshake transcript
+//!   (which contains the Certificate), and this conjunct is the abstract
+//!   residue of that binding. Property 4 relies on it.
+//! * Servers recover the pre-master secret from a ClientKeyExchange via
+//!   the decryption projection `pl(epms(m))`, guarded by
+//!   `pk(epms(m)) = k(B)` (only the key owner can decrypt).
+
+use equitls_spec::prelude::*;
+
+/// The variant of the abbreviated handshake (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Variant {
+    /// Figure 2: ServerFinished2 precedes ClientFinished2.
+    #[default]
+    ServerFinished2First,
+    /// The §5.3 variant: ClientFinished2 precedes ServerFinished2.
+    ClientFinished2First,
+}
+
+/// Declare observers, `init`, and the trustable transitions.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn install(spec: &mut Spec, variant: Variant) -> Result<(), SpecError> {
+    spec.load_module(
+        r#"
+        mod! PROTOCOL {
+          pr(NETWORK)
+          *[ Protocol ]*
+          op init : -> Protocol .
+
+          bop nw : Protocol -> Network .
+          bop ur : Protocol -> URand .
+          bop ui : Protocol -> USid .
+          bop us : Protocol -> USecret .
+          bop ss : Protocol Prin Prin Sid -> Session .
+
+          bop chello : Protocol Prin Prin Rand ListOfChoices -> Protocol .
+          bop shello : Protocol Prin Rand Sid Choice Msg -> Protocol .
+          bop cert : Protocol Prin Msg Msg -> Protocol .
+          bop kexch : Protocol Prin Secret Msg Msg Msg -> Protocol .
+          bop cfin : Protocol Prin Secret Msg Msg Msg Msg -> Protocol .
+          bop sfin : Protocol Prin Msg Msg Msg Msg Msg -> Protocol .
+          bop compl : Protocol Prin Secret Msg Msg Msg Msg Msg Msg -> Protocol .
+          bop chello2 : Protocol Prin Prin Secret Rand Sid -> Protocol .
+          bop shello2 : Protocol Prin Choice Rand Msg -> Protocol .
+
+          vars A B A2 B2 : Prin . vars R R1 R2 : Rand . vars I I2 : Sid .
+          var L : ListOfChoices . var C : Choice . var S : Secret .
+          vars M1 M2 M3 M4 M5 M6 : Msg . var P : Protocol .
+
+          -- initial state: nothing sent, nothing used, no sessions
+          eq nw(init) = void .
+          eq ur(init) = noRand .
+          eq ui(init) = noSid .
+          eq us(init) = noSecret .
+          eq ss(init, A2, B2, I2) = noSession .
+
+          -- chello: client A opens a handshake with B using fresh R
+          op c-chello : Protocol Prin Prin Rand ListOfChoices -> Bool .
+          eq c-chello(P, A, B, R, L) = not (R \in ur(P)) .
+          ceq nw(chello(P, A, B, R, L)) = (ch(A, A, B, R, L) , nw(P))
+            if c-chello(P, A, B, R, L) .
+          ceq ur(chello(P, A, B, R, L)) = (R , ur(P))
+            if c-chello(P, A, B, R, L) .
+          eq ui(chello(P, A, B, R, L)) = ui(P) .
+          eq us(chello(P, A, B, R, L)) = us(P) .
+          eq ss(chello(P, A, B, R, L), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq chello(P, A, B, R, L) = P if not c-chello(P, A, B, R, L) .
+
+          -- shello: server B answers a ClientHello M1 with fresh R, I
+          op c-shello : Protocol Prin Rand Sid Choice Msg -> Bool .
+          eq c-shello(P, B, R, I, C, M1)
+            = M1 \in nw(P) and ch?(M1) and dst(M1) = B
+              and C \in list(M1)
+              and not (R \in ur(P)) and not (I \in ui(P)) .
+          ceq nw(shello(P, B, R, I, C, M1)) = (sh(B, B, src(M1), R, I, C) , nw(P))
+            if c-shello(P, B, R, I, C, M1) .
+          ceq ur(shello(P, B, R, I, C, M1)) = (R , ur(P))
+            if c-shello(P, B, R, I, C, M1) .
+          ceq ui(shello(P, B, R, I, C, M1)) = (I , ui(P))
+            if c-shello(P, B, R, I, C, M1) .
+          eq us(shello(P, B, R, I, C, M1)) = us(P) .
+          eq ss(shello(P, B, R, I, C, M1), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq shello(P, B, R, I, C, M1) = P if not c-shello(P, B, R, I, C, M1) .
+
+          -- cert: server B sends its certificate (doubles as
+          -- ServerHelloDone per §3.2)
+          op c-cert : Protocol Prin Msg Msg -> Bool .
+          eq c-cert(P, B, M1, M2)
+            = M1 \in nw(P) and M2 \in nw(P) and ch?(M1) and sh?(M2)
+              and dst(M1) = B and crt(M2) = B and src(M2) = B
+              and src(M1) = dst(M2) and choice(M2) \in list(M1) .
+          ceq nw(cert(P, B, M1, M2))
+            = (ct(B, B, dst(M2), cert(B, k(B), sig(ca, B, k(B)))) , nw(P))
+            if c-cert(P, B, M1, M2) .
+          eq ur(cert(P, B, M1, M2)) = ur(P) .
+          eq ui(cert(P, B, M1, M2)) = ui(P) .
+          eq us(cert(P, B, M1, M2)) = us(P) .
+          eq ss(cert(P, B, M1, M2), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq cert(P, B, M1, M2) = P if not c-cert(P, B, M1, M2) .
+
+          -- the client's conformant view of ServerHello + Certificate,
+          -- shared by kexch / cfin / compl: M1 is A's own ClientHello, M2
+          -- the ServerHello, M3 the validated Certificate
+          op c-cview : Protocol Prin Msg Msg Msg -> Bool .
+          eq c-cview(P, A, M1, M2, M3)
+            = M1 \in nw(P) and ch?(M1) and crt(M1) = A and src(M1) = A
+              and M2 \in nw(P) and sh?(M2) and dst(M2) = A
+              and src(M2) = dst(M1) and choice(M2) \in list(M1)
+              and M3 \in nw(P) and ct?(M3) and dst(M3) = A
+              and src(M3) = src(M2)
+              and cert(M3) = cert(src(M2), k(src(M2)), sig(ca, src(M2), k(src(M2)))) .
+
+          -- kexch: client A sends the encrypted pre-master secret
+          op c-kexch : Protocol Prin Secret Msg Msg Msg -> Bool .
+          eq c-kexch(P, A, S, M1, M2, M3)
+            = c-cview(P, A, M1, M2, M3) and not (S \in us(P)) .
+          ceq nw(kexch(P, A, S, M1, M2, M3))
+            = (kx(A, A, src(M2), epms(k(src(M2)), pms(A, src(M2), S))) , nw(P))
+            if c-kexch(P, A, S, M1, M2, M3) .
+          ceq us(kexch(P, A, S, M1, M2, M3)) = (S , us(P))
+            if c-kexch(P, A, S, M1, M2, M3) .
+          eq ur(kexch(P, A, S, M1, M2, M3)) = ur(P) .
+          eq ui(kexch(P, A, S, M1, M2, M3)) = ui(P) .
+          eq ss(kexch(P, A, S, M1, M2, M3), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq kexch(P, A, S, M1, M2, M3) = P if not c-kexch(P, A, S, M1, M2, M3) .
+
+          -- cfin: client A sends its Finished message
+          op c-cfin : Protocol Prin Secret Msg Msg Msg Msg -> Bool .
+          eq c-cfin(P, A, S, M1, M2, M3, M4)
+            = c-cview(P, A, M1, M2, M3)
+              and M4 \in nw(P) and kx?(M4) and crt(M4) = A and src(M4) = A
+              and dst(M4) = src(M2)
+              and epms(M4) = epms(k(src(M2)), pms(A, src(M2), S)) .
+          ceq nw(cfin(P, A, S, M1, M2, M3, M4))
+            = (cf(A, A, src(M2),
+                  ecfin(key(A, pms(A, src(M2), S), rand(M1), rand(M2)),
+                        cfin(A, src(M2), sid(M2), list(M1), choice(M2),
+                             rand(M1), rand(M2), pms(A, src(M2), S)))) , nw(P))
+            if c-cfin(P, A, S, M1, M2, M3, M4) .
+          eq ur(cfin(P, A, S, M1, M2, M3, M4)) = ur(P) .
+          eq ui(cfin(P, A, S, M1, M2, M3, M4)) = ui(P) .
+          eq us(cfin(P, A, S, M1, M2, M3, M4)) = us(P) .
+          eq ss(cfin(P, A, S, M1, M2, M3, M4), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq cfin(P, A, S, M1, M2, M3, M4) = P
+            if not c-cfin(P, A, S, M1, M2, M3, M4) .
+
+          -- sfin: server B validates the client's Finished and replies;
+          -- M1 = ch, M2 = own sh, M3 = own ct, M4 = kx, M5 = cf
+          op c-sfin : Protocol Prin Msg Msg Msg Msg Msg -> Bool .
+          eq c-sfin(P, B, M1, M2, M3, M4, M5)
+            = M1 \in nw(P) and ch?(M1) and dst(M1) = B
+              and M2 \in nw(P) and sh?(M2) and crt(M2) = B and src(M2) = B
+              and dst(M2) = src(M1) and choice(M2) \in list(M1)
+              and M3 \in nw(P) and ct?(M3) and crt(M3) = B and src(M3) = B
+              and dst(M3) = src(M1)
+              and cert(M3) = cert(B, k(B), sig(ca, B, k(B)))
+              and M4 \in nw(P) and kx?(M4) and dst(M4) = B
+              and src(M4) = src(M1) and pk(epms(M4)) = k(B)
+              and M5 \in nw(P) and cf?(M5) and dst(M5) = B
+              and src(M5) = src(M1)
+              and ecfin(M5)
+                  = ecfin(key(src(M1), pl(epms(M4)), rand(M1), rand(M2)),
+                          cfin(src(M1), B, sid(M2), list(M1), choice(M2),
+                               rand(M1), rand(M2), pl(epms(M4)))) .
+          ceq nw(sfin(P, B, M1, M2, M3, M4, M5))
+            = (sf(B, B, src(M1),
+                  esfin(key(B, pl(epms(M4)), rand(M1), rand(M2)),
+                        sfin(src(M1), B, sid(M2), list(M1), choice(M2),
+                             rand(M1), rand(M2), pl(epms(M4))))) , nw(P))
+            if c-sfin(P, B, M1, M2, M3, M4, M5) .
+          eq ur(sfin(P, B, M1, M2, M3, M4, M5)) = ur(P) .
+          eq ui(sfin(P, B, M1, M2, M3, M4, M5)) = ui(P) .
+          eq us(sfin(P, B, M1, M2, M3, M4, M5)) = us(P) .
+          eq ss(sfin(P, B, M1, M2, M3, M4, M5), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq sfin(P, B, M1, M2, M3, M4, M5) = P
+            if not c-sfin(P, B, M1, M2, M3, M4, M5) .
+
+          -- compl: client A validates the ServerFinished M6 and records
+          -- the session
+          op c-compl : Protocol Prin Secret Msg Msg Msg Msg Msg Msg -> Bool .
+          eq c-compl(P, A, S, M1, M2, M3, M4, M5, M6)
+            = c-cfin(P, A, S, M1, M2, M3, M4)
+              and M5 \in nw(P) and cf?(M5) and crt(M5) = A and src(M5) = A
+              and dst(M5) = src(M2)
+              and M6 \in nw(P) and sf?(M6) and dst(M6) = A
+              and src(M6) = src(M2)
+              and esfin(M6)
+                  = esfin(key(src(M2), pms(A, src(M2), S), rand(M1), rand(M2)),
+                          sfin(A, src(M2), sid(M2), list(M1), choice(M2),
+                               rand(M1), rand(M2), pms(A, src(M2), S))) .
+          eq nw(compl(P, A, S, M1, M2, M3, M4, M5, M6)) = nw(P) .
+          eq ur(compl(P, A, S, M1, M2, M3, M4, M5, M6)) = ur(P) .
+          eq ui(compl(P, A, S, M1, M2, M3, M4, M5, M6)) = ui(P) .
+          eq us(compl(P, A, S, M1, M2, M3, M4, M5, M6)) = us(P) .
+          ceq ss(compl(P, A, S, M1, M2, M3, M4, M5, M6), A2, B2, I2)
+            = st(choice(M2), rand(M1), rand(M2), pms(A, src(M2), S))
+            if c-compl(P, A, S, M1, M2, M3, M4, M5, M6)
+               and A2 = A and B2 = src(M2) and I2 = sid(M2) .
+          ceq ss(compl(P, A, S, M1, M2, M3, M4, M5, M6), A2, B2, I2)
+            = ss(P, A2, B2, I2)
+            if not (c-compl(P, A, S, M1, M2, M3, M4, M5, M6)
+                    and A2 = A and B2 = src(M2) and I2 = sid(M2)) .
+
+          -- chello2: client A asks to resume session I with B
+          op c-chello2 : Protocol Prin Prin Secret Rand Sid -> Bool .
+          eq c-chello2(P, A, B, S, R, I)
+            = not (R \in ur(P)) and not (ss(P, A, B, I) = noSession)
+              and spms(ss(P, A, B, I)) = pms(A, B, S) .
+          ceq nw(chello2(P, A, B, S, R, I)) = (ch2(A, A, B, R, I) , nw(P))
+            if c-chello2(P, A, B, S, R, I) .
+          ceq ur(chello2(P, A, B, S, R, I)) = (R , ur(P))
+            if c-chello2(P, A, B, S, R, I) .
+          eq ui(chello2(P, A, B, S, R, I)) = ui(P) .
+          eq us(chello2(P, A, B, S, R, I)) = us(P) .
+          eq ss(chello2(P, A, B, S, R, I), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq chello2(P, A, B, S, R, I) = P if not c-chello2(P, A, B, S, R, I) .
+
+          -- shello2: server B agrees to resume
+          op c-shello2 : Protocol Prin Choice Rand Msg -> Bool .
+          eq c-shello2(P, B, C, R, M1)
+            = M1 \in nw(P) and ch2?(M1) and dst(M1) = B and not (R \in ur(P))
+              and not (ss(P, B, src(M1), sid(M1)) = noSession)
+              and C = schoice(ss(P, B, src(M1), sid(M1))) .
+          ceq nw(shello2(P, B, C, R, M1))
+            = (sh2(B, B, src(M1), R, sid(M1), C) , nw(P))
+            if c-shello2(P, B, C, R, M1) .
+          ceq ur(shello2(P, B, C, R, M1)) = (R , ur(P))
+            if c-shello2(P, B, C, R, M1) .
+          eq ui(shello2(P, B, C, R, M1)) = ui(P) .
+          eq us(shello2(P, B, C, R, M1)) = us(P) .
+          eq ss(shello2(P, B, C, R, M1), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq shello2(P, B, C, R, M1) = P if not c-shello2(P, B, C, R, M1) .
+        }
+        "#,
+    )?;
+    match variant {
+        Variant::ServerFinished2First => install_standard_finish2(spec),
+        Variant::ClientFinished2First => install_swapped_finish2(spec),
+    }
+}
+
+/// Figure 2's order: sfin2 (server sends first), then cfin2, then compl2
+/// (server receives ClientFinished2).
+fn install_standard_finish2(spec: &mut Spec) -> Result<(), SpecError> {
+    spec.load_module(
+        r#"
+        mod! PROTOCOL-FIN2 {
+          pr(PROTOCOL)
+          bop sfin2 : Protocol Prin Msg Msg -> Protocol .
+          bop cfin2 : Protocol Prin Secret Msg Msg Msg -> Protocol .
+          bop compl2 : Protocol Prin Msg Msg Msg Msg -> Protocol .
+
+          vars A B A2 B2 : Prin . vars I2 : Sid . var S : Secret .
+          vars M1 M2 M3 M4 : Msg . var P : Protocol .
+
+          -- sfin2: server B sends ServerFinished2 for the resumed session;
+          -- M1 = ch2, M2 = own sh2
+          op c-sfin2 : Protocol Prin Msg Msg -> Bool .
+          eq c-sfin2(P, B, M1, M2)
+            = M1 \in nw(P) and ch2?(M1) and dst(M1) = B
+              and M2 \in nw(P) and sh2?(M2) and crt(M2) = B and src(M2) = B
+              and dst(M2) = src(M1) and sid(M2) = sid(M1)
+              and not (ss(P, B, src(M1), sid(M1)) = noSession)
+              and choice(M2) = schoice(ss(P, B, src(M1), sid(M1))) .
+          ceq nw(sfin2(P, B, M1, M2))
+            = (sf2(B, B, src(M1),
+                   esfin2(key(B, spms(ss(P, B, src(M1), sid(M1))),
+                              rand(M1), rand(M2)),
+                          sfin2(src(M1), B, sid(M1), choice(M2),
+                                rand(M1), rand(M2),
+                                spms(ss(P, B, src(M1), sid(M1)))))) , nw(P))
+            if c-sfin2(P, B, M1, M2) .
+          eq ur(sfin2(P, B, M1, M2)) = ur(P) .
+          eq ui(sfin2(P, B, M1, M2)) = ui(P) .
+          eq us(sfin2(P, B, M1, M2)) = us(P) .
+          eq ss(sfin2(P, B, M1, M2), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq sfin2(P, B, M1, M2) = P if not c-sfin2(P, B, M1, M2) .
+
+          -- cfin2: client A validates ServerFinished2 M3 and replies;
+          -- M1 = own ch2, M2 = sh2, M3 = sf2
+          op c-cfin2 : Protocol Prin Secret Msg Msg Msg -> Bool .
+          eq c-cfin2(P, A, S, M1, M2, M3)
+            = M1 \in nw(P) and ch2?(M1) and crt(M1) = A and src(M1) = A
+              and M2 \in nw(P) and sh2?(M2) and dst(M2) = A
+              and src(M2) = dst(M1) and sid(M2) = sid(M1)
+              and M3 \in nw(P) and sf2?(M3) and dst(M3) = A
+              and src(M3) = src(M2)
+              and spms(ss(P, A, src(M2), sid(M1))) = pms(A, src(M2), S)
+              and esfin2(M3)
+                  = esfin2(key(src(M2), pms(A, src(M2), S), rand(M1), rand(M2)),
+                           sfin2(A, src(M2), sid(M1), choice(M2),
+                                 rand(M1), rand(M2), pms(A, src(M2), S))) .
+          ceq nw(cfin2(P, A, S, M1, M2, M3))
+            = (cf2(A, A, src(M2),
+                   ecfin2(key(A, pms(A, src(M2), S), rand(M1), rand(M2)),
+                          cfin2(A, src(M2), sid(M1), choice(M2),
+                                rand(M1), rand(M2), pms(A, src(M2), S)))) , nw(P))
+            if c-cfin2(P, A, S, M1, M2, M3) .
+          ceq nw(cfin2(P, A, S, M1, M2, M3)) = nw(P)
+            if not c-cfin2(P, A, S, M1, M2, M3) .
+          eq ur(cfin2(P, A, S, M1, M2, M3)) = ur(P) .
+          eq ui(cfin2(P, A, S, M1, M2, M3)) = ui(P) .
+          eq us(cfin2(P, A, S, M1, M2, M3)) = us(P) .
+          ceq ss(cfin2(P, A, S, M1, M2, M3), A2, B2, I2)
+            = st(choice(M2), rand(M1), rand(M2), pms(A, src(M2), S))
+            if c-cfin2(P, A, S, M1, M2, M3)
+               and A2 = A and B2 = src(M2) and I2 = sid(M1) .
+          ceq ss(cfin2(P, A, S, M1, M2, M3), A2, B2, I2) = ss(P, A2, B2, I2)
+            if not (c-cfin2(P, A, S, M1, M2, M3)
+                    and A2 = A and B2 = src(M2) and I2 = sid(M1)) .
+
+          -- compl2: server B validates ClientFinished2 M4 and renews the
+          -- session; M1 = ch2, M2 = own sh2, M3 = own sf2, M4 = cf2
+          op c-compl2 : Protocol Prin Msg Msg Msg Msg -> Bool .
+          eq c-compl2(P, B, M1, M2, M3, M4)
+            = c-sfin2(P, B, M1, M2)
+              and M3 \in nw(P) and sf2?(M3) and crt(M3) = B and src(M3) = B
+              and dst(M3) = src(M1)
+              and M4 \in nw(P) and cf2?(M4) and dst(M4) = B
+              and src(M4) = src(M1)
+              and ecfin2(M4)
+                  = ecfin2(key(src(M1), spms(ss(P, B, src(M1), sid(M1))),
+                               rand(M1), rand(M2)),
+                           cfin2(src(M1), B, sid(M1), choice(M2),
+                                 rand(M1), rand(M2),
+                                 spms(ss(P, B, src(M1), sid(M1))))) .
+          eq nw(compl2(P, B, M1, M2, M3, M4)) = nw(P) .
+          eq ur(compl2(P, B, M1, M2, M3, M4)) = ur(P) .
+          eq ui(compl2(P, B, M1, M2, M3, M4)) = ui(P) .
+          eq us(compl2(P, B, M1, M2, M3, M4)) = us(P) .
+          ceq ss(compl2(P, B, M1, M2, M3, M4), A2, B2, I2)
+            = st(choice(M2), rand(M1), rand(M2),
+                 spms(ss(P, B, src(M1), sid(M1))))
+            if c-compl2(P, B, M1, M2, M3, M4)
+               and A2 = B and B2 = src(M1) and I2 = sid(M1) .
+          ceq ss(compl2(P, B, M1, M2, M3, M4), A2, B2, I2) = ss(P, A2, B2, I2)
+            if not (c-compl2(P, B, M1, M2, M3, M4)
+                    and A2 = B and B2 = src(M1) and I2 = sid(M1)) .
+        }
+        "#,
+    )
+}
+
+/// §5.3's variant: the client sends ClientFinished2 directly after
+/// ServerHello2; the server replies with ServerFinished2.
+fn install_swapped_finish2(spec: &mut Spec) -> Result<(), SpecError> {
+    spec.load_module(
+        r#"
+        mod! PROTOCOL-FIN2V {
+          pr(PROTOCOL)
+          bop cfin2 : Protocol Prin Secret Msg Msg -> Protocol .
+          bop sfin2 : Protocol Prin Msg Msg Msg -> Protocol .
+          bop compl2 : Protocol Prin Secret Msg Msg Msg Msg -> Protocol .
+
+          vars A B A2 B2 : Prin . vars I2 : Sid . var S : Secret .
+          vars M1 M2 M3 M4 : Msg . var P : Protocol .
+
+          -- cfin2 (variant): client A sends ClientFinished2 right after
+          -- ServerHello2; M1 = own ch2, M2 = sh2
+          op c-cfin2 : Protocol Prin Secret Msg Msg -> Bool .
+          eq c-cfin2(P, A, S, M1, M2)
+            = M1 \in nw(P) and ch2?(M1) and crt(M1) = A and src(M1) = A
+              and M2 \in nw(P) and sh2?(M2) and dst(M2) = A
+              and src(M2) = dst(M1) and sid(M2) = sid(M1)
+              and spms(ss(P, A, src(M2), sid(M1))) = pms(A, src(M2), S) .
+          ceq nw(cfin2(P, A, S, M1, M2))
+            = (cf2(A, A, src(M2),
+                   ecfin2(key(A, pms(A, src(M2), S), rand(M1), rand(M2)),
+                          cfin2(A, src(M2), sid(M1), choice(M2),
+                                rand(M1), rand(M2), pms(A, src(M2), S)))) , nw(P))
+            if c-cfin2(P, A, S, M1, M2) .
+          eq ur(cfin2(P, A, S, M1, M2)) = ur(P) .
+          eq ui(cfin2(P, A, S, M1, M2)) = ui(P) .
+          eq us(cfin2(P, A, S, M1, M2)) = us(P) .
+          eq ss(cfin2(P, A, S, M1, M2), A2, B2, I2) = ss(P, A2, B2, I2) .
+          ceq cfin2(P, A, S, M1, M2) = P if not c-cfin2(P, A, S, M1, M2) .
+
+          -- sfin2 (variant): server B validates ClientFinished2 M3 and
+          -- replies; M1 = ch2, M2 = own sh2, M3 = cf2
+          op c-sfin2 : Protocol Prin Msg Msg Msg -> Bool .
+          eq c-sfin2(P, B, M1, M2, M3)
+            = M1 \in nw(P) and ch2?(M1) and dst(M1) = B
+              and M2 \in nw(P) and sh2?(M2) and crt(M2) = B and src(M2) = B
+              and dst(M2) = src(M1) and sid(M2) = sid(M1)
+              and not (ss(P, B, src(M1), sid(M1)) = noSession)
+              and choice(M2) = schoice(ss(P, B, src(M1), sid(M1)))
+              and M3 \in nw(P) and cf2?(M3) and dst(M3) = B
+              and src(M3) = src(M1)
+              and ecfin2(M3)
+                  = ecfin2(key(src(M1), spms(ss(P, B, src(M1), sid(M1))),
+                               rand(M1), rand(M2)),
+                           cfin2(src(M1), B, sid(M1), choice(M2),
+                                 rand(M1), rand(M2),
+                                 spms(ss(P, B, src(M1), sid(M1))))) .
+          ceq nw(sfin2(P, B, M1, M2, M3))
+            = (sf2(B, B, src(M1),
+                   esfin2(key(B, spms(ss(P, B, src(M1), sid(M1))),
+                              rand(M1), rand(M2)),
+                          sfin2(src(M1), B, sid(M1), choice(M2),
+                                rand(M1), rand(M2),
+                                spms(ss(P, B, src(M1), sid(M1)))))) , nw(P))
+            if c-sfin2(P, B, M1, M2, M3) .
+          ceq nw(sfin2(P, B, M1, M2, M3)) = nw(P)
+            if not c-sfin2(P, B, M1, M2, M3) .
+          eq ur(sfin2(P, B, M1, M2, M3)) = ur(P) .
+          eq ui(sfin2(P, B, M1, M2, M3)) = ui(P) .
+          eq us(sfin2(P, B, M1, M2, M3)) = us(P) .
+          ceq ss(sfin2(P, B, M1, M2, M3), A2, B2, I2)
+            = st(choice(M2), rand(M1), rand(M2),
+                 spms(ss(P, B, src(M1), sid(M1))))
+            if c-sfin2(P, B, M1, M2, M3)
+               and A2 = B and B2 = src(M1) and I2 = sid(M1) .
+          ceq ss(sfin2(P, B, M1, M2, M3), A2, B2, I2) = ss(P, A2, B2, I2)
+            if not (c-sfin2(P, B, M1, M2, M3)
+                    and A2 = B and B2 = src(M1) and I2 = sid(M1)) .
+
+          -- compl2 (variant): client A validates ServerFinished2 M4
+          op c-compl2 : Protocol Prin Secret Msg Msg Msg Msg -> Bool .
+          eq c-compl2(P, A, S, M1, M2, M3, M4)
+            = c-cfin2(P, A, S, M1, M2)
+              and M3 \in nw(P) and cf2?(M3) and crt(M3) = A and src(M3) = A
+              and dst(M3) = src(M2)
+              and M4 \in nw(P) and sf2?(M4) and dst(M4) = A
+              and src(M4) = src(M2)
+              and esfin2(M4)
+                  = esfin2(key(src(M2), pms(A, src(M2), S), rand(M1), rand(M2)),
+                           sfin2(A, src(M2), sid(M1), choice(M2),
+                                 rand(M1), rand(M2), pms(A, src(M2), S))) .
+          eq nw(compl2(P, A, S, M1, M2, M3, M4)) = nw(P) .
+          eq ur(compl2(P, A, S, M1, M2, M3, M4)) = ur(P) .
+          eq ui(compl2(P, A, S, M1, M2, M3, M4)) = ui(P) .
+          eq us(compl2(P, A, S, M1, M2, M3, M4)) = us(P) .
+          ceq ss(compl2(P, A, S, M1, M2, M3, M4), A2, B2, I2)
+            = st(choice(M2), rand(M1), rand(M2), pms(A, src(M2), S))
+            if c-compl2(P, A, S, M1, M2, M3, M4)
+               and A2 = A and B2 = src(M2) and I2 = sid(M1) .
+          ceq ss(compl2(P, A, S, M1, M2, M3, M4), A2, B2, I2) = ss(P, A2, B2, I2)
+            if not (c-compl2(P, A, S, M1, M2, M3, M4)
+                    and A2 = A and B2 = src(M2) and I2 = sid(M1)) .
+        }
+        "#,
+    )
+}

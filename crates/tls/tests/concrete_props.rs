@@ -1,0 +1,146 @@
+//! Property-based tests of the concrete model's invariants:
+//! the intruder's knowledge is monotone and idempotent, the network only
+//! grows, and honest transitions never forge creators.
+
+use equitls_tls::concrete::*;
+use proptest::prelude::*;
+
+fn prin_strategy() -> impl Strategy<Value = Prin> {
+    (0u8..5).prop_map(Prin)
+}
+
+fn pms_strategy() -> impl Strategy<Value = Pms> {
+    (prin_strategy(), prin_strategy(), 0u8..4).prop_map(|(c, s, x)| Pms {
+        client: c,
+        server: s,
+        secret: Secret(x),
+    })
+}
+
+fn body_strategy() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        (0u8..4, 0u8..4).prop_map(|(r, l)| Body::Ch {
+            rand: Rand(r),
+            list: ChoiceList(l | 1),
+        }),
+        (0u8..4, 0u8..2, 0u8..2).prop_map(|(r, s, c)| Body::Sh {
+            rand: Rand(r),
+            sid: Sid(s),
+            choice: Choice(c),
+        }),
+        prin_strategy().prop_map(|p| Body::Ct {
+            cert: Cert::genuine(p)
+        }),
+        (prin_strategy(), pms_strategy()).prop_map(|(k, pms)| Body::Kx { key_of: k, pms }),
+        (prin_strategy(), pms_strategy(), 0u8..4, 0u8..4).prop_map(|(p, pms, r1, r2)| {
+            Body::Sf {
+                key: SymKey {
+                    prin: p,
+                    pms,
+                    r1: Rand(r1),
+                    r2: Rand(r2),
+                },
+                hash: FinHash {
+                    kind: FinKind::Server,
+                    a: pms.client,
+                    b: pms.server,
+                    sid: Sid(0),
+                    list: Some(ChoiceList(1)),
+                    choice: Choice(0),
+                    r1: Rand(r1),
+                    r2: Rand(r2),
+                    pms,
+                },
+            }
+        }),
+    ]
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (prin_strategy(), prin_strategy(), prin_strategy(), body_strategy())
+        .prop_map(|(crt, src, dst, body)| Msg { crt, src, dst, body })
+}
+
+fn state_strategy() -> impl Strategy<Value = State> {
+    proptest::collection::vec(msg_strategy(), 0..8).prop_map(|msgs| {
+        let mut s = State::new();
+        for m in msgs {
+            s = s.send(m);
+        }
+        s
+    })
+}
+
+fn peers() -> Vec<Prin> {
+    (1..5).map(Prin).collect()
+}
+
+proptest! {
+    /// Knowledge is monotone: more messages, no less knowledge.
+    #[test]
+    fn knowledge_is_monotone(state in state_strategy(), extra in msg_strategy()) {
+        let k0 = Knowledge::glean(&state, &[Secret(9)], &peers());
+        let k1 = Knowledge::glean(&state.send(extra), &[Secret(9)], &peers());
+        prop_assert!(k0.pms.is_subset(&k1.pms));
+        prop_assert!(k0.sigs.is_subset(&k1.sigs));
+        prop_assert!(k0.epms.is_subset(&k1.epms));
+        prop_assert!(k0.ecfin.is_subset(&k1.ecfin));
+        prop_assert!(k0.esfin.is_subset(&k1.esfin));
+    }
+
+    /// Gleaning is a pure function of the network: idempotent.
+    #[test]
+    fn knowledge_is_idempotent(state in state_strategy()) {
+        let k0 = Knowledge::glean(&state, &[Secret(9)], &peers());
+        let k1 = Knowledge::glean(&state, &[Secret(9)], &peers());
+        prop_assert_eq!(k0, k1);
+    }
+
+    /// Every transition only grows the network (messages are never
+    /// deleted, §4.3) and preserves messages' creator fields.
+    #[test]
+    fn transitions_grow_the_network(state in state_strategy()) {
+        let scope = Scope::mitchell();
+        for step in successors(&state, &scope) {
+            prop_assert!(
+                state.network.is_subset(&step.state.network),
+                "step {} removed messages",
+                step.label
+            );
+            // At most one new message per step.
+            prop_assert!(step.state.network.len() <= state.network.len() + 1);
+        }
+    }
+
+    /// Honest transitions never produce a message whose creator differs
+    /// from its seeming sender; only intruder fakes do.
+    #[test]
+    fn only_fakes_forge_the_sender(state in state_strategy()) {
+        let scope = Scope::mitchell();
+        for step in successors(&state, &scope) {
+            let new_msgs: Vec<&Msg> = step
+                .state
+                .network
+                .difference(&state.network)
+                .collect();
+            for m in new_msgs {
+                if step.label.starts_with("fake") {
+                    prop_assert!(m.crt.is_intruder(), "{}: {m}", step.label);
+                } else {
+                    prop_assert_eq!(m.crt, m.src, "{}: {}", step.label, m);
+                }
+            }
+        }
+    }
+
+    /// PMS secrecy is locally checkable: if no kx under the intruder's key
+    /// mentions a given honest pms, gleaning never knows it.
+    #[test]
+    fn secrecy_depends_only_on_kx_to_intruder(state in state_strategy(), pms in pms_strategy()) {
+        prop_assume!(pms.client.is_trustable());
+        let leaked = state.messages().any(|m| matches!(m.body, Body::Kx { key_of, pms: p }
+            if key_of == Prin::INTRUDER && p == pms));
+        let k = Knowledge::glean(&state, &[], &peers());
+        prop_assert_eq!(k.pms.contains(&pms), leaked);
+    }
+}

@@ -1,0 +1,57 @@
+//! # EquiTLS
+//!
+//! A from-scratch Rust reproduction of **“Equational Approach to Formal
+//! Analysis of TLS”** (Kazuhiro Ogata & Kokichi Futatsugi, ICDCS 2005).
+//!
+//! The paper analyzes an abstract model of the TLS handshake protocol with
+//! the **OTS/CafeOBJ method**: the protocol (together with a Dolev–Yao
+//! intruder) is modeled as an *observational transition system* written in
+//! equations, and invariants are verified by *proof scores* — case
+//! analyses whose leaves are reductions of Boolean terms to `true`.
+//!
+//! EquiTLS rebuilds the entire stack:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`kernel`] | order-sorted terms, signatures, hash-consing, matching |
+//! | [`rewrite`] | the rewriting engine + Boolean rings (complete propositional reasoning) + free-constructor equality |
+//! | [`spec`] | CafeOBJ-style modules, proof passages, and a surface DSL |
+//! | [`core`] | the OTS framework and the mechanized proof-score prover |
+//! | [`tls`] | the abstract TLS handshake model (symbolic and concrete) and the 18 verified properties |
+//! | [`mc`] | a Murφ-style bounded model checker reproducing the §5.3 counterexamples |
+//!
+//! # Quick start
+//!
+//! Prove the paper's first property — pre-master secrets cannot be leaked:
+//!
+//! ```
+//! use equitls::tls::{verify, TlsModel};
+//!
+//! let mut model = TlsModel::standard()?;
+//! let report = verify::verify_property(&mut model, "inv1")?;
+//! assert!(report.is_proved());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Reproduce the paper's counterexample to ClientFinished authenticity
+//! (property 2′, §5.3):
+//!
+//! ```
+//! use equitls::mc::prelude::counterexample_2prime;
+//!
+//! let replay = counterexample_2prime().expect("the paper's trace replays");
+//! assert_eq!(replay.trace.len(), 6);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-experiment reproduction notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use equitls_core as core;
+pub use equitls_kernel as kernel;
+pub use equitls_mc as mc;
+pub use equitls_rewrite as rewrite;
+pub use equitls_spec as spec;
+pub use equitls_tls as tls;

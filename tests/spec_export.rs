@@ -1,0 +1,48 @@
+//! Integration test: the CafeOBJ-style export of the TLS model re-parses.
+//!
+//! `render_spec_module` prints each live module's declarations in the
+//! surface DSL; parsing that text back must succeed and preserve the
+//! declaration counts — keeping the exporter, the parser, and the model in
+//! sync.
+
+use equitls::spec::parser::parse_module;
+use equitls::spec::prelude::render_spec_module;
+use equitls::tls::TlsModel;
+
+#[test]
+fn every_model_module_renders_and_reparses() {
+    let model = TlsModel::standard().unwrap();
+    let mut checked = 0;
+    for module in model.spec.modules() {
+        if module.name == "BOOL" {
+            continue; // built-in, partially implicit
+        }
+        let text = render_spec_module(&model.spec, &module.name)
+            .unwrap_or_else(|| panic!("{} renders", module.name));
+        let ast = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{} re-parses: {e}\n{text}", module.name));
+        assert_eq!(ast.name, module.name);
+        assert_eq!(
+            ast.ops.len(),
+            module.ops.len(),
+            "{}: op count preserved",
+            module.name
+        );
+        assert_eq!(
+            ast.visible_sorts.len() + ast.hidden_sorts.len(),
+            module.sorts.len(),
+            "{}: sort count preserved",
+            module.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "all model modules were exercised: {checked}");
+}
+
+#[test]
+fn the_variant_model_also_exports() {
+    let model = TlsModel::variant().unwrap();
+    let text = render_spec_module(&model.spec, "PROTOCOL-FIN2V").expect("variant module");
+    assert!(text.contains("bop cfin2 : Protocol Prin Secret Msg Msg -> Protocol ."));
+    assert!(parse_module(&text).is_ok());
+}
