@@ -2,10 +2,10 @@
 //! networks, and successor enumeration cost (the model checker's inner
 //! loops).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equitls_bench::harness::bench;
 use equitls_tls::concrete::{
-    successors, Body, ChoiceList, Choice, Knowledge, Msg, Pms, Prin, Rand, Scope, Secret, Sid,
-    State, SymKey,
+    successors, Body, Choice, ChoiceList, FinHash, FinKind, Knowledge, Msg, Pms, Prin, Rand, Scope,
+    Secret, Sid, State, SymKey,
 };
 use std::hint::black_box;
 
@@ -39,8 +39,8 @@ fn network_with(n: usize) -> State {
                     r1: Rand(0),
                     r2: Rand(1),
                 },
-                hash: equitls_tls::concrete::FinHash {
-                    kind: equitls_tls::concrete::FinKind::Server,
+                hash: FinHash {
+                    kind: FinKind::Server,
                     a,
                     b,
                     sid: Sid(0),
@@ -56,35 +56,33 @@ fn network_with(n: usize) -> State {
     state
 }
 
-fn bench_gleaning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("knowledge-closure");
+fn bench_gleaning() {
+    println!("== knowledge-closure");
     for &n in &[4usize, 16, 64] {
         let state = network_with(n);
         let peers = vec![Prin(2), Prin(3), Prin(4)];
         let secrets = vec![Secret(1)];
-        group.bench_with_input(BenchmarkId::from_parameter(n * 3), &n, |b, _| {
-            b.iter(|| black_box(Knowledge::glean(&state, &secrets, &peers)));
+        bench(&format!("knowledge-closure/{}", n * 3), 50, || {
+            black_box(Knowledge::glean(&state, &secrets, &peers))
         });
     }
-    group.finish();
 }
 
-fn bench_successor_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("successor-enumeration");
-    group.sample_size(20);
+fn bench_successor_enumeration() {
+    println!("== successor-enumeration");
     let scope = Scope::mitchell();
     for &n in &[0usize, 2, 4] {
-        let mut state = network_with(n);
+        let state = network_with(n);
         // keep under the scope's message bound
         let mut big_scope = scope.clone();
         big_scope.max_messages = 64;
-        let _ = &mut state;
-        group.bench_with_input(BenchmarkId::from_parameter(n * 3), &n, |b, _| {
-            b.iter(|| black_box(successors(&state, &big_scope).len()));
+        bench(&format!("successor-enumeration/{}", n * 3), 20, || {
+            black_box(successors(&state, &big_scope).len())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gleaning, bench_successor_enumeration);
-criterion_main!(benches);
+fn main() {
+    bench_gleaning();
+    bench_successor_enumeration();
+}

@@ -1,79 +1,67 @@
 //! Experiment E10: bounded exhaustive search throughput, and the
 //! intruder-power ablation (full Dolev–Yao vs. clear-text-only).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equitls_bench::harness::bench;
 use equitls_mc::prelude::*;
 use equitls_tls::concrete::Scope;
 use std::hint::black_box;
 
-fn bench_bounded_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bfs-bounded");
-    group.sample_size(10);
+fn bench_bounded_search() {
+    println!("== bfs-bounded");
     for &max_messages in &[1usize, 2] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_messages),
-            &max_messages,
-            |b, &mm| {
-                b.iter(|| {
-                    let mut scope = Scope::counterexample();
-                    scope.max_messages = mm;
-                    let limits = Limits {
-                        max_states: 200_000,
-                        max_depth: mm + 1,
-                    };
-                    let result = check_scope(&scope, &limits);
-                    assert!(result.complete);
-                    black_box(result.states)
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_intruder_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("intruder-ablation");
-    group.sample_size(10);
-    for weak in [false, true] {
-        let label = if weak { "clear-text-only" } else { "full-dolev-yao" };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &weak, |b, &weak| {
-            b.iter(|| {
-                let mut scope = Scope::counterexample();
-                scope.max_messages = 2;
-                let machine = if weak {
-                    TlsMachine::new(scope.clone()).with_weak_intruder()
-                } else {
-                    TlsMachine::new(scope.clone())
-                };
-                let limits = Limits {
-                    max_states: 200_000,
-                    max_depth: 3,
-                };
-                let result = explore(&machine, &[], &limits);
-                assert!(result.complete);
-                black_box(result.states)
-            });
+        bench(&format!("bfs-bounded/{max_messages}"), 10, || {
+            let mut scope = Scope::counterexample();
+            scope.max_messages = max_messages;
+            let limits = Limits {
+                max_states: 200_000,
+                max_depth: max_messages + 1,
+            };
+            let result = check_scope(&scope, &limits);
+            assert!(result.complete);
+            black_box(result.states)
         });
     }
-    group.finish();
 }
 
-fn bench_counterexample_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counterexample-replay");
-    group.sample_size(20);
-    group.bench_function("2prime", |b| {
-        b.iter(|| black_box(counterexample_2prime().expect("replays")));
-    });
-    group.bench_function("3prime", |b| {
-        b.iter(|| black_box(counterexample_3prime().expect("replays")));
-    });
-    group.finish();
+fn bench_intruder_ablation() {
+    println!("== intruder-ablation");
+    for weak in [false, true] {
+        let label = if weak {
+            "clear-text-only"
+        } else {
+            "full-dolev-yao"
+        };
+        bench(&format!("intruder-ablation/{label}"), 10, || {
+            let mut scope = Scope::counterexample();
+            scope.max_messages = 2;
+            let machine = if weak {
+                TlsMachine::new(scope.clone()).with_weak_intruder()
+            } else {
+                TlsMachine::new(scope.clone())
+            };
+            let limits = Limits {
+                max_states: 200_000,
+                max_depth: 3,
+            };
+            let result = explore(&machine, &[], &limits);
+            assert!(result.complete);
+            black_box(result.states)
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_bounded_search,
-    bench_intruder_ablation,
-    bench_counterexample_replay
-);
-criterion_main!(benches);
+fn bench_counterexample_replay() {
+    println!("== counterexample-replay");
+    bench("counterexample-replay/2prime", 20, || {
+        black_box(counterexample_2prime().expect("replays"))
+    });
+    bench("counterexample-replay/3prime", 20, || {
+        black_box(counterexample_3prime().expect("replays"))
+    });
+}
+
+fn main() {
+    bench_bounded_search();
+    bench_intruder_ablation();
+    bench_counterexample_replay();
+}

@@ -6,72 +6,60 @@
 //! * protocol-term normalization: reducing gleaning collections over
 //!   growing concrete networks (the inner loop of every proof passage).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use equitls_bench::harness::bench;
 use equitls_bench::{bool_world, random_formula, truth_table_tautology};
 use equitls_rewrite::prelude::*;
-use equitls_spec::prelude::*;
 use std::hint::black_box;
 
-fn bench_ring_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("boolring-normalize");
-    group.sample_size(20);
+fn bench_ring_throughput() {
+    println!("== boolring-normalize");
     for &size in &[16usize, 64, 256] {
         let (mut store, alg, atoms) = bool_world(8);
         let formulas: Vec<_> = (0..16)
             .map(|seed| random_formula(&mut store, &alg, &atoms, size, seed))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
-                let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
-                for &f in &formulas {
-                    black_box(norm.proves(&mut store, f).expect("normalizes"));
-                }
-            });
+        bench(&format!("boolring-normalize/{size}"), 20, || {
+            let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+            for &f in &formulas {
+                black_box(norm.proves(&mut store, f).expect("normalizes"));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_ring_vs_truth_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tautology-ablation");
-    group.sample_size(10);
+fn bench_ring_vs_truth_table() {
+    println!("== tautology-ablation");
     for &atoms_n in &[8usize, 12, 16] {
         let (mut store, alg, atoms) = bool_world(atoms_n);
         let formulas: Vec<_> = (0..8)
             .map(|seed| random_formula(&mut store, &alg, &atoms, 48, seed))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("boolean-ring", atoms_n),
-            &atoms_n,
-            |b, _| {
-                b.iter(|| {
-                    let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
-                    for &f in &formulas {
-                        black_box(norm.proves(&mut store, f).expect("normalizes"));
-                    }
-                });
+        bench(
+            &format!("tautology-ablation/boolean-ring/{atoms_n}"),
+            10,
+            || {
+                let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+                for &f in &formulas {
+                    black_box(norm.proves(&mut store, f).expect("normalizes"));
+                }
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("truth-table", atoms_n),
-            &atoms_n,
-            |b, _| {
-                b.iter(|| {
-                    for &f in &formulas {
-                        black_box(truth_table_tautology(&store, &alg, &atoms, f));
-                    }
-                });
+        bench(
+            &format!("tautology-ablation/truth-table/{atoms_n}"),
+            10,
+            || {
+                for &f in &formulas {
+                    black_box(truth_table_tautology(&store, &alg, &atoms, f));
+                }
             },
         );
     }
-    group.finish();
 }
 
-fn bench_gleaning_reduction(c: &mut Criterion) {
+fn bench_gleaning_reduction() {
     // Normalize `PMS \in cpms(<n-message network>)` — the workhorse
     // reduction of the secrecy proofs.
-    let mut group = c.benchmark_group("gleaning-normalize");
-    group.sample_size(20);
+    println!("== gleaning-normalize");
     for &n in &[4usize, 16, 64] {
         let mut model = equitls_tls::TlsModel::standard().expect("model builds");
         let spec = &mut model.spec;
@@ -88,9 +76,7 @@ fn bench_gleaning_reduction(c: &mut Criterion) {
         // Build a network of n ch messages plus one kx to the intruder.
         let mut nw = spec.const_term("void").unwrap();
         for i in 0..n {
-            let r = spec
-                .store_mut()
-                .fresh_constant(&format!("r{i}"), rand);
+            let r = spec.store_mut().fresh_constant(&format!("r{i}"), rand);
             let m = spec.app("ch", &[a, a, b, r, l]).unwrap();
             nw = spec.app("_,_", &[m, nw]).unwrap();
         }
@@ -101,24 +87,19 @@ fn bench_gleaning_reduction(c: &mut Criterion) {
         let cp = spec.app("cpms", &[nw]).unwrap();
         let member = spec.app("_\\in_", &[pm, cp]).unwrap();
         let alg = spec.alg().clone();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut norm = model.spec.normalizer();
-                let out = norm
-                    .normalize(model.spec.store_mut(), member)
-                    .expect("reduces");
-                assert_eq!(alg.as_constant(model.spec.store(), out), Some(true));
-                black_box(out)
-            });
+        bench(&format!("gleaning-normalize/{n}"), 20, || {
+            let mut norm = model.spec.normalizer();
+            let out = norm
+                .normalize(model.spec.store_mut(), member)
+                .expect("reduces");
+            assert_eq!(alg.as_constant(model.spec.store(), out), Some(true));
+            black_box(out)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ring_throughput,
-    bench_ring_vs_truth_table,
-    bench_gleaning_reduction
-);
-criterion_main!(benches);
+fn main() {
+    bench_ring_throughput();
+    bench_ring_vs_truth_table();
+    bench_gleaning_reduction();
+}

@@ -16,13 +16,12 @@
 #![warn(missing_docs)]
 
 use equitls_kernel::prelude::*;
+use equitls_obs::rng::SplitMix64;
 use equitls_rewrite::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A random Boolean formula over `atoms`, with roughly `size` connectives.
 ///
-/// Deterministic per `seed`, so Criterion compares like with like.
+/// Deterministic per `seed`, so repeated runs compare like with like.
 pub fn random_formula(
     store: &mut TermStore,
     alg: &BoolAlg,
@@ -30,12 +29,12 @@ pub fn random_formula(
     size: usize,
     seed: u64,
 ) -> TermId {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut build = atoms.to_vec();
     for _ in 0..size {
-        let a = build[rng.gen_range(0..build.len())];
-        let b = build[rng.gen_range(0..build.len())];
-        let t = match rng.gen_range(0..5) {
+        let a = *rng.choose(&build);
+        let b = *rng.choose(&build);
+        let t = match rng.next_below(5) {
             0 => alg.and(store, a, b),
             1 => alg.or(store, a, b),
             2 => alg.xor(store, a, b),
@@ -89,17 +88,44 @@ fn eval_formula(
     } else if op == alg.not_op() {
         !eval_formula(store, alg, args[0], assignment)
     } else if op == alg.and_op() {
-        eval_formula(store, alg, args[0], assignment) && eval_formula(store, alg, args[1], assignment)
+        eval_formula(store, alg, args[0], assignment)
+            && eval_formula(store, alg, args[1], assignment)
     } else if op == alg.or_op() {
-        eval_formula(store, alg, args[0], assignment) || eval_formula(store, alg, args[1], assignment)
+        eval_formula(store, alg, args[0], assignment)
+            || eval_formula(store, alg, args[1], assignment)
     } else if op == alg.xor_op() {
-        eval_formula(store, alg, args[0], assignment) ^ eval_formula(store, alg, args[1], assignment)
+        eval_formula(store, alg, args[0], assignment)
+            ^ eval_formula(store, alg, args[1], assignment)
     } else if op == alg.implies_op() {
-        !eval_formula(store, alg, args[0], assignment) || eval_formula(store, alg, args[1], assignment)
+        !eval_formula(store, alg, args[0], assignment)
+            || eval_formula(store, alg, args[1], assignment)
     } else if op == alg.iff_op() {
-        eval_formula(store, alg, args[0], assignment) == eval_formula(store, alg, args[1], assignment)
+        eval_formula(store, alg, args[0], assignment)
+            == eval_formula(store, alg, args[1], assignment)
     } else {
         panic!("unexpected operator in formula");
+    }
+}
+
+/// A minimal timing harness: the offline build cannot depend on
+/// criterion, so the `[[bench]]` targets are plain `main`s that call
+/// [`harness::bench`] and print one line per series point.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Run `f` once as warmup, then `samples` timed times; report and
+    /// return the best (least-noisy) duration.
+    pub fn bench<T>(label: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+        black_box(f());
+        let mut best = Duration::MAX;
+        for _ in 0..samples.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed());
+        }
+        println!("{label:<44} {best:>12.2?}  (best of {samples})");
+        best
     }
 }
 

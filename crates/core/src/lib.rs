@@ -84,6 +84,10 @@ pub mod prelude {
     pub use crate::invariant::{Invariant, InvariantSet};
     pub use crate::ots::{Action, Observer, Ots};
     pub use crate::prover::{Hints, Prover, ProverConfig};
-    pub use crate::report::{CaseOutcome, Decision, OpenCase, ProofReport, StepReport};
-    pub use crate::score::{render_passage, render_recorded_scores, render_report_table, render_step_table};
+    pub use crate::report::{
+        CaseOutcome, Decision, OpenCase, ProofReport, ProverMetrics, StepReport,
+    };
+    pub use crate::score::{
+        render_passage, render_recorded_scores, render_report_table, render_step_table,
+    };
 }

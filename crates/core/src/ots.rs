@@ -67,7 +67,11 @@ impl Ots {
     ///
     /// [`CoreError::MalformedOts`] when `init` is missing or an operator
     /// has an unexpected shape.
-    pub fn from_spec(spec: &mut Spec, state_sort_name: &str, init_name: &str) -> Result<Self, CoreError> {
+    pub fn from_spec(
+        spec: &mut Spec,
+        state_sort_name: &str,
+        init_name: &str,
+    ) -> Result<Self, CoreError> {
         let state_sort = spec.sort_id(state_sort_name)?;
         let sig = spec.store().signature();
         let mut observers = Vec::new();

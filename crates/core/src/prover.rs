@@ -31,8 +31,9 @@
 use crate::error::CoreError;
 use crate::invariant::{Invariant, InvariantSet};
 use crate::ots::{Action, Ots};
-use crate::report::{CaseOutcome, Decision, OpenCase, ProofReport, StepReport};
+use crate::report::{CaseOutcome, Decision, OpenCase, ProofReport, ProverMetrics, StepReport};
 use equitls_kernel::prelude::*;
+use equitls_obs::sink::Obs;
 use equitls_rewrite::assumption::orient_equation;
 use equitls_rewrite::boolring::Poly;
 use equitls_rewrite::prelude::*;
@@ -60,6 +61,11 @@ pub struct ProverConfig {
     /// be rendered (`StepReport::scores`). Off by default (the trails of a
     /// large campaign are sizable).
     pub record_scores: bool,
+    /// Collect per-rule profiles in the rewrite engine
+    /// (`Normalizer::set_profiling`) and emit them as observability events
+    /// after each obligation. Off by default: profiling reads the clock on
+    /// every rule attempt.
+    pub profile_rules: bool,
     /// Constructor-completeness witnesses: maps a kind predicate operator
     /// (e.g. `sh?`) to the constructor it recognizes (e.g. `sh`). When the
     /// prover assumes `pred?(x) = true` for an arbitrary constant `x`, it
@@ -78,6 +84,7 @@ impl Default for ProverConfig {
             max_passages: 20_000,
             fuel: 2_000_000,
             record_scores: false,
+            profile_rules: false,
             witnesses: HashMap::new(),
         }
     }
@@ -143,11 +150,11 @@ enum Leaf {
     Open(String),
 }
 
+/// Mutable search state threaded through the case-split recursion. The
+/// metrics are the public [`ProverMetrics`]; every leaf bumps `passages`
+/// and exactly one of the verdict buckets.
 struct SearchStats {
-    passages: usize,
-    splits: usize,
-    rewrites: u64,
-    max_depth: usize,
+    metrics: ProverMetrics,
     scores: Vec<Vec<Decision>>,
 }
 
@@ -157,6 +164,7 @@ pub struct Prover<'a> {
     ots: &'a Ots,
     invariants: &'a InvariantSet,
     config: ProverConfig,
+    obs: Obs,
 }
 
 impl<'a> Prover<'a> {
@@ -167,12 +175,22 @@ impl<'a> Prover<'a> {
             ots,
             invariants,
             config: ProverConfig::default(),
+            obs: Obs::noop(),
         }
     }
 
     /// Replace the default configuration.
     pub fn with_config(mut self, config: ProverConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attach an observability handle. Obligations become spans, case
+    /// splits and leaf verdicts become counters, and (with
+    /// `ProverConfig::profile_rules`) per-rule profiles are emitted after
+    /// each obligation.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -204,8 +222,7 @@ impl<'a> Prover<'a> {
         let actions: Vec<Action> = self.ots.actions.clone();
         let mut steps = Vec::with_capacity(actions.len());
         for action in &actions {
-            let lemmas =
-                self.resolve_lemmas(&hints.lemmas_for(invariant, Some(&action.name)))?;
+            let lemmas = self.resolve_lemmas(&hints.lemmas_for(invariant, Some(&action.name)))?;
             let step = self.prove_step(&inv, action, &lemmas)?;
             steps.push(step);
         }
@@ -238,7 +255,12 @@ impl<'a> Prover<'a> {
         let xs = self.fresh_params(&inv)?;
         let goal = inv.instantiate(self.spec, s, &xs)?;
         let step = self.search_obligation("case-analysis", goal, s, &lemmas)?;
-        Ok(ProofReport::new(invariant, step, Vec::new(), start.elapsed()))
+        Ok(ProofReport::new(
+            invariant,
+            step,
+            Vec::new(),
+            start.elapsed(),
+        ))
     }
 
     fn resolve_lemmas(&self, names: &[&str]) -> Result<Vec<Invariant>, CoreError> {
@@ -301,13 +323,15 @@ impl<'a> Prover<'a> {
         lemmas: &[Invariant],
     ) -> Result<StepReport, CoreError> {
         let start = Instant::now();
+        let _span = self.obs.span(&format!("prover.obligation:{name}"));
         let mut norm = self.spec.normalizer();
         norm.set_fuel_limit(self.config.fuel);
+        norm.set_obs(self.obs.clone());
+        if self.config.profile_rules {
+            norm.set_profiling(true);
+        }
         let mut stats = SearchStats {
-            passages: 0,
-            splits: 0,
-            rewrites: 0,
-            max_depth: 0,
+            metrics: ProverMetrics::default(),
             scores: Vec::new(),
         };
         let mut open = Vec::new();
@@ -315,6 +339,15 @@ impl<'a> Prover<'a> {
         self.search(
             &mut norm, goal, pre_state, lemmas, 0, &mut trail, &mut stats, &mut open,
         )?;
+        // Branch clones were absorbed back into `norm`, so its counters
+        // cover the whole obligation.
+        let rewrite_stats = norm.stats();
+        stats.metrics.rewrites = rewrite_stats.rewrites;
+        norm.emit_profile();
+        if self.obs.enabled() {
+            self.obs
+                .gauge("kernel.term_count", self.spec.store().term_count() as f64);
+        }
         let outcome = if open.is_empty() {
             CaseOutcome::Proved
         } else {
@@ -323,10 +356,8 @@ impl<'a> Prover<'a> {
         Ok(StepReport {
             action: name.to_string(),
             outcome,
-            passages: stats.passages,
-            splits: stats.splits,
-            rewrites: stats.rewrites,
-            max_depth: stats.max_depth,
+            metrics: stats.metrics,
+            rewrite_stats,
             duration: start.elapsed(),
             scores: stats.scores,
         })
@@ -344,66 +375,61 @@ impl<'a> Prover<'a> {
         stats: &mut SearchStats,
         open: &mut Vec<OpenCase>,
     ) -> Result<(), CoreError> {
-        stats.max_depth = stats.max_depth.max(depth);
-        if stats.passages >= self.config.max_passages {
-            open.push(OpenCase {
-                decisions: trail.iter().map(|d| d.render()).collect(),
-                residual: "(passage budget exhausted)".to_string(),
-            });
+        stats.metrics.max_depth = stats.metrics.max_depth.max(depth);
+        if stats.metrics.passages >= self.config.max_passages {
+            self.leaf_open(stats, open, trail, "(passage budget exhausted)");
             return Ok(());
         }
         let (leaf, blocked, pool) = match self.reduce_with_sih(norm, goal, pre_state, lemmas) {
             Ok(x) => x,
             Err(e) if is_fuel_error(&e) => {
-                stats.passages += 1;
-                open.push(OpenCase {
-                    decisions: trail.iter().map(|d| d.render()).collect(),
-                    residual: "(rewriting fuel exhausted)".to_string(),
-                });
+                self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
-        stats.rewrites = norm.stats().rewrites;
         match leaf {
-            Leaf::Proved | Leaf::Vacuous => {
-                stats.passages += 1;
+            Leaf::Proved => {
+                stats.metrics.passages += 1;
+                stats.metrics.proved += 1;
+                self.obs.counter("prover.leaf.proved", 1);
                 if self.config.record_scores {
                     stats.scores.push(trail.clone());
                 }
-                return Ok(());
+                Ok(())
+            }
+            Leaf::Vacuous => {
+                self.leaf_vacuous(stats);
+                if self.config.record_scores {
+                    stats.scores.push(trail.clone());
+                }
+                Ok(())
             }
             Leaf::Open(_) if depth >= self.config.max_splits => {
-                stats.passages += 1;
                 if let Leaf::Open(residual) = leaf {
-                    open.push(OpenCase {
-                        decisions: trail.iter().map(|d| d.render()).collect(),
-                        residual,
-                    });
+                    self.leaf_open(stats, open, trail, &residual);
                 }
-                return Ok(());
+                Ok(())
             }
             Leaf::Open(residual) => {
                 // Choose a split.
                 let split = match self.choose_split(norm, goal, &blocked, &pool) {
                     Ok(s) => s,
                     Err(e) if is_fuel_error(&e) => {
-                        stats.passages += 1;
-                        open.push(OpenCase {
-                            decisions: trail.iter().map(|d| d.render()).collect(),
-                            residual: "(rewriting fuel exhausted)".to_string(),
-                        });
+                        self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
                         return Ok(());
                     }
                     Err(e) => return Err(e),
                 };
                 match split {
                     Some(Split::Condition { cond, atoms }) => {
-                        stats.splits += 1;
+                        stats.metrics.splits += 1;
+                        self.obs.counter("prover.split:cond", 1);
                         // TRUE branch: assume each conjunct, equalities
                         // first so their orientations reach the rest.
                         {
                             let mut branch = norm.clone();
+                            branch.reset_stats();
                             let mut feasible = true;
                             let mut fuel_out = false;
                             let mut ordered = atoms.clone();
@@ -435,32 +461,38 @@ impl<'a> Prover<'a> {
                                 cond: self.spec.store().display(cond).to_string(),
                             });
                             if fuel_out {
-                                stats.passages += 1;
-                                open.push(OpenCase {
-                                    decisions: trail.iter().map(|d| d.render()).collect(),
-                                    residual: "(rewriting fuel exhausted)".to_string(),
-                                });
+                                self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
                             } else if feasible {
                                 self.search(
-                                    &mut branch, goal, pre_state, lemmas, depth + 1, trail,
-                                    stats, open,
+                                    &mut branch,
+                                    goal,
+                                    pre_state,
+                                    lemmas,
+                                    depth + 1,
+                                    trail,
+                                    stats,
+                                    open,
                                 )?;
                             } else {
-                                stats.passages += 1; // vacuous
+                                self.leaf_vacuous(stats);
                             }
+                            norm.absorb(&branch);
                             trail.pop();
                         }
                         // FALSE branch: the whole condition is false.
                         {
                             let mut branch = norm.clone();
+                            branch.reset_stats();
                             let feasible = match self.assume_term(&mut branch, cond, false) {
                                 Ok(f) => f,
                                 Err(e) if is_fuel_error(&e) => {
-                                    stats.passages += 1;
-                                    open.push(OpenCase {
-                                        decisions: trail.iter().map(|d| d.render()).collect(),
-                                        residual: "(rewriting fuel exhausted)".to_string(),
-                                    });
+                                    norm.absorb(&branch);
+                                    self.leaf_open(
+                                        stats,
+                                        open,
+                                        trail,
+                                        "(rewriting fuel exhausted)",
+                                    );
                                     return Ok(());
                                 }
                                 Err(e) => return Err(e),
@@ -470,28 +502,39 @@ impl<'a> Prover<'a> {
                             });
                             if feasible {
                                 self.search(
-                                    &mut branch, goal, pre_state, lemmas, depth + 1, trail,
-                                    stats, open,
+                                    &mut branch,
+                                    goal,
+                                    pre_state,
+                                    lemmas,
+                                    depth + 1,
+                                    trail,
+                                    stats,
+                                    open,
                                 )?;
                             } else {
-                                stats.passages += 1;
+                                self.leaf_vacuous(stats);
                             }
+                            norm.absorb(&branch);
                             trail.pop();
                         }
                         Ok(())
                     }
                     Some(Split::Atom(atom)) => {
-                        stats.splits += 1;
+                        stats.metrics.splits += 1;
+                        self.obs.counter("prover.split:atom", 1);
                         for value in [true, false] {
                             let mut branch = norm.clone();
+                            branch.reset_stats();
                             let feasible = match self.assume_atom(&mut branch, atom, value) {
                                 Ok(f) => f,
                                 Err(e) if is_fuel_error(&e) => {
-                                    stats.passages += 1;
-                                    open.push(OpenCase {
-                                        decisions: trail.iter().map(|d| d.render()).collect(),
-                                        residual: "(rewriting fuel exhausted)".to_string(),
-                                    });
+                                    norm.absorb(&branch);
+                                    self.leaf_open(
+                                        stats,
+                                        open,
+                                        trail,
+                                        "(rewriting fuel exhausted)",
+                                    );
                                     continue;
                                 }
                                 Err(e) => return Err(e),
@@ -502,27 +545,54 @@ impl<'a> Prover<'a> {
                             });
                             if feasible {
                                 self.search(
-                                    &mut branch, goal, pre_state, lemmas, depth + 1, trail,
-                                    stats, open,
+                                    &mut branch,
+                                    goal,
+                                    pre_state,
+                                    lemmas,
+                                    depth + 1,
+                                    trail,
+                                    stats,
+                                    open,
                                 )?;
                             } else {
-                                stats.passages += 1;
+                                self.leaf_vacuous(stats);
                             }
+                            norm.absorb(&branch);
                             trail.pop();
                         }
                         Ok(())
                     }
                     None => {
-                        stats.passages += 1;
-                        open.push(OpenCase {
-                            decisions: trail.iter().map(|d| d.render()).collect(),
-                            residual,
-                        });
+                        self.leaf_open(stats, open, trail, &residual);
                         Ok(())
                     }
                 }
             }
         }
+    }
+
+    /// Account one vacuous leaf (infeasible branch).
+    fn leaf_vacuous(&self, stats: &mut SearchStats) {
+        stats.metrics.passages += 1;
+        stats.metrics.vacuous += 1;
+        self.obs.counter("prover.leaf.vacuous", 1);
+    }
+
+    /// Account one open leaf and record its residual goal.
+    fn leaf_open(
+        &self,
+        stats: &mut SearchStats,
+        open: &mut Vec<OpenCase>,
+        trail: &[Decision],
+        residual: &str,
+    ) {
+        stats.metrics.passages += 1;
+        stats.metrics.open += 1;
+        self.obs.counter("prover.leaf.open", 1);
+        open.push(OpenCase {
+            decisions: trail.iter().map(|d| d.render()).collect(),
+            residual: residual.to_string(),
+        });
     }
 
     /// Normalize the goal, strengthen with lemma instances, and classify.
@@ -599,8 +669,7 @@ impl<'a> Prover<'a> {
                             });
                             if p.monomial_count() <= self.config.max_instance_monomials
                                 && anchored
-                                && sih_poly.monomial_count() * p.monomial_count()
-                                    <= product_bound
+                                && sih_poly.monomial_count() * p.monomial_count() <= product_bound
                             {
                                 sih_poly = sih_poly.mul(&p);
                                 used += 1;
@@ -642,9 +711,7 @@ impl<'a> Prover<'a> {
             return Ok((leaf, blocked, atom_pool));
         }
         // goal2 = sih implies goal = 1 + sih + sih·goal, all in the ring.
-        let goal2 = Poly::one()
-            .add(&sih_poly)
-            .add(&sih_poly.mul(&goal_poly));
+        let goal2 = Poly::one().add(&sih_poly).add(&sih_poly.mul(&goal_poly));
         if goal2.is_true() {
             return Ok((Leaf::Proved, blocked, atom_pool));
         }
@@ -970,9 +1037,9 @@ fn is_fuel_error(e: &CoreError) -> bool {
     matches!(
         e,
         CoreError::Rewrite(RewriteError::FuelExhausted { .. })
-            | CoreError::Spec(equitls_spec::SpecError::Rewrite(RewriteError::FuelExhausted {
-                ..
-            }))
+            | CoreError::Spec(equitls_spec::SpecError::Rewrite(
+                RewriteError::FuelExhausted { .. }
+            ))
     )
 }
 

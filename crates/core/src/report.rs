@@ -4,14 +4,17 @@
 //! of human effort (§1, §7). The machine-checked analogue is a
 //! [`ProofReport`] per invariant: passages written, case splits chosen,
 //! rewrite steps performed, wall-clock time — the data behind experiment
-//! E9 in EXPERIMENTS.md.
+//! E9 in EXPERIMENTS.md. Reports serialize to JSON through the
+//! hand-rolled `equitls_obs::json` layer, so the dependency closure stays
+//! free of external crates.
 
-use serde::Serialize;
+use equitls_obs::json::JsonValue;
+use equitls_rewrite::engine::RewriteStats;
 use std::fmt;
 use std::time::Duration;
 
 /// One decision on the path to a proof passage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Decision {
     /// Assumed a blocked effective condition true (all conjuncts).
     CondTrue {
@@ -50,7 +53,7 @@ impl fmt::Display for Decision {
 }
 
 /// A case the prover could not discharge.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpenCase {
     /// The decisions leading to the case.
     pub decisions: Vec<String>,
@@ -59,7 +62,7 @@ pub struct OpenCase {
 }
 
 /// Outcome of one proof obligation (base case or one transition).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CaseOutcome {
     /// All passages reduced to `true`.
     Proved,
@@ -74,13 +77,14 @@ impl CaseOutcome {
     }
 }
 
-/// Statistics for one obligation.
-#[derive(Debug, Clone, Serialize)]
-pub struct StepReport {
-    /// Action name (or `"init"` / `"case-analysis"`).
-    pub action: String,
-    /// Whether the obligation was discharged.
-    pub outcome: CaseOutcome,
+/// Aggregate search statistics for one proof obligation.
+///
+/// This is the public, serializable successor of the prover's old private
+/// `SearchStats`. Every proof passage (a leaf of the case tree) lands in
+/// exactly one verdict bucket, so
+/// `passages == proved + vacuous + open` always holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverMetrics {
     /// Number of proof passages (leaves of the case tree).
     pub passages: usize,
     /// Number of case splits (internal nodes).
@@ -89,19 +93,86 @@ pub struct StepReport {
     pub rewrites: u64,
     /// Deepest split chain.
     pub max_depth: usize,
+    /// Passages that reduced to `true`.
+    pub proved: usize,
+    /// Passages whose effective condition was infeasible.
+    pub vacuous: usize,
+    /// Passages left open (residual goal, budget, or fuel).
+    pub open: usize,
+}
+
+impl ProverMetrics {
+    /// Component-wise sum (durations and depths take the max where that is
+    /// the meaningful aggregate).
+    pub fn merged(&self, other: &ProverMetrics) -> ProverMetrics {
+        ProverMetrics {
+            passages: self.passages + other.passages,
+            splits: self.splits + other.splits,
+            rewrites: self.rewrites + other.rewrites,
+            max_depth: self.max_depth.max(other.max_depth),
+            proved: self.proved + other.proved,
+            vacuous: self.vacuous + other.vacuous,
+            open: self.open + other.open,
+        }
+    }
+
+    /// The metrics as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("passages".into(), JsonValue::Number(self.passages as f64)),
+            ("splits".into(), JsonValue::Number(self.splits as f64)),
+            ("rewrites".into(), JsonValue::Number(self.rewrites as f64)),
+            ("max_depth".into(), JsonValue::Number(self.max_depth as f64)),
+            ("proved".into(), JsonValue::Number(self.proved as f64)),
+            ("vacuous".into(), JsonValue::Number(self.vacuous as f64)),
+            ("open".into(), JsonValue::Number(self.open as f64)),
+        ])
+    }
+}
+
+/// Statistics for one obligation.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Action name (or `"init"` / `"case-analysis"`).
+    pub action: String,
+    /// Whether the obligation was discharged.
+    pub outcome: CaseOutcome,
+    /// Search statistics (passages, splits, verdict buckets).
+    pub metrics: ProverMetrics,
+    /// The normalizer's counters at the end of the obligation (rewrites,
+    /// cache hits/misses, Boolean-ring normalizations, …).
+    pub rewrite_stats: RewriteStats,
     /// Wall-clock time for the obligation.
-    #[serde(with = "duration_millis")]
     pub duration: Duration,
     /// Decision trails of discharged passages, when
     /// `ProverConfig::record_scores` is on (empty otherwise). Each trail
     /// renders as one CafeOBJ-style proof passage via
     /// [`crate::score::render_passage`].
-    #[serde(skip)]
     pub scores: Vec<Vec<Decision>>,
 }
 
+impl StepReport {
+    /// The report as a JSON object (scores are omitted; they have their
+    /// own textual rendering).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("action".into(), JsonValue::String(self.action.clone())),
+            ("proved".into(), JsonValue::Bool(self.outcome.is_proved())),
+            ("metrics".into(), self.metrics.to_json()),
+            (
+                "cache_hit_rate".into(),
+                JsonValue::Number(self.rewrite_stats.cache_hit_rate()),
+            ),
+            (
+                "duration_ms".into(),
+                JsonValue::from_u128(self.duration.as_millis()),
+            ),
+        ])
+    }
+}
+
 /// A full per-invariant report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProofReport {
     /// Invariant name.
     pub invariant: String,
@@ -111,17 +182,7 @@ pub struct ProofReport {
     /// case-analysis proofs.
     pub steps: Vec<StepReport>,
     /// Total wall-clock time.
-    #[serde(with = "duration_millis")]
     pub duration: Duration,
-}
-
-mod duration_millis {
-    use serde::Serializer;
-    use std::time::Duration;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u128(d.as_millis())
-    }
 }
 
 impl ProofReport {
@@ -162,19 +223,54 @@ impl ProofReport {
         out
     }
 
+    /// Metrics summed over the base case and every transition.
+    pub fn total_metrics(&self) -> ProverMetrics {
+        self.steps
+            .iter()
+            .fold(self.base.metrics, |acc, s| acc.merged(&s.metrics))
+    }
+
+    /// Rewrite-engine counters summed over all obligations.
+    pub fn total_rewrite_stats(&self) -> RewriteStats {
+        self.steps.iter().fold(self.base.rewrite_stats, |acc, s| {
+            acc.merged(s.rewrite_stats)
+        })
+    }
+
     /// Total proof passages across all obligations.
     pub fn total_passages(&self) -> usize {
-        self.base.passages + self.steps.iter().map(|s| s.passages).sum::<usize>()
+        self.total_metrics().passages
     }
 
     /// Total case splits across all obligations.
     pub fn total_splits(&self) -> usize {
-        self.base.splits + self.steps.iter().map(|s| s.splits).sum::<usize>()
+        self.total_metrics().splits
     }
 
     /// Total rewrite applications across all obligations.
     pub fn total_rewrites(&self) -> u64 {
-        self.base.rewrites + self.steps.iter().map(|s| s.rewrites).sum::<u64>()
+        self.total_metrics().rewrites
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "invariant".into(),
+                JsonValue::String(self.invariant.clone()),
+            ),
+            ("proved".into(), JsonValue::Bool(self.is_proved())),
+            ("base".into(), self.base.to_json()),
+            (
+                "steps".into(),
+                JsonValue::Array(self.steps.iter().map(StepReport::to_json).collect()),
+            ),
+            ("totals".into(), self.total_metrics().to_json()),
+            (
+                "duration_ms".into(),
+                JsonValue::from_u128(self.duration.as_millis()),
+            ),
+        ])
     }
 
     /// A one-line summary, suitable for tables.
@@ -209,9 +305,9 @@ impl fmt::Display for ProofReport {
                 f,
                 "  {:<14} {:>8} {:>7} {:>10} {:>10.2?} {}",
                 step.action,
-                step.passages,
-                step.splits,
-                step.rewrites,
+                step.metrics.passages,
+                step.metrics.splits,
+                step.metrics.rewrites,
                 step.duration,
                 if step.outcome.is_proved() { "" } else { "OPEN" }
             )
@@ -227,6 +323,7 @@ impl fmt::Display for ProofReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use equitls_obs::json;
 
     fn step(name: &str, proved: bool) -> StepReport {
         StepReport {
@@ -239,10 +336,16 @@ mod tests {
                     residual: "x \\in s".into(),
                 }])
             },
-            passages: 3,
-            splits: 1,
-            rewrites: 10,
-            max_depth: 1,
+            metrics: ProverMetrics {
+                passages: 3,
+                splits: 1,
+                rewrites: 10,
+                max_depth: 1,
+                proved: if proved { 3 } else { 2 },
+                vacuous: 0,
+                open: if proved { 0 } else { 1 },
+            },
+            rewrite_stats: RewriteStats::default(),
             duration: Duration::from_millis(5),
             scores: Vec::new(),
         }
@@ -303,5 +406,39 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("invariant inv1: PROVED"));
         assert!(text.contains("chello"));
+    }
+
+    #[test]
+    fn metrics_buckets_partition_passages() {
+        let m = step("init", false).metrics;
+        assert_eq!(m.passages, m.proved + m.vacuous + m.open);
+        let merged = m.merged(&step("a", true).metrics);
+        assert_eq!(
+            merged.passages,
+            merged.proved + merged.vacuous + merged.open
+        );
+    }
+
+    #[test]
+    fn reports_serialize_to_valid_json() {
+        let r = ProofReport::new(
+            "inv1",
+            step("init", true),
+            vec![step("chello", false)],
+            Duration::from_millis(20),
+        );
+        let rendered = r.to_json().to_string();
+        let parsed = json::parse(&rendered).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("invariant").and_then(|v| v.as_str()),
+            Some("inv1")
+        );
+        assert_eq!(
+            parsed
+                .get("totals")
+                .and_then(|t| t.get("passages"))
+                .and_then(|v| v.as_f64()),
+            Some(6.0)
+        );
     }
 }

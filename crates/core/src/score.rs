@@ -114,9 +114,9 @@ pub fn render_step_table(report: &ProofReport) -> String {
         out.push_str(&format!(
             "  {:<14} passages={:<5} splits={:<4} depth={:<3} {}\n",
             s.action,
-            s.passages,
-            s.splits,
-            s.max_depth,
+            s.metrics.passages,
+            s.metrics.splits,
+            s.metrics.max_depth,
             if s.outcome.is_proved() { "ok" } else { "OPEN" }
         ));
     };
@@ -158,6 +158,8 @@ mod tests {
     }
 
     fn tiny_report(proved: bool) -> ProofReport {
+        use crate::report::ProverMetrics;
+        use equitls_rewrite::engine::RewriteStats;
         let step = StepReport {
             action: "chello".into(),
             outcome: if proved {
@@ -168,10 +170,16 @@ mod tests {
                     residual: "stuck".into(),
                 }])
             },
-            passages: 2,
-            splits: 1,
-            rewrites: 7,
-            max_depth: 1,
+            metrics: ProverMetrics {
+                passages: 2,
+                splits: 1,
+                rewrites: 7,
+                max_depth: 1,
+                proved: if proved { 2 } else { 1 },
+                vacuous: 0,
+                open: if proved { 0 } else { 1 },
+            },
+            rewrite_stats: RewriteStats::default(),
             duration: Duration::from_millis(1),
             scores: Vec::new(),
         };
@@ -180,10 +188,13 @@ mod tests {
             StepReport {
                 action: "init".into(),
                 outcome: CaseOutcome::Proved,
-                passages: 1,
-                splits: 0,
-                rewrites: 2,
-                max_depth: 0,
+                metrics: ProverMetrics {
+                    passages: 1,
+                    rewrites: 2,
+                    proved: 1,
+                    ..ProverMetrics::default()
+                },
+                rewrite_stats: RewriteStats::default(),
                 duration: Duration::from_millis(1),
                 scores: Vec::new(),
             },

@@ -35,7 +35,12 @@ fn write_term(
     match store.node(t) {
         Term::Var(v) => {
             let decl = store.var_decl(*v);
-            write!(f, "{}:{}", decl.name, store.signature().sort(decl.sort).name)
+            write!(
+                f,
+                "{}:{}",
+                decl.name,
+                store.signature().sort(decl.sort).name
+            )
         }
         Term::App { op, args } => {
             let decl = store.signature().op(*op);
@@ -95,7 +100,9 @@ mod tests {
         let mut sig = Signature::new();
         let b = sig.add_visible_sort("Bool").unwrap();
         let tt = sig.add_constant("true", b, OpAttrs::constructor()).unwrap();
-        let ff = sig.add_constant("false", b, OpAttrs::constructor()).unwrap();
+        let ff = sig
+            .add_constant("false", b, OpAttrs::constructor())
+            .unwrap();
         let and = sig.add_op("_and_", &[b, b], b, OpAttrs::defined()).unwrap();
         let not = sig.add_op("not_", &[b], b, OpAttrs::defined()).unwrap();
         let ite = sig
@@ -109,7 +116,10 @@ mod tests {
         let n = store.app(not, &[a]).unwrap();
         assert_eq!(store.display(n).to_string(), "not (true and false)");
         let c = store.app(ite, &[t, fv, t]).unwrap();
-        assert_eq!(store.display(c).to_string(), "if true then false else true fi");
+        assert_eq!(
+            store.display(c).to_string(),
+            "if true then false else true fi"
+        );
     }
 
     #[test]

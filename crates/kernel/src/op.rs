@@ -17,11 +17,10 @@
 //! the OTS structure.
 
 use crate::sort::SortId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an operator inside a [`crate::signature::Signature`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub(crate) u32);
 
 impl OpId {
@@ -43,7 +42,7 @@ impl fmt::Display for OpId {
 }
 
 /// The role an operator plays in a specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A free data constructor (e.g. `pms`, `intruder`, `ch`).
     ///
@@ -71,7 +70,7 @@ pub enum OpKind {
 }
 
 /// Attributes attached to an operator declaration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpAttrs {
     /// The operator's role.
     pub kind: OpKind,
@@ -101,7 +100,9 @@ impl OpAttrs {
 
     /// Attributes for an action operator.
     pub fn action() -> Self {
-        OpAttrs { kind: OpKind::Action }
+        OpAttrs {
+            kind: OpKind::Action,
+        }
     }
 
     /// Attributes for an arbitrary (proof-passage) constant.
@@ -123,7 +124,7 @@ impl OpAttrs {
 }
 
 /// A declared operator: name, argument sorts, result sort, attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpDecl {
     /// Operator name. Names may be overloaded only by arity, not by sorts.
     pub name: String,

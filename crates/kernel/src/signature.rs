@@ -9,7 +9,6 @@
 use crate::error::KernelError;
 use crate::op::{OpAttrs, OpDecl, OpId};
 use crate::sort::{SortDecl, SortId, SortKind};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A registry of sorts and operators.
@@ -26,7 +25,7 @@ use std::collections::HashMap;
 /// assert_eq!(sig.sort_by_name("Bool"), Some(bool_sort));
 /// # Ok::<(), KernelError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Signature {
     sorts: Vec<SortDecl>,
     ops: Vec<OpDecl>,
@@ -230,7 +229,8 @@ mod tests {
     #[test]
     fn duplicate_op_is_rejected() {
         let (mut sig, s) = tiny();
-        sig.add_constant("intruder", s, OpAttrs::constructor()).unwrap();
+        sig.add_constant("intruder", s, OpAttrs::constructor())
+            .unwrap();
         assert_eq!(
             sig.add_constant("intruder", s, OpAttrs::constructor()),
             Err(KernelError::DuplicateOp("intruder".into()))
@@ -252,7 +252,9 @@ mod tests {
         let (mut sig, s) = tiny();
         let r = sig.add_visible_sort("Rand").unwrap();
         let ca = sig.add_constant("ca", s, OpAttrs::constructor()).unwrap();
-        let intr = sig.add_constant("intruder", s, OpAttrs::constructor()).unwrap();
+        let intr = sig
+            .add_constant("intruder", s, OpAttrs::constructor())
+            .unwrap();
         let _r1 = sig.add_constant("r1", r, OpAttrs::constructor()).unwrap();
         sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
         let mut consts = sig.constants_of_sort(s);

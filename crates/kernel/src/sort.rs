@@ -7,14 +7,13 @@
 //! operators (`bop`) take a hidden-sorted argument, everything else is
 //! visible.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a sort inside a [`crate::signature::Signature`].
 ///
 /// `SortId`s are small dense indices; they are only meaningful relative to
 /// the signature that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SortId(pub(crate) u32);
 
 impl SortId {
@@ -39,7 +38,7 @@ impl fmt::Display for SortId {
 }
 
 /// Whether a sort denotes data (visible) or machine state (hidden).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortKind {
     /// An abstract data type, e.g. `Principal`, `Rand`, `Msg`.
     Visible,
@@ -55,7 +54,7 @@ impl SortKind {
 }
 
 /// A declared sort: its name and kind.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SortDecl {
     /// Sort name, unique within a signature.
     pub name: String,

@@ -23,12 +23,11 @@ use crate::error::KernelError;
 use crate::op::{OpId, OpKind};
 use crate::signature::Signature;
 use crate::sort::SortId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an interned term inside a [`TermStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub(crate) u32);
 
 impl TermId {
@@ -39,7 +38,7 @@ impl TermId {
 }
 
 /// Identifier of a declared variable inside a [`TermStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -50,7 +49,7 @@ impl VarId {
 }
 
 /// A declared variable: name and sort.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarDecl {
     /// Variable name, unique within a store.
     pub name: String,
@@ -84,6 +83,7 @@ pub struct TermStore {
     vars: Vec<VarDecl>,
     var_names: HashMap<String, VarId>,
     fresh_counter: u64,
+    intern_hits: u64,
 }
 
 impl TermStore {
@@ -97,6 +97,7 @@ impl TermStore {
             vars: Vec::new(),
             var_names: HashMap::new(),
             fresh_counter: 0,
+            intern_hits: 0,
         }
     }
 
@@ -116,6 +117,7 @@ impl TermStore {
 
     fn intern_node(&mut self, node: Term, sort: SortId) -> TermId {
         if let Some(&id) = self.intern.get(&node) {
+            self.intern_hits += 1;
             return id;
         }
         let id = TermId(self.nodes.len() as u32);
@@ -289,6 +291,14 @@ impl TermStore {
         self.nodes.len()
     }
 
+    /// Number of hash-cons lookups that returned an existing term — the
+    /// sharing the intern table bought. Together with
+    /// [`TermStore::term_count`] (the misses) this gives the table's
+    /// hit rate; higher layers surface both as gauges.
+    pub fn intern_hits(&self) -> u64 {
+        self.intern_hits
+    }
+
     /// `true` when `t` contains no variables.
     pub fn is_ground(&self, t: TermId) -> bool {
         match self.node(t) {
@@ -376,7 +386,10 @@ impl TermStore {
 
     /// A displayable wrapper for `t`; see [`crate::display`].
     pub fn display(&self, t: TermId) -> crate::display::DisplayTerm<'_> {
-        crate::display::DisplayTerm { store: self, term: t }
+        crate::display::DisplayTerm {
+            store: self,
+            term: t,
+        }
     }
 }
 
@@ -402,11 +415,22 @@ mod tests {
         let prin = sig.add_visible_sort("Principal").unwrap();
         let secret = sig.add_visible_sort("Secret").unwrap();
         let pms_sort = sig.add_visible_sort("Pms").unwrap();
-        let intruder = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
-        let ca = sig.add_constant("ca", prin, OpAttrs::constructor()).unwrap();
-        let s0 = sig.add_constant("s0", secret, OpAttrs::constructor()).unwrap();
+        let intruder = sig
+            .add_constant("intruder", prin, OpAttrs::constructor())
+            .unwrap();
+        let ca = sig
+            .add_constant("ca", prin, OpAttrs::constructor())
+            .unwrap();
+        let s0 = sig
+            .add_constant("s0", secret, OpAttrs::constructor())
+            .unwrap();
         let pms = sig
-            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .add_op(
+                "pms",
+                &[prin, prin, secret],
+                pms_sort,
+                OpAttrs::constructor(),
+            )
             .unwrap();
         (TermStore::new(sig), intruder, ca, s0, pms)
     }
@@ -500,10 +524,16 @@ mod tests {
         let prin = store.signature().sort_by_name("Principal").unwrap();
         let secret = store.signature().sort_by_name("Secret").unwrap();
         let sig = store.signature_mut();
-        let f1 = sig.add_op("pick", &[prin], prin, OpAttrs::defined()).unwrap();
-        let f2 = sig.add_op("pick", &[secret], prin, OpAttrs::defined()).unwrap();
+        let f1 = sig
+            .add_op("pick", &[prin], prin, OpAttrs::defined())
+            .unwrap();
+        let f2 = sig
+            .add_op("pick", &[secret], prin, OpAttrs::defined())
+            .unwrap();
         assert_ne!(f1, f2);
-        assert!(sig.add_op("pick", &[prin], secret, OpAttrs::defined()).is_err());
+        assert!(sig
+            .add_op("pick", &[prin], secret, OpAttrs::defined())
+            .is_err());
         assert_eq!(sig.resolve_op("pick", &[secret]), Some(f2));
         assert_eq!(sig.ops_by_name("pick").len(), 2);
     }

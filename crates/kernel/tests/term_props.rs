@@ -1,10 +1,13 @@
-//! Property-based tests for the term kernel: hash-consing, matching, and
+//! Property-style tests for the term kernel: hash-consing, matching, and
 //! substitution laws over randomly generated terms.
+//!
+//! The offline build cannot depend on proptest, so generation is driven
+//! by a seeded SplitMix64 stream — deterministic, so failures reproduce.
 
 use equitls_kernel::prelude::*;
-use proptest::prelude::*;
+use equitls_obs::rng::SplitMix64;
 
-/// A tiny serializable term AST for generation.
+/// A tiny term AST for generation.
 #[derive(Debug, Clone)]
 enum T {
     C0,
@@ -13,14 +16,21 @@ enum T {
     G(Box<T>, Box<T>),
 }
 
-fn term_strategy() -> impl Strategy<Value = T> {
-    let leaf = prop_oneof![Just(T::C0), Just(T::C1)];
-    leaf.prop_recursive(6, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|t| T::F(Box::new(t))),
-            (inner.clone(), inner).prop_map(|(a, b)| T::G(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_term(rng: &mut SplitMix64, depth: usize) -> T {
+    if depth == 0 || rng.next_below(4) == 0 {
+        if rng.next_bool() {
+            T::C0
+        } else {
+            T::C1
+        }
+    } else if rng.next_bool() {
+        T::F(Box::new(gen_term(rng, depth - 1)))
+    } else {
+        T::G(
+            Box::new(gen_term(rng, depth - 1)),
+            Box::new(gen_term(rng, depth - 1)),
+        )
+    }
 }
 
 struct World {
@@ -35,9 +45,15 @@ struct World {
 fn world() -> World {
     let mut sig = Signature::new();
     let sort = sig.add_visible_sort("S").unwrap();
-    let c0 = sig.add_constant("c0", sort, OpAttrs::constructor()).unwrap();
-    let c1 = sig.add_constant("c1", sort, OpAttrs::constructor()).unwrap();
-    let f = sig.add_op("f", &[sort], sort, OpAttrs::constructor()).unwrap();
+    let c0 = sig
+        .add_constant("c0", sort, OpAttrs::constructor())
+        .unwrap();
+    let c1 = sig
+        .add_constant("c1", sort, OpAttrs::constructor())
+        .unwrap();
+    let f = sig
+        .add_op("f", &[sort], sort, OpAttrs::constructor())
+        .unwrap();
     let g = sig
         .add_op("g", &[sort, sort], sort, OpAttrs::constructor())
         .unwrap();
@@ -67,49 +83,61 @@ fn build(w: &mut World, t: &T) -> TermId {
     }
 }
 
-proptest! {
-    /// Building the same tree twice interns to the same id; structurally
-    /// different trees get different ids.
-    #[test]
-    fn hash_consing_is_injective(a in term_strategy(), b in term_strategy()) {
+/// Building the same tree twice interns to the same id; structurally
+/// different trees get different ids.
+#[test]
+fn hash_consing_is_injective() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..200 {
+        let a = gen_term(&mut rng, 6);
+        let b = gen_term(&mut rng, 6);
         let mut w = world();
         let ta1 = build(&mut w, &a);
         let ta2 = build(&mut w, &a);
-        prop_assert_eq!(ta1, ta2, "same tree interns once");
+        assert_eq!(ta1, ta2, "case {case}: same tree interns once");
         let tb = build(&mut w, &b);
         let structurally_equal = format!("{a:?}") == format!("{b:?}");
-        prop_assert_eq!(ta1 == tb, structurally_equal);
+        assert_eq!(ta1 == tb, structurally_equal, "case {case}");
     }
+}
 
-    /// size/depth behave like the tree metrics.
-    #[test]
-    fn size_and_depth_are_tree_metrics(a in term_strategy()) {
-        fn size(t: &T) -> usize {
-            match t {
-                T::C0 | T::C1 => 1,
-                T::F(x) => 1 + size(x),
-                T::G(x, y) => 1 + size(x) + size(y),
-            }
+/// size/depth behave like the tree metrics.
+#[test]
+fn size_and_depth_are_tree_metrics() {
+    fn size(t: &T) -> usize {
+        match t {
+            T::C0 | T::C1 => 1,
+            T::F(x) => 1 + size(x),
+            T::G(x, y) => 1 + size(x) + size(y),
         }
-        fn depth(t: &T) -> usize {
-            match t {
-                T::C0 | T::C1 => 1,
-                T::F(x) => 1 + depth(x),
-                T::G(x, y) => 1 + depth(x).max(depth(y)),
-            }
+    }
+    fn depth(t: &T) -> usize {
+        match t {
+            T::C0 | T::C1 => 1,
+            T::F(x) => 1 + depth(x),
+            T::G(x, y) => 1 + depth(x).max(depth(y)),
         }
+    }
+    let mut rng = SplitMix64::new(0xBEEF);
+    for case in 0..200 {
+        let a = gen_term(&mut rng, 6);
         let mut w = world();
         let ta = build(&mut w, &a);
-        prop_assert_eq!(w.store.size(ta), size(&a));
-        prop_assert_eq!(w.store.depth(ta), depth(&a));
+        assert_eq!(w.store.size(ta), size(&a), "case {case}");
+        assert_eq!(w.store.depth(ta), depth(&a), "case {case}");
         // subterm count never exceeds size (sharing only shrinks it)
-        prop_assert!(w.store.subterms(ta).len() <= size(&a));
+        assert!(w.store.subterms(ta).len() <= size(&a), "case {case}");
     }
+}
 
-    /// A pattern with a fresh variable always matches, and applying the
-    /// returned substitution to the pattern reproduces the subject.
-    #[test]
-    fn match_then_substitute_roundtrips(subject in term_strategy(), shape in term_strategy()) {
+/// A pattern with a fresh variable always matches, and applying the
+/// returned substitution to the pattern reproduces the subject.
+#[test]
+fn match_then_substitute_roundtrips() {
+    let mut rng = SplitMix64::new(0xDADA);
+    for case in 0..200 {
+        let subject = gen_term(&mut rng, 5);
+        let shape = gen_term(&mut rng, 5);
         let mut w = world();
         let subject_t = build(&mut w, &subject);
         // Pattern: g(X, <shape>) matched against g(subject, <shape>).
@@ -120,22 +148,30 @@ proptest! {
         let full = w.store.app(w.g, &[subject_t, shape_t]).unwrap();
         match match_term(&w.store, pattern, full) {
             MatchOutcome::Matched(sub) => {
-                prop_assert_eq!(sub.get(x), Some(subject_t));
+                assert_eq!(sub.get(x), Some(subject_t), "case {case}");
                 let rebuilt = sub.apply(&mut w.store, pattern);
-                prop_assert_eq!(rebuilt, full);
+                assert_eq!(rebuilt, full, "case {case}");
             }
-            MatchOutcome::Failed => prop_assert!(false, "pattern must match"),
+            MatchOutcome::Failed => panic!("case {case}: pattern must match"),
         }
     }
+}
 
-    /// Ground terms never match a strictly larger pattern.
-    #[test]
-    fn no_spurious_ground_matches(a in term_strategy()) {
+/// Ground terms never match a strictly larger pattern.
+#[test]
+fn no_spurious_ground_matches() {
+    let mut rng = SplitMix64::new(0xFEED);
+    for case in 0..200 {
+        let a = gen_term(&mut rng, 6);
         let mut w = world();
         let ta = build(&mut w, &a);
         let wrapped = w.store.app(w.f, &[ta]).unwrap();
         // f(a) as a pattern cannot match a itself unless a = f(a) (impossible).
-        prop_assert_eq!(match_term(&w.store, wrapped, ta), MatchOutcome::Failed);
-        prop_assert!(w.store.is_ground(ta));
+        assert_eq!(
+            match_term(&w.store, wrapped, ta),
+            MatchOutcome::Failed,
+            "case {case}"
+        );
+        assert!(w.store.is_ground(ta), "case {case}");
     }
 }

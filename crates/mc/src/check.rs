@@ -1,9 +1,12 @@
 //! Packaged TLS checks: bounded exhaustive verification à la Mitchell et
 //! al. (experiment E10).
 
-use crate::explorer::{explore, Exploration, Limits};
+use crate::explorer::{explore, Exploration, Limits, Monitor};
 use crate::model::TlsMachine;
 use equitls_tls::concrete::{props, Scope, State};
+
+/// An owned monitor predicate over concrete states.
+type BoxedPredicate = Box<dyn Fn(&State) -> bool>;
 
 /// Run every §5 monitor over the scope, breadth-first.
 ///
@@ -13,18 +16,17 @@ pub fn check_scope(scope: &Scope, limits: &Limits) -> Exploration<State> {
     let machine = TlsMachine::new(scope.clone());
     let scope2 = scope.clone();
     let monitors = props::monitors();
-    let boxed: Vec<(&str, Box<dyn Fn(&State) -> bool>)> = monitors
+    let boxed: Vec<(&str, BoxedPredicate)> = monitors
         .into_iter()
         .map(|(name, f, _expected)| {
             let scope = scope2.clone();
             (
                 name,
-                Box::new(move |s: &State| f(s, &scope)) as Box<dyn Fn(&State) -> bool>,
+                Box::new(move |s: &State| f(s, &scope)) as BoxedPredicate,
             )
         })
         .collect();
-    let refs: Vec<(&str, &dyn Fn(&State) -> bool)> =
-        boxed.iter().map(|(n, f)| (*n, f.as_ref() as _)).collect();
+    let refs: Vec<Monitor<'_, State>> = boxed.iter().map(|(n, f)| (*n, f.as_ref() as _)).collect();
     explore(&machine, &refs, limits)
 }
 

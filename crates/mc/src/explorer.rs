@@ -6,8 +6,13 @@
 //! every state, and reconstruct a labeled trace on violation.
 
 use crate::model::Model;
+use equitls_obs::sink::Obs;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// A named safety monitor: `(name, predicate)`. A violation is recorded
+/// the first time the predicate returns `false`.
+pub type Monitor<'a, S> = (&'a str, &'a dyn Fn(&S) -> bool);
 
 /// Exploration bounds.
 #[derive(Debug, Clone)]
@@ -51,6 +56,8 @@ pub struct Exploration<S> {
     pub violations: Vec<Violation<S>>,
     /// States visited per BFS level.
     pub states_per_depth: Vec<usize>,
+    /// Successor states that were already known (hash-table dedup hits).
+    pub dedup_hits: usize,
     /// Wall-clock time.
     pub duration: Duration,
 }
@@ -65,6 +72,28 @@ impl<S> Exploration<S> {
     pub fn violation(&self, property: &str) -> Option<&Violation<S>> {
         self.violations.iter().find(|v| v.property == property)
     }
+
+    /// Distinct states per wall-clock second (0 when the run was too fast
+    /// to time).
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of generated successors that were duplicates, in `[0, 1]`.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        // Every non-initial state was generated once; dedup hits are the rest.
+        let generated = self.dedup_hits + self.states.saturating_sub(1);
+        if generated == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / generated as f64
+        }
+    }
 }
 
 /// Explore `model` breadth-first, checking `monitors` in every state.
@@ -74,8 +103,19 @@ impl<S> Exploration<S> {
 /// violations of the other monitors).
 pub fn explore<M: Model>(
     model: &M,
-    monitors: &[(&str, &dyn Fn(&M::State) -> bool)],
+    monitors: &[Monitor<'_, M::State>],
     limits: &Limits,
+) -> Exploration<M::State> {
+    explore_with_obs(model, monitors, limits, &Obs::noop())
+}
+
+/// [`explore`] with an observability handle: emits a span per BFS level,
+/// frontier-size and dedup-rate gauges, and a final states/sec gauge.
+pub fn explore_with_obs<M: Model>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    obs: &Obs,
 ) -> Exploration<M::State> {
     let start = Instant::now();
     let initial = model.initial();
@@ -88,15 +128,16 @@ pub fn explore<M: Model>(
     let mut violations: Vec<Violation<M::State>> = Vec::new();
     let mut violated: Vec<String> = Vec::new();
     let mut states_per_depth = vec![1usize];
+    let mut dedup_hits = 0usize;
     let mut complete = true;
     let mut depth = 0;
 
     let check = |idx: usize,
-                     depth: usize,
-                     states: &[M::State],
-                     parents: &[(usize, String)],
-                     violations: &mut Vec<Violation<M::State>>,
-                     violated: &mut Vec<String>| {
+                 depth: usize,
+                 states: &[M::State],
+                 parents: &[(usize, String)],
+                 violations: &mut Vec<Violation<M::State>>,
+                 violated: &mut Vec<String>| {
         for (name, monitor) in monitors {
             if violated.iter().any(|v| v == name) {
                 continue;
@@ -125,6 +166,7 @@ pub fn explore<M: Model>(
 
     while !frontier.is_empty() && depth < limits.max_depth {
         depth += 1;
+        let _level = obs.span(&format!("mc.level:{depth}"));
         let mut next_frontier = Vec::new();
         for &idx in &frontier {
             if states.len() >= limits.max_states {
@@ -134,6 +176,7 @@ pub fn explore<M: Model>(
             let current = states[idx].clone();
             for (label, succ) in model.successors(&current) {
                 if index.contains_key(&succ) {
+                    dedup_hits += 1;
                     continue;
                 }
                 let new_idx = states.len();
@@ -156,19 +199,27 @@ pub fn explore<M: Model>(
             }
         }
         states_per_depth.push(next_frontier.len());
+        obs.gauge("mc.frontier", next_frontier.len() as f64);
+        obs.counter("mc.states", next_frontier.len() as u64);
         frontier = next_frontier;
     }
     if !frontier.is_empty() {
         complete = false;
     }
-    Exploration {
+    let result = Exploration {
         states: states.len(),
         depth_reached: depth,
         complete,
         violations,
         states_per_depth,
+        dedup_hits,
         duration: start.elapsed(),
+    };
+    if obs.enabled() {
+        obs.gauge("mc.states_per_sec", result.states_per_sec());
+        obs.gauge("mc.dedup_hit_rate", result.dedup_hit_rate());
     }
+    result
 }
 
 #[cfg(test)]
@@ -239,6 +290,45 @@ mod tests {
         assert_eq!(result.depth_reached, 2);
         assert!(!result.complete);
         assert_eq!(result.states_per_depth.len(), 3);
+    }
+
+    #[test]
+    fn counts_dedup_hits_and_rates() {
+        // Every "reset" successor re-reaches state 0, and every "inc"
+        // successor beyond the first visit of its target is a duplicate.
+        let result = explore(&Counter, &[], &Limits::default());
+        assert!(result.dedup_hits > 0);
+        let rate = result.dedup_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        // 6 distinct states, so generated = dedup_hits + 5.
+        assert_eq!(
+            (result.dedup_hits as f64 / (result.dedup_hits + 5) as f64).to_bits(),
+            rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn obs_variant_emits_levels_and_gauges() {
+        use equitls_obs::sink::{Obs, RecordingSink};
+        use equitls_obs::summary::MetricsSummary;
+        use std::sync::Arc;
+
+        let recorder = Arc::new(RecordingSink::new());
+        let obs = Obs::new(recorder.clone());
+        let result = explore_with_obs(&Counter, &[], &Limits::default(), &obs);
+        let summary = MetricsSummary::from_events(&recorder.events());
+        // One span per expanded BFS level.
+        let levels: usize = (1..=result.depth_reached)
+            .filter(|d| summary.span(&format!("mc.level:{d}")).is_some())
+            .count();
+        assert_eq!(levels, result.depth_reached);
+        assert_eq!(
+            summary.counter_total("mc.states") as usize,
+            result.states - 1,
+            "counter covers every non-initial state"
+        );
+        assert!(summary.gauge("mc.states_per_sec").is_some());
+        assert!(summary.gauge("mc.dedup_hit_rate").is_some());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The event vocabulary: spans, counters, gauges.
+//!
+//! Events deliberately carry owned strings: they are only constructed when
+//! a sink is enabled, so the hot-path cost of a disabled [`crate::Obs`]
+//! handle is one boolean test, not an allocation.
+
+use crate::json::JsonValue;
+use std::time::Duration;
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A named span was opened (nesting is implied by order).
+    SpanEnter {
+        /// Span name, e.g. `"prove:inv1"`.
+        name: String,
+    },
+    /// A named span was closed after `dur`.
+    SpanExit {
+        /// Span name (matches the corresponding [`Event::SpanEnter`]).
+        name: String,
+        /// Monotonic duration between enter and exit.
+        dur: Duration,
+    },
+    /// A monotone counter was incremented by `delta`.
+    Counter {
+        /// Counter name, e.g. `"rewrite.fires:cpms-kx"`.
+        name: String,
+        /// Increment (counters never decrease).
+        delta: u64,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        /// Gauge name, e.g. `"mc.frontier"`.
+        name: String,
+        /// The observed value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The event's name, whatever its kind.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::SpanEnter { name }
+            | Event::SpanExit { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. } => name,
+        }
+    }
+
+    /// The JSONL rendering of this event, stamped with `t_us`
+    /// (microseconds since the sink was created). One line, no newline.
+    pub fn to_json(&self, t_us: u128) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> =
+            vec![("t_us".into(), JsonValue::from_u128(t_us))];
+        match self {
+            Event::SpanEnter { name } => {
+                fields.push(("type".into(), JsonValue::String("span_enter".into())));
+                fields.push(("name".into(), JsonValue::String(name.clone())));
+            }
+            Event::SpanExit { name, dur } => {
+                fields.push(("type".into(), JsonValue::String("span_exit".into())));
+                fields.push(("name".into(), JsonValue::String(name.clone())));
+                fields.push(("dur_us".into(), JsonValue::from_u128(dur.as_micros())));
+            }
+            Event::Counter { name, delta } => {
+                fields.push(("type".into(), JsonValue::String("counter".into())));
+                fields.push(("name".into(), JsonValue::String(name.clone())));
+                fields.push(("delta".into(), JsonValue::from_u128(u128::from(*delta))));
+            }
+            Event::Gauge { name, value } => {
+                fields.push(("type".into(), JsonValue::String("gauge".into())));
+                fields.push(("name".into(), JsonValue::String(name.clone())));
+                fields.push(("value".into(), JsonValue::Number(*value)));
+            }
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn every_event_kind_renders_parseable_json() {
+        let events = [
+            Event::SpanEnter { name: "a".into() },
+            Event::SpanExit {
+                name: "a \"quoted\"".into(),
+                dur: Duration::from_micros(17),
+            },
+            Event::Counter {
+                name: "c\n".into(),
+                delta: 3,
+            },
+            Event::Gauge {
+                name: "g".into(),
+                value: 0.25,
+            },
+        ];
+        for e in &events {
+            let line = e.to_json(42).to_string();
+            let parsed = json::parse(&line).expect("line parses");
+            assert_eq!(parsed.get("t_us").and_then(JsonValue::as_f64), Some(42.0));
+            assert_eq!(
+                parsed.get("name").and_then(JsonValue::as_str),
+                Some(e.name())
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # equitls-obs
+//!
+//! A **std-only, zero-external-dependency** tracing and metrics substrate
+//! for the EquiTLS stack.
+//!
+//! The paper's headline claim — 18 invariants verified in about a week of
+//! human effort (§1, §7) — becomes measurable by machine once every layer
+//! reports what it did: per-rule rewrite counts, case-split trees,
+//! exploration rates, wall-clock breakdowns (experiment E9 in
+//! EXPERIMENTS.md). This crate is the substrate those reports flow
+//! through:
+//!
+//! * [`event`] — the event vocabulary: spans (enter/exit with monotonic
+//!   timing), counters, and gauges;
+//! * [`sink`] — the [`EventSink`] trait and its implementations: a no-op
+//!   sink that compiles to a single boolean test on hot paths, an
+//!   in-memory recording sink for tests, a JSONL writer sink for traces,
+//!   and a tee combinator;
+//! * [`json`] — hand-rolled JSON escaping, rendering, and a small parser
+//!   (used to validate trace round-trips) — no serde;
+//! * [`summary`] — plain-text table rendering and an event aggregator
+//!   ([`summary::MetricsSummary`]) for human-readable reports;
+//! * [`rng`] — a deterministic SplitMix64 generator so benchmarks and
+//!   property tests need no external `rand`.
+//!
+//! # Example
+//!
+//! ```
+//! use equitls_obs::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(RecordingSink::new());
+//! let obs = Obs::new(recorder.clone());
+//! {
+//!     let _span = obs.span("work");
+//!     obs.counter("items", 3);
+//!     obs.gauge("queue.len", 7.0);
+//! }
+//! let events = recorder.events();
+//! assert_eq!(events.len(), 4); // enter, counter, gauge, exit
+//! let summary = MetricsSummary::from_events(&events);
+//! assert_eq!(summary.counter_total("items"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod rng;
+pub mod sink;
+pub mod summary;
+
+pub use event::Event;
+pub use sink::{EventSink, JsonlSink, NoopSink, Obs, RecordingSink, SpanGuard, TeeSink};
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::event::Event;
+    pub use crate::json::JsonValue;
+    pub use crate::rng::SplitMix64;
+    pub use crate::sink::{EventSink, JsonlSink, NoopSink, Obs, RecordingSink, SpanGuard, TeeSink};
+    pub use crate::summary::{MetricsSummary, Table};
+}

@@ -1,0 +1,327 @@
+//! Event sinks and the [`Obs`] handle instrumented code holds.
+//!
+//! The design goal is that a disabled handle costs one boolean test per
+//! call site: [`Obs`] caches `sink.enabled()` at construction, so hot
+//! paths (the rewrite engine's inner loop) pay nothing measurable when
+//! tracing is off.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A destination for observability events.
+///
+/// Implementations must be cheap to call and internally synchronized:
+/// instrumented components clone [`Obs`] handles freely.
+pub trait EventSink: Send + Sync {
+    /// Whether callers should bother constructing events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&self, event: &Event);
+
+    /// Flush buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// The sink that ignores everything; [`EventSink::enabled`] is `false`, so
+/// instrumented code skips event construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// An in-memory sink for tests and summaries.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// A snapshot of everything recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recording sink poisoned").clone()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("recording sink poisoned").clear();
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("recording sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// A sink that writes one JSON object per event, newline-delimited
+/// (JSONL). Events are stamped with `t_us`, microseconds since the sink
+/// was created. See README.md for the schema.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+}
+
+impl JsonlSink {
+    /// Wrap any writer (a `File`, a `Vec<u8>` in tests, …).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+            start: Instant::now(),
+        }
+    }
+
+    /// Open (create/truncate) `path` and write events to it, buffered.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from file creation.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let t_us = self.start.elapsed().as_micros();
+        let line = event.to_json(t_us).to_string();
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Trace writing is best-effort: a full disk must not abort a proof.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Fan out events to several sinks (e.g. a JSONL trace *and* an in-memory
+/// recorder for the end-of-run summary).
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// Combine `sinks`; the tee is enabled if any member is.
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// The handle instrumented components hold.
+///
+/// Cloning is cheap (one `Arc` clone plus a copied boolean). The default
+/// handle is the no-op sink.
+#[derive(Clone)]
+pub struct Obs {
+    sink: Arc<dyn EventSink>,
+    on: bool,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::noop()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("enabled", &self.on).finish()
+    }
+}
+
+impl Obs {
+    /// A handle over the no-op sink (hot paths pay one boolean test).
+    pub fn noop() -> Self {
+        Obs {
+            sink: Arc::new(NoopSink),
+            on: false,
+        }
+    }
+
+    /// A handle over `sink`.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        let on = sink.enabled();
+        Obs { sink, on }
+    }
+
+    /// Whether events will actually be recorded. Instrumented code should
+    /// test this before building expensive event payloads.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Record a counter increment.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if self.on {
+            self.sink.record(&Event::Counter {
+                name: name.to_string(),
+                delta,
+            });
+        }
+    }
+
+    /// Record a gauge observation.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.on {
+            self.sink.record(&Event::Gauge {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Open a span; the returned guard records the exit (with monotonic
+    /// duration) when dropped. Disabled handles return an inert guard.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if self.on {
+            self.sink.record(&Event::SpanEnter {
+                name: name.to_string(),
+            });
+            SpanGuard {
+                active: Some((self.sink.clone(), name.to_string(), Instant::now())),
+            }
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+/// RAII guard for a span opened with [`Obs::span`].
+pub struct SpanGuard {
+    active: Option<(Arc<dyn EventSink>, String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((sink, name, start)) = self.active.take() {
+            sink.record(&Event::SpanExit {
+                name,
+                dur: start.elapsed(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn noop_handle_is_disabled_and_silent() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.counter("x", 1);
+        obs.gauge("y", 2.0);
+        let _span = obs.span("z");
+    }
+
+    #[test]
+    fn recording_sink_preserves_order_and_nesting() {
+        let recorder = Arc::new(RecordingSink::new());
+        let obs = Obs::new(recorder.clone());
+        {
+            let _outer = obs.span("outer");
+            obs.counter("ticks", 2);
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        let names: Vec<String> = recorder.events().iter().map(|e| e.name().into()).collect();
+        assert_eq!(names, ["outer", "ticks", "inner", "inner", "outer"]);
+        let kinds: Vec<bool> = recorder
+            .events()
+            .iter()
+            .map(|e| matches!(e, Event::SpanExit { .. }))
+            .collect();
+        assert_eq!(kinds, [false, false, false, true, true]);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_valid_object_per_line() {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buffer.clone())));
+        let obs = Obs::new(Arc::new(sink));
+        {
+            let _span = obs.span("s");
+            obs.counter("c", 1);
+        }
+        obs.flush();
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            json::parse(line).expect("every line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn tee_fans_out_to_enabled_members() {
+        let a = Arc::new(RecordingSink::new());
+        let b = Arc::new(RecordingSink::new());
+        let tee = TeeSink::new(vec![a.clone(), Arc::new(NoopSink), b.clone()]);
+        let obs = Obs::new(Arc::new(tee));
+        obs.counter("n", 7);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

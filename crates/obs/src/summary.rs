@@ -1,0 +1,275 @@
+//! Human-readable summaries: plain-text tables and an event aggregator.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Column alignment for [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A minimal monospace table renderer.
+///
+/// ```
+/// use equitls_obs::summary::{Align, Table};
+/// let mut t = Table::new(&["rule", "fires"], &[Align::Left, Align::Right]);
+/// t.row(vec!["cpms-kx".into(), "120".into()]);
+/// assert!(t.render().contains("cpms-kx"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with `headers`; `aligns` must have the same length.
+    pub fn new(headers: &[&str], aligns: &[Align]) -> Self {
+        assert_eq!(headers.len(), aligns.len(), "one alignment per column");
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: aligns.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (short rows are padded with empty cells).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a header rule, two-space column gutters.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < cols {
+                            out.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Sum of durations.
+    pub total: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+/// Counters, gauges, and span timings folded out of an event stream.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSummary {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanAgg>,
+}
+
+impl MetricsSummary {
+    /// Fold `events` (typically from a
+    /// [`crate::sink::RecordingSink`]) into totals. Gauges keep their last
+    /// observed value.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = MetricsSummary::default();
+        for event in events {
+            match event {
+                Event::Counter { name, delta } => {
+                    *s.counters.entry(name.clone()).or_insert(0) += delta;
+                }
+                Event::Gauge { name, value } => {
+                    s.gauges.insert(name.clone(), *value);
+                }
+                Event::SpanExit { name, dur } => {
+                    let agg = s.spans.entry(name.clone()).or_default();
+                    agg.count += 1;
+                    agg.total += *dur;
+                    agg.max = agg.max.max(*dur);
+                }
+                Event::SpanEnter { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Total for counter `name` (0 when never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last observed value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Aggregated timing for span `name`.
+    pub fn span(&self, name: &str) -> Option<SpanAgg> {
+        self.spans.get(name).copied()
+    }
+
+    /// All counters whose name starts with `prefix`, as
+    /// `(suffix, total)` pairs sorted by total, largest first.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(prefix).map(|s| (s.to_string(), *v)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// All span aggregates, sorted by total time, largest first.
+    pub fn spans_by_total(&self) -> Vec<(String, SpanAgg)> {
+        let mut out: Vec<(String, SpanAgg)> =
+            self.spans.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| b.1.total.cmp(&a.1.total).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Render all span timings as a table, longest first.
+    pub fn render_span_table(&self) -> String {
+        let mut table = Table::new(
+            &["span", "count", "total", "max"],
+            &[Align::Left, Align::Right, Align::Right, Align::Right],
+        );
+        for (name, agg) in self.spans_by_total() {
+            table.row(vec![
+                name,
+                agg.count.to_string(),
+                format!("{:.2?}", agg.total),
+                format!("{:.2?}", agg.max),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_folds_counters_gauges_and_spans() {
+        let events = vec![
+            Event::Counter {
+                name: "rewrites".into(),
+                delta: 3,
+            },
+            Event::Counter {
+                name: "rewrites".into(),
+                delta: 4,
+            },
+            Event::Gauge {
+                name: "frontier".into(),
+                value: 10.0,
+            },
+            Event::Gauge {
+                name: "frontier".into(),
+                value: 4.0,
+            },
+            Event::SpanEnter { name: "p".into() },
+            Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(5),
+            },
+            Event::SpanEnter { name: "p".into() },
+            Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(3),
+            },
+        ];
+        let s = MetricsSummary::from_events(&events);
+        assert_eq!(s.counter_total("rewrites"), 7);
+        assert_eq!(s.gauge("frontier"), Some(4.0));
+        let agg = s.span("p").unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total, Duration::from_millis(8));
+        assert_eq!(agg.max, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn prefix_query_sorts_by_total_descending() {
+        let events = vec![
+            Event::Counter {
+                name: "rule.fires:a".into(),
+                delta: 1,
+            },
+            Event::Counter {
+                name: "rule.fires:b".into(),
+                delta: 9,
+            },
+            Event::Counter {
+                name: "other".into(),
+                delta: 100,
+            },
+        ];
+        let s = MetricsSummary::from_events(&events);
+        assert_eq!(
+            s.counters_with_prefix("rule.fires:"),
+            vec![("b".to_string(), 9), ("a".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "n"], &[Align::Left, Align::Right]);
+        t.row(vec!["long-name".into(), "7".into()]);
+        t.row(vec!["x".into(), "1234".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("long-name"));
+        assert!(lines[3].ends_with("1234"));
+    }
+}

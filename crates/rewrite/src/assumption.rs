@@ -54,11 +54,7 @@ pub fn is_value(store: &TermStore, t: TermId) -> bool {
     if !store.is_constructor_headed(t) {
         return false;
     }
-    store
-        .args(t)
-        .to_vec()
-        .iter()
-        .all(|&a| is_value(store, a))
+    store.args(t).to_vec().iter().all(|&a| is_value(store, a))
 }
 
 fn occurs_in(store: &TermStore, needle: TermId, hay: TermId) -> bool {
@@ -154,9 +150,16 @@ mod tests {
         let prin = sig.add_visible_sort("Principal").unwrap();
         let secret = sig.add_visible_sort("Secret").unwrap();
         let pms_sort = sig.add_visible_sort("Pms").unwrap();
-        let intruder_op = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
+        let intruder_op = sig
+            .add_constant("intruder", prin, OpAttrs::constructor())
+            .unwrap();
         let pms = sig
-            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .add_op(
+                "pms",
+                &[prin, prin, secret],
+                pms_sort,
+                OpAttrs::constructor(),
+            )
             .unwrap();
         let mut store = TermStore::new(sig);
         let intruder = store.constant(intruder_op);

@@ -12,13 +12,12 @@
 //! compares principals, messages, pre-master secrets and more.
 
 use equitls_kernel::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Handle to the `BOOL` vocabulary inside a signature.
 ///
 /// Cheap to clone; the engine and the prover both carry one.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BoolAlg {
     sort: SortId,
     tt: OpId,
@@ -300,7 +299,12 @@ impl BoolAlg {
     ///
     /// [`KernelError::SortMismatch`]-style errors when the sides disagree in
     /// sort.
-    pub fn eq(&mut self, store: &mut TermStore, a: TermId, b: TermId) -> Result<TermId, KernelError> {
+    pub fn eq(
+        &mut self,
+        store: &mut TermStore,
+        a: TermId,
+        b: TermId,
+    ) -> Result<TermId, KernelError> {
         let sort = store.sort_of(a);
         let op = {
             let sig = store.signature_mut();

@@ -187,15 +187,20 @@ impl Poly {
         }
         // Balanced xor tree: keeps later traversals at logarithmic depth
         // even for polynomials with thousands of monomials.
-        balanced(store, alg, &mono_terms, &|store, alg, a, b| alg.xor(store, a, b))
+        balanced(store, alg, &mono_terms, &|store, alg, a, b| {
+            alg.xor(store, a, b)
+        })
     }
 }
+
+/// A binary term constructor used to fold monomials into a tree.
+type Combine = dyn Fn(&mut TermStore, &BoolAlg, TermId, TermId) -> Result<TermId, KernelError>;
 
 fn balanced(
     store: &mut TermStore,
     alg: &BoolAlg,
     terms: &[TermId],
-    combine: &dyn Fn(&mut TermStore, &BoolAlg, TermId, TermId) -> Result<TermId, KernelError>,
+    combine: &Combine,
 ) -> Result<TermId, KernelError> {
     match terms.len() {
         0 => unreachable!("constant polynomials are handled by the caller"),
@@ -265,7 +270,10 @@ mod tests {
         let (mut store, alg, p, ..) = atoms3();
         let a = Poly::atom(p);
         assert_eq!(a.to_term(&mut store, &alg).unwrap(), p);
-        assert_eq!(Poly::one().to_term(&mut store, &alg).unwrap(), alg.tt(&mut store));
+        assert_eq!(
+            Poly::one().to_term(&mut store, &alg).unwrap(),
+            alg.tt(&mut store)
+        );
         assert_eq!(
             Poly::zero().to_term(&mut store, &alg).unwrap(),
             alg.ff(&mut store)

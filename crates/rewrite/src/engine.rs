@@ -32,7 +32,10 @@ use crate::rule::RuleSet;
 use equitls_kernel::matching::{match_term, MatchOutcome};
 use equitls_kernel::prelude::*;
 use equitls_kernel::term::Term;
+use equitls_obs::sink::Obs;
 use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Counters describing one normalizer's work so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,6 +44,8 @@ pub struct RewriteStats {
     pub rewrites: u64,
     /// Memoization hits.
     pub cache_hits: u64,
+    /// Memoization misses (full normalizations).
+    pub cache_misses: u64,
     /// Boolean-ring normal form computations.
     pub bool_normalizations: u64,
     /// Free-constructor equality decisions.
@@ -55,11 +60,63 @@ impl RewriteStats {
         RewriteStats {
             rewrites: self.rewrites + other.rewrites,
             cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
             bool_normalizations: self.bool_normalizations + other.bool_normalizations,
             eq_decisions: self.eq_decisions + other.eq_decisions,
             blocked_conditions: self.blocked_conditions + other.blocked_conditions,
         }
     }
+
+    /// Fraction of memo-cache lookups that hit, in `[0, 1]` (0 before any
+    /// lookup happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for RewriteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rewrites, cache {}/{} ({:.1}% hit), {} bool normalizations, \
+             {} eq decisions, {} blocked conditions",
+            self.rewrites,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.bool_normalizations,
+            self.eq_decisions,
+            self.blocked_conditions,
+        )
+    }
+}
+
+/// Per-rule profile: how often a named rule was tried, failed to match,
+/// fired, or blocked, and the cumulative time spent on it. Collected only
+/// when [`Normalizer::set_profiling`] is on.
+///
+/// `time` is inclusive: it covers matching *and* normalizing the rule's
+/// condition (which may recursively rewrite), so it measures what the rule
+/// actually costs the engine, not just its pattern match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// The rule's label.
+    pub label: String,
+    /// Times the rule was a head-indexed candidate.
+    pub attempts: u64,
+    /// Times its left-hand side failed to match.
+    pub failures: u64,
+    /// Times it rewrote the subject.
+    pub fires: u64,
+    /// Times its condition stayed undecided.
+    pub blocked: u64,
+    /// Cumulative time spent matching and deciding conditions.
+    pub time: Duration,
 }
 
 /// Default fuel budget per top-level [`Normalizer::normalize`] call.
@@ -83,6 +140,9 @@ pub struct Normalizer {
     depth: u32,
     max_depth: u32,
     infeasible: bool,
+    obs: Obs,
+    profiling: bool,
+    profiles: HashMap<String, RuleProfile>,
 }
 
 /// Default recursion depth bound (guards the stack before fuel runs out).
@@ -110,12 +170,99 @@ impl Normalizer {
             depth: 0,
             max_depth: DEFAULT_MAX_DEPTH,
             infeasible: false,
+            obs: Obs::noop(),
+            profiling: false,
+            profiles: HashMap::new(),
         }
     }
 
     /// Override the per-call fuel budget.
     pub fn set_fuel_limit(&mut self, fuel: u64) {
         self.fuel_limit = fuel;
+    }
+
+    /// Attach an observability handle; counters and gauges flow to its
+    /// sink. The default handle is the no-op sink, which costs one boolean
+    /// test per instrumented site.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Toggle per-rule profiling (see [`RuleProfile`]). Off by default:
+    /// profiling clones rule labels and reads the monotonic clock on every
+    /// candidate attempt, which costs a few percent on hot proofs.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// The per-rule profiles collected so far, hottest (most cumulative
+    /// time, then most fires) first. Empty unless
+    /// [`Normalizer::set_profiling`] was turned on.
+    pub fn rule_profiles(&self) -> Vec<RuleProfile> {
+        let mut out: Vec<RuleProfile> = self.profiles.values().cloned().collect();
+        out.sort_by(|a, b| {
+            b.time
+                .cmp(&a.time)
+                .then_with(|| b.fires.cmp(&a.fires))
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        out
+    }
+
+    /// Emit the collected per-rule profiles and engine gauges as
+    /// observability events (`rule.fires:<label>`, `rule.time_us:<label>`,
+    /// `rule.attempts:<label>`, plus cache hit-rate and fuel gauges), then
+    /// clear the profiles. A no-op when the handle is disabled.
+    pub fn emit_profile(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for p in self.profiles.values() {
+            self.obs
+                .counter(&format!("rule.attempts:{}", p.label), p.attempts);
+            self.obs
+                .counter(&format!("rule.fires:{}", p.label), p.fires);
+            self.obs.counter(
+                &format!("rule.time_us:{}", p.label),
+                p.time.as_micros() as u64,
+            );
+        }
+        self.profiles.clear();
+        self.obs
+            .gauge("rewrite.cache_hit_rate", self.stats.cache_hit_rate());
+        self.obs.gauge("rewrite.fuel_remaining", self.fuel as f64);
+        self.obs.counter("rewrite.rewrites", self.stats.rewrites);
+    }
+
+    /// Fold another normalizer's counters and per-rule profiles into this
+    /// one. The prover explores case splits on clones; resetting each
+    /// clone's stats at the branch point and absorbing it afterwards gives
+    /// the root normalizer exact whole-obligation totals without double
+    /// counting.
+    pub fn absorb(&mut self, other: &Normalizer) {
+        self.stats = self.stats.merged(other.stats);
+        for (label, p) in &other.profiles {
+            let entry = self
+                .profiles
+                .entry(label.clone())
+                .or_insert_with(|| RuleProfile {
+                    label: label.clone(),
+                    ..RuleProfile::default()
+                });
+            entry.attempts += p.attempts;
+            entry.failures += p.failures;
+            entry.fires += p.fires;
+            entry.blocked += p.blocked;
+            entry.time += p.time;
+        }
+    }
+
+    /// Reset the statistics counters (and per-rule profiles) to zero,
+    /// e.g. between proof obligations so each [`RewriteStats`] snapshot
+    /// covers exactly one obligation.
+    pub fn reset_stats(&mut self) {
+        self.stats = RewriteStats::default();
+        self.profiles.clear();
     }
 
     /// Override the recursion-depth bound (see [`DEFAULT_MAX_DEPTH`]).
@@ -151,8 +298,7 @@ impl Normalizer {
         lhs: TermId,
         rhs: TermId,
     ) -> Result<(), RewriteError> {
-        self.assumptions
-            .add(store, label, lhs, rhs, None, None)?;
+        self.assumptions.add(store, label, lhs, rhs, None, None)?;
         self.cache.clear();
         Ok(())
     }
@@ -323,14 +469,23 @@ impl Normalizer {
                 reason: "term is not Bool-sorted".into(),
             });
         }
-        self.to_poly(store, n)
+        self.poly_of(store, n)
+    }
+
+    /// Build the enriched fuel/depth-exhaustion error: the offending term,
+    /// the budget, and a snapshot of the engine counters, so a divergence
+    /// report is actionable without re-running under a debugger.
+    fn exhausted(&self, store: &TermStore, t: TermId) -> RewriteError {
+        RewriteError::FuelExhausted {
+            term: store.display(t).to_string(),
+            fuel_limit: self.fuel_limit,
+            stats: self.stats.to_string(),
+        }
     }
 
     fn consume_fuel(&mut self, store: &TermStore, t: TermId) -> Result<(), RewriteError> {
         if self.fuel == 0 {
-            return Err(RewriteError::FuelExhausted {
-                term: store.display(t).to_string(),
-            });
+            return Err(self.exhausted(store, t));
         }
         self.fuel -= 1;
         Ok(())
@@ -341,12 +496,11 @@ impl Normalizer {
             self.stats.cache_hits += 1;
             return Ok(r);
         }
+        self.stats.cache_misses += 1;
         self.depth += 1;
         if self.depth > self.max_depth {
             self.depth -= 1;
-            return Err(RewriteError::FuelExhausted {
-                term: store.display(t).to_string(),
-            });
+            return Err(self.exhausted(store, t));
         }
         let result = self.norm_uncached(store, t);
         self.depth -= 1;
@@ -380,7 +534,7 @@ impl Normalizer {
         let op_now = store.op_of(cur).expect("application");
         if self.is_connective(op_now) || self.alg.is_eq_op(op_now) {
             self.stats.bool_normalizations += 1;
-            let poly = self.to_poly(store, cur)?;
+            let poly = self.poly_of(store, cur)?;
             let rebuilt = poly.to_term(store, &self.alg)?;
             // Assumptions may target the canonical form itself (the prover
             // assumes whole effective conditions false): give the rules one
@@ -413,30 +567,47 @@ impl Normalizer {
             Some(op) => op,
             None => return Ok(None),
         };
-        let candidates: Vec<(TermId, TermId, Option<TermId>)> = self
+        // Labels are cloned into the candidate list only when profiling:
+        // the common (unprofiled) path must stay allocation-light.
+        let profiling = self.profiling;
+        let candidates: Vec<(TermId, TermId, Option<TermId>, Option<String>)> = self
             .assumptions
             .candidates(op)
             .chain(self.rules.candidates(op))
-            .map(|r| (r.lhs, r.rhs, r.cond))
+            .map(|r| (r.lhs, r.rhs, r.cond, profiling.then(|| r.label.clone())))
             .collect();
-        for (lhs, rhs, cond) in candidates {
+        for (lhs, rhs, cond, label) in candidates {
+            let started = label.as_ref().map(|_| Instant::now());
             let subst = match match_term(store, lhs, t) {
                 MatchOutcome::Matched(s) => s,
-                MatchOutcome::Failed => continue,
+                MatchOutcome::Failed => {
+                    self.profile(label, started, |p| p.failures += 1);
+                    continue;
+                }
             };
             match cond {
-                None => return Ok(Some(subst.apply(store, rhs))),
+                None => {
+                    self.profile(label, started, |p| p.fires += 1);
+                    return Ok(Some(subst.apply(store, rhs)));
+                }
                 Some(c) => {
                     let inst = subst.apply(store, c);
                     let nc = self.norm(store, inst)?;
                     match self.alg.as_constant(store, nc) {
-                        Some(true) => return Ok(Some(subst.apply(store, rhs))),
-                        Some(false) => continue,
+                        Some(true) => {
+                            self.profile(label, started, |p| p.fires += 1);
+                            return Ok(Some(subst.apply(store, rhs)));
+                        }
+                        Some(false) => {
+                            self.profile(label, started, |p| p.failures += 1);
+                            continue;
+                        }
                         None => {
                             self.stats.blocked_conditions += 1;
                             if !self.blocked.contains(&nc) {
                                 self.blocked.push(nc);
                             }
+                            self.profile(label, started, |p| p.blocked += 1);
                             continue;
                         }
                     }
@@ -444,6 +615,29 @@ impl Normalizer {
             }
         }
         Ok(None)
+    }
+
+    /// Record one candidate attempt against rule `label` (no-op when
+    /// profiling is off, signalled by `label == None`).
+    fn profile(
+        &mut self,
+        label: Option<String>,
+        started: Option<Instant>,
+        update: impl FnOnce(&mut RuleProfile),
+    ) {
+        let (Some(label), Some(started)) = (label, started) else {
+            return;
+        };
+        let entry = self
+            .profiles
+            .entry(label.clone())
+            .or_insert_with(|| RuleProfile {
+                label,
+                ..RuleProfile::default()
+            });
+        entry.attempts += 1;
+        entry.time += started.elapsed();
+        update(entry);
     }
 
     fn is_connective(&self, op: OpId) -> bool {
@@ -459,7 +653,7 @@ impl Normalizer {
     }
 
     /// Convert an argument-normalized Bool term to its polynomial.
-    fn to_poly(&mut self, store: &mut TermStore, t: TermId) -> Result<Poly, RewriteError> {
+    fn poly_of(&mut self, store: &mut TermStore, t: TermId) -> Result<Poly, RewriteError> {
         self.consume_fuel(store, t)?;
         let op = match store.op_of(t) {
             Some(op) => op,
@@ -473,45 +667,45 @@ impl Normalizer {
             return Ok(Poly::zero());
         }
         if op == self.alg.not_op() {
-            return Ok(self.to_poly(store, args[0])?.negate());
+            return Ok(self.poly_of(store, args[0])?.negate());
         }
         if op == self.alg.and_op() {
-            let a = self.to_poly(store, args[0])?;
-            let b = self.to_poly(store, args[1])?;
+            let a = self.poly_of(store, args[0])?;
+            let b = self.poly_of(store, args[1])?;
             return Ok(a.mul(&b));
         }
         if op == self.alg.or_op() {
-            let a = self.to_poly(store, args[0])?;
-            let b = self.to_poly(store, args[1])?;
+            let a = self.poly_of(store, args[0])?;
+            let b = self.poly_of(store, args[1])?;
             return Ok(a.add(&b).add(&a.mul(&b)));
         }
         if op == self.alg.xor_op() {
-            let a = self.to_poly(store, args[0])?;
-            let b = self.to_poly(store, args[1])?;
+            let a = self.poly_of(store, args[0])?;
+            let b = self.poly_of(store, args[1])?;
             return Ok(a.add(&b));
         }
         if op == self.alg.implies_op() {
-            let a = self.to_poly(store, args[0])?;
-            let b = self.to_poly(store, args[1])?;
+            let a = self.poly_of(store, args[0])?;
+            let b = self.poly_of(store, args[1])?;
             return Ok(Poly::one().add(&a).add(&a.mul(&b)));
         }
         if op == self.alg.iff_op() {
-            let a = self.to_poly(store, args[0])?;
-            let b = self.to_poly(store, args[1])?;
+            let a = self.poly_of(store, args[0])?;
+            let b = self.poly_of(store, args[1])?;
             return Ok(Poly::one().add(&a).add(&b));
         }
         if op == self.alg.ite_op() {
-            let c = self.to_poly(store, args[0])?;
-            let x = self.to_poly(store, args[1])?;
-            let y = self.to_poly(store, args[2])?;
+            let c = self.poly_of(store, args[0])?;
+            let x = self.poly_of(store, args[1])?;
+            let y = self.poly_of(store, args[2])?;
             return Ok(c.mul(&x).add(&c.mul(&y)).add(&y));
         }
         if self.alg.is_eq_op(op) {
             let (l, r) = (args[0], args[1]);
             if store.sort_of(l) == self.alg.sort() {
                 // Equality on Bool is iff.
-                let a = self.to_poly(store, l)?;
-                let b = self.to_poly(store, r)?;
+                let a = self.poly_of(store, l)?;
+                let b = self.poly_of(store, r)?;
                 return Ok(Poly::one().add(&a).add(&b));
             }
             self.stats.eq_decisions += 1;
@@ -545,7 +739,7 @@ impl Normalizer {
             if let Some(b) = self.alg.as_constant(store, n) {
                 return Ok(Poly::constant(b));
             }
-            return self.to_poly(store, n);
+            return self.poly_of(store, n);
         }
         Ok(Poly::atom(atom))
     }
@@ -766,9 +960,16 @@ mod tests {
         let prin = sig.add_visible_sort("Principal").unwrap();
         let secret = sig.add_visible_sort("Secret").unwrap();
         let pms_sort = sig.add_visible_sort("Pms").unwrap();
-        let intruder = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
+        let intruder = sig
+            .add_constant("intruder", prin, OpAttrs::constructor())
+            .unwrap();
         let pms = sig
-            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .add_op(
+                "pms",
+                &[prin, prin, secret],
+                pms_sort,
+                OpAttrs::constructor(),
+            )
             .unwrap();
         let mut store = TermStore::new(sig);
         let a = store.fresh_constant("a", prin);
@@ -799,7 +1000,9 @@ mod tests {
         let alg = BoolAlg::install(&mut sig).unwrap();
         let s = sig.add_visible_sort("S").unwrap();
         let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
-        let p = sig.add_op("p", &[s], alg.sort(), OpAttrs::defined()).unwrap();
+        let p = sig
+            .add_op("p", &[s], alg.sort(), OpAttrs::defined())
+            .unwrap();
         let mut store = TermStore::new(sig);
         let e = store.fresh_constant("e", s);
         let cv = store.constant(c);
@@ -836,6 +1039,128 @@ mod tests {
         norm.assume(&store, "f=d", f, dv).unwrap();
         norm.refresh_assumptions(&mut store).unwrap();
         assert!(norm.is_infeasible());
+    }
+
+    #[test]
+    fn fuel_error_carries_limit_and_stats_snapshot() {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::defined()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let fc = store.app(f, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "loop", cv, fc, None, None).unwrap();
+        let mut norm = Normalizer::new(alg, rules);
+        norm.set_fuel_limit(64);
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::FuelExhausted {
+                term,
+                fuel_limit,
+                stats,
+            } => {
+                assert!(!term.is_empty());
+                assert_eq!(fuel_limit, 64);
+                assert!(stats.contains("rewrites"), "snapshot: {stats}");
+            }
+            other => panic!("expected FuelExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_hits_and_misses() {
+        let mut w = bool_world();
+        let p = w.store.fresh_constant("p", w.alg.sort());
+        let q = w.store.fresh_constant("q", w.alg.sort());
+        let pq = w.alg.and(&mut w.store, p, q).unwrap();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        assert_eq!(norm.stats().cache_hit_rate(), 0.0, "no lookups yet");
+        norm.normalize(&mut w.store, pq).unwrap();
+        let first = norm.stats();
+        assert!(first.cache_misses > 0);
+        // Second pass over the same term is a single cache hit.
+        norm.normalize(&mut w.store, pq).unwrap();
+        let second = norm.stats();
+        assert_eq!(second.cache_misses, first.cache_misses);
+        assert!(second.cache_hits > first.cache_hits);
+        assert!(second.cache_hit_rate() > first.cache_hit_rate());
+        assert!(second.cache_hit_rate() <= 1.0);
+        norm.reset_stats();
+        assert_eq!(norm.stats(), RewriteStats::default());
+    }
+
+    #[test]
+    fn profiling_attributes_fires_and_failures_per_rule() {
+        // f(c) -> d fires; g(d) -> c is attempted (same head g) but the
+        // subject is g(c), so it fails to match.
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let g = sig.add_op("g", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let fc = store.app(f, &[cv]).unwrap();
+        let gd = store.app(g, &[dv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "f-rule", fc, dv, None, None).unwrap();
+        rules.add(&store, "g-rule", gd, cv, None, None).unwrap();
+        let mut norm = Normalizer::new(alg, rules);
+        norm.set_profiling(true);
+        // g(f(c)) → g(d) → c : f-rule fires once, g-rule fires once.
+        let gfc = store.app(g, &[fc]).unwrap();
+        assert_eq!(norm.normalize(&mut store, gfc).unwrap(), cv);
+        let profiles = norm.rule_profiles();
+        let by_label = |l: &str| profiles.iter().find(|p| p.label == l).unwrap().clone();
+        let f_prof = by_label("f-rule");
+        let g_prof = by_label("g-rule");
+        assert_eq!(f_prof.fires, 1);
+        assert_eq!(g_prof.fires, 1);
+        assert!(g_prof.attempts >= g_prof.fires);
+        assert_eq!(
+            f_prof.attempts,
+            f_prof.fires + f_prof.failures + f_prof.blocked
+        );
+        // Profiling off: no profiles collected.
+        let mut quiet = Normalizer::new(norm.bool_alg().clone(), norm.rules().clone());
+        let gfc2 = store.app(g, &[fc]).unwrap();
+        quiet.normalize(&mut store, gfc2).unwrap();
+        assert!(quiet.rule_profiles().is_empty());
+    }
+
+    #[test]
+    fn emit_profile_sends_counters_and_gauges() {
+        use equitls_obs::sink::{Obs, RecordingSink};
+        use equitls_obs::summary::MetricsSummary;
+        use std::sync::Arc;
+
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let fc = store.app(f, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "f-rule", fc, dv, None, None).unwrap();
+        let recorder = Arc::new(RecordingSink::new());
+        let mut norm = Normalizer::new(alg, rules);
+        norm.set_obs(Obs::new(recorder.clone()));
+        norm.set_profiling(true);
+        norm.normalize(&mut store, fc).unwrap();
+        norm.emit_profile();
+        let summary = MetricsSummary::from_events(&recorder.events());
+        assert_eq!(summary.counter_total("rule.fires:f-rule"), 1);
+        assert!(summary.gauge("rewrite.cache_hit_rate").is_some());
+        assert!(summary.gauge("rewrite.fuel_remaining").is_some());
     }
 
     #[test]

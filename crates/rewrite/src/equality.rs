@@ -146,11 +146,22 @@ mod tests {
         let prin = sig.add_visible_sort("Principal").unwrap();
         let secret = sig.add_visible_sort("Secret").unwrap();
         let pms_sort = sig.add_visible_sort("Pms").unwrap();
-        let intruder_op = sig.add_constant("intruder", prin, OpAttrs::constructor()).unwrap();
-        let ca_op = sig.add_constant("ca", prin, OpAttrs::constructor()).unwrap();
-        let s0_op = sig.add_constant("s0", secret, OpAttrs::constructor()).unwrap();
+        let intruder_op = sig
+            .add_constant("intruder", prin, OpAttrs::constructor())
+            .unwrap();
+        let ca_op = sig
+            .add_constant("ca", prin, OpAttrs::constructor())
+            .unwrap();
+        let s0_op = sig
+            .add_constant("s0", secret, OpAttrs::constructor())
+            .unwrap();
         let pms = sig
-            .add_op("pms", &[prin, prin, secret], pms_sort, OpAttrs::constructor())
+            .add_op(
+                "pms",
+                &[prin, prin, secret],
+                pms_sort,
+                OpAttrs::constructor(),
+            )
             .unwrap();
         let mut store = TermStore::new(sig);
         let intruder = store.constant(intruder_op);

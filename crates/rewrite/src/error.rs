@@ -19,6 +19,12 @@ pub enum RewriteError {
     FuelExhausted {
         /// Rendering of the term being normalized when fuel ran out.
         term: String,
+        /// The fuel budget that was exhausted.
+        fuel_limit: u64,
+        /// Rendered snapshot of the engine's counters at failure
+        /// (rewrites, cache hits, …) — the first thing to look at when
+        /// diagnosing a divergent equation set.
+        stats: String,
     },
     /// A kernel-level error (ill-sorted term construction).
     Kernel(KernelError),
@@ -30,8 +36,16 @@ impl fmt::Display for RewriteError {
             RewriteError::InvalidRule { label, reason } => {
                 write!(f, "invalid rule `{label}`: {reason}")
             }
-            RewriteError::FuelExhausted { term } => {
-                write!(f, "rewriting fuel exhausted while normalizing `{term}`")
+            RewriteError::FuelExhausted {
+                term,
+                fuel_limit,
+                stats,
+            } => {
+                write!(
+                    f,
+                    "rewriting fuel exhausted (limit {fuel_limit}) while normalizing \
+                     `{term}`; engine state: {stats}"
+                )
             }
             RewriteError::Kernel(e) => write!(f, "kernel error: {e}"),
         }

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::assumption::{orient_equation, OrientedEq};
     pub use crate::bool_alg::BoolAlg;
     pub use crate::boolring::Poly;
-    pub use crate::engine::{Normalizer, RewriteStats};
+    pub use crate::engine::{Normalizer, RewriteStats, RuleProfile};
     pub use crate::equality::EqVerdict;
     pub use crate::error::RewriteError;
     pub use crate::rule::{Rule, RuleSet};

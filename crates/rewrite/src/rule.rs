@@ -208,9 +208,7 @@ mod tests {
         let xt = w.store.var(x);
         let cv = w.store.constant(w.c);
         let mut rules = RuleSet::new();
-        let err = rules
-            .add(&w.store, "bad", xt, cv, None, None)
-            .unwrap_err();
+        let err = rules.add(&w.store, "bad", xt, cv, None, None).unwrap_err();
         assert!(matches!(err, RewriteError::InvalidRule { .. }));
     }
 

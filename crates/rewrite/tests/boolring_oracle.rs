@@ -1,16 +1,17 @@
-//! Property-based completeness check for the Boolean-ring normalizer.
+//! Randomized completeness check for the Boolean-ring normalizer.
 //!
 //! The paper (§2.1) leans on the completeness of `BOOL`'s equations for
 //! propositional logic: a formula rewrites to `true` iff it is a tautology.
 //! Here we generate random propositional formulas over a handful of atoms,
 //! evaluate them by brute-force truth table, and check the engine agrees —
-//! experiment E12 in DESIGN.md.
+//! experiment E12 in DESIGN.md. Generation is SplitMix64-seeded (the
+//! offline build cannot depend on proptest), so every run is reproducible.
 
 use equitls_kernel::prelude::*;
+use equitls_obs::rng::SplitMix64;
 use equitls_rewrite::prelude::*;
-use proptest::prelude::*;
 
-/// A serializable formula AST for generation.
+/// A formula AST for generation.
 #[derive(Debug, Clone)]
 enum Formula {
     Atom(usize),
@@ -25,28 +26,29 @@ enum Formula {
 }
 
 const ATOM_COUNT: usize = 4;
+const CASES: usize = 256;
 
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0..ATOM_COUNT).prop_map(Formula::Atom),
-        Just(Formula::True),
-        Just(Formula::False),
-    ];
-    leaf.prop_recursive(5, 64, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_formula(rng: &mut SplitMix64, depth: usize) -> Formula {
+    if depth == 0 || rng.next_below(4) == 0 {
+        return match rng.next_below(3) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Atom(rng.next_index(ATOM_COUNT)),
+        };
+    }
+    let op = rng.next_below(6);
+    let a = Box::new(gen_formula(rng, depth - 1));
+    if op == 0 {
+        return Formula::Not(a);
+    }
+    let b = Box::new(gen_formula(rng, depth - 1));
+    match op {
+        1 => Formula::And(a, b),
+        2 => Formula::Or(a, b),
+        3 => Formula::Xor(a, b),
+        4 => Formula::Implies(a, b),
+        _ => Formula::Iff(a, b),
+    }
 }
 
 fn eval(f: &Formula, env: &[bool]) -> bool {
@@ -63,12 +65,7 @@ fn eval(f: &Formula, env: &[bool]) -> bool {
     }
 }
 
-fn build(
-    f: &Formula,
-    store: &mut TermStore,
-    alg: &BoolAlg,
-    atoms: &[TermId],
-) -> TermId {
+fn build(f: &Formula, store: &mut TermStore, alg: &BoolAlg, atoms: &[TermId]) -> TermId {
     match f {
         Formula::Atom(i) => atoms[*i],
         Formula::True => alg.tt(store),
@@ -125,32 +122,39 @@ fn truth_table(f: &Formula) -> (bool, bool) {
     (taut, contra)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Normalization decides tautology/contradiction exactly as the truth
-    /// table does.
-    #[test]
-    fn normalizer_is_a_tautology_oracle(f in formula_strategy()) {
+/// Normalization decides tautology/contradiction exactly as the truth
+/// table does.
+#[test]
+fn normalizer_is_a_tautology_oracle() {
+    let mut rng = SplitMix64::new(0x0A11);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
         let (mut store, alg, atoms) = world();
         let term = build(&f, &mut store, &alg, &atoms);
         let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
         let n = norm.normalize(&mut store, term).unwrap();
         let (taut, contra) = truth_table(&f);
         match alg.as_constant(&store, n) {
-            Some(true) => prop_assert!(taut, "reduced to true but not a tautology"),
-            Some(false) => prop_assert!(contra, "reduced to false but satisfiable"),
+            Some(true) => assert!(taut, "case {case}: reduced to true but not a tautology"),
+            Some(false) => assert!(contra, "case {case}: reduced to false but satisfiable"),
             None => {
-                prop_assert!(!taut, "tautology failed to reduce to true");
-                prop_assert!(!contra, "contradiction failed to reduce to false");
+                assert!(!taut, "case {case}: tautology failed to reduce to true");
+                assert!(
+                    !contra,
+                    "case {case}: contradiction failed to reduce to false"
+                );
             }
         }
     }
+}
 
-    /// The polynomial normal form is semantically faithful: it evaluates
-    /// exactly like the original formula under every assignment.
-    #[test]
-    fn polynomial_evaluates_like_the_formula(f in formula_strategy()) {
+/// The polynomial normal form is semantically faithful: it evaluates
+/// exactly like the original formula under every assignment.
+#[test]
+fn polynomial_evaluates_like_the_formula() {
+    let mut rng = SplitMix64::new(0x0B22);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
         let (mut store, alg, atoms) = world();
         let term = build(&f, &mut store, &alg, &atoms);
         let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
@@ -159,27 +163,39 @@ proptest! {
             let env: Vec<bool> = (0..ATOM_COUNT).map(|i| bits & (1 << i) != 0).collect();
             let want = eval(&f, &env);
             let got = poly.eval(&|t| {
-                atoms.iter().position(|&a| a == t).map(|i| env[i]).unwrap_or(false)
+                atoms
+                    .iter()
+                    .position(|&a| a == t)
+                    .map(|i| env[i])
+                    .unwrap_or(false)
             });
-            prop_assert_eq!(got, want, "assignment {:?}", env);
+            assert_eq!(got, want, "case {case}: assignment {env:?}");
         }
     }
+}
 
-    /// Normalization is idempotent: normal forms are fixed points.
-    #[test]
-    fn normalization_is_idempotent(f in formula_strategy()) {
+/// Normalization is idempotent: normal forms are fixed points.
+#[test]
+fn normalization_is_idempotent() {
+    let mut rng = SplitMix64::new(0x0C33);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
         let (mut store, alg, atoms) = world();
         let term = build(&f, &mut store, &alg, &atoms);
         let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
         let n1 = norm.normalize(&mut store, term).unwrap();
         let mut norm2 = Normalizer::new(alg.clone(), RuleSet::new());
         let n2 = norm2.normalize(&mut store, n1).unwrap();
-        prop_assert_eq!(n1, n2);
+        assert_eq!(n1, n2, "case {case}");
     }
+}
 
-    /// Double negation and de-Morgan rewrites agree with the engine.
-    #[test]
-    fn equivalent_formulas_share_a_normal_form(f in formula_strategy()) {
+/// Double negation and de-Morgan rewrites agree with the engine.
+#[test]
+fn equivalent_formulas_share_a_normal_form() {
+    let mut rng = SplitMix64::new(0x0D44);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
         let (mut store, alg, atoms) = world();
         let term = build(&f, &mut store, &alg, &atoms);
         // not (not f) must normalize identically to f.
@@ -193,6 +209,6 @@ proptest! {
             let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
             norm.normalize(&mut store, n2).unwrap()
         };
-        prop_assert_eq!(n0, nn);
+        assert_eq!(n0, nn, "case {case}");
     }
 }

@@ -71,8 +71,12 @@ fn conditional_rules_cascade_through_decided_conditions() {
     let sig = w.store.signature_mut();
     let g = sig.add_op("g", &[w.s], w.s, OpAttrs::defined()).unwrap();
     let h = sig.add_op("h", &[w.s], w.s, OpAttrs::defined()).unwrap();
-    let p = sig.add_op("p", &[w.s], w.alg.sort(), OpAttrs::defined()).unwrap();
-    let q = sig.add_op("q", &[w.s], w.alg.sort(), OpAttrs::defined()).unwrap();
+    let p = sig
+        .add_op("p", &[w.s], w.alg.sort(), OpAttrs::defined())
+        .unwrap();
+    let q = sig
+        .add_op("q", &[w.s], w.alg.sort(), OpAttrs::defined())
+        .unwrap();
     let x = w.store.declare_var("X", w.s).unwrap();
     let xt = w.store.var(x);
     let gx = w.store.app(g, &[xt]).unwrap();

@@ -42,7 +42,10 @@ impl fmt::Display for SpecError {
                 None => write!(f, "unknown operator `{name}`"),
             },
             SpecError::UnresolvedIdent(name) => {
-                write!(f, "identifier `{name}` is neither a variable nor a constant")
+                write!(
+                    f,
+                    "identifier `{name}` is neither a variable nor a constant"
+                )
             }
             SpecError::Parse {
                 line,

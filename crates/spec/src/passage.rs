@@ -202,7 +202,8 @@ mod tests {
         spec.visible_sort("Pms").unwrap();
         spec.constructor("intruder", &[], "Prin").unwrap();
         spec.constructor("ca", &[], "Prin").unwrap();
-        spec.constructor("pms", &["Prin", "Prin", "Secret"], "Pms").unwrap();
+        spec.constructor("pms", &["Prin", "Prin", "Secret"], "Pms")
+            .unwrap();
         spec.defined_op("client", &["Pms"], "Prin").unwrap();
         let a = spec.var("A", "Prin").unwrap();
         let b = spec.var("B", "Prin").unwrap();

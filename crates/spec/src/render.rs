@@ -61,11 +61,7 @@ fn render_at(ast: &TermAst, min_prec: u8) -> String {
                 BinOp::Eq | BinOp::In => (prec + 1, prec + 1),
                 _ => (prec, prec + 1),
             };
-            let text = format!(
-                "{} {symbol} {}",
-                render_at(lhs, lmin),
-                render_at(rhs, rmin)
-            );
+            let text = format!("{} {symbol} {}", render_at(lhs, lmin), render_at(rhs, rmin));
             if prec < min_prec {
                 format!("({text})")
             } else {
@@ -120,7 +116,11 @@ fn render_eq(eq: &EqAst) -> String {
         .map(|l| format!("[{l}] : "))
         .unwrap_or_default();
     match &eq.cond {
-        None => format!("eq {label}{} = {} .", render_term(&eq.lhs), render_term(&eq.rhs)),
+        None => format!(
+            "eq {label}{} = {} .",
+            render_term(&eq.lhs),
+            render_term(&eq.rhs)
+        ),
         Some(c) => format!(
             "ceq {label}{} = {} if {} .",
             render_term(&eq.lhs),

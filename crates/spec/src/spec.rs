@@ -210,7 +210,12 @@ impl Spec {
     /// # Errors
     ///
     /// Unknown sorts or duplicate declarations.
-    pub fn constructor(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+    pub fn constructor(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        result: &str,
+    ) -> Result<OpId, SpecError> {
         self.op(name, args, result, OpAttrs::constructor())
     }
 
@@ -219,7 +224,12 @@ impl Spec {
     /// # Errors
     ///
     /// Unknown sorts or duplicate declarations.
-    pub fn defined_op(&mut self, name: &str, args: &[&str], result: &str) -> Result<OpId, SpecError> {
+    pub fn defined_op(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        result: &str,
+    ) -> Result<OpId, SpecError> {
         self.op(name, args, result, OpAttrs::defined())
     }
 

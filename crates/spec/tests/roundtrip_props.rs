@@ -1,136 +1,179 @@
-//! Property-based parser/renderer round-trip: any module AST the renderer
+//! Randomized parser/renderer round-trip: any module AST the renderer
 //! can print must re-parse to the identical AST.
+//!
+//! Generation is SplitMix64-seeded (the offline build cannot depend on
+//! proptest), so every run covers the same reproducible case set.
 
+use equitls_obs::rng::SplitMix64;
 use equitls_spec::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
 use equitls_spec::parser::{parse_module, parse_term_ast};
 use equitls_spec::render::{render_module, render_term};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-fn ident_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,5}"
+const CASES: usize = 128;
+
+fn gen_ident(rng: &mut SplitMix64) -> String {
+    // [a-z][a-z0-9]{0,5}
+    let mut s = String::new();
+    s.push((b'a' + rng.next_below(26) as u8) as char);
+    for _ in 0..rng.next_below(6) {
+        let c = rng.next_below(36) as u8;
+        s.push(if c < 26 {
+            (b'a' + c) as char
+        } else {
+            (b'0' + c - 26) as char
+        });
+    }
+    s
 }
 
-fn sort_strategy() -> impl Strategy<Value = String> {
-    "[A-Z][a-z]{0,4}"
+fn gen_sort(rng: &mut SplitMix64) -> String {
+    // [A-Z][a-z]{0,4}
+    let mut s = String::new();
+    s.push((b'A' + rng.next_below(26) as u8) as char);
+    for _ in 0..rng.next_below(5) {
+        s.push((b'a' + rng.next_below(26) as u8) as char);
+    }
+    s
 }
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Implies),
-        Just(BinOp::Iff),
-        Just(BinOp::Eq),
-        Just(BinOp::In),
-        Just(BinOp::BagCons),
-    ]
+fn gen_upper(rng: &mut SplitMix64, min: u64, max: u64) -> String {
+    // [A-Z]{min,max}
+    let len = min + rng.next_below(max - min + 1);
+    (0..len)
+        .map(|_| (b'A' + rng.next_below(26) as u8) as char)
+        .collect()
 }
 
-fn term_strategy() -> impl Strategy<Value = TermAst> {
-    let leaf = ident_strategy().prop_map(TermAst::Ident);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (ident_strategy(), proptest::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(f, args)| TermAst::App(f, args)),
-            inner.clone().prop_map(|t| TermAst::Not(Box::new(t))),
-            (inner.clone(), inner.clone(), binop_strategy())
-                .prop_map(|(a, b, op)| TermAst::Bin(op, Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_label(rng: &mut SplitMix64) -> String {
+    // [a-z][a-z0-9-]{0,6}
+    let mut s = String::new();
+    s.push((b'a' + rng.next_below(26) as u8) as char);
+    for _ in 0..rng.next_below(7) {
+        let c = rng.next_below(37) as u8;
+        s.push(match c {
+            0..=25 => (b'a' + c) as char,
+            26..=35 => (b'0' + c - 26) as char,
+            _ => '-',
+        });
+    }
+    s
 }
 
-fn op_strategy() -> impl Strategy<Value = OpAst> {
-    (
-        ident_strategy(),
-        proptest::collection::vec(sort_strategy(), 0..3),
-        sort_strategy(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(name, args, result, behavioural, constructor)| OpAst {
-            behavioural,
-            name,
-            args,
-            result,
-            // {constr} marks plain constructors; bops are never
-            // constructors in the rendered grammar.
-            constructor: constructor && !behavioural,
-        })
+fn gen_binop(rng: &mut SplitMix64) -> BinOp {
+    match rng.next_below(8) {
+        0 => BinOp::And,
+        1 => BinOp::Or,
+        2 => BinOp::Xor,
+        3 => BinOp::Implies,
+        4 => BinOp::Iff,
+        5 => BinOp::Eq,
+        6 => BinOp::In,
+        _ => BinOp::BagCons,
+    }
 }
 
-fn eq_strategy() -> impl Strategy<Value = EqAst> {
-    (
-        proptest::option::of("[a-z][a-z0-9-]{0,6}"),
-        term_strategy(),
-        term_strategy(),
-        proptest::option::of(term_strategy()),
-    )
-        .prop_map(|(label, lhs, rhs, cond)| {
-            // Equation left-hand sides parse at comparison level without a
-            // top-level `=`/`\in`/bare-binop: wrap anything else.
-            let lhs = match lhs {
-                TermAst::Bin(op, a, b) => {
-                    TermAst::App("w".into(), vec![TermAst::Bin(op, a, b)])
-                }
-                TermAst::Not(t) => TermAst::App("w".into(), vec![TermAst::Not(t)]),
-                other => other,
-            };
-            EqAst {
-                label,
-                lhs,
-                rhs,
-                cond,
-            }
-        })
-}
-
-fn module_strategy() -> impl Strategy<Value = ModuleAst> {
-    (
-        "[A-Z]{2,6}",
-        proptest::collection::vec("[A-Z]{2,5}", 0..2),
-        proptest::collection::btree_set(sort_strategy(), 0..3),
-        proptest::collection::btree_set(sort_strategy(), 0..2),
-        proptest::collection::vec(op_strategy(), 0..4),
-        proptest::collection::vec(
-            (
-                proptest::collection::btree_set(ident_strategy(), 1..3),
-                sort_strategy(),
-            ),
-            0..2,
+fn gen_term(rng: &mut SplitMix64, depth: usize) -> TermAst {
+    if depth == 0 || rng.next_below(3) == 0 {
+        return TermAst::Ident(gen_ident(rng));
+    }
+    match rng.next_below(3) {
+        0 => {
+            let f = gen_ident(rng);
+            let n = 1 + rng.next_index(2);
+            let args = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
+            TermAst::App(f, args)
+        }
+        1 => TermAst::Not(Box::new(gen_term(rng, depth - 1))),
+        _ => TermAst::Bin(
+            gen_binop(rng),
+            Box::new(gen_term(rng, depth - 1)),
+            Box::new(gen_term(rng, depth - 1)),
         ),
-        proptest::collection::vec(eq_strategy(), 0..3),
-    )
-        .prop_map(|(name, imports, visible, hidden, ops, vars, eqs)| ModuleAst {
-            name,
-            imports,
-            visible_sorts: visible.into_iter().collect(),
-            hidden_sorts: hidden.into_iter().collect(),
-            ops,
-            vars: vars
-                .into_iter()
-                .map(|(names, sort)| (names.into_iter().collect(), sort))
-                .collect(),
-            eqs,
-        })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_op(rng: &mut SplitMix64) -> OpAst {
+    let behavioural = rng.next_bool();
+    let constructor = rng.next_bool();
+    OpAst {
+        behavioural,
+        name: gen_ident(rng),
+        args: (0..rng.next_below(3)).map(|_| gen_sort(rng)).collect(),
+        result: gen_sort(rng),
+        // {constr} marks plain constructors; bops are never constructors
+        // in the rendered grammar.
+        constructor: constructor && !behavioural,
+    }
+}
 
-    #[test]
-    fn terms_round_trip(ast in term_strategy()) {
+fn gen_eq(rng: &mut SplitMix64) -> EqAst {
+    let label = rng.next_bool().then(|| gen_label(rng));
+    let lhs = gen_term(rng, 4);
+    let rhs = gen_term(rng, 4);
+    let cond = rng.next_bool().then(|| gen_term(rng, 3));
+    // Equation left-hand sides parse at comparison level without a
+    // top-level `=`/`\in`/bare-binop: wrap anything else.
+    let lhs = match lhs {
+        TermAst::Bin(op, a, b) => TermAst::App("w".into(), vec![TermAst::Bin(op, a, b)]),
+        TermAst::Not(t) => TermAst::App("w".into(), vec![TermAst::Not(t)]),
+        other => other,
+    };
+    EqAst {
+        label,
+        lhs,
+        rhs,
+        cond,
+    }
+}
+
+fn gen_module(rng: &mut SplitMix64) -> ModuleAst {
+    let name = gen_upper(rng, 2, 6);
+    let imports = (0..rng.next_below(2))
+        .map(|_| gen_upper(rng, 2, 5))
+        .collect();
+    let visible: BTreeSet<String> = (0..rng.next_below(3)).map(|_| gen_sort(rng)).collect();
+    let hidden: BTreeSet<String> = (0..rng.next_below(2)).map(|_| gen_sort(rng)).collect();
+    let ops = (0..rng.next_below(4)).map(|_| gen_op(rng)).collect();
+    let vars = (0..rng.next_below(2))
+        .map(|_| {
+            let names: BTreeSet<String> =
+                (0..1 + rng.next_below(2)).map(|_| gen_ident(rng)).collect();
+            (names.into_iter().collect(), gen_sort(rng))
+        })
+        .collect();
+    let eqs = (0..rng.next_below(3)).map(|_| gen_eq(rng)).collect();
+    ModuleAst {
+        name,
+        imports,
+        visible_sorts: visible.into_iter().collect(),
+        hidden_sorts: hidden.into_iter().collect(),
+        ops,
+        vars,
+        eqs,
+    }
+}
+
+#[test]
+fn terms_round_trip() {
+    let mut rng = SplitMix64::new(0x5EC1);
+    for case in 0..CASES {
+        let ast = gen_term(&mut rng, 4);
         let rendered = render_term(&ast);
         let reparsed = parse_term_ast(&rendered)
-            .unwrap_or_else(|e| panic!("`{rendered}` does not reparse: {e}"));
-        prop_assert_eq!(ast, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: `{rendered}` does not reparse: {e}"));
+        assert_eq!(ast, reparsed, "case {case}: `{rendered}`");
     }
+}
 
-    #[test]
-    fn modules_round_trip(ast in module_strategy()) {
+#[test]
+fn modules_round_trip() {
+    let mut rng = SplitMix64::new(0x5EC2);
+    for case in 0..CASES {
+        let ast = gen_module(&mut rng);
         let rendered = render_module(&ast);
         let reparsed = parse_module(&rendered)
-            .unwrap_or_else(|e| panic!("module does not reparse: {e}\n{rendered}"));
-        prop_assert_eq!(ast, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: module does not reparse: {e}\n{rendered}"));
+        assert_eq!(ast, reparsed, "case {case}:\n{rendered}");
     }
 }

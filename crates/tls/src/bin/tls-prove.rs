@@ -4,10 +4,19 @@
 //! cargo run -p equitls-tls --bin tls-prove -- inv1
 //! cargo run -p equitls-tls --bin tls-prove -- --all
 //! cargo run -p equitls-tls --bin tls-prove -- --variant inv2
+//! cargo run -p equitls-tls --bin tls-prove -- inv1 --trace out.jsonl --metrics
 //! ```
+//!
+//! `--trace <path.jsonl>` streams every observability event (spans,
+//! counters, gauges) as newline-delimited JSON; `--metrics` turns on
+//! per-rule profiling and prints summary tables (hot rules, per-invariant
+//! totals, wall-clock per phase) at the end of the run.
 
-use equitls_core::prelude::render_report_table;
+use equitls_core::prelude::{render_report_table, ProofReport};
+use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
+use equitls_obs::summary::{Align, MetricsSummary, Table};
 use equitls_tls::{verify, TlsModel};
+use std::sync::Arc;
 
 fn main() {
     // Deep proof searches recurse heavily; run on a large stack.
@@ -18,26 +27,89 @@ fn main() {
     child.join().expect("prover thread panicked");
 }
 
+struct Options {
+    variant: bool,
+    metrics: bool,
+    trace: Option<std::path::PathBuf>,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        variant: false,
+        metrics: false,
+        trace: None,
+        names: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--variant" => opts.variant = true,
+            "--metrics" => opts.metrics = true,
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a file path (e.g. --trace out.jsonl)");
+                    std::process::exit(2);
+                });
+                opts.trace = Some(path.into());
+            }
+            "--all" => {}
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    opts
+}
+
 fn run() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let variant = args.iter().any(|a| a == "--variant");
-    let mut model = if variant {
+    let opts = parse_args();
+    // Assemble the sink stack: a JSONL stream when tracing, an in-memory
+    // recorder when summarizing, a tee when both.
+    let recorder = opts.metrics.then(|| Arc::new(RecordingSink::new()));
+    let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+    if let Some(path) = &opts.trace {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open trace file {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(rec) = &recorder {
+        sinks.push(rec.clone());
+    }
+    let obs = match sinks.len() {
+        0 => Obs::noop(),
+        1 => Obs::new(sinks.pop().expect("one sink")),
+        _ => Obs::new(Arc::new(TeeSink::new(sinks))),
+    };
+
+    let mut model = if opts.variant {
         TlsModel::variant().expect("variant model builds")
     } else {
         TlsModel::standard().expect("standard model builds")
     };
-    let names: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let mut reports = Vec::new();
-    if names.is_empty() {
-        reports = verify::verify_all(&mut model).expect("engine ok");
+    let mut failed = false;
+    if opts.names.is_empty() {
+        reports = verify::verify_all_with(&mut model, &obs, opts.metrics).expect("engine ok");
     } else {
-        for name in &names {
-            match verify::verify_property(&mut model, name) {
+        for name in &opts.names {
+            match verify::verify_property_with(&mut model, name, &obs, opts.metrics) {
                 Ok(r) => reports.push(r),
-                Err(e) => eprintln!("error proving {name}: {e}"),
+                Err(e) => {
+                    eprintln!("error proving {name}: {e}");
+                    failed = true;
+                }
             }
         }
     }
+    obs.flush();
+
     for r in &reports {
         println!("{r}");
         for (action, case) in r.open_cases().into_iter().take(4) {
@@ -49,4 +121,84 @@ fn run() {
         }
     }
     println!("{}", render_report_table(&reports));
+
+    if let Some(rec) = &recorder {
+        let summary = MetricsSummary::from_events(&rec.events());
+        print_metrics(&summary, &reports);
+    }
+    if let Some(path) = &opts.trace {
+        eprintln!("trace written to {}", path.display());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Render the `--metrics` summary: hottest rules, per-invariant totals,
+/// and wall-clock per phase.
+fn print_metrics(summary: &MetricsSummary, reports: &[ProofReport]) {
+    const TOP_N: usize = 15;
+
+    let hot = summary.counters_with_prefix("rule.time_us:");
+    if !hot.is_empty() {
+        println!("hot rules (top {TOP_N} by cumulative match+fire time)");
+        let mut table = Table::new(
+            &["rule", "attempts", "fires", "time"],
+            &[Align::Left, Align::Right, Align::Right, Align::Right],
+        );
+        for (label, time_us) in hot.into_iter().take(TOP_N) {
+            table.row(vec![
+                label.clone(),
+                summary
+                    .counter_total(&format!("rule.attempts:{label}"))
+                    .to_string(),
+                summary
+                    .counter_total(&format!("rule.fires:{label}"))
+                    .to_string(),
+                format!("{:.2?}", std::time::Duration::from_micros(time_us)),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+
+    println!("per-invariant totals");
+    let mut table = Table::new(
+        &[
+            "invariant",
+            "passages",
+            "splits",
+            "rewrites",
+            "cache-hit",
+            "time",
+            "verdict",
+        ],
+        &[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Left,
+        ],
+    );
+    for r in reports {
+        let m = r.total_metrics();
+        let stats = r.total_rewrite_stats();
+        table.row(vec![
+            r.invariant.clone(),
+            m.passages.to_string(),
+            m.splits.to_string(),
+            m.rewrites.to_string(),
+            format!("{:.1}%", stats.cache_hit_rate() * 100.0),
+            format!("{:.2?}", r.duration),
+            if r.is_proved() { "PROVED" } else { "OPEN" }.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+
+    println!("wall-clock per phase");
+    print!("{}", summary.render_span_table());
 }

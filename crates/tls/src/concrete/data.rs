@@ -7,14 +7,13 @@
 //! `Prin(1)` the certificate authority, mirroring the two special
 //! principals of the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! small_domain {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u8);
 
@@ -48,7 +47,7 @@ small_domain!(
 );
 
 /// A principal. `Prin(0)` is the intruder, `Prin(1)` the CA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prin(pub u8);
 
 impl Prin {
@@ -79,7 +78,7 @@ impl fmt::Display for Prin {
 }
 
 /// A list of cipher suites, as a bitmask over `Choice` values 0–7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChoiceList(pub u8);
 
 impl ChoiceList {
@@ -113,7 +112,7 @@ impl fmt::Display for ChoiceList {
 }
 
 /// A pre-master secret `pms(client, server, secret)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pms {
     /// The generating client.
     pub client: Prin,
@@ -131,7 +130,7 @@ impl fmt::Display for Pms {
 
 /// A digital signature `sig(signer, subject, key-owner)` binding `subject`
 /// to the public key `k(key_of)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sig {
     /// Who signed.
     pub signer: Prin,
@@ -142,7 +141,7 @@ pub struct Sig {
 }
 
 /// A certificate `cert(prin, k(key_of), sig)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cert {
     /// The claimed identity.
     pub prin: Prin,
@@ -178,7 +177,7 @@ impl Cert {
 }
 
 /// The symmetric key `key(x, pms, r1, r2)` — `H(X, PMS, Rand_A, Rand_B)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymKey {
     /// ClientKey when this is the client, ServerKey when the server.
     pub prin: Prin,
@@ -192,7 +191,7 @@ pub struct SymKey {
 
 /// Which Finished hash a payload carries (distinct hash constructors in
 /// the symbolic model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FinKind {
     /// `cfin(…)` — full-handshake ClientFinish.
     Client,
@@ -206,7 +205,7 @@ pub enum FinKind {
 
 /// A Finished hash: the §3.2 contents (role, A, B, SID, [list,] choice,
 /// randoms, PMS). `list` is `None` for the abbreviated-handshake hashes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FinHash {
     /// Which of the four hash constructors.
     pub kind: FinKind,
@@ -229,7 +228,7 @@ pub struct FinHash {
 }
 
 /// An established session `st(choice, r1, r2, pms)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Session {
     /// Negotiated cipher suite.
     pub choice: Choice,

@@ -17,7 +17,9 @@ pub mod props;
 pub mod state;
 pub mod step;
 
-pub use data::{Cert, Choice, ChoiceList, FinHash, FinKind, Pms, Prin, Rand, Secret, Session, Sid, Sig, SymKey};
+pub use data::{
+    Cert, Choice, ChoiceList, FinHash, FinKind, Pms, Prin, Rand, Secret, Session, Sid, Sig, SymKey,
+};
 pub use knowledge::Knowledge;
 pub use msg::{Body, Msg};
 pub use state::State;

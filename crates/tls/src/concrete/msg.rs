@@ -2,11 +2,10 @@
 //! sender / receiver metadata.
 
 use crate::concrete::data::*;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A message payload, one variant per message kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Body {
     /// ClientHello: random + cipher-suite list.
     Ch {
@@ -83,7 +82,7 @@ pub enum Body {
 }
 
 /// A message: creator (unforgeable), seeming sender, receiver, payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Msg {
     /// Actual creator — meta-information the intruder cannot forge.
     pub crt: Prin,
@@ -148,16 +147,32 @@ impl fmt::Display for Msg {
             Body::Cf { key, hash } | Body::Sf { key, hash } => write!(
                 f,
                 ",enc(key({},{},{},{}),hash({},{},{},{},{},{})))",
-                key.prin, key.pms, key.r1, key.r2, hash.a, hash.b, hash.sid, hash.choice,
-                hash.r1, hash.pms
+                key.prin,
+                key.pms,
+                key.r1,
+                key.r2,
+                hash.a,
+                hash.b,
+                hash.sid,
+                hash.choice,
+                hash.r1,
+                hash.pms
             ),
             Body::Ch2 { rand, sid } => write!(f, ",{rand},{sid})"),
             Body::Sh2 { rand, sid, choice } => write!(f, ",{rand},{sid},{choice})"),
             Body::Cf2 { key, hash } | Body::Sf2 { key, hash } => write!(
                 f,
                 ",enc(key({},{},{},{}),hash2({},{},{},{},{},{})))",
-                key.prin, key.pms, key.r1, key.r2, hash.a, hash.b, hash.sid, hash.choice,
-                hash.r1, hash.pms
+                key.prin,
+                key.pms,
+                key.r1,
+                key.r2,
+                hash.a,
+                hash.b,
+                hash.sid,
+                hash.choice,
+                hash.r1,
+                hash.pms
             ),
         }
     }

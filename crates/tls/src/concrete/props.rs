@@ -95,9 +95,7 @@ pub fn prop4_sh_ct_authentic(state: &State, scope: &Scope) -> bool {
                         choice,
                     }
         });
-        let ct_seen = state.messages().any(|c| {
-            s_matches_ct(c, b, a)
-        });
+        let ct_seen = state.messages().any(|c| s_matches_ct(c, b, a));
         if !(sh_seen && ct_seen) {
             return true; // premise not satisfied
         }
@@ -130,9 +128,14 @@ pub fn prop5_sh2_authentic(state: &State, _scope: &Scope) -> bool {
         let (a, b) = (m.dst, m.src);
         let hash = match m.body {
             Body::Sf2 { key, hash }
-                if key.prin == b && key.pms == hash.pms && key.r1 == hash.r1
-                    && key.r2 == hash.r2 && hash.a == a && hash.b == b
-                    && hash.pms.client == a && hash.pms.server == b =>
+                if key.prin == b
+                    && key.pms == hash.pms
+                    && key.r1 == hash.r1
+                    && key.r2 == hash.r2
+                    && hash.a == a
+                    && hash.b == b
+                    && hash.pms.client == a
+                    && hash.pms.server == b =>
             {
                 hash
             }
@@ -194,8 +197,11 @@ pub fn prop3p_cf2_authentic(state: &State, _scope: &Scope) -> bool {
     })
 }
 
+/// A state predicate checked in every reachable state.
+pub type MonitorFn = fn(&State, &Scope) -> bool;
+
 /// All monitors by name (positive expected-to-hold and refuted ones).
-pub fn monitors() -> Vec<(&'static str, fn(&State, &Scope) -> bool, bool)> {
+pub fn monitors() -> Vec<(&'static str, MonitorFn, bool)> {
     vec![
         ("prop1-pms-secrecy", prop1_pms_secrecy, true),
         ("prop2-sf-authentic", prop2_sf_authentic, true),

@@ -2,7 +2,6 @@
 
 use crate::concrete::data::*;
 use crate::concrete::msg::Msg;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 /// Messages are never removed (§4.3: the intruder can replay anything), so
 /// the network is a grow-only set; set semantics suffices because replays
 /// are represented by the message's continued presence.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct State {
     /// The network bag.
     pub network: BTreeSet<Msg>,
@@ -183,7 +182,7 @@ impl State {
                       next_odd: &mut u8|
          -> Secret {
             *secrets.entry(s).or_insert_with(|| {
-                if s.0 % 2 == 0 {
+                if s.0.is_multiple_of(2) {
                     let v = Secret(2 * *next_even);
                     *next_even += 1;
                     v
@@ -194,14 +193,12 @@ impl State {
                 }
             })
         };
-        let map_pms = |p: Pms,
-                       secrets: &mut SymMap<Secret, Secret>,
-                       ne: &mut u8,
-                       no: &mut u8| Pms {
-            client: p.client,
-            server: p.server,
-            secret: secret(p.secret, secrets, ne, no),
-        };
+        let map_pms =
+            |p: Pms, secrets: &mut SymMap<Secret, Secret>, ne: &mut u8, no: &mut u8| Pms {
+                client: p.client,
+                server: p.server,
+                secret: secret(p.secret, secrets, ne, no),
+            };
         let mut out = State::new();
         for m in &self.network {
             let body = match m.body {
@@ -296,8 +293,7 @@ impl State {
             );
         }
         for &r in &self.used_rands {
-            out.used_rands
-                .insert(rand(r, &mut rands, &mut next_rand));
+            out.used_rands.insert(rand(r, &mut rands, &mut next_rand));
         }
         for &i in &self.used_sids {
             out.used_sids.insert(sid(i, &mut sids, &mut next_sid));

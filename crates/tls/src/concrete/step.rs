@@ -10,10 +10,9 @@ use crate::concrete::data::*;
 use crate::concrete::knowledge::Knowledge;
 use crate::concrete::msg::{Body, Msg};
 use crate::concrete::state::State;
-use serde::{Deserialize, Serialize};
 
 /// Finite domains for exploration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scope {
     /// Trustable clients.
     pub clients: Vec<Prin>,
@@ -204,7 +203,13 @@ fn honest_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
                 if !ok {
                     continue;
                 }
-                let ct = Msg::honest(b, m2.dst, Body::Ct { cert: Cert::genuine(b) });
+                let ct = Msg::honest(
+                    b,
+                    m2.dst,
+                    Body::Ct {
+                        cert: Cert::genuine(b),
+                    },
+                );
                 if state.network.contains(&ct) {
                     continue; // idempotent
                 }
@@ -225,14 +230,7 @@ fn honest_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
                 server: v.b,
                 secret: s,
             };
-            let mut next = state.send(Msg::honest(
-                v.a,
-                v.b,
-                Body::Kx {
-                    key_of: v.b,
-                    pms,
-                },
-            ));
+            let mut next = state.send(Msg::honest(v.a, v.b, Body::Kx { key_of: v.b, pms }));
             next.used_secrets.insert(s);
             push(steps, format!("kexch({},{},{s})", v.a, v.b), next);
         }
@@ -317,13 +315,13 @@ fn honest_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
             };
             for m6 in state.messages() {
                 let ok = matches!(m6.body, Body::Sf { key, hash }
-                    if m6.dst == v.a && m6.src == v.b
-                        && key == SymKey { prin: v.b, pms, r1: v.r1, r2: v.r2 }
-                        && hash == FinHash {
-                            kind: FinKind::Server,
-                            a: v.a, b: v.b, sid: v.sid, list: Some(v.list),
-                            choice: v.choice, r1: v.r1, r2: v.r2, pms,
-                        });
+                if m6.dst == v.a && m6.src == v.b
+                    && key == SymKey { prin: v.b, pms, r1: v.r1, r2: v.r2 }
+                    && hash == FinHash {
+                        kind: FinKind::Server,
+                        a: v.a, b: v.b, sid: v.sid, list: Some(v.list),
+                        choice: v.choice, r1: v.r1, r2: v.r2, pms,
+                    });
                 if !ok {
                     continue;
                 }
@@ -348,7 +346,7 @@ fn honest_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
 /// The abbreviated handshake (both orders, per scope flag).
 fn abbreviated_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
     // chello2: a client resumes a recorded session.
-    for (&(owner, peer, sid), _session) in &state.sessions {
+    for &(owner, peer, sid) in state.sessions.keys() {
         if !scope.clients.contains(&owner) {
             continue;
         }
@@ -675,7 +673,10 @@ fn resume_views(state: &State, b: Prin) -> Vec<ResumeView> {
                     rand,
                     sid: s2,
                     choice,
-                } if m2.crt == b && m2.src == b && m2.dst == a && s2 == sid
+                } if m2.crt == b
+                    && m2.src == b
+                    && m2.dst == a
+                    && s2 == sid
                     && choice == session.choice =>
                 {
                     rand
@@ -823,14 +824,7 @@ fn intruder_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
                 }
             }
             for &pms in &knowledge.pms {
-                let m = Msg::faked(
-                    src,
-                    dst,
-                    Body::Kx {
-                        key_of: dst,
-                        pms,
-                    },
-                );
+                let m = Msg::faked(src, dst, Body::Kx { key_of: dst, pms });
                 if !state.network.contains(&m) {
                     push(steps, format!("fakeKx2({src},{dst})"), state.send(m));
                 }
@@ -897,11 +891,7 @@ fn intruder_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
                                     },
                                 );
                                 if !state.network.contains(&cf) {
-                                    push(
-                                        steps,
-                                        format!("fakeCfin2({src},{dst})"),
-                                        state.send(cf),
-                                    );
+                                    push(steps, format!("fakeCfin2({src},{dst})"), state.send(cf));
                                 }
                                 let cf2 = Msg::faked(
                                     src,
@@ -957,11 +947,7 @@ fn intruder_steps(state: &State, scope: &Scope, steps: &mut Vec<Step>) {
                                     },
                                 );
                                 if !state.network.contains(&sf) {
-                                    push(
-                                        steps,
-                                        format!("fakeSfin2({dst},{src})"),
-                                        state.send(sf),
-                                    );
+                                    push(steps, format!("fakeSfin2({dst},{src})"), state.send(sf));
                                 }
                                 let sf2 = Msg::faked(
                                     dst,

@@ -142,7 +142,7 @@ impl Mutant {
     /// Propagates specification errors from the injected module.
     pub fn inject(self, model: &mut TlsModel) -> Result<Ots, CoreError> {
         model.spec.load_module(self.module_source())?;
-        Ok(Ots::from_spec(&mut model.spec, "Protocol", "init")?)
+        Ots::from_spec(&mut model.spec, "Protocol", "init")
     }
 }
 

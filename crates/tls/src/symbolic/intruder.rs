@@ -18,8 +18,21 @@ use equitls_spec::prelude::*;
 
 /// Names of the intruder transitions, in declaration order.
 pub const FAKE_ACTIONS: [&str; 15] = [
-    "fakeCh", "fakeSh", "fakeCt", "fakeKx1", "fakeKx2", "fakeCfin1", "fakeCfin2", "fakeSfin1",
-    "fakeSfin2", "fakeCh2", "fakeSh2", "fakeCfin21", "fakeCfin22", "fakeSfin21", "fakeSfin22",
+    "fakeCh",
+    "fakeSh",
+    "fakeCt",
+    "fakeKx1",
+    "fakeKx2",
+    "fakeCfin1",
+    "fakeCfin2",
+    "fakeSfin1",
+    "fakeSfin2",
+    "fakeCh2",
+    "fakeSh2",
+    "fakeCfin21",
+    "fakeCfin22",
+    "fakeSfin21",
+    "fakeSfin22",
 ];
 
 /// Declare the intruder transitions.

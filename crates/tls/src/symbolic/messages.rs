@@ -90,8 +90,11 @@ pub fn install(spec: &mut Spec) -> Result<(), SpecError> {
 
     // A canonical pattern term per constructor: ctor(X1:Prin, …, Xi:Sorti).
     let alg = spec.alg().clone();
-    let mut patterns: Vec<(&str, equitls_kernel::term::TermId, Vec<equitls_kernel::term::TermId>)> =
-        Vec::new();
+    let mut patterns: Vec<(
+        &str,
+        equitls_kernel::term::TermId,
+        Vec<equitls_kernel::term::TermId>,
+    )> = Vec::new();
     for (name, payload) in MESSAGE_KINDS {
         let mut sorts = vec!["Prin", "Prin", "Prin"];
         sorts.extend_from_slice(payload);

@@ -160,7 +160,10 @@ mod tests {
         );
 
         // p2 = shello(p1, b, rb, i, c, ch)
-        let p2 = passage.spec().app("shello", &[p1, b, rb, i, c, ch]).unwrap();
+        let p2 = passage
+            .spec()
+            .app("shello", &[p1, b, rb, i, c, ch])
+            .unwrap();
         let nw2 = passage.spec().app("nw", &[p2]).unwrap();
         let n2 = passage.red(nw2).unwrap();
         let sh = passage.spec().app("sh", &[b, b, a, rb, i, c]).unwrap();
@@ -173,8 +176,7 @@ mod tests {
         let ok2 = if alg.as_constant(passage.spec().store(), ok2) == Some(true) {
             ok2
         } else {
-            let again = passage.red(member2).unwrap();
-            again
+            passage.red(member2).unwrap()
         };
         assert_eq!(
             alg.as_constant(passage.spec().store(), ok2),
@@ -200,7 +202,10 @@ mod tests {
         );
 
         // p4 = kexch(p3, a, s, ch, sh, ct) adds the key exchange.
-        let p4 = passage.spec().app("kexch", &[p3, a, s, ch, sh, ct]).unwrap();
+        let p4 = passage
+            .spec()
+            .app("kexch", &[p3, a, s, ch, sh, ct])
+            .unwrap();
         let nw4 = passage.spec().app("nw", &[p4]).unwrap();
         let n4 = passage.red(nw4).unwrap();
         let pm = passage.spec().app("pms", &[a, b, s]).unwrap();

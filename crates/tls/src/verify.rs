@@ -14,6 +14,7 @@
 use crate::symbolic::TlsModel;
 use equitls_core::prelude::*;
 use equitls_core::CoreError;
+use equitls_obs::sink::Obs;
 use std::collections::HashMap;
 
 /// How a property is established.
@@ -136,7 +137,9 @@ pub const PLANS: [ProofPlan; 18] = [
 ];
 
 /// Build the witness map (kind predicate → constructor) for the model.
-pub fn witness_map(model: &TlsModel) -> HashMap<equitls_kernel::op::OpId, equitls_kernel::op::OpId> {
+pub fn witness_map(
+    model: &TlsModel,
+) -> HashMap<equitls_kernel::op::OpId, equitls_kernel::op::OpId> {
     let sig = model.spec.store().signature();
     let msg_sort = sig.sort_by_name("Msg").expect("Msg sort");
     let mut map = HashMap::new();
@@ -174,10 +177,30 @@ pub fn plan(name: &str) -> Option<&'static ProofPlan> {
 ///
 /// Unknown property, or an engine failure.
 pub fn verify_property(model: &mut TlsModel, name: &str) -> Result<ProofReport, CoreError> {
+    verify_property_with(model, name, &Obs::noop(), false)
+}
+
+/// [`verify_property`] with an observability handle: a span per proof
+/// obligation, rewrite/cache counters, and (when `profile_rules` is on)
+/// per-rule match/fire/time profiles emitted through `obs`.
+///
+/// # Errors
+///
+/// Unknown property, or an engine failure.
+pub fn verify_property_with(
+    model: &mut TlsModel,
+    name: &str,
+    obs: &Obs,
+    profile_rules: bool,
+) -> Result<ProofReport, CoreError> {
     let plan = plan(name).ok_or_else(|| CoreError::UnknownInvariant(name.to_string()))?;
-    let config = prover_config(model);
-    let mut prover =
-        Prover::new(&mut model.spec, &model.ots, &model.invariants).with_config(config);
+    let config = ProverConfig {
+        profile_rules,
+        ..prover_config(model)
+    };
+    let mut prover = Prover::new(&mut model.spec, &model.ots, &model.invariants)
+        .with_config(config)
+        .with_obs(obs.clone());
     match plan.method {
         ProofMethod::Induction => {
             let mut hints = Hints::new();
@@ -197,9 +220,23 @@ pub fn verify_property(model: &mut TlsModel, name: &str) -> Result<ProofReport, 
 /// First engine failure, if any (open cases are *not* errors — they are
 /// reported in the returned reports).
 pub fn verify_all(model: &mut TlsModel) -> Result<Vec<ProofReport>, CoreError> {
+    verify_all_with(model, &Obs::noop(), false)
+}
+
+/// [`verify_all`] with an observability handle (see
+/// [`verify_property_with`]).
+///
+/// # Errors
+///
+/// First engine failure, if any.
+pub fn verify_all_with(
+    model: &mut TlsModel,
+    obs: &Obs,
+    profile_rules: bool,
+) -> Result<Vec<ProofReport>, CoreError> {
     PLANS
         .iter()
-        .map(|plan| verify_property(model, plan.name))
+        .map(|plan| verify_property_with(model, plan.name, obs, profile_rules))
         .collect()
 }
 

@@ -1,44 +1,56 @@
-//! Property-based tests of the concrete model's invariants:
+//! Randomized tests of the concrete model's invariants:
 //! the intruder's knowledge is monotone and idempotent, the network only
 //! grows, and honest transitions never forge creators.
+//!
+//! Generation is SplitMix64-seeded (the offline build cannot depend on
+//! proptest), so every run covers the same reproducible case set.
 
+use equitls_obs::rng::SplitMix64;
 use equitls_tls::concrete::*;
-use proptest::prelude::*;
 
-fn prin_strategy() -> impl Strategy<Value = Prin> {
-    (0u8..5).prop_map(Prin)
+const CASES: usize = 100;
+
+fn gen_prin(rng: &mut SplitMix64) -> Prin {
+    Prin(rng.next_below(5) as u8)
 }
 
-fn pms_strategy() -> impl Strategy<Value = Pms> {
-    (prin_strategy(), prin_strategy(), 0u8..4).prop_map(|(c, s, x)| Pms {
-        client: c,
-        server: s,
-        secret: Secret(x),
-    })
+fn gen_pms(rng: &mut SplitMix64) -> Pms {
+    Pms {
+        client: gen_prin(rng),
+        server: gen_prin(rng),
+        secret: Secret(rng.next_below(4) as u8),
+    }
 }
 
-fn body_strategy() -> impl Strategy<Value = Body> {
-    prop_oneof![
-        (0u8..4, 0u8..4).prop_map(|(r, l)| Body::Ch {
-            rand: Rand(r),
-            list: ChoiceList(l | 1),
-        }),
-        (0u8..4, 0u8..2, 0u8..2).prop_map(|(r, s, c)| Body::Sh {
-            rand: Rand(r),
-            sid: Sid(s),
-            choice: Choice(c),
-        }),
-        prin_strategy().prop_map(|p| Body::Ct {
-            cert: Cert::genuine(p)
-        }),
-        (prin_strategy(), pms_strategy()).prop_map(|(k, pms)| Body::Kx { key_of: k, pms }),
-        (prin_strategy(), pms_strategy(), 0u8..4, 0u8..4).prop_map(|(p, pms, r1, r2)| {
+fn gen_body(rng: &mut SplitMix64) -> Body {
+    match rng.next_below(5) {
+        0 => Body::Ch {
+            rand: Rand(rng.next_below(4) as u8),
+            list: ChoiceList(rng.next_below(4) as u8 | 1),
+        },
+        1 => Body::Sh {
+            rand: Rand(rng.next_below(4) as u8),
+            sid: Sid(rng.next_below(2) as u8),
+            choice: Choice(rng.next_below(2) as u8),
+        },
+        2 => Body::Ct {
+            cert: Cert::genuine(gen_prin(rng)),
+        },
+        3 => Body::Kx {
+            key_of: gen_prin(rng),
+            pms: gen_pms(rng),
+        },
+        _ => {
+            let p = gen_prin(rng);
+            let pms = gen_pms(rng);
+            let r1 = Rand(rng.next_below(4) as u8);
+            let r2 = Rand(rng.next_below(4) as u8);
             Body::Sf {
                 key: SymKey {
                     prin: p,
                     pms,
-                    r1: Rand(r1),
-                    r2: Rand(r2),
+                    r1,
+                    r2,
                 },
                 hash: FinHash {
                     kind: FinKind::Server,
@@ -47,100 +59,129 @@ fn body_strategy() -> impl Strategy<Value = Body> {
                     sid: Sid(0),
                     list: Some(ChoiceList(1)),
                     choice: Choice(0),
-                    r1: Rand(r1),
-                    r2: Rand(r2),
+                    r1,
+                    r2,
                     pms,
                 },
             }
-        }),
-    ]
-}
-
-fn msg_strategy() -> impl Strategy<Value = Msg> {
-    (prin_strategy(), prin_strategy(), prin_strategy(), body_strategy())
-        .prop_map(|(crt, src, dst, body)| Msg { crt, src, dst, body })
-}
-
-fn state_strategy() -> impl Strategy<Value = State> {
-    proptest::collection::vec(msg_strategy(), 0..8).prop_map(|msgs| {
-        let mut s = State::new();
-        for m in msgs {
-            s = s.send(m);
         }
-        s
-    })
+    }
+}
+
+fn gen_msg(rng: &mut SplitMix64) -> Msg {
+    Msg {
+        crt: gen_prin(rng),
+        src: gen_prin(rng),
+        dst: gen_prin(rng),
+        body: gen_body(rng),
+    }
+}
+
+fn gen_state(rng: &mut SplitMix64) -> State {
+    let n = rng.next_below(8);
+    let mut s = State::new();
+    for _ in 0..n {
+        s = s.send(gen_msg(rng));
+    }
+    s
 }
 
 fn peers() -> Vec<Prin> {
     (1..5).map(Prin).collect()
 }
 
-proptest! {
-    /// Knowledge is monotone: more messages, no less knowledge.
-    #[test]
-    fn knowledge_is_monotone(state in state_strategy(), extra in msg_strategy()) {
+/// Knowledge is monotone: more messages, no less knowledge.
+#[test]
+fn knowledge_is_monotone() {
+    let mut rng = SplitMix64::new(0x715A);
+    for case in 0..CASES {
+        let state = gen_state(&mut rng);
+        let extra = gen_msg(&mut rng);
         let k0 = Knowledge::glean(&state, &[Secret(9)], &peers());
         let k1 = Knowledge::glean(&state.send(extra), &[Secret(9)], &peers());
-        prop_assert!(k0.pms.is_subset(&k1.pms));
-        prop_assert!(k0.sigs.is_subset(&k1.sigs));
-        prop_assert!(k0.epms.is_subset(&k1.epms));
-        prop_assert!(k0.ecfin.is_subset(&k1.ecfin));
-        prop_assert!(k0.esfin.is_subset(&k1.esfin));
+        assert!(k0.pms.is_subset(&k1.pms), "case {case}");
+        assert!(k0.sigs.is_subset(&k1.sigs), "case {case}");
+        assert!(k0.epms.is_subset(&k1.epms), "case {case}");
+        assert!(k0.ecfin.is_subset(&k1.ecfin), "case {case}");
+        assert!(k0.esfin.is_subset(&k1.esfin), "case {case}");
     }
+}
 
-    /// Gleaning is a pure function of the network: idempotent.
-    #[test]
-    fn knowledge_is_idempotent(state in state_strategy()) {
+/// Gleaning is a pure function of the network: idempotent.
+#[test]
+fn knowledge_is_idempotent() {
+    let mut rng = SplitMix64::new(0x715B);
+    for case in 0..CASES {
+        let state = gen_state(&mut rng);
         let k0 = Knowledge::glean(&state, &[Secret(9)], &peers());
         let k1 = Knowledge::glean(&state, &[Secret(9)], &peers());
-        prop_assert_eq!(k0, k1);
+        assert_eq!(k0, k1, "case {case}");
     }
+}
 
-    /// Every transition only grows the network (messages are never
-    /// deleted, §4.3) and preserves messages' creator fields.
-    #[test]
-    fn transitions_grow_the_network(state in state_strategy()) {
+/// Every transition only grows the network (messages are never
+/// deleted, §4.3) and preserves messages' creator fields.
+#[test]
+fn transitions_grow_the_network() {
+    let mut rng = SplitMix64::new(0x715C);
+    for case in 0..CASES {
+        let state = gen_state(&mut rng);
         let scope = Scope::mitchell();
         for step in successors(&state, &scope) {
-            prop_assert!(
+            assert!(
                 state.network.is_subset(&step.state.network),
-                "step {} removed messages",
+                "case {case}: step {} removed messages",
                 step.label
             );
             // At most one new message per step.
-            prop_assert!(step.state.network.len() <= state.network.len() + 1);
+            assert!(
+                step.state.network.len() <= state.network.len() + 1,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Honest transitions never produce a message whose creator differs
-    /// from its seeming sender; only intruder fakes do.
-    #[test]
-    fn only_fakes_forge_the_sender(state in state_strategy()) {
+/// Honest transitions never produce a message whose creator differs
+/// from its seeming sender; only intruder fakes do.
+#[test]
+fn only_fakes_forge_the_sender() {
+    let mut rng = SplitMix64::new(0x715D);
+    for case in 0..CASES {
+        let state = gen_state(&mut rng);
         let scope = Scope::mitchell();
         for step in successors(&state, &scope) {
-            let new_msgs: Vec<&Msg> = step
-                .state
-                .network
-                .difference(&state.network)
-                .collect();
+            let new_msgs: Vec<&Msg> = step.state.network.difference(&state.network).collect();
             for m in new_msgs {
                 if step.label.starts_with("fake") {
-                    prop_assert!(m.crt.is_intruder(), "{}: {m}", step.label);
+                    assert!(m.crt.is_intruder(), "case {case}: {}: {m}", step.label);
                 } else {
-                    prop_assert_eq!(m.crt, m.src, "{}: {}", step.label, m);
+                    assert_eq!(m.crt, m.src, "case {case}: {}: {m}", step.label);
                 }
             }
         }
     }
+}
 
-    /// PMS secrecy is locally checkable: if no kx under the intruder's key
-    /// mentions a given honest pms, gleaning never knows it.
-    #[test]
-    fn secrecy_depends_only_on_kx_to_intruder(state in state_strategy(), pms in pms_strategy()) {
-        prop_assume!(pms.client.is_trustable());
-        let leaked = state.messages().any(|m| matches!(m.body, Body::Kx { key_of, pms: p }
-            if key_of == Prin::INTRUDER && p == pms));
+/// PMS secrecy is locally checkable: if no kx under the intruder's key
+/// mentions a given honest pms, gleaning never knows it.
+#[test]
+fn secrecy_depends_only_on_kx_to_intruder() {
+    let mut rng = SplitMix64::new(0x715E);
+    let mut checked = 0;
+    for case in 0..CASES * 2 {
+        let state = gen_state(&mut rng);
+        let pms = gen_pms(&mut rng);
+        if !pms.client.is_trustable() {
+            continue;
+        }
+        checked += 1;
+        let leaked = state.messages().any(|m| {
+            matches!(m.body, Body::Kx { key_of, pms: p }
+            if key_of == Prin::INTRUDER && p == pms)
+        });
         let k = Knowledge::glean(&state, &[], &peers());
-        prop_assert_eq!(k.pms.contains(&pms), leaked);
+        assert_eq!(k.pms.contains(&pms), leaked, "case {case}");
     }
+    assert!(checked >= CASES / 2, "too few trustable cases: {checked}");
 }

@@ -20,9 +20,8 @@ fn main() {
     scope.max_messages = 2;
     let machine = TlsMachine::new(scope.clone());
     let scope_for_monitor = scope.clone();
-    let monitor = move |s: &equitls::tls::concrete::State| {
-        props::prop2p_cf_authentic(s, &scope_for_monitor)
-    };
+    let monitor =
+        move |s: &equitls::tls::concrete::State| props::prop2p_cf_authentic(s, &scope_for_monitor);
     let limits = Limits {
         max_states: 100_000,
         max_depth: 3,

@@ -76,7 +76,12 @@ fn main() {
     drive(
         &machine,
         &state,
-        &["chello2(p2,p3", "shello2(p3,p2", "sfin2(p3,p2", "cfin2(p2,p3"],
+        &[
+            "chello2(p2,p3",
+            "shello2(p3,p2",
+            "sfin2(p3,p2",
+            "cfin2(p2,p3",
+        ],
     )
     .expect("the resumption is enabled");
 

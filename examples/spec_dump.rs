@@ -14,7 +14,8 @@ use equitls::tls::TlsModel;
 fn main() {
     let model = TlsModel::standard().expect("model builds");
     println!("-- EquiTLS: the abstract TLS handshake protocol (Figure 2)");
-    println!("-- {} modules, {} operators, {} transitions\n",
+    println!(
+        "-- {} modules, {} operators, {} transitions\n",
         model.spec.modules().len(),
         model.spec.store().signature().op_count(),
         model.ots.actions.len(),

@@ -101,8 +101,8 @@ fn the_symbolic_prover_leaves_2prime_open() {
                 "prop2prime",
                 vars["P"],
                 vec![
-                    vars["A"], vars["B"], vars["B1"], vars["R1"], vars["R2"], vars["L"],
-                    vars["C"], vars["I"], vars["PM"],
+                    vars["A"], vars["B"], vars["B1"], vars["R1"], vars["R2"], vars["L"], vars["C"],
+                    vars["I"], vars["PM"],
                 ],
                 body,
             )

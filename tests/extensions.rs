@@ -24,12 +24,7 @@ fn on_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T 
         .expect("join")
 }
 
-fn build_invariant(
-    model: &mut TlsModel,
-    name: &str,
-    params: &[&str],
-    body_src: &str,
-) -> Invariant {
+fn build_invariant(model: &mut TlsModel, name: &str, params: &[&str], body_src: &str) -> Invariant {
     let ast = parse_term_ast(body_src).unwrap();
     let mut scope = ElabScope::new();
     let mut vars = std::collections::HashMap::new();
@@ -72,8 +67,7 @@ fn client_session_records_are_well_named() {
         }
         invariants.push(ext);
         let config = verify::prover_config(&model);
-        let mut prover =
-            Prover::new(&mut model.spec, &model.ots, &invariants).with_config(config);
+        let mut prover = Prover::new(&mut model.spec, &model.ots, &invariants).with_config(config);
         let report = prover
             .prove_inductive("ext-session-client", &Hints::new())
             .unwrap();
@@ -107,8 +101,7 @@ fn server_session_records_are_not_well_named() {
         }
         invariants.push(ext);
         let config = verify::prover_config(&model);
-        let mut prover =
-            Prover::new(&mut model.spec, &model.ots, &invariants).with_config(config);
+        let mut prover = Prover::new(&mut model.spec, &model.ots, &invariants).with_config(config);
         let report = prover
             .prove_inductive("ext-session-server", &Hints::new())
             .unwrap();

@@ -41,10 +41,7 @@ fn every_mutant_breaks_its_expected_properties_and_nothing_more() {
 
             for name in mutant.expected_failures() {
                 let report = prover.prove_inductive(name, &hints_for(name)).unwrap();
-                assert!(
-                    !report.is_proved(),
-                    "{mutant:?}: {name} must fail"
-                );
+                assert!(!report.is_proved(), "{mutant:?}: {name} must fail");
                 let open = report.open_cases();
                 assert!(
                     open.iter()
@@ -55,7 +52,9 @@ fn every_mutant_breaks_its_expected_properties_and_nothing_more() {
             }
 
             let control = mutant.control_property();
-            let report = prover.prove_inductive(control, &hints_for(control)).unwrap();
+            let report = prover
+                .prove_inductive(control, &hints_for(control))
+                .unwrap();
             assert!(
                 report.is_proved(),
                 "{mutant:?}: control property {control} must still prove; open: {:#?}",

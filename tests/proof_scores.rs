@@ -38,12 +38,8 @@ fn inv2_records_the_papers_fakesfin2_case_structure() {
             );
             // The landmark decisions of §5.2: the effective condition
             // (PMS gleanable), and the a/b = intruder splits.
-            let all_decisions: Vec<String> = fake
-                .scores
-                .iter()
-                .flatten()
-                .map(|d| d.render())
-                .collect();
+            let all_decisions: Vec<String> =
+                fake.scores.iter().flatten().map(|d| d.render()).collect();
             assert!(
                 all_decisions.iter().any(|d| d.contains("cpms(nw(")),
                 "the effective condition is split on: {all_decisions:?}"
