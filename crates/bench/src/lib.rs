@@ -47,15 +47,54 @@ pub fn random_formula(
     *build.last().expect("non-empty")
 }
 
+/// Why a term cannot be evaluated as a Boolean formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// The formula contains an operator the evaluator does not interpret
+    /// (and that is not one of the supplied atoms).
+    UnsupportedOperator {
+        /// Name of the offending operator.
+        op: String,
+    },
+    /// Enumerating the truth table would take 2^count rows.
+    TooManyAtoms {
+        /// How many atoms were supplied.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormulaError::UnsupportedOperator { op } => {
+                write!(f, "unsupported operator `{op}` in formula")
+            }
+            FormulaError::TooManyAtoms { count } => {
+                write!(f, "truth table over {count} atoms would explode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {}
+
 /// Decide tautology by brute-force truth table — the naive baseline for
 /// the Boolean-ring ablation.
+///
+/// # Errors
+///
+/// [`FormulaError::TooManyAtoms`] over more than 20 atoms, and
+/// [`FormulaError::UnsupportedOperator`] when the formula mentions an
+/// operator outside the Boolean connectives and `atoms`.
 pub fn truth_table_tautology(
     store: &TermStore,
     alg: &BoolAlg,
     atoms: &[TermId],
     formula: TermId,
-) -> bool {
-    assert!(atoms.len() <= 20, "truth table would explode");
+) -> Result<bool, FormulaError> {
+    if atoms.len() > 20 {
+        return Err(FormulaError::TooManyAtoms { count: atoms.len() });
+    }
     for bits in 0..(1u32 << atoms.len()) {
         let assignment = |t: TermId| -> Option<bool> {
             atoms
@@ -63,11 +102,11 @@ pub fn truth_table_tautology(
                 .position(|&a| a == t)
                 .map(|i| bits & (1 << i) != 0)
         };
-        if !eval_formula(store, alg, formula, &assignment) {
-            return false;
+        if !eval_formula(store, alg, formula, &assignment)? {
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 fn eval_formula(
@@ -75,35 +114,41 @@ fn eval_formula(
     alg: &BoolAlg,
     t: TermId,
     assignment: &dyn Fn(TermId) -> Option<bool>,
-) -> bool {
+) -> Result<bool, FormulaError> {
     if let Some(v) = assignment(t) {
-        return v;
+        return Ok(v);
     }
-    let op = store.op_of(t).expect("formula node");
+    let Some(op) = store.op_of(t) else {
+        return Err(FormulaError::UnsupportedOperator {
+            op: format!("free variable {}", store.display(t)),
+        });
+    };
     let args = store.args(t);
     if op == alg.true_op() {
-        true
+        Ok(true)
     } else if op == alg.false_op() {
-        false
+        Ok(false)
     } else if op == alg.not_op() {
-        !eval_formula(store, alg, args[0], assignment)
+        Ok(!eval_formula(store, alg, args[0], assignment)?)
     } else if op == alg.and_op() {
-        eval_formula(store, alg, args[0], assignment)
-            && eval_formula(store, alg, args[1], assignment)
+        Ok(eval_formula(store, alg, args[0], assignment)?
+            && eval_formula(store, alg, args[1], assignment)?)
     } else if op == alg.or_op() {
-        eval_formula(store, alg, args[0], assignment)
-            || eval_formula(store, alg, args[1], assignment)
+        Ok(eval_formula(store, alg, args[0], assignment)?
+            || eval_formula(store, alg, args[1], assignment)?)
     } else if op == alg.xor_op() {
-        eval_formula(store, alg, args[0], assignment)
-            ^ eval_formula(store, alg, args[1], assignment)
+        Ok(eval_formula(store, alg, args[0], assignment)?
+            ^ eval_formula(store, alg, args[1], assignment)?)
     } else if op == alg.implies_op() {
-        !eval_formula(store, alg, args[0], assignment)
-            || eval_formula(store, alg, args[1], assignment)
+        Ok(!eval_formula(store, alg, args[0], assignment)?
+            || eval_formula(store, alg, args[1], assignment)?)
     } else if op == alg.iff_op() {
-        eval_formula(store, alg, args[0], assignment)
-            == eval_formula(store, alg, args[1], assignment)
+        Ok(eval_formula(store, alg, args[0], assignment)?
+            == eval_formula(store, alg, args[1], assignment)?)
     } else {
-        panic!("unexpected operator in formula");
+        Err(FormulaError::UnsupportedOperator {
+            op: store.signature().op(op).name.clone(),
+        })
     }
 }
 
@@ -151,9 +196,27 @@ mod tests {
             let f = random_formula(&mut store, &alg, &atoms, 12, seed);
             let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
             let by_ring = norm.proves(&mut store, f).unwrap();
-            let by_table = truth_table_tautology(&store, &alg, &atoms, f);
+            let by_table = truth_table_tautology(&store, &alg, &atoms, f).unwrap();
             assert_eq!(by_ring, by_table, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn unsupported_operators_are_a_typed_error_not_a_panic() {
+        let (mut store, alg, atoms) = bool_world(2);
+        // `_=_` over Bool is not one of the evaluated connectives.
+        let eq_op = alg.eq_op(alg.sort()).expect("BOOL installs _=_");
+        let f = store.app(eq_op, &[atoms[0], atoms[1]]).unwrap();
+        let err = truth_table_tautology(&store, &alg, &atoms, f).unwrap_err();
+        assert!(matches!(err, FormulaError::UnsupportedOperator { ref op } if op == "_=_"));
+        assert!(err.to_string().contains("unsupported operator"));
+    }
+
+    #[test]
+    fn oversized_truth_tables_are_refused() {
+        let (store, alg, atoms) = bool_world(21);
+        let err = truth_table_tautology(&store, &alg, &atoms, atoms[0]).unwrap_err();
+        assert_eq!(err, FormulaError::TooManyAtoms { count: 21 });
     }
 
     #[test]

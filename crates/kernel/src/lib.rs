@@ -19,6 +19,8 @@
 //! * [`term`] — hash-consed terms stored in a [`term::TermStore`] arena,
 //! * [`subst`] — substitutions mapping variables to terms,
 //! * [`matching`] — first-order matching of rule patterns against subjects,
+//! * [`unify`] — syntactic unification and position utilities for
+//!   critical-pair analysis,
 //! * [`display`] — human-readable CafeOBJ-flavoured printing.
 //!
 //! # Example
@@ -59,6 +61,7 @@ pub mod signature;
 pub mod sort;
 pub mod subst;
 pub mod term;
+pub mod unify;
 
 pub use error::KernelError;
 
@@ -71,4 +74,7 @@ pub mod prelude {
     pub use crate::sort::{SortId, SortKind};
     pub use crate::subst::Subst;
     pub use crate::term::{Term, TermId, TermStore, VarDecl, VarId};
+    pub use crate::unify::{
+        apply_to_fixpoint, function_positions, replace_at, unify, UnifyOutcome,
+    };
 }

@@ -1,0 +1,354 @@
+//! Syntactic (first-order) unification.
+//!
+//! Rewriting itself only needs *matching* ([`crate::matching`]): proof
+//! subjects are ground, so one side of every comparison is variable-free.
+//! Static analysis of the rule set needs more: computing **critical pairs**
+//! requires unifying one rule's left-hand side with a subterm of another's,
+//! where *both* sides contain variables. This module provides the most
+//! general unifier for that purpose.
+//!
+//! The implementation is the standard worklist algorithm with an occurs
+//! check and the same sort discipline as matching: a variable only unifies
+//! with terms of exactly its sort. The returned substitution is
+//! **idempotent** — every binding is fully resolved through the others — so
+//! a single [`Subst::apply`] instantiates a term completely.
+
+use crate::subst::Subst;
+use crate::term::{Term, TermId, TermStore, VarId};
+
+/// The result of a unification attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifyOutcome {
+    /// The terms unify; the contained substitution is their most general
+    /// unifier (idempotent).
+    Unified(Subst),
+    /// The terms do not unify (symbol clash, sort clash, or occurs check).
+    Failed,
+}
+
+impl UnifyOutcome {
+    /// Extract the unifier, if any.
+    pub fn into_subst(self) -> Option<Subst> {
+        match self {
+            UnifyOutcome::Unified(s) => Some(s),
+            UnifyOutcome::Failed => None,
+        }
+    }
+}
+
+/// Compute the most general unifier of `a` and `b`, if one exists.
+///
+/// Both terms must come from `store`. Variables from both sides may be
+/// bound; callers that need the overlap of two *rules* must rename the
+/// rules apart first (see `equitls-lint`'s critical-pair pass).
+pub fn unify(store: &TermStore, a: TermId, b: TermId) -> UnifyOutcome {
+    let mut subst = Subst::new();
+    let mut work = vec![(a, b)];
+    while let Some((x, y)) = work.pop() {
+        let x = resolve(store, &subst, x);
+        let y = resolve(store, &subst, y);
+        if x == y {
+            continue;
+        }
+        match (store.node(x).clone(), store.node(y).clone()) {
+            (Term::Var(v), _) => {
+                if !try_bind(store, &mut subst, v, y) {
+                    return UnifyOutcome::Failed;
+                }
+            }
+            (_, Term::Var(v)) => {
+                if !try_bind(store, &mut subst, v, x) {
+                    return UnifyOutcome::Failed;
+                }
+            }
+            (Term::App { op: f, args: xs }, Term::App { op: g, args: ys }) => {
+                if f != g || xs.len() != ys.len() {
+                    return UnifyOutcome::Failed;
+                }
+                work.extend(xs.into_iter().zip(ys));
+            }
+        }
+    }
+    UnifyOutcome::Unified(normalize_subst(store, subst))
+}
+
+/// Chase variable bindings until a non-variable or unbound variable.
+fn resolve(store: &TermStore, subst: &Subst, mut t: TermId) -> TermId {
+    while let Term::Var(v) = store.node(t) {
+        match subst.get(*v) {
+            Some(next) if next != t => t = next,
+            _ => break,
+        }
+    }
+    t
+}
+
+/// Bind `v := t`, enforcing the sort discipline and the occurs check.
+fn try_bind(store: &TermStore, subst: &mut Subst, v: VarId, t: TermId) -> bool {
+    if store.var_decl(v).sort != store.sort_of(t) {
+        return false;
+    }
+    if occurs(store, subst, v, t) {
+        return false;
+    }
+    subst.bind(v, t);
+    true
+}
+
+/// `true` when `v` occurs in `t` after resolving bindings.
+fn occurs(store: &TermStore, subst: &Subst, v: VarId, t: TermId) -> bool {
+    let t = resolve(store, subst, t);
+    match store.node(t) {
+        Term::Var(w) => *w == v,
+        Term::App { args, .. } => {
+            let args = args.clone();
+            args.iter().any(|&a| occurs(store, subst, v, a))
+        }
+    }
+}
+
+/// Make a unifier idempotent: resolve every binding through all the others.
+///
+/// The occurs check guarantees the binding graph is acyclic, so repeated
+/// application terminates.
+fn normalize_subst(store: &TermStore, subst: Subst) -> Subst {
+    // `Subst::apply` needs `&mut TermStore` only to intern instantiated
+    // applications; here every instantiated term already exists, but we
+    // cannot assume that in general, so resolve structurally instead.
+    fn deep_resolve(store: &TermStore, subst: &Subst, t: TermId) -> Option<TermId> {
+        match store.node(t) {
+            Term::Var(v) => match subst.get(*v) {
+                Some(bound) if bound != t => deep_resolve(store, subst, bound).or(Some(bound)),
+                _ => None,
+            },
+            Term::App { .. } => None,
+        }
+    }
+    let mut out = Subst::new();
+    for (v, t) in subst.iter() {
+        let resolved = deep_resolve(store, &subst, t).unwrap_or(t);
+        out.bind(v, resolved);
+    }
+    out
+}
+
+/// Fully instantiate `t` under `subst`, interning new nodes as needed.
+///
+/// Unlike [`Subst::apply`] this iterates to a fixpoint, so it is safe for
+/// unifiers whose bindings mention other bound variables (pre-normalized
+/// substitutions built incrementally).
+pub fn apply_to_fixpoint(store: &mut TermStore, subst: &Subst, t: TermId) -> TermId {
+    let mut cur = t;
+    // The occurs check bounds the chain length by the number of bindings.
+    for _ in 0..=subst.len() {
+        let next = subst.apply(store, cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// All positions of `t` holding a non-variable subterm, in pre-order.
+///
+/// A position is a path of argument indices from the root; the root is the
+/// empty path. Critical-pair computation overlaps rule left-hand sides at
+/// exactly these positions (variable positions never give critical pairs).
+pub fn function_positions(store: &TermStore, t: TermId) -> Vec<(Vec<usize>, TermId)> {
+    let mut out = Vec::new();
+    let mut stack = vec![(Vec::new(), t)];
+    while let Some((path, cur)) = stack.pop() {
+        if let Term::App { args, .. } = store.node(cur) {
+            let args = args.clone();
+            for (i, &a) in args.iter().enumerate().rev() {
+                let mut p = path.clone();
+                p.push(i);
+                stack.push((p, a));
+            }
+            out.push((path, cur));
+        }
+    }
+    // Pre-order: the stack pushes children after recording the parent, but
+    // popping reverses sibling order; sort by path for a stable ordering.
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Replace the subterm of `t` at `position` with `replacement`.
+///
+/// # Panics
+///
+/// Panics if the position does not exist in `t` or if the replacement is
+/// ill-sorted at that position (both are programming errors in the caller —
+/// positions come from [`function_positions`] and replacements from rules
+/// whose sides share a sort).
+pub fn replace_at(
+    store: &mut TermStore,
+    t: TermId,
+    position: &[usize],
+    replacement: TermId,
+) -> TermId {
+    match position.split_first() {
+        None => replacement,
+        Some((&i, rest)) => {
+            let (op, args) = match store.node(t) {
+                Term::App { op, args } => (*op, args.clone()),
+                Term::Var(_) => panic!("replace_at: position descends into a variable"),
+            };
+            let mut new_args = args;
+            new_args[i] = replace_at(store, new_args[i], rest, replacement);
+            store
+                .app(op, &new_args)
+                .expect("replace_at: replacement preserves sorts")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpAttrs, OpId};
+    use crate::signature::Signature;
+    use crate::sort::SortId;
+
+    struct World {
+        store: TermStore,
+        s: SortId,
+        r: SortId,
+        c: OpId,
+        d: OpId,
+        f: OpId,
+        g: OpId,
+    }
+
+    fn world() -> World {
+        let mut sig = Signature::new();
+        let s = sig.add_visible_sort("S").unwrap();
+        let r = sig.add_visible_sort("R").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s, s], s, OpAttrs::constructor()).unwrap();
+        let g = sig.add_op("g", &[s], s, OpAttrs::constructor()).unwrap();
+        World {
+            store: TermStore::new(sig),
+            s,
+            r,
+            c,
+            d,
+            f,
+            g,
+        }
+    }
+
+    #[test]
+    fn unifies_variable_with_term_both_directions() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        for (a, b) in [(xt, gc), (gc, xt)] {
+            let mgu = unify(&w.store, a, b).into_subst().expect("unifies");
+            assert_eq!(mgu.get(x), Some(gc));
+        }
+    }
+
+    #[test]
+    fn unifies_two_open_terms_to_common_instance() {
+        // f(X, c) =? f(d, Y)  →  X := d, Y := c.
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let y = w.store.declare_var("Y", w.s).unwrap();
+        let xt = w.store.var(x);
+        let yt = w.store.var(y);
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        let a = w.store.app(w.f, &[xt, cv]).unwrap();
+        let b = w.store.app(w.f, &[dv, yt]).unwrap();
+        let mgu = unify(&w.store, a, b).into_subst().expect("unifies");
+        let ia = apply_to_fixpoint(&mut w.store, &mgu, a);
+        let ib = apply_to_fixpoint(&mut w.store, &mgu, b);
+        assert_eq!(ia, ib);
+        let expected = w.store.app(w.f, &[dv, cv]).unwrap();
+        assert_eq!(ia, expected);
+    }
+
+    #[test]
+    fn variable_chains_resolve_to_an_idempotent_unifier() {
+        // f(X, X) =? f(Y, g(Z)): X ~ Y, then X ~ g(Z); the binding for Y
+        // must resolve through X to g(Z).
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let y = w.store.declare_var("Y", w.s).unwrap();
+        let z = w.store.declare_var("Z", w.s).unwrap();
+        let (xt, yt, zt) = (w.store.var(x), w.store.var(y), w.store.var(z));
+        let gz = w.store.app(w.g, &[zt]).unwrap();
+        let a = w.store.app(w.f, &[xt, xt]).unwrap();
+        let b = w.store.app(w.f, &[yt, gz]).unwrap();
+        let mgu = unify(&w.store, a, b).into_subst().expect("unifies");
+        let ia = apply_to_fixpoint(&mut w.store, &mgu, a);
+        let ib = apply_to_fixpoint(&mut w.store, &mgu, b);
+        assert_eq!(ia, ib);
+        // Idempotence: a single plain apply must already reach the fixpoint.
+        assert_eq!(mgu.apply(&mut w.store, a), ia);
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_solutions() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let gx = w.store.app(w.g, &[xt]).unwrap();
+        assert_eq!(unify(&w.store, xt, gx), UnifyOutcome::Failed);
+        // Indirect cycle: f(X, g(X)) =? f(g(Y), Y).
+        let y = w.store.declare_var("Y", w.s).unwrap();
+        let yt = w.store.var(y);
+        let gy = w.store.app(w.g, &[yt]).unwrap();
+        let a = w.store.app(w.f, &[xt, gx]).unwrap();
+        let b = w.store.app(w.f, &[gy, yt]).unwrap();
+        assert_eq!(unify(&w.store, a, b), UnifyOutcome::Failed);
+    }
+
+    #[test]
+    fn symbol_and_sort_clashes_fail() {
+        let mut w = world();
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        assert_eq!(unify(&w.store, cv, dv), UnifyOutcome::Failed);
+        let x = w.store.declare_var("RX", w.r).unwrap();
+        let xt = w.store.var(x);
+        // Variable of sort R cannot take a term of sort S.
+        assert_eq!(unify(&w.store, xt, cv), UnifyOutcome::Failed);
+    }
+
+    #[test]
+    fn function_positions_enumerate_non_variable_subterms_in_preorder() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        let t = w.store.app(w.f, &[xt, gc]).unwrap();
+        let positions = function_positions(&w.store, t);
+        let paths: Vec<Vec<usize>> = positions.iter().map(|(p, _)| p.clone()).collect();
+        // Root, g(c) at [1], c at [1,0]; the variable at [0] is skipped.
+        assert_eq!(paths, vec![vec![], vec![1], vec![1, 0]]);
+        assert_eq!(positions[1].1, gc);
+        assert_eq!(positions[2].1, cv);
+    }
+
+    #[test]
+    fn replace_at_rebuilds_the_spine() {
+        let mut w = world();
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        let t = w.store.app(w.f, &[gc, cv]).unwrap();
+        let replaced = replace_at(&mut w.store, t, &[0, 0], dv);
+        let gd = w.store.app(w.g, &[dv]).unwrap();
+        let expected = w.store.app(w.f, &[gd, cv]).unwrap();
+        assert_eq!(replaced, expected);
+        assert_eq!(replace_at(&mut w.store, t, &[], dv), dv);
+    }
+}

@@ -1,0 +1,291 @@
+//! Sufficient completeness: constructor coverage of defined operators.
+//!
+//! A defined operator is *sufficiently complete* when its rules cover
+//! every constructor instantiation of its argument sorts — otherwise some
+//! ground terms headed by it are stuck (no rule fires, no normal form in
+//! constructor terms). The check is the classic pattern-matrix usefulness
+//! recursion (Maranget): the operator is complete iff the all-wildcard
+//! vector is *useless* against the matrix of its rules' argument
+//! patterns; when it is useful, the recursion reconstructs a concrete
+//! witness pattern for the report.
+//!
+//! Generators per sort:
+//! * visible sorts — operators declared `{constr}`;
+//! * hidden sorts — actions (the reachable states of the OTS are
+//!   `init` and its action closure) plus nullary operators of the sort.
+//!
+//! Sorts with no generators (abstract data sorts populated by arbitrary
+//! constants) are never considered complete, so columns over them are
+//! satisfied only by wildcard rows.
+//!
+//! The check deliberately over-approximates coverage in two ways — both
+//! keep it free of false positives at the price of missing some genuine
+//! gaps, and both are forced by how the specifications are written:
+//! non-linear patterns are read as linear (`p xor p` counts as covering
+//! `_ xor _`), and conditional rules count as covering their pattern
+//! (the TLS observers are defined by `ceq` pairs with complementary
+//! guards; requiring guard-completeness syntactically would flag them
+//! all).
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport};
+use equitls_kernel::op::{OpId, OpKind};
+use equitls_kernel::signature::Signature;
+use equitls_kernel::sort::{SortId, SortKind};
+use equitls_kernel::term::{Term, TermId, TermStore};
+use equitls_rewrite::rule::RuleSet;
+
+/// A linearized pattern: wildcards and (possibly non-generator)
+/// applications.
+#[derive(Debug, Clone)]
+enum Pat {
+    Wild,
+    App(OpId, Vec<Pat>),
+}
+
+impl Pat {
+    fn render(&self, sig: &Signature) -> String {
+        match self {
+            Pat::Wild => "_".to_string(),
+            Pat::App(op, args) => {
+                let decl = sig.op(*op);
+                if args.is_empty() {
+                    decl.name.clone()
+                } else {
+                    let rendered: Vec<String> = args.iter().map(|a| a.render(sig)).collect();
+                    format!("{}({})", decl.name, rendered.join(", "))
+                }
+            }
+        }
+    }
+}
+
+fn linearize(store: &TermStore, t: TermId) -> Pat {
+    match store.node(t) {
+        Term::Var(_) => Pat::Wild,
+        Term::App { op, args } => {
+            let args = args.clone();
+            Pat::App(*op, args.iter().map(|&a| linearize(store, a)).collect())
+        }
+    }
+}
+
+/// The generators of `sort`: the operators a ground constructor term of
+/// that sort can be headed by.
+fn generators(sig: &Signature, sort: SortId) -> Vec<OpId> {
+    let hidden = sig.sort(sort).kind == SortKind::Hidden;
+    sig.ops()
+        .filter(|(_, decl)| decl.result == sort)
+        .filter(|(_, decl)| {
+            if hidden {
+                decl.attrs.kind == OpKind::Action || decl.is_constant()
+            } else {
+                decl.attrs.kind == OpKind::Constructor
+            }
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Is the all-wildcard vector useful against `matrix` (columns typed by
+/// `sorts`)? Returns a witness vector when it is — a pattern no row
+/// covers.
+fn uncovered_witness(sig: &Signature, matrix: &[Vec<Pat>], sorts: &[SortId]) -> Option<Vec<Pat>> {
+    if matrix.is_empty() {
+        return Some(vec![Pat::Wild; sorts.len()]);
+    }
+    let Some((&col_sort, rest_sorts)) = sorts.split_first() else {
+        // Width zero with at least one row: that row covers everything.
+        return None;
+    };
+    let gens = generators(sig, col_sort);
+    let heads: Vec<OpId> = matrix
+        .iter()
+        .filter_map(|row| match &row[0] {
+            Pat::App(op, _) => Some(*op),
+            Pat::Wild => None,
+        })
+        .collect();
+    let complete = !gens.is_empty() && gens.iter().all(|g| heads.contains(g));
+    if complete {
+        // Specialize by every generator; useful iff useful for one.
+        for &c in &gens {
+            let arity = sig.op(c).arity();
+            let specialized: Vec<Vec<Pat>> = matrix
+                .iter()
+                .filter_map(|row| {
+                    let (first, rest) = row.split_first().expect("width checked");
+                    let head: Option<Vec<Pat>> = match first {
+                        Pat::Wild => Some(vec![Pat::Wild; arity]),
+                        Pat::App(op, args) if *op == c => Some(args.clone()),
+                        Pat::App(..) => None,
+                    };
+                    head.map(|mut h| {
+                        h.extend(rest.iter().cloned());
+                        h
+                    })
+                })
+                .collect();
+            let mut sub_sorts = sig.op(c).args.clone();
+            sub_sorts.extend_from_slice(rest_sorts);
+            if let Some(w) = uncovered_witness(sig, &specialized, &sub_sorts) {
+                let (ctor_args, rest) = w.split_at(arity);
+                let mut out = vec![Pat::App(c, ctor_args.to_vec())];
+                out.extend(rest.iter().cloned());
+                return Some(out);
+            }
+        }
+        None
+    } else {
+        // Incomplete column: only wildcard rows constrain the remainder.
+        let default: Vec<Vec<Pat>> = matrix
+            .iter()
+            .filter_map(|row| match &row[0] {
+                Pat::Wild => Some(row[1..].to_vec()),
+                Pat::App(..) => None,
+            })
+            .collect();
+        let w = uncovered_witness(sig, &default, rest_sorts)?;
+        // Make the witness concrete with a generator no row handles.
+        let first = gens
+            .iter()
+            .find(|g| !heads.contains(g))
+            .map(|&g| Pat::App(g, vec![Pat::Wild; sig.op(g).arity()]))
+            .unwrap_or(Pat::Wild);
+        let mut out = vec![first];
+        out.extend(w);
+        Some(out)
+    }
+}
+
+/// Run the coverage pass over every operator that heads at least one
+/// rule, reporting `missing-case` findings into `report`. Returns the
+/// number of operators checked.
+pub fn check_coverage(
+    store: &TermStore,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) -> usize {
+    let sig = store.signature();
+    let heads = rules.defined_heads();
+    let mut missing = 0usize;
+    for &op in &heads {
+        let decl = sig.op(op);
+        let matrix: Vec<Vec<Pat>> = rules
+            .rules_for_op(op)
+            .map(|(_, rule)| {
+                store
+                    .args(rule.lhs)
+                    .iter()
+                    .map(|&a| linearize(store, a))
+                    .collect()
+            })
+            .collect();
+        if let Some(witness) = uncovered_witness(sig, &matrix, &decl.args) {
+            missing += 1;
+            let args: Vec<String> = witness.iter().map(|p| p.render(sig)).collect();
+            report.push(
+                config,
+                Diagnostic {
+                    code: LintCode::MissingCase,
+                    severity: LintCode::MissingCase.default_severity(),
+                    message: format!(
+                        "rules for `{}` do not cover the constructor instantiation \
+                         `{}({})`; such terms are stuck (no rule fires)",
+                        decl.name,
+                        decl.name,
+                        args.join(", "),
+                    ),
+                    rule: None,
+                    span: None,
+                    justification: None,
+                },
+            );
+        }
+    }
+    if missing == 0 && !heads.is_empty() {
+        let counted = if heads.len() == 1 {
+            "the 1 rule-defined operator is".to_string()
+        } else {
+            format!("all {} rule-defined operators are", heads.len())
+        };
+        report.note(format!(
+            "sufficient completeness: {counted} constructor-complete",
+        ));
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_kernel::op::OpAttrs;
+    use equitls_rewrite::bool_alg::BoolAlg;
+    use equitls_rewrite::bool_rules::hd_bool_rules;
+
+    fn bool_world() -> (TermStore, BoolAlg) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        (TermStore::new(sig), alg)
+    }
+
+    #[test]
+    fn hd_bool_rules_are_constructor_complete() {
+        let (mut store, alg) = bool_world();
+        let rules = hd_bool_rules(&mut store, &alg).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("BOOL");
+        let missing = check_coverage(&store, &rules, &config, &mut report);
+        assert_eq!(missing, 0, "{report}");
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn a_gap_is_reported_with_a_witness() {
+        let (mut store, alg) = bool_world();
+        let bool_sort = alg.sort();
+        let f = store
+            .signature_mut()
+            .add_op("coverf", &[bool_sort], bool_sort, OpAttrs::defined())
+            .unwrap();
+        let tt = alg.tt(&mut store);
+        let f_true = store.app(f, &[tt]).unwrap();
+        let mut rules = RuleSet::new();
+        // Only coverf(true) is handled; coverf(false) is stuck.
+        rules
+            .add(&store, "partial", f_true, tt, None, None)
+            .unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("gap");
+        let missing = check_coverage(&store, &rules, &config, &mut report);
+        assert_eq!(missing, 1);
+        let diags = report.with_code(LintCode::MissingCase);
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("coverf(false)"),
+            "witness should name the uncovered constructor: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn wildcard_rows_cover_abstract_sorts() {
+        // An operator over a generator-free sort is covered by a variable
+        // pattern and can never be flagged otherwise.
+        let (mut store, alg) = bool_world();
+        let data = store.signature_mut().add_visible_sort("CovData").unwrap();
+        let g = store
+            .signature_mut()
+            .add_op("coverg", &[data], alg.sort(), OpAttrs::defined())
+            .unwrap();
+        let x = store.declare_var("COVX", data).unwrap();
+        let xv = store.var(x);
+        let g_x = store.app(g, &[xv]).unwrap();
+        let tt = alg.tt(&mut store);
+        let mut rules = RuleSet::new();
+        rules.add(&store, "total", g_x, tt, None, None).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("abstract");
+        assert_eq!(check_coverage(&store, &rules, &config, &mut report), 0);
+    }
+}

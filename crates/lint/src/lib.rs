@@ -1,0 +1,149 @@
+//! `equitls-lint` — static analysis of rewrite systems.
+//!
+//! The OTS/CafeOBJ method reads equations as left-to-right rewrite rules
+//! and trusts `red` to decide equality. That trust rests on properties of
+//! the rule set that the prover itself never checks: **termination** (every
+//! reduction halts), **local confluence** (the normal form does not depend
+//! on rule order), and **sufficient completeness** (defined operators
+//! reduce on every constructor input). This crate checks them statically
+//! and reports findings as structured diagnostics:
+//!
+//! * [`termination`] — direct-loop detection plus a searched
+//!   lexicographic-path-order precedence that orients every rule;
+//! * [`confluence`] — Knuth–Bendix critical pairs, joined through the
+//!   workspace's own rewrite engine, with mutually-exclusive conditional
+//!   pairs pruned through the GF(2) ring;
+//! * [`coverage`] — Maranget-style pattern-matrix completeness of each
+//!   rule-defined operator over its constructor generators;
+//! * [`style`] — duplicate and shadowed rules, non-linear left-hand
+//!   sides, unused declarations, trivially true/false conditions.
+//!
+//! Findings carry stable [`LintCode`]s and [`Severity`] levels
+//! (`deny`/`warn`/`allow`), overridable per code — with a recorded
+//! justification — through [`LintConfig`]. [`lint_system`] analyzes a raw
+//! signature-plus-rules pair; [`lint_spec`] analyzes a loaded
+//! specification and attaches source spans to findings about parsed
+//! equations. The `tls-lint` binary (in `equitls-tls`) drives both over
+//! every shipped equation set.
+
+pub mod confluence;
+pub mod coverage;
+pub mod diagnostics;
+pub mod style;
+pub mod termination;
+
+pub use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
+
+use equitls_kernel::term::TermStore;
+use equitls_rewrite::bool_alg::BoolAlg;
+use equitls_rewrite::rule::RuleSet;
+use equitls_spec::spec::Spec;
+
+/// Run every analysis pass over `rules` in `store`, labeling the report
+/// with `target`.
+pub fn lint_system(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    rules: &RuleSet,
+    target: &str,
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = LintReport::new(target);
+    termination::check_termination(store, rules, config, &mut report);
+    confluence::check_confluence(store, alg, rules, config, &mut report);
+    coverage::check_coverage(store, rules, config, &mut report);
+    style::check_style(store, alg, rules, config, &mut report);
+    report
+}
+
+/// Lint a loaded specification: every installed equation, with source
+/// spans attached to findings about equations that came from parsed DSL
+/// text.
+pub fn lint_spec(spec: &mut Spec, target: &str, config: &LintConfig) -> LintReport {
+    let alg = spec.alg().clone();
+    let rules = spec.rules().clone();
+    let mut report = lint_system(spec.store_mut(), &alg, &rules, target, config);
+    for d in &mut report.diagnostics {
+        if d.span.is_none() {
+            if let Some(label) = &d.rule {
+                d.span = spec.equation_span(label);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_kernel::signature::Signature;
+    use equitls_rewrite::bool_rules::hd_bool_rules;
+
+    #[test]
+    fn full_lint_of_hd_bool_has_no_warnings_or_errors() {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let mut store = TermStore::new(sig);
+        let rules = hd_bool_rules(&mut store, &alg).unwrap();
+        let config = LintConfig::new();
+        let report = lint_system(&mut store, &alg, &rules, "BOOL", &config);
+        assert_eq!(report.count(Severity::Deny), 0, "{report}");
+        assert_eq!(report.count(Severity::Warn), 0, "{report}");
+        // Termination, confluence, and coverage each leave a proof note.
+        assert_eq!(report.notes.len(), 3, "{report}");
+        assert!(!report.has_deny());
+        let json = report.to_json();
+        assert_eq!(json.get("deny").and_then(|v| v.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn config_overrides_downgrade_and_record_justification() {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let mut store = TermStore::new(sig);
+        let tt = alg.tt(&mut store);
+        let looped = store.app(alg.not_op(), &[tt]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "loop", tt, looped, None, None).unwrap();
+        let mut config = LintConfig::new();
+        config.allow(LintCode::TerminationLoop, "fixture exercises the loop lint");
+        let report = lint_system(&mut store, &alg, &rules, "fixture", &config);
+        let loops = report.with_code(LintCode::TerminationLoop);
+        assert!(!loops.is_empty());
+        assert!(loops.iter().all(|d| d.severity == Severity::Allow));
+        assert!(loops[0]
+            .justification
+            .as_deref()
+            .is_some_and(|j| j.contains("fixture")));
+        assert!(!report.has_deny());
+    }
+
+    #[test]
+    fn lint_spec_attaches_source_spans() {
+        let mut spec = Spec::new().unwrap();
+        spec.load_module(
+            r#"
+            mod! SPANT {
+              [ S ]
+              op a : -> S {constr} .
+              op b : -> S {constr} .
+              op f : S -> S .
+              var X : S .
+              eq [first] : f(X) = a .
+              eq [copy] : f(X) = a .
+            }
+            "#,
+        )
+        .unwrap();
+        let config = LintConfig::new();
+        let report = lint_spec(&mut spec, "SPANT", &config);
+        let dups = report.with_code(LintCode::DuplicateRule);
+        assert_eq!(dups.len(), 1, "{report}");
+        assert_eq!(dups[0].rule.as_deref(), Some("copy"));
+        let span = dups[0].span.expect("parsed equations carry spans");
+        assert!(span.line > 0 && span.column > 0);
+        // The span must survive into the JSON rendering.
+        let json = report.to_json();
+        assert!(json.to_string().contains("\"span\""));
+    }
+}

@@ -1,0 +1,349 @@
+//! Cheap structural lints: duplicates, subsumption, non-linearity,
+//! unused declarations, trivial conditions.
+//!
+//! None of these prove anything about the rewrite relation; they catch
+//! the specification mistakes that precede semantic bugs — a rule pasted
+//! twice, a case shadowed by an earlier catch-all, a guard that the
+//! Boolean ring already decides.
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport};
+use equitls_kernel::matching::{match_term, MatchOutcome};
+use equitls_kernel::op::OpKind;
+use equitls_kernel::term::{Term, TermId, TermStore, VarId};
+use equitls_rewrite::bool_alg::BoolAlg;
+use equitls_rewrite::engine::Normalizer;
+use equitls_rewrite::rule::RuleSet;
+use std::collections::{HashMap, HashSet};
+
+/// Fuel for deciding trivial conditions; guards are small terms.
+const COND_FUEL: u64 = 10_000;
+
+fn diag(code: LintCode, message: String, rule: Option<String>) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: code.default_severity(),
+        message,
+        rule,
+        span: None,
+        justification: None,
+    }
+}
+
+/// Count variable *occurrences* (not distinct variables) in `t`.
+fn var_occurrences(store: &TermStore, t: TermId, counts: &mut HashMap<VarId, usize>) {
+    match store.node(t) {
+        Term::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+        Term::App { args, .. } => {
+            for &a in args.clone().iter() {
+                var_occurrences(store, a, counts);
+            }
+        }
+    }
+}
+
+/// Duplicate and subsumed (shadowed) rules.
+pub fn check_redundancy(
+    store: &TermStore,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let all: Vec<_> = rules.iter().collect();
+    for (j, later) in all.iter().enumerate() {
+        for earlier in &all[..j] {
+            if earlier.head != later.head {
+                continue;
+            }
+            let exact =
+                earlier.lhs == later.lhs && earlier.rhs == later.rhs && earlier.cond == later.cond;
+            if exact {
+                report.push(
+                    config,
+                    diag(
+                        LintCode::DuplicateRule,
+                        format!(
+                            "rule duplicates `{}` (identical sides and condition)",
+                            earlier.label,
+                        ),
+                        Some(later.label.clone()),
+                    ),
+                );
+                break;
+            }
+            // An earlier unconditional rule whose pattern generalizes this
+            // one fires first at every redex this one could claim.
+            if earlier.cond.is_none()
+                && matches!(
+                    match_term(store, earlier.lhs, later.lhs),
+                    MatchOutcome::Matched(_)
+                )
+            {
+                report.push(
+                    config,
+                    diag(
+                        LintCode::SubsumedRule,
+                        format!(
+                            "left-hand side {} is an instance of the earlier unconditional \
+                             rule `{}`; this rule can never fire",
+                            store.display(later.lhs),
+                            earlier.label,
+                        ),
+                        Some(later.label.clone()),
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Left-nonlinear rules (informational).
+pub fn check_linearity(
+    store: &TermStore,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    for rule in rules.iter() {
+        let mut counts = HashMap::new();
+        var_occurrences(store, rule.lhs, &mut counts);
+        let mut repeated: Vec<&str> = counts
+            .iter()
+            .filter(|(_, &n)| n > 1)
+            .map(|(v, _)| store.var_decl(*v).name.as_str())
+            .collect();
+        if repeated.is_empty() {
+            continue;
+        }
+        repeated.sort_unstable();
+        report.push(
+            config,
+            diag(
+                LintCode::LeftNonlinear,
+                format!(
+                    "left-hand side is non-linear (variable{} {} repeat); the rule only \
+                     fires on syntactically identical subterms",
+                    if repeated.len() > 1 { "s" } else { "" },
+                    repeated.join(", "),
+                ),
+                Some(rule.label.clone()),
+            ),
+        );
+    }
+}
+
+/// Conditions the Boolean ring already decides.
+pub fn check_trivial_conditions(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    // Built-in semantics only: the rule set under analysis must not get to
+    // vouch for its own guards.
+    let mut norm = Normalizer::new(alg.clone(), RuleSet::new());
+    norm.set_fuel_limit(COND_FUEL);
+    for rule in rules.iter() {
+        let Some(cond) = rule.cond else { continue };
+        let Ok(poly) = norm.normalize_to_poly(store, cond) else {
+            continue;
+        };
+        let message = if poly.is_true() {
+            "condition is trivially true; use an unconditional `eq`"
+        } else if poly.is_false() {
+            "condition is trivially false; the rule never fires"
+        } else {
+            continue;
+        };
+        report.push(
+            config,
+            diag(
+                LintCode::TrivialCondition,
+                message.to_string(),
+                Some(rule.label.clone()),
+            ),
+        );
+    }
+}
+
+/// Declarations no rule (and no other declaration) touches.
+pub fn check_unused(
+    store: &TermStore,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let sig = store.signature();
+    let mut used_ops = HashSet::new();
+    for rule in rules.iter() {
+        for t in [Some(rule.lhs), Some(rule.rhs), rule.cond]
+            .into_iter()
+            .flatten()
+        {
+            for s in store.subterms(t) {
+                if let Some(op) = store.op_of(s) {
+                    used_ops.insert(op);
+                }
+            }
+        }
+    }
+    for (id, decl) in sig.ops() {
+        let lintable = matches!(
+            decl.attrs.kind,
+            OpKind::Defined | OpKind::Observer | OpKind::Action
+        );
+        if lintable && !used_ops.contains(&id) {
+            // Spell out the profile: overloaded names (each sort gets its
+            // own `_=_`) are otherwise indistinguishable in the report.
+            let args: Vec<&str> = decl
+                .args
+                .iter()
+                .map(|&s| sig.sort(s).name.as_str())
+                .collect();
+            report.push(
+                config,
+                diag(
+                    LintCode::UnusedOp,
+                    format!(
+                        "operator `{} : {} -> {}` ({:?}) occurs in no rule",
+                        decl.name,
+                        args.join(" "),
+                        sig.sort(decl.result).name,
+                        decl.attrs.kind,
+                    ),
+                    None,
+                ),
+            );
+        }
+    }
+    let mut used_sorts = HashSet::new();
+    for (_, decl) in sig.ops() {
+        used_sorts.insert(decl.result);
+        used_sorts.extend(decl.args.iter().copied());
+    }
+    for (id, decl) in sig.sorts() {
+        if !used_sorts.contains(&id) {
+            report.push(
+                config,
+                diag(
+                    LintCode::UnusedSort,
+                    format!("sort `{}` is mentioned by no operator", decl.name),
+                    None,
+                ),
+            );
+        }
+    }
+}
+
+/// Run every structural lint.
+pub fn check_style(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    check_redundancy(store, rules, config, report);
+    check_linearity(store, rules, config, report);
+    check_trivial_conditions(store, alg, rules, config, report);
+    check_unused(store, rules, config, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use equitls_kernel::signature::Signature;
+    use equitls_rewrite::bool_rules::hd_bool_rules;
+
+    fn bool_world() -> (TermStore, BoolAlg) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        (TermStore::new(sig), alg)
+    }
+
+    #[test]
+    fn hd_bool_is_clean_above_allow_level() {
+        let (mut store, alg) = bool_world();
+        let rules = hd_bool_rules(&mut store, &alg).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("BOOL");
+        check_style(&mut store, &alg, &rules, &config, &mut report);
+        assert_eq!(report.count(Severity::Deny), 0, "{report}");
+        assert_eq!(report.count(Severity::Warn), 0, "{report}");
+        // xor-nilpotent and and-idempotent are deliberately non-linear.
+        assert_eq!(report.with_code(LintCode::LeftNonlinear).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_and_shadowed_rules_warn() {
+        let (mut store, alg) = bool_world();
+        let p = store.declare_var("STP", alg.sort()).unwrap();
+        let pv = store.var(p);
+        let not_p = store.app(alg.not_op(), &[pv]).unwrap();
+        let tt = alg.tt(&mut store);
+        let not_true = store.app(alg.not_op(), &[tt]).unwrap();
+        let ff = alg.ff(&mut store);
+        let mut rules = RuleSet::new();
+        rules.add(&store, "a", not_p, tt, None, None).unwrap();
+        rules.add(&store, "b", not_p, tt, None, None).unwrap();
+        rules.add(&store, "c", not_true, ff, None, None).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("redundant");
+        check_redundancy(&store, &rules, &config, &mut report);
+        let dups = report.with_code(LintCode::DuplicateRule);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].rule.as_deref(), Some("b"));
+        let shadowed = report.with_code(LintCode::SubsumedRule);
+        assert_eq!(shadowed.len(), 1);
+        assert_eq!(shadowed[0].rule.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn trivial_conditions_warn_both_ways() {
+        let (mut store, alg) = bool_world();
+        let p = store.declare_var("STQ", alg.sort()).unwrap();
+        let pv = store.var(p);
+        let not_p = store.app(alg.not_op(), &[pv]).unwrap();
+        let tt = alg.tt(&mut store);
+        let ff = alg.ff(&mut store);
+        // `P or not P` is trivially true through the ring.
+        let tautology = store.app(alg.or_op(), &[pv, not_p]).unwrap();
+        let bs = Some(alg.sort());
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "always", not_p, tt, Some(tautology), bs)
+            .unwrap();
+        rules.add(&store, "never", not_p, ff, Some(ff), bs).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("trivial");
+        check_trivial_conditions(&mut store, &alg, &rules, &config, &mut report);
+        let found = report.with_code(LintCode::TrivialCondition);
+        assert_eq!(found.len(), 2, "{report}");
+        assert!(found[0].message.contains("trivially true"));
+        assert!(found[1].message.contains("trivially false"));
+    }
+
+    #[test]
+    fn unused_declarations_are_informational() {
+        let (mut store, alg) = bool_world();
+        store.signature_mut().add_visible_sort("STDead").unwrap();
+        let p = store.declare_var("STR", alg.sort()).unwrap();
+        let pv = store.var(p);
+        let not_p = store.app(alg.not_op(), &[pv]).unwrap();
+        let tt = alg.tt(&mut store);
+        let mut rules = RuleSet::new();
+        rules.add(&store, "only", not_p, tt, None, None).unwrap();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("unused");
+        check_unused(&store, &rules, &config, &mut report);
+        assert_eq!(report.count(Severity::Warn), 0);
+        assert_eq!(report.count(Severity::Deny), 0);
+        let sorts = report.with_code(LintCode::UnusedSort);
+        assert_eq!(sorts.len(), 1);
+        assert!(sorts[0].message.contains("STDead"));
+        // and/or/xor/… are installed but unused by this one-rule system.
+        assert!(!report.with_code(LintCode::UnusedOp).is_empty());
+    }
+}

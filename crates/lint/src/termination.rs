@@ -1,0 +1,385 @@
+//! Termination analysis: direct-loop detection and LPO orientation.
+//!
+//! Two checks, cheapest first:
+//!
+//! 1. **Direct loops** — a rule whose left-hand side matches a subterm of
+//!    its own right-hand side re-fires inside its own result forever
+//!    (`c → f(c)`, or a commutativity equation used as a rule). For
+//!    unconditional rules this is a certain divergence (`deny`); for
+//!    conditional rules the condition may break the loop, so it is only a
+//!    warning.
+//! 2. **Lexicographic path order** — a greedy search for an operator
+//!    precedence under which every rule's left-hand side is LPO-greater
+//!    than its right-hand side. LPO-orientability proves termination of
+//!    the whole system; the orienting precedence is reported as a note.
+//!    Because LPO is an incomplete criterion, failure is a warning
+//!    (`termination-order`), not an error.
+//!
+//! The precedence search commits comparisons greedily: whenever the
+//! comparison `f > g` is needed and neither `f > g` nor `g > f` is
+//! already decided, the edge is added tentatively; if the enclosing rule
+//! orientation fails, an undo log rolls the tentative edges back. Rules
+//! are retried in passes until a fixpoint, so an edge committed for a
+//! later rule can unblock an earlier one.
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport};
+use equitls_kernel::matching::{match_term, MatchOutcome};
+use equitls_kernel::op::OpId;
+use equitls_kernel::term::{Term, TermId, TermStore};
+use equitls_rewrite::rule::RuleSet;
+use std::collections::{HashMap, HashSet};
+
+/// A strict partial order on operators, maintained as an acyclic edge set
+/// with an undo log for tentative additions.
+#[derive(Debug, Default)]
+pub struct Precedence {
+    greater: HashMap<OpId, HashSet<OpId>>,
+    log: Vec<(OpId, OpId)>,
+}
+
+impl Precedence {
+    /// `true` when `f > g` is already derivable (transitively).
+    pub fn gt(&self, f: OpId, g: OpId) -> bool {
+        if f == g {
+            return false;
+        }
+        let mut stack = vec![f];
+        let mut seen = HashSet::new();
+        while let Some(x) = stack.pop() {
+            if let Some(nexts) = self.greater.get(&x) {
+                for &y in nexts {
+                    if y == g {
+                        return true;
+                    }
+                    if seen.insert(y) {
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Commit `f > g` if consistent (no cycle); returns whether `f > g`
+    /// holds afterwards.
+    fn require_gt(&mut self, f: OpId, g: OpId) -> bool {
+        if f == g || self.gt(g, f) {
+            return false;
+        }
+        if self.gt(f, g) {
+            return true;
+        }
+        self.greater.entry(f).or_default().insert(g);
+        self.log.push((f, g));
+        true
+    }
+
+    /// Position in the undo log, for later [`Precedence::rollback`].
+    fn snapshot(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Remove every edge added after `mark`.
+    fn rollback(&mut self, mark: usize) {
+        while self.log.len() > mark {
+            let (f, g) = self.log.pop().expect("log length checked");
+            if let Some(set) = self.greater.get_mut(&f) {
+                set.remove(&g);
+            }
+        }
+    }
+
+    /// The committed edges, in commit order.
+    pub fn edges(&self) -> &[(OpId, OpId)] {
+        &self.log
+    }
+}
+
+/// Strict LPO comparison `s > t`, greedily committing precedence edges.
+///
+/// The subterm route is tried first because it needs no precedence
+/// commitment; the precedence and lexicographic routes snapshot and roll
+/// back on failure so unrelated tentative edges never leak.
+fn lpo_gt(store: &TermStore, prec: &mut Precedence, s: TermId, t: TermId) -> bool {
+    if s == t {
+        return false;
+    }
+    let (f, ss) = match store.node(s) {
+        Term::Var(_) => return false,
+        Term::App { op, args } => (*op, args.clone()),
+    };
+    if let Term::Var(v) = store.node(t) {
+        return store.vars_of(s).contains(v);
+    }
+    // Subterm route: some si ⪰ t. No precedence needed when si == t.
+    if ss.contains(&t) || ss.iter().any(|&si| lpo_gt(store, prec, si, t)) {
+        return true;
+    }
+    let (g, ts) = match store.node(t) {
+        Term::Var(_) => unreachable!("variable case handled above"),
+        Term::App { op, args } => (*op, args.clone()),
+    };
+    if f == g && ss.len() == ts.len() {
+        // Lexicographic route: equal prefix, first differing argument
+        // decreases, remaining right arguments dominated by s.
+        let mark = prec.snapshot();
+        if let Some(i) = (0..ss.len()).find(|&i| ss[i] != ts[i]) {
+            if lpo_gt(store, prec, ss[i], ts[i])
+                && ts[i + 1..].iter().all(|&tj| lpo_gt(store, prec, s, tj))
+            {
+                return true;
+            }
+        }
+        prec.rollback(mark);
+        false
+    } else {
+        // Precedence route: f > g and s dominates every argument of t.
+        let mark = prec.snapshot();
+        if prec.require_gt(f, g) && ts.iter().all(|&tj| lpo_gt(store, prec, s, tj)) {
+            return true;
+        }
+        prec.rollback(mark);
+        false
+    }
+}
+
+/// Result of the precedence search: which rules oriented, and the
+/// precedence that did it.
+#[derive(Debug)]
+pub struct OrientationResult {
+    /// Per-rule: did `lhs >lpo rhs` succeed under the final precedence?
+    pub oriented: Vec<bool>,
+    /// The discovered precedence.
+    pub precedence: Precedence,
+}
+
+impl OrientationResult {
+    /// `true` when every rule oriented.
+    pub fn all_oriented(&self) -> bool {
+        self.oriented.iter().all(|&b| b)
+    }
+
+    /// The committed precedence edges as `(greater, lesser)` op names.
+    pub fn edge_names(&self, store: &TermStore) -> Vec<(String, String)> {
+        let sig = store.signature();
+        self.precedence
+            .edges()
+            .iter()
+            .map(|&(f, g)| (sig.op(f).name.clone(), sig.op(g).name.clone()))
+            .collect()
+    }
+}
+
+/// Search for an LPO precedence orienting every rule, in passes until a
+/// fixpoint.
+pub fn orient_rules(store: &TermStore, rules: &RuleSet) -> OrientationResult {
+    let mut prec = Precedence::default();
+    let mut oriented = vec![false; rules.len()];
+    loop {
+        let mut progressed = false;
+        for (i, rule) in rules.iter().enumerate() {
+            if oriented[i] {
+                continue;
+            }
+            let mark = prec.snapshot();
+            if lpo_gt(store, &mut prec, rule.lhs, rule.rhs) {
+                oriented[i] = true;
+                progressed = true;
+            } else {
+                prec.rollback(mark);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    OrientationResult {
+        oriented,
+        precedence: prec,
+    }
+}
+
+/// Run both termination checks, reporting into `report`.
+///
+/// Returns the orientation result so callers (and tests) can inspect the
+/// discovered precedence.
+pub fn check_termination(
+    store: &TermStore,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+) -> OrientationResult {
+    // Direct loops first: an LPO failure on a looping rule is redundant
+    // noise next to the certain divergence.
+    let mut looping = vec![false; rules.len()];
+    for (i, rule) in rules.iter().enumerate() {
+        let fires_in_own_result = store
+            .subterms(rule.rhs)
+            .into_iter()
+            .any(|sub| matches!(match_term(store, rule.lhs, sub), MatchOutcome::Matched(_)));
+        if fires_in_own_result {
+            looping[i] = true;
+            let (severity, qualifier) = if rule.cond.is_some() {
+                // The condition may fail on the re-fired instance.
+                (
+                    crate::Severity::Warn,
+                    " unless its condition breaks the cycle",
+                )
+            } else {
+                (LintCode::TerminationLoop.default_severity(), "")
+            };
+            report.push(
+                config,
+                Diagnostic {
+                    code: LintCode::TerminationLoop,
+                    severity,
+                    message: format!(
+                        "left-hand side {} matches a subterm of its own right-hand side {}; \
+                         the rule re-fires inside its own result{qualifier}",
+                        store.display(rule.lhs),
+                        store.display(rule.rhs),
+                    ),
+                    rule: Some(rule.label.clone()),
+                    span: None,
+                    justification: None,
+                },
+            );
+        }
+    }
+
+    let result = orient_rules(store, rules);
+    for (i, rule) in rules.iter().enumerate() {
+        if !result.oriented[i] && !looping[i] {
+            report.push(
+                config,
+                Diagnostic {
+                    code: LintCode::TerminationOrder,
+                    severity: LintCode::TerminationOrder.default_severity(),
+                    message: format!(
+                        "no lexicographic path order orients {} -> {}; \
+                         termination is unproven (LPO is an incomplete criterion)",
+                        store.display(rule.lhs),
+                        store.display(rule.rhs),
+                    ),
+                    rule: Some(rule.label.clone()),
+                    span: None,
+                    justification: None,
+                },
+            );
+        }
+    }
+    if result.all_oriented() && !rules.is_empty() {
+        let edges: Vec<String> = result
+            .edge_names(store)
+            .into_iter()
+            .map(|(f, g)| format!("{f} > {g}"))
+            .collect();
+        // Spelling out hundreds of edges drowns the report on the full
+        // protocol models; past a screenful, the count carries the proof.
+        let precedence = if edges.len() <= 24 {
+            format!("with precedence {{{}}}", edges.join(", "))
+        } else {
+            format!("({} precedence edges)", edges.len())
+        };
+        report.note(format!(
+            "termination proved: all {} rules oriented by LPO {precedence}",
+            rules.len(),
+        ));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_kernel::signature::Signature;
+    use equitls_rewrite::bool_alg::BoolAlg;
+    use equitls_rewrite::bool_rules::hd_bool_rules;
+    use equitls_rewrite::rule::RuleSet;
+
+    fn bool_world() -> (TermStore, BoolAlg) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        (TermStore::new(sig), alg)
+    }
+
+    fn fresh_report() -> (LintConfig, LintReport) {
+        (LintConfig::new(), LintReport::new("test"))
+    }
+
+    #[test]
+    fn hd_bool_system_is_lpo_orientable() {
+        let (mut store, alg) = bool_world();
+        let rules = hd_bool_rules(&mut store, &alg).unwrap();
+        let (config, mut report) = fresh_report();
+        let result = check_termination(&store, &rules, &config, &mut report);
+        assert!(result.all_oriented(), "HD BOOL must orient: {report}");
+        assert!(report.diagnostics.is_empty(), "unexpected: {report}");
+        assert_eq!(report.notes.len(), 1);
+        assert!(report.notes[0].contains("termination proved"));
+        assert!(!result.edge_names(&store).is_empty());
+    }
+
+    #[test]
+    fn direct_loop_is_denied() {
+        let (mut store, alg) = bool_world();
+        // true → not(true): the lhs (a constant pattern) matches inside
+        // the rhs argument, so the rule re-fires forever.
+        let t = alg.tt(&mut store);
+        let looped = store.app(alg.not_op(), &[t]).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "loop", t, looped, None, None)
+            .expect("rule is well-formed");
+        let (config, mut report) = fresh_report();
+        check_termination(&store, &rules, &config, &mut report);
+        let loops = report.with_code(LintCode::TerminationLoop);
+        assert_eq!(loops.len(), 1, "{report}");
+        assert_eq!(loops[0].severity, crate::Severity::Deny);
+        assert_eq!(loops[0].rule.as_deref(), Some("loop"));
+        // The loop diagnostic replaces (not duplicates) the LPO warning.
+        assert!(report.with_code(LintCode::TerminationOrder).is_empty());
+    }
+
+    #[test]
+    fn two_rule_cycle_defeats_lpo() {
+        let (mut store, alg) = bool_world();
+        let p = store.declare_var("LPOP", alg.sort()).unwrap();
+        let pv = store.var(p);
+        let not_p = store.app(alg.not_op(), &[pv]).unwrap();
+        let t = alg.tt(&mut store);
+        let p_xor_t = store.app(alg.xor_op(), &[pv, t]).unwrap();
+        let mut rules = RuleSet::new();
+        // A two-step cycle: `not p → p xor true` needs not > xor, then
+        // `p xor true → not p` needs xor > not. Neither rule matches
+        // inside its own result, so only the LPO search can object.
+        rules
+            .add(&store, "fwd", not_p, p_xor_t, None, None)
+            .unwrap();
+        rules
+            .add(&store, "back", p_xor_t, not_p, None, None)
+            .unwrap();
+        let (config, mut report) = fresh_report();
+        let result = check_termination(&store, &rules, &config, &mut report);
+        assert!(!result.all_oriented());
+        assert_eq!(report.with_code(LintCode::TerminationOrder).len(), 1);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn conditional_loop_is_only_a_warning() {
+        let (mut store, alg) = bool_world();
+        let t = alg.tt(&mut store);
+        let f = alg.ff(&mut store);
+        let looped = store.app(alg.not_op(), &[t]).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&store, "cloop", t, looped, Some(f), Some(alg.sort()))
+            .unwrap();
+        let (config, mut report) = fresh_report();
+        check_termination(&store, &rules, &config, &mut report);
+        let loops = report.with_code(LintCode::TerminationLoop);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].severity, crate::Severity::Warn);
+    }
+}

@@ -1,0 +1,143 @@
+//! Acceptance regressions for the static analyzer, pinned to the
+//! properties `tls-lint` gates on:
+//!
+//! * the HD `BOOL` system is proved terminating (LPO-orientable) and
+//!   locally confluent (every critical pair joins) — positive control;
+//! * a two-rule non-confluent system is denied with the unjoinable pair
+//!   as a counterexample equation — negative control;
+//! * a looping rule is denied outright — negative control.
+//!
+//! The unit tests inside the crate cover each pass in isolation; these
+//! integration tests run the passes the way the binary composes them.
+
+use equitls_kernel::signature::Signature;
+use equitls_kernel::term::TermStore;
+use equitls_lint::confluence::{check_confluence, critical_pairs};
+use equitls_lint::termination::orient_rules;
+use equitls_lint::{lint_system, LintCode, LintConfig, LintReport, Severity};
+use equitls_rewrite::bool_alg::BoolAlg;
+use equitls_rewrite::bool_rules::hd_bool_rules;
+use equitls_rewrite::rule::RuleSet;
+
+fn bool_world() -> (TermStore, BoolAlg) {
+    let mut sig = Signature::new();
+    let alg = BoolAlg::install(&mut sig).expect("fresh signature");
+    (TermStore::new(sig), alg)
+}
+
+#[test]
+fn hd_bool_is_terminating_and_locally_confluent() {
+    let (mut store, alg) = bool_world();
+    let rules = hd_bool_rules(&mut store, &alg).expect("HD BOOL builds");
+
+    // Termination: an orienting LPO precedence exists and is reported.
+    let orientation = orient_rules(&store, &rules);
+    assert!(
+        orientation.all_oriented(),
+        "every HD BOOL rule must be LPO-orientable"
+    );
+    let edges = orientation.edge_names(&store);
+    assert!(!edges.is_empty(), "the precedence must be non-trivial");
+    // The discovered order puts the defined connectives above the ring
+    // operators they expand into.
+    assert!(
+        edges.iter().any(|(f, g)| f == "not_" && g == "_xor_"),
+        "expected not > xor among {edges:?}"
+    );
+
+    // Local confluence: critical pairs exist and every one joins.
+    let pairs = critical_pairs(&mut store, &rules);
+    assert!(
+        !pairs.is_empty(),
+        "HD BOOL has overlaps (e.g. and-zero vs and-idempotent)"
+    );
+    let config = LintConfig::new();
+    let mut report = LintReport::new("BOOL");
+    let outcome = check_confluence(&mut store, &alg, &rules, &config, &mut report);
+    assert_eq!(outcome.unjoinable, 0, "{report}");
+    assert_eq!(outcome.undecided, 0, "{report}");
+    assert_eq!(outcome.joinable + outcome.pruned, outcome.pairs);
+    assert!(
+        report
+            .with_code(LintCode::UnjoinableCriticalPair)
+            .is_empty(),
+        "{report}"
+    );
+
+    // And the composed lint agrees: nothing at warn level or above.
+    let report = lint_system(&mut store, &alg, &rules, "BOOL", &config);
+    assert!(!report.has_deny(), "{report}");
+    assert_eq!(report.count(Severity::Warn), 0, "{report}");
+}
+
+#[test]
+fn a_non_confluent_pair_is_denied_with_its_counterexample() {
+    let (mut store, alg) = bool_world();
+    let p = store.declare_var("ACCP", alg.sort()).expect("fresh var");
+    let pv = store.var(p);
+    let not_p = store.app(alg.not_op(), &[pv]).expect("well-sorted");
+    let tt = alg.tt(&mut store);
+    let ff = alg.ff(&mut store);
+    let mut rules = RuleSet::new();
+    rules.add(&store, "to-true", not_p, tt, None, None).unwrap();
+    rules
+        .add(&store, "to-false", not_p, ff, None, None)
+        .unwrap();
+
+    let config = LintConfig::new();
+    let report = lint_system(&mut store, &alg, &rules, "ambiguous", &config);
+    assert!(report.has_deny(), "{report}");
+    let denies = report.with_code(LintCode::UnjoinableCriticalPair);
+    assert!(
+        denies.iter().any(|d| d.severity == Severity::Deny),
+        "{report}"
+    );
+    // The counterexample equation names both normal forms.
+    assert!(
+        denies
+            .iter()
+            .any(|d| d.message.contains("true") && d.message.contains("false")),
+        "counterexample should mention the two normal forms: {report}"
+    );
+}
+
+#[test]
+fn a_looping_rule_is_denied() {
+    let (mut store, alg) = bool_world();
+    let tt = alg.tt(&mut store);
+    let not_t = store.app(alg.not_op(), &[tt]).expect("well-sorted");
+    let mut rules = RuleSet::new();
+    // true → not(true) re-fires inside its own result.
+    rules.add(&store, "diverge", tt, not_t, None, None).unwrap();
+
+    let config = LintConfig::new();
+    let report = lint_system(&mut store, &alg, &rules, "looping", &config);
+    assert!(report.has_deny(), "{report}");
+    let denies = report.with_code(LintCode::TerminationLoop);
+    assert_eq!(denies.len(), 1, "{report}");
+    assert_eq!(denies[0].severity, Severity::Deny);
+    assert_eq!(denies[0].rule.as_deref(), Some("diverge"));
+}
+
+#[test]
+fn severity_overrides_are_recorded_not_silenced() {
+    // Downgrading a deny to allow keeps the finding visible, carries the
+    // justification, and flips the gate.
+    let (mut store, alg) = bool_world();
+    let tt = alg.tt(&mut store);
+    let not_t = store.app(alg.not_op(), &[tt]).expect("well-sorted");
+    let mut rules = RuleSet::new();
+    rules.add(&store, "diverge", tt, not_t, None, None).unwrap();
+
+    let mut config = LintConfig::new();
+    config.allow(LintCode::TerminationLoop, "exercised as a fixture");
+    let report = lint_system(&mut store, &alg, &rules, "looping", &config);
+    assert!(!report.has_deny(), "{report}");
+    let hits = report.with_code(LintCode::TerminationLoop);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].severity, Severity::Allow);
+    assert_eq!(
+        hits[0].justification.as_deref(),
+        Some("exercised as a fixture")
+    );
+}

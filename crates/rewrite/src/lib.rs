@@ -52,6 +52,7 @@
 
 pub mod assumption;
 pub mod bool_alg;
+pub mod bool_rules;
 pub mod boolring;
 pub mod engine;
 pub mod equality;
@@ -64,6 +65,7 @@ pub use error::RewriteError;
 pub mod prelude {
     pub use crate::assumption::{orient_equation, OrientedEq};
     pub use crate::bool_alg::BoolAlg;
+    pub use crate::bool_rules::hd_bool_rules;
     pub use crate::boolring::Poly;
     pub use crate::engine::{Normalizer, RewriteStats, RuleProfile};
     pub use crate::equality::EqVerdict;

@@ -130,6 +130,43 @@ impl RuleSet {
             .map(move |&i| &self.rules[i])
     }
 
+    /// The rules whose left-hand side head is `op`, with their indices in
+    /// declaration order. Static analyses use the index to name a rule
+    /// stably across passes.
+    pub fn rules_for_op(&self, op: OpId) -> impl Iterator<Item = (usize, &Rule)> {
+        self.by_head
+            .get(&op)
+            .into_iter()
+            .flatten()
+            .map(move |&i| (i, &self.rules[i]))
+    }
+
+    /// The head operators that have at least one rule — the operators this
+    /// set *defines*, in first-rule order.
+    pub fn defined_heads(&self) -> Vec<OpId> {
+        let mut seen = Vec::new();
+        for rule in &self.rules {
+            if !seen.contains(&rule.head) {
+                seen.push(rule.head);
+            }
+        }
+        seen
+    }
+
+    /// The rule at `index` (declaration order).
+    pub fn get(&self, index: usize) -> Option<&Rule> {
+        self.rules.get(index)
+    }
+
+    /// `true` when a rule with identical sides and condition is already
+    /// present. Hash-consing makes this an exact structural comparison:
+    /// equal `TermId`s are equal terms.
+    pub fn contains_exact(&self, lhs: TermId, rhs: TermId, cond: Option<TermId>) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.lhs == lhs && r.rhs == rhs && r.cond == cond)
+    }
+
     /// All rules in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = &Rule> {
         self.rules.iter()
@@ -147,13 +184,22 @@ impl RuleSet {
 
     /// Merge another rule set into this one (both sets must have been built
     /// against the same term store; declaration order preserved per set,
-    /// `other` appended).
-    pub fn extend_from(&mut self, other: &RuleSet) {
+    /// `other` appended). Rules structurally identical to one already
+    /// present are skipped; the return value counts the skipped duplicates
+    /// so callers can surface them (the lint reports them as
+    /// `duplicate-rule`).
+    pub fn extend_from(&mut self, other: &RuleSet) -> usize {
+        let mut skipped = 0;
         for rule in &other.rules {
+            if self.contains_exact(rule.lhs, rule.rhs, rule.cond) {
+                skipped += 1;
+                continue;
+            }
             let index = self.rules.len();
             self.by_head.entry(rule.head).or_default().push(index);
             self.rules.push(rule.clone());
         }
+        skipped
     }
 }
 
@@ -248,6 +294,55 @@ mod tests {
             .add(&w.store, "bad", lhs, xt, Some(xt), Some(w.alg.sort()))
             .unwrap_err();
         assert!(matches!(err, RewriteError::InvalidRule { .. }));
+    }
+
+    #[test]
+    fn introspection_reports_heads_and_indexed_rules() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let lhs_c = w.store.app(w.f, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules
+            .add(&w.store, "f-const", lhs_c, cv, None, None)
+            .unwrap();
+        rules.add(&w.store, "f-id", lhs, xt, None, None).unwrap();
+        assert_eq!(rules.defined_heads(), vec![w.f]);
+        let indexed: Vec<(usize, &str)> = rules
+            .rules_for_op(w.f)
+            .map(|(i, r)| (i, r.label.as_str()))
+            .collect();
+        assert_eq!(indexed, vec![(0, "f-const"), (1, "f-id")]);
+        assert_eq!(rules.get(1).unwrap().label, "f-id");
+        assert!(rules.get(2).is_none());
+        assert!(rules.contains_exact(lhs, xt, None));
+        assert!(!rules.contains_exact(lhs, cv, None));
+    }
+
+    #[test]
+    fn extend_from_skips_exact_duplicates() {
+        let mut w = world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let lhs = w.store.app(w.f, &[xt]).unwrap();
+        let lhs_c = w.store.app(w.f, &[cv]).unwrap();
+        let mut base = RuleSet::new();
+        base.add(&w.store, "f-id", lhs, xt, None, None).unwrap();
+        let mut incoming = RuleSet::new();
+        // Same rule under a different label: still a structural duplicate.
+        incoming
+            .add(&w.store, "f-id-again", lhs, xt, None, None)
+            .unwrap();
+        incoming
+            .add(&w.store, "f-const", lhs_c, cv, None, None)
+            .unwrap();
+        let skipped = base.extend_from(&incoming);
+        assert_eq!(skipped, 1);
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.candidates(w.f).count(), 2);
     }
 
     #[test]

@@ -49,6 +49,25 @@ pub struct OpAst {
     pub constructor: bool,
 }
 
+/// A position in the surface-DSL source text (1-based).
+///
+/// Carried from the parser through elaboration so diagnostics — parse
+/// errors and `equitls-lint` findings alike — can point back at the
+/// offending declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// 1-based line of the declaration's first token.
+    pub line: usize,
+    /// 1-based column of the declaration's first token.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// A parsed equation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EqAst {
@@ -60,6 +79,8 @@ pub struct EqAst {
     pub rhs: TermAst,
     /// `if` condition for `ceq`.
     pub cond: Option<TermAst>,
+    /// Position of the `eq`/`ceq` keyword; `None` for hand-built ASTs.
+    pub span: Option<SourceSpan>,
 }
 
 /// A parsed module.

@@ -83,7 +83,7 @@ impl spec::Spec {
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
+    pub use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, SourceSpan, TermAst};
     pub use crate::error::SpecError;
     pub use crate::parser::{
         elaborate_module, elaborate_term, parse_module, parse_term_ast, ElabScope,

@@ -327,7 +327,11 @@ impl Parser {
                     m.vars.push((names, sort));
                 }
                 TokenKind::Ident(kw) if kw == "eq" || kw == "ceq" => {
-                    self.next();
+                    let kw_token = self.next();
+                    let span = crate::ast::SourceSpan {
+                        line: kw_token.line,
+                        column: kw_token.column,
+                    };
                     let conditional = kw == "ceq";
                     let mut label = None;
                     if self.peek().kind == TokenKind::LBracket {
@@ -353,6 +357,7 @@ impl Parser {
                         lhs,
                         rhs,
                         cond,
+                        span: Some(span),
                     });
                 }
                 other => return self.error(format!("unexpected {other} in module body")),
@@ -541,6 +546,9 @@ pub fn elaborate_module(spec: &mut Spec, ast: &ModuleAst) -> Result<(), SpecErro
                 spec.ceq(&label, lhs, rhs, cond)?;
             }
         }
+        if let Some(span) = eq.span {
+            spec.record_equation_span(&label, span);
+        }
     }
     Ok(())
 }
@@ -682,6 +690,20 @@ mod tests {
             spec.modules().last().unwrap().equations,
             vec!["f-is-id".to_string()]
         );
+    }
+
+    #[test]
+    fn elaboration_records_equation_spans() {
+        let src = "mod! L {\n  [ S ]\n  op c : -> S {constr} .\n  op f : S -> S .\n  var X : S .\n  eq [f-is-id] : f(X) = X .\n  eq f(c) = c .\n}";
+        let mut spec = Spec::new().unwrap();
+        let ast = parse_module(src).unwrap();
+        elaborate_module(&mut spec, &ast).unwrap();
+        let labeled = spec.equation_span("f-is-id").unwrap();
+        assert_eq!((labeled.line, labeled.column), (6, 3));
+        // Unlabeled equations get the generated `<module>-eq<index>` label.
+        let generated = spec.equation_span("L-eq2").unwrap();
+        assert_eq!((generated.line, generated.column), (7, 3));
+        assert!(spec.equation_span("missing").is_none());
     }
 
     #[test]

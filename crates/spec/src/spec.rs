@@ -6,9 +6,11 @@
 //! form the rewrite system handed to [`Normalizer`]s; proof passages
 //! (`open … close`, see [`crate::passage`]) run on top.
 
+use crate::ast::SourceSpan;
 use crate::error::SpecError;
 use equitls_kernel::prelude::*;
 use equitls_rewrite::prelude::*;
+use std::collections::HashMap;
 
 /// Metadata about one declared module (for listing and rendering).
 #[derive(Debug, Clone, Default)]
@@ -55,6 +57,7 @@ pub struct Spec {
     alg: BoolAlg,
     rules: RuleSet,
     modules: Vec<ModuleInfo>,
+    equation_spans: HashMap<String, SourceSpan>,
 }
 
 impl Spec {
@@ -79,6 +82,7 @@ impl Spec {
             alg,
             rules: RuleSet::new(),
             modules: vec![bool_module],
+            equation_spans: HashMap::new(),
         })
     }
 
@@ -359,6 +363,20 @@ impl Spec {
             .add(&self.store, label, lhs, rhs, Some(cond), Some(bool_sort))?;
         self.current_module().equations.push(label.to_string());
         Ok(())
+    }
+
+    /// Record where equation `label` was declared in DSL source text.
+    ///
+    /// Called by the elaborator for parsed modules; equations built through
+    /// the typed builder have no span.
+    pub fn record_equation_span(&mut self, label: &str, span: SourceSpan) {
+        self.equation_spans.insert(label.to_string(), span);
+    }
+
+    /// The source position of equation `label`, when it came from parsed
+    /// DSL text. Lint diagnostics use this to point at the declaration.
+    pub fn equation_span(&self, label: &str) -> Option<SourceSpan> {
+        self.equation_spans.get(label).copied()
     }
 
     /// A fresh normalizer over this specification's rules.

@@ -124,6 +124,7 @@ fn gen_eq(rng: &mut SplitMix64) -> EqAst {
         lhs,
         rhs,
         cond,
+        span: None,
     }
 }
 
@@ -172,8 +173,14 @@ fn modules_round_trip() {
     for case in 0..CASES {
         let ast = gen_module(&mut rng);
         let rendered = render_module(&ast);
-        let reparsed = parse_module(&rendered)
+        let mut reparsed = parse_module(&rendered)
             .unwrap_or_else(|e| panic!("case {case}: module does not reparse: {e}\n{rendered}"));
+        // Spans are positional metadata, not syntax: strip before comparing
+        // against the span-free generated AST.
+        for eq in &mut reparsed.eqs {
+            assert!(eq.span.is_some(), "case {case}: parsed equation lacks span");
+            eq.span = None;
+        }
         assert_eq!(ast, reparsed, "case {case}:\n{rendered}");
     }
 }

@@ -14,6 +14,9 @@
 use crate::symbolic::TlsModel;
 use equitls_core::prelude::Ots;
 use equitls_core::CoreError;
+use equitls_lint::LintCode;
+use equitls_spec::error::SpecError;
+use equitls_spec::spec::Spec;
 
 /// A named protocol mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +149,89 @@ impl Mutant {
     }
 }
 
+/// Deliberately broken *rewrite systems* (as opposed to the protocol
+/// mutants above): fixtures that `equitls-lint` must reject.
+///
+/// Where [`Mutant`] checks that the prover rejects broken protocols, these
+/// check that the static analyzer rejects broken equation sets — each one
+/// seeds exactly the flaw its `expected_code` lint exists to catch, and
+/// `tls-lint` fails its own run if a fixture comes back clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFixture {
+    /// `spin(N) → spin(s(N))`: the left-hand side matches inside its own
+    /// result, so innermost rewriting diverges. Must be denied by
+    /// `termination-loop`.
+    Looping,
+    /// `pick(T) → a` and `pick(T) → b`: the root overlap yields the
+    /// critical pair `a = b` with two distinct normal forms. Must be
+    /// denied by `unjoinable-critical-pair`.
+    NonConfluent,
+}
+
+impl LintFixture {
+    /// All fixtures.
+    pub fn all() -> [LintFixture; 2] {
+        [LintFixture::Looping, LintFixture::NonConfluent]
+    }
+
+    /// Report-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintFixture::Looping => "fixture: looping rule",
+            LintFixture::NonConfluent => "fixture: non-confluent pair",
+        }
+    }
+
+    /// The lint that must fire at deny level on this fixture.
+    pub fn expected_code(self) -> LintCode {
+        match self {
+            LintFixture::Looping => LintCode::TerminationLoop,
+            LintFixture::NonConfluent => LintCode::UnjoinableCriticalPair,
+        }
+    }
+
+    fn module_source(self) -> &'static str {
+        match self {
+            LintFixture::Looping => {
+                r#"
+                mod! LOOPING {
+                  [ Cnt ]
+                  op z : -> Cnt {constr} .
+                  op s : Cnt -> Cnt {constr} .
+                  op spin : Cnt -> Cnt .
+                  var N : Cnt .
+                  eq [spin-diverges] : spin(N) = spin(s(N)) .
+                }
+                "#
+            }
+            LintFixture::NonConfluent => {
+                r#"
+                mod! AMBIGUOUS {
+                  [ Tok ]
+                  op a : -> Tok {constr} .
+                  op b : -> Tok {constr} .
+                  op pick : Tok -> Tok .
+                  var T : Tok .
+                  eq [pick-a] : pick(T) = a .
+                  eq [pick-b] : pick(T) = b .
+                }
+                "#
+            }
+        }
+    }
+
+    /// Load the fixture into a fresh specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration errors (none for the shipped sources).
+    pub fn load(self) -> Result<Spec, SpecError> {
+        let mut spec = Spec::new()?;
+        spec.load_module(self.module_source())?;
+        Ok(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +257,29 @@ mod tests {
                 assert!(model.invariants.get(name).is_some(), "{name}");
             }
             assert!(model.invariants.get(mutant.control_property()).is_some());
+        }
+    }
+
+    #[test]
+    fn lint_fixtures_are_denied_for_the_seeded_reason() {
+        use equitls_lint::{lint_spec, LintConfig, Severity};
+        for fixture in LintFixture::all() {
+            let mut spec = fixture.load().unwrap();
+            let report = lint_spec(&mut spec, fixture.name(), &LintConfig::new());
+            assert!(report.has_deny(), "{}: {report}", fixture.name());
+            let hits = report.with_code(fixture.expected_code());
+            assert!(
+                hits.iter().any(|d| d.severity == Severity::Deny),
+                "{}: expected deny-level {}, got {report}",
+                fixture.name(),
+                fixture.expected_code(),
+            );
+            // Parsed fixtures carry source positions into the report.
+            assert!(
+                hits.iter().any(|d| d.span.is_some()),
+                "{}: deny finding should carry a span",
+                fixture.name(),
+            );
         }
     }
 }

@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== tls-lint =="
+cargo run -q --release -p equitls-tls --bin tls-lint
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

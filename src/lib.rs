@@ -19,6 +19,7 @@
 //! | [`core`] | the OTS framework and the mechanized proof-score prover |
 //! | [`tls`] | the abstract TLS handshake model (symbolic and concrete) and the 18 verified properties |
 //! | [`mc`] | a Murφ-style bounded model checker reproducing the §5.3 counterexamples |
+//! | [`lint`] | static analysis of rewrite systems: termination (LPO), local confluence (critical pairs), sufficient completeness |
 //! | [`obs`] | zero-dependency tracing/metrics: event sinks, JSONL traces, summary tables |
 //!
 //! # Quick start
@@ -52,6 +53,7 @@
 
 pub use equitls_core as core;
 pub use equitls_kernel as kernel;
+pub use equitls_lint as lint;
 pub use equitls_mc as mc;
 pub use equitls_obs as obs;
 pub use equitls_rewrite as rewrite;
