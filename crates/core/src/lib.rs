@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::invariant::{Invariant, InvariantSet};
     pub use crate::ots::{Action, Observer, Ots};
-    pub use crate::prover::{Hints, Prover, ProverConfig};
+    pub use crate::prover::{resolve_jobs, Hints, Prover, ProverConfig};
     pub use crate::report::{
         CaseOutcome, Decision, OpenCase, ProofReport, ProverMetrics, StepReport,
     };

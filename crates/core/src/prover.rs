@@ -39,6 +39,8 @@ use equitls_rewrite::boolring::Poly;
 use equitls_rewrite::prelude::*;
 use equitls_spec::spec::Spec;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Tunables for the proof search.
@@ -72,6 +74,12 @@ pub struct ProverConfig {
     /// may soundly orient `x` to a fresh instance of the constructor —
     /// the predicate holds only for values built by that constructor.
     pub witnesses: HashMap<OpId, OpId>,
+    /// Worker threads for independent proof obligations (`0` = available
+    /// parallelism). Results are identical for every value: each
+    /// obligation — at any jobs count, including 1 — runs on its own
+    /// clone of the pristine [`Spec`], so term arenas never cross threads
+    /// and no obligation sees another's fresh constants or assumptions.
+    pub jobs: usize,
 }
 
 impl Default for ProverConfig {
@@ -86,7 +94,20 @@ impl Default for ProverConfig {
             record_scores: false,
             profile_rules: false,
             witnesses: HashMap::new(),
+            jobs: 1,
         }
+    }
+}
+
+/// Resolve a `jobs` request: `0` means "use the machine's available
+/// parallelism", anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
     }
 }
 
@@ -196,9 +217,18 @@ impl<'a> Prover<'a> {
 
     /// Prove `invariant` by simultaneous induction over all transitions.
     ///
+    /// The base case and each action's inductive case are independent
+    /// obligations; with `ProverConfig::jobs > 1` they are distributed
+    /// across worker threads. Each obligation clones the caller's [`Spec`]
+    /// (at every jobs value, including 1), so the report is byte-identical
+    /// for any thread count and the caller's spec is left untouched.
+    ///
     /// # Errors
     ///
-    /// Unknown names, or a rewriting failure (fuel exhaustion).
+    /// Unknown names, or a rewriting failure (fuel exhaustion). With
+    /// several failing obligations the error of the earliest one (base
+    /// first, then campaign action order) is returned, regardless of
+    /// which worker finished first.
     pub fn prove_inductive(
         &mut self,
         invariant: &str,
@@ -210,30 +240,34 @@ impl<'a> Prover<'a> {
             .get(invariant)
             .ok_or_else(|| CoreError::UnknownInvariant(invariant.to_string()))?
             .clone();
-        // Base case: inv(init, xs).
-        let base = {
-            let lemmas = self.resolve_lemmas(&hints.lemmas_for(invariant, None))?;
-            let xs = self.fresh_params(&inv)?;
-            let init = self.ots.init;
-            let goal = inv.instantiate(self.spec, init, &xs)?;
-            self.search_obligation("init", goal, init, &lemmas)?
+        let pristine = self.spec.clone();
+        let ctx = TaskCtx {
+            spec: &pristine,
+            ots: self.ots,
+            invariants: self.invariants,
+            config: &self.config,
+            obs: &self.obs,
+            inv: &inv,
+            inv_name: invariant,
+            hints,
+            case_lemmas: Vec::new(),
         };
-        // One inductive case per action.
-        let actions: Vec<Action> = self.ots.actions.clone();
-        let mut steps = Vec::with_capacity(actions.len());
-        for action in &actions {
-            let lemmas = self.resolve_lemmas(&hints.lemmas_for(invariant, Some(&action.name)))?;
-            let step = self.prove_step(&inv, action, &lemmas)?;
-            steps.push(step);
-        }
-        Ok(ProofReport::new(invariant, base, steps, start.elapsed()))
+        let mut tasks: Vec<Task<'_>> = vec![Task::Base];
+        tasks.extend(self.ots.actions.iter().map(Task::Step));
+        let mut reports = run_tasks(&ctx, &tasks)?;
+        let base = reports.remove(0);
+        Ok(ProofReport::new(invariant, base, reports, start.elapsed()))
     }
 
     /// Prove `invariant` by case analysis only (no induction): the goal is
     /// `lemmas(s, …) implies invariant(s, xs)` for an arbitrary state `s`.
     ///
     /// This covers the paper's properties 4 and 5, which are "proved by
-    /// case analyses with other properties".
+    /// case analyses with other properties". A case analysis is a single
+    /// obligation, so `ProverConfig::jobs` has nothing to distribute here;
+    /// campaigns parallelize across properties instead (each property's
+    /// obligation is independent). Like [`Prover::prove_inductive`], the
+    /// obligation runs on a clone of the caller's [`Spec`].
     ///
     /// # Errors
     ///
@@ -249,12 +283,20 @@ impl<'a> Prover<'a> {
             .get(invariant)
             .ok_or_else(|| CoreError::UnknownInvariant(invariant.to_string()))?
             .clone();
-        let lemmas = self.resolve_lemmas(lemma_names)?;
-        let state_sort = self.ots.state_sort;
-        let s = self.spec.store_mut().fresh_constant("p", state_sort);
-        let xs = self.fresh_params(&inv)?;
-        let goal = inv.instantiate(self.spec, s, &xs)?;
-        let step = self.search_obligation("case-analysis", goal, s, &lemmas)?;
+        let pristine = self.spec.clone();
+        let hints = Hints::new();
+        let ctx = TaskCtx {
+            spec: &pristine,
+            ots: self.ots,
+            invariants: self.invariants,
+            config: &self.config,
+            obs: &self.obs,
+            inv: &inv,
+            inv_name: invariant,
+            hints: &hints,
+            case_lemmas: lemma_names.iter().map(|s| (*s).to_string()).collect(),
+        };
+        let step = run_task(&ctx, &Task::CaseAnalysis)?;
         Ok(ProofReport::new(
             invariant,
             step,
@@ -1033,6 +1075,107 @@ impl<'a> Prover<'a> {
     }
 }
 
+/// One independent proof obligation.
+enum Task<'t> {
+    /// `inv(init, xs)`.
+    Base,
+    /// Action `a` preserves `inv`.
+    Step(&'t Action),
+    /// `lemmas(s, …) implies inv(s, xs)` for arbitrary `s`.
+    CaseAnalysis,
+}
+
+/// Everything a worker needs to run one obligation. `spec` is the
+/// pristine snapshot every task clones from — the sole way term arenas
+/// stay thread-local without locking.
+struct TaskCtx<'c> {
+    spec: &'c Spec,
+    ots: &'c Ots,
+    invariants: &'c InvariantSet,
+    config: &'c ProverConfig,
+    obs: &'c Obs,
+    inv: &'c Invariant,
+    inv_name: &'c str,
+    hints: &'c Hints,
+    case_lemmas: Vec<String>,
+}
+
+/// Stack size for prover worker threads. The case-split recursion on top
+/// of the rewrite engine's recursion overflows the platform default on
+/// the TLS obligations; the repo's binaries and integration tests already
+/// run the prover on 512 MiB stacks, so workers match that.
+const WORKER_STACK_BYTES: usize = 512 * 1024 * 1024;
+
+/// Run one obligation on a fresh clone of the pristine spec.
+fn run_task(ctx: &TaskCtx<'_>, task: &Task<'_>) -> Result<StepReport, CoreError> {
+    let mut local = ctx.spec.clone();
+    let mut prover = Prover::new(&mut local, ctx.ots, ctx.invariants)
+        .with_config(ctx.config.clone())
+        .with_obs(ctx.obs.clone());
+    match task {
+        Task::Base => {
+            let lemmas = prover.resolve_lemmas(&ctx.hints.lemmas_for(ctx.inv_name, None))?;
+            let xs = prover.fresh_params(ctx.inv)?;
+            let init = ctx.ots.init;
+            let goal = ctx.inv.instantiate(prover.spec, init, &xs)?;
+            prover.search_obligation("init", goal, init, &lemmas)
+        }
+        Task::Step(action) => {
+            let lemmas =
+                prover.resolve_lemmas(&ctx.hints.lemmas_for(ctx.inv_name, Some(&action.name)))?;
+            prover.prove_step(ctx.inv, action, &lemmas)
+        }
+        Task::CaseAnalysis => {
+            let names: Vec<&str> = ctx.case_lemmas.iter().map(String::as_str).collect();
+            let lemmas = prover.resolve_lemmas(&names)?;
+            let state_sort = ctx.ots.state_sort;
+            let s = prover.spec.store_mut().fresh_constant("p", state_sort);
+            let xs = prover.fresh_params(ctx.inv)?;
+            let goal = ctx.inv.instantiate(prover.spec, s, &xs)?;
+            prover.search_obligation("case-analysis", goal, s, &lemmas)
+        }
+    }
+}
+
+/// Run `tasks` on `config.jobs` workers and return the reports in task
+/// order. Workers pull the next task off a shared atomic index; results
+/// land in per-task slots, so the output order (and, with several
+/// failures, which error is reported — the lowest-index one) never
+/// depends on scheduling.
+fn run_tasks(ctx: &TaskCtx<'_>, tasks: &[Task<'_>]) -> Result<Vec<StepReport>, CoreError> {
+    let jobs = resolve_jobs(ctx.config.jobs).min(tasks.len().max(1));
+    if jobs <= 1 {
+        return tasks.iter().map(|t| run_task(ctx, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<StepReport, CoreError>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            std::thread::Builder::new()
+                .name(format!("prover-{w}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn_scoped(scope, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let result = run_task(ctx, &tasks[i]);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                })
+                .expect("spawn prover worker");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every task was completed by a worker")
+        })
+        .collect()
+}
+
 fn is_fuel_error(e: &CoreError) -> bool {
     matches!(
         e,
@@ -1190,6 +1333,59 @@ mod tests {
         let mut prover = Prover::new(&mut spec, &ots, &invs);
         let report = prover.prove_by_cases("conseq", &["mutex"]).unwrap();
         assert!(report.is_proved(), "open: {:?}", report.open_cases());
+    }
+
+    #[test]
+    fn parallel_obligations_are_deterministic() {
+        // The same proof at jobs = 1, 2, 4 must produce identical reports:
+        // per-step outcomes, passage/split tallies, and rewrite counts.
+        let reports: Vec<ProofReport> = [1, 2, 4]
+            .iter()
+            .map(|&jobs| {
+                let (mut spec, ots, invs) = build_machine();
+                let config = ProverConfig {
+                    jobs,
+                    record_scores: true,
+                    ..ProverConfig::default()
+                };
+                let mut prover = Prover::new(&mut spec, &ots, &invs).with_config(config);
+                prover.prove_inductive("mutex", &Hints::new()).unwrap()
+            })
+            .collect();
+        let baseline = &reports[0];
+        assert!(baseline.is_proved());
+        for report in &reports[1..] {
+            assert_eq!(report.base.action, baseline.base.action);
+            assert_eq!(report.base.outcome, baseline.base.outcome);
+            assert_eq!(report.base.metrics, baseline.base.metrics);
+            assert_eq!(report.steps.len(), baseline.steps.len());
+            for (a, b) in report.steps.iter().zip(&baseline.steps) {
+                assert_eq!(a.action, b.action);
+                assert_eq!(a.outcome, b.outcome, "{}", a.action);
+                assert_eq!(a.metrics, b.metrics, "{}", a.action);
+                assert_eq!(a.rewrite_stats, b.rewrite_stats, "{}", a.action);
+                assert_eq!(a.scores, b.scores, "{}", a.action);
+            }
+        }
+    }
+
+    #[test]
+    fn proving_leaves_the_callers_spec_untouched() {
+        // Obligations run on clones: two identical prove calls see the
+        // same world, so their reports agree exactly.
+        let (mut spec, ots, invs) = build_machine();
+        let terms_before = spec.store().term_count();
+        let first = {
+            let mut prover = Prover::new(&mut spec, &ots, &invs);
+            prover.prove_inductive("mutex", &Hints::new()).unwrap()
+        };
+        assert_eq!(spec.store().term_count(), terms_before);
+        let second = {
+            let mut prover = Prover::new(&mut spec, &ots, &invs);
+            prover.prove_inductive("mutex", &Hints::new()).unwrap()
+        };
+        assert_eq!(first.total_passages(), second.total_passages());
+        assert_eq!(first.total_rewrite_stats(), second.total_rewrite_stats());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Packaged TLS checks: bounded exhaustive verification à la Mitchell et
 //! al. (experiment E10).
 
-use crate::explorer::{explore, Exploration, Limits, Monitor};
+use crate::explorer::{explore_jobs, Exploration, Limits, Monitor};
 use crate::model::TlsMachine;
 use equitls_tls::concrete::{props, Scope, State};
 
@@ -13,6 +13,14 @@ type BoxedPredicate = Box<dyn Fn(&State) -> bool>;
 /// The expected outcome (within any scope that lets the intruder act):
 /// properties 1–5 hold everywhere, 2′ and 3′ are violated.
 pub fn check_scope(scope: &Scope, limits: &Limits) -> Exploration<State> {
+    check_scope_jobs(scope, limits, 1)
+}
+
+/// [`check_scope`] on `jobs` worker threads (`0` = available parallelism).
+///
+/// The verdicts, state counts, and violation traces are identical for
+/// every `jobs` value — see [`crate::explorer::explore_jobs`].
+pub fn check_scope_jobs(scope: &Scope, limits: &Limits, jobs: usize) -> Exploration<State> {
     let machine = TlsMachine::new(scope.clone());
     let scope2 = scope.clone();
     let monitors = props::monitors();
@@ -27,7 +35,7 @@ pub fn check_scope(scope: &Scope, limits: &Limits) -> Exploration<State> {
         })
         .collect();
     let refs: Vec<Monitor<'_, State>> = boxed.iter().map(|(n, f)| (*n, f.as_ref() as _)).collect();
-    explore(&machine, &refs, limits)
+    explore_jobs(&machine, &refs, limits, jobs)
 }
 
 /// Properties expected to hold / fail, by monitor name.

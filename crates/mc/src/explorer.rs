@@ -4,10 +4,24 @@
 //! Shmatikov and Stern's finite-state analysis of SSL 3.0): enumerate
 //! states breadth-first under a finite scope, check safety monitors in
 //! every state, and reconstruct a labeled trace on violation.
+//!
+//! ## Parallel exploration
+//!
+//! [`explore_jobs`] runs the same search level-synchronously across `N`
+//! worker threads: the current frontier is partitioned into contiguous
+//! chunks, each worker expands its chunk's states into a local successor
+//! batch, and the batches are merged into the dedup index **at the level
+//! barrier, in frontier order** — exactly the order the sequential search
+//! visits them. Successor generation (`Model::successors`) is pure, so
+//! the merged result is *identical* to the sequential one for every
+//! thread count: same state count and numbering, same verdicts, same
+//! violation traces, same `states_per_depth`/`dedup_hits` accounting.
+//! `jobs = 1` bypasses the thread machinery and is the sequential path.
 
 use crate::model::Model;
 use equitls_obs::sink::Obs;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::time::{Duration, Instant};
 
 /// A named safety monitor: `(name, predicate)`. A violation is recorded
@@ -17,7 +31,7 @@ pub type Monitor<'a, S> = (&'a str, &'a dyn Fn(&S) -> bool);
 /// Exploration bounds.
 #[derive(Debug, Clone)]
 pub struct Limits {
-    /// Maximum states to expand (cutoff reported, not an error).
+    /// Maximum states to keep (cutoff reported, not an error).
     pub max_states: usize,
     /// Maximum BFS depth.
     pub max_depth: usize,
@@ -29,6 +43,18 @@ impl Default for Limits {
             max_states: 200_000,
             max_depth: 8,
         }
+    }
+}
+
+/// Resolve a `jobs` request: `0` means "use the machine's available
+/// parallelism", anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
     }
 }
 
@@ -73,14 +99,20 @@ impl<S> Exploration<S> {
         self.violations.iter().find(|v| v.property == property)
     }
 
-    /// Distinct states per wall-clock second (0 when the run was too fast
-    /// to time).
+    /// Distinct states per wall-clock second.
+    ///
+    /// Sub-millisecond runs are too short for the wall clock to carry
+    /// signal: dividing a handful of states by a few microseconds
+    /// extrapolates absurd throughput. The divisor is clamped to 1 ms,
+    /// making the result a *lower bound* on very short runs; a zero
+    /// duration (the clock did not advance) reports 0.
     pub fn states_per_sec(&self) -> f64 {
+        const MIN_MEASURABLE_SECS: f64 = 1e-3;
         let secs = self.duration.as_secs_f64();
-        if secs > 0.0 {
-            self.states as f64 / secs
-        } else {
+        if secs <= 0.0 || self.states == 0 {
             0.0
+        } else {
+            self.states as f64 / secs.max(MIN_MEASURABLE_SECS)
         }
     }
 
@@ -117,102 +149,270 @@ pub fn explore_with_obs<M: Model>(
     limits: &Limits,
     obs: &Obs,
 ) -> Exploration<M::State> {
-    let start = Instant::now();
-    let initial = model.initial();
-    // parents[i] = (parent index, label); state_of[i] = state.
-    let mut states: Vec<M::State> = vec![initial.clone()];
-    let mut parents: Vec<(usize, String)> = vec![(usize::MAX, String::new())];
-    let mut index: HashMap<M::State, usize> = HashMap::new();
-    index.insert(initial, 0);
-    let mut frontier: Vec<usize> = vec![0];
-    let mut violations: Vec<Violation<M::State>> = Vec::new();
-    let mut violated: Vec<String> = Vec::new();
-    let mut states_per_depth = vec![1usize];
-    let mut dedup_hits = 0usize;
-    let mut complete = true;
-    let mut depth = 0;
+    explore_core(model, monitors, limits, obs, expand_level_seq)
+}
 
-    let check = |idx: usize,
-                 depth: usize,
-                 states: &[M::State],
-                 parents: &[(usize, String)],
-                 violations: &mut Vec<Violation<M::State>>,
-                 violated: &mut Vec<String>| {
-        for (name, monitor) in monitors {
-            if violated.iter().any(|v| v == name) {
+/// [`explore`] on `jobs` worker threads (`0` = available parallelism).
+///
+/// Deterministic: for any `jobs`, the result (state count, verdicts,
+/// traces, per-level accounting) is identical to the sequential search.
+/// See the module docs for how the merge keeps it so.
+pub fn explore_jobs<M>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    jobs: usize,
+) -> Exploration<M::State>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    explore_with_obs_jobs(model, monitors, limits, jobs, &Obs::noop())
+}
+
+/// [`explore_jobs`] with an observability handle.
+pub fn explore_with_obs_jobs<M>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    jobs: usize,
+    obs: &Obs,
+) -> Exploration<M::State>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    let jobs = resolve_jobs(jobs);
+    explore_core(
+        model,
+        monitors,
+        limits,
+        obs,
+        move |model, search, frontier, depth, limits| {
+            expand_level_par(model, search, frontier, depth, limits, jobs)
+        },
+    )
+}
+
+/// Check every monitor against state `idx`, recording the first violation
+/// per property with its reconstructed trace.
+fn check_monitors<S: Clone>(
+    monitors: &[Monitor<'_, S>],
+    idx: usize,
+    depth: usize,
+    states: &[S],
+    parents: &[(usize, String)],
+    violations: &mut Vec<Violation<S>>,
+    violated: &mut Vec<String>,
+) {
+    for (name, monitor) in monitors {
+        if violated.iter().any(|v| v == name) {
+            continue;
+        }
+        if !monitor(&states[idx]) {
+            violated.push((*name).to_string());
+            // Reconstruct the trace.
+            let mut trace = Vec::new();
+            let mut cur = idx;
+            while cur != 0 {
+                let (parent, label) = &parents[cur];
+                trace.push((label.clone(), states[cur].clone()));
+                cur = *parent;
+            }
+            trace.reverse();
+            violations.push(Violation {
+                property: name.to_string(),
+                trace,
+                depth,
+            });
+        }
+    }
+}
+
+/// Mutable search state shared by the sequential and parallel paths.
+struct Search<'m, S> {
+    monitors: &'m [Monitor<'m, S>],
+    states: Vec<S>,
+    parents: Vec<(usize, String)>,
+    index: HashMap<S, usize>,
+    violations: Vec<Violation<S>>,
+    violated: Vec<String>,
+    next_frontier: Vec<usize>,
+    dedup_hits: usize,
+}
+
+impl<S: Clone + Eq + Hash> Search<'_, S> {
+    /// Merge one frontier entry's successor batch into the dedup index,
+    /// in generation order. Returns `false` when the `max_states` cap
+    /// refused a *new* state — the signal to truncate the search.
+    /// Duplicate successors never trigger truncation (they cost no
+    /// storage), so a cap equal to the true state count still reports a
+    /// complete exploration.
+    fn merge_entry(
+        &mut self,
+        parent: usize,
+        succs: Vec<(String, S)>,
+        depth: usize,
+        limits: &Limits,
+    ) -> bool {
+        for (label, succ) in succs {
+            if self.index.contains_key(&succ) {
+                self.dedup_hits += 1;
                 continue;
             }
-            if !monitor(&states[idx]) {
-                violated.push((*name).to_string());
-                // Reconstruct the trace.
-                let mut trace = Vec::new();
-                let mut cur = idx;
-                while cur != 0 {
-                    let (parent, label) = &parents[cur];
-                    trace.push((label.clone(), states[cur].clone()));
-                    cur = *parent;
-                }
-                trace.reverse();
-                violations.push(Violation {
-                    property: name.to_string(),
-                    trace,
-                    depth,
-                });
+            if self.states.len() >= limits.max_states {
+                return false;
+            }
+            let new_idx = self.states.len();
+            self.states.push(succ.clone());
+            self.parents.push((parent, label));
+            self.index.insert(succ, new_idx);
+            check_monitors(
+                self.monitors,
+                new_idx,
+                depth,
+                &self.states,
+                &self.parents,
+                &mut self.violations,
+                &mut self.violated,
+            );
+            self.next_frontier.push(new_idx);
+        }
+        true
+    }
+}
+
+/// Expand one level sequentially: generate and merge entry by entry, so
+/// no successors are computed past the truncation point.
+fn expand_level_seq<M: Model>(
+    model: &M,
+    search: &mut Search<'_, M::State>,
+    frontier: &[usize],
+    depth: usize,
+    limits: &Limits,
+) -> bool {
+    for &idx in frontier {
+        let current = search.states[idx].clone();
+        let succs = model.successors(&current);
+        if !search.merge_entry(idx, succs, depth, limits) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Expand one level on `jobs` scoped worker threads, then merge the
+/// batches at the barrier in frontier order. Returns `false` on cap
+/// truncation — detected at the same `(parent, successor)` position the
+/// sequential expansion would stop at, so the accounting agrees.
+fn expand_level_par<M>(
+    model: &M,
+    search: &mut Search<'_, M::State>,
+    frontier: &[usize],
+    depth: usize,
+    limits: &Limits,
+    jobs: usize,
+) -> bool
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    if jobs <= 1 || frontier.len() < 2 {
+        return expand_level_seq(model, search, frontier, depth, limits);
+    }
+    // One successor list per frontier entry, grouped by worker chunk.
+    type Batch<S> = Vec<Vec<(String, S)>>;
+    let workers = jobs.min(frontier.len());
+    let chunk_len = frontier.len().div_ceil(workers);
+    let batches: Vec<Batch<M::State>> = {
+        let states: &[M::State] = &search.states;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&idx| model.successors(&states[idx]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("explorer worker panicked"))
+                .collect()
+        })
+    };
+    for (chunk, batch) in frontier.chunks(chunk_len).zip(batches) {
+        for (&idx, succs) in chunk.iter().zip(batch) {
+            if !search.merge_entry(idx, succs, depth, limits) {
+                return false;
             }
         }
+    }
+    true
+}
+
+/// The level-synchronous BFS driver, parameterized over how a level is
+/// expanded (sequentially, or fanned out over worker threads).
+fn explore_core<M, E>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    obs: &Obs,
+    mut expand: E,
+) -> Exploration<M::State>
+where
+    M: Model,
+    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> bool,
+{
+    let start = Instant::now();
+    let initial = model.initial();
+    let mut search = Search {
+        monitors,
+        states: vec![initial.clone()],
+        parents: vec![(usize::MAX, String::new())],
+        index: HashMap::new(),
+        violations: Vec::new(),
+        violated: Vec::new(),
+        next_frontier: Vec::new(),
+        dedup_hits: 0,
     };
+    search.index.insert(initial, 0);
+    let mut frontier: Vec<usize> = vec![0];
+    let mut states_per_depth = vec![1usize];
+    let mut truncated = false;
+    let mut depth = 0;
 
-    check(0, 0, &states, &parents, &mut violations, &mut violated);
+    check_monitors(
+        monitors,
+        0,
+        0,
+        &search.states,
+        &search.parents,
+        &mut search.violations,
+        &mut search.violated,
+    );
 
-    while !frontier.is_empty() && depth < limits.max_depth {
+    while !frontier.is_empty() && depth < limits.max_depth && !truncated {
         depth += 1;
         let _level = obs.span(&format!("mc.level:{depth}"));
-        let mut next_frontier = Vec::new();
-        for &idx in &frontier {
-            if states.len() >= limits.max_states {
-                complete = false;
-                break;
-            }
-            let current = states[idx].clone();
-            for (label, succ) in model.successors(&current) {
-                if index.contains_key(&succ) {
-                    dedup_hits += 1;
-                    continue;
-                }
-                let new_idx = states.len();
-                states.push(succ.clone());
-                parents.push((idx, label));
-                index.insert(succ, new_idx);
-                check(
-                    new_idx,
-                    depth,
-                    &states,
-                    &parents,
-                    &mut violations,
-                    &mut violated,
-                );
-                next_frontier.push(new_idx);
-                if states.len() >= limits.max_states {
-                    complete = false;
-                    break;
-                }
-            }
-        }
-        states_per_depth.push(next_frontier.len());
-        obs.gauge("mc.frontier", next_frontier.len() as f64);
-        obs.counter("mc.states", next_frontier.len() as u64);
-        frontier = next_frontier;
+        let level_start = search.states.len();
+        truncated = !expand(model, &mut search, &frontier, depth, limits);
+        states_per_depth.push(search.states.len() - level_start);
+        obs.gauge("mc.frontier", search.next_frontier.len() as f64);
+        obs.counter("mc.states", search.next_frontier.len() as u64);
+        frontier = std::mem::take(&mut search.next_frontier);
     }
-    if !frontier.is_empty() {
-        complete = false;
-    }
+    let complete = !truncated && frontier.is_empty();
     let result = Exploration {
-        states: states.len(),
+        states: search.states.len(),
         depth_reached: depth,
         complete,
-        violations,
+        violations: search.violations,
         states_per_depth,
-        dedup_hits,
+        dedup_hits: search.dedup_hits,
         duration: start.elapsed(),
     };
     if obs.enabled() {
@@ -243,6 +443,29 @@ mod tests {
             } else {
                 vec![(format!("inc->{}", s + 1), s + 1), ("reset".into(), 0)]
             }
+        }
+    }
+
+    /// A 5×5 grid walked right/down: wide frontiers and diamond-shaped
+    /// dedup, so the parallel path genuinely fans out.
+    struct Grid;
+
+    impl Model for Grid {
+        type State = (u8, u8);
+
+        fn initial(&self) -> (u8, u8) {
+            (0, 0)
+        }
+
+        fn successors(&self, &(x, y): &(u8, u8)) -> Vec<(String, (u8, u8))> {
+            let mut out = Vec::new();
+            if x < 4 {
+                out.push((format!("right@{x},{y}"), (x + 1, y)));
+            }
+            if y < 4 {
+                out.push((format!("down@{x},{y}"), (x, y + 1)));
+            }
+            out
         }
     }
 
@@ -338,5 +561,118 @@ mod tests {
         assert_eq!(result.violations.len(), 1);
         assert_eq!(result.violations[0].depth, 0);
         assert!(result.violations[0].trace.is_empty());
+    }
+
+    #[test]
+    fn truncation_accounting_is_consistent_at_every_cap() {
+        // The Counter space has exactly 6 states. Wherever the cap lands
+        // — first frontier entry, mid-level, exactly the true count —
+        // the books must balance.
+        for max_states in 1..=8 {
+            let limits = Limits {
+                max_states,
+                max_depth: 10,
+            };
+            let result = explore(&Counter, &[], &limits);
+            assert_eq!(
+                result.states,
+                max_states.min(6),
+                "cap {max_states}: never exceeds the cap, never undershoots it"
+            );
+            assert_eq!(
+                result.states_per_depth.iter().sum::<usize>(),
+                result.states,
+                "cap {max_states}: per-level counts sum to the state count"
+            );
+            assert_eq!(
+                result.states_per_depth.len(),
+                result.depth_reached + 1,
+                "cap {max_states}: one level entry per reached depth"
+            );
+            assert_eq!(
+                result.complete,
+                result.states == 6,
+                "cap {max_states}: complete iff the space was exhausted"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_accounting_matches_on_wide_frontiers() {
+        // On the grid the cap can land on any frontier entry of a wide
+        // level; parallel merge must truncate at the identical point.
+        for max_states in [1, 5, 7, 12, 24, 25, 40] {
+            let limits = Limits {
+                max_states,
+                max_depth: 16,
+            };
+            let seq = explore(&Grid, &[], &limits);
+            for jobs in [2, 4] {
+                let par = explore_jobs(&Grid, &[], &limits, jobs);
+                assert_eq!(par.states, seq.states, "cap {max_states} jobs {jobs}");
+                assert_eq!(par.complete, seq.complete, "cap {max_states} jobs {jobs}");
+                assert_eq!(
+                    par.states_per_depth, seq.states_per_depth,
+                    "cap {max_states} jobs {jobs}"
+                );
+                assert_eq!(
+                    par.dedup_hits, seq.dedup_hits,
+                    "cap {max_states} jobs {jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_is_deterministic() {
+        let on_diagonal = |s: &(u8, u8)| s.0 != s.1 || s.0 < 3;
+        let monitors: [Monitor<'_, (u8, u8)>; 1] = [("off-diagonal", &on_diagonal)];
+        let seq = explore(&Grid, &monitors, &Limits::default());
+        assert!(!seq.all_hold());
+        for jobs in [1, 2, 4, 8] {
+            let par = explore_jobs(&Grid, &monitors, &Limits::default(), jobs);
+            assert_eq!(par.states, seq.states, "jobs {jobs}");
+            assert_eq!(par.complete, seq.complete, "jobs {jobs}");
+            assert_eq!(par.depth_reached, seq.depth_reached, "jobs {jobs}");
+            assert_eq!(par.states_per_depth, seq.states_per_depth, "jobs {jobs}");
+            assert_eq!(par.dedup_hits, seq.dedup_hits, "jobs {jobs}");
+            assert_eq!(par.violations.len(), seq.violations.len(), "jobs {jobs}");
+            for (pv, sv) in par.violations.iter().zip(&seq.violations) {
+                assert_eq!(pv.property, sv.property, "jobs {jobs}");
+                assert_eq!(pv.depth, sv.depth, "jobs {jobs}");
+                assert_eq!(pv.trace, sv.trace, "jobs {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn states_per_sec_is_guarded_on_short_runs() {
+        let mk = |states: usize, duration: Duration| Exploration::<u8> {
+            states,
+            depth_reached: 1,
+            complete: true,
+            violations: Vec::new(),
+            states_per_depth: vec![1],
+            dedup_hits: 0,
+            duration,
+        };
+        // A zero-length run cannot report a rate.
+        assert_eq!(mk(100, Duration::ZERO).states_per_sec(), 0.0);
+        // A 10 µs run must not extrapolate to 10M states/sec: the divisor
+        // clamps at 1 ms, bounding the result.
+        let fast = mk(100, Duration::from_micros(10)).states_per_sec();
+        assert!((fast - 100_000.0).abs() < 1e-6, "got {fast}");
+        // Runs long enough to measure divide normally.
+        let slow = mk(100, Duration::from_secs(2)).states_per_sec();
+        assert!((slow - 50.0).abs() < 1e-9, "got {slow}");
+        // No states, no rate.
+        assert_eq!(mk(0, Duration::from_secs(1)).states_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn resolve_jobs_zero_means_available_parallelism() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
     }
 }

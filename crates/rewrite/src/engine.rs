@@ -52,6 +52,8 @@ pub struct RewriteStats {
     pub eq_decisions: u64,
     /// Conditional-rule attempts whose condition stayed undecided.
     pub blocked_conditions: u64,
+    /// Whole-cache resets forced by the memo-cache capacity bound.
+    pub cache_evictions: u64,
 }
 
 impl RewriteStats {
@@ -64,6 +66,7 @@ impl RewriteStats {
             bool_normalizations: self.bool_normalizations + other.bool_normalizations,
             eq_decisions: self.eq_decisions + other.eq_decisions,
             blocked_conditions: self.blocked_conditions + other.blocked_conditions,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
         }
     }
 
@@ -83,12 +86,13 @@ impl fmt::Display for RewriteStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rewrites, cache {}/{} ({:.1}% hit), {} bool normalizations, \
-             {} eq decisions, {} blocked conditions",
+            "{} rewrites, cache {}/{} ({:.1}% hit, {} evictions), \
+             {} bool normalizations, {} eq decisions, {} blocked conditions",
             self.rewrites,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             100.0 * self.cache_hit_rate(),
+            self.cache_evictions,
             self.bool_normalizations,
             self.eq_decisions,
             self.blocked_conditions,
@@ -122,6 +126,12 @@ pub struct RuleProfile {
 /// Default fuel budget per top-level [`Normalizer::normalize`] call.
 pub const DEFAULT_FUEL: u64 = 5_000_000;
 
+/// Default memo-cache capacity (entries). At two machine words per entry
+/// plus hash-table overhead this bounds the cache around a few tens of
+/// megabytes; long prover runs reset it instead of growing without bound
+/// (evictions are counted in [`RewriteStats::cache_evictions`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
 /// A rewriting session: rules + assumptions + caches.
 ///
 /// Cloning a normalizer clones its assumptions and caches, which is how the
@@ -133,6 +143,7 @@ pub struct Normalizer {
     rules: RuleSet,
     assumptions: RuleSet,
     cache: HashMap<TermId, TermId>,
+    cache_capacity: usize,
     blocked: Vec<TermId>,
     stats: RewriteStats,
     fuel: u64,
@@ -163,6 +174,7 @@ impl Normalizer {
             rules,
             assumptions: RuleSet::new(),
             cache: HashMap::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             blocked: Vec::new(),
             stats: RewriteStats::default(),
             fuel: DEFAULT_FUEL,
@@ -179,6 +191,31 @@ impl Normalizer {
     /// Override the per-call fuel budget.
     pub fn set_fuel_limit(&mut self, fuel: u64) {
         self.fuel_limit = fuel;
+    }
+
+    /// Override the memo-cache capacity (entries; see
+    /// [`DEFAULT_CACHE_CAPACITY`]). When an insertion would exceed it, the
+    /// whole cache is reset and [`RewriteStats::cache_evictions`] is
+    /// bumped — a coarse but allocation-free bound (no LRU bookkeeping on
+    /// the hot path). A capacity of 0 disables memoization.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity;
+        if self.cache.len() > capacity {
+            self.cache.clear();
+            self.stats.cache_evictions += 1;
+        }
+    }
+
+    /// Insert a memo entry, resetting the cache first when full.
+    fn cache_insert(&mut self, key: TermId, value: TermId) {
+        if self.cache.len() >= self.cache_capacity {
+            if self.cache_capacity == 0 {
+                return;
+            }
+            self.cache.clear();
+            self.stats.cache_evictions += 1;
+        }
+        self.cache.insert(key, value);
     }
 
     /// Attach an observability handle; counters and gauges flow to its
@@ -505,8 +542,8 @@ impl Normalizer {
         let result = self.norm_uncached(store, t);
         self.depth -= 1;
         let result = result?;
-        self.cache.insert(t, result);
-        self.cache.insert(result, result);
+        self.cache_insert(t, result);
+        self.cache_insert(result, result);
         Ok(result)
     }
 
@@ -549,7 +586,7 @@ impl Normalizer {
             // The rebuilt canonical form is normal by construction (atoms
             // are normal, connectives are canonical); record it so the
             // equivalence class converges without re-walking.
-            self.cache.insert(rebuilt, rebuilt);
+            self.cache_insert(rebuilt, rebuilt);
             return Ok(rebuilt);
         }
         Ok(cur)
@@ -1089,6 +1126,53 @@ mod tests {
         assert!(second.cache_hit_rate() <= 1.0);
         norm.reset_stats();
         assert_eq!(norm.stats(), RewriteStats::default());
+    }
+
+    #[test]
+    fn bounded_cache_resets_and_counts_evictions() {
+        let mut w = bool_world();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        norm.set_cache_capacity(8);
+        // Normalize many distinct conjunctions: far more nodes than the
+        // capacity, so the cache must reset (repeatedly) yet every result
+        // must stay correct.
+        let atoms: Vec<TermId> = (0..12)
+            .map(|_| w.store.fresh_constant("p", w.alg.sort()))
+            .collect();
+        for i in 0..atoms.len() {
+            for j in 0..atoms.len() {
+                let np = w.alg.not(&mut w.store, atoms[j]).unwrap();
+                let f = w.alg.or(&mut w.store, atoms[i], np).unwrap();
+                let lem = w.alg.or(&mut w.store, f, atoms[j]).unwrap();
+                // p_i \/ not p_j \/ p_j is a tautology for every i, j.
+                assert!(norm.proves(&mut w.store, lem).unwrap(), "{i},{j}");
+            }
+        }
+        let stats = norm.stats();
+        assert!(stats.cache_evictions > 0, "stats: {stats}");
+        assert!(stats.to_string().contains("evictions"));
+        // Evictions survive a merge.
+        let merged = stats.merged(stats);
+        assert_eq!(merged.cache_evictions, 2 * stats.cache_evictions);
+        // The default capacity never evicts on small workloads.
+        let mut roomy = Normalizer::new(w.alg.clone(), RuleSet::new());
+        let np = w.alg.not(&mut w.store, atoms[0]).unwrap();
+        let lem = w.alg.or(&mut w.store, atoms[0], np).unwrap();
+        assert!(roomy.proves(&mut w.store, lem).unwrap());
+        assert_eq!(roomy.stats().cache_evictions, 0);
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_memoization() {
+        let mut w = bool_world();
+        let p = w.store.fresh_constant("p", w.alg.sort());
+        let np = w.alg.not(&mut w.store, p).unwrap();
+        let lem = w.alg.or(&mut w.store, p, np).unwrap();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        norm.set_cache_capacity(0);
+        assert!(norm.proves(&mut w.store, lem).unwrap());
+        assert!(norm.proves(&mut w.store, lem).unwrap());
+        assert_eq!(norm.stats().cache_hits, 0, "nothing is ever cached");
     }
 
     #[test]

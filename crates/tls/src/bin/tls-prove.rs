@@ -10,7 +10,9 @@
 //! `--trace <path.jsonl>` streams every observability event (spans,
 //! counters, gauges) as newline-delimited JSON; `--metrics` turns on
 //! per-rule profiling and prints summary tables (hot rules, per-invariant
-//! totals, wall-clock per phase) at the end of the run.
+//! totals, wall-clock per phase) at the end of the run; `--jobs N` fans
+//! proof obligations out over N worker threads (default: available
+//! parallelism; reports are identical for every N).
 
 use equitls_core::prelude::{render_report_table, ProofReport};
 use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
@@ -31,6 +33,8 @@ struct Options {
     variant: bool,
     metrics: bool,
     trace: Option<std::path::PathBuf>,
+    /// Worker threads for proof obligations; `0` = available parallelism.
+    jobs: usize,
     names: Vec<String>,
 }
 
@@ -39,6 +43,7 @@ fn parse_args() -> Options {
         variant: false,
         metrics: false,
         trace: None,
+        jobs: 0,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -52,6 +57,13 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
                 opts.trace = Some(path.into());
+            }
+            "--jobs" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a thread count (e.g. --jobs 4; 0 = all cores)");
+                    std::process::exit(2);
+                });
+                opts.jobs = n;
             }
             "--all" => {}
             other if other.starts_with("--") => {
@@ -96,10 +108,12 @@ fn run() {
     let mut reports = Vec::new();
     let mut failed = false;
     if opts.names.is_empty() {
-        reports = verify::verify_all_with(&mut model, &obs, opts.metrics).expect("engine ok");
+        reports = verify::verify_all_with_jobs(&mut model, &obs, opts.metrics, opts.jobs)
+            .expect("engine ok");
     } else {
         for name in &opts.names {
-            match verify::verify_property_with(&mut model, name, &obs, opts.metrics) {
+            match verify::verify_property_with_jobs(&mut model, name, &obs, opts.metrics, opts.jobs)
+            {
                 Ok(r) => reports.push(r),
                 Err(e) => {
                     eprintln!("error proving {name}: {e}");

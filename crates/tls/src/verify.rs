@@ -177,7 +177,23 @@ pub fn plan(name: &str) -> Option<&'static ProofPlan> {
 ///
 /// Unknown property, or an engine failure.
 pub fn verify_property(model: &mut TlsModel, name: &str) -> Result<ProofReport, CoreError> {
-    verify_property_with(model, name, &Obs::noop(), false)
+    verify_property_with_jobs(model, name, &Obs::noop(), false, 1)
+}
+
+/// [`verify_property`] on `jobs` worker threads (`0` = available
+/// parallelism). The report is identical for every `jobs` value: each
+/// proof obligation runs on its own clone of the model's spec, so term
+/// arenas never cross threads (see `equitls_core::prover::ProverConfig`).
+///
+/// # Errors
+///
+/// Unknown property, or an engine failure.
+pub fn verify_property_jobs(
+    model: &mut TlsModel,
+    name: &str,
+    jobs: usize,
+) -> Result<ProofReport, CoreError> {
+    verify_property_with_jobs(model, name, &Obs::noop(), false, jobs)
 }
 
 /// [`verify_property`] with an observability handle: a span per proof
@@ -193,9 +209,27 @@ pub fn verify_property_with(
     obs: &Obs,
     profile_rules: bool,
 ) -> Result<ProofReport, CoreError> {
+    verify_property_with_jobs(model, name, obs, profile_rules, 1)
+}
+
+/// [`verify_property_with`] on `jobs` worker threads. Worker obligations
+/// share the one `obs` handle (sinks are internally synchronized), so a
+/// trace interleaves obligation spans when `jobs > 1`.
+///
+/// # Errors
+///
+/// Unknown property, or an engine failure.
+pub fn verify_property_with_jobs(
+    model: &mut TlsModel,
+    name: &str,
+    obs: &Obs,
+    profile_rules: bool,
+    jobs: usize,
+) -> Result<ProofReport, CoreError> {
     let plan = plan(name).ok_or_else(|| CoreError::UnknownInvariant(name.to_string()))?;
     let config = ProverConfig {
         profile_rules,
+        jobs,
         ..prover_config(model)
     };
     let mut prover = Prover::new(&mut model.spec, &model.ots, &model.invariants)
@@ -220,7 +254,18 @@ pub fn verify_property_with(
 /// First engine failure, if any (open cases are *not* errors — they are
 /// reported in the returned reports).
 pub fn verify_all(model: &mut TlsModel) -> Result<Vec<ProofReport>, CoreError> {
-    verify_all_with(model, &Obs::noop(), false)
+    verify_all_with_jobs(model, &Obs::noop(), false, 1)
+}
+
+/// [`verify_all`] on `jobs` worker threads (`0` = available parallelism).
+/// Parallelism applies within each property (its obligations fan out);
+/// properties still complete in campaign order.
+///
+/// # Errors
+///
+/// First engine failure, if any.
+pub fn verify_all_jobs(model: &mut TlsModel, jobs: usize) -> Result<Vec<ProofReport>, CoreError> {
+    verify_all_with_jobs(model, &Obs::noop(), false, jobs)
 }
 
 /// [`verify_all`] with an observability handle (see
@@ -234,9 +279,23 @@ pub fn verify_all_with(
     obs: &Obs,
     profile_rules: bool,
 ) -> Result<Vec<ProofReport>, CoreError> {
+    verify_all_with_jobs(model, obs, profile_rules, 1)
+}
+
+/// [`verify_all_with`] on `jobs` worker threads.
+///
+/// # Errors
+///
+/// First engine failure, if any.
+pub fn verify_all_with_jobs(
+    model: &mut TlsModel,
+    obs: &Obs,
+    profile_rules: bool,
+    jobs: usize,
+) -> Result<Vec<ProofReport>, CoreError> {
     PLANS
         .iter()
-        .map(|plan| verify_property_with(model, plan.name, obs, profile_rules))
+        .map(|plan| verify_property_with_jobs(model, plan.name, obs, profile_rules, jobs))
         .collect()
 }
 

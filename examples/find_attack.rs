@@ -8,13 +8,30 @@
 //! it believes is with `a` although `a` never participated.
 //!
 //! ```text
-//! cargo run --release --example find_attack
+//! cargo run --release --example find_attack [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` runs the breadth-first search on N worker threads (0 = all
+//! cores); the violation trace found is identical for every N.
 
 use equitls::mc::prelude::*;
 use equitls::tls::concrete::{props, Scope};
 
+fn parse_jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--jobs needs a thread count (0 = all cores)");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}
+
 fn main() {
+    let jobs = parse_jobs();
     println!("== searching for a violation of property 2' (ClientFinished authenticity) ==\n");
     let mut scope = Scope::counterexample();
     scope.max_messages = 2;
@@ -26,7 +43,7 @@ fn main() {
         max_states: 100_000,
         max_depth: 3,
     };
-    let result = explore(&machine, &[("prop2p", &monitor)], &limits);
+    let result = explore_jobs(&machine, &[("prop2p", &monitor)], &limits, jobs);
     println!(
         "explored {} states to depth {} in {:?} (complete: {})",
         result.states, result.depth_reached, result.duration, result.complete

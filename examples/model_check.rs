@@ -7,14 +7,34 @@
 //! refuted 2′/3′ are violated.
 //!
 //! ```text
-//! cargo run --release --example model_check
+//! cargo run --release --example model_check [-- --jobs N]
 //! ```
+//!
+//! `--jobs N` explores each BFS level on N worker threads (0 = all
+//! cores); results are identical for every N.
 
 use equitls::mc::prelude::*;
 use equitls::tls::concrete::Scope;
 
+fn parse_jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--jobs needs a thread count (0 = all cores)");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}
+
 fn main() {
-    println!("== bounded exhaustive check (Mitchell-et-al.-style scope) ==\n");
+    let jobs = parse_jobs();
+    println!(
+        "== bounded exhaustive check (Mitchell-et-al.-style scope, {} worker threads) ==\n",
+        resolve_jobs(jobs)
+    );
     for max_messages in [1, 2, 3] {
         let mut scope = Scope::counterexample();
         scope.max_messages = max_messages;
@@ -22,7 +42,7 @@ fn main() {
             max_states: 150_000,
             max_depth: max_messages + 1,
         };
-        let result = check_scope(&scope, &limits);
+        let result = check_scope_jobs(&scope, &limits, jobs);
         println!(
             "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}",
             result.states, result.depth_reached, result.duration, result.complete

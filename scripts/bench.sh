@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproducible benchmark pipeline for the parallel execution layer (E14).
+#
+# Runs the explorer and prover workloads at jobs ∈ {1, 2, all cores} and
+# writes BENCH_parallel.json at the repository root. Knobs:
+#
+#   BENCH_SAMPLES=N   timed repetitions per point (default 3, best-of-N)
+#   BENCH_OUT=path    output path (default <repo>/BENCH_parallel.json)
+#   BENCH_SMOKE=1     tiny limits + temp output, for CI smoke
+#
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo bench -p equitls-bench --bench parallel =="
+cargo bench -q -p equitls-bench --bench parallel
+
+if [ "${BENCH_SMOKE:-0}" != "1" ]; then
+    echo "== BENCH_parallel.json =="
+    cat "${BENCH_OUT:-BENCH_parallel.json}"
+fi

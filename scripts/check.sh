@@ -13,6 +13,12 @@ cargo test -q --workspace
 echo "== tls-lint =="
 cargo run -q --release -p equitls-tls --bin tls-lint
 
+echo "== parallel determinism (2 jobs) =="
+cargo test -q --release --test parallel_determinism
+
+echo "== bench smoke =="
+BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

@@ -1,0 +1,115 @@
+//! Integration test: parallel execution is observationally deterministic.
+//!
+//! The parallel explorer (level-synchronous BFS with merge-at-barrier)
+//! and the parallel prover (independent obligations on cloned specs) are
+//! designed so that the *results* are a pure function of the input — the
+//! thread count only changes wall-clock time. This test pins that
+//! contract end-to-end on the TLS models: identical verdicts, state
+//! counts, violation traces, and proved/vacuous/open tallies at
+//! jobs = 1, 2, 4.
+
+use equitls::mc::prelude::*;
+use equitls::tls::concrete::Scope;
+use equitls::tls::{verify, TlsModel};
+
+const JOBS: [usize; 3] = [1, 2, 4];
+
+fn on_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .stack_size(512 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect("join")
+}
+
+#[test]
+fn tls_scope_exploration_is_identical_at_every_thread_count() {
+    let mut scope = Scope::counterexample();
+    scope.max_messages = 2;
+    let limits = Limits {
+        max_states: 100_000,
+        max_depth: 3,
+    };
+
+    let runs: Vec<Exploration<_>> = JOBS
+        .iter()
+        .map(|&jobs| check_scope_jobs(&scope, &limits, jobs))
+        .collect();
+    let baseline = &runs[0];
+
+    // The counterexample scope must actually exercise both outcomes:
+    // held properties and a found violation with a trace.
+    assert!(baseline.complete, "scope should be exhausted");
+    assert!(
+        baseline.violation("prop2p-cf-authentic").is_some(),
+        "the 2' violation should be found in this scope"
+    );
+    assert!(baseline.violation("prop1-pms-secrecy").is_none());
+
+    for (jobs, run) in JOBS.iter().zip(&runs).skip(1) {
+        assert_eq!(run.states, baseline.states, "state count at jobs={jobs}");
+        assert_eq!(run.depth_reached, baseline.depth_reached);
+        assert_eq!(run.states_per_depth, baseline.states_per_depth);
+        assert_eq!(run.dedup_hits, baseline.dedup_hits);
+        assert_eq!(run.complete, baseline.complete);
+        assert_eq!(
+            run.violations.len(),
+            baseline.violations.len(),
+            "violation set at jobs={jobs}"
+        );
+        for (v, bv) in run.violations.iter().zip(&baseline.violations) {
+            assert_eq!(v.property, bv.property, "verdict order at jobs={jobs}");
+            assert_eq!(v.depth, bv.depth);
+            assert_eq!(v.trace, bv.trace, "minimal trace at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn full_proof_score_is_identical_at_every_thread_count() {
+    on_big_stack(|| {
+        let reports: Vec<_> = JOBS
+            .iter()
+            .map(|&jobs| {
+                let mut model = TlsModel::standard().unwrap();
+                verify::verify_property_jobs(&mut model, "inv1", jobs).unwrap()
+            })
+            .collect();
+        let baseline = &reports[0];
+        assert!(baseline.is_proved());
+        assert_eq!(baseline.steps.len(), 27);
+        let base_totals = baseline.total_metrics();
+        assert!(base_totals.proved > 0);
+        assert_eq!(base_totals.open, 0);
+
+        for (jobs, report) in JOBS.iter().zip(&reports).skip(1) {
+            assert_eq!(report.is_proved(), baseline.is_proved());
+            assert_eq!(report.steps.len(), baseline.steps.len());
+            assert_eq!(
+                report.base.outcome, baseline.base.outcome,
+                "base case at jobs={jobs}"
+            );
+            for (step, bstep) in report.steps.iter().zip(&baseline.steps) {
+                assert_eq!(step.action, bstep.action, "step order at jobs={jobs}");
+                assert_eq!(
+                    step.outcome, bstep.outcome,
+                    "verdict for {} at jobs={jobs}",
+                    step.action
+                );
+                assert_eq!(
+                    step.metrics, bstep.metrics,
+                    "proved/vacuous/open tallies for {} at jobs={jobs}",
+                    step.action
+                );
+                assert_eq!(step.scores, bstep.scores);
+            }
+            let totals = report.total_metrics();
+            assert_eq!(totals, base_totals, "campaign tallies at jobs={jobs}");
+            assert_eq!(
+                report.total_rewrite_stats().rewrites,
+                baseline.total_rewrite_stats().rewrites
+            );
+        }
+    });
+}
