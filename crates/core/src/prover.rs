@@ -36,12 +36,13 @@ use equitls_kernel::prelude::*;
 use equitls_obs::sink::Obs;
 use equitls_rewrite::assumption::orient_equation;
 use equitls_rewrite::boolring::Poly;
+use equitls_rewrite::budget::{panic_message, trigger_injected_panic};
 use equitls_rewrite::prelude::*;
 use equitls_spec::spec::Spec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tunables for the proof search.
 #[derive(Debug, Clone)]
@@ -80,6 +81,14 @@ pub struct ProverConfig {
     /// clone of the pristine [`Spec`], so term arenas never cross threads
     /// and no obligation sees another's fresh constants or assumptions.
     pub jobs: usize,
+    /// Shared resource budget (deadline, heap ceiling, cancel token).
+    /// Every obligation's normalizer checks it; a trip leaves the
+    /// obligation open with a `(budget: …)` residual instead of killing
+    /// the run. Unlimited by default.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan for tests of the degradation
+    /// paths. `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ProverConfig {
@@ -95,6 +104,8 @@ impl Default for ProverConfig {
             profile_rules: false,
             witnesses: HashMap::new(),
             jobs: 1,
+            budget: Budget::unlimited(),
+            fault_plan: None,
         }
     }
 }
@@ -368,6 +379,18 @@ impl<'a> Prover<'a> {
         let _span = self.obs.span(&format!("prover.obligation:{name}"));
         let mut norm = self.spec.normalizer();
         norm.set_fuel_limit(self.config.fuel);
+        norm.set_budget(self.config.budget.clone());
+        if let Some(plan) = &self.config.fault_plan {
+            match plan.fault_for(FaultSite::Obligation, name, 0) {
+                Some(FaultKind::Panic) => trigger_injected_panic(FaultSite::Obligation, name, 0),
+                Some(FaultKind::FuelStarvation) => norm.set_fuel_limit(0),
+                // Stop-kind obligation faults are handled before the task
+                // starts (see `run_task`); rewrite-site faults are the
+                // hook's job.
+                _ => {}
+            }
+            norm.set_fault_plan(plan.clone(), name);
+        }
         norm.set_obs(self.obs.clone());
         if self.config.profile_rules {
             norm.set_profiling(true);
@@ -424,8 +447,8 @@ impl<'a> Prover<'a> {
         }
         let (leaf, blocked, pool) = match self.reduce_with_sih(norm, goal, pre_state, lemmas) {
             Ok(x) => x,
-            Err(e) if is_fuel_error(&e) => {
-                self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
+            Err(e) if is_budget_error(&e) => {
+                self.leaf_open(stats, open, trail, &budget_residual(&e));
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -457,8 +480,8 @@ impl<'a> Prover<'a> {
                 // Choose a split.
                 let split = match self.choose_split(norm, goal, &blocked, &pool) {
                     Ok(s) => s,
-                    Err(e) if is_fuel_error(&e) => {
-                        self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
+                    Err(e) if is_budget_error(&e) => {
+                        self.leaf_open(stats, open, trail, &budget_residual(&e));
                         return Ok(());
                     }
                     Err(e) => return Err(e),
@@ -473,7 +496,7 @@ impl<'a> Prover<'a> {
                             let mut branch = norm.clone();
                             branch.reset_stats();
                             let mut feasible = true;
-                            let mut fuel_out = false;
+                            let mut stop: Option<String> = None;
                             let mut ordered = atoms.clone();
                             let alg = self.spec.alg().clone();
                             ordered.sort_by_key(|&a| {
@@ -492,8 +515,8 @@ impl<'a> Prover<'a> {
                                         feasible = false;
                                         break;
                                     }
-                                    Err(e) if is_fuel_error(&e) => {
-                                        fuel_out = true;
+                                    Err(e) if is_budget_error(&e) => {
+                                        stop = Some(budget_residual(&e));
                                         break;
                                     }
                                     Err(e) => return Err(e),
@@ -502,8 +525,8 @@ impl<'a> Prover<'a> {
                             trail.push(Decision::CondTrue {
                                 cond: self.spec.store().display(cond).to_string(),
                             });
-                            if fuel_out {
-                                self.leaf_open(stats, open, trail, "(rewriting fuel exhausted)");
+                            if let Some(residual) = stop {
+                                self.leaf_open(stats, open, trail, &residual);
                             } else if feasible {
                                 self.search(
                                     &mut branch,
@@ -527,14 +550,9 @@ impl<'a> Prover<'a> {
                             branch.reset_stats();
                             let feasible = match self.assume_term(&mut branch, cond, false) {
                                 Ok(f) => f,
-                                Err(e) if is_fuel_error(&e) => {
+                                Err(e) if is_budget_error(&e) => {
                                     norm.absorb(&branch);
-                                    self.leaf_open(
-                                        stats,
-                                        open,
-                                        trail,
-                                        "(rewriting fuel exhausted)",
-                                    );
+                                    self.leaf_open(stats, open, trail, &budget_residual(&e));
                                     return Ok(());
                                 }
                                 Err(e) => return Err(e),
@@ -569,14 +587,9 @@ impl<'a> Prover<'a> {
                             branch.reset_stats();
                             let feasible = match self.assume_atom(&mut branch, atom, value) {
                                 Ok(f) => f,
-                                Err(e) if is_fuel_error(&e) => {
+                                Err(e) if is_budget_error(&e) => {
                                     norm.absorb(&branch);
-                                    self.leaf_open(
-                                        stats,
-                                        open,
-                                        trail,
-                                        "(rewriting fuel exhausted)",
-                                    );
+                                    self.leaf_open(stats, open, trail, &budget_residual(&e));
                                     continue;
                                 }
                                 Err(e) => return Err(e),
@@ -1106,8 +1119,86 @@ struct TaskCtx<'c> {
 /// run the prover on 512 MiB stacks, so workers match that.
 const WORKER_STACK_BYTES: usize = 512 * 1024 * 1024;
 
-/// Run one obligation on a fresh clone of the pristine spec.
+/// The obligation name a task reports under.
+fn task_name(task: &Task<'_>) -> String {
+    match task {
+        Task::Base => "init".to_string(),
+        Task::Step(action) => action.name.clone(),
+        Task::CaseAnalysis => "case-analysis".to_string(),
+    }
+}
+
+/// The well-formed partial report for an obligation the budget stopped
+/// before it could start: one passage, left open with a typed residual, so
+/// `passages == proved + vacuous + open` still holds.
+fn budget_skipped_report(name: &str, reason: StopReason) -> StepReport {
+    StepReport {
+        action: name.to_string(),
+        outcome: CaseOutcome::Open(vec![OpenCase {
+            decisions: Vec::new(),
+            residual: format!("(budget: {reason} before obligation start)"),
+        }]),
+        metrics: ProverMetrics {
+            passages: 1,
+            open: 1,
+            ..ProverMetrics::default()
+        },
+        rewrite_stats: RewriteStats::default(),
+        duration: Duration::ZERO,
+        scores: Vec::new(),
+    }
+}
+
+/// Run one obligation with panic containment and budget gating.
+///
+/// A panic anywhere in the obligation — injected or real — is caught here
+/// and recorded as a typed [`CaseOutcome::Fault`], so one bad obligation
+/// never poisons its siblings or the worker pool, at any `jobs` value.
 fn run_task(ctx: &TaskCtx<'_>, task: &Task<'_>) -> Result<StepReport, CoreError> {
+    let name = task_name(task);
+    // Budget gate: once the shared budget is tripped, remaining
+    // obligations are skipped with a well-formed open report instead of
+    // burning time they no longer have.
+    if let Err(reason) = ctx.config.budget.check(0) {
+        ctx.obs.counter("prover.budget_skip", 1);
+        return Ok(budget_skipped_report(&name, reason));
+    }
+    if let Some(plan) = &ctx.config.fault_plan {
+        match plan.fault_for(FaultSite::Obligation, &name, 0) {
+            Some(FaultKind::DeadlineExpiry) => {
+                return Ok(budget_skipped_report(&name, StopReason::DeadlineExceeded));
+            }
+            Some(FaultKind::Cancel) => {
+                ctx.config.budget.cancel();
+                return Ok(budget_skipped_report(&name, StopReason::Cancelled));
+            }
+            // Panic and FuelStarvation fire inside the guarded body, in
+            // `search_obligation`.
+            _ => {}
+        }
+    }
+    let started = Instant::now();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task_inner(ctx, task))) {
+        Ok(result) => result,
+        Err(payload) => {
+            ctx.obs.counter("prover.worker_fault", 1);
+            Ok(StepReport {
+                action: name.clone(),
+                outcome: CaseOutcome::Fault(WorkerFault {
+                    site: format!("obligation:{name}"),
+                    message: panic_message(&*payload),
+                }),
+                metrics: ProverMetrics::default(),
+                rewrite_stats: RewriteStats::default(),
+                duration: started.elapsed(),
+                scores: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Run one obligation on a fresh clone of the pristine spec.
+fn run_task_inner(ctx: &TaskCtx<'_>, task: &Task<'_>) -> Result<StepReport, CoreError> {
     let mut local = ctx.spec.clone();
     let mut prover = Prover::new(&mut local, ctx.ots, ctx.invariants)
         .with_config(ctx.config.clone())
@@ -1176,14 +1267,33 @@ fn run_tasks(ctx: &TaskCtx<'_>, tasks: &[Task<'_>]) -> Result<Vec<StepReport>, C
         .collect()
 }
 
-fn is_fuel_error(e: &CoreError) -> bool {
+/// A recoverable rewriting stop: fuel ran out or the shared budget
+/// tripped. Both leave the current passage open; neither aborts the run.
+fn is_budget_error(e: &CoreError) -> bool {
     matches!(
         e,
-        CoreError::Rewrite(RewriteError::FuelExhausted { .. })
-            | CoreError::Spec(equitls_spec::SpecError::Rewrite(
-                RewriteError::FuelExhausted { .. }
-            ))
+        CoreError::Rewrite(
+            RewriteError::FuelExhausted { .. } | RewriteError::BudgetExceeded { .. }
+        ) | CoreError::Spec(equitls_spec::SpecError::Rewrite(
+            RewriteError::FuelExhausted { .. } | RewriteError::BudgetExceeded { .. }
+        ))
     )
+}
+
+/// Render a budget/fuel stop as an open-case residual. The full error text
+/// carries the offending term, the limit, and an engine-counter snapshot;
+/// it is truncated on a char boundary so pathological terms stay readable.
+fn budget_residual(e: &CoreError) -> String {
+    let rendered = e.to_string();
+    let mut cut = rendered.len().min(400);
+    while !rendered.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    if cut < rendered.len() {
+        format!("({}…)", &rendered[..cut])
+    } else {
+        format!("({rendered})")
+    }
 }
 
 fn occurs_in(store: &equitls_kernel::term::TermStore, needle: TermId, hay: TermId) -> bool {
@@ -1367,6 +1477,102 @@ mod tests {
                 assert_eq!(a.scores, b.scores, "{}", a.action);
             }
         }
+    }
+
+    #[test]
+    fn injected_obligation_panic_is_contained_and_deterministic() {
+        use equitls_rewrite::budget::{Fault, FaultKind, FaultPlan, FaultSite};
+        // Panic the `lock2` obligation; every sibling must still prove,
+        // and the report must be identical at jobs 1 and 4.
+        let reports: Vec<ProofReport> = [1, 4]
+            .iter()
+            .map(|&jobs| {
+                let (mut spec, ots, invs) = build_machine();
+                let config = ProverConfig {
+                    jobs,
+                    fault_plan: Some(FaultPlan::new().with_fault(
+                        Fault::new(FaultSite::Obligation, FaultKind::Panic, 0).in_scope("lock2"),
+                    )),
+                    ..ProverConfig::default()
+                };
+                let mut prover = Prover::new(&mut spec, &ots, &invs).with_config(config);
+                prover.prove_inductive("mutex", &Hints::new()).unwrap()
+            })
+            .collect();
+        for report in &reports {
+            assert!(!report.is_proved());
+            let faults = report.faults();
+            assert_eq!(faults.len(), 1, "exactly the injected fault");
+            assert_eq!(faults[0].0, "lock2");
+            assert_eq!(faults[0].1.site, "obligation:lock2");
+            assert!(
+                faults[0].1.message.contains("injected fault"),
+                "message: {}",
+                faults[0].1.message
+            );
+            // Siblings are untouched.
+            assert!(report.base.outcome.is_proved());
+            for step in &report.steps {
+                if step.action != "lock2" {
+                    assert!(step.outcome.is_proved(), "{} poisoned", step.action);
+                }
+            }
+        }
+        let (a, b) = (&reports[0], &reports[1]);
+        assert_eq!(a.base.outcome, b.base.outcome);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.action, y.action);
+            assert_eq!(x.outcome, y.outcome, "{}", x.action);
+            assert_eq!(x.metrics, y.metrics, "{}", x.action);
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_skips_obligations_with_open_reports() {
+        let (mut spec, ots, invs) = build_machine();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let config = ProverConfig {
+            budget,
+            ..ProverConfig::default()
+        };
+        let mut prover = Prover::new(&mut spec, &ots, &invs).with_config(config);
+        let report = prover.prove_inductive("mutex", &Hints::new()).unwrap();
+        assert!(!report.is_proved());
+        // Every obligation is a single open passage with a typed residual,
+        // and the metrics invariant holds.
+        let totals = report.total_metrics();
+        assert_eq!(
+            totals.passages,
+            totals.proved + totals.vacuous + totals.open
+        );
+        assert_eq!(totals.open, 1 + report.steps.len());
+        for (_, case) in report.open_cases() {
+            assert!(case.residual.contains("cancelled"), "{}", case.residual);
+        }
+    }
+
+    #[test]
+    fn injected_fuel_starvation_leaves_obligation_open_with_rich_residual() {
+        use equitls_rewrite::budget::{Fault, FaultKind, FaultPlan, FaultSite};
+        let (mut spec, ots, invs) = build_machine();
+        let config = ProverConfig {
+            fault_plan: Some(FaultPlan::new().with_fault(
+                Fault::new(FaultSite::Obligation, FaultKind::FuelStarvation, 0).in_scope("lock1"),
+            )),
+            ..ProverConfig::default()
+        };
+        let mut prover = Prover::new(&mut spec, &ots, &invs).with_config(config);
+        let report = prover.prove_inductive("mutex", &Hints::new()).unwrap();
+        assert!(!report.is_proved());
+        let open = report.open_cases();
+        assert!(open.iter().all(|(name, _)| name == "lock1"));
+        // The residual is the full enriched error: limit and term.
+        assert!(
+            open.iter()
+                .any(|(_, c)| c.residual.contains("fuel exhausted (limit 0)")),
+            "open: {open:?}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! free of external crates.
 
 use equitls_obs::json::JsonValue;
+use equitls_rewrite::budget::WorkerFault;
 use equitls_rewrite::engine::RewriteStats;
 use std::fmt;
 use std::time::Duration;
@@ -68,12 +69,23 @@ pub enum CaseOutcome {
     Proved,
     /// Some cases stayed open.
     Open(Vec<OpenCase>),
+    /// The obligation's worker panicked; the panic was contained by
+    /// `catch_unwind` and recorded here instead of poisoning siblings.
+    Fault(WorkerFault),
 }
 
 impl CaseOutcome {
     /// `true` when fully discharged.
     pub fn is_proved(&self) -> bool {
         matches!(self, CaseOutcome::Proved)
+    }
+
+    /// The contained worker fault, when the obligation panicked.
+    pub fn fault(&self) -> Option<&WorkerFault> {
+        match self {
+            CaseOutcome::Fault(f) => Some(f),
+            _ => None,
+        }
     }
 }
 
@@ -155,10 +167,24 @@ impl StepReport {
     /// The report as a JSON object (scores are omitted; they have their
     /// own textual rendering).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
-            ("action".into(), JsonValue::String(self.action.clone())),
-            ("proved".into(), JsonValue::Bool(self.outcome.is_proved())),
-            ("metrics".into(), self.metrics.to_json()),
+        let mut fields = vec![
+            ("action".to_string(), JsonValue::String(self.action.clone())),
+            (
+                "proved".to_string(),
+                JsonValue::Bool(self.outcome.is_proved()),
+            ),
+        ];
+        if let CaseOutcome::Fault(fault) = &self.outcome {
+            fields.push((
+                "fault".to_string(),
+                JsonValue::Object(vec![
+                    ("site".into(), JsonValue::String(fault.site.clone())),
+                    ("message".into(), JsonValue::String(fault.message.clone())),
+                ]),
+            ));
+        }
+        fields.extend([
+            ("metrics".to_string(), self.metrics.to_json()),
             (
                 "cache_hit_rate".into(),
                 JsonValue::Number(self.rewrite_stats.cache_hit_rate()),
@@ -167,7 +193,8 @@ impl StepReport {
                 "duration_ms".into(),
                 JsonValue::from_u128(self.duration.as_millis()),
             ),
-        ])
+        ]);
+        JsonValue::Object(fields)
     }
 }
 
@@ -214,6 +241,21 @@ impl ProofReport {
                 for c in cases {
                     out.push((step.action.clone(), c.clone()));
                 }
+            }
+        };
+        collect(&self.base);
+        for s in &self.steps {
+            collect(s);
+        }
+        out
+    }
+
+    /// The contained worker faults, tagged by obligation name.
+    pub fn faults(&self) -> Vec<(String, WorkerFault)> {
+        let mut out = Vec::new();
+        let mut collect = |step: &StepReport| {
+            if let CaseOutcome::Fault(f) = &step.outcome {
+                out.push((step.action.clone(), f.clone()));
             }
         };
         collect(&self.base);
@@ -275,6 +317,13 @@ impl ProofReport {
 
     /// A one-line summary, suitable for tables.
     pub fn summary_row(&self) -> String {
+        let verdict = if self.is_proved() {
+            "PROVED"
+        } else if !self.faults().is_empty() {
+            "FAULT"
+        } else {
+            "OPEN"
+        };
         format!(
             "{:<16} {:>7} {:>7} {:>10} {:>9.2?}  {}",
             self.invariant,
@@ -282,7 +331,7 @@ impl ProofReport {
             self.total_splits(),
             self.total_rewrites(),
             self.duration,
-            if self.is_proved() { "PROVED" } else { "OPEN" }
+            verdict
         )
     }
 }
@@ -309,7 +358,11 @@ impl fmt::Display for ProofReport {
                 step.metrics.splits,
                 step.metrics.rewrites,
                 step.duration,
-                if step.outcome.is_proved() { "" } else { "OPEN" }
+                match &step.outcome {
+                    CaseOutcome::Proved => "",
+                    CaseOutcome::Open(_) => "OPEN",
+                    CaseOutcome::Fault(_) => "FAULT",
+                }
             )
         };
         write_step(f, &self.base)?;
@@ -416,6 +469,41 @@ mod tests {
         assert_eq!(
             merged.passages,
             merged.proved + merged.vacuous + merged.open
+        );
+    }
+
+    #[test]
+    fn fault_outcomes_are_collected_and_rendered() {
+        let mut faulty = step("fakeSfin2", true);
+        faulty.outcome = CaseOutcome::Fault(WorkerFault {
+            site: "obligation:fakeSfin2".into(),
+            message: "injected fault: panic at obligation call 0".into(),
+        });
+        faulty.metrics = ProverMetrics::default();
+        let r = ProofReport::new(
+            "inv2",
+            step("init", true),
+            vec![faulty],
+            Duration::from_millis(20),
+        );
+        assert!(!r.is_proved());
+        let faults = r.faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].0, "fakeSfin2");
+        assert!(faults[0].1.message.contains("injected fault"));
+        assert!(r.summary_row().contains("FAULT"));
+        assert!(r.to_string().contains("FAULT"));
+        let rendered = r.to_json().to_string();
+        let parsed = json::parse(&rendered).expect("report JSON parses");
+        let steps = parsed.get("steps").expect("steps");
+        let first_step = match steps {
+            JsonValue::Array(items) => items.first().expect("one step"),
+            other => panic!("steps is not an array: {other:?}"),
+        };
+        let fault = first_step.get("fault").expect("fault object");
+        assert_eq!(
+            fault.get("site").and_then(|v| v.as_str()),
+            Some("obligation:fakeSfin2")
         );
     }
 

@@ -1,8 +1,9 @@
 //! Packaged TLS checks: bounded exhaustive verification à la Mitchell et
 //! al. (experiment E10).
 
-use crate::explorer::{explore_jobs, Exploration, Limits, Monitor};
+use crate::explorer::{explore_with_config_jobs, Exploration, ExploreConfig, Limits, Monitor};
 use crate::model::TlsMachine;
+use equitls_obs::sink::Obs;
 use equitls_tls::concrete::{props, Scope, State};
 
 /// An owned monitor predicate over concrete states.
@@ -21,6 +22,19 @@ pub fn check_scope(scope: &Scope, limits: &Limits) -> Exploration<State> {
 /// The verdicts, state counts, and violation traces are identical for
 /// every `jobs` value — see [`crate::explorer::explore_jobs`].
 pub fn check_scope_jobs(scope: &Scope, limits: &Limits, jobs: usize) -> Exploration<State> {
+    check_scope_config(scope, limits, jobs, &ExploreConfig::default())
+}
+
+/// [`check_scope_jobs`] under an [`ExploreConfig`] budget: a tripped
+/// deadline, memory ceiling, or cancellation yields a *partial* but
+/// internally consistent exploration with a typed
+/// [`Exploration::stop_reason`] instead of an unbounded run.
+pub fn check_scope_config(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+) -> Exploration<State> {
     let machine = TlsMachine::new(scope.clone());
     let scope2 = scope.clone();
     let monitors = props::monitors();
@@ -35,7 +49,7 @@ pub fn check_scope_jobs(scope: &Scope, limits: &Limits, jobs: usize) -> Explorat
         })
         .collect();
     let refs: Vec<Monitor<'_, State>> = boxed.iter().map(|(n, f)| (*n, f.as_ref() as _)).collect();
-    explore_jobs(&machine, &refs, limits, jobs)
+    explore_with_config_jobs(&machine, &refs, limits, config, jobs, &Obs::noop())
 }
 
 /// Properties expected to hold / fail, by monitor name.

@@ -20,9 +20,20 @@
 
 use crate::model::Model;
 use equitls_obs::sink::Obs;
+use equitls_rewrite::budget::{
+    panic_message, trigger_injected_panic, Budget, FaultKind, FaultPlan, FaultSite, StopReason,
+    WorkerFault,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Very coarse per-state heap estimate (state + parent edge + index slot),
+/// used only as the tripwire for [`Budget::check`]'s memory ceiling. The
+/// point is to stop runaway explorations in the right order of magnitude,
+/// not to account precisely.
+const STATE_BYTES_ESTIMATE: u64 = 512;
 
 /// A named safety monitor: `(name, predicate)`. A violation is recorded
 /// the first time the predicate returns `false`.
@@ -44,6 +55,24 @@ impl Default for Limits {
             max_depth: 8,
         }
     }
+}
+
+/// Robustness knobs for an exploration, on top of the structural [`Limits`]:
+/// a shared [`Budget`] (deadline, heap-estimate ceiling, cancellation) and
+/// an optional deterministic [`FaultPlan`] for the fault-injection tests.
+///
+/// Budget trips and injected stop-kind faults are observed **at merge
+/// time, in frontier order** — the same position the sequential search
+/// would stop at — so injected faults truncate identically at every
+/// `jobs` value. Real wall-clock trips are consistent (a well-formed
+/// partial result) but naturally not bit-reproducible across runs.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreConfig {
+    /// Deadline / memory / cancellation budget shared with other workers.
+    pub budget: Budget,
+    /// Deterministic fault injection, keyed by global state index at
+    /// [`FaultSite::Successor`]. `None` in production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Resolve a `jobs` request: `0` means "use the machine's available
@@ -84,6 +113,12 @@ pub struct Exploration<S> {
     pub states_per_depth: Vec<usize>,
     /// Successor states that were already known (hash-table dedup hits).
     pub dedup_hits: usize,
+    /// Why the search stopped before exhausting the space, if it did.
+    /// `None` iff [`Exploration::complete`] is `true`.
+    pub stop_reason: Option<StopReason>,
+    /// Worker faults (panicking successor computations) that were
+    /// contained during the search, in frontier order.
+    pub faults: Vec<WorkerFault>,
     /// Wall-clock time.
     pub duration: Duration,
 }
@@ -149,7 +184,22 @@ pub fn explore_with_obs<M: Model>(
     limits: &Limits,
     obs: &Obs,
 ) -> Exploration<M::State> {
-    explore_core(model, monitors, limits, obs, expand_level_seq)
+    explore_with_config(model, monitors, limits, &ExploreConfig::default(), obs)
+}
+
+/// [`explore`] under an [`ExploreConfig`] budget: the search stops
+/// cooperatively when the deadline passes, the heap-estimate ceiling is
+/// crossed, or the shared cancel token fires, and returns a partial but
+/// internally consistent [`Exploration`] with a typed
+/// [`Exploration::stop_reason`].
+pub fn explore_with_config<M: Model>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    config: &ExploreConfig,
+    obs: &Obs,
+) -> Exploration<M::State> {
+    explore_core(model, monitors, limits, config, obs, expand_level_seq)
 }
 
 /// [`explore`] on `jobs` worker threads (`0` = available parallelism).
@@ -182,11 +232,39 @@ where
     M: Model + Sync,
     M::State: Send + Sync,
 {
+    explore_with_config_jobs(
+        model,
+        monitors,
+        limits,
+        &ExploreConfig::default(),
+        jobs,
+        obs,
+    )
+}
+
+/// [`explore_with_config`] on `jobs` worker threads (`0` = available
+/// parallelism). Injected faults and the structural limits truncate at
+/// the identical `(parent, successor)` position for every `jobs` value;
+/// real wall-clock budget trips yield a consistent partial result whose
+/// exact cut point depends on timing.
+pub fn explore_with_config_jobs<M>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    config: &ExploreConfig,
+    jobs: usize,
+    obs: &Obs,
+) -> Exploration<M::State>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
     let jobs = resolve_jobs(jobs);
     explore_core(
         model,
         monitors,
         limits,
+        config,
         obs,
         move |model, search, frontier, depth, limits| {
             expand_level_par(model, search, frontier, depth, limits, jobs)
@@ -232,6 +310,7 @@ fn check_monitors<S: Clone>(
 /// Mutable search state shared by the sequential and parallel paths.
 struct Search<'m, S> {
     monitors: &'m [Monitor<'m, S>],
+    config: &'m ExploreConfig,
     states: Vec<S>,
     parents: Vec<(usize, String)>,
     index: HashMap<S, usize>,
@@ -239,29 +318,54 @@ struct Search<'m, S> {
     violated: Vec<String>,
     next_frontier: Vec<usize>,
     dedup_hits: usize,
+    faults: Vec<WorkerFault>,
 }
 
 impl<S: Clone + Eq + Hash> Search<'_, S> {
+    /// Coarse heap estimate for the budget's memory tripwire.
+    fn heap_estimate(&self) -> u64 {
+        self.states.len() as u64 * STATE_BYTES_ESTIMATE
+    }
+
+    /// The budget / fault-injection gate run **before** merging frontier
+    /// entry `idx`, in frontier order on every path. Injected stop-kind
+    /// faults fire first (deterministic at any `jobs`), then the real
+    /// budget. Returns the reason to truncate, if any.
+    fn pre_merge_stop(&mut self, idx: usize) -> Option<StopReason> {
+        if let Some(plan) = &self.config.fault_plan {
+            match plan.fault_for(FaultSite::Successor, "", idx as u64) {
+                Some(FaultKind::DeadlineExpiry) => return Some(StopReason::DeadlineExceeded),
+                Some(FaultKind::FuelStarvation) => return Some(StopReason::FuelExhausted),
+                Some(FaultKind::Cancel) => {
+                    self.config.budget.cancel();
+                    return Some(StopReason::Cancelled);
+                }
+                Some(FaultKind::Panic) | None => {}
+            }
+        }
+        self.config.budget.check(self.heap_estimate()).err()
+    }
+
     /// Merge one frontier entry's successor batch into the dedup index,
-    /// in generation order. Returns `false` when the `max_states` cap
-    /// refused a *new* state — the signal to truncate the search.
-    /// Duplicate successors never trigger truncation (they cost no
-    /// storage), so a cap equal to the true state count still reports a
-    /// complete exploration.
+    /// in generation order. Returns `Some(StateCapReached)` when the
+    /// `max_states` cap refused a *new* state — the signal to truncate
+    /// the search. Duplicate successors never trigger truncation (they
+    /// cost no storage), so a cap equal to the true state count still
+    /// reports a complete exploration.
     fn merge_entry(
         &mut self,
         parent: usize,
         succs: Vec<(String, S)>,
         depth: usize,
         limits: &Limits,
-    ) -> bool {
+    ) -> Option<StopReason> {
         for (label, succ) in succs {
             if self.index.contains_key(&succ) {
                 self.dedup_hits += 1;
                 continue;
             }
             if self.states.len() >= limits.max_states {
-                return false;
+                return Some(StopReason::StateCapReached);
             }
             let new_idx = self.states.len();
             self.states.push(succ.clone());
@@ -278,8 +382,32 @@ impl<S: Clone + Eq + Hash> Search<'_, S> {
             );
             self.next_frontier.push(new_idx);
         }
-        true
+        None
     }
+}
+
+/// Compute the successors of the state at global index `idx`, containing
+/// any panic (organic, or injected by the fault plan) as a typed
+/// [`WorkerFault`] instead of letting it poison sibling workers. A
+/// faulted state contributes no successors; the search continues.
+fn compute_succs<M: Model>(
+    model: &M,
+    state: &M::State,
+    idx: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<(String, M::State)>, WorkerFault> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = plan {
+            if plan.fault_for(FaultSite::Successor, "", idx as u64) == Some(FaultKind::Panic) {
+                trigger_injected_panic(FaultSite::Successor, "", idx as u64);
+            }
+        }
+        model.successors(state)
+    }))
+    .map_err(|payload| WorkerFault {
+        site: format!("successor:{idx}"),
+        message: panic_message(&*payload),
+    })
 }
 
 /// Expand one level sequentially: generate and merge entry by entry, so
@@ -290,21 +418,34 @@ fn expand_level_seq<M: Model>(
     frontier: &[usize],
     depth: usize,
     limits: &Limits,
-) -> bool {
+) -> Option<StopReason> {
     for &idx in frontier {
+        if let Some(stop) = search.pre_merge_stop(idx) {
+            return Some(stop);
+        }
         let current = search.states[idx].clone();
-        let succs = model.successors(&current);
-        if !search.merge_entry(idx, succs, depth, limits) {
-            return false;
+        let succs = match compute_succs(model, &current, idx, search.config.fault_plan.as_ref()) {
+            Ok(succs) => succs,
+            Err(fault) => {
+                search.faults.push(fault);
+                Vec::new()
+            }
+        };
+        if let Some(stop) = search.merge_entry(idx, succs, depth, limits) {
+            return Some(stop);
         }
     }
-    true
+    None
 }
 
 /// Expand one level on `jobs` scoped worker threads, then merge the
-/// batches at the barrier in frontier order. Returns `false` on cap
+/// batches at the barrier in frontier order. Returns `Some(reason)` on
 /// truncation — detected at the same `(parent, successor)` position the
-/// sequential expansion would stop at, so the accounting agrees.
+/// sequential expansion would stop at, so the accounting agrees. Worker
+/// panics are contained *inside* each worker ([`compute_succs`]), and the
+/// resulting faults are recorded at merge time in frontier order, so a
+/// poisoned entry never disturbs its siblings and the fault list is
+/// identical at every `jobs` value.
 fn expand_level_par<M>(
     model: &M,
     search: &mut Search<'_, M::State>,
@@ -312,7 +453,7 @@ fn expand_level_par<M>(
     depth: usize,
     limits: &Limits,
     jobs: usize,
-) -> bool
+) -> Option<StopReason>
 where
     M: Model + Sync,
     M::State: Send + Sync,
@@ -320,12 +461,13 @@ where
     if jobs <= 1 || frontier.len() < 2 {
         return expand_level_seq(model, search, frontier, depth, limits);
     }
-    // One successor list per frontier entry, grouped by worker chunk.
-    type Batch<S> = Vec<Vec<(String, S)>>;
+    // One successor result per frontier entry, grouped by worker chunk.
+    type Batch<S> = Vec<Result<Vec<(String, S)>, WorkerFault>>;
     let workers = jobs.min(frontier.len());
     let chunk_len = frontier.len().div_ceil(workers);
     let batches: Vec<Batch<M::State>> = {
         let states: &[M::State] = &search.states;
+        let plan = search.config.fault_plan.as_ref();
         std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk_len)
@@ -333,7 +475,7 @@ where
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|&idx| model.successors(&states[idx]))
+                            .map(|&idx| compute_succs(model, &states[idx], idx, plan))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -346,12 +488,22 @@ where
     };
     for (chunk, batch) in frontier.chunks(chunk_len).zip(batches) {
         for (&idx, succs) in chunk.iter().zip(batch) {
-            if !search.merge_entry(idx, succs, depth, limits) {
-                return false;
+            if let Some(stop) = search.pre_merge_stop(idx) {
+                return Some(stop);
+            }
+            let succs = match succs {
+                Ok(succs) => succs,
+                Err(fault) => {
+                    search.faults.push(fault);
+                    Vec::new()
+                }
+            };
+            if let Some(stop) = search.merge_entry(idx, succs, depth, limits) {
+                return Some(stop);
             }
         }
     }
-    true
+    None
 }
 
 /// The level-synchronous BFS driver, parameterized over how a level is
@@ -360,17 +512,19 @@ fn explore_core<M, E>(
     model: &M,
     monitors: &[Monitor<'_, M::State>],
     limits: &Limits,
+    config: &ExploreConfig,
     obs: &Obs,
     mut expand: E,
 ) -> Exploration<M::State>
 where
     M: Model,
-    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> bool,
+    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> Option<StopReason>,
 {
     let start = Instant::now();
     let initial = model.initial();
     let mut search = Search {
         monitors,
+        config,
         states: vec![initial.clone()],
         parents: vec![(usize::MAX, String::new())],
         index: HashMap::new(),
@@ -378,12 +532,15 @@ where
         violated: Vec::new(),
         next_frontier: Vec::new(),
         dedup_hits: 0,
+        faults: Vec::new(),
     };
     search.index.insert(initial, 0);
     let mut frontier: Vec<usize> = vec![0];
     let mut states_per_depth = vec![1usize];
-    let mut truncated = false;
     let mut depth = 0;
+    // A budget already spent (cancelled before start, expired deadline)
+    // stops the search before the first expansion: one state, zero work.
+    let mut stop: Option<StopReason> = config.budget.check(search.heap_estimate()).err();
 
     check_monitors(
         monitors,
@@ -395,24 +552,34 @@ where
         &mut search.violated,
     );
 
-    while !frontier.is_empty() && depth < limits.max_depth && !truncated {
+    while stop.is_none() && !frontier.is_empty() && depth < limits.max_depth {
         depth += 1;
         let _level = obs.span(&format!("mc.level:{depth}"));
         let level_start = search.states.len();
-        truncated = !expand(model, &mut search, &frontier, depth, limits);
+        let level_faults = search.faults.len();
+        stop = expand(model, &mut search, &frontier, depth, limits);
         states_per_depth.push(search.states.len() - level_start);
         obs.gauge("mc.frontier", search.next_frontier.len() as f64);
         obs.counter("mc.states", search.next_frontier.len() as u64);
+        let new_faults = search.faults.len() - level_faults;
+        if new_faults > 0 {
+            obs.counter("mc.worker_fault", new_faults as u64);
+        }
         frontier = std::mem::take(&mut search.next_frontier);
     }
-    let complete = !truncated && frontier.is_empty();
+    // A frontier left unexpanded by the depth cap is also an early stop.
+    if stop.is_none() && !frontier.is_empty() {
+        stop = Some(StopReason::DepthCapReached);
+    }
     let result = Exploration {
         states: search.states.len(),
         depth_reached: depth,
-        complete,
+        complete: stop.is_none(),
         violations: search.violations,
         states_per_depth,
         dedup_hits: search.dedup_hits,
+        stop_reason: stop,
+        faults: search.faults,
         duration: start.elapsed(),
     };
     if obs.enabled() {
@@ -654,6 +821,8 @@ mod tests {
             violations: Vec::new(),
             states_per_depth: vec![1],
             dedup_hits: 0,
+            stop_reason: None,
+            faults: Vec::new(),
             duration,
         };
         // A zero-length run cannot report a rate.
@@ -674,5 +843,148 @@ mod tests {
         assert!(resolve_jobs(0) >= 1);
         assert_eq!(resolve_jobs(1), 1);
         assert_eq!(resolve_jobs(7), 7);
+    }
+
+    #[test]
+    fn structural_stops_carry_typed_reasons() {
+        let capped = explore(
+            &Counter,
+            &[],
+            &Limits {
+                max_states: 3,
+                max_depth: 10,
+            },
+        );
+        assert_eq!(capped.stop_reason, Some(StopReason::StateCapReached));
+        assert!(!capped.complete);
+
+        let shallow = explore(
+            &Counter,
+            &[],
+            &Limits {
+                max_states: 1000,
+                max_depth: 2,
+            },
+        );
+        assert_eq!(shallow.stop_reason, Some(StopReason::DepthCapReached));
+        assert!(!shallow.complete);
+
+        let full = explore(&Counter, &[], &Limits::default());
+        assert_eq!(full.stop_reason, None);
+        assert!(full.complete);
+    }
+
+    #[test]
+    fn expired_deadline_yields_a_partial_consistent_exploration() {
+        let config = ExploreConfig {
+            budget: Budget::unlimited().with_deadline(Duration::ZERO),
+            fault_plan: None,
+        };
+        let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
+        assert_eq!(result.stop_reason, Some(StopReason::DeadlineExceeded));
+        assert!(!result.complete);
+        assert_eq!(
+            result.states_per_depth.iter().sum::<usize>(),
+            result.states,
+            "partial tally stays internally consistent"
+        );
+    }
+
+    #[test]
+    fn memory_ceiling_stops_before_the_first_expansion() {
+        let config = ExploreConfig {
+            budget: Budget::unlimited().with_max_heap_bytes(1),
+            fault_plan: None,
+        };
+        let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
+        assert_eq!(result.stop_reason, Some(StopReason::MemoryExceeded));
+        assert_eq!(result.states, 1, "only the initial state is stored");
+        assert_eq!(result.states_per_depth, vec![1]);
+    }
+
+    #[test]
+    fn cancel_token_stops_exploration_cooperatively() {
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let config = ExploreConfig {
+            budget,
+            fault_plan: None,
+        };
+        let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
+        assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
+        assert!(!result.complete);
+    }
+
+    #[test]
+    fn injected_deadline_truncates_identically_at_every_jobs_value() {
+        use equitls_rewrite::budget::Fault;
+        // The deadline "expires" exactly when frontier entry 7 is merged.
+        let config = ExploreConfig {
+            budget: Budget::unlimited(),
+            fault_plan: Some(FaultPlan::new().with_fault(Fault::new(
+                FaultSite::Successor,
+                FaultKind::DeadlineExpiry,
+                7,
+            ))),
+        };
+        let seq = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
+        assert_eq!(seq.stop_reason, Some(StopReason::DeadlineExceeded));
+        assert!(!seq.complete);
+        assert!(
+            seq.states < 25,
+            "the grid was truncated (got {})",
+            seq.states
+        );
+        assert_eq!(seq.states_per_depth.iter().sum::<usize>(), seq.states);
+        for jobs in [2, 4] {
+            let par = explore_with_config_jobs(
+                &Grid,
+                &[],
+                &Limits::default(),
+                &config,
+                jobs,
+                &Obs::noop(),
+            );
+            assert_eq!(par.states, seq.states, "jobs {jobs}");
+            assert_eq!(par.stop_reason, seq.stop_reason, "jobs {jobs}");
+            assert_eq!(par.states_per_depth, seq.states_per_depth, "jobs {jobs}");
+            assert_eq!(par.dedup_hits, seq.dedup_hits, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn injected_successor_panic_is_contained_and_deterministic() {
+        use equitls_rewrite::budget::Fault;
+        // State 3's successor computation panics; the search must record
+        // one typed fault, skip that subtree, and finish the rest.
+        let config = ExploreConfig {
+            budget: Budget::unlimited(),
+            fault_plan: Some(FaultPlan::new().with_fault(Fault::new(
+                FaultSite::Successor,
+                FaultKind::Panic,
+                3,
+            ))),
+        };
+        let limits = Limits {
+            max_states: 1000,
+            max_depth: 16,
+        };
+        let seq = explore_with_config(&Grid, &[], &limits, &config, &Obs::noop());
+        assert_eq!(seq.faults.len(), 1);
+        assert_eq!(seq.faults[0].site, "successor:3");
+        assert!(
+            seq.faults[0].message.contains("injected fault"),
+            "payload surfaced: {}",
+            seq.faults[0].message
+        );
+        assert!(seq.complete, "a contained fault is not an early stop");
+        assert_eq!(seq.stop_reason, None);
+        for jobs in [2, 4] {
+            let par = explore_with_config_jobs(&Grid, &[], &limits, &config, jobs, &Obs::noop());
+            assert_eq!(par.states, seq.states, "jobs {jobs}");
+            assert_eq!(par.faults, seq.faults, "jobs {jobs}");
+            assert_eq!(par.states_per_depth, seq.states_per_depth, "jobs {jobs}");
+            assert_eq!(par.violations.len(), seq.violations.len(), "jobs {jobs}");
+        }
     }
 }

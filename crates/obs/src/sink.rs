@@ -7,6 +7,7 @@
 
 use crate::event::Event;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -25,6 +26,15 @@ pub trait EventSink: Send + Sync {
 
     /// Flush buffered output, if any.
     fn flush(&self) {}
+
+    /// How many events this sink has *dropped* (failed to record because
+    /// of I/O errors, a poisoned writer, …). Observability is
+    /// best-effort: a full disk must never abort a proof, but a run that
+    /// silently lost trace events is worse than one that says so. Sinks
+    /// that cannot fail return `0`.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// The sink that ignores everything; [`EventSink::enabled`] is `false`, so
@@ -78,6 +88,7 @@ impl EventSink for RecordingSink {
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
     start: Instant,
+    dropped: AtomicU64,
 }
 
 impl JsonlSink {
@@ -86,6 +97,7 @@ impl JsonlSink {
         JsonlSink {
             out: Mutex::new(out),
             start: Instant::now(),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -104,13 +116,22 @@ impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
         let t_us = self.start.elapsed().as_micros();
         let line = event.to_json(t_us).to_string();
-        let mut out = self.out.lock().expect("jsonl sink poisoned");
-        // Trace writing is best-effort: a full disk must not abort a proof.
-        let _ = writeln!(out, "{line}");
+        // Trace writing is best-effort: a full disk must not abort a
+        // proof, and a writer poisoned by a panicking sibling is still a
+        // writer (the buffered bytes are intact) — but every failure is
+        // *counted*, so the run can report that its trace is incomplete.
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if writeln!(out, "{line}").is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -144,6 +165,10 @@ impl EventSink for TeeSink {
         for sink in &self.sinks {
             sink.flush();
         }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped_events()).sum()
     }
 }
 
@@ -232,6 +257,13 @@ impl Obs {
     /// Flush the underlying sink.
     pub fn flush(&self) {
         self.sink.flush();
+    }
+
+    /// Events the underlying sink failed to record (see
+    /// [`EventSink::dropped_events`]). Nonzero means the trace is
+    /// incomplete and any summary derived from it undercounts.
+    pub fn dropped_events(&self) -> u64 {
+        self.sink.dropped_events()
     }
 }
 
@@ -323,5 +355,37 @@ mod tests {
         obs.counter("n", 7);
         assert_eq!(a.events().len(), 1);
         assert_eq!(b.events().len(), 1);
+    }
+
+    /// A writer that fails every `write`, as a full disk would.
+    struct FullDisk;
+    impl Write for FullDisk {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_dropped_events_instead_of_dying() {
+        let obs = Obs::new(Arc::new(JsonlSink::new(Box::new(FullDisk))));
+        assert_eq!(obs.dropped_events(), 0);
+        obs.counter("a", 1);
+        obs.gauge("b", 2.0);
+        obs.flush();
+        assert_eq!(obs.dropped_events(), 2, "every failed write is counted");
+    }
+
+    #[test]
+    fn tee_sums_dropped_events_across_members() {
+        let healthy = Arc::new(RecordingSink::new());
+        let failing = Arc::new(JsonlSink::new(Box::new(FullDisk)));
+        let tee = TeeSink::new(vec![healthy.clone(), failing]);
+        let obs = Obs::new(Arc::new(tee));
+        obs.counter("n", 1);
+        assert_eq!(obs.dropped_events(), 1);
+        assert_eq!(healthy.events().len(), 1, "healthy members keep recording");
     }
 }

@@ -26,6 +26,7 @@
 use crate::assumption::orient_equation;
 use crate::bool_alg::BoolAlg;
 use crate::boolring::Poly;
+use crate::budget::{trigger_injected_panic, Budget, FaultKind, FaultPlan, FaultSite, StopReason};
 use crate::equality::{decide_equality, EqVerdict};
 use crate::error::RewriteError;
 use crate::rule::RuleSet;
@@ -35,6 +36,8 @@ use equitls_kernel::term::Term;
 use equitls_obs::sink::Obs;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters describing one normalizer's work so far.
@@ -154,6 +157,31 @@ pub struct Normalizer {
     obs: Obs,
     profiling: bool,
     profiles: HashMap<String, RuleProfile>,
+    budget: Budget,
+    fault: Option<FaultHook>,
+}
+
+/// Fault-injection bookkeeping for one rewriting session. Clones (the
+/// prover's per-branch normalizers) share the call counter, so "the *N*-th
+/// rewrite call of this obligation" is well-defined across branch clones —
+/// and, because each obligation's search is sequential, deterministic at
+/// every `jobs` value.
+#[derive(Debug, Clone)]
+struct FaultHook {
+    plan: FaultPlan,
+    scope: String,
+    calls: Arc<AtomicU64>,
+}
+
+impl FaultHook {
+    /// Advance the rewrite-call counter and return the call index paired
+    /// with the fault planned for it, if any.
+    fn tick(&self) -> Option<(u64, FaultKind)> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .fault_for(FaultSite::Rewrite, &self.scope, n)
+            .map(|kind| (n, kind))
+    }
 }
 
 /// Default recursion depth bound (guards the stack before fuel runs out).
@@ -185,7 +213,33 @@ impl Normalizer {
             obs: Obs::noop(),
             profiling: false,
             profiles: HashMap::new(),
+            budget: Budget::unlimited(),
+            fault: None,
         }
+    }
+
+    /// Attach a shared [`Budget`]. The normalizer checks it at every
+    /// [`Normalizer::normalize`] entry and on a stride of the fuel counter,
+    /// and reports a trip as [`RewriteError::BudgetExceeded`] — a partial,
+    /// recoverable stop, unlike fuel exhaustion which signals divergence.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The budget currently attached (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Install a fault-injection plan for this session, scoped to `scope`
+    /// (the prover passes the obligation name; tests may pass `""`). Resets
+    /// the session's rewrite-call counter.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, scope: impl Into<String>) {
+        self.fault = Some(FaultHook {
+            plan,
+            scope: scope.into(),
+            calls: Arc::new(AtomicU64::new(0)),
+        });
     }
 
     /// Override the per-call fuel budget.
@@ -466,9 +520,12 @@ impl Normalizer {
     ///
     /// # Errors
     ///
-    /// [`RewriteError::FuelExhausted`] on runaway rewriting; kernel errors
-    /// on (impossible for validated rules) ill-sorted construction.
+    /// [`RewriteError::FuelExhausted`] on runaway rewriting;
+    /// [`RewriteError::BudgetExceeded`] when the attached [`Budget`] trips
+    /// (deadline, memory ceiling, or cancellation); kernel errors on
+    /// (impossible for validated rules) ill-sorted construction.
     pub fn normalize(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
+        self.check_budget(store, t)?;
         self.fuel = self.fuel_limit;
         self.norm(store, t)
     }
@@ -520,11 +577,55 @@ impl Normalizer {
         }
     }
 
+    /// Build the budget-stop error for the term being normalized.
+    fn stopped(&self, store: &TermStore, t: TermId, reason: StopReason) -> RewriteError {
+        RewriteError::BudgetExceeded {
+            reason,
+            term: store.display(t).to_string(),
+        }
+    }
+
+    /// Estimate of this session's heap footprint (bytes): hash-consed term
+    /// arena plus memo cache. Coarse by design — the budget's memory
+    /// ceiling is a tripwire on arena growth, not an allocator audit.
+    fn heap_estimate(&self, store: &TermStore) -> u64 {
+        (store.term_count() as u64) * 96 + (self.cache.len() as u64) * 32
+    }
+
+    /// Check the shared budget, translating a trip into a typed error.
+    fn check_budget(&self, store: &TermStore, t: TermId) -> Result<(), RewriteError> {
+        self.budget
+            .check(self.heap_estimate(store))
+            .map_err(|reason| self.stopped(store, t, reason))
+    }
+
     fn consume_fuel(&mut self, store: &TermStore, t: TermId) -> Result<(), RewriteError> {
+        if let Some(hook) = &self.fault {
+            match hook.tick() {
+                Some((n, FaultKind::Panic)) => {
+                    let scope = hook.scope.clone();
+                    trigger_injected_panic(FaultSite::Rewrite, &scope, n);
+                }
+                Some((_, FaultKind::FuelStarvation)) => self.fuel = 0,
+                Some((_, FaultKind::DeadlineExpiry)) => {
+                    return Err(self.stopped(store, t, StopReason::DeadlineExceeded));
+                }
+                Some((_, FaultKind::Cancel)) => {
+                    self.budget.cancel();
+                    return Err(self.stopped(store, t, StopReason::Cancelled));
+                }
+                None => {}
+            }
+        }
         if self.fuel == 0 {
             return Err(self.exhausted(store, t));
         }
         self.fuel -= 1;
+        // Real budget checks are strided: `Instant::now` on every rewrite
+        // would dominate hot proofs.
+        if self.fuel & 511 == 0 {
+            self.check_budget(store, t)?;
+        }
         Ok(())
     }
 
@@ -1104,6 +1205,149 @@ mod tests {
             }
             other => panic!("expected FuelExhausted, got {other:?}"),
         }
+    }
+
+    /// A diverging world: `c -> f(c)`, so normalizing `c` consumes fuel
+    /// forever — the workload every budget/fault test needs.
+    fn diverging_world() -> (TermStore, Normalizer, TermId) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::defined()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let cv = store.constant(c);
+        let fc = store.app(f, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "loop", cv, fc, None, None).unwrap();
+        (store, Normalizer::new(alg, rules), cv)
+    }
+
+    #[test]
+    fn expired_deadline_stops_normalization_with_typed_error() {
+        use crate::budget::{Budget, StopReason};
+        use std::time::Instant;
+        let (mut store, mut norm, cv) = diverging_world();
+        norm.set_budget(Budget::unlimited().with_deadline_at(Instant::now()));
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::BudgetExceeded { reason, term } => {
+                assert_eq!(reason, StopReason::DeadlineExceeded);
+                assert!(!term.is_empty());
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_normalization() {
+        use crate::budget::{Budget, StopReason};
+        let (mut store, mut norm, cv) = diverging_world();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        norm.set_budget(budget);
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::BudgetExceeded { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_ceiling_trips_on_arena_growth() {
+        use crate::budget::{Budget, StopReason};
+        let (mut store, mut norm, cv) = diverging_world();
+        // The diverging rule grows the arena one node per rewrite; a tiny
+        // ceiling must trip on the strided check before fuel runs out.
+        norm.set_fuel_limit(1_000_000);
+        norm.set_budget(Budget::unlimited().with_max_heap_bytes(1));
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::BudgetExceeded { reason, .. } => {
+                assert_eq!(reason, StopReason::MemoryExceeded);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_fuel_starvation_becomes_fuel_exhausted() {
+        use crate::budget::{Fault, FaultKind, FaultPlan, FaultSite};
+        let (mut store, mut norm, cv) = diverging_world();
+        let plan = FaultPlan::new().with_fault(Fault::new(
+            FaultSite::Rewrite,
+            FaultKind::FuelStarvation,
+            3,
+        ));
+        norm.set_fault_plan(plan, "");
+        let err = norm.normalize(&mut store, cv).unwrap_err();
+        assert!(matches!(err, RewriteError::FuelExhausted { .. }));
+        // Only three rewrites happened before the starvation hit.
+        assert_eq!(norm.stats().rewrites, 3);
+    }
+
+    #[test]
+    fn injected_deadline_expiry_is_a_budget_stop() {
+        use crate::budget::{Fault, FaultKind, FaultPlan, FaultSite, StopReason};
+        let (mut store, mut norm, cv) = diverging_world();
+        let plan = FaultPlan::new().with_fault(Fault::new(
+            FaultSite::Rewrite,
+            FaultKind::DeadlineExpiry,
+            5,
+        ));
+        norm.set_fault_plan(plan, "");
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::BudgetExceeded { reason, .. } => {
+                assert_eq!(reason, StopReason::DeadlineExceeded);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_cancel_trips_the_shared_token() {
+        use crate::budget::{Budget, Fault, FaultKind, FaultPlan, FaultSite, StopReason};
+        let (mut store, mut norm, cv) = diverging_world();
+        let budget = Budget::unlimited();
+        let token = budget.cancel_token();
+        norm.set_budget(budget);
+        let plan =
+            FaultPlan::new().with_fault(Fault::new(FaultSite::Rewrite, FaultKind::Cancel, 2));
+        norm.set_fault_plan(plan, "");
+        match norm.normalize(&mut store, cv).unwrap_err() {
+            RewriteError::BudgetExceeded { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(token.is_cancelled(), "cancel fault trips the shared token");
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_exact_call_and_scope() {
+        use crate::budget::{Fault, FaultKind, FaultPlan, FaultSite};
+        let (mut store, mut norm, cv) = diverging_world();
+        // A plan scoped to a different obligation never fires…
+        let scoped = FaultPlan::new()
+            .with_fault(Fault::new(FaultSite::Rewrite, FaultKind::Panic, 0).in_scope("other"));
+        norm.set_fault_plan(scoped, "this");
+        norm.set_fuel_limit(16);
+        assert!(matches!(
+            norm.normalize(&mut store, cv).unwrap_err(),
+            RewriteError::FuelExhausted { .. }
+        ));
+        // …while an in-scope plan panics deterministically.
+        let (mut store2, mut norm2, cv2) = diverging_world();
+        let plan = FaultPlan::new().with_fault(Fault::new(FaultSite::Rewrite, FaultKind::Panic, 4));
+        norm2.set_fault_plan(plan, "this");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            norm2.normalize(&mut store2, cv2)
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = crate::budget::panic_message(&*payload);
+        assert_eq!(
+            msg,
+            "injected fault: panic at rewrite call 4 (scope `this`)"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Errors raised by the rewriting engine.
 
+use crate::budget::StopReason;
 use equitls_kernel::KernelError;
 use std::fmt;
 
@@ -26,6 +27,15 @@ pub enum RewriteError {
         /// diagnosing a divergent equation set.
         stats: String,
     },
+    /// The shared [`crate::budget::Budget`] stopped normalization — the
+    /// deadline passed, the heap-estimate ceiling was crossed, or the run
+    /// was cancelled. The caller should record a partial result, not die.
+    BudgetExceeded {
+        /// Which limit tripped.
+        reason: StopReason,
+        /// Rendering of the term being normalized at the stop point.
+        term: String,
+    },
     /// A kernel-level error (ill-sorted term construction).
     Kernel(KernelError),
 }
@@ -45,6 +55,12 @@ impl fmt::Display for RewriteError {
                     f,
                     "rewriting fuel exhausted (limit {fuel_limit}) while normalizing \
                      `{term}`; engine state: {stats}"
+                )
+            }
+            RewriteError::BudgetExceeded { reason, term } => {
+                write!(
+                    f,
+                    "budget stopped rewriting ({reason}) while normalizing `{term}`"
                 )
             }
             RewriteError::Kernel(e) => write!(f, "kernel error: {e}"),

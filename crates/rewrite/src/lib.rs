@@ -54,6 +54,7 @@ pub mod assumption;
 pub mod bool_alg;
 pub mod bool_rules;
 pub mod boolring;
+pub mod budget;
 pub mod engine;
 pub mod equality;
 pub mod error;
@@ -67,6 +68,9 @@ pub mod prelude {
     pub use crate::bool_alg::BoolAlg;
     pub use crate::bool_rules::hd_bool_rules;
     pub use crate::boolring::Poly;
+    pub use crate::budget::{
+        Budget, CancelToken, Fault, FaultKind, FaultPlan, FaultSite, StopReason, WorkerFault,
+    };
     pub use crate::engine::{Normalizer, RewriteStats, RuleProfile};
     pub use crate::equality::EqVerdict;
     pub use crate::error::RewriteError;

@@ -28,6 +28,12 @@
 //! Equation left-hand sides are parsed at `cmp` precedence without the `=`
 //! production, so the top-level `=` always separates the equation's sides.
 
+// Library code in this module must degrade through `SpecError`, never
+// panic: the parser sits on every user-input path. (Tests opt back in
+// below.) `scripts/check.sh` runs clippy with `-D warnings`, making
+// these denials.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
 use crate::error::SpecError;
 use crate::lexer::{lex, Token, TokenKind};
@@ -446,9 +452,9 @@ pub fn elaborate_term(
                     // `cpms(M , NW)` parses as a two-argument call, but the
                     // comma may be the bag constructor `_,_`: retry with the
                     // arguments folded right-associatively.
-                    if arg_terms.len() >= 2 {
-                        let mut folded = *arg_terms.last().expect("non-empty");
-                        for &a in arg_terms[..arg_terms.len() - 1].iter().rev() {
+                    if let Some((&last, init @ [_, ..])) = arg_terms.split_last() {
+                        let mut folded = last;
+                        for &a in init.iter().rev() {
                             match spec.app("_,_", &[a, folded]) {
                                 Ok(t) => folded = t,
                                 Err(_) => return Err(first_err),
@@ -555,6 +561,7 @@ pub fn elaborate_module(spec: &mut Spec, ast: &ModuleAst) -> Result<(), SpecErro
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -13,12 +13,22 @@
 //! totals, wall-clock per phase) at the end of the run; `--jobs N` fans
 //! proof obligations out over N worker threads (default: available
 //! parallelism; reports are identical for every N).
+//!
+//! Robustness flags: `--deadline-ms N` bounds the whole run by wall
+//! clock, `--max-mem-mb N` caps the term-arena heap estimate, and
+//! `--fuel N` overrides the per-reduction rewrite fuel. A tripped budget
+//! leaves the affected obligations *open* (with a `(budget: …)` or fuel
+//! residual naming the offending term) and the process exits 1 — it
+//! never dies mid-proof.
 
 use equitls_core::prelude::{render_report_table, ProofReport};
 use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
 use equitls_obs::summary::{Align, MetricsSummary, Table};
+use equitls_rewrite::budget::Budget;
+use equitls_tls::verify::VerifyOptions;
 use equitls_tls::{verify, TlsModel};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     // Deep proof searches recurse heavily; run on a large stack.
@@ -35,7 +45,22 @@ struct Options {
     trace: Option<std::path::PathBuf>,
     /// Worker threads for proof obligations; `0` = available parallelism.
     jobs: usize,
+    /// Wall-clock budget for the whole run, in milliseconds.
+    deadline_ms: Option<u64>,
+    /// Heap-estimate ceiling, in mebibytes.
+    max_mem_mb: Option<u64>,
+    /// Rewriting fuel per reduction (default: prover default).
+    fuel: Option<u64>,
     names: Vec<String>,
+}
+
+/// Parse the flag argument that must follow `flag`, exiting with the
+/// usage hint on a missing or malformed value.
+fn numeric_flag(args: &mut impl Iterator<Item = String>, flag: &str, hint: &str) -> u64 {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs {hint}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -44,6 +69,9 @@ fn parse_args() -> Options {
         metrics: false,
         trace: None,
         jobs: 0,
+        deadline_ms: None,
+        max_mem_mb: None,
+        fuel: None,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -59,11 +87,32 @@ fn parse_args() -> Options {
                 opts.trace = Some(path.into());
             }
             "--jobs" => {
-                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--jobs needs a thread count (e.g. --jobs 4; 0 = all cores)");
-                    std::process::exit(2);
-                });
-                opts.jobs = n;
+                opts.jobs = numeric_flag(
+                    &mut args,
+                    "--jobs",
+                    "a thread count (e.g. --jobs 4; 0 = all cores)",
+                ) as usize;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(numeric_flag(
+                    &mut args,
+                    "--deadline-ms",
+                    "a duration in milliseconds (e.g. --deadline-ms 2000)",
+                ));
+            }
+            "--max-mem-mb" => {
+                opts.max_mem_mb = Some(numeric_flag(
+                    &mut args,
+                    "--max-mem-mb",
+                    "a size in mebibytes (e.g. --max-mem-mb 512)",
+                ));
+            }
+            "--fuel" => {
+                opts.fuel = Some(numeric_flag(
+                    &mut args,
+                    "--fuel",
+                    "a rewrite-step budget (e.g. --fuel 5000000)",
+                ));
             }
             "--all" => {}
             other if other.starts_with("--") => {
@@ -105,15 +154,27 @@ fn run() {
     } else {
         TlsModel::standard().expect("standard model builds")
     };
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = opts.max_mem_mb {
+        budget = budget.with_max_mem_mb(mb);
+    }
+    let verify_opts = VerifyOptions {
+        budget,
+        fuel: opts.fuel,
+        profile_rules: opts.metrics,
+        jobs: opts.jobs,
+        ..VerifyOptions::default()
+    };
     let mut reports = Vec::new();
     let mut failed = false;
     if opts.names.is_empty() {
-        reports = verify::verify_all_with_jobs(&mut model, &obs, opts.metrics, opts.jobs)
-            .expect("engine ok");
+        reports = verify::verify_all_opts(&mut model, &verify_opts, &obs).expect("engine ok");
     } else {
         for name in &opts.names {
-            match verify::verify_property_with_jobs(&mut model, name, &obs, opts.metrics, opts.jobs)
-            {
+            match verify::verify_property_opts(&mut model, name, &verify_opts, &obs) {
                 Ok(r) => reports.push(r),
                 Err(e) => {
                     eprintln!("error proving {name}: {e}");
@@ -123,6 +184,9 @@ fn run() {
         }
     }
     obs.flush();
+    // Any obligation left open (budget trip, fuel exhaustion, genuinely
+    // stuck case) or faulted means the campaign did not go through.
+    failed |= reports.iter().any(|r| !r.is_proved());
 
     for r in &reports {
         println!("{r}");
@@ -142,6 +206,13 @@ fn run() {
     }
     if let Some(path) = &opts.trace {
         eprintln!("trace written to {}", path.display());
+    }
+    let dropped = obs.dropped_events();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} observability event(s) dropped (sink I/O failed); \
+             the trace and any summary derived from it are incomplete"
+        );
     }
     if failed {
         std::process::exit(1);

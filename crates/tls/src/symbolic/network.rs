@@ -12,6 +12,10 @@
 //! gleaned from *Certificate* messages; the equations make clear they come
 //! from **ClientKeyExchange** (`kx`) messages, which is what we implement.
 
+// Library code here must propagate `SpecError`, never panic (tests opt
+// back in below); `scripts/check.sh` runs clippy with `-D warnings`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use equitls_spec::prelude::*;
 
 /// Declare network, used-value sets, and gleaning collections.
@@ -131,6 +135,7 @@ pub fn install(spec: &mut Spec) -> Result<(), SpecError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::symbolic::{data, messages};
 

@@ -15,7 +15,41 @@ use crate::symbolic::TlsModel;
 use equitls_core::prelude::*;
 use equitls_core::CoreError;
 use equitls_obs::sink::Obs;
+use equitls_rewrite::budget::{Budget, FaultPlan};
 use std::collections::HashMap;
+
+/// Robustness and execution options for a verification run.
+///
+/// The [`Budget`] is shared by every obligation the campaign spawns:
+/// when the deadline passes, the heap-estimate ceiling trips, or the
+/// cancel token fires, in-flight obligations stop at the next rewrite
+/// stride and unstarted ones are skipped — all reported as *open* with a
+/// `(budget: …)` residual, never as a dead process.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Shared deadline / memory / cancellation budget.
+    pub budget: Budget,
+    /// Rewriting fuel per reduction (`None` = prover default).
+    pub fuel: Option<u64>,
+    /// Deterministic fault injection for robustness tests.
+    pub fault_plan: Option<FaultPlan>,
+    /// Emit per-rule match/fire/time profiles through the obs handle.
+    pub profile_rules: bool,
+    /// Worker threads per property (`0` = available parallelism).
+    pub jobs: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            budget: Budget::unlimited(),
+            fuel: None,
+            fault_plan: None,
+            profile_rules: false,
+            jobs: 1,
+        }
+    }
+}
 
 /// How a property is established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,11 +260,36 @@ pub fn verify_property_with_jobs(
     profile_rules: bool,
     jobs: usize,
 ) -> Result<ProofReport, CoreError> {
-    let plan = plan(name).ok_or_else(|| CoreError::UnknownInvariant(name.to_string()))?;
-    let config = ProverConfig {
+    let opts = VerifyOptions {
         profile_rules,
         jobs,
-        ..prover_config(model)
+        ..VerifyOptions::default()
+    };
+    verify_property_opts(model, name, &opts, obs)
+}
+
+/// Prove one property under a [`VerifyOptions`] budget — the funnel every
+/// other `verify_property*` entry point goes through.
+///
+/// # Errors
+///
+/// Unknown property, or an engine failure. Budget trips are *not*
+/// errors: the affected obligations come back open in the report.
+pub fn verify_property_opts(
+    model: &mut TlsModel,
+    name: &str,
+    opts: &VerifyOptions,
+    obs: &Obs,
+) -> Result<ProofReport, CoreError> {
+    let plan = plan(name).ok_or_else(|| CoreError::UnknownInvariant(name.to_string()))?;
+    let defaults = prover_config(model);
+    let config = ProverConfig {
+        profile_rules: opts.profile_rules,
+        jobs: opts.jobs,
+        fuel: opts.fuel.unwrap_or(defaults.fuel),
+        budget: opts.budget.clone(),
+        fault_plan: opts.fault_plan.clone(),
+        ..defaults
     };
     let mut prover = Prover::new(&mut model.spec, &model.ots, &model.invariants)
         .with_config(config)
@@ -293,9 +352,30 @@ pub fn verify_all_with_jobs(
     profile_rules: bool,
     jobs: usize,
 ) -> Result<Vec<ProofReport>, CoreError> {
+    let opts = VerifyOptions {
+        profile_rules,
+        jobs,
+        ..VerifyOptions::default()
+    };
+    verify_all_opts(model, &opts, obs)
+}
+
+/// [`verify_all`] under a [`VerifyOptions`] budget. The budget spans the
+/// *whole campaign*: once it trips, every remaining obligation of every
+/// remaining property is skipped (reported open with a `(budget: …)`
+/// residual), so a deadline bounds the full run, not each property.
+///
+/// # Errors
+///
+/// First engine failure, if any.
+pub fn verify_all_opts(
+    model: &mut TlsModel,
+    opts: &VerifyOptions,
+    obs: &Obs,
+) -> Result<Vec<ProofReport>, CoreError> {
     PLANS
         .iter()
-        .map(|plan| verify_property_with_jobs(model, plan.name, obs, profile_rules, jobs))
+        .map(|plan| verify_property_opts(model, plan.name, opts, obs))
         .collect()
 }
 

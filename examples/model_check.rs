@@ -7,30 +7,66 @@
 //! refuted 2′/3′ are violated.
 //!
 //! ```text
-//! cargo run --release --example model_check [-- --jobs N]
+//! cargo run --release --example model_check [-- --jobs N] [--deadline-ms N] [--max-mem-mb N]
 //! ```
 //!
 //! `--jobs N` explores each BFS level on N worker threads (0 = all
-//! cores); results are identical for every N.
+//! cores); results are identical for every N. `--deadline-ms` and
+//! `--max-mem-mb` bound the whole run: a tripped budget reports a
+//! *partial* but internally consistent tally with a typed stop reason
+//! instead of running away.
 
 use equitls::mc::prelude::*;
 use equitls::tls::concrete::Scope;
+use std::time::Duration;
 
-fn parse_jobs() -> usize {
+struct Args {
+    jobs: usize,
+    deadline_ms: Option<u64>,
+    max_mem_mb: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        jobs: 0,
+        deadline_ms: None,
+        max_mem_mb: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--jobs" {
-            return args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--jobs needs a thread count (0 = all cores)");
+        let mut numeric = |hint: &str| {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{arg} needs {hint}");
                 std::process::exit(2);
-            });
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => parsed.jobs = numeric("a thread count (0 = all cores)") as usize,
+            "--deadline-ms" => parsed.deadline_ms = Some(numeric("a duration in milliseconds")),
+            "--max-mem-mb" => parsed.max_mem_mb = Some(numeric("a size in mebibytes")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
         }
     }
-    0
+    parsed
 }
 
 fn main() {
-    let jobs = parse_jobs();
+    let args = parse_args();
+    let jobs = args.jobs;
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = args.deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = args.max_mem_mb {
+        budget = budget.with_max_mem_mb(mb);
+    }
+    let config = ExploreConfig {
+        budget,
+        fault_plan: None,
+    };
     println!(
         "== bounded exhaustive check (Mitchell-et-al.-style scope, {} worker threads) ==\n",
         resolve_jobs(jobs)
@@ -42,10 +78,17 @@ fn main() {
             max_states: 150_000,
             max_depth: max_messages + 1,
         };
-        let result = check_scope_jobs(&scope, &limits, jobs);
+        let result = check_scope_config(&scope, &limits, jobs, &config);
         println!(
-            "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}",
-            result.states, result.depth_reached, result.duration, result.complete
+            "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}{}",
+            result.states,
+            result.depth_reached,
+            result.duration,
+            result.complete,
+            match result.stop_reason {
+                Some(reason) => format!(" (stopped: {reason})"),
+                None => String::new(),
+            }
         );
         print!("  states/depth:");
         for (d, n) in result.states_per_depth.iter().enumerate() {

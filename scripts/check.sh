@@ -16,6 +16,10 @@ cargo run -q --release -p equitls-tls --bin tls-lint
 echo "== parallel determinism (2 jobs) =="
 cargo test -q --release --test parallel_determinism
 
+echo "== robustness: fault injection + 2s-deadline smoke (jobs 1/2/4) =="
+cargo test -q --release --test robustness
+cargo test -q --release -p equitls-tls --test cli_budget
+
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
 
