@@ -1,6 +1,7 @@
 //! Errors raised by the OTS layer and the prover.
 
 use equitls_kernel::KernelError;
+use equitls_persist::PersistError;
 use equitls_rewrite::RewriteError;
 use equitls_spec::SpecError;
 use std::fmt;
@@ -21,6 +22,9 @@ pub enum CoreError {
     Rewrite(RewriteError),
     /// Kernel error.
     Kernel(KernelError),
+    /// Checkpoint persistence error (unreadable, corrupt, or missing
+    /// obligation-ledger snapshot on resume).
+    Persist(PersistError),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +36,7 @@ impl fmt::Display for CoreError {
             CoreError::Spec(e) => write!(f, "{e}"),
             CoreError::Rewrite(e) => write!(f, "{e}"),
             CoreError::Kernel(e) => write!(f, "{e}"),
+            CoreError::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -42,6 +47,7 @@ impl std::error::Error for CoreError {
             CoreError::Spec(e) => Some(e),
             CoreError::Rewrite(e) => Some(e),
             CoreError::Kernel(e) => Some(e),
+            CoreError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -62,5 +68,11 @@ impl From<RewriteError> for CoreError {
 impl From<KernelError> for CoreError {
     fn from(e: KernelError) -> Self {
         CoreError::Kernel(e)
+    }
+}
+
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }

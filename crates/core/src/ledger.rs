@@ -1,0 +1,398 @@
+//! The prover's obligation ledger: a crash-safe record of per-obligation
+//! outcomes, so a killed or deadline-tripped campaign never re-proves what
+//! it already discharged.
+//!
+//! Each entry is `(invariant, obligation, StepReport)` — the complete
+//! report, not just the verdict, so a resumed run can splice cached
+//! results into its `ProofReport` and end up bit-identical to an
+//! uninterrupted run (durations aside, which no comparison inspects).
+//! Only [`CaseOutcome::Proved`] entries are reused on resume: open,
+//! faulted, and budget-skipped obligations are always re-run, because
+//! their outcome could change once the original stop condition is gone.
+//!
+//! The ledger accumulates across the whole campaign (all 18 TLS
+//! properties share one file) and is written through the
+//! [`equitls_persist`] snapshot layer: versioned, CRC-checksummed,
+//! atomically replaced at obligation boundaries.
+
+use crate::report::{CaseOutcome, Decision, OpenCase, ProverMetrics, StepReport};
+use equitls_obs::sink::Obs;
+use equitls_persist::codec::{Reader, Writer};
+use equitls_persist::{read_snapshot, write_snapshot, PersistError, SnapshotKind};
+use equitls_rewrite::budget::WorkerFault;
+use equitls_rewrite::engine::RewriteStats;
+use std::path::Path;
+use std::time::Duration;
+
+/// One recorded obligation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// The invariant being proved when the obligation ran.
+    pub invariant: String,
+    /// The obligation name (`init`, an action name, or `case-analysis`).
+    pub action: String,
+    /// The complete report the obligation produced.
+    pub report: StepReport,
+}
+
+/// The obligation ledger: lookup by `(invariant, action)`, insert-or-
+/// replace on record, serialized through the snapshot layer.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Number of recorded obligations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded report for `(invariant, action)`, if any.
+    pub fn lookup(&self, invariant: &str, action: &str) -> Option<&StepReport> {
+        self.entries
+            .iter()
+            .find(|e| e.invariant == invariant && e.action == action)
+            .map(|e| &e.report)
+    }
+
+    /// Record (or replace) the report for `(invariant, action)`.
+    pub fn record(&mut self, invariant: &str, action: &str, report: StepReport) {
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.invariant == invariant && e.action == action)
+        {
+            entry.report = report;
+        } else {
+            self.entries.push(LedgerEntry {
+                invariant: invariant.to_string(),
+                action: action.to_string(),
+                report,
+            });
+        }
+    }
+
+    /// Drop every entry recorded for `invariant` (a fresh, non-resumed
+    /// run recomputes the invariant from scratch while keeping other
+    /// invariants' entries in the shared campaign file).
+    pub fn clear_invariant(&mut self, invariant: &str) {
+        self.entries.retain(|e| e.invariant != invariant);
+    }
+
+    /// Load a ledger from the snapshot at `path`, validating magic,
+    /// version, kind, length, and checksum before decoding.
+    pub fn load(path: &Path, obs: &Obs) -> Result<Ledger, PersistError> {
+        let (_meta, payload) = read_snapshot(path, SnapshotKind::ProverLedger, obs)?;
+        Ledger::from_payload(&payload)
+    }
+
+    /// Atomically write the ledger as a snapshot at `path`.
+    pub fn save(&self, path: &Path, obs: &Obs) -> Result<(), PersistError> {
+        write_snapshot(path, SnapshotKind::ProverLedger, &self.to_payload(), obs)?;
+        Ok(())
+    }
+
+    /// Serialize to a snapshot payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.usize(self.entries.len());
+        for entry in &self.entries {
+            w.str(&entry.invariant);
+            w.str(&entry.action);
+            put_report(&mut w, &entry.report);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a snapshot payload, rejecting trailing bytes and malformed
+    /// tags with typed errors.
+    pub fn from_payload(payload: &[u8]) -> Result<Ledger, PersistError> {
+        let mut r = Reader::new(payload);
+        let mut entries = Vec::new();
+        for _ in 0..r.seq_len(16)? {
+            let invariant = r.str()?;
+            let action = r.str()?;
+            let report = get_report(&mut r)?;
+            entries.push(LedgerEntry {
+                invariant,
+                action,
+                report,
+            });
+        }
+        if !r.is_empty() {
+            return Err(PersistError::Malformed(format!(
+                "{} trailing bytes after ledger",
+                r.remaining()
+            )));
+        }
+        Ok(Ledger { entries })
+    }
+}
+
+fn put_report(w: &mut Writer, report: &StepReport) {
+    w.str(&report.action);
+    match &report.outcome {
+        CaseOutcome::Proved => w.u8(0),
+        CaseOutcome::Open(cases) => {
+            w.u8(1);
+            w.usize(cases.len());
+            for case in cases {
+                w.usize(case.decisions.len());
+                for d in &case.decisions {
+                    w.str(d);
+                }
+                w.str(&case.residual);
+            }
+        }
+        CaseOutcome::Fault(fault) => {
+            w.u8(2);
+            w.str(&fault.site);
+            w.str(&fault.message);
+        }
+    }
+    let m = &report.metrics;
+    w.usize(m.passages);
+    w.usize(m.splits);
+    w.u64(m.rewrites);
+    w.usize(m.max_depth);
+    w.usize(m.proved);
+    w.usize(m.vacuous);
+    w.usize(m.open);
+    let s = &report.rewrite_stats;
+    w.u64(s.rewrites);
+    w.u64(s.cache_hits);
+    w.u64(s.cache_misses);
+    w.u64(s.bool_normalizations);
+    w.u64(s.eq_decisions);
+    w.u64(s.blocked_conditions);
+    w.u64(s.cache_evictions);
+    w.u64(report.duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    w.usize(report.scores.len());
+    for trail in &report.scores {
+        w.usize(trail.len());
+        for decision in trail {
+            match decision {
+                Decision::CondTrue { cond } => {
+                    w.u8(0);
+                    w.str(cond);
+                }
+                Decision::CondFalse { cond } => {
+                    w.u8(1);
+                    w.str(cond);
+                }
+                Decision::Atom { atom, value } => {
+                    w.u8(2);
+                    w.str(atom);
+                    w.bool(*value);
+                }
+            }
+        }
+    }
+}
+
+fn get_report(r: &mut Reader) -> Result<StepReport, PersistError> {
+    let action = r.str()?;
+    let outcome = match r.u8()? {
+        0 => CaseOutcome::Proved,
+        1 => {
+            let mut cases = Vec::new();
+            for _ in 0..r.seq_len(16)? {
+                let mut decisions = Vec::new();
+                for _ in 0..r.seq_len(8)? {
+                    decisions.push(r.str()?);
+                }
+                let residual = r.str()?;
+                cases.push(OpenCase {
+                    decisions,
+                    residual,
+                });
+            }
+            CaseOutcome::Open(cases)
+        }
+        2 => CaseOutcome::Fault(WorkerFault {
+            site: r.str()?,
+            message: r.str()?,
+        }),
+        t => return Err(PersistError::Malformed(format!("outcome tag {t}"))),
+    };
+    let metrics = ProverMetrics {
+        passages: r.usize()?,
+        splits: r.usize()?,
+        rewrites: r.u64()?,
+        max_depth: r.usize()?,
+        proved: r.usize()?,
+        vacuous: r.usize()?,
+        open: r.usize()?,
+    };
+    let rewrite_stats = RewriteStats {
+        rewrites: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        bool_normalizations: r.u64()?,
+        eq_decisions: r.u64()?,
+        blocked_conditions: r.u64()?,
+        cache_evictions: r.u64()?,
+    };
+    let duration = Duration::from_micros(r.u64()?);
+    let mut scores = Vec::new();
+    for _ in 0..r.seq_len(8)? {
+        let mut trail = Vec::new();
+        for _ in 0..r.seq_len(1)? {
+            trail.push(match r.u8()? {
+                0 => Decision::CondTrue { cond: r.str()? },
+                1 => Decision::CondFalse { cond: r.str()? },
+                2 => Decision::Atom {
+                    atom: r.str()?,
+                    value: r.bool()?,
+                },
+                t => return Err(PersistError::Malformed(format!("decision tag {t}"))),
+            });
+        }
+        scores.push(trail);
+    }
+    Ok(StepReport {
+        action,
+        outcome,
+        metrics,
+        rewrite_stats,
+        duration,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(action: &str, outcome: CaseOutcome) -> StepReport {
+        StepReport {
+            action: action.to_string(),
+            outcome,
+            metrics: ProverMetrics {
+                passages: 7,
+                splits: 3,
+                rewrites: 1234,
+                max_depth: 2,
+                proved: 6,
+                vacuous: 0,
+                open: 1,
+            },
+            rewrite_stats: RewriteStats {
+                rewrites: 1234,
+                cache_hits: 55,
+                cache_misses: 44,
+                bool_normalizations: 33,
+                eq_decisions: 22,
+                blocked_conditions: 11,
+                cache_evictions: 1,
+            },
+            duration: Duration::from_micros(98_765),
+            scores: vec![vec![
+                Decision::CondTrue {
+                    cond: "c?(m)".into(),
+                },
+                Decision::Atom {
+                    atom: "b1 = intruder".into(),
+                    value: false,
+                },
+            ]],
+        }
+    }
+
+    #[test]
+    fn ledger_roundtrips_every_outcome_shape() {
+        let mut ledger = Ledger::new();
+        ledger.record("inv1", "init", sample_report("init", CaseOutcome::Proved));
+        ledger.record(
+            "inv1",
+            "kexch",
+            sample_report(
+                "kexch",
+                CaseOutcome::Open(vec![OpenCase {
+                    decisions: vec!["assume (x) = true".into()],
+                    residual: "residual goal".into(),
+                }]),
+            ),
+        );
+        ledger.record(
+            "inv2",
+            "chello",
+            sample_report(
+                "chello",
+                CaseOutcome::Fault(WorkerFault {
+                    site: "obligation:chello".into(),
+                    message: "injected fault".into(),
+                }),
+            ),
+        );
+        let back = Ledger::from_payload(&ledger.to_payload()).expect("decodes");
+        assert_eq!(back.len(), 3);
+        for entry in &ledger.entries {
+            let report = back
+                .lookup(&entry.invariant, &entry.action)
+                .expect("entry survives");
+            assert_eq!(report, &entry.report);
+        }
+    }
+
+    #[test]
+    fn record_replaces_and_clear_scopes_to_one_invariant() {
+        let mut ledger = Ledger::new();
+        ledger.record("inv1", "init", sample_report("init", CaseOutcome::Proved));
+        ledger.record("inv2", "init", sample_report("init", CaseOutcome::Proved));
+        let updated = sample_report(
+            "init",
+            CaseOutcome::Open(vec![OpenCase {
+                decisions: Vec::new(),
+                residual: "later".into(),
+            }]),
+        );
+        ledger.record("inv1", "init", updated.clone());
+        assert_eq!(ledger.len(), 2, "record replaces, not duplicates");
+        assert_eq!(ledger.lookup("inv1", "init"), Some(&updated));
+        ledger.clear_invariant("inv1");
+        assert_eq!(ledger.len(), 1);
+        assert!(ledger.lookup("inv1", "init").is_none());
+        assert!(ledger.lookup("inv2", "init").is_some());
+    }
+
+    #[test]
+    fn save_and_load_through_the_snapshot_layer() {
+        let path = std::env::temp_dir().join(format!(
+            "equitls_ledger_roundtrip_{}.snap",
+            std::process::id()
+        ));
+        let mut ledger = Ledger::new();
+        ledger.record("inv1", "init", sample_report("init", CaseOutcome::Proved));
+        let obs = Obs::noop();
+        ledger.save(&path, &obs).expect("saves");
+        let back = Ledger::load(&path, &obs).expect("loads");
+        assert_eq!(back.len(), 1);
+        assert!(back.lookup("inv1", "init").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Ledger::from_payload(&[1, 2, 3]).is_err());
+        let mut ledger = Ledger::new();
+        ledger.record("inv1", "init", sample_report("init", CaseOutcome::Proved));
+        let mut payload = ledger.to_payload();
+        payload.push(0xAA);
+        assert!(matches!(
+            Ledger::from_payload(&payload),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+}

@@ -16,6 +16,9 @@
 //!   induction over all transitions, automatic case splitting on blocked
 //!   effective conditions, equality orientation (the paper's "nine
 //!   equations"), and lemma strengthening of induction hypotheses;
+//! * [`ledger`] — the crash-safe obligation ledger: per-obligation
+//!   outcomes snapshotted at obligation boundaries so an interrupted
+//!   campaign resumes without re-proving discharged obligations;
 //! * [`report`] — per-invariant proof statistics (passages, splits,
 //!   rewrites, time), the machine-checked analogue of the paper's effort
 //!   figures;
@@ -71,6 +74,7 @@
 
 pub mod error;
 pub mod invariant;
+pub mod ledger;
 pub mod ots;
 pub mod prover;
 pub mod report;
@@ -82,6 +86,7 @@ pub use error::CoreError;
 pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::invariant::{Invariant, InvariantSet};
+    pub use crate::ledger::{Ledger, LedgerEntry};
     pub use crate::ots::{Action, Observer, Ots};
     pub use crate::prover::{resolve_jobs, Hints, Prover, ProverConfig};
     pub use crate::report::{

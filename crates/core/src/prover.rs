@@ -30,6 +30,7 @@
 
 use crate::error::CoreError;
 use crate::invariant::{Invariant, InvariantSet};
+use crate::ledger::Ledger;
 use crate::ots::{Action, Ots};
 use crate::report::{CaseOutcome, Decision, OpenCase, ProofReport, ProverMetrics, StepReport};
 use equitls_kernel::prelude::*;
@@ -40,6 +41,7 @@ use equitls_rewrite::budget::{panic_message, trigger_injected_panic};
 use equitls_rewrite::prelude::*;
 use equitls_spec::spec::Spec;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -89,6 +91,21 @@ pub struct ProverConfig {
     /// Deterministic fault-injection plan for tests of the degradation
     /// paths. `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Path of the crash-safe obligation ledger ([`crate::ledger`]).
+    /// `None` (the default) disables checkpointing. With a path set,
+    /// every finished obligation is recorded and the ledger is
+    /// atomically rewritten at obligation boundaries.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Minimum seconds between ledger writes (`0` = write after every
+    /// obligation). A final write always happens when the campaign's
+    /// tasks finish, regardless of the throttle.
+    pub checkpoint_every_secs: u64,
+    /// Resume from the ledger at `checkpoint_path`: obligations it
+    /// records as [`CaseOutcome::Proved`] are spliced into the report
+    /// without re-running (open/faulted/skipped ones always re-run).
+    /// Requires a readable, valid ledger — a missing or corrupt snapshot
+    /// is a typed [`CoreError::Persist`], never a silent fresh start.
+    pub resume: bool,
 }
 
 impl Default for ProverConfig {
@@ -106,6 +123,9 @@ impl Default for ProverConfig {
             jobs: 1,
             budget: Budget::unlimited(),
             fault_plan: None,
+            checkpoint_path: None,
+            checkpoint_every_secs: 0,
+            resume: false,
         }
     }
 }
@@ -307,10 +327,10 @@ impl<'a> Prover<'a> {
             hints: &hints,
             case_lemmas: lemma_names.iter().map(|s| (*s).to_string()).collect(),
         };
-        let step = run_task(&ctx, &Task::CaseAnalysis)?;
+        let mut reports = run_tasks(&ctx, &[Task::CaseAnalysis])?;
         Ok(ProofReport::new(
             invariant,
-            step,
+            reports.remove(0),
             Vec::new(),
             start.elapsed(),
         ))
@@ -1228,43 +1248,149 @@ fn run_task_inner(ctx: &TaskCtx<'_>, task: &Task<'_>) -> Result<StepReport, Core
     }
 }
 
+/// The obligation ledger plus its write policy, shared by all workers
+/// behind one mutex (writes happen at obligation boundaries, so the lock
+/// is cold).
+struct LedgerWriter {
+    ledger: Ledger,
+    path: PathBuf,
+    every_secs: u64,
+    last_write: Instant,
+}
+
+impl LedgerWriter {
+    /// Record one finished obligation and rewrite the snapshot unless the
+    /// throttle says the last write is recent enough.
+    fn record(&mut self, invariant: &str, action: &str, report: StepReport, obs: &Obs) {
+        self.ledger.record(invariant, action, report);
+        if self.every_secs == 0 || self.last_write.elapsed().as_secs() >= self.every_secs {
+            self.save(obs);
+        }
+    }
+
+    /// Atomically rewrite the snapshot. Failure is non-fatal — the proof
+    /// result is unaffected, only crash-safety degrades — so it is
+    /// counted, not raised.
+    fn save(&mut self, obs: &Obs) {
+        if self.ledger.save(&self.path, obs).is_err() {
+            obs.counter("persist.snapshot_failed", 1);
+        } else {
+            self.last_write = Instant::now();
+        }
+    }
+}
+
+/// Open the obligation ledger for this run, or `None` when checkpointing
+/// is off. Resuming demands a valid snapshot (typed error otherwise); a
+/// fresh run tolerates a missing or corrupt file and keeps any *other*
+/// invariants' entries it can salvage, so one campaign file serves all
+/// properties.
+fn open_ledger(ctx: &TaskCtx<'_>) -> Result<Option<Mutex<LedgerWriter>>, CoreError> {
+    let Some(path) = &ctx.config.checkpoint_path else {
+        return Ok(None);
+    };
+    let ledger = if ctx.config.resume {
+        Ledger::load(path, ctx.obs)?
+    } else {
+        match Ledger::load(path, ctx.obs) {
+            Ok(mut salvaged) => {
+                salvaged.clear_invariant(ctx.inv_name);
+                salvaged
+            }
+            Err(_) => Ledger::new(),
+        }
+    };
+    Ok(Some(Mutex::new(LedgerWriter {
+        ledger,
+        path: path.clone(),
+        every_secs: ctx.config.checkpoint_every_secs,
+        last_write: Instant::now(),
+    })))
+}
+
+/// [`run_task`], short-circuited by the ledger: on resume a recorded
+/// `Proved` outcome is returned verbatim (the obligation is pure, so the
+/// recorded report *is* the report a re-run would produce); anything else
+/// re-runs and the fresh report is recorded.
+fn run_or_reuse(
+    ctx: &TaskCtx<'_>,
+    task: &Task<'_>,
+    writer: Option<&Mutex<LedgerWriter>>,
+) -> Result<StepReport, CoreError> {
+    let name = task_name(task);
+    if ctx.config.resume {
+        if let Some(writer) = writer {
+            let cached = writer
+                .lock()
+                .expect("ledger lock")
+                .ledger
+                .lookup(ctx.inv_name, &name)
+                .filter(|r| matches!(r.outcome, CaseOutcome::Proved))
+                .cloned();
+            if let Some(report) = cached {
+                ctx.obs.counter("persist.resume_skipped_obligations", 1);
+                return Ok(report);
+            }
+        }
+    }
+    let result = run_task(ctx, task);
+    if let (Ok(report), Some(writer)) = (&result, writer) {
+        writer
+            .lock()
+            .expect("ledger lock")
+            .record(ctx.inv_name, &name, report.clone(), ctx.obs);
+    }
+    result
+}
+
 /// Run `tasks` on `config.jobs` workers and return the reports in task
 /// order. Workers pull the next task off a shared atomic index; results
 /// land in per-task slots, so the output order (and, with several
 /// failures, which error is reported — the lowest-index one) never
-/// depends on scheduling.
+/// depends on scheduling. With `config.checkpoint_path` set, every
+/// finished obligation lands in the ledger and a final snapshot is forced
+/// when the tasks are done.
 fn run_tasks(ctx: &TaskCtx<'_>, tasks: &[Task<'_>]) -> Result<Vec<StepReport>, CoreError> {
+    let writer = open_ledger(ctx)?;
     let jobs = resolve_jobs(ctx.config.jobs).min(tasks.len().max(1));
-    if jobs <= 1 {
-        return tasks.iter().map(|t| run_task(ctx, t)).collect();
+    let reports: Result<Vec<StepReport>, CoreError> = if jobs <= 1 {
+        tasks
+            .iter()
+            .map(|t| run_or_reuse(ctx, t, writer.as_ref()))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<StepReport, CoreError>>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                std::thread::Builder::new()
+                    .name(format!("prover-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let result = run_or_reuse(ctx, &tasks[i], writer.as_ref());
+                        *slots[i].lock().expect("result slot") = Some(result);
+                    })
+                    .expect("spawn prover worker");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every task was completed by a worker")
+            })
+            .collect()
+    };
+    if let Some(writer) = &writer {
+        writer.lock().expect("ledger lock").save(ctx.obs);
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<StepReport, CoreError>>>> =
-        tasks.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for w in 0..jobs {
-            std::thread::Builder::new()
-                .name(format!("prover-{w}"))
-                .stack_size(WORKER_STACK_BYTES)
-                .spawn_scoped(scope, || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let result = run_task(ctx, &tasks[i]);
-                    *slots[i].lock().expect("result slot") = Some(result);
-                })
-                .expect("spawn prover worker");
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every task was completed by a worker")
-        })
-        .collect()
+    reports
 }
 
 /// A recoverable rewriting stop: fuel ran out or the shared budget

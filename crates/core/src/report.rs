@@ -143,7 +143,7 @@ impl ProverMetrics {
 }
 
 /// Statistics for one obligation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepReport {
     /// Action name (or `"init"` / `"case-analysis"`).
     pub action: String,
@@ -199,7 +199,7 @@ impl StepReport {
 }
 
 /// A full per-invariant report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProofReport {
     /// Invariant name.
     pub invariant: String,

@@ -1,9 +1,13 @@
 //! Packaged TLS checks: bounded exhaustive verification à la Mitchell et
 //! al. (experiment E10).
 
-use crate::explorer::{explore_with_config_jobs, Exploration, ExploreConfig, Limits, Monitor};
+use crate::explorer::{
+    explore_resume_with_config_jobs, explore_with_config_jobs, Exploration, ExploreConfig, Limits,
+    Monitor,
+};
 use crate::model::TlsMachine;
 use equitls_obs::sink::Obs;
+use equitls_persist::PersistError;
 use equitls_tls::concrete::{props, Scope, State};
 
 /// An owned monitor predicate over concrete states.
@@ -35,6 +39,32 @@ pub fn check_scope_config(
     jobs: usize,
     config: &ExploreConfig,
 ) -> Exploration<State> {
+    with_scope_monitors(scope, |machine, refs| {
+        explore_with_config_jobs(machine, refs, limits, config, jobs, &Obs::noop())
+    })
+}
+
+/// Resume a scope check from the snapshot at `config.checkpoint_path`
+/// (see [`crate::explorer::explore_resume_with_config_jobs`]): the search
+/// picks up at the checkpointed level barrier and the final result is
+/// bit-identical to an uninterrupted [`check_scope_config`] run.
+pub fn check_scope_resume(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+) -> Result<Exploration<State>, PersistError> {
+    with_scope_monitors(scope, |machine, refs| {
+        explore_resume_with_config_jobs(machine, refs, limits, config, jobs, &Obs::noop())
+    })
+}
+
+/// Build the TLS machine and the boxed §5 monitors for `scope`, then hand
+/// them to `run` (shared by the fresh-start and resume entry points).
+fn with_scope_monitors<R>(
+    scope: &Scope,
+    run: impl FnOnce(&TlsMachine, &[Monitor<'_, State>]) -> R,
+) -> R {
     let machine = TlsMachine::new(scope.clone());
     let scope2 = scope.clone();
     let monitors = props::monitors();
@@ -49,7 +79,7 @@ pub fn check_scope_config(
         })
         .collect();
     let refs: Vec<Monitor<'_, State>> = boxed.iter().map(|(n, f)| (*n, f.as_ref() as _)).collect();
-    explore_with_config_jobs(&machine, &refs, limits, config, jobs, &Obs::noop())
+    run(&machine, &refs)
 }
 
 /// Properties expected to hold / fail, by monitor name.

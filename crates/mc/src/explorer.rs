@@ -20,6 +20,8 @@
 
 use crate::model::Model;
 use equitls_obs::sink::Obs;
+use equitls_persist::codec::{Reader, Writer};
+use equitls_persist::{read_snapshot, write_snapshot, PersistError, SnapshotKind};
 use equitls_rewrite::budget::{
     panic_message, trigger_injected_panic, Budget, FaultKind, FaultPlan, FaultSite, StopReason,
     WorkerFault,
@@ -27,6 +29,7 @@ use equitls_rewrite::budget::{
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Very coarse per-state heap estimate (state + parent edge + index slot),
@@ -73,6 +76,16 @@ pub struct ExploreConfig {
     /// Deterministic fault injection, keyed by global state index at
     /// [`FaultSite::Successor`]. `None` in production.
     pub fault_plan: Option<FaultPlan>,
+    /// When set, the search writes a crash-safe snapshot of its progress
+    /// to this path at level barriers (the only points where the search
+    /// state is a complete, deterministic prefix of the full run), and
+    /// [`explore_resume_with_config_jobs`] can continue from it. Requires
+    /// the model to implement [`Model::encode_state`]; models that do not
+    /// simply skip the writes.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Minimum seconds between checkpoint writes; `0` writes at every
+    /// level barrier.
+    pub checkpoint_every_secs: u64,
 }
 
 /// Resolve a `jobs` request: `0` means "use the machine's available
@@ -506,51 +519,281 @@ where
     None
 }
 
+/// Everything the BFS driver needs to start (or restart) at a level
+/// barrier: the visited prefix, the frontier to expand next, and the
+/// accounting so far. A fresh search and a decoded checkpoint both reduce
+/// to this.
+struct SearchSeed<S> {
+    states: Vec<S>,
+    parents: Vec<(usize, String)>,
+    violations: Vec<Violation<S>>,
+    violated: Vec<String>,
+    dedup_hits: usize,
+    faults: Vec<WorkerFault>,
+    frontier: Vec<usize>,
+    states_per_depth: Vec<usize>,
+    depth: usize,
+}
+
+/// The seed of a fresh search: the initial state alone, monitors already
+/// checked against it.
+fn initial_seed<M: Model>(model: &M, monitors: &[Monitor<'_, M::State>]) -> SearchSeed<M::State> {
+    let mut seed = SearchSeed {
+        states: vec![model.initial()],
+        parents: vec![(usize::MAX, String::new())],
+        violations: Vec::new(),
+        violated: Vec::new(),
+        dedup_hits: 0,
+        faults: Vec::new(),
+        frontier: vec![0],
+        states_per_depth: vec![1],
+        depth: 0,
+    };
+    check_monitors(
+        monitors,
+        0,
+        0,
+        &seed.states,
+        &seed.parents,
+        &mut seed.violations,
+        &mut seed.violated,
+    );
+    seed
+}
+
+/// The per-level search state at a barrier — the pieces that live
+/// outside [`Search`] during the BFS loop, bundled for checkpointing.
+struct Barrier<'a> {
+    frontier: &'a [usize],
+    states_per_depth: &'a [usize],
+    depth: usize,
+}
+
+/// Serialize the barrier state into a snapshot payload. Returns `None`
+/// when the model does not support state encoding.
+fn encode_checkpoint<M: Model>(
+    model: &M,
+    search: &Search<'_, M::State>,
+    barrier: &Barrier<'_>,
+) -> Option<Vec<u8>> {
+    let mut w = Writer::new();
+    w.usize(barrier.depth);
+    w.usize(search.dedup_hits);
+    w.usize(barrier.states_per_depth.len());
+    for &n in barrier.states_per_depth {
+        w.usize(n);
+    }
+    w.usize(search.states.len());
+    for (state, (parent, label)) in search.states.iter().zip(&search.parents) {
+        w.bytes(&model.encode_state(state)?);
+        w.u64(if *parent == usize::MAX {
+            u64::MAX
+        } else {
+            *parent as u64
+        });
+        w.str(label);
+    }
+    w.usize(barrier.frontier.len());
+    for &idx in barrier.frontier {
+        w.usize(idx);
+    }
+    // Violations are stored as (property, depth, violating-state index);
+    // the witness trace is rebuilt from the parent edges on load.
+    w.usize(search.violations.len());
+    for v in &search.violations {
+        w.str(&v.property);
+        w.usize(v.depth);
+        let idx = v
+            .trace
+            .last()
+            .and_then(|(_, s)| search.index.get(s).copied())
+            .unwrap_or(0);
+        w.usize(idx);
+    }
+    w.usize(search.faults.len());
+    for f in &search.faults {
+        w.str(&f.site);
+        w.str(&f.message);
+    }
+    Some(w.into_bytes())
+}
+
+/// Decode and validate a snapshot payload back into a [`SearchSeed`].
+/// Every index is bounds-checked and every parent edge must point
+/// backwards (the BFS insertion order), so a payload that passed the CRC
+/// but is internally inconsistent still yields a typed error.
+fn decode_checkpoint<M: Model>(
+    model: &M,
+    payload: &[u8],
+) -> Result<SearchSeed<M::State>, PersistError> {
+    let mut r = Reader::new(payload);
+    let depth = r.usize()?;
+    let dedup_hits = r.usize()?;
+    let mut states_per_depth = Vec::new();
+    for _ in 0..r.seq_len(8)? {
+        states_per_depth.push(r.usize()?);
+    }
+    if states_per_depth.len() != depth + 1 {
+        return Err(PersistError::Malformed(format!(
+            "{} per-level tallies for depth {depth}",
+            states_per_depth.len()
+        )));
+    }
+    let n_states = r.seq_len(17)?;
+    let mut states = Vec::with_capacity(n_states);
+    let mut parents = Vec::with_capacity(n_states);
+    for i in 0..n_states {
+        let state = model.decode_state(r.bytes()?).ok_or_else(|| {
+            PersistError::Malformed(format!("state {i} does not decode for this model"))
+        })?;
+        let parent = r.u64()?;
+        let label = r.str()?;
+        let parent = if i == 0 {
+            if parent != u64::MAX {
+                return Err(PersistError::Malformed("root state has a parent".into()));
+            }
+            usize::MAX
+        } else if parent < i as u64 {
+            parent as usize
+        } else {
+            return Err(PersistError::Malformed(format!(
+                "state {i} has forward parent {parent}"
+            )));
+        };
+        states.push(state);
+        parents.push((parent, label));
+    }
+    if states_per_depth.iter().sum::<usize>() != n_states {
+        return Err(PersistError::Malformed(
+            "per-level tallies do not sum to the state count".into(),
+        ));
+    }
+    let read_idx = |r: &mut Reader, what: &str| -> Result<usize, PersistError> {
+        let idx = r.usize()?;
+        if idx >= n_states {
+            return Err(PersistError::Malformed(format!(
+                "{what} index {idx} out of range ({n_states} states)"
+            )));
+        }
+        Ok(idx)
+    };
+    let mut frontier = Vec::new();
+    for _ in 0..r.seq_len(8)? {
+        frontier.push(read_idx(&mut r, "frontier")?);
+    }
+    let mut violations = Vec::new();
+    let mut violated = Vec::new();
+    for _ in 0..r.seq_len(24)? {
+        let property = r.str()?;
+        let vdepth = r.usize()?;
+        let idx = read_idx(&mut r, "violation")?;
+        let mut trace = Vec::new();
+        let mut cur = idx;
+        while cur != 0 {
+            let (parent, label) = &parents[cur];
+            trace.push((label.clone(), states[cur].clone()));
+            cur = *parent;
+        }
+        trace.reverse();
+        violated.push(property.clone());
+        violations.push(Violation {
+            property,
+            trace,
+            depth: vdepth,
+        });
+    }
+    let mut faults = Vec::new();
+    for _ in 0..r.seq_len(16)? {
+        faults.push(WorkerFault {
+            site: r.str()?,
+            message: r.str()?,
+        });
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after snapshot",
+            r.remaining()
+        )));
+    }
+    Ok(SearchSeed {
+        states,
+        parents,
+        violations,
+        violated,
+        dedup_hits,
+        faults,
+        frontier,
+        states_per_depth,
+        depth,
+    })
+}
+
+/// Write a checkpoint at a level barrier, honoring the throttle. Write
+/// failures are contained (the search result is still correct without a
+/// snapshot) and surface as a `persist.snapshot_failed` counter.
+fn checkpoint_at_barrier<M: Model>(
+    model: &M,
+    search: &Search<'_, M::State>,
+    barrier: &Barrier<'_>,
+    obs: &Obs,
+    last_write: &mut Instant,
+    force: bool,
+) {
+    let Some(path) = &search.config.checkpoint_path else {
+        return;
+    };
+    let every = search.config.checkpoint_every_secs;
+    if !force && every > 0 && last_write.elapsed().as_secs() < every {
+        return;
+    }
+    let Some(payload) = encode_checkpoint(model, search, barrier) else {
+        return;
+    };
+    match write_snapshot(path, SnapshotKind::Explorer, &payload, obs) {
+        Ok(_) => *last_write = Instant::now(),
+        Err(_) => obs.counter("persist.snapshot_failed", 1),
+    }
+}
+
 /// The level-synchronous BFS driver, parameterized over how a level is
-/// expanded (sequentially, or fanned out over worker threads).
-fn explore_core<M, E>(
+/// expanded (sequentially, or fanned out over worker threads) and over
+/// its starting point (a fresh search, or a decoded checkpoint).
+fn explore_driver<M, E>(
     model: &M,
     monitors: &[Monitor<'_, M::State>],
     limits: &Limits,
     config: &ExploreConfig,
     obs: &Obs,
     mut expand: E,
+    seed: SearchSeed<M::State>,
 ) -> Exploration<M::State>
 where
     M: Model,
     E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> Option<StopReason>,
 {
     let start = Instant::now();
-    let initial = model.initial();
     let mut search = Search {
         monitors,
         config,
-        states: vec![initial.clone()],
-        parents: vec![(usize::MAX, String::new())],
+        states: seed.states,
+        parents: seed.parents,
         index: HashMap::new(),
-        violations: Vec::new(),
-        violated: Vec::new(),
+        violations: seed.violations,
+        violated: seed.violated,
         next_frontier: Vec::new(),
-        dedup_hits: 0,
-        faults: Vec::new(),
+        dedup_hits: seed.dedup_hits,
+        faults: seed.faults,
     };
-    search.index.insert(initial, 0);
-    let mut frontier: Vec<usize> = vec![0];
-    let mut states_per_depth = vec![1usize];
-    let mut depth = 0;
+    for (idx, state) in search.states.iter().enumerate() {
+        search.index.insert(state.clone(), idx);
+    }
+    let mut frontier = seed.frontier;
+    let mut states_per_depth = seed.states_per_depth;
+    let mut depth = seed.depth;
+    let mut last_checkpoint = Instant::now();
     // A budget already spent (cancelled before start, expired deadline)
     // stops the search before the first expansion: one state, zero work.
     let mut stop: Option<StopReason> = config.budget.check(search.heap_estimate()).err();
-
-    check_monitors(
-        monitors,
-        0,
-        0,
-        &search.states,
-        &search.parents,
-        &mut search.violations,
-        &mut search.violated,
-    );
 
     while stop.is_none() && !frontier.is_empty() && depth < limits.max_depth {
         depth += 1;
@@ -566,10 +809,34 @@ where
             obs.counter("mc.worker_fault", new_faults as u64);
         }
         frontier = std::mem::take(&mut search.next_frontier);
+        // The level barrier is the only point where the search state is a
+        // complete, deterministic prefix of the full run — checkpoint
+        // here. A mid-level stop leaves the previous barrier's snapshot
+        // in place; the resumed run recomputes the interrupted level and
+        // lands on the identical result.
+        if stop.is_none() {
+            let barrier = Barrier {
+                frontier: &frontier,
+                states_per_depth: &states_per_depth,
+                depth,
+            };
+            checkpoint_at_barrier(model, &search, &barrier, obs, &mut last_checkpoint, false);
+        }
     }
     // A frontier left unexpanded by the depth cap is also an early stop.
     if stop.is_none() && !frontier.is_empty() {
         stop = Some(StopReason::DepthCapReached);
+    }
+    // On a clean end (space exhausted or depth-capped) force a final
+    // write even if the throttle suppressed the last barrier, so the
+    // snapshot on disk replays to the finished result.
+    if stop.is_none() || stop == Some(StopReason::DepthCapReached) {
+        let barrier = Barrier {
+            frontier: &frontier,
+            states_per_depth: &states_per_depth,
+            depth,
+        };
+        checkpoint_at_barrier(model, &search, &barrier, obs, &mut last_checkpoint, true);
     }
     let result = Exploration {
         states: search.states.len(),
@@ -587,6 +854,65 @@ where
         obs.gauge("mc.dedup_hit_rate", result.dedup_hit_rate());
     }
     result
+}
+
+/// The fresh-start driver: seed a new search and run it.
+fn explore_core<M, E>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    config: &ExploreConfig,
+    obs: &Obs,
+    expand: E,
+) -> Exploration<M::State>
+where
+    M: Model,
+    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> Option<StopReason>,
+{
+    let seed = initial_seed(model, monitors);
+    explore_driver(model, monitors, limits, config, obs, expand, seed)
+}
+
+/// Resume an exploration from the snapshot at `config.checkpoint_path`
+/// on `jobs` worker threads, continuing to checkpoint as it goes.
+///
+/// The search restarts at the checkpointed level barrier and finishes the
+/// run; because checkpoints only land at barriers (deterministic prefixes
+/// of the full run), the final [`Exploration`] is bit-identical to an
+/// uninterrupted run at every `jobs` value. Errors are typed: a missing
+/// path, an unreadable file, a truncated or corrupted snapshot, and an
+/// internally inconsistent payload are each reported as their own
+/// [`PersistError`] — never deserialized into garbage.
+pub fn explore_resume_with_config_jobs<M>(
+    model: &M,
+    monitors: &[Monitor<'_, M::State>],
+    limits: &Limits,
+    config: &ExploreConfig,
+    jobs: usize,
+    obs: &Obs,
+) -> Result<Exploration<M::State>, PersistError>
+where
+    M: Model + Sync,
+    M::State: Send + Sync,
+{
+    let path = config
+        .checkpoint_path
+        .as_ref()
+        .ok_or(PersistError::MissingPath)?;
+    let (_meta, payload) = read_snapshot(path, SnapshotKind::Explorer, obs)?;
+    let seed = decode_checkpoint(model, &payload)?;
+    let jobs = resolve_jobs(jobs);
+    Ok(explore_driver(
+        model,
+        monitors,
+        limits,
+        config,
+        obs,
+        move |model, search, frontier, depth, limits| {
+            expand_level_par(model, search, frontier, depth, limits, jobs)
+        },
+        seed,
+    ))
 }
 
 #[cfg(test)]
@@ -611,6 +937,17 @@ mod tests {
                 vec![(format!("inc->{}", s + 1), s + 1), ("reset".into(), 0)]
             }
         }
+
+        fn encode_state(&self, s: &u8) -> Option<Vec<u8>> {
+            Some(vec![*s])
+        }
+
+        fn decode_state(&self, bytes: &[u8]) -> Option<u8> {
+            match bytes {
+                [s] => Some(*s),
+                _ => None,
+            }
+        }
     }
 
     /// A 5×5 grid walked right/down: wide frontiers and diamond-shaped
@@ -633,6 +970,17 @@ mod tests {
                 out.push((format!("down@{x},{y}"), (x, y + 1)));
             }
             out
+        }
+
+        fn encode_state(&self, &(x, y): &(u8, u8)) -> Option<Vec<u8>> {
+            Some(vec![x, y])
+        }
+
+        fn decode_state(&self, bytes: &[u8]) -> Option<(u8, u8)> {
+            match bytes {
+                [x, y] => Some((*x, *y)),
+                _ => None,
+            }
         }
     }
 
@@ -879,6 +1227,7 @@ mod tests {
         let config = ExploreConfig {
             budget: Budget::unlimited().with_deadline(Duration::ZERO),
             fault_plan: None,
+            ..Default::default()
         };
         let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
         assert_eq!(result.stop_reason, Some(StopReason::DeadlineExceeded));
@@ -895,6 +1244,7 @@ mod tests {
         let config = ExploreConfig {
             budget: Budget::unlimited().with_max_heap_bytes(1),
             fault_plan: None,
+            ..Default::default()
         };
         let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
         assert_eq!(result.stop_reason, Some(StopReason::MemoryExceeded));
@@ -909,6 +1259,7 @@ mod tests {
         let config = ExploreConfig {
             budget,
             fault_plan: None,
+            ..Default::default()
         };
         let result = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
         assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
@@ -926,6 +1277,7 @@ mod tests {
                 FaultKind::DeadlineExpiry,
                 7,
             ))),
+            ..Default::default()
         };
         let seq = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
         assert_eq!(seq.stop_reason, Some(StopReason::DeadlineExceeded));
@@ -964,6 +1316,7 @@ mod tests {
                 FaultKind::Panic,
                 3,
             ))),
+            ..Default::default()
         };
         let limits = Limits {
             max_states: 1000,
@@ -986,5 +1339,157 @@ mod tests {
             assert_eq!(par.states_per_depth, seq.states_per_depth, "jobs {jobs}");
             assert_eq!(par.violations.len(), seq.violations.len(), "jobs {jobs}");
         }
+    }
+
+    fn tmp_snapshot(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("equitls_mc_{}_{name}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn interrupted_then_resumed_grid_matches_straight_through() {
+        use equitls_rewrite::budget::Fault;
+        let on_diagonal = |s: &(u8, u8)| s.0 != s.1 || s.0 < 3;
+        let monitors: [Monitor<'_, (u8, u8)>; 1] = [("off-diagonal", &on_diagonal)];
+        let straight = explore(&Grid, &monitors, &Limits::default());
+        for jobs in [1usize, 2, 4] {
+            let path = tmp_snapshot(&format!("grid_resume_{jobs}"));
+            let _ = std::fs::remove_file(&path);
+            // Interrupt: an injected deadline fires at frontier entry 7,
+            // after at least one level barrier has checkpointed.
+            let interrupted_config = ExploreConfig {
+                fault_plan: Some(FaultPlan::new().with_fault(Fault::new(
+                    FaultSite::Successor,
+                    FaultKind::DeadlineExpiry,
+                    7,
+                ))),
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            };
+            let partial = explore_with_config_jobs(
+                &Grid,
+                &monitors,
+                &Limits::default(),
+                &interrupted_config,
+                jobs,
+                &Obs::noop(),
+            );
+            assert_eq!(partial.stop_reason, Some(StopReason::DeadlineExceeded));
+            assert!(path.exists(), "a barrier checkpoint was written");
+            // Resume without the fault and finish the search.
+            let resume_config = ExploreConfig {
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            };
+            let resumed = explore_resume_with_config_jobs(
+                &Grid,
+                &monitors,
+                &Limits::default(),
+                &resume_config,
+                jobs,
+                &Obs::noop(),
+            )
+            .expect("snapshot loads");
+            assert_eq!(resumed.states, straight.states, "jobs {jobs}");
+            assert_eq!(resumed.complete, straight.complete, "jobs {jobs}");
+            assert_eq!(resumed.depth_reached, straight.depth_reached, "jobs {jobs}");
+            assert_eq!(
+                resumed.states_per_depth, straight.states_per_depth,
+                "jobs {jobs}"
+            );
+            assert_eq!(resumed.dedup_hits, straight.dedup_hits, "jobs {jobs}");
+            assert_eq!(resumed.violations.len(), straight.violations.len());
+            for (rv, sv) in resumed.violations.iter().zip(&straight.violations) {
+                assert_eq!(rv.property, sv.property, "jobs {jobs}");
+                assert_eq!(rv.depth, sv.depth, "jobs {jobs}");
+                assert_eq!(rv.trace, sv.trace, "jobs {jobs}");
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn resuming_a_finished_exploration_replays_the_same_result() {
+        let path = tmp_snapshot("grid_finished");
+        let _ = std::fs::remove_file(&path);
+        let config = ExploreConfig {
+            checkpoint_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let straight =
+            explore_with_config(&Counter, &[], &Limits::default(), &config, &Obs::noop());
+        assert!(straight.complete);
+        let resumed = explore_resume_with_config_jobs(
+            &Counter,
+            &[],
+            &Limits::default(),
+            &config,
+            1,
+            &Obs::noop(),
+        )
+        .expect("snapshot loads");
+        assert_eq!(resumed.states, straight.states);
+        assert_eq!(resumed.complete, straight.complete);
+        assert_eq!(resumed.states_per_depth, straight.states_per_depth);
+        assert_eq!(resumed.dedup_hits, straight.dedup_hits);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_errors_are_typed_never_garbage() {
+        // No checkpoint path configured.
+        let result = explore_resume_with_config_jobs(
+            &Grid,
+            &[],
+            &Limits::default(),
+            &ExploreConfig::default(),
+            1,
+            &Obs::noop(),
+        );
+        assert_eq!(result.err(), Some(PersistError::MissingPath));
+        // A file that is not a snapshot at all.
+        let path = tmp_snapshot("garbage");
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let config = ExploreConfig {
+            checkpoint_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let result = explore_resume_with_config_jobs(
+            &Grid,
+            &[],
+            &Limits::default(),
+            &config,
+            1,
+            &Obs::noop(),
+        );
+        assert_eq!(result.err(), Some(PersistError::BadMagic));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn models_without_state_encoding_skip_checkpointing() {
+        /// Supports exploration but not persistence (the trait defaults).
+        struct Opaque;
+        impl Model for Opaque {
+            type State = u8;
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn successors(&self, s: &u8) -> Vec<(String, u8)> {
+                if *s < 3 {
+                    vec![("next".into(), s + 1)]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let path = tmp_snapshot("opaque");
+        let _ = std::fs::remove_file(&path);
+        let config = ExploreConfig {
+            checkpoint_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let result = explore_with_config(&Opaque, &[], &Limits::default(), &config, &Obs::noop());
+        assert!(result.complete, "the search itself is unaffected");
+        assert!(!path.exists(), "no snapshot is written without an encoder");
     }
 }

@@ -41,13 +41,17 @@ pub mod scenario;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::check::{check_scope, check_scope_config, check_scope_jobs, expected_outcomes};
+    pub use crate::check::{
+        check_scope, check_scope_config, check_scope_jobs, check_scope_resume, expected_outcomes,
+    };
     pub use crate::explorer::{
-        explore, explore_jobs, explore_with_config, explore_with_config_jobs, explore_with_obs,
-        explore_with_obs_jobs, resolve_jobs, Exploration, ExploreConfig, Limits, Violation,
+        explore, explore_jobs, explore_resume_with_config_jobs, explore_with_config,
+        explore_with_config_jobs, explore_with_obs, explore_with_obs_jobs, resolve_jobs,
+        Exploration, ExploreConfig, Limits, Violation,
     };
     pub use crate::model::{Model, TlsMachine};
     pub use crate::scenario::{counterexample_2prime, counterexample_3prime, render_trace, Replay};
+    pub use equitls_persist::PersistError;
     pub use equitls_rewrite::budget::{
         Budget, CancelToken, Fault, FaultKind, FaultPlan, FaultSite, StopReason, WorkerFault,
     };

@@ -13,6 +13,20 @@ pub trait Model {
 
     /// Labeled successors of a state.
     fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)>;
+
+    /// Serialize a state for checkpoint snapshots. Models that do not
+    /// support persistence return `None` (the default), which disables
+    /// checkpointing rather than producing unusable snapshots.
+    fn encode_state(&self, _state: &Self::State) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Inverse of [`Model::encode_state`]: decode a state from snapshot
+    /// bytes. Returns `None` on malformed input or when the model does
+    /// not support persistence.
+    fn decode_state(&self, _bytes: &[u8]) -> Option<Self::State> {
+        None
+    }
 }
 
 /// The concrete TLS handshake protocol under a finite scope.
@@ -79,6 +93,14 @@ impl Model for TlsMachine {
                 (step.label, state)
             })
             .collect()
+    }
+
+    fn encode_state(&self, state: &State) -> Option<Vec<u8>> {
+        Some(equitls_tls::concrete::codec::encode_state(state))
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<State> {
+        equitls_tls::concrete::codec::decode_state(bytes).ok()
     }
 }
 

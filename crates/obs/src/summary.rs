@@ -114,6 +114,7 @@ pub struct MetricsSummary {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     spans: BTreeMap<String, SpanAgg>,
+    dropped_events: u64,
 }
 
 impl MetricsSummary {
@@ -157,6 +158,19 @@ impl MetricsSummary {
         self.spans.get(name).copied()
     }
 
+    /// Record how many events the sink stack dropped while this summary's
+    /// events were collected (from `Obs::dropped_events`). Dropped events
+    /// never reach the recorder, so the summary cannot count them itself —
+    /// the caller supplies the figure and the rendered tables disclose it.
+    pub fn set_dropped_events(&mut self, dropped: u64) {
+        self.dropped_events = dropped;
+    }
+
+    /// Events the sink stack failed to record (0 = summary is complete).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
     /// All counters whose name starts with `prefix`, as
     /// `(suffix, total)` pairs sorted by total, largest first.
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
@@ -191,7 +205,15 @@ impl MetricsSummary {
                 format!("{:.2?}", agg.max),
             ]);
         }
-        table.render()
+        let mut out = table.render();
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "(!) {} event(s) dropped by the sink stack — totals above are incomplete",
+                self.dropped_events
+            );
+        }
+        out
     }
 }
 
@@ -259,6 +281,24 @@ mod tests {
             s.counters_with_prefix("rule.fires:"),
             vec![("b".to_string(), 9), ("a".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn span_table_discloses_dropped_events() {
+        let events = vec![
+            Event::SpanEnter { name: "p".into() },
+            Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(5),
+            },
+        ];
+        let mut s = MetricsSummary::from_events(&events);
+        assert!(!s.render_span_table().contains("dropped"));
+        s.set_dropped_events(3);
+        assert_eq!(s.dropped_events(), 3);
+        assert!(s
+            .render_span_table()
+            .contains("3 event(s) dropped by the sink stack"));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! IEEE CRC32 (the polynomial used by gzip, PNG, and zlib), hand-rolled
+//! because the workspace is dependency-free. Table-driven, one table built
+//! lazily at first use.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// CRC32 of `data` (IEEE reflected, init `0xFFFF_FFFF`, final xor).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = b"the prover's obligation ledger".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,52 @@
+//! # equitls-persist
+//!
+//! Crash-safe persistence for long-running EquiTLS jobs: the bounded model
+//! checker's BFS progress and the prover's obligation ledger are written as
+//! **snapshots** — small binary files that are versioned, length-prefixed,
+//! CRC32-checksummed, and replaced atomically (temp file + fsync + rename).
+//!
+//! The design constraints mirror what a production checkpointer needs:
+//!
+//! * **No partial states on disk.** A crash during a write leaves either
+//!   the previous complete snapshot or (at worst) an orphaned temp file —
+//!   never a half-written snapshot under the real name.
+//! * **Corruption is a typed error, not garbage.** Every load validates the
+//!   magic bytes, the format version, the snapshot kind, the payload
+//!   length, and an IEEE CRC32 of the payload before a single payload byte
+//!   is decoded. A flipped bit or a truncated file yields a
+//!   [`PersistError`], never a panic or a silently wrong resume.
+//! * **Zero dependencies.** Like the rest of the workspace, the codec is
+//!   hand-rolled: little-endian fixed-width integers and length-prefixed
+//!   byte strings, the CRC32 table computed at first use.
+//!
+//! The on-disk layout is:
+//!
+//! ```text
+//! magic "EQTP" | version u32 | kind u8 | created_unix_secs u64
+//!   | payload_len u64 | crc32(payload) u32 | payload bytes
+//! ```
+//!
+//! Writers and readers emit obs counters (`persist.snapshot_written`,
+//! `persist.bytes`) and spans (`persist.write`, `persist.load`) so
+//! checkpoint traffic shows up in `--metrics` next to prover and explorer
+//! activity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod snapshot;
+
+pub use error::PersistError;
+pub use snapshot::{peek_meta, read_snapshot, write_snapshot, SnapshotKind, SnapshotMeta};
+
+/// Convenient re-exports of the persistence layer's most used items.
+pub mod prelude {
+    pub use crate::codec::{Reader, Writer};
+    pub use crate::error::PersistError;
+    pub use crate::snapshot::{
+        peek_meta, read_snapshot, write_snapshot, SnapshotKind, SnapshotMeta,
+    };
+}

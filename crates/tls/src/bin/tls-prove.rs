@@ -20,10 +20,22 @@
 //! leaves the affected obligations *open* (with a `(budget: …)` or fuel
 //! residual naming the offending term) and the process exits 1 — it
 //! never dies mid-proof.
+//!
+//! Checkpoint flags: `--checkpoint <path>` records every finished proof
+//! obligation in a crash-safe ledger snapshot (atomically rewritten at
+//! obligation boundaries; throttle with `--checkpoint-every-secs N`);
+//! `--resume` reloads the ledger and skips obligations it already proved.
+//!
+//! Exit codes: **0** every requested property proved; **1** at least one
+//! obligation open or faulted (budget trip, fuel exhaustion, stuck case);
+//! **2** usage error or unusable checkpoint snapshot (missing, truncated,
+//! corrupt, or wrong version — corruption is always a typed error, never
+//! a garbage resume).
 
-use equitls_core::prelude::{render_report_table, ProofReport};
+use equitls_core::prelude::{render_report_table, CoreError, ProofReport};
 use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
 use equitls_obs::summary::{Align, MetricsSummary, Table};
+use equitls_persist::{peek_meta, SnapshotMeta};
 use equitls_rewrite::budget::Budget;
 use equitls_tls::verify::VerifyOptions;
 use equitls_tls::{verify, TlsModel};
@@ -51,6 +63,12 @@ struct Options {
     max_mem_mb: Option<u64>,
     /// Rewriting fuel per reduction (default: prover default).
     fuel: Option<u64>,
+    /// Obligation-ledger snapshot path.
+    checkpoint: Option<std::path::PathBuf>,
+    /// Minimum seconds between ledger writes (0 = every obligation).
+    checkpoint_every_secs: u64,
+    /// Resume from the ledger at `checkpoint`.
+    resume: bool,
     names: Vec<String>,
 }
 
@@ -72,6 +90,9 @@ fn parse_args() -> Options {
         deadline_ms: None,
         max_mem_mb: None,
         fuel: None,
+        checkpoint: None,
+        checkpoint_every_secs: 0,
+        resume: false,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -114,6 +135,21 @@ fn parse_args() -> Options {
                     "a rewrite-step budget (e.g. --fuel 5000000)",
                 ));
             }
+            "--checkpoint" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint needs a file path (e.g. --checkpoint campaign.snap)");
+                    std::process::exit(2);
+                });
+                opts.checkpoint = Some(path.into());
+            }
+            "--checkpoint-every-secs" => {
+                opts.checkpoint_every_secs = numeric_flag(
+                    &mut args,
+                    "--checkpoint-every-secs",
+                    "a duration in seconds (e.g. --checkpoint-every-secs 30; 0 = every obligation)",
+                );
+            }
+            "--resume" => opts.resume = true,
             "--all" => {}
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
@@ -121,6 +157,10 @@ fn parse_args() -> Options {
             }
             name => opts.names.push(name.to_string()),
         }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint <path> (the snapshot to resume from)");
+        std::process::exit(2);
     }
     opts
 }
@@ -149,6 +189,22 @@ fn run() {
         _ => Obs::new(Arc::new(TeeSink::new(sinks))),
     };
 
+    // Peek at the snapshot header *before* the run replaces the file, so
+    // the "resumed from checkpoint" line can report the snapshot's age. A
+    // resume against an unreadable snapshot dies here, early and typed.
+    let resumed_meta: Option<SnapshotMeta> = if opts.resume {
+        let path = opts.checkpoint.as_ref().expect("checked at parse time");
+        match peek_meta(path) {
+            Ok(meta) => Some(meta),
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
+
     let mut model = if opts.variant {
         TlsModel::variant().expect("variant model builds")
     } else {
@@ -166,16 +222,26 @@ fn run() {
         fuel: opts.fuel,
         profile_rules: opts.metrics,
         jobs: opts.jobs,
+        checkpoint_path: opts.checkpoint.clone(),
+        checkpoint_every_secs: opts.checkpoint_every_secs,
+        resume: opts.resume,
         ..VerifyOptions::default()
     };
     let mut reports = Vec::new();
     let mut failed = false;
     if opts.names.is_empty() {
-        reports = verify::verify_all_opts(&mut model, &verify_opts, &obs).expect("engine ok");
+        match verify::verify_all_opts(&mut model, &verify_opts, &obs) {
+            Ok(rs) => reports = rs,
+            Err(e) => exit_engine_error(&e),
+        }
     } else {
         for name in &opts.names {
             match verify::verify_property_opts(&mut model, name, &verify_opts, &obs) {
                 Ok(r) => reports.push(r),
+                Err(CoreError::Persist(e)) => {
+                    eprintln!("checkpoint error proving {name}: {e}");
+                    std::process::exit(2);
+                }
                 Err(e) => {
                     eprintln!("error proving {name}: {e}");
                     failed = true;
@@ -201,7 +267,18 @@ fn run() {
     println!("{}", render_report_table(&reports));
 
     if let Some(rec) = &recorder {
-        let summary = MetricsSummary::from_events(&rec.events());
+        let mut summary = MetricsSummary::from_events(&rec.events());
+        summary.set_dropped_events(obs.dropped_events());
+        if let Some(meta) = &resumed_meta {
+            let path = opts.checkpoint.as_ref().expect("checked at parse time");
+            println!(
+                "resumed from checkpoint {} (snapshot age {}s, {} proved obligation(s) skipped)",
+                path.display(),
+                meta.age_secs(),
+                summary.counter_total("persist.resume_skipped_obligations"),
+            );
+            println!();
+        }
         print_metrics(&summary, &reports);
     }
     if let Some(path) = &opts.trace {
@@ -216,6 +293,21 @@ fn run() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Exit on an engine error from the full campaign: snapshot problems are
+/// usage-class failures (exit 2), anything else is a failed run (exit 1).
+fn exit_engine_error(e: &CoreError) -> ! {
+    match e {
+        CoreError::Persist(e) => {
+            eprintln!("checkpoint error: {e}");
+            std::process::exit(2);
+        }
+        other => {
+            eprintln!("engine error: {other}");
+            std::process::exit(1);
+        }
     }
 }
 

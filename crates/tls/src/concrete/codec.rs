@@ -1,0 +1,336 @@
+//! Binary encoding of concrete [`State`]s for checkpoint snapshots.
+//!
+//! The concrete domains are all small `u8` newtypes, so a state flattens
+//! to a short, deterministic byte string: ordered containers (`BTreeSet`
+//! / `BTreeMap`) iterate in a canonical order, which means equal states
+//! always encode to equal bytes. Decoding is total and typed — any byte
+//! string that does not denote a state yields `None`, never a panic —
+//! because checkpoint payloads, although CRC-guarded, are still external
+//! input.
+
+use super::data::{
+    Cert, Choice, ChoiceList, FinHash, FinKind, Pms, Prin, Rand, Secret, Session, Sid, Sig, SymKey,
+};
+use super::msg::{Body, Msg};
+use super::state::State;
+use equitls_persist::codec::{Reader, Writer};
+use equitls_persist::PersistError;
+
+fn put_pms(w: &mut Writer, p: &Pms) {
+    w.u8(p.client.0);
+    w.u8(p.server.0);
+    w.u8(p.secret.0);
+}
+
+fn get_pms(r: &mut Reader) -> Result<Pms, PersistError> {
+    Ok(Pms {
+        client: Prin(r.u8()?),
+        server: Prin(r.u8()?),
+        secret: Secret(r.u8()?),
+    })
+}
+
+fn put_key(w: &mut Writer, k: &SymKey) {
+    w.u8(k.prin.0);
+    put_pms(w, &k.pms);
+    w.u8(k.r1.0);
+    w.u8(k.r2.0);
+}
+
+fn get_key(r: &mut Reader) -> Result<SymKey, PersistError> {
+    Ok(SymKey {
+        prin: Prin(r.u8()?),
+        pms: get_pms(r)?,
+        r1: Rand(r.u8()?),
+        r2: Rand(r.u8()?),
+    })
+}
+
+fn put_hash(w: &mut Writer, h: &FinHash) {
+    w.u8(match h.kind {
+        FinKind::Client => 0,
+        FinKind::Server => 1,
+        FinKind::Client2 => 2,
+        FinKind::Server2 => 3,
+    });
+    w.u8(h.a.0);
+    w.u8(h.b.0);
+    w.u8(h.sid.0);
+    match h.list {
+        Some(list) => {
+            w.u8(1);
+            w.u8(list.0);
+        }
+        None => w.u8(0),
+    }
+    w.u8(h.choice.0);
+    w.u8(h.r1.0);
+    w.u8(h.r2.0);
+    put_pms(w, &h.pms);
+}
+
+fn get_hash(r: &mut Reader) -> Result<FinHash, PersistError> {
+    let kind = match r.u8()? {
+        0 => FinKind::Client,
+        1 => FinKind::Server,
+        2 => FinKind::Client2,
+        3 => FinKind::Server2,
+        t => return Err(PersistError::Malformed(format!("finhash kind tag {t}"))),
+    };
+    let a = Prin(r.u8()?);
+    let b = Prin(r.u8()?);
+    let sid = Sid(r.u8()?);
+    let list = match r.u8()? {
+        0 => None,
+        1 => Some(ChoiceList(r.u8()?)),
+        t => return Err(PersistError::Malformed(format!("option tag {t}"))),
+    };
+    Ok(FinHash {
+        kind,
+        a,
+        b,
+        sid,
+        list,
+        choice: Choice(r.u8()?),
+        r1: Rand(r.u8()?),
+        r2: Rand(r.u8()?),
+        pms: get_pms(r)?,
+    })
+}
+
+fn put_body(w: &mut Writer, body: &Body) {
+    match body {
+        Body::Ch { rand, list } => {
+            w.u8(0);
+            w.u8(rand.0);
+            w.u8(list.0);
+        }
+        Body::Sh { rand, sid, choice } => {
+            w.u8(1);
+            w.u8(rand.0);
+            w.u8(sid.0);
+            w.u8(choice.0);
+        }
+        Body::Ct { cert } => {
+            w.u8(2);
+            w.u8(cert.prin.0);
+            w.u8(cert.key_of.0);
+            w.u8(cert.sig.signer.0);
+            w.u8(cert.sig.subject.0);
+            w.u8(cert.sig.key_of.0);
+        }
+        Body::Kx { key_of, pms } => {
+            w.u8(3);
+            w.u8(key_of.0);
+            put_pms(w, pms);
+        }
+        Body::Cf { key, hash } => {
+            w.u8(4);
+            put_key(w, key);
+            put_hash(w, hash);
+        }
+        Body::Sf { key, hash } => {
+            w.u8(5);
+            put_key(w, key);
+            put_hash(w, hash);
+        }
+        Body::Ch2 { rand, sid } => {
+            w.u8(6);
+            w.u8(rand.0);
+            w.u8(sid.0);
+        }
+        Body::Sh2 { rand, sid, choice } => {
+            w.u8(7);
+            w.u8(rand.0);
+            w.u8(sid.0);
+            w.u8(choice.0);
+        }
+        Body::Cf2 { key, hash } => {
+            w.u8(8);
+            put_key(w, key);
+            put_hash(w, hash);
+        }
+        Body::Sf2 { key, hash } => {
+            w.u8(9);
+            put_key(w, key);
+            put_hash(w, hash);
+        }
+    }
+}
+
+fn get_body(r: &mut Reader) -> Result<Body, PersistError> {
+    Ok(match r.u8()? {
+        0 => Body::Ch {
+            rand: Rand(r.u8()?),
+            list: ChoiceList(r.u8()?),
+        },
+        1 => Body::Sh {
+            rand: Rand(r.u8()?),
+            sid: Sid(r.u8()?),
+            choice: Choice(r.u8()?),
+        },
+        2 => Body::Ct {
+            cert: Cert {
+                prin: Prin(r.u8()?),
+                key_of: Prin(r.u8()?),
+                sig: Sig {
+                    signer: Prin(r.u8()?),
+                    subject: Prin(r.u8()?),
+                    key_of: Prin(r.u8()?),
+                },
+            },
+        },
+        3 => Body::Kx {
+            key_of: Prin(r.u8()?),
+            pms: get_pms(r)?,
+        },
+        4 => Body::Cf {
+            key: get_key(r)?,
+            hash: get_hash(r)?,
+        },
+        5 => Body::Sf {
+            key: get_key(r)?,
+            hash: get_hash(r)?,
+        },
+        6 => Body::Ch2 {
+            rand: Rand(r.u8()?),
+            sid: Sid(r.u8()?),
+        },
+        7 => Body::Sh2 {
+            rand: Rand(r.u8()?),
+            sid: Sid(r.u8()?),
+            choice: Choice(r.u8()?),
+        },
+        8 => Body::Cf2 {
+            key: get_key(r)?,
+            hash: get_hash(r)?,
+        },
+        9 => Body::Sf2 {
+            key: get_key(r)?,
+            hash: get_hash(r)?,
+        },
+        t => return Err(PersistError::Malformed(format!("body tag {t}"))),
+    })
+}
+
+/// Encode a concrete state into a deterministic byte string.
+pub fn encode_state(state: &State) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(state.network.len());
+    for msg in &state.network {
+        w.u8(msg.crt.0);
+        w.u8(msg.src.0);
+        w.u8(msg.dst.0);
+        put_body(&mut w, &msg.body);
+    }
+    w.usize(state.sessions.len());
+    for ((owner, peer, sid), session) in &state.sessions {
+        w.u8(owner.0);
+        w.u8(peer.0);
+        w.u8(sid.0);
+        w.u8(session.choice.0);
+        w.u8(session.r1.0);
+        w.u8(session.r2.0);
+        put_pms(&mut w, &session.pms);
+    }
+    w.usize(state.used_rands.len());
+    for r in &state.used_rands {
+        w.u8(r.0);
+    }
+    w.usize(state.used_sids.len());
+    for s in &state.used_sids {
+        w.u8(s.0);
+    }
+    w.usize(state.used_secrets.len());
+    for s in &state.used_secrets {
+        w.u8(s.0);
+    }
+    w.into_bytes()
+}
+
+/// Decode a state previously produced by [`encode_state`]. Trailing bytes
+/// are rejected, so the encoding is a bijection on valid states.
+pub fn decode_state(bytes: &[u8]) -> Result<State, PersistError> {
+    let mut r = Reader::new(bytes);
+    let mut state = State::new();
+    for _ in 0..r.seq_len(4)? {
+        let crt = Prin(r.u8()?);
+        let src = Prin(r.u8()?);
+        let dst = Prin(r.u8()?);
+        let body = get_body(&mut r)?;
+        state.network.insert(Msg {
+            crt,
+            src,
+            dst,
+            body,
+        });
+    }
+    for _ in 0..r.seq_len(9)? {
+        let key = (Prin(r.u8()?), Prin(r.u8()?), Sid(r.u8()?));
+        let session = Session {
+            choice: Choice(r.u8()?),
+            r1: Rand(r.u8()?),
+            r2: Rand(r.u8()?),
+            pms: get_pms(&mut r)?,
+        };
+        state.sessions.insert(key, session);
+    }
+    for _ in 0..r.seq_len(1)? {
+        state.used_rands.insert(Rand(r.u8()?));
+    }
+    for _ in 0..r.seq_len(1)? {
+        state.used_sids.insert(Sid(r.u8()?));
+    }
+    for _ in 0..r.seq_len(1)? {
+        state.used_secrets.insert(Secret(r.u8()?));
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after state",
+            r.remaining()
+        )));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::step::{successors, Scope};
+
+    #[test]
+    fn every_reachable_shallow_state_roundtrips() {
+        // Walk two levels of the counterexample scope and round-trip every
+        // state seen — this covers hello, certificate, key-exchange, and
+        // intruder fake messages.
+        let scope = Scope::counterexample();
+        let mut frontier = vec![State::new()];
+        let mut seen = 0usize;
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for state in &frontier {
+                let bytes = encode_state(state);
+                let back = decode_state(&bytes).expect("valid state decodes");
+                assert_eq!(&back, state);
+                assert_eq!(encode_state(&back), bytes, "encoding is canonical");
+                seen += 1;
+                for step in successors(state, &scope) {
+                    next.push(step.state);
+                }
+            }
+            frontier = next;
+        }
+        assert!(seen > 1, "walk visited more than the initial state");
+    }
+
+    #[test]
+    fn garbage_and_truncation_decode_to_typed_errors() {
+        assert!(decode_state(&[0xFF; 3]).is_err());
+        let full = encode_state(&State::new());
+        assert!(decode_state(&full[..full.len() - 1]).is_err());
+        // Trailing garbage is rejected too.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(decode_state(&padded).is_err());
+    }
+}

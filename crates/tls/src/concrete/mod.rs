@@ -10,6 +10,7 @@
 //! model supports *bounded* exhaustive search that finds the §5.3
 //! counterexamples and cross-validates the proofs in finite scopes.
 
+pub mod codec;
 pub mod data;
 pub mod knowledge;
 pub mod msg;

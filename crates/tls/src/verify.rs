@@ -17,6 +17,7 @@ use equitls_core::CoreError;
 use equitls_obs::sink::Obs;
 use equitls_rewrite::budget::{Budget, FaultPlan};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Robustness and execution options for a verification run.
 ///
@@ -37,6 +38,16 @@ pub struct VerifyOptions {
     pub profile_rules: bool,
     /// Worker threads per property (`0` = available parallelism).
     pub jobs: usize,
+    /// Obligation-ledger snapshot path (`None` = no checkpointing). One
+    /// file serves the whole campaign: entries are keyed by
+    /// `(invariant, obligation)`.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Minimum seconds between ledger writes (`0` = every obligation).
+    pub checkpoint_every_secs: u64,
+    /// Resume from the ledger: recorded `Proved` obligations are spliced
+    /// into the report without re-running. Requires a valid snapshot at
+    /// `checkpoint_path` (typed `CoreError::Persist` otherwise).
+    pub resume: bool,
 }
 
 impl Default for VerifyOptions {
@@ -47,6 +58,9 @@ impl Default for VerifyOptions {
             fault_plan: None,
             profile_rules: false,
             jobs: 1,
+            checkpoint_path: None,
+            checkpoint_every_secs: 0,
+            resume: false,
         }
     }
 }
@@ -289,6 +303,9 @@ pub fn verify_property_opts(
         fuel: opts.fuel.unwrap_or(defaults.fuel),
         budget: opts.budget.clone(),
         fault_plan: opts.fault_plan.clone(),
+        checkpoint_path: opts.checkpoint_path.clone(),
+        checkpoint_every_secs: opts.checkpoint_every_secs,
+        resume: opts.resume,
         ..defaults
     };
     let mut prover = Prover::new(&mut model.spec, &model.ots, &model.invariants)

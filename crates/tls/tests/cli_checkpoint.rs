@@ -1,0 +1,180 @@
+//! `tls-prove` checkpoint flags end-to-end.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **happy path** — a campaign checkpointed to a ledger and then
+//!    `--resume`d completes with the same verdict and, under `--metrics`,
+//!    announces the resume (snapshot path, age, skipped obligations);
+//! 2. **corruption** — a flipped byte, a truncation, or a wrong version
+//!    header makes `--resume` exit 2 with a typed message; the process
+//!    never panics and never "resumes" from garbage.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_tls_prove(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tls-prove"))
+        .args(args)
+        .output()
+        .expect("tls-prove runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code(), text)
+}
+
+fn tmp_snapshot(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("equitls_cli_{}_{name}.snap", std::process::id()))
+}
+
+/// Write a cheap but *valid* ledger snapshot: a fuel-starved run exits 1
+/// (obligations open) yet still checkpoints every obligation outcome.
+fn write_valid_snapshot(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--fuel",
+        "64",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(1), "starved seed run fails; output:\n{text}");
+    assert!(path.exists(), "seed run leaves a snapshot behind");
+}
+
+#[test]
+fn resume_without_checkpoint_is_a_usage_error() {
+    let (code, text) = run_tls_prove(&["lem-src-honest", "--resume"]);
+    assert_eq!(code, Some(2), "usage error exits 2; output:\n{text}");
+    assert!(
+        text.contains("--resume needs --checkpoint"),
+        "message explains the missing flag:\n{text}"
+    );
+}
+
+#[test]
+fn resume_from_missing_snapshot_exits_two_with_a_typed_error() {
+    let path = tmp_snapshot("missing");
+    let _ = std::fs::remove_file(&path);
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--resume",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(2), "missing snapshot exits 2; output:\n{text}");
+    assert!(
+        text.contains("cannot resume from"),
+        "message names the snapshot problem:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+}
+
+#[test]
+fn flipped_byte_is_a_checksum_error_not_a_garbage_resume() {
+    let path = tmp_snapshot("byteflip");
+    write_valid_snapshot(&path);
+    let mut bytes = std::fs::read(&path).expect("snapshot readable");
+    // Flip a payload byte, well past the 29-byte header: only the CRC can
+    // catch this.
+    let i = 40.min(bytes.len() - 1);
+    bytes[i] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite snapshot");
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--resume",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(2), "corrupt snapshot exits 2; output:\n{text}");
+    assert!(
+        text.contains("checksum"),
+        "message names the checksum mismatch:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let path = tmp_snapshot("truncated");
+    write_valid_snapshot(&path);
+    let bytes = std::fs::read(&path).expect("snapshot readable");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate snapshot");
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--resume",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(2), "truncated snapshot exits 2; output:\n{text}");
+    assert!(
+        text.contains("truncated"),
+        "message names the truncation:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn wrong_version_header_is_a_typed_error() {
+    let path = tmp_snapshot("version");
+    write_valid_snapshot(&path);
+    let mut bytes = std::fs::read(&path).expect("snapshot readable");
+    // Bytes 4..8 are the little-endian format version.
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).expect("rewrite snapshot");
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--resume",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(2), "future version exits 2; output:\n{text}");
+    assert!(
+        text.contains("version"),
+        "message names the unsupported version:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpointed_then_resumed_campaign_announces_the_resume() {
+    let path = tmp_snapshot("happy");
+    let _ = std::fs::remove_file(&path);
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(0), "first run proves; output:\n{text}");
+    assert!(path.exists(), "ledger snapshot written");
+
+    let (code, text) = run_tls_prove(&[
+        "lem-src-honest",
+        "--resume",
+        "--metrics",
+        "--checkpoint",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(code, Some(0), "resumed run proves; output:\n{text}");
+    assert!(
+        text.contains("resumed from checkpoint"),
+        "--metrics announces the resume:\n{text}"
+    );
+    assert!(
+        text.contains("snapshot age"),
+        "resume line reports the snapshot age:\n{text}"
+    );
+    // Every obligation (init + 27 transitions) was already proved, so the
+    // whole campaign is spliced from the ledger.
+    assert!(
+        text.contains("28 proved obligation(s) skipped"),
+        "all 28 obligations come from the ledger:\n{text}"
+    );
+    assert!(text.contains("PROVED"), "verdict unchanged:\n{text}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -8,13 +8,17 @@
 //!
 //! ```text
 //! cargo run --release --example model_check [-- --jobs N] [--deadline-ms N] [--max-mem-mb N]
+//!     [--checkpoint <path>] [--checkpoint-every-secs N] [--resume]
 //! ```
 //!
 //! `--jobs N` explores each BFS level on N worker threads (0 = all
 //! cores); results are identical for every N. `--deadline-ms` and
 //! `--max-mem-mb` bound the whole run: a tripped budget reports a
 //! *partial* but internally consistent tally with a typed stop reason
-//! instead of running away.
+//! instead of running away. `--checkpoint <path>` snapshots each bound's
+//! BFS at level barriers (one file per network bound, `<path>.m<bound>`);
+//! `--resume` picks every bound up from its snapshot — the final tables
+//! are identical to an uninterrupted run.
 
 use equitls::mc::prelude::*;
 use equitls::tls::concrete::Scope;
@@ -24,6 +28,9 @@ struct Args {
     jobs: usize,
     deadline_ms: Option<u64>,
     max_mem_mb: Option<u64>,
+    checkpoint: Option<std::path::PathBuf>,
+    checkpoint_every_secs: u64,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +38,9 @@ fn parse_args() -> Args {
         jobs: 0,
         deadline_ms: None,
         max_mem_mb: None,
+        checkpoint: None,
+        checkpoint_every_secs: 0,
+        resume: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,11 +54,26 @@ fn parse_args() -> Args {
             "--jobs" => parsed.jobs = numeric("a thread count (0 = all cores)") as usize,
             "--deadline-ms" => parsed.deadline_ms = Some(numeric("a duration in milliseconds")),
             "--max-mem-mb" => parsed.max_mem_mb = Some(numeric("a size in mebibytes")),
+            "--checkpoint-every-secs" => {
+                parsed.checkpoint_every_secs = numeric("a duration in seconds");
+            }
+            "--checkpoint" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint needs a file path");
+                    std::process::exit(2);
+                });
+                parsed.checkpoint = Some(path.into());
+            }
+            "--resume" => parsed.resume = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if parsed.resume && parsed.checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint <path>");
+        std::process::exit(2);
     }
     parsed
 }
@@ -63,10 +88,6 @@ fn main() {
     if let Some(mb) = args.max_mem_mb {
         budget = budget.with_max_mem_mb(mb);
     }
-    let config = ExploreConfig {
-        budget,
-        fault_plan: None,
-    };
     println!(
         "== bounded exhaustive check (Mitchell-et-al.-style scope, {} worker threads) ==\n",
         resolve_jobs(jobs)
@@ -78,7 +99,28 @@ fn main() {
             max_states: 150_000,
             max_depth: max_messages + 1,
         };
-        let result = check_scope_config(&scope, &limits, jobs, &config);
+        // One snapshot file per network bound: the bounds are independent
+        // searches, so each gets its own resumable checkpoint.
+        let config = ExploreConfig {
+            budget: budget.clone(),
+            fault_plan: None,
+            checkpoint_path: args
+                .checkpoint
+                .as_ref()
+                .map(|p| p.with_extension(format!("m{max_messages}"))),
+            checkpoint_every_secs: args.checkpoint_every_secs,
+        };
+        let result = if args.resume {
+            match check_scope_resume(&scope, &limits, jobs, &config) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("cannot resume network bound {max_messages}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            check_scope_config(&scope, &limits, jobs, &config)
+        };
         println!(
             "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}{}",
             result.states,

@@ -20,6 +20,27 @@ echo "== robustness: fault injection + 2s-deadline smoke (jobs 1/2/4) =="
 cargo test -q --release --test robustness
 cargo test -q --release -p equitls-tls --test cli_budget
 
+echo "== checkpoint/resume: determinism (jobs 1/2/4) + snapshot corruption =="
+cargo test -q --release --test checkpoint_determinism
+cargo test -q --release -p equitls-tls --test cli_checkpoint
+
+echo "== checkpoint/resume: kill-and-resume smoke =="
+# Interrupt a campaign with a short deadline (ledger stays on disk),
+# resume it to completion, and diff the report against a straight-through
+# run — identical up to wall-clock columns (field 5 of every table row).
+CKPT="$(mktemp -u /tmp/equitls_check_XXXXXX.snap)"
+STRIP_TIMES='{ $5 = ""; print }'
+cargo run -q --release -p equitls-tls --bin tls-prove -- \
+    lem-cepms-cpms inv1 --deadline-ms 60 --checkpoint "$CKPT" > /dev/null || true
+cargo run -q --release -p equitls-tls --bin tls-prove -- \
+    lem-cepms-cpms inv1 --resume --checkpoint "$CKPT" \
+    | awk "$STRIP_TIMES" > /tmp/equitls_check_resumed.txt
+cargo run -q --release -p equitls-tls --bin tls-prove -- \
+    lem-cepms-cpms inv1 \
+    | awk "$STRIP_TIMES" > /tmp/equitls_check_straight.txt
+diff /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
+rm -f "$CKPT" /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
+
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
 

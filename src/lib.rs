@@ -21,6 +21,7 @@
 //! | [`mc`] | a Murφ-style bounded model checker reproducing the §5.3 counterexamples |
 //! | [`lint`] | static analysis of rewrite systems: termination (LPO), local confluence (critical pairs), sufficient completeness |
 //! | [`obs`] | zero-dependency tracing/metrics: event sinks, JSONL traces, summary tables |
+//! | [`persist`] | crash-safe checkpoint snapshots: versioned, CRC-checked, atomically written |
 //!
 //! # Quick start
 //!
@@ -56,6 +57,7 @@ pub use equitls_kernel as kernel;
 pub use equitls_lint as lint;
 pub use equitls_mc as mc;
 pub use equitls_obs as obs;
+pub use equitls_persist as persist;
 pub use equitls_rewrite as rewrite;
 pub use equitls_spec as spec;
 pub use equitls_tls as tls;

@@ -133,6 +133,7 @@ fn deadline_expired_exploration_is_partial_with_a_typed_reason() {
     let config = ExploreConfig {
         budget: Budget::unlimited().with_deadline(Duration::ZERO),
         fault_plan: None,
+        ..ExploreConfig::default()
     };
     let result = check_scope_config(&scope, &limits, 1, &config);
     assert!(!result.complete);
@@ -157,6 +158,7 @@ fn injected_deadline_truncates_the_tls_scope_identically_at_every_jobs() {
             FaultKind::DeadlineExpiry,
             40,
         ))),
+        ..ExploreConfig::default()
     };
     let runs: Vec<_> = JOBS
         .iter()
@@ -197,6 +199,7 @@ fn two_second_deadline_smoke_is_identical_at_jobs_1_2_4() {
     let config = ExploreConfig {
         budget: Budget::unlimited().with_deadline(Duration::from_secs(2)),
         fault_plan: None,
+        ..ExploreConfig::default()
     };
     let runs: Vec<_> = JOBS
         .iter()
