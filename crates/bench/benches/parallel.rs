@@ -14,9 +14,11 @@
 //!
 //! Environment knobs:
 //!
-//! * `BENCH_SAMPLES` — timed repetitions per point (default 3; best-of-N);
-//! * `BENCH_OUT`     — output path (default `<repo>/BENCH_parallel.json`);
-//! * `BENCH_SMOKE=1` — tiny limits and a temp-dir output, for CI smoke.
+//! * `BENCH_SAMPLES`  — timed repetitions per point (default 3; best-of-N);
+//! * `BENCH_OUT`      — output path (default `<repo>/BENCH_parallel.json`);
+//! * `BENCH_SMOKE=1`  — tiny limits and a temp-dir output, for CI smoke;
+//! * `BENCH_GIT_REV`, `BENCH_HOSTNAME` — provenance stamps recorded in the
+//!   JSON (`scripts/bench.sh` sets them; `"unknown"` when absent).
 
 use equitls_bench::harness::bench;
 use equitls_mc::prelude::*;
@@ -140,8 +142,13 @@ fn main() {
         .spawn(move || {
             let explorer = bench_explorer(samples, smoke);
             let prover = bench_prover(samples, smoke);
+            let stamp = |var: &str| {
+                JsonValue::String(std::env::var(var).unwrap_or_else(|_| "unknown".to_string()))
+            };
             let doc = obj(vec![
                 ("experiment", JsonValue::String("E14-parallel".to_string())),
+                ("git_rev", stamp("BENCH_GIT_REV")),
+                ("hostname", stamp("BENCH_HOSTNAME")),
                 ("cores", num(resolve_jobs(0) as f64)),
                 ("samples", num(samples as f64)),
                 ("smoke", JsonValue::Bool(smoke)),

@@ -465,7 +465,14 @@ impl<'a> Prover<'a> {
             self.leaf_open(stats, open, trail, "(passage budget exhausted)");
             return Ok(());
         }
-        let (leaf, blocked, pool) = match self.reduce_with_sih(norm, goal, pre_state, lemmas) {
+        // The normalization span nests under `prover.obligation:<name>`,
+        // so trace tools can attribute obligation time to the rewrite
+        // engine vs. the split search (one sample per passage).
+        let reduced = {
+            let _span = self.obs.span("prover.normalize");
+            self.reduce_with_sih(norm, goal, pre_state, lemmas)
+        };
+        let (leaf, blocked, pool) = match reduced {
             Ok(x) => x,
             Err(e) if is_budget_error(&e) => {
                 self.leaf_open(stats, open, trail, &budget_residual(&e));

@@ -39,8 +39,21 @@ pub fn check_scope_config(
     jobs: usize,
     config: &ExploreConfig,
 ) -> Exploration<State> {
+    check_scope_config_obs(scope, limits, jobs, config, &Obs::noop())
+}
+
+/// [`check_scope_config`] with an observability handle: per-level timing
+/// counters and heartbeats flow to `obs`'s sink. Purely additive — the
+/// exploration result is identical whatever the sink.
+pub fn check_scope_config_obs(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+    obs: &Obs,
+) -> Exploration<State> {
     with_scope_monitors(scope, |machine, refs| {
-        explore_with_config_jobs(machine, refs, limits, config, jobs, &Obs::noop())
+        explore_with_config_jobs(machine, refs, limits, config, jobs, obs)
     })
 }
 
@@ -54,8 +67,20 @@ pub fn check_scope_resume(
     jobs: usize,
     config: &ExploreConfig,
 ) -> Result<Exploration<State>, PersistError> {
+    check_scope_resume_obs(scope, limits, jobs, config, &Obs::noop())
+}
+
+/// [`check_scope_resume`] with an observability handle (see
+/// [`check_scope_config_obs`]).
+pub fn check_scope_resume_obs(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+    obs: &Obs,
+) -> Result<Exploration<State>, PersistError> {
     with_scope_monitors(scope, |machine, refs| {
-        explore_resume_with_config_jobs(machine, refs, limits, config, jobs, &Obs::noop())
+        explore_resume_with_config_jobs(machine, refs, limits, config, jobs, obs)
     })
 }
 

@@ -86,6 +86,11 @@ pub struct ExploreConfig {
     /// Minimum seconds between checkpoint writes; `0` writes at every
     /// level barrier.
     pub checkpoint_every_secs: u64,
+    /// When nonzero, print a one-line progress heartbeat to stderr at
+    /// most every this-many seconds (checked at level barriers, where
+    /// the tallies are consistent). Purely cosmetic: heartbeats never
+    /// affect the search or its result. `0` (the default) is silent.
+    pub heartbeat_every_secs: u64,
 }
 
 /// Resolve a `jobs` request: `0` means "use the machine's available
@@ -332,6 +337,13 @@ struct Search<'m, S> {
     next_frontier: Vec<usize>,
     dedup_hits: usize,
     faults: Vec<WorkerFault>,
+    /// Profiling accumulators, split by phase: wall time spent generating
+    /// successors vs. merging them into the dedup index. Only advanced
+    /// when `timed` (i.e. the obs handle is enabled) — the clock reads
+    /// are cheap but not free, and a silent run should pay nothing.
+    timed: bool,
+    succ_time: Duration,
+    dedup_time: Duration,
 }
 
 impl<S: Clone + Eq + Hash> Search<'_, S> {
@@ -437,6 +449,7 @@ fn expand_level_seq<M: Model>(
             return Some(stop);
         }
         let current = search.states[idx].clone();
+        let gen_start = search.timed.then(Instant::now);
         let succs = match compute_succs(model, &current, idx, search.config.fault_plan.as_ref()) {
             Ok(succs) => succs,
             Err(fault) => {
@@ -444,7 +457,15 @@ fn expand_level_seq<M: Model>(
                 Vec::new()
             }
         };
-        if let Some(stop) = search.merge_entry(idx, succs, depth, limits) {
+        let merge_start = search.timed.then(Instant::now);
+        if let (Some(g), Some(m)) = (gen_start, merge_start) {
+            search.succ_time += m.duration_since(g);
+        }
+        let stop = search.merge_entry(idx, succs, depth, limits);
+        if let Some(m) = merge_start {
+            search.dedup_time += m.elapsed();
+        }
+        if let Some(stop) = stop {
             return Some(stop);
         }
     }
@@ -478,6 +499,7 @@ where
     type Batch<S> = Vec<Result<Vec<(String, S)>, WorkerFault>>;
     let workers = jobs.min(frontier.len());
     let chunk_len = frontier.len().div_ceil(workers);
+    let gen_start = search.timed.then(Instant::now);
     let batches: Vec<Batch<M::State>> = {
         let states: &[M::State] = &search.states;
         let plan = search.config.fault_plan.as_ref();
@@ -499,10 +521,19 @@ where
                 .collect()
         })
     };
-    for (chunk, batch) in frontier.chunks(chunk_len).zip(batches) {
+    // Phase accounting is wall-clock per phase: the scoped-thread block
+    // above is pure successor generation, the merge loop below is pure
+    // dedup/monitor work on the main thread.
+    let merge_start = search.timed.then(Instant::now);
+    if let (Some(g), Some(m)) = (gen_start, merge_start) {
+        search.succ_time += m.duration_since(g);
+    }
+    let mut stop = None;
+    'merge: for (chunk, batch) in frontier.chunks(chunk_len).zip(batches) {
         for (&idx, succs) in chunk.iter().zip(batch) {
-            if let Some(stop) = search.pre_merge_stop(idx) {
-                return Some(stop);
+            if let Some(reason) = search.pre_merge_stop(idx) {
+                stop = Some(reason);
+                break 'merge;
             }
             let succs = match succs {
                 Ok(succs) => succs,
@@ -511,12 +542,16 @@ where
                     Vec::new()
                 }
             };
-            if let Some(stop) = search.merge_entry(idx, succs, depth, limits) {
-                return Some(stop);
+            if let Some(reason) = search.merge_entry(idx, succs, depth, limits) {
+                stop = Some(reason);
+                break 'merge;
             }
         }
     }
-    None
+    if let Some(m) = merge_start {
+        search.dedup_time += m.elapsed();
+    }
+    stop
 }
 
 /// Everything the BFS driver needs to start (or restart) at a level
@@ -783,6 +818,9 @@ where
         next_frontier: Vec::new(),
         dedup_hits: seed.dedup_hits,
         faults: seed.faults,
+        timed: obs.enabled(),
+        succ_time: Duration::ZERO,
+        dedup_time: Duration::ZERO,
     };
     for (idx, state) in search.states.iter().enumerate() {
         search.index.insert(state.clone(), idx);
@@ -791,6 +829,7 @@ where
     let mut states_per_depth = seed.states_per_depth;
     let mut depth = seed.depth;
     let mut last_checkpoint = Instant::now();
+    let mut last_heartbeat = Instant::now();
     // A budget already spent (cancelled before start, expired deadline)
     // stops the search before the first expansion: one state, zero work.
     let mut stop: Option<StopReason> = config.budget.check(search.heap_estimate()).err();
@@ -800,15 +839,46 @@ where
         let _level = obs.span(&format!("mc.level:{depth}"));
         let level_start = search.states.len();
         let level_faults = search.faults.len();
+        let (succ_before, dedup_before) = (search.succ_time, search.dedup_time);
         stop = expand(model, &mut search, &frontier, depth, limits);
         states_per_depth.push(search.states.len() - level_start);
         obs.gauge("mc.frontier", search.next_frontier.len() as f64);
         obs.counter("mc.states", search.next_frontier.len() as u64);
+        if search.timed {
+            // Per-level phase split: successor generation vs. merge/dedup
+            // (suffixed like the rewrite engine's per-rule counters, so
+            // prefix queries rank levels by cost).
+            let succ_us = (search.succ_time - succ_before).as_micros() as u64;
+            let dedup_us = (search.dedup_time - dedup_before).as_micros() as u64;
+            if succ_us > 0 {
+                obs.counter(&format!("mc.succ_us:{depth}"), succ_us);
+            }
+            if dedup_us > 0 {
+                obs.counter(&format!("mc.dedup_us:{depth}"), dedup_us);
+            }
+        }
         let new_faults = search.faults.len() - level_faults;
         if new_faults > 0 {
             obs.counter("mc.worker_fault", new_faults as u64);
         }
         frontier = std::mem::take(&mut search.next_frontier);
+        let every = config.heartbeat_every_secs;
+        if every > 0 && last_heartbeat.elapsed().as_secs() >= every {
+            last_heartbeat = Instant::now();
+            // Rates go through the shared guard: a heartbeat early in a
+            // fast run omits the rate instead of fabricating one.
+            let rate =
+                equitls_obs::summary::rate_per_sec(search.states.len() as u64, start.elapsed())
+                    .map(|r| format!(", {r:.0} states/s"))
+                    .unwrap_or_default();
+            eprintln!(
+                "mc: depth {depth}: {} states, frontier {}, dedup {} ({:.1?} elapsed{rate})",
+                search.states.len(),
+                frontier.len(),
+                search.dedup_hits,
+                start.elapsed(),
+            );
+        }
         // The level barrier is the only point where the search state is a
         // complete, deterministic prefix of the full run — checkpoint
         // here. A mid-level stop leaves the previous barrier's snapshot

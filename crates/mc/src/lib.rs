@@ -42,7 +42,8 @@ pub mod scenario;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::check::{
-        check_scope, check_scope_config, check_scope_jobs, check_scope_resume, expected_outcomes,
+        check_scope, check_scope_config, check_scope_config_obs, check_scope_jobs,
+        check_scope_resume, check_scope_resume_obs, expected_outcomes,
     };
     pub use crate::explorer::{
         explore, explore_jobs, explore_resume_with_config_jobs, explore_with_config,

@@ -50,10 +50,15 @@ impl Event {
     }
 
     /// The JSONL rendering of this event, stamped with `t_us`
-    /// (microseconds since the sink was created). One line, no newline.
-    pub fn to_json(&self, t_us: u128) -> JsonValue {
-        let mut fields: Vec<(String, JsonValue)> =
-            vec![("t_us".into(), JsonValue::from_u128(t_us))];
+    /// (microseconds since the sink was created) and `tid` (the small
+    /// per-process thread number from [`crate::sink::current_tid`], so a
+    /// trace reader can pair span enters/exits per thread). One line, no
+    /// newline.
+    pub fn to_json(&self, t_us: u128, tid: u64) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("t_us".into(), JsonValue::from_u128(t_us)),
+            ("tid".into(), JsonValue::from_u128(u128::from(tid))),
+        ];
         match self {
             Event::SpanEnter { name } => {
                 fields.push(("type".into(), JsonValue::String("span_enter".into())));
@@ -76,6 +81,55 @@ impl Event {
             }
         }
         JsonValue::Object(fields)
+    }
+}
+
+/// An [`Event`] stamped with its capture time and originating thread —
+/// the unit a trace file stores and the offline tools consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Microseconds since the sink (hence the run) started.
+    pub t_us: u64,
+    /// Small per-process thread number (see [`crate::sink::current_tid`]).
+    pub tid: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// The JSONL rendering (one line, no newline).
+    pub fn to_json(&self) -> JsonValue {
+        self.event.to_json(u128::from(self.t_us), self.tid)
+    }
+
+    /// Rebuild a timed event from a parsed trace line. Returns `None` for
+    /// objects that are not an event (unknown `type`, missing fields) —
+    /// the offline tools skip those lines rather than fail the whole
+    /// trace. A missing `tid` (traces from older builds) reads as `0`.
+    pub fn from_json(value: &JsonValue) -> Option<TimedEvent> {
+        let field_u64 = |key: &str| value.get(key).and_then(JsonValue::as_f64).map(|v| v as u64);
+        let name = value.get("name").and_then(JsonValue::as_str)?.to_string();
+        let event = match value.get("type").and_then(JsonValue::as_str)? {
+            "span_enter" => Event::SpanEnter { name },
+            "span_exit" => Event::SpanExit {
+                name,
+                dur: Duration::from_micros(field_u64("dur_us")?),
+            },
+            "counter" => Event::Counter {
+                name,
+                delta: field_u64("delta")?,
+            },
+            "gauge" => Event::Gauge {
+                name,
+                value: value.get("value").and_then(JsonValue::as_f64)?,
+            },
+            _ => return None,
+        };
+        Some(TimedEvent {
+            t_us: field_u64("t_us")?,
+            tid: field_u64("tid").unwrap_or(0),
+            event,
+        })
     }
 }
 
@@ -102,13 +156,26 @@ mod tests {
             },
         ];
         for e in &events {
-            let line = e.to_json(42).to_string();
+            let line = e.to_json(42, 1).to_string();
             let parsed = json::parse(&line).expect("line parses");
             assert_eq!(parsed.get("t_us").and_then(JsonValue::as_f64), Some(42.0));
+            assert_eq!(parsed.get("tid").and_then(JsonValue::as_f64), Some(1.0));
             assert_eq!(
                 parsed.get("name").and_then(JsonValue::as_str),
                 Some(e.name())
             );
+            let timed = TimedEvent::from_json(&parsed).expect("line round-trips");
+            assert_eq!(timed.t_us, 42);
+            assert_eq!(timed.tid, 1);
+            assert_eq!(&timed.event, e);
         }
+    }
+
+    #[test]
+    fn non_event_objects_are_skipped_not_errors() {
+        let parsed = json::parse(r#"{"type":"comment","name":"x","t_us":1}"#).unwrap();
+        assert!(TimedEvent::from_json(&parsed).is_none());
+        let parsed = json::parse(r#"{"t_us":1}"#).unwrap();
+        assert!(TimedEvent::from_json(&parsed).is_none());
     }
 }

@@ -1,0 +1,265 @@
+//! Log-bucketed histograms for latency distributions.
+//!
+//! The profiling layer needs percentiles (p50/p90/p99) over thousands of
+//! span durations without keeping every sample. A [`Histogram`] buckets
+//! values by their binary order of magnitude: bucket `i` holds values `v`
+//! with `floor(log2(v)) == i` (value `0` lands in bucket 0 alongside
+//! `1`). That bounds the relative quantile error by 2× — plenty for "is
+//! this rule 40× hotter than that one" — while keeping the structure a
+//! flat array of 64 counters that merges by element-wise addition.
+//!
+//! Merging is **associative and commutative**: folding worker-pool
+//! histograms in any order yields identical buckets, hence identical
+//! percentiles. That property is what lets the prover merge per-worker
+//! observations without breaking the jobs-invariance contract, and it is
+//! pinned by the tests below.
+
+use std::time::Duration;
+
+/// Number of buckets: one per possible `floor(log2(v))` of a `u64`.
+const BUCKETS: usize = 64;
+
+/// A mergeable log₂-bucketed histogram over `u64` samples (microseconds,
+/// by convention, but the structure is unit-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`: `floor(log2(max(value, 1)))`.
+    fn bucket_of(value: u64) -> usize {
+        (63 - (value | 1).leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a duration as whole microseconds.
+    pub fn record_duration(&mut self, dur: Duration) {
+        self.record(u64::try_from(dur.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold `other` into `self` (element-wise bucket addition).
+    ///
+    /// Associative and commutative: any merge order over any grouping of
+    /// the same samples produces the same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The largest recorded sample, exact (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`), as the upper bound
+    /// of the bucket containing the `ceil(q · count)`-th smallest sample
+    /// — an overestimate by at most 2×. Returns `0` for an empty
+    /// histogram. The estimate never exceeds the exact [`Histogram::max`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the sample the quantile asks for, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1; clamp to the
+                // exact max so p99 never reports past the worst sample.
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Render a microsecond quantity human-readably (`17µs`, `3.2ms`, `1.75s`).
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn buckets_follow_binary_magnitude() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in [3, 5, 90] {
+            h.record(v);
+        }
+        // rank(p50) = 2 → the 5 sample, bucket 2, upper bound 7.
+        assert_eq!(h.p50(), 7);
+        // rank(p99) = 3 → the 90 sample, bucket 6 upper bound 127,
+        // clamped to the exact max.
+        assert_eq!(h.p99(), 90);
+        assert_eq!(h.max(), 90);
+        assert_eq!(h.mean(), 32);
+    }
+
+    #[test]
+    fn quantile_overestimates_by_at_most_two_x() {
+        let mut rng = SplitMix64::new(7);
+        let mut h = Histogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..1000 {
+            let v = rng.next_u64() % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            assert!(
+                est <= exact.saturating_mul(2).max(1),
+                "q={q}: estimate {est} beyond 2× exact {exact}"
+            );
+        }
+    }
+
+    /// Satellite: merge order never changes any percentile. Split one
+    /// sample stream into worker shards, merge the shards in several
+    /// orders and groupings, and require bit-identical histograms.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = SplitMix64::new(42);
+        let shards: Vec<Histogram> = (0..5)
+            .map(|_| {
+                let mut h = Histogram::new();
+                for _ in 0..200 {
+                    h.record(rng.next_u64() % 100_000);
+                }
+                h
+            })
+            .collect();
+
+        // Left fold: ((((a·b)·c)·d)·e)
+        let mut left = Histogram::new();
+        for s in &shards {
+            left.merge(s);
+        }
+        // Right fold: a·(b·(c·(d·e)))
+        let mut right = Histogram::new();
+        for s in shards.iter().rev() {
+            right.merge(s);
+        }
+        // Balanced tree: (a·b)·((c·d)·e)
+        let mut ab = shards[0].clone();
+        ab.merge(&shards[1]);
+        let mut cd = shards[2].clone();
+        cd.merge(&shards[3]);
+        cd.merge(&shards[4]);
+        ab.merge(&cd);
+
+        assert_eq!(left, right, "fold direction must not matter");
+        assert_eq!(left, ab, "grouping must not matter");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), right.quantile(q));
+            assert_eq!(left.quantile(q), ab.quantile(q));
+        }
+        assert_eq!(left.count(), 1000);
+    }
+
+    #[test]
+    fn format_us_picks_sane_units() {
+        assert_eq!(format_us(17), "17µs");
+        assert_eq!(format_us(3_200), "3.2ms");
+        assert_eq!(format_us(1_750_000), "1.75s");
+    }
+}

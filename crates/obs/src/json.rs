@@ -212,6 +212,18 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
         .map_err(|_| err(start, "invalid number"))
 }
 
+/// Read the four hex digits of a `\u` escape starting at byte `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| err(at, "truncated \\u escape"))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| err(at, "bad \\u escape"))?;
+    if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(err(at, "bad \\u escape"));
+    }
+    u32::from_str_radix(hex, 16).map_err(|_| err(at, "bad \\u escape"))
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     debug_assert_eq!(bytes[*pos], b'"');
     *pos += 1;
@@ -235,17 +247,36 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let hex =
-                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "bad \\u escape"))?;
-                        // Surrogates are not produced by our writer; map
-                        // unpaired ones to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        match code {
+                            // A high surrogate must be completed by a
+                            // `\uDC00..\uDFFF` escape immediately after;
+                            // together they name one supplementary-plane
+                            // character (UTF-16 in the wire format, one
+                            // scalar in the decoded string).
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err(err(*pos, "lone high surrogate in \\u escape"));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(err(*pos, "lone high surrogate in \\u escape"));
+                                }
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| err(*pos, "bad surrogate pair"))?,
+                                );
+                                *pos += 6;
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(err(*pos, "lone low surrogate in \\u escape"));
+                            }
+                            _ => out.push(
+                                char::from_u32(code).ok_or_else(|| err(*pos, "bad \\u escape"))?,
+                            ),
+                        }
                     }
                     _ => return Err(err(*pos, "invalid escape")),
                 }
@@ -370,6 +401,70 @@ mod tests {
     #[test]
     fn malformed_input_is_rejected() {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "1 2", "tru"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn every_control_char_escapes_and_round_trips() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let s = format!("a{c}b");
+            let rendered = JsonValue::String(s.clone()).to_string();
+            assert!(
+                rendered.bytes().all(|b| b >= 0x20),
+                "U+{code:04X} must not appear raw in {rendered:?}"
+            );
+            let parsed = parse(&rendered).expect("control escape parses");
+            assert_eq!(parsed.as_str(), Some(s.as_str()), "U+{code:04X}");
+        }
+    }
+
+    #[test]
+    fn non_bmp_unicode_round_trips() {
+        // Supplementary-plane characters, raw and as surrogate-pair
+        // escapes: 𝔸 (U+1D538), 😀 (U+1F600).
+        let raw = "math 𝔸 emoji 😀";
+        let rendered = JsonValue::String(raw.to_string()).to_string();
+        assert_eq!(parse(&rendered).unwrap().as_str(), Some(raw));
+
+        let escaped = "\"\\ud835\\udd38 \\uD83D\\uDE00\"";
+        assert_eq!(parse(escaped).unwrap().as_str(), Some("𝔸 😀"));
+    }
+
+    #[test]
+    fn bmp_u_escapes_still_parse() {
+        assert_eq!(parse("\"\\u2200x\"").unwrap().as_str(), Some("∀x"));
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        let cases = [
+            "\"\\uD800\"",        // lone high at end of string
+            "\"\\uD800x\"",       // high followed by a plain char
+            "\"\\uD800\\n\"",     // high followed by a non-\u escape
+            "\"\\uDC00\"",        // lone low
+            "\"\\uD800\\uD800\"", // high followed by another high
+            "\"\\uD800\\u0041\"", // high completed by a non-surrogate
+        ];
+        for bad in cases {
+            let e = parse(bad).expect_err(&format!("{bad} must be rejected"));
+            assert!(
+                e.message.contains("surrogate"),
+                "{bad}: error names the surrogate problem, got {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_malformed_u_escapes_are_rejected() {
+        for bad in [
+            "\"\\u12\"",
+            "\"\\u12g4\"",
+            "\"\\u+123\"",
+            "\"\\uD83D\\uDE\"",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
     }

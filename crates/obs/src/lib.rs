@@ -20,6 +20,12 @@
 //!   (used to validate trace round-trips) — no serde;
 //! * [`summary`] — plain-text table rendering and an event aggregator
 //!   ([`summary::MetricsSummary`]) for human-readable reports;
+//! * [`hist`] — log-bucketed, mergeable latency [`hist::Histogram`]s
+//!   (p50/p90/p99/max) with an associative merge;
+//! * [`profile`] — a stack [`profile::Profiler`] attributing wall time
+//!   to scope paths, with folded-stack (flamegraph) output;
+//! * [`trace`] — offline trace analysis: load a JSONL trace, export it
+//!   as Chrome trace-event JSON or folded stacks, diff two runs;
 //! * [`rng`] — a deterministic SplitMix64 generator so benchmarks and
 //!   property tests need no external `rand`.
 //!
@@ -46,19 +52,27 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod rng;
 pub mod sink;
 pub mod summary;
+pub mod trace;
 
-pub use event::Event;
+pub use event::{Event, TimedEvent};
+pub use hist::Histogram;
+pub use profile::Profiler;
 pub use sink::{EventSink, JsonlSink, NoopSink, Obs, RecordingSink, SpanGuard, TeeSink};
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::event::Event;
+    pub use crate::event::{Event, TimedEvent};
+    pub use crate::hist::Histogram;
     pub use crate::json::JsonValue;
+    pub use crate::profile::Profiler;
     pub use crate::rng::SplitMix64;
     pub use crate::sink::{EventSink, JsonlSink, NoopSink, Obs, RecordingSink, SpanGuard, TeeSink};
     pub use crate::summary::{MetricsSummary, Table};
+    pub use crate::trace::Trace;
 }

@@ -5,11 +5,27 @@
 //! paths (the rewrite engine's inner loop) pay nothing measurable when
 //! tracing is off.
 
-use crate::event::Event;
+use crate::event::{Event, TimedEvent};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A small, stable-per-thread process-local thread number, assigned in
+/// order of first use starting from 1.
+///
+/// `std::thread::ThreadId` has no stable integer projection, and trace
+/// consumers (Chrome trace events, folded stacks) want small integers to
+/// pair span enters/exits per thread. Numbers are never reused within a
+/// process; which worker gets which number depends on scheduling, so tids
+/// are trace metadata only — never part of a verdict.
+pub fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
 
 /// A destination for observability events.
 ///
@@ -50,35 +66,91 @@ impl EventSink for NoopSink {
     fn record(&self, _event: &Event) {}
 }
 
-/// An in-memory sink for tests and summaries.
-#[derive(Debug, Default)]
+/// An in-memory sink for tests, summaries, and in-process profiling.
+///
+/// Events are stamped with capture time and thread on the way in (see
+/// [`RecordingSink::timed_events`]), and the buffer is **bounded**: once
+/// `capacity` events are held, further events are counted as dropped
+/// ([`EventSink::dropped_events`]) instead of growing the heap without
+/// limit on a long profiled campaign. Summaries disclose the overflow the
+/// same way they disclose sink I/O failures.
+#[derive(Debug)]
 pub struct RecordingSink {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<Vec<TimedEvent>>,
+    start: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        RecordingSink::new()
+    }
 }
 
 impl RecordingSink {
-    /// An empty recorder.
+    /// The default buffer bound: ~1M events, a few hundred MB worst-case
+    /// — far above any test workload, low enough that an unattended
+    /// profiled campaign cannot exhaust memory through its own telemetry.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An empty recorder with the default capacity.
     pub fn new() -> Self {
-        RecordingSink::default()
+        RecordingSink::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty recorder holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecordingSink {
+            events: Mutex::new(Vec::new()),
+            start: Instant::now(),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
     }
 
     /// A snapshot of everything recorded so far, in order.
     pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("recording sink poisoned")
+            .iter()
+            .map(|t| t.event.clone())
+            .collect()
+    }
+
+    /// Like [`RecordingSink::events`], with each event's capture time
+    /// (µs since the sink was created) and thread number — the same
+    /// stamps a [`JsonlSink`] writes, for in-process trace export.
+    pub fn timed_events(&self) -> Vec<TimedEvent> {
         self.events.lock().expect("recording sink poisoned").clone()
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events and reset the overflow counter.
     pub fn clear(&self) {
         self.events.lock().expect("recording sink poisoned").clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
 impl EventSink for RecordingSink {
     fn record(&self, event: &Event) {
-        self.events
-            .lock()
-            .expect("recording sink poisoned")
-            .push(event.clone());
+        let t_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut events = self.events.lock().expect("recording sink poisoned");
+        if events.len() >= self.capacity {
+            drop(events);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(TimedEvent {
+            t_us,
+            tid: current_tid(),
+            event: event.clone(),
+        });
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -115,7 +187,7 @@ impl JsonlSink {
 impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
         let t_us = self.start.elapsed().as_micros();
-        let line = event.to_json(t_us).to_string();
+        let line = event.to_json(t_us, current_tid()).to_string();
         // Trace writing is best-effort: a full disk must not abort a
         // proof, and a writer poisoned by a panicking sibling is still a
         // writer (the buffered bytes are intact) — but every failure is
@@ -376,6 +448,39 @@ mod tests {
         obs.gauge("b", 2.0);
         obs.flush();
         assert_eq!(obs.dropped_events(), 2, "every failed write is counted");
+    }
+
+    #[test]
+    fn recording_sink_bounds_its_buffer_and_counts_overflow() {
+        let recorder = Arc::new(RecordingSink::with_capacity(3));
+        let obs = Obs::new(recorder.clone());
+        for i in 0..5 {
+            obs.counter(&format!("c{i}"), 1);
+        }
+        assert_eq!(recorder.events().len(), 3, "buffer stops at capacity");
+        assert_eq!(obs.dropped_events(), 2, "overflow is disclosed");
+        let names: Vec<String> = recorder.events().iter().map(|e| e.name().into()).collect();
+        assert_eq!(names, ["c0", "c1", "c2"], "oldest events are kept");
+        recorder.clear();
+        assert_eq!(recorder.dropped_events(), 0, "clear resets the counter");
+        obs.counter("again", 1);
+        assert_eq!(recorder.events().len(), 1);
+    }
+
+    #[test]
+    fn recording_sink_stamps_time_and_thread() {
+        let recorder = Arc::new(RecordingSink::new());
+        let obs = Obs::new(recorder.clone());
+        obs.counter("here", 1);
+        let obs2 = obs.clone();
+        std::thread::spawn(move || obs2.counter("there", 1))
+            .join()
+            .unwrap();
+        let timed = recorder.timed_events();
+        assert_eq!(timed.len(), 2);
+        assert_eq!(timed[0].tid, current_tid());
+        assert_ne!(timed[0].tid, timed[1].tid, "threads get distinct tids");
+        assert!(timed[0].t_us <= timed[1].t_us, "stamps are monotone");
     }
 
     #[test]

@@ -1,9 +1,29 @@
 //! Human-readable summaries: plain-text tables and an event aggregator.
 
 use crate::event::Event;
+use crate::hist::{format_us, Histogram};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Shortest interval over which a rendered rate is honest. Below this,
+/// clock granularity dominates and `count / duration` is noise.
+const MIN_MEASURABLE_SECS: f64 = 1e-3;
+
+/// `count / duration` as an events-per-second rate, or `None` when the
+/// interval is too short (< 1ms) to support a meaningful rate.
+///
+/// Every *rendered* rate goes through this guard: a sub-millisecond run
+/// omits the figure instead of reporting a quantized, misleading one
+/// (the same rule `Exploration::states_per_sec` applies internally).
+pub fn rate_per_sec(count: u64, duration: Duration) -> Option<f64> {
+    let secs = duration.as_secs_f64();
+    if secs < MIN_MEASURABLE_SECS {
+        None
+    } else {
+        Some(count as f64 / secs)
+    }
+}
 
 /// Column alignment for [`Table`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +134,7 @@ pub struct MetricsSummary {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     spans: BTreeMap<String, SpanAgg>,
+    span_hists: BTreeMap<String, Histogram>,
     dropped_events: u64,
 }
 
@@ -136,6 +157,10 @@ impl MetricsSummary {
                     agg.count += 1;
                     agg.total += *dur;
                     agg.max = agg.max.max(*dur);
+                    s.span_hists
+                        .entry(name.clone())
+                        .or_default()
+                        .record_duration(*dur);
                 }
                 Event::SpanEnter { .. } => {}
             }
@@ -156,6 +181,36 @@ impl MetricsSummary {
     /// Aggregated timing for span `name`.
     pub fn span(&self, name: &str) -> Option<SpanAgg> {
         self.spans.get(name).copied()
+    }
+
+    /// The latency distribution of span `name` (one µs sample per
+    /// completed enter/exit pair).
+    pub fn span_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.span_hists.get(name)
+    }
+
+    /// Fold another summary's totals into this one (e.g. merging
+    /// per-worker recorders). Counters and span aggregates add; gauges
+    /// keep `other`'s value when both define one; dropped-event counts
+    /// add. Histogram merging is associative, so the fold order never
+    /// changes a percentile.
+    pub fn merge(&mut self, other: &MetricsSummary) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.spans {
+            let agg = self.spans.entry(k.clone()).or_default();
+            agg.count += v.count;
+            agg.total += v.total;
+            agg.max = agg.max.max(v.max);
+        }
+        for (k, v) in &other.span_hists {
+            self.span_hists.entry(k.clone()).or_default().merge(v);
+        }
+        self.dropped_events += other.dropped_events;
     }
 
     /// Record how many events the sink stack dropped while this summary's
@@ -206,6 +261,54 @@ impl MetricsSummary {
             ]);
         }
         let mut out = table.render();
+        self.append_dropped_note(&mut out);
+        out
+    }
+
+    /// Render the latency distribution of every span name as a table
+    /// (count, p50/p90/p99, max, total), ordered by total time. A `rate`
+    /// column reports completions per second where the total duration is
+    /// long enough to measure, `-` otherwise (see [`rate_per_sec`]).
+    pub fn render_histogram_table(&self) -> String {
+        let mut table = Table::new(
+            &[
+                "span", "count", "p50", "p90", "p99", "max", "total", "rate/s",
+            ],
+            &[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ],
+        );
+        for (name, agg) in self.spans_by_total() {
+            let Some(h) = self.span_hists.get(&name) else {
+                continue;
+            };
+            let rate = rate_per_sec(h.count(), agg.total)
+                .map(|r| format!("{r:.0}"))
+                .unwrap_or_else(|| "-".into());
+            table.row(vec![
+                name,
+                h.count().to_string(),
+                format_us(h.p50()),
+                format_us(h.p90()),
+                format_us(h.p99()),
+                format_us(h.max()),
+                format!("{:.2?}", agg.total),
+                rate,
+            ]);
+        }
+        let mut out = table.render();
+        self.append_dropped_note(&mut out);
+        out
+    }
+
+    fn append_dropped_note(&self, out: &mut String) {
         if self.dropped_events > 0 {
             let _ = writeln!(
                 out,
@@ -213,7 +316,6 @@ impl MetricsSummary {
                 self.dropped_events
             );
         }
-        out
     }
 }
 
@@ -299,6 +401,87 @@ mod tests {
         assert!(s
             .render_span_table()
             .contains("3 event(s) dropped by the sink stack"));
+    }
+
+    #[test]
+    fn span_histograms_track_distribution() {
+        let mut events = Vec::new();
+        for ms in [1u64, 2, 4, 100] {
+            events.push(Event::SpanEnter { name: "p".into() });
+            events.push(Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(ms),
+            });
+        }
+        let s = MetricsSummary::from_events(&events);
+        let h = s.span_histogram("p").expect("histogram exists");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 100_000);
+        assert!(h.p99() >= 100_000, "p99 reaches the slowest sample");
+        let table = s.render_histogram_table();
+        assert!(table.contains('p'), "span name is listed");
+        assert!(table.contains("100.0ms"), "max column renders: {table}");
+    }
+
+    #[test]
+    fn rates_are_omitted_on_sub_millisecond_intervals() {
+        assert_eq!(rate_per_sec(1000, Duration::from_micros(500)), None);
+        assert_eq!(rate_per_sec(1000, Duration::ZERO), None);
+        let r = rate_per_sec(1000, Duration::from_secs(2)).expect("measurable");
+        assert!((r - 500.0).abs() < 1e-9);
+
+        // A fast span renders `-` in the rate column instead of a number.
+        let events = vec![
+            Event::SpanEnter {
+                name: "fast".into(),
+            },
+            Event::SpanExit {
+                name: "fast".into(),
+                dur: Duration::from_micros(3),
+            },
+        ];
+        let s = MetricsSummary::from_events(&events);
+        let table = s.render_histogram_table();
+        let row = table.lines().last().unwrap();
+        assert!(row.trim_end().ends_with('-'), "no fabricated rate: {row}");
+    }
+
+    #[test]
+    fn merge_adds_counters_spans_and_dropped_counts() {
+        let a_events = vec![
+            Event::Counter {
+                name: "n".into(),
+                delta: 2,
+            },
+            Event::SpanEnter { name: "p".into() },
+            Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(5),
+            },
+        ];
+        let b_events = vec![
+            Event::Counter {
+                name: "n".into(),
+                delta: 3,
+            },
+            Event::SpanEnter { name: "p".into() },
+            Event::SpanExit {
+                name: "p".into(),
+                dur: Duration::from_millis(7),
+            },
+        ];
+        let mut a = MetricsSummary::from_events(&a_events);
+        a.set_dropped_events(1);
+        let mut b = MetricsSummary::from_events(&b_events);
+        b.set_dropped_events(2);
+        a.merge(&b);
+        assert_eq!(a.counter_total("n"), 5);
+        let agg = a.span("p").unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total, Duration::from_millis(12));
+        assert_eq!(agg.max, Duration::from_millis(7));
+        assert_eq!(a.span_histogram("p").unwrap().count(), 2);
+        assert_eq!(a.dropped_events(), 3);
     }
 
     #[test]

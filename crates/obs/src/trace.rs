@@ -1,0 +1,398 @@
+//! Offline trace analysis: load a JSONL trace, summarize it, convert it
+//! to Chrome trace-event JSON or folded stacks, and diff two runs.
+//!
+//! This module is the engine behind the `tls-trace` binary and the
+//! `--profile` flag: everything here operates on [`TimedEvent`]s, whether
+//! they come from a `.jsonl` file written by a
+//! [`crate::sink::JsonlSink`] or straight out of a
+//! [`crate::sink::RecordingSink`] in the same process.
+
+use crate::event::{Event, TimedEvent};
+use crate::json::{self, JsonValue};
+use crate::profile::Profiler;
+use crate::summary::MetricsSummary;
+use std::collections::BTreeMap;
+
+/// A loaded event trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The events, in file (i.e. capture) order.
+    pub events: Vec<TimedEvent>,
+    /// Input lines that were not event objects (malformed JSON, unknown
+    /// `type`, missing fields). A truncated final line from an
+    /// interrupted run is normal; a trace that is *all* skips is not a
+    /// trace — callers should check [`Trace::is_empty`].
+    pub skipped_lines: usize,
+}
+
+impl Trace {
+    /// Parse JSONL text, one event per line. Never fails: unusable lines
+    /// are counted in [`Trace::skipped_lines`] so an interrupted run's
+    /// torn final write does not make the whole trace unreadable.
+    pub fn parse(text: &str) -> Trace {
+        let mut trace = Trace::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match json::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(TimedEvent::from_json)
+            {
+                Some(ev) => trace.events.push(ev),
+                None => trace.skipped_lines += 1,
+            }
+        }
+        trace
+    }
+
+    /// Wrap events already in memory (e.g. from
+    /// [`crate::sink::RecordingSink::timed_events`]).
+    pub fn from_events(events: Vec<TimedEvent>) -> Trace {
+        Trace {
+            events,
+            skipped_lines: 0,
+        }
+    }
+
+    /// `true` when no events loaded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Trace extent: the largest timestamp, in µs (span exits are
+    /// stamped at their end, so this is the end of the last event). `0`
+    /// for an empty trace.
+    pub fn duration_us(&self) -> u64 {
+        self.events.iter().map(|e| e.t_us).max().unwrap_or(0)
+    }
+
+    /// Fold the trace into counters/gauges/span histograms.
+    pub fn summary(&self) -> MetricsSummary {
+        let events: Vec<Event> = self.events.iter().map(|e| e.event.clone()).collect();
+        MetricsSummary::from_events(&events)
+    }
+
+    /// The Chrome trace-event rendering: an object with a `traceEvents`
+    /// array of `B`/`E` (span begin/end) and `C` (counter/gauge sample)
+    /// records, timestamps in µs — loadable in Perfetto or
+    /// `about://tracing` as-is.
+    pub fn chrome_trace(&self) -> JsonValue {
+        let mut records = Vec::with_capacity(self.events.len());
+        // Chrome counter tracks plot absolute values; counters arrive as
+        // deltas, so accumulate per name.
+        let mut counter_totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for ev in &self.events {
+            let mut fields: Vec<(String, JsonValue)> = vec![
+                ("name".into(), JsonValue::String(ev.event.name().into())),
+                ("ts".into(), JsonValue::from_u128(u128::from(ev.t_us))),
+                ("pid".into(), JsonValue::Number(1.0)),
+                ("tid".into(), JsonValue::from_u128(u128::from(ev.tid))),
+            ];
+            let (ph, args) = match &ev.event {
+                Event::SpanEnter { .. } => ("B", None),
+                Event::SpanExit { .. } => ("E", None),
+                Event::Counter { name, delta } => {
+                    let total = counter_totals.entry(name.as_str()).or_insert(0);
+                    *total += delta;
+                    ("C", Some(("value".to_string(), *total as f64)))
+                }
+                Event::Gauge { value, .. } => ("C", Some(("value".to_string(), *value))),
+            };
+            fields.push(("ph".into(), JsonValue::String(ph.into())));
+            if let Some((key, value)) = args {
+                fields.push((
+                    "args".into(),
+                    JsonValue::Object(vec![(key, JsonValue::Number(value))]),
+                ));
+            }
+            records.push(JsonValue::Object(fields));
+        }
+        JsonValue::Object(vec![
+            ("traceEvents".into(), JsonValue::Array(records)),
+            ("displayTimeUnit".into(), JsonValue::String("ms".into())),
+        ])
+    }
+
+    /// The folded-stack rendering (`path;leaf <self-µs>` lines): spans
+    /// are replayed through one [`Profiler`] per thread and the threads
+    /// merged, so the output is a whole-process flamegraph.
+    pub fn folded(&self) -> String {
+        let mut per_tid: BTreeMap<u64, (Profiler, u64)> = BTreeMap::new();
+        for ev in &self.events {
+            let (profiler, last_t) = per_tid
+                .entry(ev.tid)
+                .or_insert_with(|| (Profiler::new(), 0));
+            *last_t = (*last_t).max(ev.t_us);
+            match &ev.event {
+                Event::SpanEnter { name } => profiler.enter_at(name, ev.t_us),
+                Event::SpanExit { .. } => profiler.exit_at(ev.t_us),
+                _ => {}
+            }
+        }
+        let mut merged = Profiler::new();
+        for (mut profiler, last_t) in per_tid.into_values() {
+            profiler.close_all_at(last_t);
+            merged.merge(&profiler);
+        }
+        merged.folded()
+    }
+}
+
+/// One compared quantity in a [`TraceDiff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// What is compared: `span:<name>` or `rule:<label>`.
+    pub name: String,
+    /// Cumulative µs in the before-trace.
+    pub before_us: u64,
+    /// Cumulative µs in the after-trace.
+    pub after_us: u64,
+    /// Relative change in percent (positive = slower after).
+    pub delta_pct: f64,
+}
+
+/// The outcome of comparing two traces.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// Every quantity present in both traces, sorted slowest-regression
+    /// first.
+    pub rows: Vec<DiffRow>,
+    /// The regression threshold the diff was taken at, in percent.
+    pub threshold_pct: f64,
+}
+
+/// Ignore changes on quantities faster than this in the before-trace:
+/// below 1ms, scheduler and clock noise swamp any real signal, mirroring
+/// the rendered-rate guard in [`crate::summary::rate_per_sec`].
+pub const DIFF_NOISE_FLOOR_US: u64 = 1_000;
+
+impl TraceDiff {
+    /// Rows whose slowdown exceeds the threshold (and whose baseline is
+    /// above the noise floor) — the reason `tls-trace diff` exits 1.
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.before_us >= DIFF_NOISE_FLOOR_US && r.delta_pct > self.threshold_pct)
+            .collect()
+    }
+
+    /// `true` when nothing regressed past the threshold.
+    pub fn is_clean(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+/// Compare two trace summaries: cumulative span times (by span name) and
+/// cumulative per-rule normalization times (the `rule.time_us:` counters)
+/// present in **both** runs. Quantities only one run has are not compared
+/// — a renamed obligation is a code change, not a regression.
+pub fn diff_summaries(
+    before: &MetricsSummary,
+    after: &MetricsSummary,
+    threshold_pct: f64,
+) -> TraceDiff {
+    let mut rows = Vec::new();
+    let mut push = |name: String, before_us: u64, after_us: u64| {
+        let delta_pct = if before_us == 0 {
+            if after_us == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (after_us as f64 - before_us as f64) / before_us as f64 * 100.0
+        };
+        rows.push(DiffRow {
+            name,
+            before_us,
+            after_us,
+            delta_pct,
+        });
+    };
+    for (name, b) in before.spans_by_total() {
+        if let Some(a) = after.span(&name) {
+            let to_us = |d: std::time::Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+            push(format!("span:{name}"), to_us(b.total), to_us(a.total));
+        }
+    }
+    let after_rules: BTreeMap<String, u64> = after
+        .counters_with_prefix("rule.time_us:")
+        .into_iter()
+        .collect();
+    for (label, b_us) in before.counters_with_prefix("rule.time_us:") {
+        if let Some(&a_us) = after_rules.get(&label) {
+            push(format!("rule:{label}"), b_us, a_us);
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.delta_pct
+            .partial_cmp(&a.delta_pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    TraceDiff {
+        rows,
+        threshold_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn span_pair(name: &str, tid: u64, start: u64, end: u64) -> [TimedEvent; 2] {
+        [
+            TimedEvent {
+                t_us: start,
+                tid,
+                event: Event::SpanEnter { name: name.into() },
+            },
+            TimedEvent {
+                t_us: end,
+                tid,
+                event: Event::SpanExit {
+                    name: name.into(),
+                    dur: Duration::from_micros(end - start),
+                },
+            },
+        ]
+    }
+
+    fn render_jsonl(events: &[TimedEvent]) -> String {
+        events
+            .iter()
+            .map(|e| e.to_json().to_string() + "\n")
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let mut events: Vec<TimedEvent> = span_pair("p", 1, 0, 50).to_vec();
+        events.push(TimedEvent {
+            t_us: 60,
+            tid: 2,
+            event: Event::Counter {
+                name: "rule.time_us:lem".into(),
+                delta: 40,
+            },
+        });
+        let text = render_jsonl(&events);
+        let trace = Trace::parse(&text);
+        assert_eq!(trace.skipped_lines, 0);
+        assert_eq!(trace.events, events);
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_are_skipped_not_fatal() {
+        let text = "{\"t_us\":1,\"tid\":1,\"type\":\"counter\",\"name\":\"c\",\"delta\":1}\n\
+                    {\"t_us\":2,\"tid\":1,\"type\":\"coun"; // torn final write
+        let trace = Trace::parse(text);
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.skipped_lines, 1);
+    }
+
+    #[test]
+    fn chrome_trace_has_paired_begin_end_records() {
+        let events: Vec<TimedEvent> = span_pair("prove", 3, 10, 90).to_vec();
+        let chrome = Trace::from_events(events).chrome_trace();
+        let JsonValue::Array(records) = chrome.get("traceEvents").unwrap() else {
+            panic!("traceEvents is an array");
+        };
+        assert_eq!(records.len(), 2);
+        let ph = |i: usize| records[i].get("ph").unwrap().as_str().unwrap().to_string();
+        assert_eq!(ph(0), "B");
+        assert_eq!(ph(1), "E");
+        assert_eq!(records[0].get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(records[0].get("tid").unwrap().as_f64(), Some(3.0));
+        // The whole document parses back (it is what we write to disk).
+        json::parse(&chrome.to_string()).expect("chrome JSON is valid");
+    }
+
+    #[test]
+    fn chrome_counters_accumulate() {
+        let mk = |t_us, delta| TimedEvent {
+            t_us,
+            tid: 1,
+            event: Event::Counter {
+                name: "n".into(),
+                delta,
+            },
+        };
+        let chrome = Trace::from_events(vec![mk(0, 2), mk(5, 3)]).chrome_trace();
+        let JsonValue::Array(records) = chrome.get("traceEvents").unwrap() else {
+            panic!()
+        };
+        let value = |i: usize| {
+            records[i]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(JsonValue::as_f64)
+        };
+        assert_eq!(value(0), Some(2.0));
+        assert_eq!(value(1), Some(5.0), "track shows the running total");
+    }
+
+    #[test]
+    fn folded_keeps_threads_stacks_separate_then_merges() {
+        let mut events = Vec::new();
+        // Thread 1: outer(0..100) wrapping inner(20..60).
+        events.push(span_pair("outer", 1, 0, 100)[0].clone());
+        events.extend(span_pair("inner", 1, 20, 60));
+        events.push(span_pair("outer", 1, 0, 100)[1].clone());
+        // Thread 2: its own flat inner(0..30) — must not nest under
+        // thread 1's outer.
+        events.extend(span_pair("inner", 2, 0, 30));
+        events.sort_by_key(|e| e.t_us);
+        let folded = Trace::from_events(events).folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"inner 30"), "thread 2 stack: {folded}");
+        assert!(lines.contains(&"outer 60"), "self time: {folded}");
+        assert!(lines.contains(&"outer;inner 40"), "nested: {folded}");
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_past_threshold_and_noise_floor() {
+        let mk_summary = |slow: u64, rule_us: u64| {
+            let events = vec![
+                Event::SpanEnter { name: "ob".into() },
+                Event::SpanExit {
+                    name: "ob".into(),
+                    dur: Duration::from_micros(slow),
+                },
+                // A fast span below the noise floor (doubles, never flags).
+                Event::SpanEnter {
+                    name: "tiny".into(),
+                },
+                Event::SpanExit {
+                    name: "tiny".into(),
+                    dur: Duration::from_micros(slow / 100),
+                },
+                Event::Counter {
+                    name: "rule.time_us:lem-a".into(),
+                    delta: rule_us,
+                },
+            ];
+            MetricsSummary::from_events(&events)
+        };
+        let before = mk_summary(10_000, 5_000);
+
+        let same = diff_summaries(&before, &mk_summary(10_000, 5_000), 20.0);
+        assert!(same.is_clean(), "identical runs do not regress");
+
+        let slower = diff_summaries(&before, &mk_summary(13_000, 5_000), 20.0);
+        let regs = slower.regressions();
+        assert_eq!(regs.len(), 1, "only the span past threshold: {regs:?}");
+        assert_eq!(regs[0].name, "span:ob");
+        assert!((regs[0].delta_pct - 30.0).abs() < 1e-9);
+
+        let rule_slower = diff_summaries(&before, &mk_summary(10_000, 6_500), 20.0);
+        assert_eq!(rule_slower.regressions()[0].name, "rule:lem-a");
+
+        // 30% slower but a 50% threshold: clean.
+        assert!(diff_summaries(&before, &mk_summary(13_000, 5_000), 50.0).is_clean());
+    }
+}

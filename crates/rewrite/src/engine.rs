@@ -301,22 +301,28 @@ impl Normalizer {
     }
 
     /// Emit the collected per-rule profiles and engine gauges as
-    /// observability events (`rule.fires:<label>`, `rule.time_us:<label>`,
-    /// `rule.attempts:<label>`, plus cache hit-rate and fuel gauges), then
-    /// clear the profiles. A no-op when the handle is disabled.
+    /// observability events (`rule.attempts:<label>`,
+    /// `rule.fires:<label>`, `rule.failures:<label>`,
+    /// `rule.blocked:<label>`, `rule.time_us:<label>`, plus cache
+    /// hit-rate and fuel gauges), then clear the profiles. Zero-valued
+    /// counters are skipped: most of the 415 TLS rules never block, and
+    /// the trace should not carry hundreds of zero lines per obligation.
+    /// A no-op when the handle is disabled.
     pub fn emit_profile(&mut self) {
         if !self.obs.enabled() {
             return;
         }
         for p in self.profiles.values() {
-            self.obs
-                .counter(&format!("rule.attempts:{}", p.label), p.attempts);
-            self.obs
-                .counter(&format!("rule.fires:{}", p.label), p.fires);
-            self.obs.counter(
-                &format!("rule.time_us:{}", p.label),
-                p.time.as_micros() as u64,
-            );
+            let emit = |kind: &str, value: u64| {
+                if value > 0 {
+                    self.obs.counter(&format!("rule.{kind}:{}", p.label), value);
+                }
+            };
+            emit("attempts", p.attempts);
+            emit("fires", p.fires);
+            emit("failures", p.failures);
+            emit("blocked", p.blocked);
+            emit("time_us", p.time.as_micros() as u64);
         }
         self.profiles.clear();
         self.obs

@@ -9,10 +9,13 @@
 //!
 //! `--trace <path.jsonl>` streams every observability event (spans,
 //! counters, gauges) as newline-delimited JSON; `--metrics` turns on
-//! per-rule profiling and prints summary tables (hot rules, per-invariant
-//! totals, wall-clock per phase) at the end of the run; `--jobs N` fans
-//! proof obligations out over N worker threads (default: available
-//! parallelism; reports are identical for every N).
+//! per-rule profiling and prints summary tables (hot rules, obligation
+//! latency histograms, per-invariant totals, wall-clock per phase) at the
+//! end of the run; `--profile <path.json>` additionally writes the run as
+//! Chrome trace-event JSON (open in Perfetto or `about://tracing`;
+//! convert or diff with `tls-trace`); `--jobs N` fans proof obligations
+//! out over N worker threads (default: available parallelism; reports
+//! are identical for every N — profiling never changes a verdict).
 //!
 //! Robustness flags: `--deadline-ms N` bounds the whole run by wall
 //! clock, `--max-mem-mb N` caps the term-arena heap estimate, and
@@ -35,6 +38,7 @@
 use equitls_core::prelude::{render_report_table, CoreError, ProofReport};
 use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
 use equitls_obs::summary::{Align, MetricsSummary, Table};
+use equitls_obs::trace::Trace;
 use equitls_persist::{peek_meta, SnapshotMeta};
 use equitls_rewrite::budget::Budget;
 use equitls_tls::verify::VerifyOptions;
@@ -55,6 +59,8 @@ struct Options {
     variant: bool,
     metrics: bool,
     trace: Option<std::path::PathBuf>,
+    /// Chrome trace-event JSON output path (implies profiling).
+    profile: Option<std::path::PathBuf>,
     /// Worker threads for proof obligations; `0` = available parallelism.
     jobs: usize,
     /// Wall-clock budget for the whole run, in milliseconds.
@@ -86,6 +92,7 @@ fn parse_args() -> Options {
         variant: false,
         metrics: false,
         trace: None,
+        profile: None,
         jobs: 0,
         deadline_ms: None,
         max_mem_mb: None,
@@ -106,6 +113,13 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
                 opts.trace = Some(path.into());
+            }
+            "--profile" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--profile needs a file path (e.g. --profile run.json)");
+                    std::process::exit(2);
+                });
+                opts.profile = Some(path.into());
             }
             "--jobs" => {
                 opts.jobs = numeric_flag(
@@ -168,8 +182,9 @@ fn parse_args() -> Options {
 fn run() {
     let opts = parse_args();
     // Assemble the sink stack: a JSONL stream when tracing, an in-memory
-    // recorder when summarizing, a tee when both.
-    let recorder = opts.metrics.then(|| Arc::new(RecordingSink::new()));
+    // recorder when summarizing or profiling, a tee when both.
+    let want_recorder = opts.metrics || opts.profile.is_some();
+    let recorder = want_recorder.then(|| Arc::new(RecordingSink::new()));
     let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
     if let Some(path) = &opts.trace {
         match JsonlSink::create(path) {
@@ -220,7 +235,7 @@ fn run() {
     let verify_opts = VerifyOptions {
         budget,
         fuel: opts.fuel,
-        profile_rules: opts.metrics,
+        profile_rules: want_recorder,
         jobs: opts.jobs,
         checkpoint_path: opts.checkpoint.clone(),
         checkpoint_every_secs: opts.checkpoint_every_secs,
@@ -267,6 +282,19 @@ fn run() {
     println!("{}", render_report_table(&reports));
 
     if let Some(rec) = &recorder {
+        if let Some(path) = &opts.profile {
+            let chrome = Trace::from_events(rec.timed_events()).chrome_trace();
+            match std::fs::write(path, chrome.to_string()) {
+                Ok(()) => eprintln!(
+                    "Chrome trace written to {} (open in Perfetto)",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("cannot write profile {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
         let mut summary = MetricsSummary::from_events(&rec.events());
         summary.set_dropped_events(obs.dropped_events());
         if let Some(meta) = &resumed_meta {
@@ -376,6 +404,6 @@ fn print_metrics(summary: &MetricsSummary, reports: &[ProofReport]) {
     print!("{}", table.render());
     println!();
 
-    println!("wall-clock per phase");
-    print!("{}", summary.render_span_table());
+    println!("wall-clock per phase (latency histograms; rates omitted below 1ms)");
+    print!("{}", summary.render_histogram_table());
 }

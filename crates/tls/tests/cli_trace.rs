@@ -1,0 +1,153 @@
+//! End-to-end tests for the `tls-trace` binary: the regression-diff exit
+//! codes (the acceptance gate for perf PRs), plus summarize/export smoke
+//! on synthetic fixtures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tls_trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tls-trace"))
+        .args(args)
+        .output()
+        .expect("tls-trace runs")
+}
+
+/// A fresh fixture path under the system temp dir.
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("equitls_trace_{}_{name}", std::process::id()))
+}
+
+/// A synthetic single-thread trace: two `prover.obligation:base` span
+/// round-trips plus a per-rule time counter, with every span total scaled
+/// by `scale_us` so fixtures can model slowdowns.
+fn write_fixture(name: &str, scale_us: u64) -> PathBuf {
+    let span = "prover.obligation:base";
+    let mut lines = String::new();
+    let mut t = 0u64;
+    for _ in 0..2 {
+        lines.push_str(&format!(
+            r#"{{"t_us":{t},"tid":1,"type":"span_enter","name":"{span}"}}"#
+        ));
+        lines.push('\n');
+        t += scale_us;
+        lines.push_str(&format!(
+            r#"{{"t_us":{t},"tid":1,"type":"span_exit","name":"{span}","dur_us":{scale_us}}}"#
+        ));
+        lines.push('\n');
+    }
+    lines.push_str(&format!(
+        r#"{{"t_us":{t},"tid":1,"type":"counter","name":"rule.time_us:cpms-kx","delta":{scale_us}}}"#
+    ));
+    lines.push('\n');
+    let path = tmp(name);
+    std::fs::write(&path, lines).expect("fixture written");
+    path
+}
+
+#[test]
+fn diff_flags_a_30_percent_slowdown_and_exits_nonzero() {
+    // Spans well above the 1ms noise floor; after is 30% slower.
+    let before = write_fixture("slow_before.jsonl", 10_000);
+    let after = write_fixture("slow_after.jsonl", 13_000);
+
+    let out = tls_trace(&[
+        "diff",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+        "--threshold-pct",
+        "20",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "regression exits 1:\n{stdout}");
+    assert!(stdout.contains("REGRESSION"), "rows are flagged:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "verdict line:\n{stdout}");
+    // Both the span and the per-rule counter slowed down by 30%.
+    assert!(stdout.contains("span:prover.obligation:base"), "{stdout}");
+    assert!(stdout.contains("rule:cpms-kx"), "{stdout}");
+
+    // The same pair is clean under a 50% threshold.
+    let out = tls_trace(&[
+        "diff",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+        "--threshold-pct",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "30% < 50% threshold is clean");
+
+    let _ = std::fs::remove_file(&before);
+    let _ = std::fs::remove_file(&after);
+}
+
+#[test]
+fn diff_of_a_run_against_itself_is_clean() {
+    let run = write_fixture("self.jsonl", 10_000);
+    let out = tls_trace(&["diff", run.to_str().unwrap(), run.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "self-diff is clean:\n{stdout}");
+    assert!(stdout.contains("OK"), "{stdout}");
+    let _ = std::fs::remove_file(&run);
+}
+
+#[test]
+fn summarize_renders_histogram_and_hot_rule_tables() {
+    let run = write_fixture("summ.jsonl", 10_000);
+    let out = tls_trace(&["summarize", run.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "summarize succeeds:\n{stdout}");
+    assert!(stdout.contains("span latency"), "{stdout}");
+    assert!(stdout.contains("prover.obligation:base"), "{stdout}");
+    assert!(stdout.contains("p99"), "{stdout}");
+    assert!(stdout.contains("hot rules"), "{stdout}");
+    assert!(stdout.contains("cpms-kx"), "{stdout}");
+    let _ = std::fs::remove_file(&run);
+}
+
+#[test]
+fn export_writes_chrome_trace_and_folded_stacks() {
+    let run = write_fixture("export.jsonl", 10_000);
+    let chrome = tmp("export_chrome.json");
+    let folded = tmp("export.folded");
+
+    let out = tls_trace(&[
+        "export",
+        run.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "chrome export succeeds");
+    let chrome_text = std::fs::read_to_string(&chrome).expect("chrome file exists");
+    assert!(chrome_text.contains("\"traceEvents\""), "{chrome_text}");
+    assert!(chrome_text.contains("\"ph\":\"B\""), "{chrome_text}");
+
+    let out = tls_trace(&[
+        "export",
+        run.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "folded export succeeds");
+    let folded_text = std::fs::read_to_string(&folded).expect("folded file exists");
+    assert!(
+        folded_text.contains("prover.obligation:base 20000"),
+        "{folded_text}"
+    );
+
+    for p in [&run, &chrome, &folded] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["summarize"][..],
+        &["summarize", "/nonexistent/trace.jsonl"][..],
+        &["diff", "only-one.jsonl"][..],
+    ] {
+        let out = tls_trace(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} exit 2");
+    }
+}

@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release --example model_check [-- --jobs N] [--deadline-ms N] [--max-mem-mb N]
 //!     [--checkpoint <path>] [--checkpoint-every-secs N] [--resume]
+//!     [--profile <out.json>] [--heartbeat-every-secs N]
 //! ```
 //!
 //! `--jobs N` explores each BFS level on N worker threads (0 = all
@@ -18,10 +19,16 @@
 //! instead of running away. `--checkpoint <path>` snapshots each bound's
 //! BFS at level barriers (one file per network bound, `<path>.m<bound>`);
 //! `--resume` picks every bound up from its snapshot — the final tables
-//! are identical to an uninterrupted run.
+//! are identical to an uninterrupted run. `--profile <out.json>` records
+//! per-level successor/dedup timing and writes a Chrome trace (open in
+//! Perfetto); `--heartbeat-every-secs N` prints a progress line to stderr
+//! at level barriers. Neither changes any verdict or count.
 
 use equitls::mc::prelude::*;
+use equitls::obs::sink::{Obs, RecordingSink};
+use equitls::obs::trace::Trace;
 use equitls::tls::concrete::Scope;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -31,6 +38,8 @@ struct Args {
     checkpoint: Option<std::path::PathBuf>,
     checkpoint_every_secs: u64,
     resume: bool,
+    profile: Option<std::path::PathBuf>,
+    heartbeat_every_secs: u64,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +50,8 @@ fn parse_args() -> Args {
         checkpoint: None,
         checkpoint_every_secs: 0,
         resume: false,
+        profile: None,
+        heartbeat_every_secs: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,12 +68,22 @@ fn parse_args() -> Args {
             "--checkpoint-every-secs" => {
                 parsed.checkpoint_every_secs = numeric("a duration in seconds");
             }
+            "--heartbeat-every-secs" => {
+                parsed.heartbeat_every_secs = numeric("a duration in seconds");
+            }
             "--checkpoint" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("--checkpoint needs a file path");
                     std::process::exit(2);
                 });
                 parsed.checkpoint = Some(path.into());
+            }
+            "--profile" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--profile needs a file path");
+                    std::process::exit(2);
+                });
+                parsed.profile = Some(path.into());
             }
             "--resume" => parsed.resume = true,
             other => {
@@ -92,6 +113,14 @@ fn main() {
         "== bounded exhaustive check (Mitchell-et-al.-style scope, {} worker threads) ==\n",
         resolve_jobs(jobs)
     );
+    let recorder = args
+        .profile
+        .as_ref()
+        .map(|_| Arc::new(RecordingSink::new()));
+    let obs = match &recorder {
+        Some(rec) => Obs::new(rec.clone()),
+        None => Obs::noop(),
+    };
     for max_messages in [1, 2, 3] {
         let mut scope = Scope::counterexample();
         scope.max_messages = max_messages;
@@ -109,9 +138,10 @@ fn main() {
                 .as_ref()
                 .map(|p| p.with_extension(format!("m{max_messages}"))),
             checkpoint_every_secs: args.checkpoint_every_secs,
+            heartbeat_every_secs: args.heartbeat_every_secs,
         };
         let result = if args.resume {
-            match check_scope_resume(&scope, &limits, jobs, &config) {
+            match check_scope_resume_obs(&scope, &limits, jobs, &config, &obs) {
                 Ok(result) => result,
                 Err(e) => {
                     eprintln!("cannot resume network bound {max_messages}: {e}");
@@ -119,7 +149,7 @@ fn main() {
                 }
             }
         } else {
-            check_scope_config(&scope, &limits, jobs, &config)
+            check_scope_config_obs(&scope, &limits, jobs, &config, &obs)
         };
         println!(
             "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}{}",
@@ -156,5 +186,18 @@ fn main() {
             }
         }
         println!();
+    }
+    if let (Some(path), Some(rec)) = (&args.profile, &recorder) {
+        let chrome = Trace::from_events(rec.timed_events()).chrome_trace();
+        match std::fs::write(path, chrome.to_string()) {
+            Ok(()) => eprintln!(
+                "Chrome trace written to {} (open in Perfetto)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write profile {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
 }

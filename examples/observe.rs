@@ -11,11 +11,15 @@
 //!    `target/observe-trace.jsonl` for offline analysis.
 //!
 //! ```text
-//! cargo run --release --example observe
+//! cargo run --release --example observe [-- --profile <out.json>]
 //! ```
+//!
+//! `--profile <out.json>` additionally converts the recorded events to a
+//! Chrome trace (open in Perfetto or `about://tracing`).
 
 use equitls::obs::sink::{JsonlSink, Obs, RecordingSink};
 use equitls::obs::summary::{Align, MetricsSummary, Table};
+use equitls::obs::trace::Trace;
 use equitls::tls::{verify, TlsModel};
 use std::sync::Arc;
 
@@ -29,6 +33,24 @@ fn main() {
 }
 
 fn run() {
+    let mut args = std::env::args().skip(1);
+    let mut profile: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--profile needs a file path");
+                    std::process::exit(2);
+                });
+                profile = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("== proving inv1 (PMS secrecy) with a recording sink ==\n");
     let recorder = Arc::new(RecordingSink::new());
     let obs = Obs::new(recorder.clone());
@@ -73,6 +95,20 @@ fn run() {
         spans.row(vec![name, format!("{:.2?}", agg.total)]);
     }
     println!("{}", spans.render());
+
+    if let Some(path) = &profile {
+        let chrome = Trace::from_events(recorder.timed_events()).chrome_trace();
+        match std::fs::write(path, chrome.to_string()) {
+            Ok(()) => eprintln!(
+                "Chrome trace written to {} (open in Perfetto)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write profile {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
 
     // Second run: stream the same events as JSONL for offline analysis.
     let path = std::path::Path::new("target/observe-trace.jsonl");

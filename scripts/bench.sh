@@ -12,6 +12,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Provenance: stamp the commit and machine into the JSON so a
+# BENCH_*.json file can always be traced back to what produced it.
+BENCH_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+    BENCH_GIT_REV="${BENCH_GIT_REV}-dirty"
+fi
+BENCH_HOSTNAME="$(hostname 2>/dev/null || uname -n 2>/dev/null || echo unknown)"
+export BENCH_GIT_REV BENCH_HOSTNAME
+
 echo "== cargo bench -p equitls-bench --bench parallel =="
 cargo bench -q -p equitls-bench --bench parallel
 

@@ -41,6 +41,23 @@ cargo run -q --release -p equitls-tls --bin tls-prove -- \
 diff /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
 rm -f "$CKPT" /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
 
+echo "== trace smoke: profiled campaign -> summarize/export/diff =="
+# A profiled proof writes a JSONL trace and a Chrome trace; the offline
+# tool must summarize it, convert it, and find no regression against
+# itself.
+TRACE="$(mktemp -u /tmp/equitls_check_XXXXXX.jsonl)"
+PROFILE="$(mktemp -u /tmp/equitls_check_XXXXXX.chrome.json)"
+cargo run -q --release -p equitls-tls --bin tls-prove -- \
+    lem-src-honest --trace "$TRACE" --profile "$PROFILE" > /dev/null
+test -s "$TRACE" && test -s "$PROFILE"
+cargo run -q --release -p equitls-tls --bin tls-trace -- \
+    summarize "$TRACE" > /dev/null
+cargo run -q --release -p equitls-tls --bin tls-trace -- \
+    export "$TRACE" --chrome "${PROFILE}.2" > /dev/null
+cargo run -q --release -p equitls-tls --bin tls-trace -- \
+    diff "$TRACE" "$TRACE" > /dev/null
+rm -f "$TRACE" "$PROFILE" "${PROFILE}.2"
+
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
 

@@ -96,6 +96,7 @@ fn interrupted_then_resumed_scope_check_is_identical_at_jobs_1_2_4() {
             ))),
             checkpoint_path: Some(path.clone()),
             checkpoint_every_secs: 0,
+            ..ExploreConfig::default()
         };
         let interrupted = check_scope_config(&scope, &limits, jobs, &interrupt);
         assert!(!interrupted.complete, "fault interrupts the search");
@@ -103,13 +104,24 @@ fn interrupted_then_resumed_scope_check_is_identical_at_jobs_1_2_4() {
         assert!(path.exists(), "barrier snapshot was written");
 
         // Resume without the fault: picks up at the checkpointed barrier
-        // and must land exactly where the straight-through run did.
+        // and must land exactly where the straight-through run did —
+        // with profiling enabled, which must not perturb anything.
         let resume = ExploreConfig {
             checkpoint_path: Some(path.clone()),
             ..ExploreConfig::default()
         };
-        let resumed = check_scope_resume(&scope, &limits, jobs, &resume).expect("snapshot resumes");
+        let recorder = Arc::new(RecordingSink::new());
+        let obs = Obs::new(recorder.clone());
+        let resumed =
+            check_scope_resume_obs(&scope, &limits, jobs, &resume, &obs).expect("snapshot resumes");
         assert_same_exploration(&resumed, &straight, &format!("at jobs={jobs}"));
+        assert!(
+            recorder
+                .events()
+                .iter()
+                .any(|e| e.name().starts_with("mc.succ_us:")),
+            "profiled resume records per-level timing at jobs={jobs}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }
@@ -182,13 +194,15 @@ fn interrupted_then_resumed_inv1_proof_is_identical_at_jobs_1_2_4() {
             assert!(path.exists(), "obligation ledger was written");
 
             // Resume: proved obligations come from the ledger, the rest
-            // re-run; the report must match the straight-through one.
+            // re-run; the report must match the straight-through one even
+            // with rule profiling enabled (profiling is pure observation).
             let recorder = Arc::new(RecordingSink::new());
             let obs = Obs::new(recorder.clone());
             let resume = VerifyOptions {
                 jobs,
                 checkpoint_path: Some(path.clone()),
                 resume: true,
+                profile_rules: true,
                 ..VerifyOptions::default()
             };
             let mut model = TlsModel::standard().expect("model builds");

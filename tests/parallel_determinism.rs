@@ -9,8 +9,11 @@
 //! jobs = 1, 2, 4.
 
 use equitls::mc::prelude::*;
+use equitls::obs::sink::{Obs, RecordingSink};
 use equitls::tls::concrete::Scope;
+use equitls::tls::verify::VerifyOptions;
 use equitls::tls::{verify, TlsModel};
+use std::sync::Arc;
 
 const JOBS: [usize; 3] = [1, 2, 4];
 
@@ -64,6 +67,79 @@ fn tls_scope_exploration_is_identical_at_every_thread_count() {
             assert_eq!(v.trace, bv.trace, "minimal trace at jobs={jobs}");
         }
     }
+}
+
+/// Profiling is pure observation: with a recording sink attached (span
+/// timings, per-rule profiles, per-level explorer counters all flowing),
+/// every verdict, count, and trace still matches the unprofiled baseline
+/// at every thread count.
+#[test]
+fn profiling_does_not_change_results_at_any_thread_count() {
+    let mut scope = Scope::counterexample();
+    scope.max_messages = 2;
+    let limits = Limits {
+        max_states: 100_000,
+        max_depth: 3,
+    };
+    let baseline = check_scope_jobs(&scope, &limits, 1);
+
+    for jobs in JOBS {
+        let recorder = Arc::new(RecordingSink::new());
+        let obs = Obs::new(recorder.clone());
+        let run = check_scope_config_obs(&scope, &limits, jobs, &ExploreConfig::default(), &obs);
+        assert_eq!(run.states, baseline.states, "state count at jobs={jobs}");
+        assert_eq!(run.states_per_depth, baseline.states_per_depth);
+        assert_eq!(run.dedup_hits, baseline.dedup_hits);
+        assert_eq!(run.complete, baseline.complete);
+        assert_eq!(run.violations.len(), baseline.violations.len());
+        for (v, bv) in run.violations.iter().zip(&baseline.violations) {
+            assert_eq!(v.property, bv.property, "verdict order at jobs={jobs}");
+            assert_eq!(v.trace, bv.trace, "trace at jobs={jobs}");
+        }
+        // The profile actually recorded something: per-level timing
+        // counters for every explored level.
+        let events = recorder.events();
+        assert!(
+            events.iter().any(|e| e.name().starts_with("mc.succ_us:")),
+            "per-level successor timing recorded at jobs={jobs}"
+        );
+    }
+
+    on_big_stack(|| {
+        let baseline = {
+            let mut model = TlsModel::standard().unwrap();
+            verify::verify_property_jobs(&mut model, "inv1", 1).unwrap()
+        };
+        for jobs in JOBS {
+            let recorder = Arc::new(RecordingSink::new());
+            let obs = Obs::new(recorder.clone());
+            let opts = VerifyOptions {
+                jobs,
+                profile_rules: true,
+                ..VerifyOptions::default()
+            };
+            let mut model = TlsModel::standard().unwrap();
+            let report = verify::verify_property_opts(&mut model, "inv1", &opts, &obs).unwrap();
+            assert_eq!(report.is_proved(), baseline.is_proved());
+            assert_eq!(report.steps.len(), baseline.steps.len());
+            for (step, bstep) in report.steps.iter().zip(&baseline.steps) {
+                assert_eq!(step.action, bstep.action, "step order at jobs={jobs}");
+                assert_eq!(step.outcome, bstep.outcome, "verdict at jobs={jobs}");
+                assert_eq!(step.metrics, bstep.metrics, "tallies at jobs={jobs}");
+            }
+            let events = recorder.events();
+            assert!(
+                events.iter().any(|e| e.name().starts_with("rule.time_us:")),
+                "rule profile recorded at jobs={jobs}"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name().starts_with("prover.obligation:")),
+                "obligation spans recorded at jobs={jobs}"
+            );
+        }
+    });
 }
 
 #[test]
