@@ -1,0 +1,426 @@
+//! The incremental lint cache: content-addressed pass results persisted
+//! through `equitls-persist`.
+//!
+//! Every pass's *input* — the canonical rendering of every rule, the
+//! signature, the effective configuration, and (per pass) the roots,
+//! quarantined equations, and declared variables — is folded into a
+//! 64-bit FNV-1a fingerprint. The fingerprint hashes **renderings**
+//! (operator, sort, and variable *names*), never `TermId`s or other
+//! store-internal indices, so it is stable across processes and across
+//! unrelated store growth. A cache entry stores the fingerprint together
+//! with the pass's diagnostics and notes; when a later run computes the
+//! same fingerprint for the same `(target, pass)` key, the stored results
+//! are replayed verbatim and the pass is skipped.
+//!
+//! On disk the cache is a [`SnapshotKind::LintCache`] snapshot: magic,
+//! version, CRC32, atomic replace — a flipped byte fails the load with a
+//! typed [`PersistError`], and the caller falls back to a cold analysis.
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
+use equitls_kernel::prelude::OpId;
+use equitls_kernel::term::TermStore;
+use equitls_obs::sink::Obs;
+use equitls_persist::codec::{Reader, Writer};
+use equitls_persist::{read_snapshot, write_snapshot, PersistError, SnapshotKind};
+use equitls_rewrite::rule::RuleSet;
+use equitls_spec::ast::SourceSpan;
+use equitls_spec::spec::QuarantinedEquation;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// 64-bit FNV-1a, hand-rolled (the workspace has no hasher dependency and
+/// `DefaultHasher` is not stable across releases).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Fold raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Fold a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// Fingerprint of the rule set: every rule's label, rendered sides, and
+/// rendered condition, in declaration order.
+pub fn fingerprint_rules(store: &TermStore, rules: &RuleSet) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(rules.len() as u64);
+    for rule in rules.iter() {
+        h.str(&rule.label);
+        h.str(&store.display(rule.lhs).to_string());
+        h.str(&store.display(rule.rhs).to_string());
+        match rule.cond {
+            None => h.u64(0),
+            Some(c) => h.u64(1).str(&store.display(c).to_string()),
+        };
+    }
+    h.finish()
+}
+
+/// Fingerprint of the signature: sorts and operators by name, argument
+/// and result sorts, and operator kind.
+pub fn fingerprint_signature(store: &TermStore) -> u64 {
+    let sig = store.signature();
+    let mut h = Fnv::new();
+    h.u64(sig.sort_count() as u64);
+    for (_, decl) in sig.sorts() {
+        h.str(&decl.name);
+        h.u64(u64::from(decl.kind.is_hidden()));
+    }
+    h.u64(sig.op_count() as u64);
+    for (_, decl) in sig.ops() {
+        h.str(&decl.name);
+        h.u64(decl.args.len() as u64);
+        for &a in &decl.args {
+            h.str(&sig.sort(a).name);
+        }
+        h.str(&sig.sort(decl.result).name);
+        h.str(&format!("{:?}", decl.attrs.kind));
+    }
+    h.finish()
+}
+
+/// Fingerprint of the effective configuration: every code's effective
+/// severity and override justification.
+pub fn fingerprint_config(config: &LintConfig) -> u64 {
+    let mut h = Fnv::new();
+    for code in LintCode::ALL {
+        let (severity, justification) = config.severity(code, code.default_severity());
+        h.str(code.name());
+        h.str(severity.name());
+        h.str(justification.unwrap_or(""));
+    }
+    h.finish()
+}
+
+/// Fingerprint of the analysis roots, by operator name (order-insensitive:
+/// names are sorted first).
+pub fn fingerprint_roots(store: &TermStore, roots: &[OpId]) -> u64 {
+    let mut names: Vec<&str> = roots
+        .iter()
+        .map(|&op| store.signature().op(op).name.as_str())
+        .collect();
+    names.sort_unstable();
+    let mut h = Fnv::new();
+    h.u64(names.len() as u64);
+    for name in names {
+        h.str(name);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the spec-level `vars`-pass inputs: quarantined
+/// equations and declared module variables.
+pub fn fingerprint_vars_input(
+    quarantined: &[QuarantinedEquation],
+    module_vars: &[(&str, &[String])],
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(quarantined.len() as u64);
+    for q in quarantined {
+        h.str(&q.label);
+        h.str(&q.module);
+        h.str(&q.defect.to_string());
+        h.str(&q.rendered);
+    }
+    h.u64(module_vars.len() as u64);
+    for (module, vars) in module_vars {
+        h.str(module);
+        h.u64(vars.len() as u64);
+        for v in vars.iter() {
+            h.str(v);
+        }
+    }
+    h.finish()
+}
+
+/// Combine a pass name with its input-component hashes into the final
+/// per-`(target, pass)` fingerprint.
+pub fn pass_input_hash(pass: &str, components: &[u64]) -> u64 {
+    let mut h = Fnv::new();
+    h.str(pass);
+    for &c in components {
+        h.u64(c);
+    }
+    h.finish()
+}
+
+/// One cached pass result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Fingerprint of the pass inputs that produced these results.
+    pub input_hash: u64,
+    /// The diagnostics the pass emitted (post-configuration, with spans).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The notes the pass emitted.
+    pub notes: Vec<String>,
+}
+
+/// The whole cache: `(target/pass)` key → stored result.
+#[derive(Debug, Clone, Default)]
+pub struct LintCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+fn severity_tag(s: Severity) -> u8 {
+    match s {
+        Severity::Allow => 0,
+        Severity::Warn => 1,
+        Severity::Deny => 2,
+    }
+}
+
+fn severity_from_tag(tag: u8) -> Result<Severity, PersistError> {
+    match tag {
+        0 => Ok(Severity::Allow),
+        1 => Ok(Severity::Warn),
+        2 => Ok(Severity::Deny),
+        _ => Err(PersistError::Malformed(format!(
+            "unknown severity tag {tag}"
+        ))),
+    }
+}
+
+impl LintCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LintCache::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored result for `key`, but only when its fingerprint matches
+    /// `input_hash` — a stale entry is as good as no entry.
+    pub fn lookup(&self, key: &str, input_hash: u64) -> Option<&CacheEntry> {
+        self.entries.get(key).filter(|e| e.input_hash == input_hash)
+    }
+
+    /// Store (or replace) the result for `key`.
+    pub fn insert(&mut self, key: impl Into<String>, entry: CacheEntry) {
+        self.entries.insert(key.into(), entry);
+    }
+
+    /// Load a cache snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] for missing/corrupt/truncated/wrong-kind files —
+    /// callers treat any error as "run cold" (optionally after warning).
+    pub fn load(path: &Path, obs: &Obs) -> Result<Self, PersistError> {
+        let (_meta, payload) = read_snapshot(path, SnapshotKind::LintCache, obs)?;
+        let mut r = Reader::new(&payload);
+        let n = r.seq_len(10)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.str()?;
+            let input_hash = r.u64()?;
+            let n_diags = r.seq_len(4)?;
+            let mut diagnostics = Vec::with_capacity(n_diags);
+            for _ in 0..n_diags {
+                let code_name = r.str()?;
+                let code = LintCode::by_name(&code_name).ok_or_else(|| {
+                    PersistError::Malformed(format!("unknown lint code `{code_name}`"))
+                })?;
+                let severity = severity_from_tag(r.u8()?)?;
+                let message = r.str()?;
+                let rule = if r.bool()? { Some(r.str()?) } else { None };
+                let span = if r.bool()? {
+                    let line = r.usize()?;
+                    let column = r.usize()?;
+                    Some(SourceSpan { line, column })
+                } else {
+                    None
+                };
+                let justification = if r.bool()? { Some(r.str()?) } else { None };
+                diagnostics.push(Diagnostic {
+                    code,
+                    severity,
+                    message,
+                    rule,
+                    span,
+                    justification,
+                });
+            }
+            let n_notes = r.seq_len(1)?;
+            let mut notes = Vec::with_capacity(n_notes);
+            for _ in 0..n_notes {
+                notes.push(r.str()?);
+            }
+            entries.insert(
+                key,
+                CacheEntry {
+                    input_hash,
+                    diagnostics,
+                    notes,
+                },
+            );
+        }
+        Ok(LintCache { entries })
+    }
+
+    /// Atomically write the cache snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path, obs: &Obs) -> Result<u64, PersistError> {
+        let mut w = Writer::new();
+        w.usize(self.entries.len());
+        for (key, entry) in &self.entries {
+            w.str(key);
+            w.u64(entry.input_hash);
+            w.usize(entry.diagnostics.len());
+            for d in &entry.diagnostics {
+                w.str(d.code.name());
+                w.u8(severity_tag(d.severity));
+                w.str(&d.message);
+                w.bool(d.rule.is_some());
+                if let Some(rule) = &d.rule {
+                    w.str(rule);
+                }
+                w.bool(d.span.is_some());
+                if let Some(span) = &d.span {
+                    w.usize(span.line);
+                    w.usize(span.column);
+                }
+                w.bool(d.justification.is_some());
+                if let Some(why) = &d.justification {
+                    w.str(why);
+                }
+            }
+            w.usize(entry.notes.len());
+            for note in &entry.notes {
+                w.str(note);
+            }
+        }
+        write_snapshot(path, SnapshotKind::LintCache, &w.into_bytes(), obs)
+    }
+
+    /// Replay a stored entry into `report` (diagnostics are stored
+    /// post-configuration, so they are appended verbatim).
+    pub fn replay(entry: &CacheEntry, report: &mut LintReport) {
+        report.diagnostics.extend(entry.diagnostics.iter().cloned());
+        report.notes.extend(entry.notes.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("equitls_lint_cache_{}_{name}", std::process::id()))
+    }
+
+    fn sample_entry() -> CacheEntry {
+        CacheEntry {
+            input_hash: 0xdead_beef_cafe_f00d,
+            diagnostics: vec![Diagnostic {
+                code: LintCode::DeadRule,
+                severity: Severity::Warn,
+                message: "rule `stale` can never fire".into(),
+                rule: Some("stale".into()),
+                span: Some(SourceSpan { line: 7, column: 3 }),
+                justification: None,
+            }],
+            notes: vec!["dependency graph: 3 operators".into()],
+        }
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk() {
+        let path = tmp_file("roundtrip.snap");
+        let obs = Obs::noop();
+        let mut cache = LintCache::new();
+        cache.insert("standard/deps", sample_entry());
+        cache.save(&path, &obs).unwrap();
+        let back = LintCache::load(&path, &obs).unwrap();
+        assert_eq!(back.len(), 1);
+        let entry = back
+            .lookup("standard/deps", 0xdead_beef_cafe_f00d)
+            .expect("matching fingerprint");
+        assert_eq!(entry.diagnostics.len(), 1);
+        let d = &entry.diagnostics[0];
+        assert_eq!(d.code, LintCode::DeadRule);
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.span, Some(SourceSpan { line: 7, column: 3 }));
+        assert_eq!(entry.notes.len(), 1);
+        // A stale fingerprint is a miss, not a wrong answer.
+        assert!(back.lookup("standard/deps", 1).is_none());
+        assert!(back.lookup("other/deps", 0xdead_beef_cafe_f00d).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_byte_fails_with_a_typed_error() {
+        let path = tmp_file("bitflip.snap");
+        let obs = Obs::noop();
+        let mut cache = LintCache::new();
+        cache.insert("t/p", sample_entry());
+        cache.save(&path, &obs).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            LintCache::load(&path, &obs),
+            Err(PersistError::ChecksumMismatch)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_input_sensitive() {
+        let a = pass_input_hash("deps", &[1, 2, 3]);
+        let b = pass_input_hash("deps", &[1, 2, 3]);
+        let c = pass_input_hash("deps", &[1, 2, 4]);
+        let d = pass_input_hash("vars", &[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Known FNV-1a test vector: empty input hashes to the offset basis.
+        assert_eq!(Fnv::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -27,6 +27,12 @@ use equitls_kernel::unify::{apply_to_fixpoint, function_positions, replace_at, u
 use equitls_rewrite::bool_alg::BoolAlg;
 use equitls_rewrite::engine::Normalizer;
 use equitls_rewrite::rule::{Rule, RuleSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Stack size for joinability workers: normalization recurses over term
+/// structure, and TLS protocol states nest deeply.
+const WORKER_STACK_BYTES: usize = 512 * 1024 * 1024;
 
 /// Fuel per critical-pair normalization: generous for honest systems,
 /// small enough that a diverging mutant fails fast into "undecided".
@@ -155,13 +161,22 @@ pub struct ConfluenceOutcome {
     pub pruned: usize,
 }
 
-/// Decide joinability of one pair with a prepared normalizer.
-fn judge(
-    store: &mut TermStore,
-    norm: &mut Normalizer,
-    poly_norm: &mut Normalizer,
-    cp: &CriticalPair,
-) -> Joinability {
+/// Decide joinability of one pair.
+///
+/// Each pair is judged with **fresh** normalizers. A shared normalizer's
+/// memo cache would make fuel-exhaustion verdicts depend on which pairs
+/// were judged before this one — warm caches stretch the fuel — and
+/// therefore on scheduling once pairs are judged concurrently. Fresh
+/// normalizers make every verdict a pure function of the pair and the
+/// rule set, so the report is identical at any `--jobs` level by
+/// construction.
+fn judge(store: &mut TermStore, alg: &BoolAlg, rules: &RuleSet, cp: &CriticalPair) -> Joinability {
+    let mut norm = Normalizer::new(alg.clone(), rules.clone());
+    norm.set_fuel_limit(CP_FUEL);
+    // Conditions are judged against the built-in ring semantics alone so a
+    // broken rule set cannot veto its own critical pairs.
+    let mut poly_norm = Normalizer::new(alg.clone(), RuleSet::new());
+    poly_norm.set_fuel_limit(CP_FUEL);
     // Mutually exclusive conditions: σ(c1) ∧ σ(c2) ≡ false in GF(2).
     if let (Some(c1), Some(c2)) = cp.conditions {
         let polys = (
@@ -192,20 +207,69 @@ pub fn check_confluence(
     config: &LintConfig,
     report: &mut LintReport,
 ) -> ConfluenceOutcome {
+    check_confluence_jobs(store, alg, rules, config, report, 1)
+}
+
+/// [`check_confluence`] with an explicit worker count.
+///
+/// Pairs are enumerated on the caller's store; with `jobs > 1` each worker
+/// clones the store (a clone shares no state, and every `TermId` in a pair
+/// stays valid in the clone since interning is deterministic) and pulls
+/// pair indices off a shared atomic counter. Verdicts land in per-pair
+/// slots and diagnostics are emitted on the calling thread in pair order,
+/// so the report is byte-identical at every jobs level.
+pub fn check_confluence_jobs(
+    store: &mut TermStore,
+    alg: &BoolAlg,
+    rules: &RuleSet,
+    config: &LintConfig,
+    report: &mut LintReport,
+    jobs: usize,
+) -> ConfluenceOutcome {
     let cps = critical_pairs(store, rules);
-    let mut norm = Normalizer::new(alg.clone(), rules.clone());
-    norm.set_fuel_limit(CP_FUEL);
-    // Conditions are judged against the built-in ring semantics alone so a
-    // broken rule set cannot veto its own critical pairs.
-    let mut poly_norm = Normalizer::new(alg.clone(), RuleSet::new());
-    poly_norm.set_fuel_limit(CP_FUEL);
+    let jobs = jobs.max(1).min(cps.len().max(1));
+    let verdicts: Vec<Joinability> = if jobs <= 1 {
+        cps.iter().map(|cp| judge(store, alg, rules, cp)).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Joinability>>> = cps.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                let worker_store = store.clone();
+                let (next, slots, cps) = (&next, &slots, &cps);
+                std::thread::Builder::new()
+                    .name(format!("lint-cp-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        let mut store = worker_store;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cps.len() {
+                                break;
+                            }
+                            let verdict = judge(&mut store, alg, rules, &cps[i]);
+                            *slots[i].lock().expect("verdict slot poisoned") = Some(verdict);
+                        }
+                    })
+                    .expect("spawning a lint worker thread");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("verdict slot poisoned")
+                    .expect("every pair was judged")
+            })
+            .collect()
+    };
 
     let mut outcome = ConfluenceOutcome {
         pairs: cps.len(),
         ..ConfluenceOutcome::default()
     };
-    for cp in &cps {
-        match judge(store, &mut norm, &mut poly_norm, cp) {
+    for (cp, verdict) in cps.iter().zip(verdicts) {
+        match verdict {
             Joinability::Joinable => outcome.joinable += 1,
             Joinability::Pruned => outcome.pruned += 1,
             Joinability::Undecided => {

@@ -1,0 +1,446 @@
+//! The operator/rule dependency graph: which defined operator's rules
+//! mention which.
+//!
+//! Nodes are the rule-defined operators ([`RuleSet::defined_heads`]).
+//! There is an edge `f → g` when some rule with head `f` mentions `g`
+//! anywhere — in the left-hand side's arguments, the right-hand side, or
+//! the condition. The graph is condensed into strongly connected
+//! components (Tarjan), each SCC is assigned a *stratification layer*
+//! (leaves at layer 0, every SCC one above the deepest SCC it calls
+//! into), and reachability is computed from a set of **roots**: the
+//! observers and actions of an OTS signature plus any operator marked
+//! with the `{root}` DSL attribute or [`Spec::mark_root`].
+//!
+//! Rules whose head no root reaches are *dead code* — the prover and the
+//! model checker can never fire them — and are flagged [`LintCode::DeadRule`];
+//! the operators themselves are flagged [`LintCode::UnreachableOp`].
+//! When a system declares no roots at all (a plain algebraic module such
+//! as `BOOL`), every defined operator is treated as a root and the
+//! dead-code analysis is skipped with a note, so that library modules do
+//! not drown in false positives.
+//!
+//! [`Spec::mark_root`]: equitls_spec::spec::Spec::mark_root
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport};
+use equitls_kernel::op::OpKind;
+use equitls_kernel::prelude::OpId;
+use equitls_kernel::term::{Term, TermStore};
+use equitls_rewrite::rule::RuleSet;
+use std::fmt::Write as _;
+
+/// The dependency graph over rule-defined operators.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Nodes: rule-defined operators, in first-rule order.
+    pub nodes: Vec<OpId>,
+    /// Adjacency: `edges[i]` lists node indices operator `i`'s rules
+    /// mention, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// Strongly connected components in reverse-topological order
+    /// (callees before callers); each SCC lists node indices in
+    /// ascending order.
+    pub sccs: Vec<Vec<usize>>,
+    /// `layer[i]`: stratification layer of node `i` (0 = leaf SCC that
+    /// calls only into itself).
+    pub layer: Vec<usize>,
+    /// `reachable[i]`: node `i` can be reached from some root.
+    pub reachable: Vec<bool>,
+    /// The roots reachability was computed from (deduplicated; includes
+    /// signature observers/actions and explicitly marked operators).
+    pub roots: Vec<OpId>,
+    /// `true` when no roots were declared and all nodes were treated as
+    /// roots (dead-code analysis skipped).
+    pub rootless: bool,
+}
+
+impl DepGraph {
+    /// Highest stratification layer plus one (0 for an empty graph).
+    pub fn strata(&self) -> usize {
+        self.layer.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Number of SCCs with more than one node (mutual recursion groups).
+    pub fn nontrivial_sccs(&self) -> usize {
+        self.sccs.iter().filter(|c| c.len() > 1).count()
+    }
+}
+
+/// Collect every defined-head operator mentioned by `t` into `out`
+/// (indices into `nodes` via `index_of`).
+fn mentions(
+    store: &TermStore,
+    t: equitls_kernel::prelude::TermId,
+    index_of: &dyn Fn(OpId) -> Option<usize>,
+    out: &mut Vec<usize>,
+) {
+    for s in store.subterms(t) {
+        if let Term::App { op, .. } = store.node(s) {
+            if let Some(i) = index_of(*op) {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+}
+
+/// Iterative Tarjan SCC over `edges`, deterministic in node order.
+/// Returns SCCs in reverse-topological order (callees first).
+fn tarjan(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+    // Explicit call stack: (node, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        call.push((start, 0));
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*child) {
+                *child += 1;
+                if index[w] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // All children visited: close v.
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Build the dependency graph of `rules`, with reachability from `roots`.
+///
+/// `roots` may name operators that are not rule-defined (constructor
+/// entry points, observers without equations); they contribute
+/// reachability through their rules only when they have any. When
+/// `roots` is empty the graph is marked [`DepGraph::rootless`] and every
+/// node counts as reachable.
+pub fn build_graph(store: &TermStore, rules: &RuleSet, roots: &[OpId]) -> DepGraph {
+    let nodes = rules.defined_heads();
+    let index_of = |op: OpId| nodes.iter().position(|&n| n == op);
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, &head) in nodes.iter().enumerate() {
+        let mut out = Vec::new();
+        for (_, rule) in rules.rules_for_op(head) {
+            // The head op itself appears at the LHS root; mention only
+            // *other* operators from the LHS (its arguments), and
+            // everything from the RHS and condition.
+            for &a in store.args(rule.lhs) {
+                mentions(store, a, &index_of, &mut out);
+            }
+            mentions(store, rule.rhs, &index_of, &mut out);
+            if let Some(c) = rule.cond {
+                mentions(store, c, &index_of, &mut out);
+            }
+        }
+        out.retain(|&j| j != i);
+        out.sort_unstable();
+        out.dedup();
+        edges[i] = out;
+    }
+
+    let sccs = tarjan(&edges);
+    // Layer of an SCC: 0 when it calls no other SCC, else 1 + max layer
+    // of called SCCs. SCCs arrive callees-first, so one forward sweep
+    // suffices.
+    let mut scc_of = vec![0usize; nodes.len()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            scc_of[v] = ci;
+        }
+    }
+    let mut scc_layer = vec![0usize; sccs.len()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        let mut l = 0usize;
+        for &v in comp {
+            for &w in &edges[v] {
+                let cw = scc_of[w];
+                if cw != ci {
+                    l = l.max(scc_layer[cw] + 1);
+                }
+            }
+        }
+        scc_layer[ci] = l;
+    }
+    let layer: Vec<usize> = (0..nodes.len()).map(|v| scc_layer[scc_of[v]]).collect();
+
+    // Reachability: BFS from every root that is a node. Roots that are
+    // not rule-defined have no outgoing edges here and contribute
+    // nothing beyond themselves.
+    let mut dedup_roots: Vec<OpId> = Vec::new();
+    for &r in roots {
+        if !dedup_roots.contains(&r) {
+            dedup_roots.push(r);
+        }
+    }
+    let rootless = dedup_roots.is_empty();
+    let mut reachable = vec![rootless; nodes.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    for &r in &dedup_roots {
+        if let Some(i) = index_of(r) {
+            if !reachable[i] {
+                reachable[i] = true;
+                queue.push(i);
+            }
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &w in &edges[v] {
+            if !reachable[w] {
+                reachable[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+
+    DepGraph {
+        nodes,
+        edges,
+        sccs,
+        layer,
+        reachable,
+        roots: dedup_roots,
+        rootless,
+    }
+}
+
+/// Render the graph in Graphviz DOT syntax.
+///
+/// Roots are drawn as double octagons, unreachable operators in red;
+/// every node is labeled `name\nlayer N`.
+pub fn to_dot(store: &TermStore, graph: &DepGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (i, &op) in graph.nodes.iter().enumerate() {
+        let decl = store.signature().op(op);
+        let mut attrs = format!("label=\"{}\\nlayer {}\"", decl.name, graph.layer[i]);
+        if graph.roots.contains(&op) {
+            attrs.push_str(", shape=doubleoctagon");
+        }
+        if !graph.reachable[i] {
+            attrs.push_str(", color=red, fontcolor=red");
+        }
+        let _ = writeln!(out, "  n{i} [{attrs}];");
+    }
+    for (i, targets) in graph.edges.iter().enumerate() {
+        for &j in targets {
+            let _ = writeln!(out, "  n{i} -> n{j};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Run the dependency pass: build the graph, flag dead rules and
+/// unreachable operators, leave the census note.
+pub fn check_deps(
+    store: &TermStore,
+    rules: &RuleSet,
+    roots: &[OpId],
+    config: &LintConfig,
+    report: &mut LintReport,
+) -> DepGraph {
+    let graph = build_graph(store, rules, roots);
+
+    if graph.rootless {
+        report.note(format!(
+            "dependency graph: {} operators, {} edges, {} SCCs ({} nontrivial), {} strata; \
+             no roots declared — reachability analysis skipped",
+            graph.nodes.len(),
+            graph.edges.iter().map(Vec::len).sum::<usize>(),
+            graph.sccs.len(),
+            graph.nontrivial_sccs(),
+            graph.strata(),
+        ));
+        return graph;
+    }
+
+    let mut dead_rules = 0usize;
+    for (i, &op) in graph.nodes.iter().enumerate() {
+        if graph.reachable[i] {
+            continue;
+        }
+        let decl = store.signature().op(op);
+        // Observers and actions are implicit entry points even when the
+        // caller forgot to list them as roots; don't flag them.
+        if matches!(decl.attrs.kind, OpKind::Observer | OpKind::Action) {
+            continue;
+        }
+        report.push(
+            config,
+            Diagnostic {
+                code: LintCode::UnreachableOp,
+                severity: LintCode::UnreachableOp.default_severity(),
+                message: format!(
+                    "operator `{}` is unreachable from the {} analysis roots",
+                    decl.name,
+                    graph.roots.len(),
+                ),
+                rule: None,
+                span: None,
+                justification: None,
+            },
+        );
+        for (_, rule) in rules.rules_for_op(op) {
+            dead_rules += 1;
+            report.push(
+                config,
+                Diagnostic {
+                    code: LintCode::DeadRule,
+                    severity: LintCode::DeadRule.default_severity(),
+                    message: format!(
+                        "rule `{}` can never fire: its head operator `{}` is unreachable \
+                         from every analysis root",
+                        rule.label, decl.name,
+                    ),
+                    rule: Some(rule.label.clone()),
+                    span: None,
+                    justification: None,
+                },
+            );
+        }
+    }
+
+    report.note(format!(
+        "dependency graph: {} operators, {} edges, {} SCCs ({} nontrivial), {} strata, \
+         {} roots, {} dead rules",
+        graph.nodes.len(),
+        graph.edges.iter().map(Vec::len).sum::<usize>(),
+        graph.sccs.len(),
+        graph.nontrivial_sccs(),
+        graph.strata(),
+        graph.roots.len(),
+        dead_rules,
+    ));
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_kernel::op::OpAttrs;
+    use equitls_kernel::signature::Signature;
+    use equitls_rewrite::bool_alg::BoolAlg;
+
+    /// f calls g, g calls f (one SCC); h is separate and unreachable.
+    fn recursive_world() -> (TermStore, RuleSet, Vec<OpId>) {
+        let mut sig = Signature::new();
+        let _alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let g = sig.add_op("g", &[s], s, OpAttrs::defined()).unwrap();
+        let h = sig.add_op("h", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let cv = store.constant(c);
+        let f_x = store.app(f, &[xt]).unwrap();
+        let g_x = store.app(g, &[xt]).unwrap();
+        let h_x = store.app(h, &[xt]).unwrap();
+        let f_c = store.app(f, &[cv]).unwrap();
+        let g_c = store.app(g, &[cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "f-rec", f_x, g_x, None, None).unwrap();
+        rules.add(&store, "g-rec", g_x, f_x, None, None).unwrap();
+        rules.add(&store, "f-c", f_c, cv, None, None).unwrap();
+        rules.add(&store, "g-c", g_c, cv, None, None).unwrap();
+        rules.add(&store, "h-dead", h_x, cv, None, None).unwrap();
+        (store, rules, vec![f, g, h])
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_scc_and_dead_code_is_flagged() {
+        let (store, rules, ops) = recursive_world();
+        let roots = [ops[0]]; // f only
+        let config = LintConfig::new();
+        let mut report = LintReport::new("deps");
+        let graph = check_deps(&store, &rules, &roots, &config, &mut report);
+        assert_eq!(graph.nodes.len(), 3);
+        // {f, g} one SCC, {h} its own.
+        assert_eq!(graph.sccs.len(), 2);
+        assert_eq!(graph.nontrivial_sccs(), 1);
+        let hi = graph.nodes.iter().position(|&n| n == ops[2]).unwrap();
+        assert!(!graph.reachable[hi]);
+        let dead = report.with_code(LintCode::DeadRule);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].rule.as_deref(), Some("h-dead"));
+        assert_eq!(report.with_code(LintCode::UnreachableOp).len(), 1);
+    }
+
+    #[test]
+    fn rootless_graph_skips_dead_code_analysis() {
+        let (store, rules, _) = recursive_world();
+        let config = LintConfig::new();
+        let mut report = LintReport::new("deps");
+        let graph = check_deps(&store, &rules, &[], &config, &mut report);
+        assert!(graph.rootless);
+        assert!(graph.reachable.iter().all(|&r| r));
+        assert!(report.with_code(LintCode::DeadRule).is_empty());
+        assert!(report.notes[0].contains("reachability analysis skipped"));
+    }
+
+    #[test]
+    fn stratification_layers_order_callees_below_callers() {
+        let (store, rules, ops) = recursive_world();
+        let graph = build_graph(&store, &rules, &[ops[0]]);
+        let fi = graph.nodes.iter().position(|&n| n == ops[0]).unwrap();
+        let gi = graph.nodes.iter().position(|&n| n == ops[1]).unwrap();
+        // f and g share an SCC, hence a layer.
+        assert_eq!(graph.layer[fi], graph.layer[gi]);
+        assert!(graph.strata() >= 1);
+    }
+
+    #[test]
+    fn dot_export_renders_every_node_and_edge() {
+        let (store, rules, ops) = recursive_world();
+        let graph = build_graph(&store, &rules, &[ops[0]]);
+        let dot = to_dot(&store, &graph, "deps-test");
+        assert!(dot.starts_with("digraph"));
+        for name in ["f", "g", "h"] {
+            assert!(dot.contains(&format!("label=\"{name}\\n")), "{dot}");
+        }
+        assert!(dot.contains("->"), "{dot}");
+        assert!(
+            dot.contains("color=red"),
+            "unreachable h should be red: {dot}"
+        );
+    }
+}

@@ -74,11 +74,30 @@ pub enum LintCode {
     /// A condition that normalizes to constant `true` (should be an
     /// unconditional `eq`) or `false` (the rule never fires).
     TrivialCondition,
+    /// An equation whose right-hand side or condition uses a variable the
+    /// left-hand side does not bind: the rule is not executable. Such
+    /// equations are quarantined at load time and reported here.
+    UnboundVariable,
+    /// An equation whose two sides have different sorts (or whose
+    /// condition is not Bool-sorted): incoherent under the subsort-free
+    /// signature, quarantined at load time and reported here.
+    SortIncoherent,
+    /// A rule whose right-hand side is a bare variable (a *collapsing*
+    /// rule): legal, but it erases structure and overlaps with every rule,
+    /// so it deserves an explicit look.
+    CollapsingRule,
+    /// A rule on an operator unreachable from the analysis roots
+    /// (observers, actions, `{root}`-marked operators): dead code.
+    DeadRule,
+    /// A rule-defined operator unreachable from the analysis roots.
+    UnreachableOp,
+    /// A declared module variable that occurs in no installed equation.
+    UnusedVariable,
 }
 
 impl LintCode {
     /// All codes, for documentation and configuration validation.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 16] = [
         LintCode::TerminationLoop,
         LintCode::TerminationOrder,
         LintCode::UnjoinableCriticalPair,
@@ -89,6 +108,12 @@ impl LintCode {
         LintCode::UnusedSort,
         LintCode::UnusedOp,
         LintCode::TrivialCondition,
+        LintCode::UnboundVariable,
+        LintCode::SortIncoherent,
+        LintCode::CollapsingRule,
+        LintCode::DeadRule,
+        LintCode::UnreachableOp,
+        LintCode::UnusedVariable,
     ];
 
     /// The stable kebab-case name (documented in the README).
@@ -104,6 +129,12 @@ impl LintCode {
             LintCode::UnusedSort => "unused-sort",
             LintCode::UnusedOp => "unused-op",
             LintCode::TrivialCondition => "trivial-condition",
+            LintCode::UnboundVariable => "unbound-variable",
+            LintCode::SortIncoherent => "sort-incoherent",
+            LintCode::CollapsingRule => "collapsing-rule",
+            LintCode::DeadRule => "dead-rule",
+            LintCode::UnreachableOp => "unreachable-op",
+            LintCode::UnusedVariable => "unused-variable",
         }
     }
 
@@ -130,6 +161,16 @@ impl LintCode {
             LintCode::UnusedSort => Severity::Allow,
             LintCode::UnusedOp => Severity::Allow,
             LintCode::TrivialCondition => Severity::Warn,
+            // Quarantined equations are non-executable: always broken.
+            LintCode::UnboundVariable => Severity::Deny,
+            LintCode::SortIncoherent => Severity::Deny,
+            // Collapsing rules are legal (ineffective-transition equations
+            // in the TLS model are all `s' = s`); they are surfaced as
+            // information, escalatable per run.
+            LintCode::CollapsingRule => Severity::Allow,
+            LintCode::DeadRule => Severity::Warn,
+            LintCode::UnreachableOp => Severity::Allow,
+            LintCode::UnusedVariable => Severity::Allow,
         }
     }
 }

@@ -1,0 +1,205 @@
+//! SARIF 2.1.0 rendering of lint reports.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the OASIS
+//! standard CI systems ingest for static-analysis findings. The log is
+//! hand-rolled through `equitls-obs`'s [`JsonValue`] — the workspace has
+//! no serialization dependency — as a single `run` of the `tls-lint`
+//! driver: one reporting descriptor per stable [`LintCode`], one result
+//! per diagnostic, with the diagnostic's source span carried as the
+//! `region` of a `physicalLocation` and the severity mapped onto SARIF
+//! levels (`deny` → `error`, `warn` → `warning`, `allow` → `note`).
+
+use crate::diagnostics::{LintCode, LintReport, Severity};
+use equitls_obs::json::JsonValue;
+
+/// SARIF schema URI for version 2.1.0.
+pub const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn s(v: impl Into<String>) -> JsonValue {
+    JsonValue::String(v.into())
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+        Severity::Allow => "note",
+    }
+}
+
+/// A target name as an artifact URI: spaces and non-URI characters are
+/// conservatively percent-escaped so the log stays schema-valid.
+fn artifact_uri(target: &str) -> String {
+    let mut out = String::with_capacity(target.len());
+    for c in target.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '.' | '_' | '/' => out.push(c),
+            _ => {
+                let mut buf = [0u8; 4];
+                for b in c.encode_utf8(&mut buf).bytes() {
+                    out.push('%');
+                    out.push_str(&format!("{b:02X}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render `reports` as one SARIF 2.1.0 log with a single `tls-lint` run.
+pub fn to_sarif(reports: &[&LintReport]) -> JsonValue {
+    let rules: Vec<JsonValue> = LintCode::ALL
+        .iter()
+        .map(|code| {
+            obj(vec![
+                ("id", s(code.name())),
+                (
+                    "defaultConfiguration",
+                    obj(vec![("level", s(level(code.default_severity())))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            let rule_index = LintCode::ALL.iter().position(|&c| c == d.code).unwrap_or(0);
+            let mut fields = vec![
+                ("ruleId", s(d.code.name())),
+                ("ruleIndex", JsonValue::Number(rule_index as f64)),
+                ("level", s(level(d.severity))),
+                ("message", obj(vec![("text", s(&d.message))])),
+            ];
+            let mut location = vec![(
+                "artifactLocation",
+                obj(vec![("uri", s(artifact_uri(&report.target)))]),
+            )];
+            if let Some(span) = &d.span {
+                location.push((
+                    "region",
+                    obj(vec![
+                        ("startLine", JsonValue::Number(span.line as f64)),
+                        ("startColumn", JsonValue::Number(span.column as f64)),
+                    ]),
+                ));
+            }
+            fields.push((
+                "locations",
+                JsonValue::Array(vec![obj(vec![("physicalLocation", obj(location))])]),
+            ));
+            let mut properties = Vec::new();
+            if let Some(rule) = &d.rule {
+                properties.push(("rule", s(rule)));
+            }
+            if let Some(why) = &d.justification {
+                properties.push(("justification", s(why)));
+            }
+            if !properties.is_empty() {
+                fields.push(("properties", obj(properties)));
+            }
+            results.push(obj(fields));
+        }
+    }
+
+    obj(vec![
+        ("version", s("2.1.0")),
+        ("$schema", s(SARIF_SCHEMA)),
+        (
+            "runs",
+            JsonValue::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("tls-lint")),
+                            ("rules", JsonValue::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", JsonValue::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Diagnostic;
+    use equitls_obs::json::parse;
+    use equitls_spec::ast::SourceSpan;
+
+    #[test]
+    fn sarif_log_roundtrips_spans_and_codes_through_json() {
+        let mut report = LintReport::new("UNB");
+        report.diagnostics.push(Diagnostic {
+            code: LintCode::UnboundVariable,
+            severity: Severity::Deny,
+            message: "equation `orphan-unbound` is not executable".into(),
+            rule: Some("orphan-unbound".into()),
+            span: Some(SourceSpan {
+                line: 8,
+                column: 15,
+            }),
+            justification: None,
+        });
+        let rendered = to_sarif(&[&report]).to_string();
+        let back = parse(&rendered).expect("SARIF output is valid JSON");
+        assert_eq!(back.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+        let runs = match back.get("runs") {
+            Some(JsonValue::Array(runs)) => runs,
+            other => panic!("runs must be an array, got {other:?}"),
+        };
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(|v| v.as_str()),
+            Some("tls-lint")
+        );
+        let rules = match driver.get("rules") {
+            Some(JsonValue::Array(rules)) => rules,
+            other => panic!("rules must be an array, got {other:?}"),
+        };
+        assert_eq!(rules.len(), LintCode::ALL.len());
+        assert!(rules
+            .iter()
+            .any(|r| r.get("id").and_then(|v| v.as_str()) == Some("unbound-variable")));
+        let results = match runs[0].get("results") {
+            Some(JsonValue::Array(results)) => results,
+            other => panic!("results must be an array, got {other:?}"),
+        };
+        assert_eq!(results.len(), 1);
+        let result = &results[0];
+        assert_eq!(
+            result.get("ruleId").and_then(|v| v.as_str()),
+            Some("unbound-variable")
+        );
+        assert_eq!(result.get("level").and_then(|v| v.as_str()), Some("error"));
+        let region = result
+            .get("locations")
+            .and_then(|l| match l {
+                JsonValue::Array(items) => items.first(),
+                _ => None,
+            })
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .expect("span must survive into the region");
+        assert_eq!(region.get("startLine").and_then(|v| v.as_f64()), Some(8.0));
+        assert_eq!(
+            region.get("startColumn").and_then(|v| v.as_f64()),
+            Some(15.0)
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Variable and sort discipline.
+//!
+//! Three checks. First, every equation the loader **quarantined** —
+//! because its right-hand side or condition uses a variable the left-hand
+//! side does not bind, or its sides disagree on sort — is reported as a
+//! deny-level finding at its source span ([`LintCode::UnboundVariable`] /
+//! [`LintCode::SortIncoherent`]): such a rule is not executable, so the
+//! proof scores built on `red` would silently lose it. Second, installed
+//! rules are re-validated against the same discipline (defense in depth
+//! for rule sets assembled outside [`Spec`]), and **collapsing** rules —
+//! right-hand side a bare variable — are surfaced as information
+//! ([`LintCode::CollapsingRule`]): legal, but they erase structure and
+//! overlap with every rule. Third, declared module variables that occur
+//! in no installed equation are reported ([`LintCode::UnusedVariable`]).
+//!
+//! [`Spec`]: equitls_spec::spec::Spec
+
+use crate::diagnostics::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
+use equitls_kernel::term::{Term, TermStore};
+use equitls_rewrite::rule::{validate_rule, RuleDefect, RuleSet};
+use equitls_spec::spec::QuarantinedEquation;
+use std::collections::HashSet;
+
+/// Spec-level inputs to the pass; empty for raw rule-set lints.
+#[derive(Debug, Default)]
+pub struct VarsInput<'a> {
+    /// Equations the loader set aside as non-executable.
+    pub quarantined: &'a [QuarantinedEquation],
+    /// Declared variables per module: `(module name, variable names)`.
+    pub module_vars: Vec<(&'a str, &'a [String])>,
+}
+
+/// Which lint code a quarantine defect reports under, and its severity.
+///
+/// Everything quarantined is non-executable, so everything denies by
+/// default; the code differentiates *why* for configuration and SARIF.
+fn defect_code(defect: &RuleDefect) -> LintCode {
+    match defect {
+        RuleDefect::UnboundRhsVar(_) | RuleDefect::UnboundCondVar(_) => LintCode::UnboundVariable,
+        RuleDefect::SortMismatch { .. } | RuleDefect::NonBoolCondition(_) => {
+            LintCode::SortIncoherent
+        }
+        RuleDefect::VariableLhs => LintCode::CollapsingRule,
+    }
+}
+
+/// Run the variable-discipline pass.
+pub fn check_vars(
+    store: &TermStore,
+    rules: &RuleSet,
+    input: &VarsInput<'_>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    // 1. Quarantined equations: each one is a rule the system silently
+    //    lost. Deny, with the typed defect and the source span.
+    for q in input.quarantined {
+        report.push(
+            config,
+            Diagnostic {
+                code: defect_code(&q.defect),
+                severity: Severity::Deny,
+                message: format!(
+                    "equation `{}` in module {} is not executable and was quarantined: {} \
+                     (equation: {})",
+                    q.label, q.module, q.defect, q.rendered,
+                ),
+                rule: Some(q.label.clone()),
+                span: q.span,
+                justification: None,
+            },
+        );
+    }
+
+    // 2. Installed rules: re-validate the discipline and flag collapsing
+    //    right-hand sides.
+    let bool_sort = store.signature().sort_by_name("Bool");
+    let mut collapsing = 0usize;
+    for rule in rules.iter() {
+        if let Err(defect) = validate_rule(store, rule.lhs, rule.rhs, rule.cond, bool_sort) {
+            report.push(
+                config,
+                Diagnostic {
+                    code: defect_code(&defect),
+                    severity: Severity::Deny,
+                    message: format!(
+                        "installed rule `{}` violates the variable/sort discipline: {defect}",
+                        rule.label
+                    ),
+                    rule: Some(rule.label.clone()),
+                    span: None,
+                    justification: None,
+                },
+            );
+            continue;
+        }
+        if matches!(store.node(rule.rhs), Term::Var(_)) {
+            collapsing += 1;
+            report.push(
+                config,
+                Diagnostic {
+                    code: LintCode::CollapsingRule,
+                    severity: LintCode::CollapsingRule.default_severity(),
+                    message: format!(
+                        "rule `{}` is collapsing: its right-hand side is the bare variable {}",
+                        rule.label,
+                        store.display(rule.rhs),
+                    ),
+                    rule: Some(rule.label.clone()),
+                    span: None,
+                    justification: None,
+                },
+            );
+        }
+    }
+
+    // 3. Declared-but-unused module variables.
+    let mut used: HashSet<String> = HashSet::new();
+    for rule in rules.iter() {
+        let mut collect = |t| {
+            for v in store.vars_of(t) {
+                used.insert(store.var_decl(v).name.clone());
+            }
+        };
+        collect(rule.lhs);
+        collect(rule.rhs);
+        if let Some(c) = rule.cond {
+            collect(c);
+        }
+    }
+    let mut unused = 0usize;
+    for (module, vars) in &input.module_vars {
+        for name in vars.iter() {
+            if !used.contains(name) {
+                unused += 1;
+                report.push(
+                    config,
+                    Diagnostic {
+                        code: LintCode::UnusedVariable,
+                        severity: LintCode::UnusedVariable.default_severity(),
+                        message: format!(
+                            "variable `{name}` declared in module {module} occurs in no \
+                             installed equation"
+                        ),
+                        rule: None,
+                        span: None,
+                        justification: None,
+                    },
+                );
+            }
+        }
+    }
+
+    if input.quarantined.is_empty() {
+        report.note(format!(
+            "variable discipline: {} rules checked, {} collapsing, {} unused declared variables",
+            rules.len(),
+            collapsing,
+            unused,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_spec::spec::Spec;
+
+    #[test]
+    fn quarantined_unbound_rhs_variable_is_denied_with_span() {
+        let mut spec = Spec::new().unwrap();
+        spec.load_module(
+            r#"
+            mod! UNB {
+              [ U ]
+              op u0 : -> U {constr} .
+              op mk : U -> U {constr} .
+              op orphan : U -> U .
+              vars X Y : U .
+              eq [orphan-unbound] : orphan(X) = mk(Y) .
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.quarantined().len(), 1);
+        assert_eq!(
+            spec.rules().len(),
+            0,
+            "the defective equation must not install"
+        );
+        let input = VarsInput {
+            quarantined: spec.quarantined(),
+            module_vars: Vec::new(),
+        };
+        let config = LintConfig::new();
+        let mut report = LintReport::new("UNB");
+        check_vars(spec.store(), spec.rules(), &input, &config, &mut report);
+        let unbound = report.with_code(LintCode::UnboundVariable);
+        assert_eq!(unbound.len(), 1, "{report}");
+        assert_eq!(unbound[0].severity, Severity::Deny);
+        assert_eq!(unbound[0].rule.as_deref(), Some("orphan-unbound"));
+        assert!(
+            unbound[0].span.is_some(),
+            "quarantined findings carry spans"
+        );
+        assert!(unbound[0].message.contains("`Y`"));
+    }
+
+    #[test]
+    fn collapsing_and_unused_variables_are_informational() {
+        let mut spec = Spec::new().unwrap();
+        spec.load_module(
+            r#"
+            mod! COLL {
+              [ C ]
+              op c0 : -> C {constr} .
+              op id : C -> C .
+              vars X Z : C .
+              eq [id-x] : id(X) = X .
+            }
+            "#,
+        )
+        .unwrap();
+        let module_vars: Vec<(&str, &[String])> = spec
+            .modules()
+            .iter()
+            .map(|m| (m.name.as_str(), m.vars.as_slice()))
+            .collect();
+        let input = VarsInput {
+            quarantined: spec.quarantined(),
+            module_vars,
+        };
+        let config = LintConfig::new();
+        let mut report = LintReport::new("COLL");
+        check_vars(spec.store(), spec.rules(), &input, &config, &mut report);
+        let coll = report.with_code(LintCode::CollapsingRule);
+        assert_eq!(coll.len(), 1, "{report}");
+        assert_eq!(coll[0].severity, Severity::Allow);
+        let unused = report.with_code(LintCode::UnusedVariable);
+        assert_eq!(unused.len(), 1, "{report}");
+        assert!(unused[0].message.contains("`Z`"));
+        assert!(!report.has_deny());
+        assert!(report.notes[0].contains("1 collapsing"));
+    }
+}

@@ -33,6 +33,9 @@ pub enum SnapshotKind {
     Explorer,
     /// The prover's per-obligation outcome ledger.
     ProverLedger,
+    /// The lint analyzer's incremental pass cache: per-(target, pass)
+    /// input fingerprints and stored diagnostics.
+    LintCache,
 }
 
 impl SnapshotKind {
@@ -41,6 +44,7 @@ impl SnapshotKind {
         match self {
             SnapshotKind::Explorer => 1,
             SnapshotKind::ProverLedger => 2,
+            SnapshotKind::LintCache => 3,
         }
     }
 
@@ -48,6 +52,7 @@ impl SnapshotKind {
         match tag {
             1 => Some(SnapshotKind::Explorer),
             2 => Some(SnapshotKind::ProverLedger),
+            3 => Some(SnapshotKind::LintCache),
             _ => None,
         }
     }

@@ -74,5 +74,5 @@ pub mod prelude {
     pub use crate::engine::{Normalizer, RewriteStats, RuleProfile};
     pub use crate::equality::EqVerdict;
     pub use crate::error::RewriteError;
-    pub use crate::rule::{Rule, RuleSet};
+    pub use crate::rule::{validate_rule, Rule, RuleDefect, RuleSet};
 }

@@ -11,6 +11,110 @@ use equitls_kernel::prelude::*;
 use equitls_kernel::term::Term;
 use std::collections::HashMap;
 
+/// Why a candidate equation cannot be used as a rewrite rule.
+///
+/// [`RuleSet::add`] rejects such equations with
+/// [`RewriteError::InvalidRule`]; [`validate_rule`] exposes the same
+/// checks as a typed classification so front ends (the spec elaborator,
+/// the lint `vars` pass) can quarantine and report defective equations
+/// without string-matching error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleDefect {
+    /// The left-hand side is a bare variable: the rule would rewrite
+    /// every term of its sort.
+    VariableLhs,
+    /// Left- and right-hand sides have different sorts (rendered names).
+    SortMismatch {
+        /// Sort of the left-hand side.
+        lhs_sort: String,
+        /// Sort of the right-hand side.
+        rhs_sort: String,
+    },
+    /// A right-hand-side variable (by name) is not bound by the left-hand
+    /// side: the rule is not executable.
+    UnboundRhsVar(String),
+    /// A condition variable (by name) is not bound by the left-hand side.
+    UnboundCondVar(String),
+    /// The condition is not Bool-sorted (rendered sort name).
+    NonBoolCondition(String),
+}
+
+impl std::fmt::Display for RuleDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleDefect::VariableLhs => write!(f, "left-hand side is a bare variable"),
+            RuleDefect::SortMismatch { lhs_sort, rhs_sort } => write!(
+                f,
+                "left- and right-hand sides have different sorts ({lhs_sort} vs {rhs_sort})"
+            ),
+            RuleDefect::UnboundRhsVar(name) => write!(
+                f,
+                "right-hand side variable `{name}` is not bound by the left-hand side"
+            ),
+            RuleDefect::UnboundCondVar(name) => write!(
+                f,
+                "condition variable `{name}` is not bound by the left-hand side"
+            ),
+            RuleDefect::NonBoolCondition(sort) => {
+                write!(f, "condition is not Bool-sorted (found sort {sort})")
+            }
+        }
+    }
+}
+
+/// Validate a candidate rule without adding it anywhere.
+///
+/// Returns the head operator of the left-hand side on success. This is
+/// the exact check [`RuleSet::add`] performs; front ends call it first
+/// when they want to *quarantine* a defective equation (keeping its
+/// source span and a typed reason) instead of failing the whole load.
+///
+/// # Errors
+///
+/// The first [`RuleDefect`] found, in the documented check order:
+/// variable LHS, sort mismatch, unbound RHS variables, non-Bool
+/// condition, unbound condition variables.
+pub fn validate_rule(
+    store: &TermStore,
+    lhs: TermId,
+    rhs: TermId,
+    cond: Option<TermId>,
+    bool_sort: Option<SortId>,
+) -> Result<OpId, RuleDefect> {
+    let head = match store.node(lhs) {
+        Term::App { op, .. } => *op,
+        Term::Var(_) => return Err(RuleDefect::VariableLhs),
+    };
+    if store.sort_of(lhs) != store.sort_of(rhs) {
+        let name = |s: SortId| store.signature().sort(s).name.clone();
+        return Err(RuleDefect::SortMismatch {
+            lhs_sort: name(store.sort_of(lhs)),
+            rhs_sort: name(store.sort_of(rhs)),
+        });
+    }
+    let lhs_vars = store.vars_of(lhs);
+    for v in store.vars_of(rhs) {
+        if !lhs_vars.contains(&v) {
+            return Err(RuleDefect::UnboundRhsVar(store.var_decl(v).name.clone()));
+        }
+    }
+    if let Some(c) = cond {
+        if let Some(bs) = bool_sort {
+            if store.sort_of(c) != bs {
+                return Err(RuleDefect::NonBoolCondition(
+                    store.signature().sort(store.sort_of(c)).name.clone(),
+                ));
+            }
+        }
+        for v in store.vars_of(c) {
+            if !lhs_vars.contains(&v) {
+                return Err(RuleDefect::UnboundCondVar(store.var_decl(v).name.clone()));
+            }
+        }
+    }
+    Ok(head)
+}
+
 /// An oriented, possibly conditional, equation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
@@ -61,54 +165,15 @@ impl RuleSet {
         bool_sort: Option<SortId>,
     ) -> Result<(), RewriteError> {
         let label = label.into();
-        let head = match store.node(lhs) {
-            Term::App { op, .. } => *op,
-            Term::Var(_) => {
+        let head = match validate_rule(store, lhs, rhs, cond, bool_sort) {
+            Ok(head) => head,
+            Err(defect) => {
                 return Err(RewriteError::InvalidRule {
                     label,
-                    reason: "left-hand side is a bare variable".into(),
+                    reason: defect.to_string(),
                 })
             }
         };
-        if store.sort_of(lhs) != store.sort_of(rhs) {
-            return Err(RewriteError::InvalidRule {
-                label,
-                reason: "left- and right-hand sides have different sorts".into(),
-            });
-        }
-        let lhs_vars = store.vars_of(lhs);
-        for v in store.vars_of(rhs) {
-            if !lhs_vars.contains(&v) {
-                return Err(RewriteError::InvalidRule {
-                    label,
-                    reason: format!(
-                        "right-hand side variable `{}` is not bound by the left-hand side",
-                        store.var_decl(v).name
-                    ),
-                });
-            }
-        }
-        if let Some(c) = cond {
-            if let Some(bs) = bool_sort {
-                if store.sort_of(c) != bs {
-                    return Err(RewriteError::InvalidRule {
-                        label,
-                        reason: "condition is not Bool-sorted".into(),
-                    });
-                }
-            }
-            for v in store.vars_of(c) {
-                if !lhs_vars.contains(&v) {
-                    return Err(RewriteError::InvalidRule {
-                        label,
-                        reason: format!(
-                            "condition variable `{}` is not bound by the left-hand side",
-                            store.var_decl(v).name
-                        ),
-                    });
-                }
-            }
-        }
         let index = self.rules.len();
         self.rules.push(Rule {
             label,

@@ -47,6 +47,9 @@ pub struct OpAst {
     pub result: String,
     /// `{constr}` attribute.
     pub constructor: bool,
+    /// `{root}` attribute: an analysis root for dependency/reachability
+    /// lint passes (an entry point external consumers call into).
+    pub root: bool,
 }
 
 /// A position in the surface-DSL source text (1-based).

@@ -12,7 +12,7 @@
 //!           | ('var'|'vars') IDENT+ ':' IDENT '.'
 //!           | 'eq' term '=' term '.'
 //!           | 'ceq' term '=' term 'if' term '.'
-//! attrs    := '{' 'constr' '}'
+//! attrs    := '{' ('constr' | 'root')+ '}'
 //! term     := implies
 //! implies  := iff ('implies' implies)?                -- right assoc
 //! iff      := xor ('iff' xor)*
@@ -37,8 +37,9 @@
 use crate::ast::{BinOp, EqAst, ModuleAst, OpAst, TermAst};
 use crate::error::SpecError;
 use crate::lexer::{lex, Token, TokenKind};
-use crate::spec::Spec;
+use crate::spec::{QuarantinedEquation, Spec};
 use equitls_kernel::prelude::*;
+use equitls_rewrite::rule::validate_rule;
 use std::collections::HashMap;
 
 struct Parser {
@@ -300,12 +301,17 @@ impl Parser {
                     self.expect(&TokenKind::Arrow)?;
                     let result = self.expect_ident()?;
                     let mut constructor = false;
+                    let mut root = false;
                     if self.peek().kind == TokenKind::LBrace {
                         self.next();
-                        if self.eat_keyword("constr") {
-                            constructor = true;
-                        } else {
-                            return self.error("expected `constr` attribute");
+                        while self.peek().kind != TokenKind::RBrace {
+                            if self.eat_keyword("constr") {
+                                constructor = true;
+                            } else if self.eat_keyword("root") {
+                                root = true;
+                            } else {
+                                return self.error("expected `constr` or `root` attribute");
+                            }
                         }
                         self.expect(&TokenKind::RBrace)?;
                     }
@@ -316,6 +322,7 @@ impl Parser {
                         args,
                         result,
                         constructor,
+                        root,
                     });
                 }
                 TokenKind::Ident(kw) if kw == "var" || kw == "vars" => {
@@ -529,7 +536,10 @@ pub fn elaborate_module(spec: &mut Spec, ast: &ModuleAst) -> Result<(), SpecErro
         } else {
             OpAttrs::defined()
         };
-        spec.op(&op.name, &args, &op.result, attrs)?;
+        let id = spec.op(&op.name, &args, &op.result, attrs)?;
+        if op.root {
+            spec.mark_root(id);
+        }
     }
     let mut scope = ElabScope::new();
     for (names, sort) in &ast.vars {
@@ -545,15 +555,38 @@ pub fn elaborate_module(spec: &mut Spec, ast: &ModuleAst) -> Result<(), SpecErro
             .unwrap_or_else(|| format!("{}-eq{}", ast.name, i + 1));
         let lhs = elaborate_term(spec, &scope, &eq.lhs)?;
         let rhs = elaborate_term(spec, &scope, &eq.rhs)?;
-        match &eq.cond {
-            None => spec.eq(&label, lhs, rhs)?,
-            Some(c) => {
-                let cond = elaborate_term(spec, &scope, c)?;
-                spec.ceq(&label, lhs, rhs, cond)?;
-            }
-        }
+        let cond = match &eq.cond {
+            None => None,
+            Some(c) => Some(elaborate_term(spec, &scope, c)?),
+        };
         if let Some(span) = eq.span {
             spec.record_equation_span(&label, span);
+        }
+        // Validate before installing: an equation that cannot be a rewrite
+        // rule (unbound RHS variable, sort-incoherent sides, …) is
+        // quarantined with its typed defect instead of aborting the load,
+        // so lint can report every defective equation at its source span.
+        let bool_sort = spec.alg().sort();
+        match validate_rule(spec.store(), lhs, rhs, cond, Some(bool_sort)) {
+            Ok(_) => match cond {
+                None => spec.eq(&label, lhs, rhs)?,
+                Some(c) => spec.ceq(&label, lhs, rhs, c)?,
+            },
+            Err(defect) => {
+                let store = spec.store();
+                let mut rendered = format!("{} = {}", store.display(lhs), store.display(rhs));
+                if let Some(c) = cond {
+                    use std::fmt::Write as _;
+                    let _ = write!(rendered, " if {}", store.display(c));
+                }
+                spec.quarantine_equation(QuarantinedEquation {
+                    label,
+                    module: ast.name.clone(),
+                    defect,
+                    span: eq.span,
+                    rendered,
+                });
+            }
         }
     }
     Ok(())

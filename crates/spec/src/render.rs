@@ -100,7 +100,12 @@ pub fn render_module(m: &ModuleAst) -> String {
 
 fn render_op(op: &OpAst) -> String {
     let keyword = if op.behavioural { "bop" } else { "op" };
-    let attrs = if op.constructor { " {constr}" } else { "" };
+    let attrs = match (op.constructor, op.root) {
+        (true, true) => " {constr root}",
+        (true, false) => " {constr}",
+        (false, true) => " {root}",
+        (false, false) => "",
+    };
     format!(
         "{keyword} {} : {} -> {}{attrs} .",
         op.name,

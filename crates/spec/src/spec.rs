@@ -23,8 +23,34 @@ pub struct ModuleInfo {
     pub sorts: Vec<String>,
     /// Operators declared here.
     pub ops: Vec<OpId>,
+    /// Names of variables declared here (`var X : S`), in declaration
+    /// order. Lint's variable-discipline pass reports declared-but-unused
+    /// variables from this list.
+    pub vars: Vec<String>,
     /// Labels of equations declared here.
     pub equations: Vec<String>,
+}
+
+/// An equation that failed rule validation and was set aside instead of
+/// installed.
+///
+/// The DSL elaborator quarantines equations whose [`RuleDefect`] makes
+/// them unusable as rewrite rules (unbound right-hand-side variables,
+/// sort-incoherent sides, …) so the rest of the module still loads and
+/// static analysis can report every defect with its source position. The
+/// typed builder ([`Spec::eq`]/[`Spec::ceq`]) keeps failing eagerly.
+#[derive(Debug, Clone)]
+pub struct QuarantinedEquation {
+    /// The equation's label.
+    pub label: String,
+    /// The module the equation was declared in.
+    pub module: String,
+    /// Why the equation cannot be a rewrite rule.
+    pub defect: RuleDefect,
+    /// Source position of the declaration, when parsed from DSL text.
+    pub span: Option<SourceSpan>,
+    /// Rendering of the equation (`lhs = rhs [if cond]`) for reports.
+    pub rendered: String,
 }
 
 /// A specification under construction: signature + store + rules + modules.
@@ -58,6 +84,8 @@ pub struct Spec {
     rules: RuleSet,
     modules: Vec<ModuleInfo>,
     equation_spans: HashMap<String, SourceSpan>,
+    quarantined: Vec<QuarantinedEquation>,
+    roots: Vec<OpId>,
 }
 
 impl Spec {
@@ -75,6 +103,7 @@ impl Spec {
             imports: Vec::new(),
             sorts: vec!["Bool".to_string()],
             ops: Vec::new(),
+            vars: Vec::new(),
             equations: Vec::new(),
         };
         Ok(Spec {
@@ -83,6 +112,8 @@ impl Spec {
             rules: RuleSet::new(),
             modules: vec![bool_module],
             equation_spans: HashMap::new(),
+            quarantined: Vec::new(),
+            roots: Vec::new(),
         })
     }
 
@@ -263,6 +294,11 @@ impl Spec {
     pub fn var(&mut self, name: &str, sort: &str) -> Result<TermId, SpecError> {
         let sort_id = self.sort_id(sort)?;
         let v = self.store.declare_var(name, sort_id)?;
+        let name = name.to_string();
+        let m = self.current_module();
+        if !m.vars.contains(&name) {
+            m.vars.push(name);
+        }
         Ok(self.store.var(v))
     }
 
@@ -363,6 +399,38 @@ impl Spec {
             .add(&self.store, label, lhs, rhs, Some(cond), Some(bool_sort))?;
         self.current_module().equations.push(label.to_string());
         Ok(())
+    }
+
+    /// Mark an operator as an analysis **root**: a symbol external
+    /// consumers (invariants, observers, the `{root}` DSL attribute) call
+    /// into. Lint's dependency pass computes reachability from the roots;
+    /// rules on operators no root can reach are dead code.
+    pub fn mark_root(&mut self, op: OpId) {
+        if !self.roots.contains(&op) {
+            self.roots.push(op);
+        }
+    }
+
+    /// The explicitly marked analysis roots, in marking order.
+    pub fn root_ops(&self) -> &[OpId] {
+        &self.roots
+    }
+
+    /// Set aside an equation that failed rule validation.
+    ///
+    /// Used by the DSL elaborator so one defective equation does not abort
+    /// the whole module load; lint's variable-discipline pass turns each
+    /// quarantined equation into a deny-level diagnostic.
+    pub fn quarantine_equation(&mut self, mut q: QuarantinedEquation) {
+        if q.span.is_none() {
+            q.span = self.equation_span(&q.label);
+        }
+        self.quarantined.push(q);
+    }
+
+    /// Equations set aside by [`Spec::quarantine_equation`], in load order.
+    pub fn quarantined(&self) -> &[QuarantinedEquation] {
+        &self.quarantined
     }
 
     /// Record where equation `label` was declared in DSL source text.

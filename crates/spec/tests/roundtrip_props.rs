@@ -104,6 +104,7 @@ fn gen_op(rng: &mut SplitMix64) -> OpAst {
         // {constr} marks plain constructors; bops are never constructors
         // in the rendered grammar.
         constructor: constructor && !behavioural,
+        root: rng.next_bool(),
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::symbolic::TlsModel;
 use equitls_core::prelude::Ots;
 use equitls_core::CoreError;
-use equitls_lint::LintCode;
+use equitls_lint::{LintCode, LintConfig, Severity};
 use equitls_spec::error::SpecError;
 use equitls_spec::spec::Spec;
 
@@ -166,12 +166,25 @@ pub enum LintFixture {
     /// critical pair `a = b` with two distinct normal forms. Must be
     /// denied by `unjoinable-critical-pair`.
     NonConfluent,
+    /// `orphan(X) → wrap(Y)`: the right-hand side uses a variable the
+    /// left-hand side does not bind, so the loader quarantines the
+    /// equation. Must be denied by `unbound-variable`.
+    UnboundVariable,
+    /// A `{root}`-marked entry point plus an operator no root reaches:
+    /// its rule can never fire. Must be denied by `dead-rule` (escalated
+    /// from its warn default by [`LintFixture::config`]).
+    DeadRule,
 }
 
 impl LintFixture {
     /// All fixtures.
-    pub fn all() -> [LintFixture; 2] {
-        [LintFixture::Looping, LintFixture::NonConfluent]
+    pub fn all() -> [LintFixture; 4] {
+        [
+            LintFixture::Looping,
+            LintFixture::NonConfluent,
+            LintFixture::UnboundVariable,
+            LintFixture::DeadRule,
+        ]
     }
 
     /// Report-friendly name.
@@ -179,6 +192,8 @@ impl LintFixture {
         match self {
             LintFixture::Looping => "fixture: looping rule",
             LintFixture::NonConfluent => "fixture: non-confluent pair",
+            LintFixture::UnboundVariable => "fixture: unbound RHS variable",
+            LintFixture::DeadRule => "fixture: dead rule",
         }
     }
 
@@ -187,7 +202,24 @@ impl LintFixture {
         match self {
             LintFixture::Looping => LintCode::TerminationLoop,
             LintFixture::NonConfluent => LintCode::UnjoinableCriticalPair,
+            LintFixture::UnboundVariable => LintCode::UnboundVariable,
+            LintFixture::DeadRule => LintCode::DeadRule,
         }
+    }
+
+    /// The configuration the fixture is gated under. `dead-rule` defaults
+    /// to warn (TLS observers legitimately tolerate unreached helpers
+    /// during refactors), so the dead-code fixture escalates it to deny.
+    pub fn config(self) -> LintConfig {
+        let mut config = LintConfig::new();
+        if self == LintFixture::DeadRule {
+            config.set_severity(
+                LintCode::DeadRule,
+                Severity::Deny,
+                "fixture gate: seeded dead code must fail",
+            );
+        }
+        config
     }
 
     fn module_source(self) -> &'static str {
@@ -214,6 +246,33 @@ impl LintFixture {
                   var T : Tok .
                   eq [pick-a] : pick(T) = a .
                   eq [pick-b] : pick(T) = b .
+                }
+                "#
+            }
+            LintFixture::UnboundVariable => {
+                r#"
+                mod! UNBOUNDED {
+                  [ U ]
+                  op u0 : -> U {constr} .
+                  op wrap : U -> U {constr} .
+                  op orphan : U -> U .
+                  vars X Y : U .
+                  eq [orphan-unbound] : orphan(X) = wrap(Y) .
+                }
+                "#
+            }
+            LintFixture::DeadRule => {
+                r#"
+                mod! DEADCODE {
+                  [ D ]
+                  op d0 : -> D {constr} .
+                  op step : D -> D {root} .
+                  op live : D -> D .
+                  op stale : D -> D .
+                  var X : D .
+                  eq [step-live] : step(X) = live(X) .
+                  eq [live-base] : live(d0) = d0 .
+                  eq [stale-spin] : stale(d0) = d0 .
                 }
                 "#
             }
@@ -262,10 +321,10 @@ mod tests {
 
     #[test]
     fn lint_fixtures_are_denied_for_the_seeded_reason() {
-        use equitls_lint::{lint_spec, LintConfig, Severity};
+        use equitls_lint::lint_spec;
         for fixture in LintFixture::all() {
-            let mut spec = fixture.load().unwrap();
-            let report = lint_spec(&mut spec, fixture.name(), &LintConfig::new());
+            let spec = fixture.load().unwrap();
+            let report = lint_spec(&spec, fixture.name(), &fixture.config());
             assert!(report.has_deny(), "{}: {report}", fixture.name());
             let hits = report.with_code(fixture.expected_code());
             assert!(

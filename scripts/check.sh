@@ -58,6 +58,59 @@ cargo run -q --release -p equitls-tls --bin tls-trace -- \
     diff "$TRACE" "$TRACE" > /dev/null
 rm -f "$TRACE" "$PROFILE" "${PROFILE}.2"
 
+echo "== lint cache smoke: cold -> warm -> corrupted =="
+# A cold run writes the cache; a warm run over the unchanged spec reuses
+# every pass (byte-identical stdout) and still exits 0; a byte-flipped
+# cache is rejected with a typed error on stderr and the run completes
+# cold, without a panic.
+LINTCACHE="$(mktemp -u /tmp/equitls_check_XXXXXX.lint.snap)"
+cargo run -q --release -p equitls-tls --bin tls-lint -- \
+    --cache "$LINTCACHE" > /tmp/equitls_check_lint_cold.txt 2> /tmp/equitls_check_lint_cold.err
+grep -q "0 passes reused" /tmp/equitls_check_lint_cold.err
+cargo run -q --release -p equitls-tls --bin tls-lint -- \
+    --cache "$LINTCACHE" > /tmp/equitls_check_lint_warm.txt 2> /tmp/equitls_check_lint_warm.err
+grep -q "passes reused, 0 analyzed" /tmp/equitls_check_lint_warm.err
+cmp /tmp/equitls_check_lint_cold.txt /tmp/equitls_check_lint_warm.txt
+python3 - "$LINTCACHE" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[-1] ^= 1
+open(path, 'wb').write(data)
+EOF
+cargo run -q --release -p equitls-tls --bin tls-lint -- \
+    --cache "$LINTCACHE" > /tmp/equitls_check_lint_corrupt.txt 2> /tmp/equitls_check_lint_corrupt.err
+grep -q "is unusable" /tmp/equitls_check_lint_corrupt.err
+grep -q "0 passes reused" /tmp/equitls_check_lint_corrupt.err
+cmp /tmp/equitls_check_lint_cold.txt /tmp/equitls_check_lint_corrupt.txt
+rm -f "$LINTCACHE" /tmp/equitls_check_lint_{cold,warm,corrupt}.{txt,err}
+
+echo "== SARIF + dependency graph well-formedness =="
+SARIF="$(mktemp -u /tmp/equitls_check_XXXXXX.sarif)"
+DOT="$(mktemp -u /tmp/equitls_check_XXXXXX.dot)"
+cargo run -q --release -p equitls-tls --bin tls-lint -- \
+    --sarif "$SARIF" --graph "$DOT" > /dev/null
+python3 - "$SARIF" <<'EOF'
+import json, sys
+log = json.load(open(sys.argv[1]))
+assert log["version"] == "2.1.0", log["version"]
+assert len(log["runs"]) >= 1
+run = log["runs"][0]
+rules = run["tool"]["driver"]["rules"]
+assert any(r["id"] == "unbound-variable" for r in rules)
+assert any(r["id"] == "dead-rule" for r in rules)
+results = run["results"]
+assert results, "the fixture targets must contribute findings"
+assert all("ruleId" in r for r in results)
+assert any(
+    "region" in loc["physicalLocation"]
+    for r in results
+    for loc in r.get("locations", [])
+), "findings about parsed equations must carry source regions"
+EOF
+grep -q "^digraph" "$DOT"
+rm -f "$SARIF" "$DOT"
+
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
 
