@@ -43,7 +43,7 @@ use equitls_spec::spec::Spec;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables for the proof search.
@@ -106,6 +106,22 @@ pub struct ProverConfig {
     /// Requires a readable, valid ledger — a missing or corrupt snapshot
     /// is a typed [`CoreError::Persist`], never a silent fresh start.
     pub resume: bool,
+    /// Share finished normal forms between obligations through an
+    /// `Arc`-shared [`SharedNfCache`]: each obligation's initial goal
+    /// reduction may then replay subterm normal forms a sibling already
+    /// derived instead of recomputing them on its private spec clone.
+    /// **Off by default.** The engine's participation gates
+    /// (`Normalizer::set_shared_cache`) are built so a hit replays
+    /// exactly what a fresh derivation would produce, and the
+    /// determinism suite pins campaign outcomes with the cache on and
+    /// off — but the cache couples obligations through timing-dependent
+    /// hit patterns, so it is opt-in for speed, never silently enabled.
+    pub shared_nf_cache: bool,
+    /// Disable the discrimination-tree candidate index and fall back to
+    /// the per-head linear scan. The index returns candidates in
+    /// declaration order, so results are identical either way; this
+    /// knob exists for benchmarks and A/B determinism tests.
+    pub linear_scan: bool,
 }
 
 impl Default for ProverConfig {
@@ -126,6 +142,8 @@ impl Default for ProverConfig {
             checkpoint_path: None,
             checkpoint_every_secs: 0,
             resume: false,
+            shared_nf_cache: false,
+            linear_scan: false,
         }
     }
 }
@@ -217,6 +235,7 @@ pub struct Prover<'a> {
     invariants: &'a InvariantSet,
     config: ProverConfig,
     obs: Obs,
+    shared_nf: Option<Arc<SharedNfCache>>,
 }
 
 impl<'a> Prover<'a> {
@@ -228,7 +247,16 @@ impl<'a> Prover<'a> {
             invariants,
             config: ProverConfig::default(),
             obs: Obs::noop(),
+            shared_nf: None,
         }
+    }
+
+    /// Attach a campaign-wide shared normal-form cache (see
+    /// `ProverConfig::shared_nf_cache`); obligations run through this
+    /// prover hand it to their normalizers.
+    fn with_shared_nf(mut self, cache: Option<Arc<SharedNfCache>>) -> Self {
+        self.shared_nf = cache;
+        self
     }
 
     /// Replace the default configuration.
@@ -271,6 +299,12 @@ impl<'a> Prover<'a> {
             .get(invariant)
             .ok_or_else(|| CoreError::UnknownInvariant(invariant.to_string()))?
             .clone();
+        // Build the discrimination-tree index once on the pristine rule
+        // set: every obligation's spec clone then shares it by `Arc`
+        // instead of rebuilding per worker.
+        if !self.config.linear_scan {
+            self.spec.rules().path_index(self.spec.store());
+        }
         let pristine = self.spec.clone();
         let ctx = TaskCtx {
             spec: &pristine,
@@ -282,6 +316,10 @@ impl<'a> Prover<'a> {
             inv_name: invariant,
             hints,
             case_lemmas: Vec::new(),
+            shared_nf: self
+                .config
+                .shared_nf_cache
+                .then(|| Arc::new(SharedNfCache::new())),
         };
         let mut tasks: Vec<Task<'_>> = vec![Task::Base];
         tasks.extend(self.ots.actions.iter().map(Task::Step));
@@ -314,6 +352,12 @@ impl<'a> Prover<'a> {
             .get(invariant)
             .ok_or_else(|| CoreError::UnknownInvariant(invariant.to_string()))?
             .clone();
+        // Build the discrimination-tree index once on the pristine rule
+        // set: every obligation's spec clone then shares it by `Arc`
+        // instead of rebuilding per worker.
+        if !self.config.linear_scan {
+            self.spec.rules().path_index(self.spec.store());
+        }
         let pristine = self.spec.clone();
         let hints = Hints::new();
         let ctx = TaskCtx {
@@ -326,6 +370,10 @@ impl<'a> Prover<'a> {
             inv_name: invariant,
             hints: &hints,
             case_lemmas: lemma_names.iter().map(|s| (*s).to_string()).collect(),
+            shared_nf: self
+                .config
+                .shared_nf_cache
+                .then(|| Arc::new(SharedNfCache::new())),
         };
         let mut reports = run_tasks(&ctx, &[Task::CaseAnalysis])?;
         Ok(ProofReport::new(
@@ -414,6 +462,10 @@ impl<'a> Prover<'a> {
         norm.set_obs(self.obs.clone());
         if self.config.profile_rules {
             norm.set_profiling(true);
+        }
+        norm.set_indexing(!self.config.linear_scan);
+        if let Some(cache) = &self.shared_nf {
+            norm.set_shared_cache(Some(cache.clone()));
         }
         let mut stats = SearchStats {
             metrics: ProverMetrics::default(),
@@ -1138,6 +1190,11 @@ struct TaskCtx<'c> {
     inv_name: &'c str,
     hints: &'c Hints,
     case_lemmas: Vec<String>,
+    /// The campaign-wide shared normal-form cache, when
+    /// `ProverConfig::shared_nf_cache` is on: every obligation's worker
+    /// attaches the same `Arc`, so goal reductions exchange finished
+    /// subterm normal forms across their private spec clones.
+    shared_nf: Option<Arc<SharedNfCache>>,
 }
 
 /// Stack size for prover worker threads. The case-split recursion on top
@@ -1229,7 +1286,8 @@ fn run_task_inner(ctx: &TaskCtx<'_>, task: &Task<'_>) -> Result<StepReport, Core
     let mut local = ctx.spec.clone();
     let mut prover = Prover::new(&mut local, ctx.ots, ctx.invariants)
         .with_config(ctx.config.clone())
-        .with_obs(ctx.obs.clone());
+        .with_obs(ctx.obs.clone())
+        .with_shared_nf(ctx.shared_nf.clone());
     match task {
         Task::Base => {
             let lemmas = prover.resolve_lemmas(&ctx.hints.lemmas_for(ctx.inv_name, None))?;

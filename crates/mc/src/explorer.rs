@@ -840,10 +840,20 @@ where
         let level_start = search.states.len();
         let level_faults = search.faults.len();
         let (succ_before, dedup_before) = (search.succ_time, search.dedup_time);
+        let dedup_hits_before = search.dedup_hits;
         stop = expand(model, &mut search, &frontier, depth, limits);
         states_per_depth.push(search.states.len() - level_start);
         obs.gauge("mc.frontier", search.next_frontier.len() as f64);
         obs.counter("mc.states", search.next_frontier.len() as u64);
+        // Per-level dedup hits: the explorer's analogue of a cache hit —
+        // how many generated successors were already-seen states. The
+        // concrete explorer never rewrites (successors are computed by
+        // direct term construction), so this, not a normal-form cache,
+        // is where its redundant work is saved.
+        let level_dedup_hits = (search.dedup_hits - dedup_hits_before) as u64;
+        if level_dedup_hits > 0 {
+            obs.counter(&format!("mc.dedup_hits:{depth}"), level_dedup_hits);
+        }
         if search.timed {
             // Per-level phase split: successor generation vs. merge/dedup
             // (suffixed like the rewrite engine's per-rule counters, so

@@ -14,6 +14,19 @@
 //! hash-consed [`TermId`]s and a fuel bound that turns accidental
 //! divergence into a reported error instead of a hang.
 //!
+//! Candidate rules at each root are found through a discrimination-tree
+//! index ([`crate::rule::PathIndex`], built lazily on first use) that
+//! prunes structurally incompatible rules before any matcher runs; the
+//! index returns candidates in declaration order, so firing order — and
+//! therefore every result and every [`RewriteStats`] counter — is
+//! bit-identical to the linear scan it replaces
+//! ([`Normalizer::set_indexing`] restores the scan for comparison). The
+//! memo cache is segmented (hot/cold with second-chance promotion, see
+//! [`Normalizer::set_cache_capacity`]), and an optional cross-session
+//! [`crate::shared::SharedNfCache`] lets parallel prover obligations
+//! exchange finished normal forms (see [`Normalizer::set_shared_cache`]
+//! for the strict participation gates that protect determinism).
+//!
 //! ## Blocked conditions
 //!
 //! When a conditional rule matches but its condition normalizes to neither
@@ -29,7 +42,8 @@ use crate::boolring::Poly;
 use crate::budget::{trigger_injected_panic, Budget, FaultKind, FaultPlan, FaultSite, StopReason};
 use crate::equality::{decide_equality, EqVerdict};
 use crate::error::RewriteError;
-use crate::rule::RuleSet;
+use crate::rule::{PathIndex, RuleSet};
+use crate::shared::{fingerprint, EncodedTerm, SharedEntry, SharedNfCache};
 use equitls_kernel::matching::{match_term, MatchOutcome};
 use equitls_kernel::prelude::*;
 use equitls_kernel::term::Term;
@@ -55,7 +69,11 @@ pub struct RewriteStats {
     pub eq_decisions: u64,
     /// Conditional-rule attempts whose condition stayed undecided.
     pub blocked_conditions: u64,
-    /// Whole-cache resets forced by the memo-cache capacity bound.
+    /// Memo-segment rotations forced by the memo-cache capacity bound:
+    /// when the hot segment fills, the cold segment is dropped and the
+    /// hot segment becomes the new cold one, so entries touched since the
+    /// last rotation survive capacity pressure (see
+    /// [`Normalizer::set_cache_capacity`]).
     pub cache_evictions: u64,
 }
 
@@ -103,6 +121,44 @@ impl fmt::Display for RewriteStats {
     }
 }
 
+/// Counters for the candidate-rule index and the shared normal-form
+/// cache. Kept apart from [`RewriteStats`] on purpose: the index prunes
+/// rules that could never have matched, so a `RewriteStats` snapshot is
+/// bit-identical with the index on or off, and these counters carry the
+/// (mode-dependent) bookkeeping instead. Emitted by
+/// [`Normalizer::emit_profile`] as `rewrite.index_*` / `rewrite.shared_*`
+/// counters so `tls-trace summarize` shows the win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Discrimination-tree traversals (one per indexed root attempt).
+    pub index_lookups: u64,
+    /// Candidate rules the index returned across all lookups.
+    pub index_candidates: u64,
+    /// Rules sharing the root operator that the index proved structurally
+    /// incompatible before any matcher ran.
+    pub index_pruned: u64,
+    /// Shared-cache lookups that replayed a published normal form.
+    pub shared_hits: u64,
+    /// Shared-cache lookups that found nothing usable.
+    pub shared_misses: u64,
+    /// Clean windows this session published to the shared cache.
+    pub shared_published: u64,
+}
+
+impl EngineCounters {
+    /// Sum of two counter records.
+    pub fn merged(self, other: EngineCounters) -> EngineCounters {
+        EngineCounters {
+            index_lookups: self.index_lookups + other.index_lookups,
+            index_candidates: self.index_candidates + other.index_candidates,
+            index_pruned: self.index_pruned + other.index_pruned,
+            shared_hits: self.shared_hits + other.shared_hits,
+            shared_misses: self.shared_misses + other.shared_misses,
+            shared_published: self.shared_published + other.shared_published,
+        }
+    }
+}
+
 /// Per-rule profile: how often a named rule was tried, failed to match,
 /// fired, or blocked, and the cumulative time spent on it. Collected only
 /// when [`Normalizer::set_profiling`] is on.
@@ -129,10 +185,11 @@ pub struct RuleProfile {
 /// Default fuel budget per top-level [`Normalizer::normalize`] call.
 pub const DEFAULT_FUEL: u64 = 5_000_000;
 
-/// Default memo-cache capacity (entries). At two machine words per entry
-/// plus hash-table overhead this bounds the cache around a few tens of
-/// megabytes; long prover runs reset it instead of growing without bound
-/// (evictions are counted in [`RewriteStats::cache_evictions`]).
+/// Default memo-cache capacity (entries). At a few machine words per
+/// entry plus hash-table overhead this bounds the cache around a few tens
+/// of megabytes; long prover runs rotate the segmented cache instead of
+/// growing without bound (rotations are counted in
+/// [`RewriteStats::cache_evictions`]).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
 /// A rewriting session: rules + assumptions + caches.
@@ -145,8 +202,37 @@ pub struct Normalizer {
     alg: BoolAlg,
     rules: RuleSet,
     assumptions: RuleSet,
-    cache: HashMap<TermId, TermId>,
+    /// Hot memo segment: entries inserted or touched since the last
+    /// rotation. Bounded to half the configured capacity.
+    hot: HashMap<TermId, MemoEntry>,
+    /// Cold memo segment: the previous hot segment. A lookup that hits
+    /// here promotes the entry back into `hot` (its second chance); a
+    /// rotation drops whatever was never touched.
+    cold: HashMap<TermId, MemoEntry>,
     cache_capacity: usize,
+    /// Monotone counter stamped onto memo entries; the shared-cache
+    /// window logic uses it to tell in-window entries from older ones.
+    epoch: u64,
+    /// Smallest epoch of any memo entry hit since the innermost open
+    /// window began (`u64::MAX` = none). Only maintained while
+    /// `shared_active`.
+    min_hit_epoch: u64,
+    /// Smallest `blocked` index any in-window recording deduplicated
+    /// against (`usize::MAX` = none). Only maintained while
+    /// `shared_active`.
+    min_dedup_idx: usize,
+    shared: Option<Arc<SharedNfCache>>,
+    /// `true` only inside a top-level [`Normalizer::normalize`] call that
+    /// passed the participation gates (shared cache attached, no
+    /// assumptions, cold memo).
+    shared_active: bool,
+    /// Discrimination-tree index over `rules`, built lazily on first
+    /// root-matching attempt and shared by clones.
+    index: Option<Arc<PathIndex>>,
+    use_index: bool,
+    index_scratch: Vec<TermId>,
+    candidate_scratch: Vec<usize>,
+    counters: EngineCounters,
     blocked: Vec<TermId>,
     stats: RewriteStats,
     fuel: u64,
@@ -159,6 +245,25 @@ pub struct Normalizer {
     profiles: HashMap<String, RuleProfile>,
     budget: Budget,
     fault: Option<FaultHook>,
+}
+
+/// One memo entry: the normal form plus the epoch at which it was
+/// inserted (promotions keep the original epoch — the entry's *content*
+/// predates the promotion).
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    value: TermId,
+    epoch: u64,
+}
+
+/// Saved window state for one `norm` activation while the shared cache
+/// participates; see [`Normalizer::set_shared_cache`].
+#[derive(Debug, Clone, Copy)]
+struct WindowFrame {
+    start_epoch: u64,
+    blocked_start: usize,
+    saved_min_hit_epoch: u64,
+    saved_min_dedup_idx: usize,
 }
 
 /// Fault-injection bookkeeping for one rewriting session. Clones (the
@@ -201,8 +306,19 @@ impl Normalizer {
             alg,
             rules,
             assumptions: RuleSet::new(),
-            cache: HashMap::new(),
+            hot: HashMap::new(),
+            cold: HashMap::new(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            epoch: 0,
+            min_hit_epoch: u64::MAX,
+            min_dedup_idx: usize::MAX,
+            shared: None,
+            shared_active: false,
+            index: None,
+            use_index: true,
+            index_scratch: Vec::new(),
+            candidate_scratch: Vec::new(),
+            counters: EngineCounters::default(),
             blocked: Vec::new(),
             stats: RewriteStats::default(),
             fuel: DEFAULT_FUEL,
@@ -248,28 +364,86 @@ impl Normalizer {
     }
 
     /// Override the memo-cache capacity (entries; see
-    /// [`DEFAULT_CACHE_CAPACITY`]). When an insertion would exceed it, the
-    /// whole cache is reset and [`RewriteStats::cache_evictions`] is
-    /// bumped — a coarse but allocation-free bound (no LRU bookkeeping on
-    /// the hot path). A capacity of 0 disables memoization.
+    /// [`DEFAULT_CACHE_CAPACITY`]). The cache is two segments of at most
+    /// `capacity / 2` entries each: inserts land in the hot segment; when
+    /// it fills, the cold segment is dropped, the hot segment becomes the
+    /// new cold one, and [`RewriteStats::cache_evictions`] counts the
+    /// rotation. A lookup that hits the cold segment promotes its entry
+    /// back into the hot one — a second chance, so entries in active use
+    /// survive capacity pressure instead of being wiped wholesale (the
+    /// pre-segmentation behavior), while the bound stays allocation-free
+    /// on the hot path (no per-entry LRU bookkeeping). A capacity of 0
+    /// disables memoization.
     pub fn set_cache_capacity(&mut self, capacity: usize) {
         self.cache_capacity = capacity;
-        if self.cache.len() > capacity {
-            self.cache.clear();
+        if self.hot.len() + self.cold.len() > capacity {
+            self.clear_memo();
             self.stats.cache_evictions += 1;
         }
     }
 
-    /// Insert a memo entry, resetting the cache first when full.
-    fn cache_insert(&mut self, key: TermId, value: TermId) {
-        if self.cache.len() >= self.cache_capacity {
-            if self.cache_capacity == 0 {
-                return;
-            }
-            self.cache.clear();
+    /// Entries one segment may hold before a rotation.
+    fn segment_capacity(&self) -> usize {
+        if self.cache_capacity == 0 {
+            0
+        } else {
+            (self.cache_capacity / 2).max(1)
+        }
+    }
+
+    /// Put an entry into the hot segment, rotating the segments first
+    /// when it is full.
+    fn hot_insert(&mut self, key: TermId, entry: MemoEntry) {
+        let cap = self.segment_capacity();
+        if cap == 0 {
+            return;
+        }
+        if self.hot.len() >= cap {
+            self.cold = std::mem::take(&mut self.hot);
             self.stats.cache_evictions += 1;
         }
-        self.cache.insert(key, value);
+        self.hot.insert(key, entry);
+    }
+
+    /// Insert a memo entry at the current epoch.
+    fn cache_insert(&mut self, key: TermId, value: TermId) {
+        self.epoch += 1;
+        let entry = MemoEntry {
+            value,
+            epoch: self.epoch,
+        };
+        self.hot_insert(key, entry);
+    }
+
+    /// Look up a memo entry, promoting cold hits into the hot segment
+    /// (keeping their original epoch) and feeding the shared-cache window
+    /// poison tracking when active.
+    fn cache_lookup(&mut self, key: TermId) -> Option<TermId> {
+        let entry = if let Some(e) = self.hot.get(&key) {
+            *e
+        } else if let Some(e) = self.cold.remove(&key) {
+            self.hot_insert(key, e);
+            e
+        } else {
+            return None;
+        };
+        if self.shared_active {
+            self.min_hit_epoch = self.min_hit_epoch.min(entry.epoch);
+        }
+        Some(entry.value)
+    }
+
+    /// Drop both memo segments (assumptions changed, so every cached
+    /// normal form is suspect).
+    fn clear_memo(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+    }
+
+    /// `true` when nothing is memoized — the cold-start condition the
+    /// shared cache's participation gate requires.
+    fn memo_is_empty(&self) -> bool {
+        self.hot.is_empty() && self.cold.is_empty()
     }
 
     /// Attach an observability handle; counters and gauges flow to its
@@ -329,6 +503,21 @@ impl Normalizer {
             .gauge("rewrite.cache_hit_rate", self.stats.cache_hit_rate());
         self.obs.gauge("rewrite.fuel_remaining", self.fuel as f64);
         self.obs.counter("rewrite.rewrites", self.stats.rewrites);
+        // Index and shared-cache counters, zero-skipped like the rule
+        // profiles (linear-scan or cache-off runs should not emit noise).
+        let c = self.counters;
+        for (name, value) in [
+            ("rewrite.index_lookups", c.index_lookups),
+            ("rewrite.index_candidates", c.index_candidates),
+            ("rewrite.index_pruned", c.index_pruned),
+            ("rewrite.shared_hits", c.shared_hits),
+            ("rewrite.shared_misses", c.shared_misses),
+            ("rewrite.shared_published", c.shared_published),
+        ] {
+            if value > 0 {
+                self.obs.counter(name, value);
+            }
+        }
     }
 
     /// Fold another normalizer's counters and per-rule profiles into this
@@ -338,6 +527,7 @@ impl Normalizer {
     /// counting.
     pub fn absorb(&mut self, other: &Normalizer) {
         self.stats = self.stats.merged(other.stats);
+        self.counters = self.counters.merged(other.counters);
         for (label, p) in &other.profiles {
             let entry = self
                 .profiles
@@ -359,6 +549,7 @@ impl Normalizer {
     /// covers exactly one obligation.
     pub fn reset_stats(&mut self) {
         self.stats = RewriteStats::default();
+        self.counters = EngineCounters::default();
         self.profiles.clear();
     }
 
@@ -382,6 +573,48 @@ impl Normalizer {
         self.stats
     }
 
+    /// Index and shared-cache counters accumulated so far (see
+    /// [`EngineCounters`]).
+    pub fn engine_counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Toggle the discrimination-tree candidate index (on by default).
+    /// With the index off, candidates come from the per-head linear scan;
+    /// results and [`RewriteStats`] are identical either way — the flag
+    /// exists so benchmarks and determinism tests can compare the paths.
+    pub fn set_indexing(&mut self, on: bool) {
+        self.use_index = on;
+    }
+
+    /// Attach (or detach, with `None`) a shared normal-form cache.
+    ///
+    /// ## Participation gates
+    ///
+    /// The cache participates only in top-level
+    /// [`Normalizer::normalize`] calls that start with **no assumptions**
+    /// and an **empty memo cache** — in the prover that is exactly the
+    /// initial goal reduction of each obligation, before any case split
+    /// installs passage equations. Within a participating call, a
+    /// sub-computation is *published* only when its window is **clean**:
+    /// it hit no memo entry predating the window and deduplicated no
+    /// blocked condition against a pre-window recording, so its normal
+    /// form and blocked conditions are exactly what a from-scratch
+    /// derivation produces. A *hit* replays the published normal form and
+    /// blocked conditions into the consumer's arena by name (see
+    /// [`crate::shared`]); it can only skip work a fresh derivation would
+    /// have repeated, never change its result — the residual coupling
+    /// through arena-local atom ordering is pinned by the determinism
+    /// suite, and the prover ships with the cache **off** by default.
+    pub fn set_shared_cache(&mut self, cache: Option<Arc<SharedNfCache>>) {
+        self.shared = cache;
+    }
+
+    /// The shared normal-form cache currently attached, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedNfCache>> {
+        self.shared.as_ref()
+    }
+
     /// Add an assumption equation `lhs = rhs`, used as a highest-priority
     /// rewrite rule. Clears the memo cache.
     ///
@@ -396,7 +629,7 @@ impl Normalizer {
         rhs: TermId,
     ) -> Result<(), RewriteError> {
         self.assumptions.add(store, label, lhs, rhs, None, None)?;
-        self.cache.clear();
+        self.clear_memo();
         Ok(())
     }
 
@@ -449,7 +682,7 @@ impl Normalizer {
                     }
                 }
                 std::mem::swap(&mut self.assumptions, &mut others);
-                self.cache.clear();
+                self.clear_memo();
                 self.fuel = self.fuel_limit;
                 let ln = self.norm(store, pairs[i].1);
                 let rn = self.norm(store, pairs[i].2);
@@ -508,7 +741,7 @@ impl Normalizer {
                 rebuilt.add(store, label.clone(), *l, *r, None, None)?;
             }
             self.assumptions = rebuilt;
-            self.cache.clear();
+            self.clear_memo();
             if !changed {
                 break;
             }
@@ -533,7 +766,17 @@ impl Normalizer {
     pub fn normalize(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
         self.check_budget(store, t)?;
         self.fuel = self.fuel_limit;
-        self.norm(store, t)
+        // Shared-cache participation gate: assumption-free, cold-start
+        // top-level calls only (see `set_shared_cache`).
+        self.shared_active =
+            self.shared.is_some() && self.assumptions.is_empty() && self.memo_is_empty();
+        if self.shared_active {
+            self.min_hit_epoch = u64::MAX;
+            self.min_dedup_idx = usize::MAX;
+        }
+        let result = self.norm(store, t);
+        self.shared_active = false;
+        result
     }
 
     /// Normalize `t` and report whether it is `true` — the paper's
@@ -595,7 +838,8 @@ impl Normalizer {
     /// arena plus memo cache. Coarse by design — the budget's memory
     /// ceiling is a tripwire on arena growth, not an allocator audit.
     fn heap_estimate(&self, store: &TermStore) -> u64 {
-        (store.term_count() as u64) * 96 + (self.cache.len() as u64) * 32
+        let memo = (self.hot.len() + self.cold.len()) as u64;
+        (store.term_count() as u64) * 96 + memo * 40
     }
 
     /// Check the shared budget, translating a trip into a typed error.
@@ -636,22 +880,119 @@ impl Normalizer {
     }
 
     fn norm(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
-        if let Some(&r) = self.cache.get(&t) {
+        if let Some(r) = self.cache_lookup(t) {
             self.stats.cache_hits += 1;
             return Ok(r);
         }
         self.stats.cache_misses += 1;
+        if self.shared_active {
+            if let Some(r) = self.shared_consult(store, t) {
+                return Ok(r);
+            }
+        }
         self.depth += 1;
         if self.depth > self.max_depth {
             self.depth -= 1;
             return Err(self.exhausted(store, t));
         }
+        let frame = if self.shared_active {
+            Some(self.window_open())
+        } else {
+            None
+        };
         let result = self.norm_uncached(store, t);
         self.depth -= 1;
         let result = result?;
+        if let Some(frame) = frame {
+            self.window_close(store, frame, t, result);
+        }
         self.cache_insert(t, result);
         self.cache_insert(result, result);
         Ok(result)
+    }
+
+    /// Try to resolve `t` from the shared cache. On a hit, replays the
+    /// published normal form and blocked conditions into this session
+    /// (memoizing them at fresh epochs) and returns the normal form; any
+    /// decode failure fails closed as a miss.
+    fn shared_consult(&mut self, store: &mut TermStore, t: TermId) -> Option<TermId> {
+        if !matches!(store.node(t), Term::App { .. }) {
+            return None;
+        }
+        let cache = self.shared.clone()?;
+        let fp = fingerprint(store, t);
+        let Some(entry) = cache.lookup(fp) else {
+            self.counters.shared_misses += 1;
+            return None;
+        };
+        let decoded = (|| {
+            let nf = entry.nf.decode(store)?;
+            let mut blocked = Vec::with_capacity(entry.blocked.len());
+            for enc in &entry.blocked {
+                blocked.push(enc.decode(store)?);
+            }
+            Some((nf, blocked))
+        })();
+        let Some((nf, blocked)) = decoded else {
+            self.counters.shared_misses += 1;
+            return None;
+        };
+        self.counters.shared_hits += 1;
+        // Replay the blocked recordings with the same dedup a fresh
+        // derivation applies, feeding the enclosing window's poison
+        // tracking exactly as a fresh dedup would.
+        for b in blocked {
+            match self.blocked.iter().position(|&x| x == b) {
+                Some(i) => self.min_dedup_idx = self.min_dedup_idx.min(i),
+                None => self.blocked.push(b),
+            }
+        }
+        self.cache_insert(t, nf);
+        if nf != t {
+            self.cache_insert(nf, nf);
+        }
+        Some(nf)
+    }
+
+    /// Open a shared-cache window for one `norm` activation: remember the
+    /// enclosing window's poison state and start fresh.
+    fn window_open(&mut self) -> WindowFrame {
+        let frame = WindowFrame {
+            start_epoch: self.epoch,
+            blocked_start: self.blocked.len(),
+            saved_min_hit_epoch: self.min_hit_epoch,
+            saved_min_dedup_idx: self.min_dedup_idx,
+        };
+        self.min_hit_epoch = u64::MAX;
+        self.min_dedup_idx = usize::MAX;
+        frame
+    }
+
+    /// Close a window: publish it when clean (no dependency on pre-window
+    /// state, so the result equals a from-scratch derivation), then fold
+    /// the poison state back into the enclosing window.
+    fn window_close(&mut self, store: &TermStore, frame: WindowFrame, subject: TermId, nf: TermId) {
+        let clean =
+            self.min_hit_epoch > frame.start_epoch && self.min_dedup_idx >= frame.blocked_start;
+        if clean && matches!(store.node(subject), Term::App { .. }) {
+            if let Some(cache) = self.shared.clone() {
+                let fp = fingerprint(store, subject);
+                if !cache.contains(fp) {
+                    let entry = SharedEntry {
+                        nf: EncodedTerm::encode(store, nf),
+                        blocked: self.blocked[frame.blocked_start..]
+                            .iter()
+                            .map(|&b| EncodedTerm::encode(store, b))
+                            .collect(),
+                    };
+                    if cache.publish(fp, entry) {
+                        self.counters.shared_published += 1;
+                    }
+                }
+            }
+        }
+        self.min_hit_epoch = self.min_hit_epoch.min(frame.saved_min_hit_epoch);
+        self.min_dedup_idx = self.min_dedup_idx.min(frame.saved_min_dedup_idx);
     }
 
     fn norm_uncached(&mut self, store: &mut TermStore, t: TermId) -> Result<TermId, RewriteError> {
@@ -714,12 +1055,40 @@ impl Normalizer {
         // Labels are cloned into the candidate list only when profiling:
         // the common (unprofiled) path must stay allocation-light.
         let profiling = self.profiling;
-        let candidates: Vec<(TermId, TermId, Option<TermId>, Option<String>)> = self
+        // Assumption rules are always linear-scanned: the set is small,
+        // changes at every case split, and has highest priority.
+        let mut candidates: Vec<(TermId, TermId, Option<TermId>, Option<String>)> = self
             .assumptions
             .candidates(op)
-            .chain(self.rules.candidates(op))
             .map(|r| (r.lhs, r.rhs, r.cond, profiling.then(|| r.label.clone())))
             .collect();
+        if self.use_index && !self.rules.is_empty() {
+            // Specification rules come from the discrimination tree. The
+            // index over-approximates (non-linearity and conditions are
+            // left to the matcher) and returns candidates in declaration
+            // order, so firing order — and every stats counter — matches
+            // the linear scan exactly; only provably incompatible rules
+            // are pruned before `match_term` runs.
+            let index = self.ensure_index(store);
+            let mut scratch = std::mem::take(&mut self.index_scratch);
+            let mut picked = std::mem::take(&mut self.candidate_scratch);
+            index.candidates_into(store, t, &mut scratch, &mut picked);
+            self.counters.index_lookups += 1;
+            self.counters.index_candidates += picked.len() as u64;
+            self.counters.index_pruned += (index.head_total(op) - picked.len()) as u64;
+            candidates.extend(picked.iter().map(|&i| {
+                let r = self.rules.get(i).expect("index yields valid rule indices");
+                (r.lhs, r.rhs, r.cond, profiling.then(|| r.label.clone()))
+            }));
+            self.index_scratch = scratch;
+            self.candidate_scratch = picked;
+        } else {
+            candidates.extend(
+                self.rules
+                    .candidates(op)
+                    .map(|r| (r.lhs, r.rhs, r.cond, profiling.then(|| r.label.clone()))),
+            );
+        }
         for (lhs, rhs, cond, label) in candidates {
             let started = label.as_ref().map(|_| Instant::now());
             let subst = match match_term(store, lhs, t) {
@@ -748,8 +1117,12 @@ impl Normalizer {
                         }
                         None => {
                             self.stats.blocked_conditions += 1;
-                            if !self.blocked.contains(&nc) {
-                                self.blocked.push(nc);
+                            match self.blocked.iter().position(|&b| b == nc) {
+                                // A dedup against an earlier recording:
+                                // note its index for the shared-cache
+                                // window poison tracking.
+                                Some(i) => self.min_dedup_idx = self.min_dedup_idx.min(i),
+                                None => self.blocked.push(nc),
                             }
                             self.profile(label, started, |p| p.blocked += 1);
                             continue;
@@ -759,6 +1132,21 @@ impl Normalizer {
             }
         }
         Ok(None)
+    }
+
+    /// The discrimination-tree index over the specification rules,
+    /// building it on first use. Clones share the built index through the
+    /// `Arc` (the rule set is fixed for the life of a session).
+    fn ensure_index(&mut self, store: &TermStore) -> Arc<PathIndex> {
+        if let Some(index) = &self.index {
+            return index.clone();
+        }
+        // The rule set builds (or reuses) the shared index: a normalizer
+        // created from an already-indexed `RuleSet` clone pays one `Arc`
+        // bump here, not a rebuild.
+        let index = self.rules.path_index(store);
+        self.index = Some(index.clone());
+        index
     }
 
     /// Record one candidate attempt against rule `label` (no-op when
@@ -1509,5 +1897,199 @@ mod tests {
         assert!(s1.bool_normalizations > 0);
         let merged = s1.merged(s1);
         assert_eq!(merged.bool_normalizations, 2 * s1.bool_normalizations);
+    }
+
+    #[test]
+    fn second_chance_keeps_touched_entries_across_rotations() {
+        let mut w = bool_world();
+        let t: Vec<TermId> = (0..4)
+            .map(|_| w.store.fresh_constant("t", w.alg.sort()))
+            .collect();
+        let mut norm = Normalizer::new(w.alg.clone(), RuleSet::new());
+        norm.set_cache_capacity(4); // segments of 2
+        norm.cache_insert(t[0], t[0]);
+        norm.cache_insert(t[1], t[1]); // hot = {t0, t1}
+        norm.cache_insert(t[2], t[2]); // rotation: cold = {t0, t1}, hot = {t2}
+        assert_eq!(norm.stats().cache_evictions, 1);
+        // Touch t0: promoted back into the hot segment.
+        assert_eq!(norm.cache_lookup(t[0]), Some(t[0]));
+        norm.cache_insert(t[3], t[3]); // rotation: cold = {t2, t0}, hot = {t3}
+        assert_eq!(norm.stats().cache_evictions, 2);
+        assert_eq!(
+            norm.cache_lookup(t[0]),
+            Some(t[0]),
+            "the touched entry survived two rotations"
+        );
+        assert_eq!(
+            norm.cache_lookup(t[1]),
+            None,
+            "the untouched entry was dropped with the cold segment"
+        );
+    }
+
+    /// A world with same-head rule families and a conditional rule, so
+    /// the index has something to prune and something to leave to the
+    /// matcher.
+    fn prunable_world() -> (TermStore, BoolAlg, RuleSet, Vec<TermId>) {
+        let mut sig = Signature::new();
+        let mut alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s], s, OpAttrs::defined()).unwrap();
+        let h = sig.add_op("h", &[s], s, OpAttrs::defined()).unwrap();
+        let mut store = TermStore::new(sig);
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let cv = store.constant(c);
+        let dv = store.constant(d);
+        let fc = store.app(f, &[cv]).unwrap();
+        let fd = store.app(f, &[dv]).unwrap();
+        let hx = store.app(h, &[xt]).unwrap();
+        let cond = alg.eq(&mut store, xt, cv).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&store, "f-c", fc, dv, None, None).unwrap();
+        rules.add(&store, "f-d", fd, cv, None, None).unwrap();
+        rules
+            .add(&store, "h-c", hx, cv, Some(cond), Some(alg.sort()))
+            .unwrap();
+        let a = store.fresh_constant("a", s);
+        let fa = store.app(f, &[a]).unwrap();
+        let hc = store.app(h, &[cv]).unwrap();
+        let ha = store.app(h, &[a]).unwrap();
+        let fhc = store.app(f, &[hc]).unwrap();
+        let subjects = vec![fc, fd, fa, hc, ha, fhc];
+        (store, alg, rules, subjects)
+    }
+
+    #[test]
+    fn indexed_matching_matches_linear_scan_bit_for_bit() {
+        let (mut store, alg, rules, subjects) = prunable_world();
+        let mut run = |use_index: bool| {
+            let mut norm = Normalizer::new(alg.clone(), rules.clone());
+            norm.set_indexing(use_index);
+            let outs: Vec<TermId> = subjects
+                .iter()
+                .map(|&t| norm.normalize(&mut store, t).unwrap())
+                .collect();
+            (
+                outs,
+                norm.stats(),
+                norm.take_blocked(),
+                norm.engine_counters(),
+            )
+        };
+        let (linear_out, linear_stats, linear_blocked, linear_counters) = run(false);
+        let (indexed_out, indexed_stats, indexed_blocked, indexed_counters) = run(true);
+        assert_eq!(indexed_out, linear_out, "normal forms");
+        assert_eq!(indexed_stats, linear_stats, "full RewriteStats");
+        assert_eq!(indexed_blocked, linear_blocked, "blocked conditions");
+        assert_eq!(linear_counters, EngineCounters::default());
+        assert!(indexed_counters.index_lookups > 0);
+        assert!(
+            indexed_counters.index_pruned > 0,
+            "f(a) and f(d) attempts must prune the incompatible f-rules: {indexed_counters:?}"
+        );
+    }
+
+    #[test]
+    fn shared_cache_replays_normal_forms_across_spec_clones() {
+        let (mut store, alg, rules, subjects) = prunable_world();
+        // Clone the arena first: the consumers below replay the producer's
+        // work on identical pristine clones, as prover obligations do.
+        let mut clone_a = store.clone();
+        let mut clone_b = store.clone();
+        let cache = Arc::new(SharedNfCache::new());
+
+        let mut published = 0;
+        let produced: Vec<TermId> = subjects
+            .iter()
+            .map(|&t| {
+                let mut one = Normalizer::new(alg.clone(), rules.clone());
+                one.set_shared_cache(Some(cache.clone()));
+                let n = one.normalize(&mut store, t).unwrap();
+                published += one.engine_counters().shared_published;
+                n
+            })
+            .collect();
+        assert!(published > 0, "producers published clean windows");
+
+        // A consumer with the cache replays; one without recomputes; both
+        // agree on every normal form and every blocked condition. The
+        // arenas are distinct clones, so the comparison is structural
+        // (rendered terms), not on raw ids.
+        let mut hits = 0;
+        for (&t, &expect) in subjects.iter().zip(&produced) {
+            let mut one = Normalizer::new(alg.clone(), rules.clone());
+            one.set_shared_cache(Some(cache.clone()));
+            let n = one.normalize(&mut clone_a, t).unwrap();
+            hits += one.engine_counters().shared_hits;
+            let mut fresh = Normalizer::new(alg.clone(), rules.clone());
+            let m = fresh.normalize(&mut clone_b, t).unwrap();
+            let replayed: Vec<String> = one
+                .take_blocked()
+                .iter()
+                .map(|&b| clone_a.display(b).to_string())
+                .collect();
+            let derived: Vec<String> = fresh
+                .take_blocked()
+                .iter()
+                .map(|&b| clone_b.display(b).to_string())
+                .collect();
+            assert_eq!(replayed, derived, "blocked replay");
+            assert_eq!(
+                clone_a.display(n).to_string(),
+                store.display(expect).to_string(),
+                "cache replay equals producer result"
+            );
+            assert_eq!(
+                clone_a.display(n).to_string(),
+                clone_b.display(m).to_string(),
+                "cache replay equals fresh derivation"
+            );
+        }
+        assert!(hits > 0, "consumer replayed published entries");
+    }
+
+    #[test]
+    fn shared_cache_sits_out_with_assumptions_or_a_warm_memo() {
+        let (mut store, alg, rules, subjects) = prunable_world();
+        let cache = Arc::new(SharedNfCache::new());
+        // With an assumption installed, the gate fails: no consults, no
+        // publications, even on a cold memo.
+        let mut norm = Normalizer::new(alg.clone(), rules.clone());
+        norm.set_shared_cache(Some(cache.clone()));
+        let s = store.sort_of(subjects[0]);
+        let extra = store.fresh_constant("extra", s);
+        let extra2 = store.fresh_constant("extra", s);
+        norm.assume(&store, "extra", extra, extra2).unwrap();
+        norm.normalize(&mut store, subjects[0]).unwrap();
+        let gated = norm.engine_counters();
+        assert_eq!(gated.shared_hits, 0);
+        assert_eq!(gated.shared_misses, 0);
+        assert_eq!(gated.shared_published, 0);
+        assert!(cache.is_empty());
+        // Without assumptions the first call participates; the second
+        // (warm memo) must not touch the shared cache again.
+        let mut cold = Normalizer::new(alg.clone(), rules.clone());
+        cold.set_shared_cache(Some(cache.clone()));
+        cold.normalize(&mut store, subjects[0]).unwrap();
+        let after_first = cold.engine_counters();
+        assert!(after_first.shared_published > 0, "{after_first:?}");
+        cold.normalize(&mut store, subjects[1]).unwrap();
+        let after_second = cold.engine_counters();
+        assert_eq!(
+            (
+                after_first.shared_hits,
+                after_first.shared_misses,
+                after_first.shared_published
+            ),
+            (
+                after_second.shared_hits,
+                after_second.shared_misses,
+                after_second.shared_published
+            ),
+            "warm-memo calls must not consult or publish"
+        );
     }
 }

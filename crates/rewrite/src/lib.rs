@@ -9,8 +9,10 @@
 //! all three:
 //!
 //! * [`rule`] / [`engine`] — equations used as left-to-right (conditional)
-//!   rewrite rules, applied innermost-first with head-symbol indexing,
-//!   memoization, and fuel-bounded termination;
+//!   rewrite rules, applied innermost-first with discrimination-tree
+//!   candidate indexing, segmented memoization (plus an optional
+//!   cross-obligation [`shared`] normal-form cache), and fuel-bounded
+//!   termination;
 //! * [`boolring`] — the Boolean-ring (GF(2) polynomial) normal form that
 //!   makes propositional reasoning *complete*: any propositional tautology
 //!   rewrites to `true` and any contradiction to `false`. This is the
@@ -59,6 +61,7 @@ pub mod engine;
 pub mod equality;
 pub mod error;
 pub mod rule;
+pub mod shared;
 
 pub use error::RewriteError;
 
@@ -71,8 +74,9 @@ pub mod prelude {
     pub use crate::budget::{
         Budget, CancelToken, Fault, FaultKind, FaultPlan, FaultSite, StopReason, WorkerFault,
     };
-    pub use crate::engine::{Normalizer, RewriteStats, RuleProfile};
+    pub use crate::engine::{EngineCounters, Normalizer, RewriteStats, RuleProfile};
     pub use crate::equality::EqVerdict;
     pub use crate::error::RewriteError;
-    pub use crate::rule::{validate_rule, Rule, RuleDefect, RuleSet};
+    pub use crate::rule::{validate_rule, PathIndex, Rule, RuleDefect, RuleSet};
+    pub use crate::shared::{SharedCacheStats, SharedNfCache};
 }

@@ -135,6 +135,12 @@ pub struct Rule {
 pub struct RuleSet {
     rules: Vec<Rule>,
     by_head: HashMap<OpId, Vec<usize>>,
+    /// The discrimination-tree index, built on first use and shared by
+    /// clones of this set (a clone copies the initialized `OnceLock`, so
+    /// cloning an indexed set — what `Spec::normalizer` and per-obligation
+    /// spec clones do — costs one `Arc` bump, not a rebuild). Mutators
+    /// reset it.
+    index: std::sync::OnceLock<std::sync::Arc<PathIndex>>,
 }
 
 impl RuleSet {
@@ -183,7 +189,17 @@ impl RuleSet {
             head,
         });
         self.by_head.entry(head).or_default().push(index);
+        self.index = std::sync::OnceLock::new();
         Ok(())
+    }
+
+    /// The discrimination-tree index over this set, built on first use.
+    /// `store` must be the arena the rules' terms live in (or a clone of
+    /// it — clones preserve `TermId`s).
+    pub fn path_index(&self, store: &TermStore) -> std::sync::Arc<PathIndex> {
+        self.index
+            .get_or_init(|| std::sync::Arc::new(PathIndex::build(store, self)))
+            .clone()
     }
 
     /// The rules whose left-hand side head is `op`, in declaration order.
@@ -263,8 +279,185 @@ impl RuleSet {
             let index = self.rules.len();
             self.by_head.entry(rule.head).or_default().push(index);
             self.rules.push(rule.clone());
+            self.index = std::sync::OnceLock::new();
         }
         skipped
+    }
+}
+
+/// One interior node of the [`PathIndex`] discrimination tree.
+///
+/// Edges are labelled by what the *pattern* demands at the current
+/// pre-order position: a concrete operator (`ops`) or a pattern variable
+/// (`star`, which matches any subject subtree). Rules whose left-hand
+/// side is fully consumed at this node are listed in `rules`.
+#[derive(Debug, Clone, Default)]
+struct PathNode {
+    /// Child for "the pattern has a variable here" — skips one subject
+    /// subtree during traversal.
+    star: Option<usize>,
+    /// Children for "the pattern has this operator here", unordered
+    /// (looked up linearly; fan-out per node is small in practice).
+    ops: Vec<(OpId, usize)>,
+    /// Indices (into the owning [`RuleSet`], declaration order) of rules
+    /// whose flattened left-hand side ends exactly here.
+    rules: Vec<usize>,
+}
+
+/// A discrimination-tree (path) index over a [`RuleSet`].
+///
+/// Left-hand sides are flattened in pre-order below their head operator
+/// and inserted into a trie per head symbol. A query walks the subject
+/// term in the same pre-order, following a concrete-operator edge when
+/// the subject agrees and the `star` edge (skipping the whole subject
+/// subtree) wherever a pattern variable could stand. The result is the
+/// set of rules that are *structurally compatible* with the subject —
+/// a superset of the rules that actually match, because non-linearity
+/// and condition checks are left to the matcher, but never a subset:
+/// the index has no false negatives.
+///
+/// Collected candidates are sorted ascending by rule index, which *is*
+/// declaration order — so the engine tries candidates in exactly the
+/// order the linear `rules_for_op` scan would, and the first match (and
+/// therefore every rewrite, verdict, and statistic downstream) is
+/// unchanged; the index only removes guaranteed-to-fail match attempts.
+#[derive(Debug, Clone, Default)]
+pub struct PathIndex {
+    /// Per-head-operator tree roots.
+    roots: HashMap<OpId, usize>,
+    nodes: Vec<PathNode>,
+    /// Per-head rule totals, for hit/prune accounting.
+    head_totals: HashMap<OpId, usize>,
+}
+
+impl PathIndex {
+    /// Build the index over every rule in `rules`.
+    pub fn build(store: &TermStore, rules: &RuleSet) -> Self {
+        let mut index = PathIndex::default();
+        for (i, rule) in rules.iter().enumerate() {
+            index.insert(store, i, rule);
+        }
+        index
+    }
+
+    fn alloc(&mut self) -> usize {
+        self.nodes.push(PathNode::default());
+        self.nodes.len() - 1
+    }
+
+    fn insert(&mut self, store: &TermStore, rule_index: usize, rule: &Rule) {
+        *self.head_totals.entry(rule.head).or_insert(0) += 1;
+        let mut node = match self.roots.get(&rule.head) {
+            Some(&root) => root,
+            None => {
+                let root = self.alloc();
+                self.roots.insert(rule.head, root);
+                root
+            }
+        };
+        // Flatten the lhs arguments in pre-order (the head operator is
+        // already consumed by the `roots` lookup).
+        let mut stack: Vec<TermId> = match store.node(rule.lhs) {
+            Term::App { args, .. } => args.iter().rev().copied().collect(),
+            Term::Var(_) => Vec::new(), // rejected by validate_rule; defensive
+        };
+        while let Some(t) = stack.pop() {
+            match store.node(t) {
+                Term::Var(_) => {
+                    node = match self.nodes[node].star {
+                        Some(child) => child,
+                        None => {
+                            let child = self.alloc();
+                            self.nodes[node].star = Some(child);
+                            child
+                        }
+                    };
+                }
+                Term::App { op, args } => {
+                    let op = *op;
+                    stack.extend(args.iter().rev());
+                    node = match self.nodes[node].ops.iter().find(|(o, _)| *o == op) {
+                        Some(&(_, child)) => child,
+                        None => {
+                            let child = self.alloc();
+                            self.nodes[node].ops.push((op, child));
+                            child
+                        }
+                    };
+                }
+            }
+        }
+        self.nodes[node].rules.push(rule_index);
+    }
+
+    /// Total number of rules indexed under head operator `op` (what a
+    /// linear `rules_for_op` scan would have to try).
+    pub fn head_total(&self, op: OpId) -> usize {
+        self.head_totals.get(&op).copied().unwrap_or(0)
+    }
+
+    /// Collect into `out` the indices of all rules structurally
+    /// compatible with `subject`, ascending (declaration order).
+    ///
+    /// `scratch` is a caller-owned work stack reused across queries to
+    /// avoid per-query allocation; its prior contents are discarded.
+    pub fn candidates_into(
+        &self,
+        store: &TermStore,
+        subject: TermId,
+        scratch: &mut Vec<TermId>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let Term::App { op, args } = store.node(subject) else {
+            return;
+        };
+        let Some(&root) = self.roots.get(op) else {
+            return;
+        };
+        scratch.clear();
+        scratch.extend(args.iter().rev());
+        self.walk(store, root, scratch, out);
+        out.sort_unstable();
+    }
+
+    /// DFS over the trie and the subject's pre-order traversal. `pending`
+    /// holds the subject subtrees not yet consumed, top = next. Recursion
+    /// depth is bounded by the *pattern* depth (star edges skip subject
+    /// subtrees in O(1)), so deep subjects cost nothing extra.
+    fn walk(
+        &self,
+        store: &TermStore,
+        node: usize,
+        pending: &mut Vec<TermId>,
+        out: &mut Vec<usize>,
+    ) {
+        let n = &self.nodes[node];
+        let Some(&next) = pending.last() else {
+            // Pattern fully consumed exactly when the subject positions
+            // are: collect the rules that end here.
+            out.extend_from_slice(&n.rules);
+            return;
+        };
+        if let Some(star) = n.star {
+            // A pattern variable stands here: skip the whole subtree.
+            pending.pop();
+            self.walk(store, star, pending, out);
+            pending.push(next);
+        }
+        if n.ops.is_empty() {
+            return;
+        }
+        if let Term::App { op, args } = store.node(next) {
+            if let Some(&(_, child)) = n.ops.iter().find(|(o, _)| o == op) {
+                let restore = pending.len() - 1;
+                pending.pop();
+                pending.extend(args.iter().rev());
+                self.walk(store, child, pending, out);
+                pending.truncate(restore);
+                pending.push(next);
+            }
+        }
     }
 }
 
@@ -408,6 +601,201 @@ mod tests {
         assert_eq!(skipped, 1);
         assert_eq!(base.len(), 2);
         assert_eq!(base.candidates(w.f).count(), 2);
+    }
+
+    /// A richer signature for index tests: two constants, a unary `g`,
+    /// and a binary `h`, so patterns can disagree below the head symbol.
+    struct IndexWorld {
+        store: TermStore,
+        s: SortId,
+        c: OpId,
+        d: OpId,
+        g: OpId,
+        h: OpId,
+    }
+
+    fn index_world() -> IndexWorld {
+        let mut sig = Signature::new();
+        BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let d = sig.add_constant("d", s, OpAttrs::constructor()).unwrap();
+        let g = sig.add_op("g", &[s], s, OpAttrs::defined()).unwrap();
+        let h = sig.add_op("h", &[s, s], s, OpAttrs::defined()).unwrap();
+        IndexWorld {
+            store: TermStore::new(sig),
+            s,
+            c,
+            d,
+            g,
+            h,
+        }
+    }
+
+    fn query(index: &PathIndex, store: &TermStore, subject: TermId) -> Vec<usize> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        index.candidates_into(store, subject, &mut scratch, &mut out);
+        out
+    }
+
+    #[test]
+    fn index_returns_all_head_rules_for_variable_patterns() {
+        let mut w = index_world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let gx = w.store.app(w.g, &[xt]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&w.store, "g-id", gx, xt, None, None).unwrap();
+        let index = PathIndex::build(&w.store, &rules);
+        let cv = w.store.constant(w.c);
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        let ggc = w.store.app(w.g, &[gc]).unwrap();
+        assert_eq!(query(&index, &w.store, gc), vec![0]);
+        assert_eq!(query(&index, &w.store, ggc), vec![0]);
+        assert_eq!(index.head_total(w.g), 1);
+        assert_eq!(index.head_total(w.h), 0);
+        // Wrong head: no candidates at all.
+        assert_eq!(query(&index, &w.store, cv), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn index_prunes_structurally_incompatible_rules() {
+        let mut w = index_world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        let gd = w.store.app(w.g, &[dv]).unwrap();
+        let gx = w.store.app(w.g, &[xt]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&w.store, "g-c", gc, cv, None, None).unwrap();
+        rules.add(&w.store, "g-d", gd, dv, None, None).unwrap();
+        rules.add(&w.store, "g-x", gx, xt, None, None).unwrap();
+        let index = PathIndex::build(&w.store, &rules);
+        // Subject g(c): the g(d) rule is pruned; order is declaration order.
+        assert_eq!(query(&index, &w.store, gc), vec![0, 2]);
+        assert_eq!(query(&index, &w.store, gd), vec![1, 2]);
+        // Subject g(g(c)): only the variable pattern survives.
+        let ggc = w.store.app(w.g, &[gc]).unwrap();
+        assert_eq!(query(&index, &w.store, ggc), vec![2]);
+        assert_eq!(index.head_total(w.g), 3);
+    }
+
+    #[test]
+    fn index_candidate_order_matches_linear_scan_order() {
+        let mut w = index_world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let y = w.store.declare_var("Y", w.s).unwrap();
+        let (xt, yt) = (w.store.var(x), w.store.var(y));
+        let cv = w.store.constant(w.c);
+        // Interleave h-rules with a g-rule so global indices are sparse
+        // per head; the index must still report ascending global indices,
+        // which is exactly `rules_for_op` order.
+        let h_xc = w.store.app(w.h, &[xt, cv]).unwrap();
+        let gx = w.store.app(w.g, &[xt]).unwrap();
+        let h_xy = w.store.app(w.h, &[xt, yt]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&w.store, "h-xc", h_xc, xt, None, None).unwrap();
+        rules.add(&w.store, "g-x", gx, xt, None, None).unwrap();
+        rules.add(&w.store, "h-xy", h_xy, xt, None, None).unwrap();
+        let index = PathIndex::build(&w.store, &rules);
+        let subject = w.store.app(w.h, &[cv, cv]).unwrap();
+        let linear: Vec<usize> = rules.rules_for_op(w.h).map(|(i, _)| i).collect();
+        assert_eq!(linear, vec![0, 2]);
+        assert_eq!(query(&index, &w.store, subject), linear);
+        // Subject h(c, d): second argument rules out h(X, c).
+        let dv = w.store.constant(w.d);
+        let subject2 = w.store.app(w.h, &[cv, dv]).unwrap();
+        assert_eq!(query(&index, &w.store, subject2), vec![2]);
+    }
+
+    #[test]
+    fn index_star_edge_skips_whole_subtrees() {
+        let mut w = index_world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        // Pattern h(X, c): the first argument is skipped as a unit, the
+        // second must still be checked even when the first is deep.
+        let h_xc = w.store.app(w.h, &[xt, cv]).unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(&w.store, "h-xc", h_xc, xt, None, None).unwrap();
+        let index = PathIndex::build(&w.store, &rules);
+        let deep = {
+            let gd = w.store.app(w.g, &[dv]).unwrap();
+            let ggd = w.store.app(w.g, &[gd]).unwrap();
+            w.store.app(w.h, &[ggd, cv]).unwrap()
+        };
+        assert_eq!(query(&index, &w.store, deep), vec![0]);
+        let deep_wrong = {
+            let gd = w.store.app(w.g, &[dv]).unwrap();
+            w.store.app(w.h, &[gd, dv]).unwrap()
+        };
+        assert_eq!(query(&index, &w.store, deep_wrong), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn index_never_loses_a_matching_rule() {
+        // Exhaustive cross-check on a small closed term universe: every
+        // rule reported matchable by a direct scan must be in the index's
+        // candidate set (no false negatives; over-approximation allowed).
+        let mut w = index_world();
+        let x = w.store.declare_var("X", w.s).unwrap();
+        let xt = w.store.var(x);
+        let cv = w.store.constant(w.c);
+        let dv = w.store.constant(w.d);
+        let gx = w.store.app(w.g, &[xt]).unwrap();
+        let ggx = w.store.app(w.g, &[gx]).unwrap();
+        let gc = w.store.app(w.g, &[cv]).unwrap();
+        let h_xx = w.store.app(w.h, &[xt, xt]).unwrap();
+        let h_cx = w.store.app(w.h, &[cv, xt]).unwrap();
+        let mut rules = RuleSet::new();
+        for (label, lhs) in [
+            ("g-x", gx),
+            ("g-g-x", ggx),
+            ("g-c", gc),
+            ("h-x-x", h_xx),
+            ("h-c-x", h_cx),
+        ] {
+            rules.add(&w.store, label, lhs, cv, None, None).unwrap();
+        }
+        let index = PathIndex::build(&w.store, &rules);
+        let mut subjects = vec![cv, dv];
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for &a in &subjects {
+                next.push(w.store.app(w.g, &[a]).unwrap());
+                for &b in &subjects {
+                    next.push(w.store.app(w.h, &[a, b]).unwrap());
+                }
+            }
+            subjects.extend(next);
+        }
+        for &subject in &subjects {
+            let candidates = query(&index, &w.store, subject);
+            let Term::App { op, .. } = w.store.node(subject) else {
+                unreachable!()
+            };
+            let op = *op;
+            for (i, rule) in rules.rules_for_op(op) {
+                use equitls_kernel::matching::{match_term, MatchOutcome};
+                let head_matches = matches!(
+                    match_term(&w.store, rule.lhs, subject),
+                    MatchOutcome::Matched(_)
+                );
+                if head_matches {
+                    assert!(
+                        candidates.contains(&i),
+                        "rule {} must be a candidate for {}",
+                        rule.label,
+                        w.store.display(subject)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

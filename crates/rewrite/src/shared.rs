@@ -1,0 +1,479 @@
+//! A shared, read-mostly normal-form cache for parallel proof campaigns.
+//!
+//! The prover in `equitls-core` runs each proof obligation on a private
+//! clone of the pristine specification, so the term arenas stay
+//! thread-local without locking — and every obligation re-derives the
+//! normal forms of the subterms it shares with its siblings (most
+//! prominently the induction hypothesis `inv(s, xs)`, identical across
+//! all step obligations of an invariant). [`SharedNfCache`] lets those
+//! obligations exchange finished normal forms across arenas:
+//!
+//! * **Keys** are 128-bit *structural fingerprints* ([`fingerprint`]):
+//!   a term hash over operator names, sorts, and tree shape, stable
+//!   across arena clones (term ids are arena-local; names are not).
+//! * **Values** are [`SharedEntry`]s: the normal form and the blocked
+//!   conditions recorded while computing it, both as portable
+//!   [`EncodedTerm`] symbol strings that any clone of the same
+//!   specification can decode into its own arena.
+//! * **Storage** is an `Arc`-shared map striped over [`SHARD_COUNT`]
+//!   `RwLock` shards (std-only, no external crates): obligations mostly
+//!   read, so lookups take a read lock on one shard and clone an `Arc`.
+//!
+//! ## Soundness contract
+//!
+//! A hit must leave the consumer exactly where a fresh computation would
+//! have left it — the campaign's verdicts, counts, traces, and tallies
+//! may never depend on cache contents (the PR 3 determinism contract).
+//! The engine therefore gates participation hard (see
+//! `Normalizer::set_shared_cache`): only assumption-free, cold-start
+//! normalizations consult the cache, and only *clean windows* — sub-
+//! computations that provably equal a from-scratch derivation (no memo
+//! hit on a pre-window entry, no blocked-condition dedup against a
+//! pre-window entry) — are published. Within those gates a hit replays
+//! the published normal form and blocked conditions verbatim, which is
+//! what the fresh computation would have produced; the residual coupling
+//! (GF(2) atom order follows arena-local term ids) is pinned empirically
+//! by the `parallel_determinism` suite, which compares full campaign
+//! outcomes with the cache on and off at every thread count. The cache
+//! ships **off by default** (`ProverConfig::shared_nf_cache`).
+
+use equitls_kernel::prelude::*;
+use equitls_kernel::term::Term;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of lock stripes. A small power of two: the prover runs at most
+/// a few dozen workers, and each lookup holds a shard lock only long
+/// enough to clone an `Arc`.
+pub const SHARD_COUNT: usize = 16;
+
+/// Default entry capacity across all shards. Entries are a few hundred
+/// bytes (encoded symbol strings), so the default bounds the cache around
+/// tens of megabytes on pathological campaigns; publication stops
+/// silently at the bound (a full shard rejects new entries — hits on
+/// existing entries are unaffected).
+pub const DEFAULT_SHARED_CAPACITY: usize = 1 << 18;
+
+/// The 128-bit structural fingerprint of `t`: two independent 64-bit
+/// lanes over the term's tree shape, operator names with arity and
+/// result sort, and variable names with sorts. Identical term structures
+/// fingerprint identically in *any* arena over the same vocabulary
+/// (fresh-constant names are generated deterministically, so clones of
+/// one pristine specification agree on them); term ids never enter the
+/// hash.
+///
+/// The kernel computes fingerprints incrementally at intern time
+/// ([`TermStore::fingerprint`]), so this is a table lookup — arena
+/// clones inherit the table, which is what makes a shared-cache consult
+/// O(1) instead of a walk over the subject.
+pub fn fingerprint(store: &TermStore, t: TermId) -> u128 {
+    store.fingerprint(t)
+}
+
+/// One symbol of an encoded term's pre-order flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EncSym {
+    /// An operator application, identified by name and argument count
+    /// (operator names are overloaded only by arity, so the pair resolves
+    /// uniquely in any arena over the same vocabulary).
+    App {
+        /// Operator name.
+        name: String,
+        /// Number of arguments that follow.
+        argc: usize,
+    },
+    /// A variable occurrence, identified by name and sort name.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Sort name.
+        sort: String,
+    },
+}
+
+/// An arena-portable term: the pre-order symbol string of its tree, with
+/// every operator and variable identified by name. Encoding is total;
+/// decoding resolves names in the consumer's signature and fails (returns
+/// `None`) when a name or arity does not resolve — the consumer treats
+/// that as a cache miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedTerm {
+    syms: Vec<EncSym>,
+}
+
+impl EncodedTerm {
+    /// Flatten `t` into its portable symbol string.
+    pub fn encode(store: &TermStore, t: TermId) -> EncodedTerm {
+        let mut syms = Vec::new();
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            match store.node(cur) {
+                Term::Var(v) => {
+                    let decl = store.var_decl(*v);
+                    syms.push(EncSym::Var {
+                        name: decl.name.clone(),
+                        sort: store.signature().sort(decl.sort).name.clone(),
+                    });
+                }
+                Term::App { op, args } => {
+                    syms.push(EncSym::App {
+                        name: store.signature().op(*op).name.clone(),
+                        argc: args.len(),
+                    });
+                    stack.extend(args.iter().rev());
+                }
+            }
+        }
+        EncodedTerm { syms }
+    }
+
+    /// Rebuild the term in (a clone of) the originating vocabulary.
+    /// Returns `None` when any symbol fails to resolve — an impossible
+    /// vocabulary mismatch for true fingerprint matches, handled as a
+    /// miss rather than an error.
+    pub fn decode(&self, store: &mut TermStore) -> Option<TermId> {
+        let mut cursor = 0;
+        let t = self.decode_at(store, &mut cursor)?;
+        (cursor == self.syms.len()).then_some(t)
+    }
+
+    fn decode_at(&self, store: &mut TermStore, cursor: &mut usize) -> Option<TermId> {
+        let sym = self.syms.get(*cursor)?.clone();
+        *cursor += 1;
+        match sym {
+            EncSym::Var { name, sort } => {
+                let sid = store.signature().sort_by_name(&sort)?;
+                let v = store.declare_var(&name, sid).ok()?;
+                Some(store.var(v))
+            }
+            EncSym::App { name, argc } => {
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(self.decode_at(store, cursor)?);
+                }
+                let op = {
+                    let sig = store.signature();
+                    sig.ops_by_name(&name)
+                        .iter()
+                        .copied()
+                        .find(|&o| sig.op(o).arity() == argc)?
+                };
+                store.app(op, &args).ok()
+            }
+        }
+    }
+}
+
+/// A published normal-form record: the canonical form of some subject
+/// term plus the blocked conditions its derivation recorded, all
+/// arena-portable.
+#[derive(Debug, Clone)]
+pub struct SharedEntry {
+    /// The subject's normal form.
+    pub nf: EncodedTerm,
+    /// The blocked conditions recorded while deriving it, in first-
+    /// occurrence order (the consumer replays them with the same
+    /// contains-dedup the engine applies to fresh recordings).
+    pub blocked: Vec<EncodedTerm>,
+}
+
+/// Global counters for one cache (all participants combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries published.
+    pub published: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// The shared normal-form cache: an `Arc`-shared, striped-`RwLock` map
+/// from structural fingerprints to [`SharedEntry`]s. See the module
+/// documentation for the soundness contract.
+#[derive(Debug)]
+pub struct SharedNfCache {
+    shards: Vec<RwLock<HashMap<u128, Arc<SharedEntry>>>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    published: AtomicU64,
+}
+
+impl Default for SharedNfCache {
+    fn default() -> Self {
+        SharedNfCache::new()
+    }
+}
+
+impl SharedNfCache {
+    /// A cache with the default capacity.
+    pub fn new() -> Self {
+        SharedNfCache::with_capacity(DEFAULT_SHARED_CAPACITY)
+    }
+
+    /// A cache bounded to roughly `capacity` entries (split evenly over
+    /// the shards; a full shard rejects further publications).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedNfCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            per_shard_cap: (capacity / SHARD_COUNT).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: u128) -> &RwLock<HashMap<u128, Arc<SharedEntry>>> {
+        // High lane bits pick the stripe; the low lane keys within it.
+        &self.shards[((fp >> 64) as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Look up a fingerprint; clones the entry handle out of the shard so
+    /// the lock is released before the caller decodes.
+    pub fn lookup(&self, fp: u128) -> Option<Arc<SharedEntry>> {
+        let found = self
+            .shard(fp)
+            .read()
+            .expect("shared-nf shard")
+            .get(&fp)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// `true` when `fp` is already published (cheap read-lock probe used
+    /// by producers to skip re-encoding).
+    pub fn contains(&self, fp: u128) -> bool {
+        self.shard(fp)
+            .read()
+            .expect("shared-nf shard")
+            .contains_key(&fp)
+    }
+
+    /// Publish an entry. First writer wins (identical computations
+    /// publish identical entries, so which one lands is immaterial); a
+    /// full shard rejects the entry. Returns whether the entry was
+    /// stored.
+    pub fn publish(&self, fp: u128, entry: SharedEntry) -> bool {
+        let mut shard = self.shard(fp).write().expect("shared-nf shard");
+        if shard.contains_key(&fp) {
+            return false;
+        }
+        if shard.len() >= self.per_shard_cap {
+            return false;
+        }
+        shard.insert(fp, Arc::new(entry));
+        self.published.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shared-nf shard").len())
+            .sum()
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the global counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bool_alg::BoolAlg;
+
+    fn world() -> (TermStore, BoolAlg, SortId, OpId, OpId) {
+        let mut sig = Signature::new();
+        let alg = BoolAlg::install(&mut sig).unwrap();
+        let s = sig.add_visible_sort("S").unwrap();
+        let c = sig.add_constant("c", s, OpAttrs::constructor()).unwrap();
+        let f = sig.add_op("f", &[s, s], s, OpAttrs::defined()).unwrap();
+        (TermStore::new(sig), alg, s, c, f)
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_arena_clones() {
+        let (mut store, _alg, s, c, f) = world();
+        // A pristine snapshot taken *before* any fresh allocation: clones
+        // of it replay the same creation sequence and so agree on fresh
+        // names — exactly the prover's per-obligation spec clones.
+        let pristine = store.clone();
+        // Unrelated allocations in one clone shift term ids but must not
+        // shift fingerprints.
+        let mut clone = store.clone();
+        let _noise = clone.fresh_constant("noise", s);
+        let _more = clone.fresh_constant("noise", s);
+
+        let t1 = {
+            let a = store.fresh_constant("a", s);
+            let cv = store.constant(c);
+            store.app(f, &[a, cv]).unwrap()
+        };
+        let t2 = {
+            let a = clone.fresh_constant("a", s);
+            let cv = clone.constant(c);
+            clone.app(f, &[a, cv]).unwrap()
+        };
+        // The fresh counter advanced differently, so the *names* differ —
+        // align them by construction instead: same prefix, same order.
+        // (The prover's clones replay identical creation sequences, which
+        // is what makes names align in practice.)
+        let fp1 = fingerprint(&store, t1);
+        let fp2 = fingerprint(&clone, t2);
+        assert_ne!(fp1, fp2, "different fresh names must not collide");
+
+        let mut aligned = pristine.clone();
+        let t3 = {
+            let a = aligned.fresh_constant("a", s);
+            let cv = aligned.constant(c);
+            aligned.app(f, &[a, cv]).unwrap()
+        };
+        assert_eq!(fp1, fingerprint(&aligned, t3));
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_fingerprints() {
+        let (mut store, alg, s, c, f) = world();
+        let cv = store.constant(c);
+        let a = store.fresh_constant("a", s);
+        let fca = store.app(f, &[cv, a]).unwrap();
+        let fac = store.app(f, &[a, cv]).unwrap();
+        assert_ne!(
+            fingerprint(&store, fca),
+            fingerprint(&store, fac),
+            "argument order is structural"
+        );
+        let tt = alg.tt(&mut store);
+        assert_ne!(fingerprint(&store, tt), fingerprint(&store, cv));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_across_clones() {
+        let (mut store, _alg, s, c, f) = world();
+        let mut clone = store.clone();
+        let t = {
+            let a = store.fresh_constant("a", s);
+            let cv = store.constant(c);
+            let inner = store.app(f, &[a, cv]).unwrap();
+            store.app(f, &[inner, a]).unwrap()
+        };
+        let enc = EncodedTerm::encode(&store, t);
+        // Same arena: decodes to the identical term id (hash-consing).
+        assert_eq!(enc.decode(&mut store), Some(t));
+        // A clone that replayed the same creation sequence decodes to its
+        // own structurally identical term.
+        let t2 = {
+            let a = clone.fresh_constant("a", s);
+            let cv = clone.constant(c);
+            let inner = clone.app(f, &[a, cv]).unwrap();
+            clone.app(f, &[inner, a]).unwrap()
+        };
+        assert_eq!(enc.decode(&mut clone), Some(t2));
+        assert_eq!(fingerprint(&store, t), fingerprint(&clone, t2));
+    }
+
+    #[test]
+    fn decode_fails_closed_on_unknown_vocabulary() {
+        let (mut store, _alg, s, _c, _f) = world();
+        let a = store.fresh_constant("only-here", s);
+        let enc = EncodedTerm::encode(&store, a);
+        // A store over a DIFFERENT signature lacks the fresh constant.
+        let (mut other, _alg2, _s2, _c2, _f2) = world();
+        assert_eq!(enc.decode(&mut other), None, "unknown op name is a miss");
+    }
+
+    #[test]
+    fn encode_decode_handles_variables() {
+        let (mut store, _alg, s, _c, f) = world();
+        let x = store.declare_var("X", s).unwrap();
+        let xt = store.var(x);
+        let t = store.app(f, &[xt, xt]).unwrap();
+        let enc = EncodedTerm::encode(&store, t);
+        assert_eq!(enc.decode(&mut store), Some(t));
+        // A clone without the variable declares it on decode.
+        let (mut fresh, _a2, _s2, _c2, _f2) = world();
+        let decoded = enc.decode(&mut fresh);
+        let x2 = fresh.declare_var("X", s).unwrap();
+        let xt2 = fresh.var(x2);
+        let expected = fresh.app(f, &[xt2, xt2]).unwrap();
+        assert_eq!(decoded, Some(expected));
+    }
+
+    #[test]
+    fn cache_publishes_looks_up_and_counts() {
+        let (mut store, _alg, s, c, f) = world();
+        let cv = store.constant(c);
+        let a = store.fresh_constant("a", s);
+        let t = store.app(f, &[a, cv]).unwrap();
+        let fp = fingerprint(&store, t);
+        let cache = SharedNfCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(fp).is_none());
+        let entry = SharedEntry {
+            nf: EncodedTerm::encode(&store, cv),
+            blocked: vec![EncodedTerm::encode(&store, a)],
+        };
+        assert!(cache.publish(fp, entry.clone()));
+        assert!(!cache.publish(fp, entry), "first writer wins");
+        assert!(cache.contains(fp));
+        let got = cache.lookup(fp).expect("published entry");
+        assert_eq!(got.nf.decode(&mut store), Some(cv));
+        assert_eq!(got.blocked.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn full_shards_reject_new_entries_but_keep_serving_hits() {
+        let (mut store, _alg, s, _c, _f) = world();
+        let cache = SharedNfCache::with_capacity(SHARD_COUNT); // 1 per shard
+        let mut stored: Vec<(u128, TermId)> = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..64 {
+            let t = store.fresh_constant("x", s);
+            let fp = fingerprint(&store, t);
+            let entry = SharedEntry {
+                nf: EncodedTerm::encode(&store, t),
+                blocked: Vec::new(),
+            };
+            if cache.publish(fp, entry) {
+                stored.push((fp, t));
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "capacity bound must bite");
+        assert!(cache.len() <= SHARD_COUNT);
+        for (fp, t) in stored {
+            let got = cache.lookup(fp).expect("stored entries keep serving");
+            assert_eq!(got.nf.decode(&mut store), Some(t));
+        }
+    }
+}

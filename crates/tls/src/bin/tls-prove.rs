@@ -29,6 +29,13 @@
 //! obligation boundaries; throttle with `--checkpoint-every-secs N`);
 //! `--resume` reloads the ledger and skips obligations it already proved.
 //!
+//! Engine flags: `--shared-cache` shares normal forms across a
+//! property's obligations (verdicts, counts, and scores are unchanged;
+//! `rewrites` metrics may drop because hits replay cached reductions);
+//! `--linear-scan` disables the discrimination-tree rule index and
+//! matches rules by scanning per-operator lists (diagnostic; results
+//! are bit-identical either way).
+//!
 //! Exit codes: **0** every requested property proved; **1** at least one
 //! obligation open or faulted (budget trip, fuel exhaustion, stuck case);
 //! **2** usage error or unusable checkpoint snapshot (missing, truncated,
@@ -75,6 +82,10 @@ struct Options {
     checkpoint_every_secs: u64,
     /// Resume from the ledger at `checkpoint`.
     resume: bool,
+    /// Share normal forms across a property's obligations.
+    shared_cache: bool,
+    /// Disable the rule index; scan per-operator rule lists instead.
+    linear_scan: bool,
     names: Vec<String>,
 }
 
@@ -100,6 +111,8 @@ fn parse_args() -> Options {
         checkpoint: None,
         checkpoint_every_secs: 0,
         resume: false,
+        shared_cache: false,
+        linear_scan: false,
         names: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -164,6 +177,8 @@ fn parse_args() -> Options {
                 );
             }
             "--resume" => opts.resume = true,
+            "--shared-cache" => opts.shared_cache = true,
+            "--linear-scan" => opts.linear_scan = true,
             "--all" => {}
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
@@ -240,6 +255,8 @@ fn run() {
         checkpoint_path: opts.checkpoint.clone(),
         checkpoint_every_secs: opts.checkpoint_every_secs,
         resume: opts.resume,
+        shared_nf_cache: opts.shared_cache,
+        linear_scan: opts.linear_scan,
         ..VerifyOptions::default()
     };
     let mut reports = Vec::new();

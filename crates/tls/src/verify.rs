@@ -48,6 +48,16 @@ pub struct VerifyOptions {
     /// into the report without re-running. Requires a valid snapshot at
     /// `checkpoint_path` (typed `CoreError::Persist` otherwise).
     pub resume: bool,
+    /// Share normal forms across this property's obligations through a
+    /// fingerprint-keyed concurrent cache. Off by default: hits replay
+    /// cached rewrite sequences, so `rewrites` metrics (never verdicts,
+    /// counts, or scores) may differ from the cold run.
+    pub shared_nf_cache: bool,
+    /// Bypass the discrimination-tree rule index and match candidate
+    /// rules by scanning `rules_for_op` lists, as the engine did before
+    /// indexing landed. Diagnostic knob: results are bit-identical
+    /// either way.
+    pub linear_scan: bool,
 }
 
 impl Default for VerifyOptions {
@@ -61,6 +71,8 @@ impl Default for VerifyOptions {
             checkpoint_path: None,
             checkpoint_every_secs: 0,
             resume: false,
+            shared_nf_cache: false,
+            linear_scan: false,
         }
     }
 }
@@ -306,6 +318,8 @@ pub fn verify_property_opts(
         checkpoint_path: opts.checkpoint_path.clone(),
         checkpoint_every_secs: opts.checkpoint_every_secs,
         resume: opts.resume,
+        shared_nf_cache: opts.shared_nf_cache,
+        linear_scan: opts.linear_scan,
         ..defaults
     };
     let mut prover = Prover::new(&mut model.spec, &model.ots, &model.invariants)

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Reproducible benchmark pipeline for the parallel execution layer (E14).
+# Reproducible benchmark pipeline: the parallel execution layer (E14)
+# and the rewrite engine's indexing / shared-cache legs (E19).
 #
-# Runs the explorer and prover workloads at jobs ∈ {1, 2, all cores} and
-# writes BENCH_parallel.json at the repository root. Knobs:
+# Runs the explorer and prover workloads at jobs ∈ {1, 2, all cores}
+# plus the three-leg rewriting benchmark, and writes
+# BENCH_parallel.json and BENCH_rewriting.json at the repository root.
+# Knobs:
 #
 #   BENCH_SAMPLES=N   timed repetitions per point (default 3, best-of-N)
-#   BENCH_OUT=path    output path (default <repo>/BENCH_parallel.json)
+#   BENCH_OUT=path    output path override (applies to whichever bench
+#                     runs; only meaningful with BENCH_ONLY)
+#   BENCH_ONLY=name   run a single bench: "parallel" or "rewriting"
 #   BENCH_SMOKE=1     tiny limits + temp output, for CI smoke
 #
 # Run from anywhere; operates on the repository containing this script.
@@ -21,10 +26,29 @@ fi
 BENCH_HOSTNAME="$(hostname 2>/dev/null || uname -n 2>/dev/null || echo unknown)"
 export BENCH_GIT_REV BENCH_HOSTNAME
 
-echo "== cargo bench -p equitls-bench --bench parallel =="
-cargo bench -q -p equitls-bench --bench parallel
+run_bench() {
+    local name="$1" default_out="$2"
+    echo "== cargo bench -p equitls-bench --bench $name =="
+    cargo bench -q -p equitls-bench --bench "$name"
+    if [ "${BENCH_SMOKE:-0}" != "1" ]; then
+        echo "== $default_out =="
+        cat "${BENCH_OUT:-$default_out}"
+    fi
+}
 
-if [ "${BENCH_SMOKE:-0}" != "1" ]; then
-    echo "== BENCH_parallel.json =="
-    cat "${BENCH_OUT:-BENCH_parallel.json}"
-fi
+case "${BENCH_ONLY:-all}" in
+parallel) run_bench parallel BENCH_parallel.json ;;
+rewriting) run_bench rewriting BENCH_rewriting.json ;;
+all)
+    if [ -n "${BENCH_OUT:-}" ]; then
+        echo "BENCH_OUT needs BENCH_ONLY=parallel or BENCH_ONLY=rewriting" >&2
+        exit 2
+    fi
+    run_bench parallel BENCH_parallel.json
+    run_bench rewriting BENCH_rewriting.json
+    ;;
+*)
+    echo "unknown BENCH_ONLY='${BENCH_ONLY}' (want parallel|rewriting|all)" >&2
+    exit 2
+    ;;
+esac

@@ -114,6 +114,33 @@ rm -f "$SARIF" "$DOT"
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
 
+echo "== rewriting bench smoke: indexed must not lose to linear scan =="
+# A fixed tiny workload through all three engine legs. Wall times jitter,
+# so the gate is deliberately loose (indexed within 1.5x of linear on the
+# fan-out normalize loop); the structural assertions are exact — the
+# index must actually prune, and the shared cache must hit on every
+# clone after the first.
+REWRITING_JSON="$(mktemp -u /tmp/equitls_check_XXXXXX.rewriting.json)"
+BENCH_SMOKE=1 BENCH_OUT="$REWRITING_JSON" \
+    cargo bench -q -p equitls-bench --bench rewriting
+python3 - "$REWRITING_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+legs = {leg["leg"]: leg for leg in doc["fanout"]["legs"]}
+linear, indexed, shared = legs["linear"], legs["indexed"], legs["indexed+shared"]
+assert indexed["normalize_ms"] <= 1.5 * linear["normalize_ms"], (
+    f"indexed fan-out {indexed['normalize_ms']:.3f} ms vs "
+    f"linear {linear['normalize_ms']:.3f} ms"
+)
+assert indexed["rewrites"] == linear["rewrites"], "indexed must be bit-identical"
+assert indexed["index_pruned"] > 0, "the index must prune candidates"
+clones = doc["fanout"]["clones"]
+assert shared["shared_hits"] == clones - 1, (
+    f"every clone after the first must hit: {shared['shared_hits']} of {clones - 1}"
+)
+EOF
+rm -f "$REWRITING_JSON"
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

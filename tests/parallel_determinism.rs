@@ -7,6 +7,12 @@
 //! contract end-to-end on the TLS models: identical verdicts, state
 //! counts, violation traces, and proved/vacuous/open tallies at
 //! jobs = 1, 2, 4.
+//!
+//! The rewrite engine's accelerators are held to the same contract:
+//! discrimination-tree indexing must be bit-identical to a linear rule
+//! scan (it is a lookup structure, not a strategy), and the shared
+//! normal-form cache may change the `rewrites` fuel tally only — never
+//! a verdict, count, trace, or score.
 
 use equitls::lint::{analyze_spec, AnalysisOptions, LintConfig};
 use equitls::mc::prelude::*;
@@ -167,6 +173,130 @@ fn lint_report_is_identical_at_every_thread_count() {
             assert_eq!(report, &reports[0], "lint report differs at jobs={jobs}");
         }
     });
+}
+
+/// The discrimination-tree index is a pure lookup accelerator: its
+/// candidate enumeration reproduces the linear scan's rule-firing order
+/// exactly, so an indexed proof run is **bit-identical** to a
+/// linear-scan run — every verdict, tally, score, and rewrite count —
+/// at every thread count. The recording sink pins that the index was
+/// actually consulted, not silently bypassed.
+#[test]
+fn indexed_matching_is_bit_identical_to_linear_scan() {
+    on_big_stack(|| {
+        let baseline = {
+            let opts = VerifyOptions {
+                linear_scan: true,
+                ..VerifyOptions::default()
+            };
+            let mut model = TlsModel::standard().unwrap();
+            verify::verify_property_opts(&mut model, "inv1", &opts, &Obs::noop()).unwrap()
+        };
+        assert!(baseline.is_proved());
+
+        for jobs in JOBS {
+            let recorder = Arc::new(RecordingSink::new());
+            let obs = Obs::new(recorder.clone());
+            let opts = VerifyOptions {
+                jobs,
+                profile_rules: true,
+                ..VerifyOptions::default() // indexing is the default
+            };
+            let mut model = TlsModel::standard().unwrap();
+            let report = verify::verify_property_opts(&mut model, "inv1", &opts, &obs).unwrap();
+            assert_eq!(report.is_proved(), baseline.is_proved());
+            assert_eq!(report.steps.len(), baseline.steps.len());
+            assert_eq!(report.base.outcome, baseline.base.outcome);
+            assert_eq!(report.base.metrics, baseline.base.metrics);
+            for (step, bstep) in report.steps.iter().zip(&baseline.steps) {
+                assert_eq!(step.action, bstep.action, "step order at jobs={jobs}");
+                assert_eq!(step.outcome, bstep.outcome, "verdict at jobs={jobs}");
+                assert_eq!(
+                    step.metrics, bstep.metrics,
+                    "tallies (rewrites included) for {} at jobs={jobs}",
+                    step.action
+                );
+                assert_eq!(step.scores, bstep.scores);
+            }
+            assert_eq!(
+                report.total_rewrite_stats(),
+                baseline.total_rewrite_stats(),
+                "rewrite statistics must be bit-identical at jobs={jobs}"
+            );
+            let events = recorder.events();
+            assert!(
+                events.iter().any(|e| e.name() == "rewrite.index_lookups"),
+                "index consulted at jobs={jobs}"
+            );
+        }
+    });
+}
+
+/// The shared normal-form cache may only skip work a fresh derivation
+/// would have repeated: a hit replays a published normal form, so it
+/// reduces the `rewrites` fuel counter but can never change a verdict,
+/// a passage/split/proved/vacuous/open tally, or a score — at any
+/// thread count. The scoped model check runs after the cached proof
+/// campaigns in the same process and must match its own pre-campaign
+/// baseline exactly: the concrete explorer never rewrites, and engine
+/// state must not bleed into it.
+#[test]
+fn shared_cache_changes_rewrite_counts_only() {
+    let mut scope = Scope::counterexample();
+    scope.max_messages = 2;
+    let limits = Limits {
+        max_states: 100_000,
+        max_depth: 3,
+    };
+    let mc_baseline = check_scope_jobs(&scope, &limits, 1);
+
+    on_big_stack(|| {
+        let baseline = {
+            let mut model = TlsModel::standard().unwrap();
+            verify::verify_property_jobs(&mut model, "inv1", 1).unwrap()
+        };
+        assert!(baseline.is_proved());
+        for jobs in JOBS {
+            let opts = VerifyOptions {
+                jobs,
+                shared_nf_cache: true,
+                ..VerifyOptions::default()
+            };
+            let mut model = TlsModel::standard().unwrap();
+            let report =
+                verify::verify_property_opts(&mut model, "inv1", &opts, &Obs::noop()).unwrap();
+            assert_eq!(report.is_proved(), baseline.is_proved());
+            assert_eq!(report.steps.len(), baseline.steps.len());
+            assert_eq!(report.base.outcome, baseline.base.outcome);
+            for (step, bstep) in report.steps.iter().zip(&baseline.steps) {
+                assert_eq!(step.action, bstep.action, "step order at jobs={jobs}");
+                assert_eq!(step.outcome, bstep.outcome, "verdict at jobs={jobs}");
+                assert_eq!(step.scores, bstep.scores, "scores at jobs={jobs}");
+                // Every tally except the fuel spent must match the cold
+                // run; `rewrites` is exactly what a cache hit saves.
+                let (m, bm) = (&step.metrics, &bstep.metrics);
+                assert_eq!(m.passages, bm.passages, "passages at jobs={jobs}");
+                assert_eq!(m.splits, bm.splits, "splits at jobs={jobs}");
+                assert_eq!(m.max_depth, bm.max_depth, "depth at jobs={jobs}");
+                assert_eq!(m.proved, bm.proved, "proved at jobs={jobs}");
+                assert_eq!(m.vacuous, bm.vacuous, "vacuous at jobs={jobs}");
+                assert_eq!(m.open, bm.open, "open at jobs={jobs}");
+            }
+        }
+    });
+
+    for jobs in JOBS {
+        let run = check_scope_jobs(&scope, &limits, jobs);
+        assert_eq!(run.states, mc_baseline.states, "mc states at jobs={jobs}");
+        assert_eq!(run.states_per_depth, mc_baseline.states_per_depth);
+        assert_eq!(run.dedup_hits, mc_baseline.dedup_hits);
+        assert_eq!(run.complete, mc_baseline.complete);
+        assert_eq!(run.violations.len(), mc_baseline.violations.len());
+        for (v, bv) in run.violations.iter().zip(&mc_baseline.violations) {
+            assert_eq!(v.property, bv.property, "mc verdict order at jobs={jobs}");
+            assert_eq!(v.trace, bv.trace, "mc trace at jobs={jobs}");
+        }
+    }
 }
 
 #[test]
