@@ -117,6 +117,17 @@ pub struct ProverConfig {
     /// off — but the cache couples obligations through timing-dependent
     /// hit patterns, so it is opt-in for speed, never silently enabled.
     pub shared_nf_cache: bool,
+    /// An externally owned [`SharedNfCache`] to use when
+    /// [`shared_nf_cache`](Self::shared_nf_cache) is on, instead of a
+    /// fresh per-property cache. This is how a resident service keeps
+    /// normal forms warm *across* campaigns: the daemon owns one cache
+    /// per pristine spec and threads it through every request. Soundness
+    /// is unchanged — entries are keyed by structural fingerprint and
+    /// published only at assumption-free top level, so they are a pure
+    /// function of the rule set; the handle must simply never be shared
+    /// between *different* specs (standard vs. variant each get their
+    /// own). Ignored when `shared_nf_cache` is off.
+    pub shared_nf_handle: Option<Arc<SharedNfCache>>,
     /// Disable the discrimination-tree candidate index and fall back to
     /// the per-head linear scan. The index returns candidates in
     /// declaration order, so results are identical either way; this
@@ -143,6 +154,7 @@ impl Default for ProverConfig {
             checkpoint_every_secs: 0,
             resume: false,
             shared_nf_cache: false,
+            shared_nf_handle: None,
             linear_scan: false,
         }
     }
@@ -316,10 +328,12 @@ impl<'a> Prover<'a> {
             inv_name: invariant,
             hints,
             case_lemmas: Vec::new(),
-            shared_nf: self
-                .config
-                .shared_nf_cache
-                .then(|| Arc::new(SharedNfCache::new())),
+            shared_nf: self.config.shared_nf_cache.then(|| {
+                self.config
+                    .shared_nf_handle
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(SharedNfCache::new()))
+            }),
         };
         let mut tasks: Vec<Task<'_>> = vec![Task::Base];
         tasks.extend(self.ots.actions.iter().map(Task::Step));
@@ -370,10 +384,12 @@ impl<'a> Prover<'a> {
             inv_name: invariant,
             hints: &hints,
             case_lemmas: lemma_names.iter().map(|s| (*s).to_string()).collect(),
-            shared_nf: self
-                .config
-                .shared_nf_cache
-                .then(|| Arc::new(SharedNfCache::new())),
+            shared_nf: self.config.shared_nf_cache.then(|| {
+                self.config
+                    .shared_nf_handle
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(SharedNfCache::new()))
+            }),
         };
         let mut reports = run_tasks(&ctx, &[Task::CaseAnalysis])?;
         Ok(ProofReport::new(
@@ -1321,6 +1337,11 @@ struct LedgerWriter {
     path: PathBuf,
     every_secs: u64,
     last_write: Instant,
+    /// Deterministic persist-fault injection (`FaultSite::PersistWrite`,
+    /// scope `"ledger"`), consulted before each snapshot attempt.
+    fault_plan: Option<FaultPlan>,
+    /// Zero-based snapshot-write attempt counter (the fault index).
+    writes: u64,
 }
 
 impl LedgerWriter {
@@ -1333,11 +1354,21 @@ impl LedgerWriter {
         }
     }
 
-    /// Atomically rewrite the snapshot. Failure is non-fatal — the proof
-    /// result is unaffected, only crash-safety degrades — so it is
-    /// counted, not raised.
+    /// Atomically rewrite the snapshot. Failure — real or injected via
+    /// `FaultSite::PersistWrite` — is non-fatal: the proof result is
+    /// unaffected, only crash-safety degrades, so it is counted, not
+    /// raised.
     fn save(&mut self, obs: &Obs) {
-        if self.ledger.save(&self.path, obs).is_err() {
+        let n = self.writes;
+        self.writes += 1;
+        let injected = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.persist_write_fails("ledger", n));
+        if injected {
+            obs.counter("persist.fault_injected", 1);
+            obs.counter("persist.snapshot_failed", 1);
+        } else if self.ledger.save(&self.path, obs).is_err() {
             obs.counter("persist.snapshot_failed", 1);
         } else {
             self.last_write = Instant::now();
@@ -1370,6 +1401,8 @@ fn open_ledger(ctx: &TaskCtx<'_>) -> Result<Option<Mutex<LedgerWriter>>, CoreErr
         path: path.clone(),
         every_secs: ctx.config.checkpoint_every_secs,
         last_write: Instant::now(),
+        fault_plan: ctx.config.fault_plan.clone(),
+        writes: 0,
     })))
 }
 

@@ -365,7 +365,9 @@ impl<S: Clone + Eq + Hash> Search<'_, S> {
                     self.config.budget.cancel();
                     return Some(StopReason::Cancelled);
                 }
-                Some(FaultKind::Panic) | None => {}
+                // Panic faults fire in the successor computation itself;
+                // IoError only means something to persist writers.
+                Some(FaultKind::Panic) | Some(FaultKind::IoError) | None => {}
             }
         }
         self.config.budget.check(self.heap_estimate()).err()
@@ -772,6 +774,7 @@ fn checkpoint_at_barrier<M: Model>(
     barrier: &Barrier<'_>,
     obs: &Obs,
     last_write: &mut Instant,
+    writes: &mut u64,
     force: bool,
 ) {
     let Some(path) = &search.config.checkpoint_path else {
@@ -784,6 +787,23 @@ fn checkpoint_at_barrier<M: Model>(
     let Some(payload) = encode_checkpoint(model, search, barrier) else {
         return;
     };
+    // Deterministic persist-fault injection: the write index counts
+    // *attempts* (in barrier order, jobs-independent), so a planned
+    // `FaultSite::PersistWrite` at scope "explorer" fails the same
+    // barrier's snapshot at every jobs value. Like a real write error,
+    // an injected one degrades crash-safety only — counted, not raised.
+    let n = *writes;
+    *writes += 1;
+    let injected = search
+        .config
+        .fault_plan
+        .as_ref()
+        .is_some_and(|plan| plan.persist_write_fails("explorer", n));
+    if injected {
+        obs.counter("persist.fault_injected", 1);
+        obs.counter("persist.snapshot_failed", 1);
+        return;
+    }
     match write_snapshot(path, SnapshotKind::Explorer, &payload, obs) {
         Ok(_) => *last_write = Instant::now(),
         Err(_) => obs.counter("persist.snapshot_failed", 1),
@@ -829,6 +849,7 @@ where
     let mut states_per_depth = seed.states_per_depth;
     let mut depth = seed.depth;
     let mut last_checkpoint = Instant::now();
+    let mut checkpoint_writes = 0u64;
     let mut last_heartbeat = Instant::now();
     // A budget already spent (cancelled before start, expired deadline)
     // stops the search before the first expansion: one state, zero work.
@@ -900,7 +921,15 @@ where
                 states_per_depth: &states_per_depth,
                 depth,
             };
-            checkpoint_at_barrier(model, &search, &barrier, obs, &mut last_checkpoint, false);
+            checkpoint_at_barrier(
+                model,
+                &search,
+                &barrier,
+                obs,
+                &mut last_checkpoint,
+                &mut checkpoint_writes,
+                false,
+            );
         }
     }
     // A frontier left unexpanded by the depth cap is also an early stop.
@@ -916,7 +945,15 @@ where
             states_per_depth: &states_per_depth,
             depth,
         };
-        checkpoint_at_barrier(model, &search, &barrier, obs, &mut last_checkpoint, true);
+        checkpoint_at_barrier(
+            model,
+            &search,
+            &barrier,
+            obs,
+            &mut last_checkpoint,
+            &mut checkpoint_writes,
+            true,
+        );
     }
     let result = Exploration {
         states: search.states.len(),

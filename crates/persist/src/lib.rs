@@ -30,13 +30,25 @@
 //! `persist.bytes`) and spans (`persist.write`, `persist.load`) so
 //! checkpoint traffic shows up in `--metrics` next to prover and explorer
 //! activity.
+//!
+//! The crate also hosts [`signal`]: the shared SIGINT/SIGTERM
+//! flag-handler used by every drain-to-checkpoint exit path (daemon,
+//! `tls-prove`, model-check). It lives here because graceful shutdown is
+//! a crash-safety concern, and because this layer sits below every
+//! binary that needs it.
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace's usual `forbid`: the [`signal`]
+// module registers SIGINT/SIGTERM flag handlers through libc's
+// `signal(2)`, the workspace's single, documented `unsafe` site (scoped
+// `#[allow(unsafe_code)]` there; everything else in the crate still
+// refuses unsafe).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod crc32;
 pub mod error;
+pub mod signal;
 pub mod snapshot;
 
 pub use error::PersistError;

@@ -1,0 +1,161 @@
+//! Cooperative SIGINT/SIGTERM handling for drain-then-exit shutdown.
+//!
+//! Long-running campaigns (the `equitls-serve` daemon, `tls-prove`, the
+//! model-check example) want the classic Unix contract: a termination
+//! signal stops *accepting* work immediately, in-flight work drains to a
+//! final checkpoint, and the process exits with code 130. The only thing
+//! a signal handler can safely do is flip a flag — everything here is a
+//! pair of atomics plus an async-signal-safe handler that stores into
+//! them; the drain logic itself runs on ordinary threads that poll
+//! [`term_requested`] (or observe a tripped `CancelToken` wired by the
+//! caller).
+//!
+//! This module is the workspace's single point of `unsafe`: registering
+//! a process signal handler requires calling libc's `signal(2)` through
+//! an `extern "C"` declaration (std links libc on every Unix target, so
+//! no external crate is needed). The handler body touches nothing but
+//! `AtomicBool`/`AtomicUsize` stores, which are async-signal-safe. On
+//! non-Unix targets the module compiles to inert stubs: installation
+//! reports `false` and the flag never fires.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// `SIGINT`'s portable Unix signal number (terminal interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM`'s portable Unix signal number (polite kill).
+pub const SIGTERM: i32 = 15;
+
+/// Conventional exit code for "terminated by SIGINT" (128 + 2). The
+/// drain paths use it for SIGTERM too: the observable contract is "a
+/// termination signal produced a final checkpoint and this code", and
+/// one code keeps the CLI tests and scripts signal-agnostic.
+pub const TERM_EXIT_CODE: i32 = 130;
+
+/// Set by the handler; read by [`term_requested`].
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+/// The number of the last termination signal received (0 = none).
+static LAST_SIGNAL: AtomicUsize = AtomicUsize::new(0);
+/// Guards double installation (reinstalling is harmless but noisy).
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{LAST_SIGNAL, SIGINT, SIGTERM, TERM_REQUESTED};
+    use std::sync::atomic::Ordering;
+
+    /// The handler: async-signal-safe by construction — two relaxed
+    /// atomic stores, no allocation, no locks, no I/O.
+    extern "C" fn on_term_signal(signum: i32) {
+        LAST_SIGNAL.store(signum as usize, Ordering::Relaxed);
+        TERM_REQUESTED.store(true, Ordering::Release);
+    }
+
+    // The workspace's only unsafe: declaring and calling libc
+    // `signal(2)`. The handler address travels as a plain machine word
+    // (`usize`), matching libc's `sighandler_t` on every Unix ABI Rust
+    // supports.
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    #[allow(unsafe_code)]
+    pub fn install() -> bool {
+        let handler = on_term_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal(2)` with a valid signal number and a function
+        // pointer of the correct `extern "C" fn(c_int)` shape is always
+        // sound to call; the registered handler performs only
+        // async-signal-safe atomic stores.
+        unsafe {
+            ffi::signal(SIGINT, handler);
+            ffi::signal(SIGTERM, handler);
+        }
+        true
+    }
+
+    /// Re-raise `signum` at the current process (used by tests to
+    /// exercise the handler deterministically without a second process).
+    #[allow(unsafe_code)]
+    pub fn raise(signum: i32) {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: libc `raise(3)` is safe to call with any signal
+        // number; our handler (installed first by every caller) only
+        // flips atomics.
+        unsafe {
+            raise(signum);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+
+    pub fn raise(_signum: i32) {}
+}
+
+/// Install the shared SIGINT/SIGTERM flag handler. Idempotent: the first
+/// call registers, later calls are no-ops. Returns `false` on targets
+/// without Unix signals (the flag then simply never fires — callers need
+/// no platform branches).
+pub fn install_term_flag() -> bool {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return cfg!(unix);
+    }
+    imp::install()
+}
+
+/// Whether a termination signal has arrived since
+/// [`install_term_flag`]. Sticky: once set it stays set for the life of
+/// the process (a drain is not cancellable by a second signal — the
+/// second signal's default disposition was already replaced, keeping the
+/// final checkpoint write safe from re-entry).
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::Acquire)
+}
+
+/// The name of the termination signal received, if any.
+pub fn term_signal_name() -> Option<&'static str> {
+    match LAST_SIGNAL.load(Ordering::Relaxed) as i32 {
+        s if s == SIGINT => Some("SIGINT"),
+        s if s == SIGTERM => Some("SIGTERM"),
+        0 => None,
+        _ => Some("signal"),
+    }
+}
+
+/// Deliver `signum` to the current process (test helper; no-op on
+/// non-Unix targets). Callers must have installed the flag handler
+/// first, or the process's default disposition applies.
+pub fn raise_for_test(signum: i32) {
+    imp::raise(signum);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle: ordering within a single
+    // process matters (the flag is sticky), so splitting these into
+    // separate #[test]s would make them racy under the parallel harness.
+    #[test]
+    fn install_flag_and_raise_sets_sticky_flag() {
+        assert!(!term_requested());
+        assert_eq!(term_signal_name(), None);
+        assert!(install_term_flag());
+        assert!(install_term_flag(), "reinstall is an idempotent no-op");
+        assert!(!term_requested(), "installing must not set the flag");
+        raise_for_test(SIGINT);
+        assert!(term_requested());
+        assert_eq!(term_signal_name(), Some("SIGINT"));
+        raise_for_test(SIGTERM);
+        assert!(term_requested(), "the flag is sticky");
+        assert_eq!(term_signal_name(), Some("SIGTERM"));
+    }
+}

@@ -36,6 +36,10 @@ pub enum SnapshotKind {
     /// The lint analyzer's incremental pass cache: per-(target, pass)
     /// input fingerprints and stored diagnostics.
     LintCache,
+    /// The serve daemon's job journal: accepted jobs in admission order
+    /// with their completed responses, replayed on restart so a killed
+    /// daemon resumes its queue.
+    JobJournal,
 }
 
 impl SnapshotKind {
@@ -45,6 +49,7 @@ impl SnapshotKind {
             SnapshotKind::Explorer => 1,
             SnapshotKind::ProverLedger => 2,
             SnapshotKind::LintCache => 3,
+            SnapshotKind::JobJournal => 4,
         }
     }
 
@@ -53,6 +58,7 @@ impl SnapshotKind {
             1 => Some(SnapshotKind::Explorer),
             2 => Some(SnapshotKind::ProverLedger),
             3 => Some(SnapshotKind::LintCache),
+            4 => Some(SnapshotKind::JobJournal),
             _ => None,
         }
     }

@@ -195,6 +195,14 @@ pub enum FaultSite {
     Successor,
     /// The start of a named prover obligation (`at` is ignored / 0).
     Obligation,
+    /// The *N*-th persist-layer snapshot write attempted by the scoped
+    /// writer (prover ledger, explorer checkpoint, lint cache, serve job
+    /// journal). Injection sits *above* `equitls-persist`: the writer
+    /// consults its plan before touching the filesystem, so a fired fault
+    /// models the whole write/rename/fsync sequence failing atomically —
+    /// the previous snapshot (if any) stays intact, exactly the guarantee
+    /// the real temp-file protocol gives on a mid-write crash.
+    PersistWrite,
 }
 
 impl fmt::Display for FaultSite {
@@ -203,6 +211,7 @@ impl fmt::Display for FaultSite {
             FaultSite::Rewrite => "rewrite",
             FaultSite::Successor => "successor",
             FaultSite::Obligation => "obligation",
+            FaultSite::PersistWrite => "persist write",
         })
     }
 }
@@ -218,6 +227,11 @@ pub enum FaultKind {
     DeadlineExpiry,
     /// Trip the shared [`CancelToken`].
     Cancel,
+    /// Fail the operation with a simulated I/O error. Only meaningful at
+    /// [`FaultSite::PersistWrite`]: the writer must degrade to
+    /// warn-and-continue (counting `persist.snapshot_failed`), never
+    /// abort the campaign.
+    IoError,
 }
 
 impl fmt::Display for FaultKind {
@@ -227,6 +241,7 @@ impl fmt::Display for FaultKind {
             FaultKind::FuelStarvation => "fuel starvation",
             FaultKind::DeadlineExpiry => "deadline expiry",
             FaultKind::Cancel => "cancel",
+            FaultKind::IoError => "io error",
         })
     }
 }
@@ -304,6 +319,12 @@ impl FaultPlan {
     /// A SplitMix64-seeded random plan of `n` faults with call indices below
     /// `max_at`. Equal seeds yield equal plans; scopes are left open so the
     /// faults apply wherever the indices land.
+    ///
+    /// The random mix deliberately excludes [`FaultSite::PersistWrite`]
+    /// (and with it [`FaultKind::IoError`]): persist faults are targeted
+    /// at specific writers by explicit plans, and adding a site here
+    /// would silently reshuffle every seeded fixture pinned by the
+    /// robustness suite.
     pub fn seeded(seed: u64, n: usize, max_at: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let sites = [
@@ -339,6 +360,16 @@ impl FaultPlan {
             .iter()
             .find(|f| f.site == site && f.at == n && f.scope.as_ref().is_none_or(|s| s == scope))
             .map(|f| f.kind)
+    }
+
+    /// Whether the `n`-th snapshot write of the persist writer named
+    /// `scope` should fail. Sugar over [`fault_for`](Self::fault_for) at
+    /// [`FaultSite::PersistWrite`]; any planned kind fails the write (an
+    /// injected persist fault has exactly one observable effect — the
+    /// snapshot does not land — so the kind carries no extra signal
+    /// here).
+    pub fn persist_write_fails(&self, scope: &str, n: u64) -> bool {
+        self.fault_for(FaultSite::PersistWrite, scope, n).is_some()
     }
 }
 
@@ -446,6 +477,38 @@ mod tests {
             Some(FaultKind::FuelStarvation)
         );
         assert_eq!(plan.fault_for(FaultSite::Obligation, "lem-two", 0), None);
+    }
+
+    #[test]
+    fn persist_write_faults_are_scoped_and_indexed() {
+        let plan = FaultPlan::new()
+            .with_fault(
+                Fault::new(FaultSite::PersistWrite, FaultKind::IoError, 1).in_scope("ledger"),
+            )
+            .with_fault(Fault::new(FaultSite::PersistWrite, FaultKind::IoError, 0));
+        // Index 0 matches the unscoped fault for every writer.
+        assert!(plan.persist_write_fails("ledger", 0));
+        assert!(plan.persist_write_fails("explorer", 0));
+        // Index 1 only fails for the ledger writer.
+        assert!(plan.persist_write_fails("ledger", 1));
+        assert!(!plan.persist_write_fails("explorer", 1));
+        assert!(!plan.persist_write_fails("ledger", 2));
+        // Persist faults never leak into the other sites.
+        assert_eq!(plan.fault_for(FaultSite::Rewrite, "ledger", 0), None);
+        assert_eq!(plan.fault_for(FaultSite::Obligation, "ledger", 0), None);
+    }
+
+    #[test]
+    fn seeded_plans_never_contain_persist_sites() {
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded(seed, 16, 100);
+            assert!(
+                plan.faults()
+                    .iter()
+                    .all(|f| f.site != FaultSite::PersistWrite && f.kind != FaultKind::IoError),
+                "seeded plan {seed} must keep the pinned site/kind mix"
+            );
+        }
     }
 
     #[test]

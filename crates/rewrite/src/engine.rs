@@ -864,7 +864,10 @@ impl Normalizer {
                     self.budget.cancel();
                     return Err(self.stopped(store, t, StopReason::Cancelled));
                 }
-                None => {}
+                // Persist-layer kinds are meaningless at a rewrite step:
+                // the persist writers consult the plan themselves, so an
+                // IoError planned here is simply inert.
+                Some((_, FaultKind::IoError)) | None => {}
             }
         }
         if self.fuel == 0 {

@@ -1,0 +1,93 @@
+//! Capped exponential backoff with seeded jitter for `Busy` retries.
+//!
+//! The client's retry schedule must be **deterministic under test** (the
+//! backpressure suite pins exact delay sequences) while still spreading
+//! real clients apart. Both come from the same construction: delays are
+//! a pure function of `(seed, attempt)` via SplitMix64 — "decorrelated"
+//! across clients by seed, reproducible for a fixed seed.
+
+use equitls_obs::rng::SplitMix64;
+
+/// Deterministic backoff schedule: attempt `k` waits
+/// `min(cap, base·2^k)/2 + jitter`, with `jitter` drawn uniformly from
+/// `[0, min(cap, base·2^k)/2]` — the classic "equal jitter" variant,
+/// which never collapses to zero (a zero delay would hot-loop on a busy
+/// daemon) and never exceeds the cap.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ms`, capped at `cap_ms`, jittered by
+    /// the stream seeded with `seed`.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based). Consumes one
+    /// draw from the jitter stream, so calling in attempt order yields
+    /// the reproducible sequence the tests pin.
+    pub fn delay_ms(&mut self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt.min(32)).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        let half = exp / 2;
+        half + self.rng.next_below(half + 1)
+    }
+
+    /// The delay for `attempt`, floored by a server-provided
+    /// `retry_after_ms` hint: the daemon's hint wins when it asks for
+    /// *more* patience than the schedule would give.
+    pub fn delay_with_hint_ms(&mut self, attempt: u32, retry_after_ms: u64) -> u64 {
+        self.delay_ms(attempt).max(retry_after_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(seed, 10, 400);
+            (0..8).map(|k| b.delay_ms(k)).collect()
+        };
+        assert_eq!(seq(7), seq(7), "equal seeds yield equal schedules");
+        assert_ne!(seq(7), seq(8), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let mut b = Backoff::new(42, 10, 400);
+        let delays: Vec<u64> = (0..12).map(|k| b.delay_ms(k)).collect();
+        for (k, &d) in delays.iter().enumerate() {
+            let exp = (10u64 << k.min(32)).min(400);
+            assert!(
+                d >= exp / 2,
+                "attempt {k}: {d} below half-floor {}",
+                exp / 2
+            );
+            assert!(d <= exp, "attempt {k}: {d} above cap {exp}");
+            assert!(d > 0, "a zero delay would hot-loop");
+        }
+        // Far tail is fully capped.
+        assert!(delays[10] <= 400 && delays[10] >= 200);
+    }
+
+    #[test]
+    fn server_hint_floors_the_delay() {
+        let mut a = Backoff::new(1, 10, 400);
+        let mut b = Backoff::new(1, 10, 400);
+        let plain = a.delay_ms(0);
+        assert_eq!(b.delay_with_hint_ms(0, 1000), 1000.max(plain));
+    }
+}

@@ -367,12 +367,15 @@ fn run() {
         let analyzed: usize = outcomes.iter().map(|o| o.passes_analyzed).sum();
         let reused: usize = outcomes.iter().map(|o| o.passes_reused).sum();
         eprintln!("tls-lint: lint cache: {reused} passes reused, {analyzed} analyzed");
+        // A failed cache write degrades the *next* run to cold — this
+        // run's findings are already complete, so warn and continue
+        // rather than abort the campaign.
         if let Err(err) = cache.save(path, &obs) {
+            obs.counter("persist.snapshot_failed", 1);
             eprintln!(
-                "tls-lint: cannot write lint cache {}: {err}",
+                "tls-lint: warning: cannot write lint cache {} ({err}); next run starts cold",
                 path.display()
             );
-            std::process::exit(2);
         }
     }
 

@@ -46,7 +46,7 @@ use equitls_core::prelude::{render_report_table, CoreError, ProofReport};
 use equitls_obs::sink::{EventSink, JsonlSink, Obs, RecordingSink, TeeSink};
 use equitls_obs::summary::{Align, MetricsSummary, Table};
 use equitls_obs::trace::Trace;
-use equitls_persist::{peek_meta, SnapshotMeta};
+use equitls_persist::{peek_meta, signal, SnapshotMeta};
 use equitls_rewrite::budget::Budget;
 use equitls_tls::verify::VerifyOptions;
 use equitls_tls::{verify, TlsModel};
@@ -247,6 +247,22 @@ fn run() {
     if let Some(mb) = opts.max_mem_mb {
         budget = budget.with_max_mem_mb(mb);
     }
+    // Signal-drain: SIGINT/SIGTERM cancel the campaign's shared budget
+    // token. The prover stops cooperatively at the next passage
+    // boundary, the obligation ledger gets its final checkpoint, and the
+    // process exits 130 — so an interrupted campaign resumes with
+    // `--resume` instead of losing finished obligations.
+    signal::install_term_flag();
+    let term_token = budget.cancel_token();
+    std::thread::Builder::new()
+        .name("term-watcher".into())
+        .spawn(move || {
+            while !signal::term_requested() {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            term_token.cancel();
+        })
+        .expect("spawn term watcher");
     let verify_opts = VerifyOptions {
         budget,
         fuel: opts.fuel,
@@ -335,6 +351,21 @@ fn run() {
             "warning: {dropped} observability event(s) dropped (sink I/O failed); \
              the trace and any summary derived from it are incomplete"
         );
+    }
+    // A signal-initiated drain outranks the pass/fail verdict: the
+    // cancelled obligations are *open by interruption*, not refuted, and
+    // exit 130 tells callers (and scripts) to resume rather than report.
+    if signal::term_requested() {
+        let checkpointed = opts
+            .checkpoint
+            .as_ref()
+            .map(|p| format!("; checkpoint {} written, resume with --resume", p.display()))
+            .unwrap_or_default();
+        eprintln!(
+            "tls-prove: {} received, campaign drained{checkpointed}",
+            signal::term_signal_name().unwrap_or("termination signal"),
+        );
+        std::process::exit(signal::TERM_EXIT_CODE);
     }
     if failed {
         std::process::exit(1);

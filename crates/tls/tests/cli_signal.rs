@@ -1,0 +1,137 @@
+//! `tls-prove` signal-drain end-to-end: SIGINT/SIGTERM checkpoint, then
+//! exit 130.
+//!
+//! The contract pinned here: a termination signal mid-campaign does not
+//! kill the process where it stands. The prover drains cooperatively
+//! (the signal cancels the shared budget token), the obligation ledger
+//! keeps its last checkpoint, the exit code is **130** — distinct from
+//! "failed" (1) and "usage" (2) — and the snapshot left behind is valid
+//! and resumable.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use equitls_persist::{peek_meta, signal, SnapshotKind};
+
+fn tmp_snapshot(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("equitls_sig_{}_{name}.snap", std::process::id()))
+}
+
+/// Start a full `--all` campaign (long enough in a debug build that the
+/// signal always lands mid-run) checkpointing to `path`.
+fn spawn_campaign(path: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_tls-prove"))
+        .args(["--all", "--checkpoint", path.to_str().expect("utf-8 path")])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("tls-prove spawns")
+}
+
+/// Wait until the campaign has written its first ledger checkpoint — the
+/// signal must interrupt a run that already has progress worth keeping.
+fn wait_for_checkpoint(path: &Path, child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !path.exists() {
+        assert!(
+            child.try_wait().expect("poll child").is_none(),
+            "campaign must still be running when the checkpoint appears"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "campaign never wrote a checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn signal_and_reap(child: Child, signal_flag: &str) -> (Option<i32>, String) {
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args([signal_flag, &pid])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill {signal_flag} {pid} delivered");
+    let out = child.wait_with_output().expect("campaign exits");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code(), text)
+}
+
+#[test]
+fn sigint_drains_checkpoints_and_exits_130() {
+    let path = tmp_snapshot("sigint");
+    let _ = std::fs::remove_file(&path);
+    let mut child = spawn_campaign(&path);
+    wait_for_checkpoint(&path, &mut child);
+    let (code, text) = signal_and_reap(child, "-INT");
+
+    assert_eq!(
+        code,
+        Some(signal::TERM_EXIT_CODE),
+        "signal-drain exits 130; output:\n{text}"
+    );
+    assert!(
+        text.contains("campaign drained"),
+        "drain is announced:\n{text}"
+    );
+    assert!(
+        text.contains("resume with --resume"),
+        "the operator is told how to continue:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+
+    // The ledger left behind is a valid prover snapshot, not torn state.
+    let meta = peek_meta(&path).expect("checkpoint is a readable snapshot");
+    assert_eq!(meta.kind, SnapshotKind::ProverLedger);
+
+    // And it actually resumes: a follow-up single-property run accepts
+    // the snapshot and completes.
+    let out = Command::new(env!("CARGO_BIN_EXE_tls-prove"))
+        .args([
+            "lem-src-honest",
+            "--resume",
+            "--checkpoint",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("resume run");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume from the drained checkpoint proves; output:\n{text}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sigterm_drains_checkpoints_and_exits_130() {
+    let path = tmp_snapshot("sigterm");
+    let _ = std::fs::remove_file(&path);
+    let mut child = spawn_campaign(&path);
+    wait_for_checkpoint(&path, &mut child);
+    let (code, text) = signal_and_reap(child, "-TERM");
+
+    assert_eq!(
+        code,
+        Some(signal::TERM_EXIT_CODE),
+        "SIGTERM drains exactly like SIGINT; output:\n{text}"
+    );
+    assert!(
+        text.contains("campaign drained"),
+        "drain is announced:\n{text}"
+    );
+    assert!(!text.contains("panicked"), "never a panic:\n{text}");
+    let meta = peek_meta(&path).expect("checkpoint is a readable snapshot");
+    assert_eq!(meta.kind, SnapshotKind::ProverLedger);
+    let _ = std::fs::remove_file(&path);
+}

@@ -109,6 +109,21 @@ fn main() {
     if let Some(mb) = args.max_mem_mb {
         budget = budget.with_max_mem_mb(mb);
     }
+    // Signal-drain: SIGINT/SIGTERM cancel the shared budget token; the
+    // BFS stops at the next level barrier, the per-bound checkpoints
+    // keep their last barrier snapshot, and the process exits 130 so
+    // scripts resume with `--resume` instead of reporting a failure.
+    equitls::persist::signal::install_term_flag();
+    let term_token = budget.cancel_token();
+    std::thread::Builder::new()
+        .name("term-watcher".into())
+        .spawn(move || {
+            while !equitls::persist::signal::term_requested() {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            term_token.cancel();
+        })
+        .expect("spawn term watcher");
     println!(
         "== bounded exhaustive check (Mitchell-et-al.-style scope, {} worker threads) ==\n",
         resolve_jobs(jobs)
@@ -199,5 +214,22 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if equitls::persist::signal::term_requested() {
+        let checkpointed = args
+            .checkpoint
+            .as_ref()
+            .map(|p| {
+                format!(
+                    "; checkpoints under {} written, resume with --resume",
+                    p.display()
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "model_check: {} received, search drained{checkpointed}",
+            equitls::persist::signal::term_signal_name().unwrap_or("termination signal"),
+        );
+        std::process::exit(equitls::persist::signal::TERM_EXIT_CODE);
     }
 }

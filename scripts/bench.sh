@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Reproducible benchmark pipeline: the parallel execution layer (E14)
-# and the rewrite engine's indexing / shared-cache legs (E19).
+# Reproducible benchmark pipeline: the parallel execution layer (E14),
+# the rewrite engine's indexing / shared-cache legs (E19), and the serve
+# daemon's warm-path latency (E20).
 #
-# Runs the explorer and prover workloads at jobs ∈ {1, 2, all cores}
-# plus the three-leg rewriting benchmark, and writes
-# BENCH_parallel.json and BENCH_rewriting.json at the repository root.
+# Runs the explorer and prover workloads at jobs ∈ {1, 2, all cores},
+# the three-leg rewriting benchmark, and the cold/warm serve legs, and
+# writes BENCH_parallel.json, BENCH_rewriting.json, and BENCH_serve.json
+# at the repository root.
 # Knobs:
 #
 #   BENCH_SAMPLES=N   timed repetitions per point (default 3, best-of-N)
 #   BENCH_OUT=path    output path override (applies to whichever bench
 #                     runs; only meaningful with BENCH_ONLY)
-#   BENCH_ONLY=name   run a single bench: "parallel" or "rewriting"
+#   BENCH_ONLY=name   run a single bench: "parallel", "rewriting", or "serve"
 #   BENCH_SMOKE=1     tiny limits + temp output, for CI smoke
 #
 # Run from anywhere; operates on the repository containing this script.
@@ -39,16 +41,18 @@ run_bench() {
 case "${BENCH_ONLY:-all}" in
 parallel) run_bench parallel BENCH_parallel.json ;;
 rewriting) run_bench rewriting BENCH_rewriting.json ;;
+serve) run_bench serve BENCH_serve.json ;;
 all)
     if [ -n "${BENCH_OUT:-}" ]; then
-        echo "BENCH_OUT needs BENCH_ONLY=parallel or BENCH_ONLY=rewriting" >&2
+        echo "BENCH_OUT needs BENCH_ONLY=parallel, rewriting, or serve" >&2
         exit 2
     fi
     run_bench parallel BENCH_parallel.json
     run_bench rewriting BENCH_rewriting.json
+    run_bench serve BENCH_serve.json
     ;;
 *)
-    echo "unknown BENCH_ONLY='${BENCH_ONLY}' (want parallel|rewriting|all)" >&2
+    echo "unknown BENCH_ONLY='${BENCH_ONLY}' (want parallel|rewriting|serve|all)" >&2
     exit 2
     ;;
 esac

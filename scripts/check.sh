@@ -111,8 +111,70 @@ EOF
 grep -q "^digraph" "$DOT"
 rm -f "$SARIF" "$DOT"
 
+echo "== serve: concurrency determinism (jobs 1/2/4) + signal drain =="
+cargo test -q --release --test serve_determinism
+cargo test -q --release -p equitls-serve
+cargo test -q --release -p equitls-tls --test cli_signal
+
+echo "== serve smoke: daemon, kill -9 mid-campaign, resume, byte-compare =="
+# Start a daemon with a journaled queue, submit a campaign of async
+# (--ack) jobs, kill -9 the daemon mid-campaign, restart it with
+# --resume, drain, and byte-compare the replayed results file against a
+# straight-through run of the same submissions.
+SERVE_SOCK="$(mktemp -u /tmp/equitls_check_XXXXXX.sock)"
+SERVE_JOURNAL="$(mktemp -u /tmp/equitls_check_XXXXXX.queue.snap)"
+SERVE_RESUMED=/tmp/equitls_check_serve_resumed.jsonl
+SERVE_STRAIGHT=/tmp/equitls_check_serve_straight.jsonl
+SERVE="./target/release/equitls-serve"
+CLIENT="./target/release/tls-client"
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        [ -S "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "daemon never opened $1" >&2
+    return 1
+}
+submit_campaign() {
+    "$CLIENT" --socket "$SERVE_SOCK" --id j1 --ack prove inv1 > /dev/null
+    "$CLIENT" --socket "$SERVE_SOCK" --id j2 --ack prove lem-src-honest > /dev/null
+    "$CLIENT" --socket "$SERVE_SOCK" --id j3 --ack check --max-depth 2 > /dev/null
+    "$CLIENT" --socket "$SERVE_SOCK" --id j4 --ack lint --target standard > /dev/null
+    "$CLIENT" --socket "$SERVE_SOCK" --id j5 --ack prove inv2 > /dev/null
+}
+# Leg 1: admit the campaign, then kill -9 before it finishes.
+"$SERVE" --socket "$SERVE_SOCK" --workers 1 --journal "$SERVE_JOURNAL" &
+SERVE_PID=$!
+wait_for_socket "$SERVE_SOCK"
+submit_campaign
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+# kill -9 leaves the socket file behind; remove it so wait_for_socket
+# observes the restarted daemon's bind, not the stale file.
+rm -f "$SERVE_SOCK"
+# Leg 2: restart from the journal, drain, collect the replayed results.
+"$SERVE" --socket "$SERVE_SOCK" --workers 1 --journal "$SERVE_JOURNAL" \
+    --resume --results "$SERVE_RESUMED" &
+SERVE_PID=$!
+wait_for_socket "$SERVE_SOCK"
+"$CLIENT" --socket "$SERVE_SOCK" drain > /dev/null
+wait "$SERVE_PID"
+# Leg 3: the same campaign straight through, no kill.
+rm -f "$SERVE_JOURNAL"
+"$SERVE" --socket "$SERVE_SOCK" --workers 1 --journal "$SERVE_JOURNAL" \
+    --results "$SERVE_STRAIGHT" &
+SERVE_PID=$!
+wait_for_socket "$SERVE_SOCK"
+submit_campaign
+"$CLIENT" --socket "$SERVE_SOCK" drain > /dev/null
+wait "$SERVE_PID"
+test -s "$SERVE_RESUMED"
+cmp "$SERVE_RESUMED" "$SERVE_STRAIGHT"
+rm -f "$SERVE_SOCK" "$SERVE_JOURNAL" "$SERVE_RESUMED" "$SERVE_STRAIGHT"
+
 echo "== bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench parallel
+BENCH_SMOKE=1 cargo bench -q -p equitls-bench --bench serve
 
 echo "== rewriting bench smoke: indexed must not lose to linear scan =="
 # A fixed tiny workload through all three engine legs. Wall times jitter,

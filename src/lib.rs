@@ -22,6 +22,7 @@
 //! | [`lint`] | static analysis of rewrite systems: termination (LPO), local confluence (critical pairs), sufficient completeness |
 //! | [`obs`] | zero-dependency tracing/metrics: event sinks, JSONL traces, summary tables |
 //! | [`persist`] | crash-safe checkpoint snapshots: versioned, CRC-checked, atomically written |
+//! | [`serve`] | a supervised, always-warm verification daemon: bounded admission, graceful degradation, crash-resumable job queues |
 //!
 //! # Quick start
 //!
@@ -59,5 +60,6 @@ pub use equitls_mc as mc;
 pub use equitls_obs as obs;
 pub use equitls_persist as persist;
 pub use equitls_rewrite as rewrite;
+pub use equitls_serve as serve;
 pub use equitls_spec as spec;
 pub use equitls_tls as tls;
