@@ -52,7 +52,23 @@ pub fn check_scope_config_obs(
     config: &ExploreConfig,
     obs: &Obs,
 ) -> Exploration<State> {
-    with_scope_monitors(scope, |machine, refs| {
+    check_scope_config_obs_sym(scope, limits, jobs, config, obs, true)
+}
+
+/// [`check_scope_config_obs`] with an explicit symmetry switch: `true`
+/// (the default everywhere else) canonicalizes states under scalarset
+/// symmetry, `false` explores the raw space — the `--no-symmetry`
+/// escape hatch. Verdicts are identical either way; only the state
+/// count changes.
+pub fn check_scope_config_obs_sym(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+    obs: &Obs,
+    symmetry: bool,
+) -> Exploration<State> {
+    with_scope_monitors(scope, symmetry, |machine, refs| {
         explore_with_config_jobs(machine, refs, limits, config, jobs, obs)
     })
 }
@@ -79,7 +95,22 @@ pub fn check_scope_resume_obs(
     config: &ExploreConfig,
     obs: &Obs,
 ) -> Result<Exploration<State>, PersistError> {
-    with_scope_monitors(scope, |machine, refs| {
+    check_scope_resume_obs_sym(scope, limits, jobs, config, obs, true)
+}
+
+/// [`check_scope_resume_obs`] with an explicit symmetry switch (see
+/// [`check_scope_config_obs_sym`]). A checkpoint must be resumed under
+/// the same symmetry setting it was written with — the snapshot stores
+/// canonicalized states.
+pub fn check_scope_resume_obs_sym(
+    scope: &Scope,
+    limits: &Limits,
+    jobs: usize,
+    config: &ExploreConfig,
+    obs: &Obs,
+    symmetry: bool,
+) -> Result<Exploration<State>, PersistError> {
+    with_scope_monitors(scope, symmetry, |machine, refs| {
         explore_resume_with_config_jobs(machine, refs, limits, config, jobs, obs)
     })
 }
@@ -88,9 +119,14 @@ pub fn check_scope_resume_obs(
 /// them to `run` (shared by the fresh-start and resume entry points).
 fn with_scope_monitors<R>(
     scope: &Scope,
+    symmetry: bool,
     run: impl FnOnce(&TlsMachine, &[Monitor<'_, State>]) -> R,
 ) -> R {
-    let machine = TlsMachine::new(scope.clone());
+    let machine = if symmetry {
+        TlsMachine::new(scope.clone())
+    } else {
+        TlsMachine::new(scope.clone()).without_symmetry()
+    };
     let scope2 = scope.clone();
     let monitors = props::monitors();
     let boxed: Vec<(&str, BoxedPredicate)> = monitors

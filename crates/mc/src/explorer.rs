@@ -19,6 +19,10 @@
 //! `jobs = 1` bypasses the thread machinery and is the sequential path.
 
 use crate::model::Model;
+use crate::visited::{
+    digest_entries, read_shard_file, shard_file_name, Lookup, SpillError, SpillSettings,
+    VisitedStore,
+};
 use equitls_obs::sink::Obs;
 use equitls_persist::codec::{Reader, Writer};
 use equitls_persist::{read_snapshot, write_snapshot, PersistError, SnapshotKind};
@@ -26,17 +30,28 @@ use equitls_rewrite::budget::{
     panic_message, trigger_injected_panic, Budget, FaultKind, FaultPlan, FaultSite, StopReason,
     WorkerFault,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Very coarse per-state heap estimate (state + parent edge + index slot),
+/// Very coarse per-state heap estimate (state + parent edge + index slot)
+/// for the *hashed-value* visited set (models without a state encoder),
 /// used only as the tripwire for [`Budget::check`]'s memory ceiling. The
 /// point is to stop runaway explorations in the right order of magnitude,
 /// not to account precisely.
 const STATE_BYTES_ESTIMATE: u64 = 512;
+
+/// Per-state estimate of the parts that can never spill in encoded mode:
+/// the parent edge and label. The visited store accounts its own resident
+/// and unspillable bytes on top.
+const STATE_FIXED_BYTES: u64 = 64;
+
+/// Barrier spill trigger: spill when the heap estimate crosses this
+/// fraction of the budget's memory ceiling, *before* the ceiling itself
+/// trips mid-level.
+const SPILL_PRESSURE: f64 = 0.7;
 
 /// A named safety monitor: `(name, predicate)`. A violation is recorded
 /// the first time the predicate returns `false`.
@@ -91,6 +106,21 @@ pub struct ExploreConfig {
     /// the tallies are consistent). Purely cosmetic: heartbeats never
     /// affect the search or its result. `0` (the default) is silent.
     pub heartbeat_every_secs: u64,
+    /// When set (and the model has a state encoder), cold visited-set
+    /// shards spill to files in this directory under memory pressure —
+    /// Murφ-style — instead of the search truncating at the budget's
+    /// heap ceiling. Spill decisions are taken only at level barriers,
+    /// in shard order, so results stay bit-identical at every `jobs`
+    /// value; the degradation is disclosed in
+    /// [`Exploration::degradation`].
+    pub spill_dir: Option<PathBuf>,
+    /// When nonzero, at most this many visited-set shards keep resident
+    /// entries after each barrier (the rest spill). `0` leaves residency
+    /// purely to the memory-pressure trigger.
+    pub max_resident_shards: usize,
+    /// Visited-set shard count in encoded mode; `0` uses the default
+    /// ([`crate::visited::DEFAULT_SHARDS`]).
+    pub spill_shards: usize,
 }
 
 /// Resolve a `jobs` request: `0` means "use the machine's available
@@ -137,6 +167,22 @@ pub struct Exploration<S> {
     /// Worker faults (panicking successor computations) that were
     /// contained during the search, in frontier order.
     pub faults: Vec<WorkerFault>,
+    /// Enqueued-but-unexpanded states at the truncation point: frontier
+    /// entries the stop reason prevented from being expanded. `0` on a
+    /// complete run. Disclosed so a truncated tally can never silently
+    /// pose as exhaustive.
+    pub unexpanded: usize,
+    /// Disclosed degradations, mirroring `equitls-serve`'s ladder:
+    /// `"visited-spilled"` when shards went to disk,
+    /// `"spill-write-failed"` when a shard write failed and the shard
+    /// stayed resident (backpressure). Empty on a fully-resident run.
+    pub degradation: Vec<String>,
+    /// Visited-set shards spilled to disk during the search.
+    pub spill_shards: u64,
+    /// Payload bytes written to spilled shard files.
+    pub spill_bytes: u64,
+    /// Spilled shards read back on demand.
+    pub spill_reloads: u64,
     /// Wall-clock time.
     pub duration: Duration,
 }
@@ -284,59 +330,60 @@ where
         limits,
         config,
         obs,
-        move |model, search, frontier, depth, limits| {
-            expand_level_par(model, search, frontier, depth, limits, jobs)
+        move |model, search, frontier, depth, limits, obs| {
+            expand_level_par(model, search, frontier, depth, limits, jobs, obs)
         },
     )
 }
 
-/// Check every monitor against state `idx`, recording the first violation
-/// per property with its reconstructed trace.
-fn check_monitors<S: Clone>(
-    monitors: &[Monitor<'_, S>],
-    idx: usize,
-    depth: usize,
-    states: &[S],
-    parents: &[(usize, String)],
-    violations: &mut Vec<Violation<S>>,
-    violated: &mut Vec<String>,
-) {
-    for (name, monitor) in monitors {
-        if violated.iter().any(|v| v == name) {
-            continue;
-        }
-        if !monitor(&states[idx]) {
-            violated.push((*name).to_string());
-            // Reconstruct the trace.
-            let mut trace = Vec::new();
-            let mut cur = idx;
-            while cur != 0 {
-                let (parent, label) = &parents[cur];
-                trace.push((label.clone(), states[cur].clone()));
-                cur = *parent;
-            }
-            trace.reverse();
-            violations.push(Violation {
-                property: name.to_string(),
-                trace,
-                depth,
-            });
-        }
-    }
+/// The dedup set behind the search, in one of two modes:
+///
+/// * **Encoded** (models with a state codec): states live as canonical
+///   encoded bytes in a [`VisitedStore`] — compact, concurrently
+///   probeable, and spillable to disk under memory pressure.
+/// * **Plain** (encoder-less models): the original hashed-value set.
+///   No spill tier; the budget's memory ceiling truncates as before.
+enum VisitedSet<S> {
+    /// Hashed-value fallback for models without a state encoder.
+    Plain {
+        states: Vec<S>,
+        index: HashMap<S, usize>,
+    },
+    /// Encoded-bytes sharded store (the spillable path).
+    Encoded { store: VisitedStore },
+}
+
+/// One generated successor, as a worker hands it to the merge: the
+/// decoded state plus (in encoded mode) its canonical bytes and the
+/// result of the concurrent duplicate probe. `known_dup` is only ever
+/// a *definite* hit — the merge counts it without a lookup.
+struct SuccRec<S> {
+    label: String,
+    state: S,
+    bytes: Option<Vec<u8>>,
+    known_dup: bool,
 }
 
 /// Mutable search state shared by the sequential and parallel paths.
 struct Search<'m, S> {
     monitors: &'m [Monitor<'m, S>],
     config: &'m ExploreConfig,
-    states: Vec<S>,
+    visited: VisitedSet<S>,
     parents: Vec<(usize, String)>,
-    index: HashMap<S, usize>,
     violations: Vec<Violation<S>>,
+    /// The violating state's global index, parallel to `violations`
+    /// (checkpoints store the index; the trace is rebuilt on load).
+    violation_indices: Vec<usize>,
     violated: Vec<String>,
     next_frontier: Vec<usize>,
     dedup_hits: usize,
     faults: Vec<WorkerFault>,
+    /// Frontier entries a stop reason prevented from being expanded.
+    unexpanded: usize,
+    /// Set when a mid-level memory-ceiling trip was deferred to the
+    /// next barrier's spill pass instead of truncating the search.
+    mem_pressure: bool,
+    degradation: Vec<String>,
     /// Profiling accumulators, split by phase: wall time spent generating
     /// successors vs. merging them into the dedup index. Only advanced
     /// when `timed` (i.e. the obs handle is enabled) — the clock reads
@@ -347,15 +394,58 @@ struct Search<'m, S> {
 }
 
 impl<S: Clone + Eq + Hash> Search<'_, S> {
-    /// Coarse heap estimate for the budget's memory tripwire.
-    fn heap_estimate(&self) -> u64 {
-        self.states.len() as u64 * STATE_BYTES_ESTIMATE
+    /// Distinct states stored so far (every state has a parent edge).
+    fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Coarse heap estimate for the budget's memory tripwire. In encoded
+    /// mode the visited store accounts for its own resident bytes, so
+    /// the estimate *drops* when shards spill — that is the degradation:
+    /// the same ceiling that would truncate a resident run instead
+    /// steers the store onto disk.
+    fn heap_estimate(&mut self) -> u64 {
+        let n = self.parents.len() as u64;
+        match &mut self.visited {
+            VisitedSet::Plain { .. } => n * STATE_BYTES_ESTIMATE,
+            VisitedSet::Encoded { store } => n * STATE_FIXED_BYTES + store.resident_estimate(),
+        }
+    }
+
+    /// The store to probe concurrently, when in encoded mode.
+    fn probe_store(&self) -> Option<&VisitedStore> {
+        match &self.visited {
+            VisitedSet::Plain { .. } => None,
+            VisitedSet::Encoded { store } => Some(store),
+        }
+    }
+
+    /// Whether a mid-level `MemoryExceeded` may be deferred to the next
+    /// barrier's spill pass: there must be somewhere to spill *to*, and
+    /// the unspillable part (parent edges, locator, hash index) must
+    /// itself fit the ceiling — otherwise spilling cannot help and the
+    /// honest answer is to stop.
+    fn can_defer_memory_stop(&mut self) -> bool {
+        let config = self.config;
+        if config.spill_dir.is_none() {
+            return false;
+        }
+        let fixed = self.parents.len() as u64 * STATE_FIXED_BYTES;
+        match &self.visited {
+            VisitedSet::Plain { .. } => false,
+            VisitedSet::Encoded { store } => match config.budget.max_heap_bytes() {
+                Some(max) => fixed + store.unspillable_estimate() <= max,
+                None => true,
+            },
+        }
     }
 
     /// The budget / fault-injection gate run **before** merging frontier
     /// entry `idx`, in frontier order on every path. Injected stop-kind
     /// faults fire first (deterministic at any `jobs`), then the real
-    /// budget. Returns the reason to truncate, if any.
+    /// budget. A memory-ceiling trip that the spill tier can absorb is
+    /// deferred (flagged for the next barrier) instead of truncating.
+    /// Returns the reason to truncate, if any.
     fn pre_merge_stop(&mut self, idx: usize) -> Option<StopReason> {
         if let Some(plan) = &self.config.fault_plan {
             match plan.fault_for(FaultSite::Successor, "", idx as u64) {
@@ -366,50 +456,218 @@ impl<S: Clone + Eq + Hash> Search<'_, S> {
                     return Some(StopReason::Cancelled);
                 }
                 // Panic faults fire in the successor computation itself;
-                // IoError only means something to persist writers.
-                Some(FaultKind::Panic) | Some(FaultKind::IoError) | None => {}
+                // IoError/Corruption only mean something to spill and
+                // persist I/O.
+                Some(FaultKind::Panic)
+                | Some(FaultKind::IoError)
+                | Some(FaultKind::Corruption)
+                | None => {}
             }
         }
-        self.config.budget.check(self.heap_estimate()).err()
+        let config = self.config;
+        let estimate = self.heap_estimate();
+        match config.budget.check(estimate) {
+            Ok(()) => None,
+            Err(StopReason::MemoryExceeded) if self.can_defer_memory_stop() => {
+                self.mem_pressure = true;
+                None
+            }
+            Err(reason) => Some(reason),
+        }
     }
 
-    /// Merge one frontier entry's successor batch into the dedup index,
+    /// Record a spill-tier read failure as a typed worker fault and the
+    /// stop reason that ends the search: without its dedup set the
+    /// search cannot soundly continue, but it stops *typed*, with every
+    /// count consistent — never a panic, never garbage states.
+    fn spill_failure(&mut self, e: SpillError) -> StopReason {
+        self.faults.push(WorkerFault {
+            site: format!("spill:shard{}", e.shard),
+            message: e.error.to_string(),
+        });
+        StopReason::SpillFailed
+    }
+
+    /// The state at global index `idx`, decoded from the visited store
+    /// (reloading its shard if spilled) or cloned from the plain set.
+    fn state_at<M: Model<State = S>>(
+        &mut self,
+        model: &M,
+        idx: usize,
+        obs: &Obs,
+    ) -> Result<S, SpillError> {
+        match &mut self.visited {
+            VisitedSet::Plain { states, .. } => Ok(states[idx].clone()),
+            VisitedSet::Encoded { store } => {
+                let bytes = store.fetch(idx, obs)?;
+                model.decode_state(&bytes).ok_or_else(|| SpillError {
+                    shard: store.shard_of(idx),
+                    error: PersistError::Malformed(format!(
+                        "state {idx} does not decode for this model"
+                    )),
+                })
+            }
+        }
+    }
+
+    /// Check every monitor against the just-inserted state `idx`,
+    /// recording the first violation per property with its reconstructed
+    /// trace (ancestor states come from the visited set, reloading
+    /// spilled shards as needed).
+    fn check_new_state<M: Model<State = S>>(
+        &mut self,
+        model: &M,
+        idx: usize,
+        state: &S,
+        depth: usize,
+        obs: &Obs,
+    ) -> Option<StopReason> {
+        let monitors = self.monitors;
+        for (name, monitor) in monitors {
+            if self.violated.iter().any(|v| v == name) {
+                continue;
+            }
+            if monitor(state) {
+                continue;
+            }
+            self.violated.push((*name).to_string());
+            let mut trace = Vec::new();
+            let mut cur = idx;
+            while cur != 0 {
+                let step = if cur == idx {
+                    state.clone()
+                } else {
+                    match self.state_at(model, cur, obs) {
+                        Ok(s) => s,
+                        Err(e) => return Some(self.spill_failure(e)),
+                    }
+                };
+                let (parent, label) = &self.parents[cur];
+                trace.push((label.clone(), step));
+                cur = *parent;
+            }
+            trace.reverse();
+            self.violations.push(Violation {
+                property: name.to_string(),
+                trace,
+                depth,
+            });
+            self.violation_indices.push(idx);
+        }
+        None
+    }
+
+    /// Merge one frontier entry's successor batch into the dedup set,
     /// in generation order. Returns `Some(StateCapReached)` when the
     /// `max_states` cap refused a *new* state — the signal to truncate
     /// the search. Duplicate successors never trigger truncation (they
     /// cost no storage), so a cap equal to the true state count still
-    /// reports a complete exploration.
-    fn merge_entry(
+    /// reports a complete exploration. A spill-tier read failure stops
+    /// typed ([`StopReason::SpillFailed`]).
+    fn merge_entry<M: Model<State = S>>(
         &mut self,
+        model: &M,
         parent: usize,
-        succs: Vec<(String, S)>,
+        succs: Vec<SuccRec<S>>,
         depth: usize,
         limits: &Limits,
+        obs: &Obs,
     ) -> Option<StopReason> {
-        for (label, succ) in succs {
-            if self.index.contains_key(&succ) {
+        for mut rec in succs {
+            if rec.known_dup {
                 self.dedup_hits += 1;
                 continue;
             }
-            if self.states.len() >= limits.max_states {
-                return Some(StopReason::StateCapReached);
+            let inserted = match &mut self.visited {
+                VisitedSet::Plain { states, index } => {
+                    if index.contains_key(&rec.state) {
+                        Ok(Lookup::Known)
+                    } else if states.len() >= limits.max_states {
+                        Ok(Lookup::CapRefused)
+                    } else {
+                        let new_idx = states.len();
+                        states.push(rec.state.clone());
+                        index.insert(rec.state.clone(), new_idx);
+                        Ok(Lookup::Inserted(new_idx))
+                    }
+                }
+                VisitedSet::Encoded { store } => {
+                    let bytes = rec.bytes.take().expect("encoded mode carries state bytes");
+                    store.lookup_or_insert(bytes, limits.max_states, obs)
+                }
+            };
+            let new_idx = match inserted {
+                Ok(Lookup::Known) => {
+                    self.dedup_hits += 1;
+                    continue;
+                }
+                Ok(Lookup::CapRefused) => return Some(StopReason::StateCapReached),
+                Ok(Lookup::Inserted(idx)) => idx,
+                Err(e) => return Some(self.spill_failure(e)),
+            };
+            self.parents.push((parent, rec.label));
+            if let Some(stop) = self.check_new_state(model, new_idx, &rec.state, depth, obs) {
+                return Some(stop);
             }
-            let new_idx = self.states.len();
-            self.states.push(succ.clone());
-            self.parents.push((parent, label));
-            self.index.insert(succ, new_idx);
-            check_monitors(
-                self.monitors,
-                new_idx,
-                depth,
-                &self.states,
-                &self.parents,
-                &mut self.violations,
-                &mut self.violated,
-            );
             self.next_frontier.push(new_idx);
         }
         None
+    }
+
+    /// The barrier spill pass — the only place shards go to disk, so
+    /// spill decisions are deterministic at every `jobs` value. Spills
+    /// (in shard order) when a mid-level ceiling trip was deferred, when
+    /// the heap estimate crosses [`SPILL_PRESSURE`] of the ceiling, or
+    /// when `max_resident_shards` is exceeded; the goal is half the
+    /// ceiling, leaving headroom for the next level. If the estimate
+    /// still exceeds the ceiling after the pass (e.g. every write
+    /// failed on a full disk), the honest answer is the typed
+    /// `MemoryExceeded` stop — degradation is disclosed, never silent.
+    fn barrier_spill(&mut self, obs: &Obs) -> Option<StopReason> {
+        let config = self.config;
+        config.spill_dir.as_ref()?;
+        let fixed = self.parents.len() as u64 * STATE_FIXED_BYTES;
+        let pressure_flag = std::mem::take(&mut self.mem_pressure);
+        let VisitedSet::Encoded { store } = &mut self.visited else {
+            return None;
+        };
+        let over_pressure = config
+            .budget
+            .memory_pressure(fixed + store.resident_estimate())
+            .is_some_and(|p| p >= SPILL_PRESSURE);
+        let cap = config.max_resident_shards;
+        let over_cap = cap > 0 && store.resident_shard_count() > cap;
+        if !(pressure_flag || over_pressure || over_cap) {
+            return None;
+        }
+        let goal = match config.budget.max_heap_bytes() {
+            Some(max) => (max / 2).saturating_sub(fixed),
+            None => u64::MAX,
+        };
+        let outcome = store.spill_until(goal, cap, obs);
+        if outcome.spilled > 0 && !self.degradation.iter().any(|d| d == "visited-spilled") {
+            self.degradation.push("visited-spilled".into());
+        }
+        if outcome.write_failures > 0 && !self.degradation.iter().any(|d| d == "spill-write-failed")
+        {
+            self.degradation.push("spill-write-failed".into());
+        }
+        let VisitedSet::Encoded { store } = &mut self.visited else {
+            unreachable!("mode checked above");
+        };
+        config.budget.check(fixed + store.resident_estimate()).err()
+    }
+
+    /// Spill-tier counters for the final [`Exploration`]:
+    /// `(shards spilled, bytes written, reloads)`.
+    fn spill_stats(&self) -> (u64, u64, u64) {
+        match &self.visited {
+            VisitedSet::Plain { .. } => (0, 0, 0),
+            VisitedSet::Encoded { store } => {
+                let s = store.stats();
+                (s.spills, s.spill_bytes, s.reloads)
+            }
+        }
     }
 }
 
@@ -417,19 +675,48 @@ impl<S: Clone + Eq + Hash> Search<'_, S> {
 /// any panic (organic, or injected by the fault plan) as a typed
 /// [`WorkerFault`] instead of letting it poison sibling workers. A
 /// faulted state contributes no successors; the search continues.
+///
+/// In encoded mode (`store` is `Some`) each successor is also encoded to
+/// its canonical bytes and probed against the store — a concurrent,
+/// read-only, definite-hit-only duplicate check that moves the encoding
+/// and most hashing work off the merge thread. The probe can only say
+/// "known" for resident entries; a spilled match is still found by the
+/// merge-thread lookup, so the dedup count is identical either way.
 fn compute_succs<M: Model>(
     model: &M,
     state: &M::State,
     idx: usize,
     plan: Option<&FaultPlan>,
-) -> Result<Vec<(String, M::State)>, WorkerFault> {
+    store: Option<&VisitedStore>,
+) -> Result<Vec<SuccRec<M::State>>, WorkerFault> {
     catch_unwind(AssertUnwindSafe(|| {
         if let Some(plan) = plan {
             if plan.fault_for(FaultSite::Successor, "", idx as u64) == Some(FaultKind::Panic) {
                 trigger_injected_panic(FaultSite::Successor, "", idx as u64);
             }
         }
-        model.successors(state)
+        model
+            .successors(state)
+            .into_iter()
+            .map(|(label, succ)| {
+                let (bytes, known_dup) = match store {
+                    Some(store) => {
+                        let bytes = model
+                            .encode_state(&succ)
+                            .expect("encoded-mode model must encode every reachable state");
+                        let known_dup = store.probe(&bytes);
+                        (Some(bytes), known_dup)
+                    }
+                    None => (None, false),
+                };
+                SuccRec {
+                    label,
+                    state: succ,
+                    bytes,
+                    known_dup,
+                }
+            })
+            .collect()
     }))
     .map_err(|payload| WorkerFault {
         site: format!("successor:{idx}"),
@@ -438,21 +725,38 @@ fn compute_succs<M: Model>(
 }
 
 /// Expand one level sequentially: generate and merge entry by entry, so
-/// no successors are computed past the truncation point.
+/// no successors are computed past the truncation point. On any stop the
+/// rest of the frontier is accounted as unexpanded (the mid-level
+/// truncation disclosure).
 fn expand_level_seq<M: Model>(
     model: &M,
     search: &mut Search<'_, M::State>,
     frontier: &[usize],
     depth: usize,
     limits: &Limits,
+    obs: &Obs,
 ) -> Option<StopReason> {
-    for &idx in frontier {
+    for (pos, &idx) in frontier.iter().enumerate() {
         if let Some(stop) = search.pre_merge_stop(idx) {
+            search.unexpanded += frontier.len() - pos;
             return Some(stop);
         }
-        let current = search.states[idx].clone();
+        let current = match search.state_at(model, idx, obs) {
+            Ok(state) => state,
+            Err(e) => {
+                let stop = search.spill_failure(e);
+                search.unexpanded += frontier.len() - pos;
+                return Some(stop);
+            }
+        };
         let gen_start = search.timed.then(Instant::now);
-        let succs = match compute_succs(model, &current, idx, search.config.fault_plan.as_ref()) {
+        let succs = match compute_succs(
+            model,
+            &current,
+            idx,
+            search.config.fault_plan.as_ref(),
+            search.probe_store(),
+        ) {
             Ok(succs) => succs,
             Err(fault) => {
                 search.faults.push(fault);
@@ -463,11 +767,12 @@ fn expand_level_seq<M: Model>(
         if let (Some(g), Some(m)) = (gen_start, merge_start) {
             search.succ_time += m.duration_since(g);
         }
-        let stop = search.merge_entry(idx, succs, depth, limits);
+        let stop = search.merge_entry(model, idx, succs, depth, limits, obs);
         if let Some(m) = merge_start {
             search.dedup_time += m.elapsed();
         }
         if let Some(stop) = stop {
+            search.unexpanded += frontier.len() - pos;
             return Some(stop);
         }
     }
@@ -489,30 +794,50 @@ fn expand_level_par<M>(
     depth: usize,
     limits: &Limits,
     jobs: usize,
+    obs: &Obs,
 ) -> Option<StopReason>
 where
     M: Model + Sync,
     M::State: Send + Sync,
 {
     if jobs <= 1 || frontier.len() < 2 {
-        return expand_level_seq(model, search, frontier, depth, limits);
+        return expand_level_seq(model, search, frontier, depth, limits, obs);
+    }
+    // Fetch every frontier state up front on the merge thread — the one
+    // place a spilled shard may need reloading, kept out of the workers
+    // so reloads stay deterministic (frontier order) at every `jobs`.
+    let mut frontier_states: Vec<M::State> = Vec::with_capacity(frontier.len());
+    for (pos, &idx) in frontier.iter().enumerate() {
+        match search.state_at(model, idx, obs) {
+            Ok(state) => frontier_states.push(state),
+            Err(e) => {
+                let stop = search.spill_failure(e);
+                search.unexpanded += frontier.len() - pos;
+                return Some(stop);
+            }
+        }
     }
     // One successor result per frontier entry, grouped by worker chunk.
-    type Batch<S> = Vec<Result<Vec<(String, S)>, WorkerFault>>;
+    type Batch<S> = Vec<Result<Vec<SuccRec<S>>, WorkerFault>>;
     let workers = jobs.min(frontier.len());
     let chunk_len = frontier.len().div_ceil(workers);
     let gen_start = search.timed.then(Instant::now);
     let batches: Vec<Batch<M::State>> = {
-        let states: &[M::State] = &search.states;
         let plan = search.config.fault_plan.as_ref();
+        // Workers share the store read-only: probes take each shard's
+        // stripe lock briefly, and the merge thread below is the only
+        // writer — after this scope joins.
+        let store = search.probe_store();
         std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk_len)
-                .map(|chunk| {
+                .zip(frontier_states.chunks(chunk_len))
+                .map(|(chunk, states)| {
                     scope.spawn(move || {
                         chunk
                             .iter()
-                            .map(|&idx| compute_succs(model, &states[idx], idx, plan))
+                            .zip(states)
+                            .map(|(&idx, state)| compute_succs(model, state, idx, plan, store))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -531,6 +856,7 @@ where
         search.succ_time += m.duration_since(g);
     }
     let mut stop = None;
+    let mut merged = 0usize;
     'merge: for (chunk, batch) in frontier.chunks(chunk_len).zip(batches) {
         for (&idx, succs) in chunk.iter().zip(batch) {
             if let Some(reason) = search.pre_merge_stop(idx) {
@@ -544,11 +870,18 @@ where
                     Vec::new()
                 }
             };
-            if let Some(reason) = search.merge_entry(idx, succs, depth, limits) {
+            if let Some(reason) = search.merge_entry(model, idx, succs, depth, limits, obs) {
                 stop = Some(reason);
                 break 'merge;
             }
+            merged += 1;
         }
+    }
+    if stop.is_some() {
+        // The same disclosure the sequential path makes: the entry the
+        // stop landed on and everything after it were never (fully)
+        // expanded.
+        search.unexpanded += frontier.len() - merged;
     }
     if let Some(m) = merge_start {
         search.dedup_time += m.elapsed();
@@ -564,6 +897,7 @@ struct SearchSeed<S> {
     states: Vec<S>,
     parents: Vec<(usize, String)>,
     violations: Vec<Violation<S>>,
+    violation_indices: Vec<usize>,
     violated: Vec<String>,
     dedup_hits: usize,
     faults: Vec<WorkerFault>,
@@ -573,29 +907,35 @@ struct SearchSeed<S> {
 }
 
 /// The seed of a fresh search: the initial state alone, monitors already
-/// checked against it.
+/// checked against it (a root violation has an empty trace).
 fn initial_seed<M: Model>(model: &M, monitors: &[Monitor<'_, M::State>]) -> SearchSeed<M::State> {
-    let mut seed = SearchSeed {
-        states: vec![model.initial()],
+    let root = model.initial();
+    let mut violations = Vec::new();
+    let mut violation_indices = Vec::new();
+    let mut violated = Vec::new();
+    for (name, monitor) in monitors {
+        if !monitor(&root) {
+            violated.push((*name).to_string());
+            violations.push(Violation {
+                property: name.to_string(),
+                trace: Vec::new(),
+                depth: 0,
+            });
+            violation_indices.push(0);
+        }
+    }
+    SearchSeed {
+        states: vec![root],
         parents: vec![(usize::MAX, String::new())],
-        violations: Vec::new(),
-        violated: Vec::new(),
+        violations,
+        violation_indices,
+        violated,
         dedup_hits: 0,
         faults: Vec::new(),
         frontier: vec![0],
         states_per_depth: vec![1],
         depth: 0,
-    };
-    check_monitors(
-        monitors,
-        0,
-        0,
-        &seed.states,
-        &seed.parents,
-        &mut seed.violations,
-        &mut seed.violated,
-    );
-    seed
+    }
 }
 
 /// The per-level search state at a barrier — the pieces that live
@@ -607,28 +947,74 @@ struct Barrier<'a> {
 }
 
 /// Serialize the barrier state into a snapshot payload. Returns `None`
-/// when the model does not support state encoding.
+/// when the model does not support state encoding (or a spilled state
+/// cannot be fetched — the checkpoint is skipped, the search continues).
+///
+/// Two formats, distinguished by a leading byte:
+///
+/// * **0 (inline)** — every state's encoded bytes live in the snapshot
+///   itself; used whenever no spill directory is configured.
+/// * **1 (manifest)** — the snapshot stores only parent edges, the
+///   global `(shard, slot)` locator, and a per-shard `(len, digest)`
+///   manifest; the state bytes live in the shard files, which the
+///   caller must flush first ([`VisitedStore::flush_all`]). Resume
+///   revalidates every shard file's checksum and digest against the
+///   manifest before trusting a byte of it.
 fn encode_checkpoint<M: Model>(
     model: &M,
-    search: &Search<'_, M::State>,
+    search: &mut Search<'_, M::State>,
     barrier: &Barrier<'_>,
+    obs: &Obs,
 ) -> Option<Vec<u8>> {
+    let manifest_mode =
+        search.config.spill_dir.is_some() && matches!(search.visited, VisitedSet::Encoded { .. });
     let mut w = Writer::new();
+    w.u8(if manifest_mode { 1 } else { 0 });
     w.usize(barrier.depth);
     w.usize(search.dedup_hits);
     w.usize(barrier.states_per_depth.len());
     for &n in barrier.states_per_depth {
         w.usize(n);
     }
-    w.usize(search.states.len());
-    for (state, (parent, label)) in search.states.iter().zip(&search.parents) {
-        w.bytes(&model.encode_state(state)?);
-        w.u64(if *parent == usize::MAX {
-            u64::MAX
-        } else {
-            *parent as u64
-        });
-        w.str(label);
+    let n_states = search.len();
+    w.usize(n_states);
+    if manifest_mode {
+        for (parent, label) in &search.parents {
+            w.u64(if *parent == usize::MAX {
+                u64::MAX
+            } else {
+                *parent as u64
+            });
+            w.str(label);
+        }
+        let VisitedSet::Encoded { store } = &mut search.visited else {
+            unreachable!("manifest mode is encoded mode");
+        };
+        for &(shard, slot) in store.locator() {
+            w.u32(shard);
+            w.u32(slot);
+        }
+        let manifest = store.manifest();
+        w.usize(manifest.len());
+        for (len, fnv) in manifest {
+            w.u64(len);
+            w.u64(fnv);
+        }
+    } else {
+        for idx in 0..n_states {
+            let bytes = match &mut search.visited {
+                VisitedSet::Plain { states, .. } => model.encode_state(&states[idx])?,
+                VisitedSet::Encoded { store } => store.fetch(idx, obs).ok()?,
+            };
+            let (parent, label) = &search.parents[idx];
+            w.bytes(&bytes);
+            w.u64(if *parent == usize::MAX {
+                u64::MAX
+            } else {
+                *parent as u64
+            });
+            w.str(label);
+        }
     }
     w.usize(barrier.frontier.len());
     for &idx in barrier.frontier {
@@ -637,14 +1023,9 @@ fn encode_checkpoint<M: Model>(
     // Violations are stored as (property, depth, violating-state index);
     // the witness trace is rebuilt from the parent edges on load.
     w.usize(search.violations.len());
-    for v in &search.violations {
+    for (v, &idx) in search.violations.iter().zip(&search.violation_indices) {
         w.str(&v.property);
         w.usize(v.depth);
-        let idx = v
-            .trace
-            .last()
-            .and_then(|(_, s)| search.index.get(s).copied())
-            .unwrap_or(0);
         w.usize(idx);
     }
     w.usize(search.faults.len());
@@ -662,8 +1043,16 @@ fn encode_checkpoint<M: Model>(
 fn decode_checkpoint<M: Model>(
     model: &M,
     payload: &[u8],
+    spill_dir: Option<&Path>,
+    obs: &Obs,
 ) -> Result<SearchSeed<M::State>, PersistError> {
     let mut r = Reader::new(payload);
+    let format = r.u8()?;
+    if format > 1 {
+        return Err(PersistError::Malformed(format!(
+            "unknown snapshot format {format}"
+        )));
+    }
     let depth = r.usize()?;
     let dedup_hits = r.usize()?;
     let mut states_per_depth = Vec::new();
@@ -676,29 +1065,130 @@ fn decode_checkpoint<M: Model>(
             states_per_depth.len()
         )));
     }
-    let n_states = r.seq_len(17)?;
-    let mut states = Vec::with_capacity(n_states);
-    let mut parents = Vec::with_capacity(n_states);
-    for i in 0..n_states {
-        let state = model.decode_state(r.bytes()?).ok_or_else(|| {
-            PersistError::Malformed(format!("state {i} does not decode for this model"))
-        })?;
-        let parent = r.u64()?;
-        let label = r.str()?;
-        let parent = if i == 0 {
+    let n_states = r.seq_len(if format == 1 { 16 } else { 17 })?;
+    let parse_parent = |i: usize, parent: u64| -> Result<usize, PersistError> {
+        if i == 0 {
             if parent != u64::MAX {
                 return Err(PersistError::Malformed("root state has a parent".into()));
             }
-            usize::MAX
+            Ok(usize::MAX)
         } else if parent < i as u64 {
-            parent as usize
+            Ok(parent as usize)
         } else {
-            return Err(PersistError::Malformed(format!(
+            Err(PersistError::Malformed(format!(
                 "state {i} has forward parent {parent}"
-            )));
-        };
-        states.push(state);
-        parents.push((parent, label));
+            )))
+        }
+    };
+    let mut states = Vec::with_capacity(n_states);
+    let mut parents = Vec::with_capacity(n_states);
+    if format == 0 {
+        for i in 0..n_states {
+            let state = model.decode_state(r.bytes()?).ok_or_else(|| {
+                PersistError::Malformed(format!("state {i} does not decode for this model"))
+            })?;
+            let parent = parse_parent(i, r.u64()?)?;
+            let label = r.str()?;
+            states.push(state);
+            parents.push((parent, label));
+        }
+    } else {
+        for i in 0..n_states {
+            let parent = parse_parent(i, r.u64()?)?;
+            let label = r.str()?;
+            parents.push((parent, label));
+        }
+        // The global locator: each shard's slots must appear as the
+        // consecutive counters 0.. — which makes (shard, slot) → global
+        // index a bijection, so every shard-file entry the manifest
+        // covers is placed exactly once.
+        let mut locator = Vec::with_capacity(n_states);
+        let mut next_slot: HashMap<u32, u32> = HashMap::new();
+        for _ in 0..n_states {
+            let shard = r.u32()?;
+            let slot = r.u32()?;
+            let expected = next_slot.entry(shard).or_insert(0);
+            if slot != *expected {
+                return Err(PersistError::Malformed(format!(
+                    "shard {shard} slots are not contiguous (slot {slot}, expected {expected})"
+                )));
+            }
+            *expected += 1;
+            locator.push((shard, slot));
+        }
+        let n_shards = r.seq_len(16)?;
+        if locator.iter().any(|&(shard, _)| shard as usize >= n_shards) {
+            return Err(PersistError::Malformed(
+                "locator references a shard past the manifest".into(),
+            ));
+        }
+        let mut manifest = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            manifest.push((r.u64()?, r.u64()?));
+        }
+        for (shard, &(len, _)) in manifest.iter().enumerate() {
+            let counted = next_slot.get(&(shard as u32)).copied().unwrap_or(0) as u64;
+            if counted != len {
+                return Err(PersistError::Malformed(format!(
+                    "shard {shard} manifest length {len} does not match {counted} locator slots"
+                )));
+            }
+        }
+        let dir = spill_dir.ok_or_else(|| {
+            PersistError::Malformed(
+                "checkpoint references spilled shards but no spill dir is configured".into(),
+            )
+        })?;
+        // Read every referenced shard file and revalidate it against the
+        // manifest before trusting a byte: the file CRC (read_snapshot),
+        // then the manifest digest over exactly the slot prefix this
+        // checkpoint covers (the file may legitimately be *longer* — a
+        // later flush appended slots — but never different).
+        let mut shard_states: Vec<Vec<M::State>> = Vec::with_capacity(n_shards);
+        for (shard, &(len, fnv)) in manifest.iter().enumerate() {
+            if len == 0 {
+                shard_states.push(Vec::new());
+                continue;
+            }
+            let path = dir.join(shard_file_name(shard as u32));
+            let entries = read_shard_file(&path, shard as u32, obs)?;
+            if (entries.len() as u64) < len {
+                return Err(PersistError::Malformed(format!(
+                    "shard {shard} file holds {} entries, manifest needs {len}",
+                    entries.len()
+                )));
+            }
+            let prefix = &entries[..len as usize];
+            if digest_entries(prefix) != fnv {
+                return Err(PersistError::Malformed(format!(
+                    "shard {shard} file does not match the checkpoint manifest digest"
+                )));
+            }
+            let mut decoded = Vec::with_capacity(len as usize);
+            for (slot, bytes) in prefix.iter().enumerate() {
+                decoded.push(model.decode_state(bytes).ok_or_else(|| {
+                    PersistError::Malformed(format!(
+                        "shard {shard} slot {slot} does not decode for this model"
+                    ))
+                })?);
+            }
+            shard_states.push(decoded);
+        }
+        for &(shard, slot) in &locator {
+            states.push(shard_states[shard as usize][slot as usize].clone());
+        }
+    }
+    // States must be distinct: the driver re-seeds its dedup set from
+    // them, and a duplicate would silently merge two trace positions.
+    {
+        let mut seen = HashSet::with_capacity(states.len());
+        for (i, s) in states.iter().enumerate() {
+            if !seen.insert(s) {
+                return Err(PersistError::Malformed(format!(
+                    "state {i} duplicates an earlier state"
+                )));
+            }
+        }
     }
     if states_per_depth.iter().sum::<usize>() != n_states {
         return Err(PersistError::Malformed(
@@ -719,6 +1209,7 @@ fn decode_checkpoint<M: Model>(
         frontier.push(read_idx(&mut r, "frontier")?);
     }
     let mut violations = Vec::new();
+    let mut violation_indices = Vec::new();
     let mut violated = Vec::new();
     for _ in 0..r.seq_len(24)? {
         let property = r.str()?;
@@ -738,6 +1229,7 @@ fn decode_checkpoint<M: Model>(
             trace,
             depth: vdepth,
         });
+        violation_indices.push(idx);
     }
     let mut faults = Vec::new();
     for _ in 0..r.seq_len(16)? {
@@ -756,6 +1248,7 @@ fn decode_checkpoint<M: Model>(
         states,
         parents,
         violations,
+        violation_indices,
         violated,
         dedup_hits,
         faults,
@@ -770,21 +1263,32 @@ fn decode_checkpoint<M: Model>(
 /// snapshot) and surface as a `persist.snapshot_failed` counter.
 fn checkpoint_at_barrier<M: Model>(
     model: &M,
-    search: &Search<'_, M::State>,
+    search: &mut Search<'_, M::State>,
     barrier: &Barrier<'_>,
     obs: &Obs,
     last_write: &mut Instant,
     writes: &mut u64,
     force: bool,
 ) {
-    let Some(path) = &search.config.checkpoint_path else {
+    let Some(path) = search.config.checkpoint_path.clone() else {
         return;
     };
     let every = search.config.checkpoint_every_secs;
     if !force && every > 0 && last_write.elapsed().as_secs() < every {
         return;
     }
-    let Some(payload) = encode_checkpoint(model, search, barrier) else {
+    // A manifest checkpoint references the shard files, so they must be
+    // brought up to date first. A failed flush skips this checkpoint —
+    // the previous snapshot stays valid, the search is unaffected.
+    if search.config.spill_dir.is_some() {
+        if let VisitedSet::Encoded { store } = &mut search.visited {
+            if !store.flush_all(obs) {
+                obs.counter("persist.snapshot_failed", 1);
+                return;
+            }
+        }
+    }
+    let Some(payload) = encode_checkpoint(model, search, barrier, obs) else {
         return;
     };
     // Deterministic persist-fault injection: the write index counts
@@ -804,7 +1308,7 @@ fn checkpoint_at_barrier<M: Model>(
         obs.counter("persist.snapshot_failed", 1);
         return;
     }
-    match write_snapshot(path, SnapshotKind::Explorer, &payload, obs) {
+    match write_snapshot(&path, SnapshotKind::Explorer, &payload, obs) {
         Ok(_) => *last_write = Instant::now(),
         Err(_) => obs.counter("persist.snapshot_failed", 1),
     }
@@ -824,46 +1328,101 @@ fn explore_driver<M, E>(
 ) -> Exploration<M::State>
 where
     M: Model,
-    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> Option<StopReason>,
+    E: for<'m> FnMut(
+        &M,
+        &mut Search<'m, M::State>,
+        &[usize],
+        usize,
+        &Limits,
+        &Obs,
+    ) -> Option<StopReason>,
 {
     let start = Instant::now();
+    let SearchSeed {
+        states: seed_states,
+        parents,
+        violations,
+        violation_indices,
+        violated,
+        dedup_hits,
+        faults,
+        frontier: seed_frontier,
+        states_per_depth: seed_states_per_depth,
+        depth: seed_depth,
+    } = seed;
+    // Visited-set mode: encoded canonical bytes (compact, spillable)
+    // when the model has a state codec, hashed values otherwise.
+    let encoded = seed_states
+        .first()
+        .map(|s| model.encode_state(s).is_some())
+        .unwrap_or(false);
+    let visited = if encoded {
+        let spill = config.spill_dir.clone().map(|dir| SpillSettings {
+            dir,
+            fault_plan: config.fault_plan.clone(),
+        });
+        let mut store = VisitedStore::new(config.spill_shards, spill);
+        for state in &seed_states {
+            let bytes = model.encode_state(state).expect("encoder checked above");
+            store
+                .lookup_or_insert(bytes, usize::MAX, obs)
+                .expect("a fresh store has nothing to reload");
+        }
+        debug_assert_eq!(store.len(), seed_states.len());
+        VisitedSet::Encoded { store }
+    } else {
+        let mut index = HashMap::with_capacity(seed_states.len());
+        for (idx, state) in seed_states.iter().enumerate() {
+            index.insert(state.clone(), idx);
+        }
+        VisitedSet::Plain {
+            states: seed_states,
+            index,
+        }
+    };
     let mut search = Search {
         monitors,
         config,
-        states: seed.states,
-        parents: seed.parents,
-        index: HashMap::new(),
-        violations: seed.violations,
-        violated: seed.violated,
+        visited,
+        parents,
+        violations,
+        violation_indices,
+        violated,
         next_frontier: Vec::new(),
-        dedup_hits: seed.dedup_hits,
-        faults: seed.faults,
+        dedup_hits,
+        faults,
+        unexpanded: 0,
+        mem_pressure: false,
+        degradation: Vec::new(),
         timed: obs.enabled(),
         succ_time: Duration::ZERO,
         dedup_time: Duration::ZERO,
     };
-    for (idx, state) in search.states.iter().enumerate() {
-        search.index.insert(state.clone(), idx);
-    }
-    let mut frontier = seed.frontier;
-    let mut states_per_depth = seed.states_per_depth;
-    let mut depth = seed.depth;
+    let mut frontier = seed_frontier;
+    let mut states_per_depth = seed_states_per_depth;
+    let mut depth = seed_depth;
     let mut last_checkpoint = Instant::now();
     let mut checkpoint_writes = 0u64;
     let mut last_heartbeat = Instant::now();
-    // A budget already spent (cancelled before start, expired deadline)
-    // stops the search before the first expansion: one state, zero work.
-    let mut stop: Option<StopReason> = config.budget.check(search.heap_estimate()).err();
+    // A resumed seed may already sit over the memory ceiling: give the
+    // spill tier one pass before the budget gets to stop anything. Then
+    // a budget already spent (cancelled before start, expired deadline,
+    // unspillable overweight) stops the search before the first
+    // expansion: the seed states alone, zero work.
+    let mut stop: Option<StopReason> = search.barrier_spill(obs);
+    if stop.is_none() {
+        stop = config.budget.check(search.heap_estimate()).err();
+    }
 
     while stop.is_none() && !frontier.is_empty() && depth < limits.max_depth {
         depth += 1;
         let _level = obs.span(&format!("mc.level:{depth}"));
-        let level_start = search.states.len();
+        let level_start = search.len();
         let level_faults = search.faults.len();
         let (succ_before, dedup_before) = (search.succ_time, search.dedup_time);
         let dedup_hits_before = search.dedup_hits;
-        stop = expand(model, &mut search, &frontier, depth, limits);
-        states_per_depth.push(search.states.len() - level_start);
+        stop = expand(model, &mut search, &frontier, depth, limits, obs);
+        states_per_depth.push(search.len() - level_start);
         obs.gauge("mc.frontier", search.next_frontier.len() as f64);
         obs.counter("mc.states", search.next_frontier.len() as u64);
         // Per-level dedup hits: the explorer's analogue of a cache hit —
@@ -898,23 +1457,26 @@ where
             last_heartbeat = Instant::now();
             // Rates go through the shared guard: a heartbeat early in a
             // fast run omits the rate instead of fabricating one.
-            let rate =
-                equitls_obs::summary::rate_per_sec(search.states.len() as u64, start.elapsed())
-                    .map(|r| format!(", {r:.0} states/s"))
-                    .unwrap_or_default();
+            let rate = equitls_obs::summary::rate_per_sec(search.len() as u64, start.elapsed())
+                .map(|r| format!(", {r:.0} states/s"))
+                .unwrap_or_default();
             eprintln!(
                 "mc: depth {depth}: {} states, frontier {}, dedup {} ({:.1?} elapsed{rate})",
-                search.states.len(),
+                search.len(),
                 frontier.len(),
                 search.dedup_hits,
                 start.elapsed(),
             );
         }
-        // The level barrier is the only point where the search state is a
-        // complete, deterministic prefix of the full run — checkpoint
-        // here. A mid-level stop leaves the previous barrier's snapshot
-        // in place; the resumed run recomputes the interrupted level and
-        // lands on the identical result.
+        // The level barrier is where shards spill (deterministically, in
+        // shard order — never mid-level) and where checkpoints land: the
+        // only points where the search state is a complete, deterministic
+        // prefix of the full run. A mid-level stop leaves the previous
+        // barrier's snapshot in place; the resumed run recomputes the
+        // interrupted level and lands on the identical result.
+        if stop.is_none() {
+            stop = search.barrier_spill(obs);
+        }
         if stop.is_none() {
             let barrier = Barrier {
                 frontier: &frontier,
@@ -923,7 +1485,7 @@ where
             };
             checkpoint_at_barrier(
                 model,
-                &search,
+                &mut search,
                 &barrier,
                 obs,
                 &mut last_checkpoint,
@@ -947,7 +1509,7 @@ where
         };
         checkpoint_at_barrier(
             model,
-            &search,
+            &mut search,
             &barrier,
             obs,
             &mut last_checkpoint,
@@ -955,8 +1517,13 @@ where
             true,
         );
     }
+    // Truncation disclosure: everything still enqueued when the search
+    // stopped — the dropped remainder of an interrupted level plus the
+    // frontier that never got its level (also the depth-capped case).
+    let unexpanded = search.unexpanded + if stop.is_some() { frontier.len() } else { 0 };
+    let (spill_shards, spill_bytes, spill_reloads) = search.spill_stats();
     let result = Exploration {
-        states: search.states.len(),
+        states: search.len(),
         depth_reached: depth,
         complete: stop.is_none(),
         violations: search.violations,
@@ -964,6 +1531,11 @@ where
         dedup_hits: search.dedup_hits,
         stop_reason: stop,
         faults: search.faults,
+        unexpanded,
+        degradation: search.degradation,
+        spill_shards,
+        spill_bytes,
+        spill_reloads,
         duration: start.elapsed(),
     };
     if obs.enabled() {
@@ -984,7 +1556,14 @@ fn explore_core<M, E>(
 ) -> Exploration<M::State>
 where
     M: Model,
-    E: for<'m> FnMut(&M, &mut Search<'m, M::State>, &[usize], usize, &Limits) -> Option<StopReason>,
+    E: for<'m> FnMut(
+        &M,
+        &mut Search<'m, M::State>,
+        &[usize],
+        usize,
+        &Limits,
+        &Obs,
+    ) -> Option<StopReason>,
 {
     let seed = initial_seed(model, monitors);
     explore_driver(model, monitors, limits, config, obs, expand, seed)
@@ -1017,7 +1596,7 @@ where
         .as_ref()
         .ok_or(PersistError::MissingPath)?;
     let (_meta, payload) = read_snapshot(path, SnapshotKind::Explorer, obs)?;
-    let seed = decode_checkpoint(model, &payload)?;
+    let seed = decode_checkpoint(model, &payload, config.spill_dir.as_deref(), obs)?;
     let jobs = resolve_jobs(jobs);
     Ok(explore_driver(
         model,
@@ -1025,8 +1604,8 @@ where
         limits,
         config,
         obs,
-        move |model, search, frontier, depth, limits| {
-            expand_level_par(model, search, frontier, depth, limits, jobs)
+        move |model, search, frontier, depth, limits, obs| {
+            expand_level_par(model, search, frontier, depth, limits, jobs, obs)
         },
         seed,
     ))
@@ -1288,6 +1867,11 @@ mod tests {
             dedup_hits: 0,
             stop_reason: None,
             faults: Vec::new(),
+            unexpanded: 0,
+            degradation: Vec::new(),
+            spill_shards: 0,
+            spill_bytes: 0,
+            spill_reloads: 0,
             duration,
         };
         // A zero-length run cannot report a rate.
@@ -1608,5 +2192,344 @@ mod tests {
         let result = explore_with_config(&Opaque, &[], &Limits::default(), &config, &Obs::noop());
         assert!(result.complete, "the search itself is unaffected");
         assert!(!path.exists(), "no snapshot is written without an encoder");
+    }
+
+    fn tmp_spill_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("equitls_mc_spill_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Limits deep enough for the grid to drain its frontier completely
+    /// ([`Limits::default`] depth-caps the last corner state at 8).
+    fn full_limits() -> Limits {
+        Limits {
+            max_states: 200_000,
+            max_depth: 16,
+        }
+    }
+
+    fn assert_same_result(a: &Exploration<(u8, u8)>, b: &Exploration<(u8, u8)>, tag: &str) {
+        assert_eq!(a.states, b.states, "{tag}");
+        assert_eq!(a.complete, b.complete, "{tag}");
+        assert_eq!(a.depth_reached, b.depth_reached, "{tag}");
+        assert_eq!(a.states_per_depth, b.states_per_depth, "{tag}");
+        assert_eq!(a.dedup_hits, b.dedup_hits, "{tag}");
+        assert_eq!(a.unexpanded, b.unexpanded, "{tag}");
+        assert_eq!(a.stop_reason, b.stop_reason, "{tag}");
+        assert_eq!(a.violations.len(), b.violations.len(), "{tag}");
+        for (av, bv) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(av.property, bv.property, "{tag}");
+            assert_eq!(av.depth, bv.depth, "{tag}");
+            assert_eq!(av.trace, bv.trace, "{tag}");
+        }
+    }
+
+    #[test]
+    fn unexpanded_discloses_dropped_states_at_every_jobs_value() {
+        use equitls_rewrite::budget::Fault;
+        // A complete run drops nothing.
+        let full = explore(&Grid, &[], &full_limits());
+        assert_eq!(full.unexpanded, 0);
+        // A depth-capped run discloses the frontier it never expanded.
+        let shallow = explore(
+            &Grid,
+            &[],
+            &Limits {
+                max_states: 1000,
+                max_depth: 2,
+            },
+        );
+        assert_eq!(shallow.stop_reason, Some(StopReason::DepthCapReached));
+        assert_eq!(
+            shallow.unexpanded,
+            *shallow.states_per_depth.last().unwrap(),
+            "the depth-capped frontier is exactly the last level"
+        );
+        // A mid-level stop discloses the dropped remainder — and the
+        // count is identical at every jobs value, because injected stops
+        // land at the same frontier position.
+        let config = ExploreConfig {
+            fault_plan: Some(FaultPlan::new().with_fault(Fault::new(
+                FaultSite::Successor,
+                FaultKind::DeadlineExpiry,
+                7,
+            ))),
+            ..Default::default()
+        };
+        let seq = explore_with_config(&Grid, &[], &Limits::default(), &config, &Obs::noop());
+        assert_eq!(seq.stop_reason, Some(StopReason::DeadlineExceeded));
+        assert!(seq.unexpanded > 0, "a mid-level stop drops states");
+        // The books balance: every state is visited, enqueued, or never
+        // generated — the disclosed part is what was enqueued and dropped.
+        assert_eq!(seq.states_per_depth.iter().sum::<usize>(), seq.states);
+        for jobs in [2, 4] {
+            let par = explore_with_config_jobs(
+                &Grid,
+                &[],
+                &Limits::default(),
+                &config,
+                jobs,
+                &Obs::noop(),
+            );
+            assert_eq!(par.unexpanded, seq.unexpanded, "jobs {jobs}");
+            assert_eq!(par.states, seq.states, "jobs {jobs}");
+        }
+        // The structural state cap also disclosed: cap the grid at 7.
+        let capped = explore(
+            &Grid,
+            &[],
+            &Limits {
+                max_states: 7,
+                max_depth: 16,
+            },
+        );
+        assert_eq!(capped.stop_reason, Some(StopReason::StateCapReached));
+        assert!(capped.unexpanded > 0);
+    }
+
+    #[test]
+    fn spilled_exploration_is_bit_identical_to_resident() {
+        let on_diagonal = |s: &(u8, u8)| s.0 != s.1 || s.0 < 3;
+        let monitors: [Monitor<'_, (u8, u8)>; 1] = [("off-diagonal", &on_diagonal)];
+        let resident = explore(&Grid, &monitors, &Limits::default());
+        assert!(!resident.all_hold());
+        for jobs in [1usize, 2, 4] {
+            let dir = tmp_spill_dir(&format!("identical_{jobs}"));
+            let config = ExploreConfig {
+                spill_dir: Some(dir.clone()),
+                max_resident_shards: 1,
+                spill_shards: 4,
+                ..Default::default()
+            };
+            let spilled = explore_with_config_jobs(
+                &Grid,
+                &monitors,
+                &Limits::default(),
+                &config,
+                jobs,
+                &Obs::noop(),
+            );
+            assert_same_result(&spilled, &resident, &format!("jobs {jobs}"));
+            assert!(spilled.spill_shards > 0, "jobs {jobs}: shards spilled");
+            assert!(
+                spilled.degradation.iter().any(|d| d == "visited-spilled"),
+                "jobs {jobs}: degradation disclosed, got {:?}",
+                spilled.degradation
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn memory_pressure_spills_instead_of_truncating() {
+        // A ceiling the resident run cannot fit (the grid needs ~3.9 KB
+        // of estimate resident, ~2.6 KB unspillable): without a spill
+        // dir the search truncates with the typed stop; with one it
+        // completes by spilling — the same ceiling, disclosed degradation
+        // instead of silence.
+        let ceiling = 3000;
+        let truncated = explore_with_config(
+            &Grid,
+            &[],
+            &full_limits(),
+            &ExploreConfig {
+                budget: Budget::unlimited().with_max_heap_bytes(ceiling),
+                ..Default::default()
+            },
+            &Obs::noop(),
+        );
+        assert_eq!(truncated.stop_reason, Some(StopReason::MemoryExceeded));
+        assert!(!truncated.complete);
+        assert!(truncated.unexpanded > 0, "the truncation is disclosed");
+
+        let dir = tmp_spill_dir("pressure");
+        let spilled = explore_with_config(
+            &Grid,
+            &[],
+            &full_limits(),
+            &ExploreConfig {
+                budget: Budget::unlimited().with_max_heap_bytes(ceiling),
+                spill_dir: Some(dir.clone()),
+                spill_shards: 4,
+                ..Default::default()
+            },
+            &Obs::noop(),
+        );
+        assert_eq!(spilled.stop_reason, None, "the spill tier absorbed it");
+        assert!(spilled.complete);
+        assert_eq!(spilled.states, 25, "the full grid");
+        assert!(spilled.spill_shards > 0);
+        assert!(spilled.degradation.iter().any(|d| d == "visited-spilled"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_checkpoint_resume_matches_straight_through() {
+        use equitls_rewrite::budget::Fault;
+        let on_diagonal = |s: &(u8, u8)| s.0 != s.1 || s.0 < 3;
+        let monitors: [Monitor<'_, (u8, u8)>; 1] = [("off-diagonal", &on_diagonal)];
+        let straight = explore(&Grid, &monitors, &Limits::default());
+        let dir = tmp_spill_dir("resume");
+        let path = tmp_snapshot("spilled_resume");
+        let _ = std::fs::remove_file(&path);
+        let spill_config = |fault_plan: Option<FaultPlan>| ExploreConfig {
+            fault_plan,
+            checkpoint_path: Some(path.clone()),
+            spill_dir: Some(dir.clone()),
+            max_resident_shards: 1,
+            spill_shards: 4,
+            ..Default::default()
+        };
+        // Interrupt mid-search, after barriers that both spilled shards
+        // and wrote a manifest checkpoint.
+        let partial = explore_with_config(
+            &Grid,
+            &monitors,
+            &Limits::default(),
+            &spill_config(Some(FaultPlan::new().with_fault(Fault::new(
+                FaultSite::Successor,
+                FaultKind::DeadlineExpiry,
+                7,
+            )))),
+            &Obs::noop(),
+        );
+        assert_eq!(partial.stop_reason, Some(StopReason::DeadlineExceeded));
+        assert!(
+            partial.spill_shards > 0,
+            "shards went to disk before the stop"
+        );
+        assert!(path.exists(), "a manifest checkpoint was written");
+        // Resume revalidates every shard's checksum + digest, then
+        // finishes — bit-identical to the uninterrupted resident run.
+        for jobs in [1usize, 2, 4] {
+            let resumed = explore_resume_with_config_jobs(
+                &Grid,
+                &monitors,
+                &Limits::default(),
+                &spill_config(None),
+                jobs,
+                &Obs::noop(),
+            )
+            .expect("manifest snapshot loads");
+            assert_same_result(&resumed, &straight, &format!("resume jobs {jobs}"));
+        }
+        // A byte-flipped shard file fails the resume with the typed
+        // checksum error — never garbage states.
+        let shard_path = dir.join(shard_file_name(0));
+        assert!(shard_path.exists());
+        let mut raw = std::fs::read(&shard_path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&shard_path, &raw).unwrap();
+        let err = explore_resume_with_config_jobs(
+            &Grid,
+            &monitors,
+            &Limits::default(),
+            &spill_config(None),
+            1,
+            &Obs::noop(),
+        )
+        .expect_err("a corrupt shard cannot resume");
+        assert_eq!(err, PersistError::ChecksumMismatch);
+        // And a manifest checkpoint without its spill dir is typed too.
+        let no_dir = ExploreConfig {
+            checkpoint_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let err = explore_resume_with_config_jobs(
+            &Grid,
+            &monitors,
+            &Limits::default(),
+            &no_dir,
+            1,
+            &Obs::noop(),
+        )
+        .expect_err("manifest without a spill dir");
+        assert!(matches!(err, PersistError::Malformed(_)), "got {err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_spill_write_fault_degrades_without_data_loss() {
+        use equitls_rewrite::budget::Fault;
+        let resident = explore(&Grid, &[], &full_limits());
+        let dir = tmp_spill_dir("wfault");
+        // The very first shard write fails "disk full": that shard stays
+        // resident (backpressure), the pass moves on, the search
+        // completes with the identical result — degradation disclosed.
+        let config = ExploreConfig {
+            fault_plan: Some(FaultPlan::new().with_fault(
+                Fault::new(FaultSite::SpillWrite, FaultKind::IoError, 0).in_scope("visited"),
+            )),
+            spill_dir: Some(dir.clone()),
+            max_resident_shards: 1,
+            spill_shards: 2,
+            ..Default::default()
+        };
+        let faulted = explore_with_config(&Grid, &[], &full_limits(), &config, &Obs::noop());
+        assert!(faulted.complete, "a write fault never wedges the search");
+        assert_eq!(faulted.states, resident.states);
+        assert_eq!(faulted.states_per_depth, resident.states_per_depth);
+        assert_eq!(faulted.dedup_hits, resident.dedup_hits);
+        assert!(
+            faulted
+                .degradation
+                .iter()
+                .any(|d| d == "spill-write-failed"),
+            "got {:?}",
+            faulted.degradation
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_spill_read_fault_stops_typed_never_panics() {
+        use equitls_rewrite::budget::Fault;
+        // One shard holds everything; the memory ceiling forces it to
+        // disk mid-search, and the injected corruption makes every read
+        // back fail. The search must stop with the typed reason and a
+        // typed fault — identically at every jobs value — not panic.
+        let mk = |jobs: usize| {
+            let dir = tmp_spill_dir(&format!("rfault_{jobs}"));
+            let config = ExploreConfig {
+                budget: Budget::unlimited().with_max_heap_bytes(3000),
+                fault_plan: Some(FaultPlan::new().with_fault(
+                    Fault::new(FaultSite::SpillRead, FaultKind::Corruption, 0).in_scope("visited"),
+                )),
+                spill_dir: Some(dir.clone()),
+                spill_shards: 1,
+                ..Default::default()
+            };
+            let result = explore_with_config_jobs(
+                &Grid,
+                &[],
+                &Limits::default(),
+                &config,
+                jobs,
+                &Obs::noop(),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            result
+        };
+        let seq = mk(1);
+        assert_eq!(seq.stop_reason, Some(StopReason::SpillFailed));
+        assert!(!seq.complete);
+        assert!(seq.unexpanded > 0, "the stop is disclosed");
+        assert!(
+            seq.faults.iter().any(|f| f.site == "spill:shard0"),
+            "typed fault recorded: {:?}",
+            seq.faults
+        );
+        assert_eq!(seq.states_per_depth.iter().sum::<usize>(), seq.states);
+        for jobs in [2, 4] {
+            let par = mk(jobs);
+            assert_eq!(par.states, seq.states, "jobs {jobs}");
+            assert_eq!(par.stop_reason, seq.stop_reason, "jobs {jobs}");
+            assert_eq!(par.unexpanded, seq.unexpanded, "jobs {jobs}");
+            assert_eq!(par.states_per_depth, seq.states_per_depth, "jobs {jobs}");
+        }
     }
 }

@@ -38,12 +38,14 @@ pub mod check;
 pub mod explorer;
 pub mod model;
 pub mod scenario;
+pub mod visited;
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::check::{
-        check_scope, check_scope_config, check_scope_config_obs, check_scope_jobs,
-        check_scope_resume, check_scope_resume_obs, expected_outcomes,
+        check_scope, check_scope_config, check_scope_config_obs, check_scope_config_obs_sym,
+        check_scope_jobs, check_scope_resume, check_scope_resume_obs, check_scope_resume_obs_sym,
+        expected_outcomes,
     };
     pub use crate::explorer::{
         explore, explore_jobs, explore_resume_with_config_jobs, explore_with_config,
@@ -52,6 +54,7 @@ pub mod prelude {
     };
     pub use crate::model::{Model, TlsMachine};
     pub use crate::scenario::{counterexample_2prime, counterexample_3prime, render_trace, Replay};
+    pub use crate::visited::{SpillStats, VisitedStore};
     pub use equitls_persist::PersistError;
     pub use equitls_rewrite::budget::{
         Budget, CancelToken, Fault, FaultKind, FaultPlan, FaultSite, StopReason, WorkerFault,

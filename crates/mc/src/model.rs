@@ -46,11 +46,16 @@ pub struct TlsMachine {
 
 impl TlsMachine {
     /// A machine over the given scope with the full Dolev–Yao intruder.
+    ///
+    /// Scalarset symmetry reduction is **on** by default: it shrinks the
+    /// state space without changing any verdict (the monitors are
+    /// symmetric), so every entry point gets it unless explicitly opted
+    /// out with [`TlsMachine::without_symmetry`].
     pub fn new(scope: Scope) -> Self {
         TlsMachine {
             scope,
             weak_intruder: false,
-            symmetry: false,
+            symmetry: true,
         }
     }
 
@@ -60,9 +65,18 @@ impl TlsMachine {
         self
     }
 
-    /// Enable scalarset symmetry reduction.
+    /// Enable scalarset symmetry reduction (the default — see
+    /// [`TlsMachine::new`]).
     pub fn with_symmetry(mut self) -> Self {
         self.symmetry = true;
+        self
+    }
+
+    /// Disable scalarset symmetry reduction: explore the raw state space
+    /// (the `--no-symmetry` escape hatch, for cross-checking the reduced
+    /// run against the unreduced one).
+    pub fn without_symmetry(mut self) -> Self {
+        self.symmetry = false;
         self
     }
 }
@@ -127,12 +141,12 @@ mod tests {
             max_states: 100_000,
             max_depth: 3,
         };
-        let plain = explore(&TlsMachine::new(scope.clone()), &[], &limits);
-        let reduced = explore(
-            &TlsMachine::new(scope.clone()).with_symmetry(),
+        let plain = explore(
+            &TlsMachine::new(scope.clone()).without_symmetry(),
             &[],
             &limits,
         );
+        let reduced = explore(&TlsMachine::new(scope.clone()), &[], &limits);
         assert!(plain.complete && reduced.complete);
         assert!(
             reduced.states < plain.states,

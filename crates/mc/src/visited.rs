@@ -1,0 +1,901 @@
+//! Sharded compact visited set with a Murφ-style disk spill tier.
+//!
+//! The explorer's dedup set is the memory bottleneck of bounded checking:
+//! the paper's §6 baseline (Mitchell et al.'s Murφ analysis) reached big
+//! scopes precisely by spilling the visited set to disk. This module is
+//! that tier, rebuilt on the workspace's own pieces:
+//!
+//! * **Compact states.** States are stored as their canonical encoded
+//!   bytes ([`crate::model::Model::encode_state`]), not as hashed Rust
+//!   values — a fraction of the in-memory footprint, and directly
+//!   writable to disk.
+//! * **Shards with striped locks.** Entries are sharded by state hash;
+//!   each shard sits behind its own mutex so parallel level workers can
+//!   [`probe`](VisitedStore::probe) for duplicates concurrently while
+//!   the merge thread owns all mutation.
+//! * **Disk spill.** Under memory pressure whole shards are evicted to
+//!   checksummed snapshot files ([`SnapshotKind::VisitedShard`], written
+//!   atomically by `equitls-persist`) and reloaded on demand. The
+//!   per-entry *hash index stays resident*, so a brand-new state never
+//!   needs a reload to be inserted — only a successor that hash-matches
+//!   a spilled entry forces one.
+//!
+//! ## Determinism
+//!
+//! All mutation (insert, spill, reload) happens on the merge thread in
+//! frontier order; spill decisions are taken only at level barriers, in
+//! shard-id order, driven purely by byte estimates — never by wall
+//! clock. Workers' concurrent probes are read-only and can only observe
+//! a *definite hit* against resident entries, which the merge thread
+//! counts exactly as a lookup hit would be. Verdicts, counts, and traces
+//! are therefore bit-identical at every `jobs` value, spilled or not.
+//!
+//! ## Failure containment
+//!
+//! A failed shard *write* (disk full, injected [`FaultSite::SpillWrite`])
+//! keeps the shard resident and degrades to backpressure — it is counted
+//! and disclosed, never fatal. A failed shard *read* (corruption,
+//! truncation, injected [`FaultSite::SpillRead`]) is a typed
+//! [`SpillError`]: the search cannot soundly continue without its dedup
+//! set, so the explorer stops with `StopReason::SpillFailed` — but never
+//! panics and never decodes garbage states.
+
+use equitls_obs::sink::Obs;
+use equitls_persist::codec::{Reader, Writer};
+use equitls_persist::{read_snapshot, write_snapshot, PersistError, SnapshotKind};
+use equitls_rewrite::budget::{FaultKind, FaultPlan, FaultSite};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Default shard count: enough stripes that probe contention is rare and
+/// one spilled shard is a usefully small eviction unit.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Coarse bookkeeping overhead per *resident* entry (boxed slice header,
+/// vec slot), on top of the entry's payload bytes.
+const ENTRY_OVERHEAD_BYTES: u64 = 48;
+
+/// Coarse always-resident overhead per entry: the locator pair plus the
+/// hash-index slot, which stay in memory even when the shard is spilled.
+const SLOT_INDEX_BYTES: u64 = 40;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice — the store's shard-placement hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fold_bytes(FNV_OFFSET, bytes)
+}
+
+fn fold_bytes(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc = (acc ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Fold one entry into a running shard digest: the length first, then
+/// the bytes, so `("a","bc")` and `("ab","c")` digest differently.
+fn fold_entry(acc: u64, bytes: &[u8]) -> u64 {
+    fold_bytes(fold_bytes(acc, &(bytes.len() as u64).to_le_bytes()), bytes)
+}
+
+/// The stable file name of one spilled shard inside the spill directory.
+pub fn shard_file_name(shard: u32) -> String {
+    format!("shard{shard:04}.vshard")
+}
+
+/// Where (and how) the store may spill shards.
+#[derive(Debug, Clone)]
+pub struct SpillSettings {
+    /// Directory for shard files (created on first write).
+    pub dir: PathBuf,
+    /// Deterministic fault injection for spill I/O (scope `"visited"`;
+    /// [`FaultSite::SpillWrite`] by write-attempt index,
+    /// [`FaultSite::SpillRead`] by shard id).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// A spill-tier read failure: the shard that could not be read back and
+/// the typed persistence error that stopped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillError {
+    /// The shard whose bytes were needed.
+    pub shard: u32,
+    /// Why the read failed.
+    pub error: PersistError,
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "visited shard {}: {}", self.shard, self.error)
+    }
+}
+
+/// The outcome of [`VisitedStore::lookup_or_insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The state was already in the store (a dedup hit).
+    Known,
+    /// The state was new and stored under this global index.
+    Inserted(usize),
+    /// The state was new but the cap refused it (nothing was stored).
+    CapRefused,
+}
+
+/// Spill-tier counters, also surfaced as `mc.spill_*` obs counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Shards evicted from memory (with or without a fresh file write).
+    pub spills: u64,
+    /// Payload bytes written to shard files.
+    pub spill_bytes: u64,
+    /// Shards read back on demand.
+    pub reloads: u64,
+    /// Shard writes that failed (the shard stayed resident).
+    pub write_failures: u64,
+}
+
+/// The result of one barrier spill pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpillOutcome {
+    /// Shards evicted by this pass.
+    pub spilled: usize,
+    /// Shard writes that failed during this pass.
+    pub write_failures: usize,
+}
+
+/// One shard: a slice of the entry space selected by state hash.
+///
+/// Invariants: slots are append-only and numbered `0..len` in insertion
+/// order; the on-disk file (if any) holds exactly the slot prefix
+/// `0..file_len`; when `resident` is false, `entries` holds only the
+/// tail `file_len..len` and the prefix bytes live on disk alone. The
+/// hash index and the digest cover all `len` slots and never leave
+/// memory.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Resident entry bytes (all slots when `resident`, else the tail).
+    entries: Vec<Box<[u8]>>,
+    /// Hash → slots with that hash (candidates for a full byte compare).
+    slots_by_hash: HashMap<u64, Vec<u32>>,
+    /// Total slots ever inserted.
+    len: u32,
+    /// Slots the on-disk shard file holds (always a prefix).
+    file_len: u32,
+    /// Whether every slot's bytes are in memory.
+    resident: bool,
+    /// Payload bytes across all `len` slots.
+    total_bytes: u64,
+    /// Payload bytes of resident slots only.
+    resident_bytes: u64,
+    /// Running FNV digest of `(len, bytes)` per slot, in slot order —
+    /// the manifest value checkpoints record and reloads revalidate.
+    fnv_acc: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            resident: true,
+            fnv_acc: FNV_OFFSET,
+            ..Shard::default()
+        }
+    }
+
+    /// The bytes of `slot`, or `None` when they live only on disk.
+    fn slot_bytes(&self, slot: u32) -> Option<&[u8]> {
+        let base = if self.resident { 0 } else { self.file_len };
+        if slot < base {
+            None
+        } else {
+            self.entries.get((slot - base) as usize).map(|e| &e[..])
+        }
+    }
+
+    fn push_entry(&mut self, hash: u64, bytes: Vec<u8>) -> u32 {
+        let slot = self.len;
+        self.len += 1;
+        self.total_bytes += bytes.len() as u64;
+        self.resident_bytes += bytes.len() as u64;
+        self.fnv_acc = fold_entry(self.fnv_acc, &bytes);
+        self.slots_by_hash.entry(hash).or_default().push(slot);
+        self.entries.push(bytes.into_boxed_slice());
+        slot
+    }
+}
+
+/// The sharded visited set. See the module docs for the design.
+#[derive(Debug)]
+pub struct VisitedStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Global state index → `(shard, slot)`.
+    locator: Vec<(u32, u32)>,
+    spill: Option<SpillSettings>,
+    /// Shard-file write attempts, counted in barrier order (the
+    /// deterministic index for injected [`FaultSite::SpillWrite`]).
+    write_attempts: u64,
+    stats: SpillStats,
+}
+
+impl VisitedStore {
+    /// An empty store with `shard_count` stripes (`0` = default) and an
+    /// optional spill tier.
+    pub fn new(shard_count: usize, spill: Option<SpillSettings>) -> Self {
+        let n = if shard_count == 0 {
+            DEFAULT_SHARDS
+        } else {
+            shard_count
+        };
+        VisitedStore {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            locator: Vec::new(),
+            spill,
+            write_attempts: 0,
+            stats: SpillStats::default(),
+        }
+    }
+
+    /// Number of distinct states stored.
+    pub fn len(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// Whether the store holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.locator.is_empty()
+    }
+
+    /// Number of shard stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether a spill directory is configured.
+    pub fn can_spill(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// The shard holding global state `idx`.
+    pub fn shard_of(&self, idx: usize) -> u32 {
+        self.locator[idx].0
+    }
+
+    /// The global `(shard, slot)` placement table, in insertion order.
+    pub fn locator(&self) -> &[(u32, u32)] {
+        &self.locator
+    }
+
+    /// Spill-tier counters so far.
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    fn shard_mut(&mut self, shard: u32) -> &mut Shard {
+        self.shards[shard as usize]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn place(&self, bytes: &[u8]) -> (u32, u64) {
+        let hash = fnv1a(bytes);
+        ((hash % self.shards.len() as u64) as u32, hash)
+    }
+
+    /// Coarse heap estimate of the parts that never leave memory: the
+    /// locator and the per-entry hash-index slots.
+    pub fn unspillable_estimate(&self) -> u64 {
+        self.locator.len() as u64 * SLOT_INDEX_BYTES
+    }
+
+    /// Coarse heap estimate of everything currently resident:
+    /// [`unspillable_estimate`](Self::unspillable_estimate) plus the
+    /// resident entry payloads and their bookkeeping.
+    pub fn resident_estimate(&mut self) -> u64 {
+        let mut total = self.locator.len() as u64 * SLOT_INDEX_BYTES;
+        for m in &mut self.shards {
+            let s = m.get_mut().unwrap_or_else(PoisonError::into_inner);
+            total += s.resident_bytes + s.entries.len() as u64 * ENTRY_OVERHEAD_BYTES;
+        }
+        total
+    }
+
+    /// Shards with at least one resident entry.
+    pub fn resident_shard_count(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|m| m.get_mut().unwrap_or_else(PoisonError::into_inner))
+            .filter(|s| !s.entries.is_empty())
+            .count()
+    }
+
+    /// Shards whose bytes live (at least partly) only on disk.
+    pub fn spilled_shard_count(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|m| m.get_mut().unwrap_or_else(PoisonError::into_inner))
+            .filter(|s| !s.resident)
+            .count()
+    }
+
+    /// Concurrent read-only duplicate probe, safe from worker threads.
+    ///
+    /// Returns `true` only on a definite byte-equal match against a
+    /// *resident* entry — a hit is final (the store only grows), so the
+    /// merge thread may count it as a dedup hit without a lookup. A
+    /// `false` means "unknown": the state may still match a spilled
+    /// entry, which only [`lookup_or_insert`](Self::lookup_or_insert)
+    /// (merge thread) may find. Never reloads, never mutates.
+    pub fn probe(&self, bytes: &[u8]) -> bool {
+        let (shard, hash) = self.place(bytes);
+        let guard = self.shards[shard as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(slots) = guard.slots_by_hash.get(&hash) else {
+            return false;
+        };
+        slots
+            .iter()
+            .any(|&slot| guard.slot_bytes(slot) == Some(bytes))
+    }
+
+    /// Dedup-or-store one encoded state (merge thread only).
+    ///
+    /// A new state is refused (nothing stored) once the store holds
+    /// `cap` states; duplicates are always recognized, even at the cap.
+    /// Reloads the target shard only when the state hash-matches a
+    /// spilled slot and no resident slot already matches.
+    pub fn lookup_or_insert(
+        &mut self,
+        bytes: Vec<u8>,
+        cap: usize,
+        obs: &Obs,
+    ) -> Result<Lookup, SpillError> {
+        let (shard_id, hash) = self.place(&bytes);
+        let needs_reload = {
+            let shard = self.shard_mut(shard_id);
+            let mut spilled_candidate = false;
+            if let Some(slots) = shard.slots_by_hash.get(&hash) {
+                for &slot in slots {
+                    match shard.slot_bytes(slot) {
+                        Some(stored) if stored == &bytes[..] => return Ok(Lookup::Known),
+                        Some(_) => {}
+                        None => spilled_candidate = true,
+                    }
+                }
+            }
+            spilled_candidate
+        };
+        if needs_reload {
+            self.reload_shard(shard_id, obs)?;
+            let shard = self.shard_mut(shard_id);
+            if let Some(slots) = shard.slots_by_hash.get(&hash) {
+                let dup = slots
+                    .iter()
+                    .any(|&slot| shard.slot_bytes(slot) == Some(&bytes[..]));
+                if dup {
+                    return Ok(Lookup::Known);
+                }
+            }
+        }
+        if self.locator.len() >= cap {
+            return Ok(Lookup::CapRefused);
+        }
+        let slot = self.shard_mut(shard_id).push_entry(hash, bytes);
+        self.locator.push((shard_id, slot));
+        Ok(Lookup::Inserted(self.locator.len() - 1))
+    }
+
+    /// The encoded bytes of global state `idx`, reloading its shard from
+    /// disk if it was spilled.
+    pub fn fetch(&mut self, idx: usize, obs: &Obs) -> Result<Vec<u8>, SpillError> {
+        let (shard_id, slot) = self.locator[idx];
+        if self.shard_mut(shard_id).slot_bytes(slot).is_none() {
+            self.reload_shard(shard_id, obs)?;
+        }
+        Ok(self
+            .shard_mut(shard_id)
+            .slot_bytes(slot)
+            .expect("a reloaded shard holds every slot")
+            .to_vec())
+    }
+
+    fn shard_path(&self, shard: u32) -> PathBuf {
+        self.spill
+            .as_ref()
+            .expect("spill path requested without spill settings")
+            .dir
+            .join(shard_file_name(shard))
+    }
+
+    /// Read one shard back into memory, revalidating everything: the
+    /// file CRC (via `read_snapshot`), the shard id, the entry count,
+    /// and the running digest against the in-memory accumulator.
+    fn reload_shard(&mut self, shard_id: u32, obs: &Obs) -> Result<(), SpillError> {
+        let fail = |error: PersistError| SpillError {
+            shard: shard_id,
+            error,
+        };
+        if self.shard_mut(shard_id).resident {
+            return Ok(());
+        }
+        let plan = self.spill.as_ref().and_then(|s| s.fault_plan.as_ref());
+        match plan.and_then(|p| p.fault_for(FaultSite::SpillRead, "visited", shard_id as u64)) {
+            Some(FaultKind::Corruption) => {
+                obs.counter("persist.fault_injected", 1);
+                return Err(fail(PersistError::ChecksumMismatch));
+            }
+            Some(_) => {
+                obs.counter("persist.fault_injected", 1);
+                return Err(fail(PersistError::Io(format!(
+                    "injected spill-read fault at shard {shard_id}"
+                ))));
+            }
+            None => {}
+        }
+        let path = self.shard_path(shard_id);
+        let entries = read_shard_file(&path, shard_id, obs).map_err(fail)?;
+        let shard = self.shard_mut(shard_id);
+        if entries.len() != shard.file_len as usize {
+            return Err(fail(PersistError::Malformed(format!(
+                "shard {shard_id} file holds {} entries, store expects {}",
+                entries.len(),
+                shard.file_len
+            ))));
+        }
+        let mut digest = FNV_OFFSET;
+        for e in &entries {
+            digest = fold_entry(digest, e);
+        }
+        for tail in &shard.entries {
+            digest = fold_entry(digest, tail);
+        }
+        if digest != shard.fnv_acc {
+            return Err(fail(PersistError::Malformed(format!(
+                "shard {shard_id} file content does not match the in-memory digest"
+            ))));
+        }
+        let mut all: Vec<Box<[u8]>> = entries.into_iter().map(Vec::into_boxed_slice).collect();
+        all.append(&mut shard.entries);
+        shard.entries = all;
+        shard.resident = true;
+        shard.resident_bytes = shard.total_bytes;
+        self.stats.reloads += 1;
+        obs.counter("mc.spill_reloads", 1);
+        Ok(())
+    }
+
+    /// Bring the shard file up to date with all `len` entries, without
+    /// evicting. Counts a write attempt (the injection index) only when
+    /// a write is actually needed. Returns `false` on failure (counted;
+    /// the shard is unchanged apart from a possible reload).
+    fn write_shard_file(&mut self, shard_id: u32, obs: &Obs) -> bool {
+        let up_to_date = {
+            let s = self.shard_mut(shard_id);
+            s.file_len == s.len
+        };
+        if up_to_date {
+            return true;
+        }
+        let fail = |store: &mut Self| {
+            store.stats.write_failures += 1;
+            obs.counter("mc.spill_write_failed", 1);
+            false
+        };
+        // A stale file under a non-resident shard means the prefix bytes
+        // exist only on disk: reload before the full rewrite.
+        if !self.shard_mut(shard_id).resident && self.reload_shard(shard_id, obs).is_err() {
+            return fail(self);
+        }
+        let n = self.write_attempts;
+        self.write_attempts += 1;
+        let plan = self.spill.as_ref().and_then(|s| s.fault_plan.as_ref());
+        if plan.is_some_and(|p| p.fault_for(FaultSite::SpillWrite, "visited", n).is_some()) {
+            obs.counter("persist.fault_injected", 1);
+            return fail(self);
+        }
+        let path = self.shard_path(shard_id);
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return fail(self);
+            }
+        }
+        let payload = {
+            let s = self.shard_mut(shard_id);
+            let mut w = Writer::new();
+            w.u32(shard_id);
+            w.usize(s.len as usize);
+            for e in &s.entries {
+                w.bytes(e);
+            }
+            w.into_bytes()
+        };
+        match write_snapshot(&path, SnapshotKind::VisitedShard, &payload, obs) {
+            Ok(_) => {
+                let s = self.shard_mut(shard_id);
+                s.file_len = s.len;
+                self.stats.spill_bytes += payload.len() as u64;
+                obs.counter("mc.spill_bytes", payload.len() as u64);
+                true
+            }
+            Err(_) => fail(self),
+        }
+    }
+
+    /// Evict one shard: write its file if stale, then drop the resident
+    /// entry bytes (the hash index stays). Returns `false` if the write
+    /// failed — the shard stays resident (backpressure, not data loss).
+    fn spill_one(&mut self, shard_id: u32, obs: &Obs) -> bool {
+        if !self.write_shard_file(shard_id, obs) {
+            return false;
+        }
+        let s = self.shard_mut(shard_id);
+        s.entries = Vec::new();
+        s.resident = false;
+        s.resident_bytes = 0;
+        self.stats.spills += 1;
+        obs.counter("mc.spill_shards", 1);
+        true
+    }
+
+    /// The barrier spill pass: evict shards **in shard-id order** until
+    /// the resident estimate is at most `resident_goal` bytes and (when
+    /// `max_resident_shards > 0`) at most that many shards keep resident
+    /// entries. Purely a function of the store's contents — no clocks —
+    /// so the pass is identical at every `jobs` value. Failed writes are
+    /// counted and skipped; the pass moves on to the next shard.
+    pub fn spill_until(
+        &mut self,
+        resident_goal: u64,
+        max_resident_shards: usize,
+        obs: &Obs,
+    ) -> SpillOutcome {
+        let mut outcome = SpillOutcome::default();
+        if self.spill.is_none() {
+            return outcome;
+        }
+        for shard_id in 0..self.shards.len() as u32 {
+            let over_bytes = self.resident_estimate() > resident_goal;
+            let over_shards =
+                max_resident_shards > 0 && self.resident_shard_count() > max_resident_shards;
+            if !over_bytes && !over_shards {
+                break;
+            }
+            if self.shard_mut(shard_id).entries.is_empty() {
+                continue;
+            }
+            if self.spill_one(shard_id, obs) {
+                outcome.spilled += 1;
+            } else {
+                outcome.write_failures += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Bring every shard file up to date without evicting anything —
+    /// the precondition for a checkpoint manifest that references them.
+    /// Returns `false` if any write failed (the checkpoint must then be
+    /// skipped; the search itself is unaffected).
+    pub fn flush_all(&mut self, obs: &Obs) -> bool {
+        if self.spill.is_none() {
+            return false;
+        }
+        let mut ok = true;
+        for shard_id in 0..self.shards.len() as u32 {
+            if self.shard_mut(shard_id).len > 0 && !self.write_shard_file(shard_id, obs) {
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// The per-shard manifest a checkpoint records: `(entry count,
+    /// running digest)` for every shard, in shard-id order. A resume
+    /// revalidates each shard file's prefix against these.
+    pub fn manifest(&mut self) -> Vec<(u64, u64)> {
+        (0..self.shards.len() as u32)
+            .map(|id| {
+                let s = self.shard_mut(id);
+                (s.len as u64, s.fnv_acc)
+            })
+            .collect()
+    }
+}
+
+/// Read and decode one shard file: CRC-validated by `read_snapshot`,
+/// then shape-validated (shard id, trailing bytes). Used by the store's
+/// demand reloads and by checkpoint resume.
+pub fn read_shard_file(
+    path: &Path,
+    shard_id: u32,
+    obs: &Obs,
+) -> Result<Vec<Vec<u8>>, PersistError> {
+    let (_meta, payload) = read_snapshot(path, SnapshotKind::VisitedShard, obs)?;
+    let mut r = Reader::new(&payload);
+    let found = r.u32()?;
+    if found != shard_id {
+        return Err(PersistError::Malformed(format!(
+            "shard file {} holds shard {found}, expected {shard_id}",
+            path.display()
+        )));
+    }
+    let n = r.seq_len(8)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(r.bytes()?.to_vec());
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after shard file",
+            r.remaining()
+        )));
+    }
+    Ok(entries)
+}
+
+/// Recompute the manifest digest of an entry prefix (resume validation).
+pub fn digest_entries<B: AsRef<[u8]>>(entries: &[B]) -> u64 {
+    entries
+        .iter()
+        .fold(FNV_OFFSET, |acc, e| fold_entry(acc, e.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equitls_rewrite::budget::Fault;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("equitls_visited_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(i: u32) -> Vec<u8> {
+        format!("state-{i:06}").into_bytes()
+    }
+
+    fn fill(store: &mut VisitedStore, n: u32) {
+        let obs = Obs::noop();
+        for i in 0..n {
+            let got = store.lookup_or_insert(entry(i), usize::MAX, &obs).unwrap();
+            assert_eq!(got, Lookup::Inserted(i as usize));
+        }
+    }
+
+    #[test]
+    fn insert_dedup_and_fetch_without_spill() {
+        let obs = Obs::noop();
+        let mut store = VisitedStore::new(4, None);
+        fill(&mut store, 50);
+        assert_eq!(store.len(), 50);
+        // Duplicates are recognized, even at a cap.
+        assert_eq!(
+            store.lookup_or_insert(entry(7), 50, &obs).unwrap(),
+            Lookup::Known
+        );
+        // New states are refused at the cap, without storage.
+        assert_eq!(
+            store.lookup_or_insert(entry(99), 50, &obs).unwrap(),
+            Lookup::CapRefused
+        );
+        assert_eq!(store.len(), 50);
+        // Fetch returns the exact bytes, in global insertion order.
+        for i in 0..50 {
+            assert_eq!(store.fetch(i as usize, &obs).unwrap(), entry(i));
+        }
+        assert!(store.probe(&entry(13)));
+        assert!(!store.probe(&entry(999)));
+    }
+
+    #[test]
+    fn spill_evicts_and_reloads_transparently() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("roundtrip");
+        let mut store = VisitedStore::new(
+            4,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: None,
+            }),
+        );
+        fill(&mut store, 60);
+        let before = store.resident_estimate();
+        let outcome = store.spill_until(0, 0, &obs);
+        assert_eq!(outcome.spilled, 4, "every non-empty shard evicts");
+        assert_eq!(outcome.write_failures, 0);
+        assert!(store.resident_estimate() < before);
+        assert_eq!(store.spilled_shard_count(), 4);
+        // Fetch transparently reloads; bytes are exact.
+        for i in [0usize, 17, 59] {
+            assert_eq!(store.fetch(i, &obs).unwrap(), entry(i as u32));
+        }
+        // Old duplicates are still recognized after a reload...
+        assert_eq!(
+            store.lookup_or_insert(entry(3), usize::MAX, &obs).unwrap(),
+            Lookup::Known
+        );
+        // ...and brand-new states never need one: the hash index is
+        // resident, so a fresh hash inserts straight into the tail.
+        assert!(matches!(
+            store
+                .lookup_or_insert(entry(100), usize::MAX, &obs)
+                .unwrap(),
+            Lookup::Inserted(_)
+        ));
+        assert!(store.stats().reloads >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_is_unknown_for_spilled_entries_but_lookup_finds_them() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("probe");
+        let mut store = VisitedStore::new(
+            2,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: None,
+            }),
+        );
+        fill(&mut store, 20);
+        assert!(store.probe(&entry(5)), "resident entries probe true");
+        store.spill_until(0, 0, &obs);
+        assert!(!store.probe(&entry(5)), "spilled entries probe unknown");
+        assert_eq!(
+            store.lookup_or_insert(entry(5), usize::MAX, &obs).unwrap(),
+            Lookup::Known,
+            "the merge-thread lookup still finds them"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_keeps_the_shard_resident() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("wfault");
+        let plan = FaultPlan::new().with_fault(
+            Fault::new(FaultSite::SpillWrite, FaultKind::IoError, 0).in_scope("visited"),
+        );
+        let mut store = VisitedStore::new(
+            2,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: Some(plan),
+            }),
+        );
+        fill(&mut store, 20);
+        let outcome = store.spill_until(0, 0, &obs);
+        // The first write attempt fails; the pass moves on and spills
+        // the other shard. Nothing is lost either way.
+        assert_eq!(outcome.write_failures, 1);
+        assert_eq!(outcome.spilled, 1);
+        assert_eq!(store.stats().write_failures, 1);
+        for i in 0..20 {
+            assert_eq!(store.fetch(i as usize, &obs).unwrap(), entry(i));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_faults_are_typed_never_garbage() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("rfault");
+        let plan = FaultPlan::new()
+            .with_fault(
+                Fault::new(FaultSite::SpillRead, FaultKind::Corruption, 0).in_scope("visited"),
+            )
+            .with_fault(
+                Fault::new(FaultSite::SpillRead, FaultKind::IoError, 1).in_scope("visited"),
+            );
+        let mut store = VisitedStore::new(
+            2,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: Some(plan),
+            }),
+        );
+        fill(&mut store, 20);
+        store.spill_until(0, 0, &obs);
+        // Shard 0 reads back "corrupted", shard 1 hits an "I/O error".
+        let idx0 = (0..20).find(|&i| store.shard_of(i) == 0).unwrap();
+        let idx1 = (0..20).find(|&i| store.shard_of(i) == 1).unwrap();
+        let e0 = store.fetch(idx0, &obs).unwrap_err();
+        assert_eq!(e0.shard, 0);
+        assert_eq!(e0.error, PersistError::ChecksumMismatch);
+        let e1 = store.fetch(idx1, &obs).unwrap_err();
+        assert_eq!(e1.shard, 1);
+        assert!(matches!(e1.error, PersistError::Io(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupted_shard_file_fails_the_checksum_typed() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("corrupt");
+        let mut store = VisitedStore::new(
+            1,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: None,
+            }),
+        );
+        fill(&mut store, 10);
+        store.spill_until(0, 0, &obs);
+        // Flip one payload byte on disk.
+        let path = dir.join(shard_file_name(0));
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let err = store.fetch(0, &obs).unwrap_err();
+        assert_eq!(err.error, PersistError::ChecksumMismatch);
+        // Truncation is its own typed error.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let err = store.fetch(0, &obs).unwrap_err();
+        assert!(matches!(err.error, PersistError::Truncated { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_and_manifest_validate_on_reread() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("manifest");
+        let mut store = VisitedStore::new(
+            3,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: None,
+            }),
+        );
+        fill(&mut store, 30);
+        assert!(store.flush_all(&obs));
+        let manifest = store.manifest();
+        assert_eq!(manifest.len(), 3);
+        assert_eq!(manifest.iter().map(|&(n, _)| n).sum::<u64>(), 30);
+        for (id, &(len, fnv)) in manifest.iter().enumerate() {
+            let entries =
+                read_shard_file(&dir.join(shard_file_name(id as u32)), id as u32, &obs).unwrap();
+            assert_eq!(entries.len() as u64, len);
+            assert_eq!(digest_entries(&entries), fnv);
+        }
+        // Growing the store after a flush keeps the file a valid prefix:
+        // the manifest taken *before* still verifies against the new file.
+        for i in 30..40 {
+            assert!(matches!(
+                store.lookup_or_insert(entry(i), usize::MAX, &obs).unwrap(),
+                Lookup::Inserted(_)
+            ));
+        }
+        assert!(store.flush_all(&obs));
+        for (id, &(len, fnv)) in manifest.iter().enumerate() {
+            let entries =
+                read_shard_file(&dir.join(shard_file_name(id as u32)), id as u32, &obs).unwrap();
+            assert!(entries.len() as u64 >= len);
+            assert_eq!(digest_entries(&entries[..len as usize]), fnv);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_cap_bounds_resident_shards() {
+        let obs = Obs::noop();
+        let dir = tmp_dir("cap");
+        let mut store = VisitedStore::new(
+            8,
+            Some(SpillSettings {
+                dir: dir.clone(),
+                fault_plan: None,
+            }),
+        );
+        fill(&mut store, 200);
+        store.spill_until(u64::MAX, 2, &obs);
+        assert!(store.resident_shard_count() <= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -40,6 +40,10 @@ pub enum SnapshotKind {
     /// with their completed responses, replayed on restart so a killed
     /// daemon resumes its queue.
     JobJournal,
+    /// One shard of the explorer's spilled visited set: the shard's
+    /// encoded states in slot order, length-prefixed, written when the
+    /// shard is evicted to disk under memory pressure (Murφ-style).
+    VisitedShard,
 }
 
 impl SnapshotKind {
@@ -50,6 +54,7 @@ impl SnapshotKind {
             SnapshotKind::ProverLedger => 2,
             SnapshotKind::LintCache => 3,
             SnapshotKind::JobJournal => 4,
+            SnapshotKind::VisitedShard => 5,
         }
     }
 
@@ -59,6 +64,7 @@ impl SnapshotKind {
             2 => Some(SnapshotKind::ProverLedger),
             3 => Some(SnapshotKind::LintCache),
             4 => Some(SnapshotKind::JobJournal),
+            5 => Some(SnapshotKind::VisitedShard),
             _ => None,
         }
     }

@@ -46,6 +46,11 @@ pub enum StopReason {
     StateCapReached,
     /// The explorer's depth cap ended the search with a non-empty frontier.
     DepthCapReached,
+    /// A spilled visited-set shard could not be read back (I/O error or
+    /// checksum mismatch): the search cannot continue soundly without
+    /// its dedup set, so it stops with a typed reason instead of
+    /// risking re-expanded (wrongly counted) states.
+    SpillFailed,
 }
 
 impl StopReason {
@@ -58,6 +63,7 @@ impl StopReason {
             StopReason::FuelExhausted => "fuel exhausted",
             StopReason::StateCapReached => "state cap reached",
             StopReason::DepthCapReached => "depth cap reached",
+            StopReason::SpillFailed => "visited-set spill failed",
         }
     }
 }
@@ -158,6 +164,23 @@ impl Budget {
         self.deadline.is_some() || self.max_heap_bytes.is_some()
     }
 
+    /// The heap-byte ceiling, if one is set.
+    pub fn max_heap_bytes(&self) -> Option<u64> {
+        self.max_heap_bytes
+    }
+
+    /// Memory-pressure probe: the fraction of the heap ceiling a usage
+    /// estimate consumes (`1.0` = exactly at the ceiling), or `None`
+    /// when no ceiling is set. Engines with a graceful degradation path
+    /// (the explorer's disk spill tier) act on pressure *before*
+    /// [`Budget::check`] would hard-trip, and the fraction is a pure
+    /// function of the estimate, so pressure-driven decisions stay
+    /// deterministic at every `jobs` value.
+    pub fn memory_pressure(&self, heap_bytes: u64) -> Option<f64> {
+        self.max_heap_bytes
+            .map(|max| heap_bytes as f64 / max.max(1) as f64)
+    }
+
     /// The time left before the deadline, if one is set.
     pub fn remaining_time(&self) -> Option<Duration> {
         self.deadline
@@ -203,6 +226,17 @@ pub enum FaultSite {
     /// the previous snapshot (if any) stays intact, exactly the guarantee
     /// the real temp-file protocol gives on a mid-write crash.
     PersistWrite,
+    /// The *N*-th visited-set shard *write* attempted by the explorer's
+    /// spill tier (disk-full modeling). Attempts are counted in barrier
+    /// order on the merge thread, so the index is jobs-invariant. A
+    /// fired fault fails the write atomically — the shard stays
+    /// resident and the search degrades to backpressure, never stops.
+    SpillWrite,
+    /// A visited-set shard *reload* from the spill tier. Unlike the
+    /// other sites, `at` is the **shard id**, not a call index: reloads
+    /// are demand-driven, so "shard 3 is unreadable" is the stable,
+    /// jobs-invariant way to name one.
+    SpillRead,
 }
 
 impl fmt::Display for FaultSite {
@@ -212,6 +246,8 @@ impl fmt::Display for FaultSite {
             FaultSite::Successor => "successor",
             FaultSite::Obligation => "obligation",
             FaultSite::PersistWrite => "persist write",
+            FaultSite::SpillWrite => "spill write",
+            FaultSite::SpillRead => "spill read",
         })
     }
 }
@@ -232,6 +268,11 @@ pub enum FaultKind {
     /// warn-and-continue (counting `persist.snapshot_failed`), never
     /// abort the campaign.
     IoError,
+    /// Bit-flip corruption: the data lands (or is read) with a flipped
+    /// byte. Meaningful at [`FaultSite::SpillRead`], where it simulates
+    /// a shard file whose checksum no longer matches — the reader must
+    /// surface a typed checksum error, never decode garbage states.
+    Corruption,
 }
 
 impl fmt::Display for FaultKind {
@@ -242,6 +283,7 @@ impl fmt::Display for FaultKind {
             FaultKind::DeadlineExpiry => "deadline expiry",
             FaultKind::Cancel => "cancel",
             FaultKind::IoError => "io error",
+            FaultKind::Corruption => "corruption",
         })
     }
 }
@@ -320,9 +362,11 @@ impl FaultPlan {
     /// `max_at`. Equal seeds yield equal plans; scopes are left open so the
     /// faults apply wherever the indices land.
     ///
-    /// The random mix deliberately excludes [`FaultSite::PersistWrite`]
-    /// (and with it [`FaultKind::IoError`]): persist faults are targeted
-    /// at specific writers by explicit plans, and adding a site here
+    /// The random mix deliberately excludes the I/O sites —
+    /// [`FaultSite::PersistWrite`], [`FaultSite::SpillWrite`],
+    /// [`FaultSite::SpillRead`] (and with them [`FaultKind::IoError`] /
+    /// [`FaultKind::Corruption`]): I/O faults are targeted at specific
+    /// writers and shards by explicit plans, and adding a site here
     /// would silently reshuffle every seeded fixture pinned by the
     /// robustness suite.
     pub fn seeded(seed: u64, n: usize, max_at: u64) -> Self {
@@ -499,16 +543,57 @@ mod tests {
     }
 
     #[test]
-    fn seeded_plans_never_contain_persist_sites() {
+    fn seeded_plans_never_contain_persist_or_spill_sites() {
         for seed in 0..32 {
             let plan = FaultPlan::seeded(seed, 16, 100);
             assert!(
-                plan.faults()
-                    .iter()
-                    .all(|f| f.site != FaultSite::PersistWrite && f.kind != FaultKind::IoError),
+                plan.faults().iter().all(|f| {
+                    !matches!(
+                        f.site,
+                        FaultSite::PersistWrite | FaultSite::SpillWrite | FaultSite::SpillRead
+                    ) && !matches!(f.kind, FaultKind::IoError | FaultKind::Corruption)
+                }),
                 "seeded plan {seed} must keep the pinned site/kind mix"
             );
         }
+    }
+
+    #[test]
+    fn memory_pressure_probe_is_a_fraction_of_the_ceiling() {
+        let unlimited = Budget::unlimited();
+        assert_eq!(unlimited.max_heap_bytes(), None);
+        assert_eq!(unlimited.memory_pressure(u64::MAX), None);
+        let b = Budget::unlimited().with_max_mem_mb(1);
+        assert_eq!(b.max_heap_bytes(), Some(1024 * 1024));
+        let half = b.memory_pressure(512 * 1024).unwrap();
+        assert!((half - 0.5).abs() < 1e-9, "got {half}");
+        let over = b.memory_pressure(2 * 1024 * 1024).unwrap();
+        assert!((over - 2.0).abs() < 1e-9, "got {over}");
+        // The probe never hard-trips on its own: check() still decides.
+        assert_eq!(b.check(2 * 1024 * 1024), Err(StopReason::MemoryExceeded));
+    }
+
+    #[test]
+    fn spill_faults_match_by_site_kind_and_index() {
+        let plan = FaultPlan::new()
+            .with_fault(
+                Fault::new(FaultSite::SpillWrite, FaultKind::IoError, 2).in_scope("visited"),
+            )
+            .with_fault(
+                Fault::new(FaultSite::SpillRead, FaultKind::Corruption, 3).in_scope("visited"),
+            );
+        assert_eq!(
+            plan.fault_for(FaultSite::SpillWrite, "visited", 2),
+            Some(FaultKind::IoError)
+        );
+        assert_eq!(plan.fault_for(FaultSite::SpillWrite, "visited", 1), None);
+        assert_eq!(
+            plan.fault_for(FaultSite::SpillRead, "visited", 3),
+            Some(FaultKind::Corruption)
+        );
+        // Spill faults never leak into the persist writer's site.
+        assert_eq!(plan.fault_for(FaultSite::PersistWrite, "visited", 2), None);
+        assert!(!plan.persist_write_fails("visited", 2));
     }
 
     #[test]

@@ -865,9 +865,10 @@ impl Normalizer {
                     return Err(self.stopped(store, t, StopReason::Cancelled));
                 }
                 // Persist-layer kinds are meaningless at a rewrite step:
-                // the persist writers consult the plan themselves, so an
-                // IoError planned here is simply inert.
-                Some((_, FaultKind::IoError)) | None => {}
+                // the persist and spill I/O sites consult the plan
+                // themselves, so an IoError or Corruption planned here
+                // is simply inert.
+                Some((_, FaultKind::IoError)) | Some((_, FaultKind::Corruption)) | None => {}
             }
         }
         if self.fuel == 0 {

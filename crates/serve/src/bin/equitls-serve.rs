@@ -53,6 +53,8 @@ struct Options {
     shared_cache: bool,
     allow_test_jobs: bool,
     trace: Option<PathBuf>,
+    spill_dir: Option<PathBuf>,
+    max_resident_shards: usize,
 }
 
 fn numeric_flag(args: &mut impl Iterator<Item = String>, flag: &str, hint: &str) -> u64 {
@@ -84,6 +86,8 @@ fn parse_args() -> Options {
         shared_cache: true,
         allow_test_jobs: false,
         trace: None,
+        spill_dir: None,
+        max_resident_shards: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -144,6 +148,20 @@ fn parse_args() -> Options {
             }
             "--no-shared-cache" => opts.shared_cache = false,
             "--allow-test-jobs" => opts.allow_test_jobs = true,
+            "--spill-dir" => {
+                opts.spill_dir = Some(path_flag(
+                    &mut args,
+                    "--spill-dir",
+                    "a directory for visited-set spill files (e.g. --spill-dir /tmp/equitls-spill)",
+                ));
+            }
+            "--max-resident-shards" => {
+                opts.max_resident_shards = numeric_flag(
+                    &mut args,
+                    "--max-resident-shards",
+                    "a shard cap (e.g. --max-resident-shards 8)",
+                ) as usize;
+            }
             "--trace" => {
                 opts.trace = Some(path_flag(
                     &mut args,
@@ -194,6 +212,8 @@ fn main() {
         retry_after_ms: opts.retry_after_ms,
         fault_plan: None,
         allow_test_jobs: opts.allow_test_jobs,
+        spill_dir: opts.spill_dir.clone(),
+        max_resident_shards: opts.max_resident_shards,
     };
     let engine = match ServeEngine::start(config, obs) {
         Ok(engine) => engine,

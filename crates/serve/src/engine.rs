@@ -85,6 +85,14 @@ pub struct ServeConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Admit test-only `panic` jobs.
     pub allow_test_jobs: bool,
+    /// When set, `check` jobs spill cold visited-set shards under this
+    /// directory (one `job<seq>` subdirectory per job) instead of
+    /// truncating at a memory ceiling. See
+    /// [`equitls_mc::explorer::ExploreConfig::spill_dir`].
+    pub spill_dir: Option<PathBuf>,
+    /// Resident-shard cap for spilling `check` jobs (`0` = pressure-only
+    /// spilling).
+    pub max_resident_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +106,8 @@ impl Default for ServeConfig {
             retry_after_ms: 200,
             fault_plan: None,
             allow_test_jobs: false,
+            spill_dir: None,
+            max_resident_shards: 0,
         }
     }
 }
@@ -470,6 +480,10 @@ fn run_one(inner: &EngineInner) -> Option<(u64, bool)> {
             &entry.degradation,
             &inner.warm,
             inner.config.shared_cache,
+            &job::SpillOptions {
+                dir: inner.config.spill_dir.clone(),
+                max_resident_shards: inner.config.max_resident_shards,
+            },
             &job_obs,
         )
     })) {

@@ -75,6 +75,16 @@ pub fn validate(request: &JobRequest, allow_test_jobs: bool) -> Result<(), (Stri
     Ok(())
 }
 
+/// Visited-set spill settings for `check` jobs, from the daemon config.
+pub struct SpillOptions {
+    /// Spill root; each job spills under its own `job<seq>` subdirectory
+    /// so concurrent workers never share shard files. `None` disables
+    /// spilling (the search truncates at a memory ceiling instead).
+    pub dir: Option<std::path::PathBuf>,
+    /// See [`ExploreConfig::max_resident_shards`].
+    pub max_resident_shards: usize,
+}
+
 /// Execute one admitted job and build its stable response. The caller
 /// (the worker loop) wraps this in `catch_unwind`; a panic escaping here
 /// becomes a typed `worker-fault` error response.
@@ -84,11 +94,12 @@ pub fn execute(
     degradation: &[String],
     warm: &WarmState,
     shared_cache_default: bool,
+    spill: &SpillOptions,
     obs: &Obs,
 ) -> JsonValue {
     let result = match request.kind {
         JobKind::Prove => run_prove(request, warm, shared_cache_default, obs),
-        JobKind::Check => Ok(run_check(request, obs)),
+        JobKind::Check => Ok(run_check(seq, request, spill, obs)),
         JobKind::Lint => Ok(run_lint(request, warm)),
         JobKind::Panic => panic!("injected test panic (job {})", request.id),
     };
@@ -245,7 +256,7 @@ fn step_json(step: &StepReport) -> JsonValue {
     JsonValue::Object(fields)
 }
 
-fn run_check(request: &JobRequest, obs: &Obs) -> JsonValue {
+fn run_check(seq: u64, request: &JobRequest, spill: &SpillOptions, obs: &Obs) -> JsonValue {
     let mut scope = Scope::counterexample();
     if let Some(n) = request.max_messages {
         scope.max_messages = n;
@@ -256,6 +267,8 @@ fn run_check(request: &JobRequest, obs: &Obs) -> JsonValue {
     };
     let config = ExploreConfig {
         budget: budget_for(request),
+        spill_dir: spill.dir.as_ref().map(|d| d.join(format!("job{seq}"))),
+        max_resident_shards: spill.max_resident_shards,
         ..ExploreConfig::default()
     };
     let exploration = check_scope_config_obs(&scope, &limits, request.jobs.max(1), &config, obs);
@@ -331,6 +344,23 @@ fn run_check(request: &JobRequest, obs: &Obs) -> JsonValue {
         (
             "dedup_hits".to_string(),
             JsonValue::Number(exploration.dedup_hits as f64),
+        ),
+        // Truncation disclosure: states enqueued but never expanded when
+        // the search stopped (0 on a complete run), and any degradation
+        // ladder steps the search took (e.g. "visited-spilled").
+        (
+            "unexpanded".to_string(),
+            JsonValue::Number(exploration.unexpanded as f64),
+        ),
+        (
+            "degradation".to_string(),
+            JsonValue::Array(
+                exploration
+                    .degradation
+                    .iter()
+                    .map(|d| JsonValue::String(d.clone()))
+                    .collect(),
+            ),
         ),
         ("violations".to_string(), JsonValue::Array(violations)),
     ])

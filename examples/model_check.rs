@@ -10,19 +10,31 @@
 //! cargo run --release --example model_check [-- --jobs N] [--deadline-ms N] [--max-mem-mb N]
 //!     [--checkpoint <path>] [--checkpoint-every-secs N] [--resume]
 //!     [--profile <out.json>] [--heartbeat-every-secs N]
+//!     [--spill-dir <dir>] [--max-resident-shards N] [--no-symmetry]
 //! ```
 //!
 //! `--jobs N` explores each BFS level on N worker threads (0 = all
 //! cores); results are identical for every N. `--deadline-ms` and
 //! `--max-mem-mb` bound the whole run: a tripped budget reports a
 //! *partial* but internally consistent tally with a typed stop reason
-//! instead of running away. `--checkpoint <path>` snapshots each bound's
-//! BFS at level barriers (one file per network bound, `<path>.m<bound>`);
-//! `--resume` picks every bound up from its snapshot — the final tables
-//! are identical to an uninterrupted run. `--profile <out.json>` records
-//! per-level successor/dedup timing and writes a Chrome trace (open in
-//! Perfetto); `--heartbeat-every-secs N` prints a progress line to stderr
-//! at level barriers. Neither changes any verdict or count.
+//! instead of running away — unless `--spill-dir <dir>` gives the
+//! visited set a disk tier, in which case cold shards spill there (one
+//! `m<bound>` subdirectory per network bound) and the search completes
+//! under the same ceiling, bit-identical to an unconstrained run, with
+//! the degradation disclosed. `--max-resident-shards N` additionally
+//! caps how many shards stay resident after each level barrier.
+//! `--no-symmetry` turns off the default scalarset symmetry reduction
+//! (same verdicts over the larger raw state space). `--checkpoint
+//! <path>` snapshots each bound's BFS at level barriers (one file per
+//! network bound, `<path>.m<bound>`); `--resume` picks every bound up
+//! from its snapshot — the final tables are identical to an
+//! uninterrupted run. `--profile <out.json>` records per-level
+//! successor/dedup timing and writes a Chrome trace (open in Perfetto);
+//! `--heartbeat-every-secs N` prints a progress line to stderr at level
+//! barriers. Neither changes any verdict or count.
+//! `--inject-spill-write-fault N` (testing) fails the N-th spill write
+//! "disk full": the affected shard stays resident and the run completes
+//! with identical results, disclosing `spill-write-failed`.
 
 use equitls::mc::prelude::*;
 use equitls::obs::sink::{Obs, RecordingSink};
@@ -40,6 +52,10 @@ struct Args {
     resume: bool,
     profile: Option<std::path::PathBuf>,
     heartbeat_every_secs: u64,
+    spill_dir: Option<std::path::PathBuf>,
+    max_resident_shards: usize,
+    symmetry: bool,
+    inject_spill_write_fault: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +68,10 @@ fn parse_args() -> Args {
         resume: false,
         profile: None,
         heartbeat_every_secs: 0,
+        spill_dir: None,
+        max_resident_shards: 0,
+        symmetry: true,
+        inject_spill_write_fault: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +106,20 @@ fn parse_args() -> Args {
                 parsed.profile = Some(path.into());
             }
             "--resume" => parsed.resume = true,
+            "--spill-dir" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--spill-dir needs a directory path");
+                    std::process::exit(2);
+                });
+                parsed.spill_dir = Some(path.into());
+            }
+            "--max-resident-shards" => {
+                parsed.max_resident_shards = numeric("a shard cap") as usize;
+            }
+            "--no-symmetry" => parsed.symmetry = false,
+            "--inject-spill-write-fault" => {
+                parsed.inject_spill_write_fault = Some(numeric("a write-attempt index"));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -144,19 +178,30 @@ fn main() {
             max_depth: max_messages + 1,
         };
         // One snapshot file per network bound: the bounds are independent
-        // searches, so each gets its own resumable checkpoint.
+        // searches, so each gets its own resumable checkpoint — and its
+        // own spill subdirectory, so shard files never mix across bounds.
         let config = ExploreConfig {
             budget: budget.clone(),
-            fault_plan: None,
+            fault_plan: args.inject_spill_write_fault.map(|n| {
+                FaultPlan::new().with_fault(
+                    Fault::new(FaultSite::SpillWrite, FaultKind::IoError, n).in_scope("visited"),
+                )
+            }),
             checkpoint_path: args
                 .checkpoint
                 .as_ref()
                 .map(|p| p.with_extension(format!("m{max_messages}"))),
             checkpoint_every_secs: args.checkpoint_every_secs,
             heartbeat_every_secs: args.heartbeat_every_secs,
+            spill_dir: args
+                .spill_dir
+                .as_ref()
+                .map(|d| d.join(format!("m{max_messages}"))),
+            max_resident_shards: args.max_resident_shards,
+            spill_shards: 0,
         };
         let result = if args.resume {
-            match check_scope_resume_obs(&scope, &limits, jobs, &config, &obs) {
+            match check_scope_resume_obs_sym(&scope, &limits, jobs, &config, &obs, args.symmetry) {
                 Ok(result) => result,
                 Err(e) => {
                     eprintln!("cannot resume network bound {max_messages}: {e}");
@@ -164,7 +209,7 @@ fn main() {
                 }
             }
         } else {
-            check_scope_config_obs(&scope, &limits, jobs, &config, &obs)
+            check_scope_config_obs_sym(&scope, &limits, jobs, &config, &obs, args.symmetry)
         };
         println!(
             "network bound {max_messages}: {} states, depth {}, {:?}, complete: {}{}",
@@ -182,6 +227,21 @@ fn main() {
             print!(" {d}:{n}");
         }
         println!();
+        if result.unexpanded > 0 {
+            println!(
+                "  unexpanded: {} (states enqueued but never expanded)",
+                result.unexpanded
+            );
+        }
+        if result.spill_shards > 0 || !result.degradation.is_empty() {
+            println!(
+                "  spill: {} shards, {} bytes, {} reloads; degradation: [{}]",
+                result.spill_shards,
+                result.spill_bytes,
+                result.spill_reloads,
+                result.degradation.join(", ")
+            );
+        }
         for (name, expected_to_hold) in expected_outcomes() {
             let violated = result.violation(name);
             let status = match (expected_to_hold, violated.is_some()) {

@@ -41,6 +41,75 @@ cargo run -q --release -p equitls-tls --bin tls-prove -- \
 diff /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
 rm -f "$CKPT" /tmp/equitls_check_resumed.txt /tmp/equitls_check_straight.txt
 
+echo "== memory resilience: spill smoke (ceiling completes by spilling, bit-identical) =="
+# A 16 MiB heap ceiling truncates the bound-3 scope check when the
+# visited set must stay resident; the same ceiling with a spill
+# directory completes by pushing cold shards to disk — bit-identical to
+# an unconstrained run (wall-clock stripped), with the degradation
+# disclosed, a resumable manifest checkpoint, and typed failure on a
+# corrupted shard file.
+SPILL_DIR="$(mktemp -d /tmp/equitls_check_spill_XXXXXX)"
+SPILL_CKPT="$(mktemp -u /tmp/equitls_check_XXXXXX.spill.snap)"
+MC="cargo run -q --release --example model_check --"
+STRIP_DURATION='s/depth ([0-9]+), [^,]*, complete/depth \1, T, complete/'
+$MC --jobs 2 \
+    | sed -E "$STRIP_DURATION" > /tmp/equitls_check_spill_base.txt
+# Resident-only under the ceiling: typed truncation, disclosed.
+$MC --jobs 2 --max-mem-mb 16 > /tmp/equitls_check_spill_trunc.txt
+grep -q "stopped: memory ceiling exceeded" /tmp/equitls_check_spill_trunc.txt
+grep -q "unexpanded:" /tmp/equitls_check_spill_trunc.txt
+# Same ceiling + spill tier: completes, spills, matches the baseline.
+$MC --jobs 2 --max-mem-mb 16 --spill-dir "$SPILL_DIR" --checkpoint "$SPILL_CKPT" \
+    > /tmp/equitls_check_spill_full.txt
+test "$(grep -c 'complete: true' /tmp/equitls_check_spill_full.txt)" -eq 3
+grep -q "visited-spilled" /tmp/equitls_check_spill_full.txt
+test "$(find "$SPILL_DIR" -name '*.vshard' | wc -l)" -ge 1
+sed -E "$STRIP_DURATION" /tmp/equitls_check_spill_full.txt \
+    | grep -v '^  spill:' \
+    | diff - /tmp/equitls_check_spill_base.txt
+# A byte-flipped shard fails the resume with a typed error and exit 2 …
+VSHARD="$(find "$SPILL_DIR" -name '*.vshard' | sort | tail -1)"
+python3 - "$VSHARD" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[-1] ^= 1
+open(path, 'wb').write(data)
+EOF
+if $MC --jobs 2 --max-mem-mb 16 --spill-dir "$SPILL_DIR" \
+    --checkpoint "$SPILL_CKPT" --resume \
+    > /dev/null 2> /tmp/equitls_check_spill_corrupt.err; then
+    echo "resume over a corrupted shard must fail" >&2
+    exit 1
+fi
+grep -q "cannot resume" /tmp/equitls_check_spill_corrupt.err
+# … and the restored bytes resume to the identical final tables.
+python3 - "$VSHARD" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[-1] ^= 1
+open(path, 'wb').write(data)
+EOF
+$MC --jobs 2 --max-mem-mb 16 --spill-dir "$SPILL_DIR" \
+    --checkpoint "$SPILL_CKPT" --resume \
+    | sed -E "$STRIP_DURATION" | grep -v '^  spill:' \
+    | diff - /tmp/equitls_check_spill_base.txt
+# Disk-full injection: the first shard write fails, the shard stays
+# resident, the run still completes identically — degradation disclosed.
+rm -rf "$SPILL_DIR"; mkdir -p "$SPILL_DIR"
+$MC --jobs 2 --max-mem-mb 16 --spill-dir "$SPILL_DIR" --inject-spill-write-fault 0 \
+    > /tmp/equitls_check_spill_fault.txt
+test "$(grep -c 'complete: true' /tmp/equitls_check_spill_fault.txt)" -eq 3
+grep -q "spill-write-failed" /tmp/equitls_check_spill_fault.txt
+sed -E "$STRIP_DURATION" /tmp/equitls_check_spill_fault.txt \
+    | grep -v '^  spill:' \
+    | diff - /tmp/equitls_check_spill_base.txt
+rm -rf "$SPILL_DIR" "$SPILL_CKPT".m* /tmp/equitls_check_spill_*.txt /tmp/equitls_check_spill_corrupt.err
+
+echo "== spill determinism suite (jobs 1/2/4) =="
+cargo test -q --release --test spill_determinism
+
 echo "== trace smoke: profiled campaign -> summarize/export/diff =="
 # A profiled proof writes a JSONL trace and a Chrome trace; the offline
 # tool must summarize it, convert it, and find no regression against
